@@ -1,0 +1,68 @@
+//! Criterion benches for the hand-rolled Laplacian solver substrate:
+//! preconditioned CG (Jacobi vs identity) across graph families and
+//! sizes, and the dense pseudoinverse it replaces.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reecc_graph::generators::{barabasi_albert, grid};
+use reecc_linalg::cg::{solve_laplacian_simple, CgOptions, Preconditioner};
+use reecc_linalg::{laplacian_pseudoinverse, LaplacianOp};
+
+fn pair_rhs(n: usize, u: usize, v: usize) -> Vec<f64> {
+    let mut b = vec![0.0; n];
+    b[u] = 1.0;
+    b[v] = -1.0;
+    b
+}
+
+fn bench_cg_preconditioners(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cg_preconditioner");
+    for n in [500usize, 2000] {
+        let g = barabasi_albert(n, 3, 11);
+        let b = pair_rhs(n, 0, n - 1);
+        for (name, precond) in
+            [("jacobi", Preconditioner::Jacobi), ("identity", Preconditioner::Identity)]
+        {
+            group.bench_with_input(BenchmarkId::new(name, n), &(&g, &b), |bench, (g, b)| {
+                let op = LaplacianOp::new(g);
+                let opts = CgOptions { preconditioner: precond, ..Default::default() };
+                bench.iter(|| solve_laplacian_simple(&op, b, opts));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_cg_graph_families(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cg_graph_family");
+    let scale_free = barabasi_albert(1024, 3, 2);
+    let mesh = grid(32, 32);
+    for (name, g) in [("scale_free_1024", &scale_free), ("grid_32x32", &mesh)] {
+        let n = g.node_count();
+        let b = pair_rhs(n, 0, n - 1);
+        group.bench_function(name, |bench| {
+            let op = LaplacianOp::new(g);
+            bench.iter(|| solve_laplacian_simple(&op, &b, CgOptions::default()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_dense_pseudoinverse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dense_pseudoinverse");
+    group.sample_size(10);
+    for n in [100usize, 200, 400] {
+        let g = barabasi_albert(n, 3, 5);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |bench, g| {
+            bench.iter(|| laplacian_pseudoinverse(g).expect("connected"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cg_preconditioners,
+    bench_cg_graph_families,
+    bench_dense_pseudoinverse
+);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion benches for the optimization suite (Table III's microscopic
+//! counterpart) plus the `ablation_eval_mode` row from DESIGN.md §5:
+//! Faithful (re-sketch per candidate) vs ShermanMorrison (one CG solve per
+//! candidate) evaluation inside CHMINRECC/MINRECC.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reecc_core::SketchParams;
+use reecc_graph::generators::barabasi_albert;
+use reecc_opt::{
+    cen_min_recc, ch_min_recc, far_min_recc, min_recc, simple_greedy, EvalMode, OptimizeParams,
+    Problem,
+};
+
+fn params() -> OptimizeParams {
+    OptimizeParams {
+        sketch: SketchParams {
+            epsilon: 0.3,
+            dimension_scale: 0.1,
+            seed: 3,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+fn bench_optimizers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimizers_k3");
+    group.sample_size(10);
+    let g = barabasi_albert(300, 3, 13);
+    let p = params();
+    group.bench_function("far_min_recc", |b| {
+        b.iter(|| far_min_recc(&g, 3, 0, &p).expect("runs"));
+    });
+    group.bench_function("cen_min_recc", |b| {
+        b.iter(|| cen_min_recc(&g, 3, 0, &p).expect("runs"));
+    });
+    group.bench_function("ch_min_recc", |b| {
+        b.iter(|| ch_min_recc(&g, 3, 0, &p).expect("runs"));
+    });
+    group.bench_function("min_recc", |b| {
+        b.iter(|| min_recc(&g, 3, 0, &p).expect("runs"));
+    });
+    group.bench_function("simple_greedy_remd", |b| {
+        b.iter(|| simple_greedy(&g, Problem::Remd, 3, 0).expect("runs"));
+    });
+    group.finish();
+}
+
+/// Ablation: candidate evaluation mode. ShermanMorrison should beat
+/// Faithful by roughly the sketch dimension (one solve vs `d` solves per
+/// candidate).
+fn bench_ablation_eval_mode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_eval_mode");
+    group.sample_size(10);
+    let g = barabasi_albert(200, 3, 21);
+    let base = params();
+    for (name, eval) in
+        [("sherman_morrison", EvalMode::ShermanMorrison), ("faithful", EvalMode::Faithful)]
+    {
+        let p = OptimizeParams { eval, hull_budget: Some(8), ..base };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &g, |b, g| {
+            b.iter(|| min_recc(g, 2, 0, &p).expect("runs"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_hull_budget_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_hull_budget");
+    group.sample_size(10);
+    let g = barabasi_albert(300, 3, 17);
+    let base = params();
+    for budget in [8usize, 16, 32] {
+        let p = OptimizeParams { hull_budget: Some(budget), ..base };
+        group.bench_with_input(BenchmarkId::from_parameter(budget), &g, |b, g| {
+            b.iter(|| ch_min_recc(g, 2, 0, &p).expect("runs"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimizers, bench_ablation_eval_mode, bench_hull_budget_sweep);
+criterion_main!(benches);

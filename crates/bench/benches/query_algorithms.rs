@@ -1,0 +1,82 @@
+//! Criterion microbenches for the three query pipelines (Table II's
+//! microscopic counterpart): EXACTQUERY preprocessing + query, APPROXQUERY
+//! and FASTQUERY end-to-end, at several graph sizes.
+//!
+//! Uses `dimension_scale = 0.1` so a bench iteration stays in the
+//! millisecond range; the relative ordering (exact cubic vs sketch
+//! near-linear) is unaffected.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reecc_core::{approx_query, exact_query, fast_query, SketchParams};
+use reecc_datasets::{preprocess, Dataset, Tier};
+use reecc_graph::generators::barabasi_albert;
+use reecc_graph::Graph;
+
+fn params() -> SketchParams {
+    SketchParams { epsilon: 0.3, dimension_scale: 0.1, seed: 42, ..Default::default() }
+}
+
+fn graphs() -> Vec<(usize, Graph)> {
+    [100usize, 200, 400].iter().map(|&n| (n, barabasi_albert(n, 3, 7))).collect()
+}
+
+fn bench_exact_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_query_full_distribution");
+    group.sample_size(10);
+    for (n, g) in graphs() {
+        let q: Vec<usize> = (0..g.node_count()).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| exact_query(g, &q).expect("connected"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_approx_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("approx_query_full_distribution");
+    group.sample_size(10);
+    let p = params();
+    for (n, g) in graphs() {
+        let q: Vec<usize> = (0..g.node_count()).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| approx_query(g, &q, &p).expect("connected"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fast_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fast_query_full_distribution");
+    group.sample_size(10);
+    let p = params();
+    for (n, g) in graphs() {
+        let q: Vec<usize> = (0..g.node_count()).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| fast_query(g, &q, &p).expect("connected"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fast_query_on_analog(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fast_query_dataset_analog");
+    group.sample_size(10);
+    let p = params();
+    for dataset in [Dataset::Politician, Dataset::HepPh] {
+        let g = preprocess(&dataset.synthesize(Tier::Ci));
+        let q: Vec<usize> = (0..g.node_count()).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(dataset.name()), &g, |b, g| {
+            b.iter(|| fast_query(g, &q, &p).expect("connected"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_exact_query,
+    bench_approx_query,
+    bench_fast_query,
+    bench_fast_query_on_analog
+);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Criterion benches / ablations for the APPROXER sketch and APPROXCH
+//! hull (DESIGN.md §5 ablation rows `ablation_sketch_dim` and
+//! `ablation_hull_theta`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reecc_core::{ResistanceSketch, SketchParams};
+use reecc_graph::generators::barabasi_albert;
+use reecc_hull::approxch::{approx_convex_hull, ApproxChOptions};
+
+fn bench_sketch_build_vs_epsilon(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sketch_build_vs_epsilon");
+    group.sample_size(10);
+    let g = barabasi_albert(500, 3, 3);
+    for eps in [0.5f64, 0.3, 0.2] {
+        let p =
+            SketchParams { epsilon: eps, dimension_scale: 0.1, seed: 1, ..Default::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(eps), &g, |b, g| {
+            b.iter(|| ResistanceSketch::build(g, &p).expect("connected"));
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: sketch dimension scale. The paper's constant (scale 1.0) is
+/// conservative; this shows the build-time cost of each scale setting.
+fn bench_ablation_sketch_dim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_sketch_dim");
+    group.sample_size(10);
+    let g = barabasi_albert(400, 3, 9);
+    for scale in [0.05f64, 0.1, 0.25, 0.5] {
+        let p = SketchParams {
+            epsilon: 0.3,
+            dimension_scale: scale,
+            seed: 1,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(scale), &g, |b, g| {
+            b.iter(|| ResistanceSketch::build(g, &p).expect("connected"));
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: hull coverage parameter θ. Looser θ → fewer membership
+/// iterations (the `1/θ²` term of Lemma 5.3) and fewer vertices.
+fn bench_ablation_hull_theta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_hull_theta");
+    group.sample_size(10);
+    let g = barabasi_albert(400, 3, 9);
+    let p = SketchParams { epsilon: 0.3, dimension_scale: 0.1, seed: 1, ..Default::default() };
+    let sketch = ResistanceSketch::build(&g, &p).expect("connected");
+    let points = sketch.point_set();
+    for theta in [0.1f64, 0.05, 0.025] {
+        group.bench_with_input(BenchmarkId::from_parameter(theta), &points, |b, points| {
+            let opts = ApproxChOptions { max_vertices: Some(64), ..Default::default() };
+            b.iter(|| approx_convex_hull(points, theta, opts));
+        });
+    }
+    group.finish();
+}
+
+fn bench_eccentricity_query_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_query_full_vs_hull");
+    let g = barabasi_albert(1000, 3, 4);
+    let p = SketchParams { epsilon: 0.3, dimension_scale: 0.1, seed: 1, ..Default::default() };
+    let sketch = ResistanceSketch::build(&g, &p).expect("connected");
+    let points = sketch.point_set();
+    let hull = approx_convex_hull(
+        &points,
+        0.025,
+        ApproxChOptions { max_vertices: Some(64), ..Default::default() },
+    );
+    group.bench_function("scan_all_nodes", |b| {
+        b.iter(|| sketch.eccentricity(17));
+    });
+    group.bench_function("scan_hull_only", |b| {
+        b.iter(|| sketch.eccentricity_over(17, &hull.vertices));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sketch_build_vs_epsilon,
+    bench_ablation_sketch_dim,
+    bench_ablation_hull_theta,
+    bench_eccentricity_query_modes
+);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Extra experiment: empirical scaling of the query pipelines.
+//!
+//! The paper's complexity claims — EXACTQUERY `O(n³)`, FASTQUERY
+//! `Õ((m + n·l)/ε²)` — imply that doubling `n` should roughly 8× the
+//! exact time but only ~2× the fast time (at fixed average degree).
+//! This harness measures both over a ladder of Barabási–Albert graphs
+//! and prints the per-step growth ratios.
+
+use reecc_bench::{timed, HarnessArgs, Table};
+use reecc_core::{exact_query, fast_query, SketchParams};
+use reecc_graph::generators::barabasi_albert;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let eps = args.epsilons[0];
+    // dim-scale default 0.25 here: the constant does not affect growth
+    // ratios, only absolute times.
+    let params = SketchParams {
+        epsilon: eps,
+        seed: args.seed.unwrap_or(42),
+        dimension_scale: args.dimension_scale.unwrap_or(0.25),
+        ..Default::default()
+    };
+    let sizes = [250usize, 500, 1000, 2000];
+    let mut t =
+        Table::new(["n", "m", "exact(s)", "exact growth", "fast(s)", "fast growth", "l", "d"]);
+    let mut prev: Option<(f64, f64)> = None;
+    for &n in &sizes {
+        let g = barabasi_albert(n, 3, 7);
+        let q: Vec<usize> = (0..n).collect();
+        let (_, exact_secs) = timed(|| exact_query(&g, &q).expect("connected"));
+        let (fast_out, fast_secs) = timed(|| fast_query(&g, &q, &params).expect("connected"));
+        let (eg, fg) = match prev {
+            Some((pe, pf)) => {
+                (format!("x{:.1}", exact_secs / pe), format!("x{:.1}", fast_secs / pf))
+            }
+            None => ("-".into(), "-".into()),
+        };
+        prev = Some((exact_secs, fast_secs));
+        t.row([
+            n.to_string(),
+            g.edge_count().to_string(),
+            format!("{exact_secs:.3}"),
+            eg,
+            format!("{fast_secs:.3}"),
+            fg,
+            fast_out.hull_size().to_string(),
+            fast_out.dimension.to_string(),
+        ]);
+    }
+    println!(
+        "Query scaling on BA(n, 3) graphs, full-distribution queries \
+         (eps = {eps}, dim-scale {}):",
+        args.dimension_scale.unwrap_or(0.25)
+    );
+    t.print();
+    println!(
+        "\nExpected shape: exact growth approaches x8 per doubling (cubic), fast\n\
+         growth stays near x2-x3 per doubling (near-linear build + n*l queries)."
+    );
+}

@@ -1,0 +1,83 @@
+//! Figure 2: resistance eccentricity distribution of the Table-I networks
+//! with a fitted Burr XII probability density.
+//!
+//! For each analog, prints a 20-bin histogram of the exact eccentricity
+//! distribution (ASCII bars), the fitted Burr parameters, the KS
+//! statistic, and the moment summary backing the paper's claims of
+//! asymmetry, right skewness and a heavy tail.
+
+use reecc_bench::{ascii_bar, sketch_params, HarnessArgs, Table};
+use reecc_core::metrics::EccentricityDistribution;
+use reecc_core::{fast_query, ExactResistance};
+use reecc_datasets::{preprocess, Dataset, Tier};
+use reecc_distfit::burr::fit_burr_mle;
+use reecc_distfit::summary::Summary;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    for dataset in Dataset::table1() {
+        if let Some(filter) = &args.dataset {
+            if dataset.name() != filter.as_str() {
+                continue;
+            }
+        }
+        let g = preprocess(&dataset.synthesize(args.tier));
+        let dist: EccentricityDistribution = if args.tier <= Tier::Small {
+            ExactResistance::new(&g).expect("analogs are connected").eccentricity_distribution()
+        } else {
+            let q: Vec<usize> = (0..g.node_count()).collect();
+            let params = sketch_params(&args, args.epsilons[0]);
+            let out = fast_query(&g, &q, &params).expect("analogs are connected");
+            EccentricityDistribution::new(out.results.iter().map(|&(_, c)| c).collect())
+        };
+        println!("== {} (n={}, m={}) ==", dataset.name(), g.node_count(), g.edge_count());
+        let summary = Summary::of(dist.values()).expect("non-empty distribution");
+        println!(
+            "phi={:.3}  R={:.3}  mean={:.3}  skewness={:+.3}  excess kurtosis={:+.3}",
+            dist.radius(),
+            dist.diameter(),
+            summary.mean,
+            summary.skewness,
+            summary.excess_kurtosis
+        );
+
+        let bins = 20usize;
+        let (edges, counts) = dist.histogram(bins);
+        let max_count = counts.iter().copied().max().unwrap_or(1);
+
+        match fit_burr_mle(dist.values()) {
+            Ok(fit) => {
+                let d = fit.distribution;
+                println!(
+                    "Burr XII fit: c={:.3}  k={:.3}  scale={:.3}  logL={:.1}  KS={:.4}",
+                    d.c(),
+                    d.k(),
+                    d.scale(),
+                    fit.log_likelihood,
+                    fit.ks_statistic
+                );
+                let width = if bins > 1 { edges[1] - edges[0] } else { 1.0 };
+                let n = dist.len() as f64;
+                let mut t = Table::new(["c(v) bucket", "nodes", "histogram", "Burr pdf*n*w"]);
+                for (b, (&edge, &count)) in edges.iter().zip(&counts).enumerate() {
+                    let mid = edge + width / 2.0;
+                    let model = d.pdf(mid) * n * width;
+                    t.row([
+                        format!("[{:.2}, {:.2})", edge, edge + width),
+                        count.to_string(),
+                        ascii_bar(count, max_count, 40),
+                        format!("{model:.1}"),
+                    ]);
+                    let _ = b;
+                }
+                t.print();
+            }
+            Err(e) => println!("Burr fit failed: {e}"),
+        }
+        println!();
+    }
+    println!(
+        "Expected shape (paper Fig. 2): unimodal bulk just above phi, sharp decay,\n\
+         long right tail reaching R -> positive skewness, Burr pdf tracking the bars."
+    );
+}

@@ -1,0 +1,88 @@
+//! Table I: dataset statistics and their resistance radii / diameters.
+//!
+//! For each of the four Table-I analogs (Politician, Musae-FR, Government,
+//! HepPh) print: `n`, `m`, average degree, power-law exponent `γ`,
+//! resistance radius `φ` and resistance diameter `R` of the LCC —
+//! alongside the values the paper reports for the original datasets.
+//!
+//! `φ` and `R` are computed exactly (dense pseudoinverse) on the `ci` and
+//! `small` tiers; larger tiers switch to FASTQUERY estimates.
+
+use reecc_bench::{sketch_params, timed, HarnessArgs, Table};
+use reecc_core::metrics::EccentricityDistribution;
+use reecc_core::{fast_query, ExactResistance};
+use reecc_datasets::{preprocess, Dataset, Tier};
+use reecc_graph::stats::power_law_fit;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    // Paper values for the original datasets (Table I).
+    let paper: &[(&str, f64, f64, f64)] = &[
+        ("politician", 3.29, 4.04, 7.67),
+        ("musae-fr", 2.64, 2.07, 4.13),
+        ("government", 2.85, 3.11, 6.21),
+        ("hepph", 2.09, 3.42, 6.75),
+    ];
+    let mut t = Table::new([
+        "network",
+        "n",
+        "m",
+        "d_avg",
+        "gamma",
+        "phi",
+        "R",
+        "paper gamma",
+        "paper phi",
+        "paper R",
+        "secs",
+    ]);
+    for dataset in Dataset::table1() {
+        if let Some(filter) = &args.dataset {
+            if dataset.name() != filter.as_str() {
+                continue;
+            }
+        }
+        let g = preprocess(&dataset.synthesize(args.tier));
+        let gamma = power_law_fit(&g).map(|(g, _)| g).unwrap_or(f64::NAN);
+        let (dist, secs): (EccentricityDistribution, f64) = if args.tier <= Tier::Small {
+            timed(|| {
+                ExactResistance::new(&g)
+                    .expect("analogs are connected")
+                    .eccentricity_distribution()
+            })
+        } else {
+            timed(|| {
+                let q: Vec<usize> = (0..g.node_count()).collect();
+                let params = sketch_params(&args, args.epsilons[0]);
+                let out = fast_query(&g, &q, &params).expect("analogs are connected");
+                EccentricityDistribution::new(out.results.iter().map(|&(_, c)| c).collect())
+            })
+        };
+        let row_paper = paper
+            .iter()
+            .find(|(name, ..)| *name == dataset.name())
+            .expect("table1 datasets have paper rows");
+        t.row([
+            dataset.name().to_string(),
+            g.node_count().to_string(),
+            g.edge_count().to_string(),
+            format!("{:.2}", g.average_degree()),
+            format!("{gamma:.2}"),
+            format!("{:.2}", dist.radius()),
+            format!("{:.2}", dist.diameter()),
+            format!("{:.2}", row_paper.1),
+            format!("{:.2}", row_paper.2),
+            format!("{:.2}", row_paper.3),
+            format!("{secs:.2}"),
+        ]);
+    }
+    println!(
+        "Table I analog statistics (tier {:?}; paper columns refer to the original datasets)",
+        args.tier
+    );
+    t.print();
+    println!(
+        "\nExpected shape: phi and R are close to each other and both small;\n\
+         gamma in the scale-free 2-3.5 range."
+    );
+}

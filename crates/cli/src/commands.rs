@@ -1,0 +1,379 @@
+//! Command execution: each subcommand renders its report into a `String`
+//! so the whole surface is unit-testable without capturing stdout.
+
+use std::fmt::Write as _;
+
+use reecc_core::{approx_query, exact_query, fast_query, SketchParams};
+use reecc_datasets::{preprocess, Dataset, Tier};
+use reecc_distfit::burr::fit_burr_mle;
+use reecc_distfit::summary::Summary;
+use reecc_graph::generators::{
+    barabasi_albert, connected_erdos_renyi, holme_kim, power_law_configuration, watts_strogatz,
+};
+use reecc_graph::stats::power_law_fit;
+use reecc_graph::Graph;
+use reecc_opt::{
+    cen_min_recc, ch_min_recc, exact_trajectory, far_min_recc, min_recc, simple_greedy,
+    OptimizeParams, Problem,
+};
+
+use crate::parse::{parse_command, Algorithm, Command, Model, QueryMethod};
+use crate::{CliError, USAGE};
+
+/// Parse and execute an argv (without the binary name), returning the
+/// rendered report.
+///
+/// # Errors
+///
+/// Every failure is a typed [`CliError`] with a user-facing message.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    match parse_command(args)? {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Analyze { path, eps } => analyze(&path, eps),
+        Command::Query { path, nodes, method, eps } => query(&path, &nodes, method, eps),
+        Command::Optimize { path, source, k, algorithm, eps } => {
+            optimize(&path, source, k, algorithm, eps)
+        }
+        Command::Generate { model, n, param, seed, dataset, out } => {
+            generate(model, n, param, seed, dataset.as_deref(), out.as_deref())
+        }
+    }
+}
+
+fn load_graph(path: &str) -> Result<Graph, CliError> {
+    let file = std::fs::File::open(path)
+        .map_err(|e| CliError::Io(format!("cannot open {path}: {e}")))?;
+    let (g, _) = reecc_graph::io::read_edge_list(std::io::BufReader::new(file))
+        .map_err(|e| CliError::Graph(format!("cannot parse {path}: {e}")))?;
+    if g.node_count() == 0 {
+        return Err(CliError::Graph(format!("{path} contains no edges")));
+    }
+    Ok(preprocess(&g))
+}
+
+fn sketch_params(eps: f64) -> SketchParams {
+    SketchParams { epsilon: eps, ..Default::default() }
+}
+
+fn analyze(path: &str, eps: f64) -> Result<String, CliError> {
+    let g = load_graph(path)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "LCC: n = {}, m = {}, avg degree = {:.2}",
+        g.node_count(),
+        g.edge_count(),
+        g.average_degree()
+    );
+    if let Some((gamma, d_min)) = power_law_fit(&g) {
+        let _ = writeln!(out, "power-law exponent gamma = {gamma:.2} (d_min = {d_min})");
+    }
+    let (dist, diag) = reecc_core::fast_query_distribution(&g, &sketch_params(eps))
+        .map_err(|e| CliError::Compute(e.to_string()))?;
+    let _ = writeln!(
+        out,
+        "FASTQUERY (eps = {eps}): sketch d = {}, hull l = {}",
+        diag.dimension,
+        diag.hull_size()
+    );
+    let _ = writeln!(
+        out,
+        "resistance radius phi = {:.4}, diameter R = {:.4}, |center| = {}",
+        dist.radius(),
+        dist.diameter(),
+        dist.center(1e-6).len()
+    );
+    if let Some(s) = Summary::of(dist.values()) {
+        let _ = writeln!(
+            out,
+            "distribution: mean = {:.4}, skewness = {:+.3}, excess kurtosis = {:+.3}",
+            s.mean, s.skewness, s.excess_kurtosis
+        );
+    }
+    match fit_burr_mle(dist.values()) {
+        Ok(fit) => {
+            let d = fit.distribution;
+            let _ = writeln!(
+                out,
+                "Burr XII fit: c = {:.3}, k = {:.3}, scale = {:.3} (KS = {:.4})",
+                d.c(),
+                d.k(),
+                d.scale(),
+                fit.ks_statistic
+            );
+        }
+        Err(e) => {
+            let _ = writeln!(out, "Burr fit failed: {e}");
+        }
+    }
+    Ok(out)
+}
+
+fn query(
+    path: &str,
+    nodes: &[usize],
+    method: QueryMethod,
+    eps: f64,
+) -> Result<String, CliError> {
+    let g = load_graph(path)?;
+    for &v in nodes {
+        if v >= g.node_count() {
+            return Err(CliError::Usage(format!(
+                "node {v} out of range (LCC has {} nodes)",
+                g.node_count()
+            )));
+        }
+    }
+    let results: Vec<(usize, f64)> = match method {
+        QueryMethod::Exact => {
+            exact_query(&g, nodes).map_err(|e| CliError::Compute(e.to_string()))?
+        }
+        QueryMethod::Approx => approx_query(&g, nodes, &sketch_params(eps))
+            .map_err(|e| CliError::Compute(e.to_string()))?,
+        QueryMethod::Fast => {
+            fast_query(&g, nodes, &sketch_params(eps))
+                .map_err(|e| CliError::Compute(e.to_string()))?
+                .results
+        }
+    };
+    let mut out = String::new();
+    let label = match method {
+        QueryMethod::Exact => "exact",
+        QueryMethod::Approx => "approx",
+        QueryMethod::Fast => "fast",
+    };
+    let _ = writeln!(out, "method = {label}, eps = {eps}");
+    for (node, c) in results {
+        let _ = writeln!(out, "c({node}) = {c:.6}");
+    }
+    Ok(out)
+}
+
+fn optimize(
+    path: &str,
+    source: usize,
+    k: usize,
+    algorithm: Algorithm,
+    eps: f64,
+) -> Result<String, CliError> {
+    let g = load_graph(path)?;
+    if source >= g.node_count() {
+        return Err(CliError::Usage(format!(
+            "source {source} out of range (LCC has {} nodes)",
+            g.node_count()
+        )));
+    }
+    let params = OptimizeParams { sketch: sketch_params(eps), ..Default::default() };
+    let compute = |e: reecc_opt::OptError| CliError::Compute(e.to_string());
+    let (name, plan) = match algorithm {
+        Algorithm::Simple { rem } => {
+            let problem = if rem { Problem::Rem } else { Problem::Remd };
+            ("SIMPLE", simple_greedy(&g, problem, k, source).map_err(compute)?)
+        }
+        Algorithm::Far => {
+            ("FARMINRECC", far_min_recc(&g, k, source, &params).map_err(compute)?)
+        }
+        Algorithm::Cen => {
+            ("CENMINRECC", cen_min_recc(&g, k, source, &params).map_err(compute)?)
+        }
+        Algorithm::Ch => ("CHMINRECC", ch_min_recc(&g, k, source, &params).map_err(compute)?),
+        Algorithm::MinRecc => ("MINRECC", min_recc(&g, k, source, &params).map_err(compute)?),
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "{name}: {} edge(s) selected for source {source}", plan.len());
+    for (i, e) in plan.iter().enumerate() {
+        let _ = writeln!(out, "  {}. add ({}, {})", i + 1, e.u, e.v);
+    }
+    // Trajectory: exact when the dense pseudoinverse fits, sketched
+    // otherwise.
+    if g.node_count() <= 4_000 {
+        let traj = exact_trajectory(&g, source, &plan).map_err(compute)?;
+        let _ = writeln!(out, "c({source}) trajectory (exact):");
+        for (i, c) in traj.iter().enumerate() {
+            let _ = writeln!(out, "  k={i}: {c:.6}");
+        }
+    } else {
+        let before = reecc_core::approx_recc(&g, source, &sketch_params(eps))
+            .map_err(|e| CliError::Compute(e.to_string()))?;
+        let augmented = plan
+            .iter()
+            .try_fold(g.clone(), |acc, &e| acc.with_edge(e))
+            .map_err(|e| CliError::Graph(e.to_string()))?;
+        let after = reecc_core::approx_recc(&augmented, source, &sketch_params(eps))
+            .map_err(|e| CliError::Compute(e.to_string()))?;
+        let _ = writeln!(out, "c({source}) ~ {before:.6} -> {after:.6} (sketched)");
+    }
+    Ok(out)
+}
+
+fn generate(
+    model: Model,
+    n: usize,
+    param: f64,
+    seed: u64,
+    dataset: Option<&str>,
+    out_path: Option<&str>,
+) -> Result<String, CliError> {
+    let g = match model {
+        Model::Ba => {
+            let m = (param as usize).max(1);
+            if n <= m {
+                return Err(CliError::Usage(format!("ba needs n > param ({n} <= {m})")));
+            }
+            barabasi_albert(n, m, seed)
+        }
+        Model::Hk => {
+            let m = (param as usize).max(1);
+            if n <= m {
+                return Err(CliError::Usage(format!("hk needs n > param ({n} <= {m})")));
+            }
+            holme_kim(n, m, 0.6, seed)
+        }
+        Model::Ws => {
+            let kk = (param as usize).max(1);
+            if n <= 2 * kk {
+                return Err(CliError::Usage(format!(
+                    "ws needs n > 2*param ({n} <= {})",
+                    2 * kk
+                )));
+            }
+            watts_strogatz(n, kk, 0.1, seed)
+        }
+        Model::Er => {
+            if !(0.0..=1.0).contains(&param) {
+                return Err(CliError::Usage("er --param must be a probability".into()));
+            }
+            connected_erdos_renyi(n.max(1), param, seed)
+        }
+        Model::PowerLaw => {
+            if param <= 1.0 {
+                return Err(CliError::Usage("powerlaw --param (gamma) must exceed 1".into()));
+            }
+            let d_max = ((n as f64).sqrt() as usize).clamp(2, n.saturating_sub(1).max(2));
+            power_law_configuration(n, param, 2, d_max, seed)
+        }
+        Model::DatasetAnalog => {
+            let name = dataset.ok_or_else(|| {
+                CliError::Usage("--model dataset needs --dataset NAME".into())
+            })?;
+            let d = Dataset::by_name(name).ok_or_else(|| {
+                let names: Vec<&str> = Dataset::all().iter().map(|d| d.name()).collect();
+                CliError::Usage(format!(
+                    "unknown dataset {name:?}; known: {}",
+                    names.join(", ")
+                ))
+            })?;
+            d.synthesize(Tier::Ci)
+        }
+    };
+    let mut buf = Vec::new();
+    reecc_graph::io::write_edge_list(&g, &mut buf).map_err(|e| CliError::Io(e.to_string()))?;
+    let text = String::from_utf8(buf).expect("edge list is ascii");
+    match out_path {
+        Some(path) => {
+            std::fs::write(path, &text)
+                .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
+            Ok(format!("wrote n = {}, m = {} to {path}\n", g.node_count(), g.edge_count()))
+        }
+        None => Ok(text),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_str(args: &[&str]) -> Result<String, CliError> {
+        run(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    fn temp_graph() -> String {
+        let dir = std::env::temp_dir().join(format!("reecc-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.txt");
+        let g = barabasi_albert(60, 2, 9);
+        let mut buf = Vec::new();
+        reecc_graph::io::write_edge_list(&g, &mut buf).unwrap();
+        std::fs::write(&path, buf).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run_str(&[]).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn analyze_runs_end_to_end() {
+        let path = temp_graph();
+        let out = run_str(&["analyze", &path, "--eps", "0.4"]).unwrap();
+        assert!(out.contains("LCC: n = 60"), "{out}");
+        assert!(out.contains("resistance radius"), "{out}");
+    }
+
+    #[test]
+    fn query_methods_agree_roughly() {
+        let path = temp_graph();
+        let exact = run_str(&["query", &path, "--nodes", "0,5", "--method", "exact"]).unwrap();
+        let fast = run_str(&["query", &path, "--nodes", "0,5", "--method", "fast"]).unwrap();
+        let pick = |s: &str| -> f64 {
+            s.lines()
+                .find(|l| l.starts_with("c(0)"))
+                .and_then(|l| l.split(" = ").nth(1))
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+        let (e, f) = (pick(&exact), pick(&fast));
+        assert!((e - f).abs() <= 0.3 * e, "exact {e} vs fast {f}");
+    }
+
+    #[test]
+    fn optimize_reports_decreasing_trajectory() {
+        let path = temp_graph();
+        let out =
+            run_str(&["optimize", &path, "--source", "0", "--k", "2", "--algorithm", "far"])
+                .unwrap();
+        assert!(out.contains("FARMINRECC"), "{out}");
+        assert!(out.contains("k=2:"), "{out}");
+    }
+
+    #[test]
+    fn generate_roundtrips_through_analyze() {
+        let dir = std::env::temp_dir().join(format!("reecc-cli-gen-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("gen.txt").to_string_lossy().into_owned();
+        let msg = run_str(&[
+            "generate", "--model", "ba", "--n", "80", "--param", "2", "--out", &path,
+        ])
+        .unwrap();
+        assert!(msg.contains("wrote n = 80"), "{msg}");
+        let out = run_str(&["query", &path, "--nodes", "0", "--method", "exact"]).unwrap();
+        assert!(out.contains("c(0) = "), "{out}");
+    }
+
+    #[test]
+    fn generate_dataset_analog() {
+        let out = run_str(&["generate", "--model", "dataset", "--dataset", "tribes"]).unwrap();
+        assert!(out.starts_with("# nodes 16"), "{out}");
+    }
+
+    #[test]
+    fn errors_are_user_facing() {
+        assert!(matches!(run_str(&["analyze", "/no/such/file"]), Err(CliError::Io(_))));
+        let path = temp_graph();
+        assert!(matches!(
+            run_str(&["query", &path, "--nodes", "9999"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_str(&["generate", "--model", "dataset"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_str(&["generate", "--model", "dataset", "--dataset", "nope"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+}

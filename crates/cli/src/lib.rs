@@ -1,0 +1,61 @@
+#![warn(missing_docs)]
+//! # reecc-cli
+//!
+//! The `reecc` command-line tool: resistance-eccentricity analysis for
+//! edge-list files without writing any Rust.
+//!
+//! ```console
+//! $ reecc analyze graph.txt
+//! $ reecc query graph.txt --nodes 0,17,42 --method fast --eps 0.3
+//! $ reecc optimize graph.txt --source 0 --k 5 --algorithm minrecc
+//! $ reecc generate --model ba --n 1000 --param 3 --out graph.txt
+//! ```
+//!
+//! All logic lives in this library crate ([`run`]) so the command surface
+//! is unit-testable; `main.rs` is a thin shim.
+
+pub mod commands;
+pub mod parse;
+
+pub use commands::run;
+
+/// CLI errors, rendered to stderr by the binary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CliError {
+    /// Bad flags / arguments; carries a usage-oriented message.
+    Usage(String),
+    /// Underlying I/O failure.
+    Io(String),
+    /// Graph loading / validation failure.
+    Graph(String),
+    /// Computation failure.
+    Compute(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage error: {m}"),
+            CliError::Io(m) => write!(f, "i/o error: {m}"),
+            CliError::Graph(m) => write!(f, "graph error: {m}"),
+            CliError::Compute(m) => write!(f, "computation error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// The top-level usage text.
+pub const USAGE: &str = "\
+reecc — resistance eccentricity toolkit
+
+USAGE:
+  reecc analyze  <edges.txt> [--eps X]
+  reecc query    <edges.txt> --nodes A,B,C [--method exact|approx|fast] [--eps X]
+  reecc optimize <edges.txt> --source S --k N
+                 [--algorithm simple|far|cen|ch|minrecc] [--problem remd|rem] [--eps X]
+  reecc generate --model ba|hk|ws|er|powerlaw|dataset --n N [--param P] [--seed S]
+                 [--dataset NAME] [--out FILE]
+
+Edge-list format: one `u v` pair per line; `#`/`%` comments; ids remapped densely.
+";

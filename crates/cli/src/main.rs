@@ -1,0 +1,14 @@
+//! The `reecc` binary: a thin shim around [`reecc_cli::run`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match reecc_cli::run(&args) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!();
+            eprintln!("{}", reecc_cli::USAGE);
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,407 @@
+//! Flag parsing for the `reecc` subcommands.
+
+use crate::CliError;
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `reecc analyze <file> [--eps X]`
+    Analyze {
+        /// Edge-list path.
+        path: String,
+        /// Sketch epsilon.
+        eps: f64,
+    },
+    /// `reecc query <file> --nodes A,B,C [--method M] [--eps X]`
+    Query {
+        /// Edge-list path.
+        path: String,
+        /// Query node ids (dense ids after remapping).
+        nodes: Vec<usize>,
+        /// `exact`, `approx` or `fast`.
+        method: QueryMethod,
+        /// Sketch epsilon.
+        eps: f64,
+    },
+    /// `reecc optimize <file> --source S --k N [...]`
+    Optimize {
+        /// Edge-list path.
+        path: String,
+        /// Source node.
+        source: usize,
+        /// Edge budget.
+        k: usize,
+        /// Which algorithm.
+        algorithm: Algorithm,
+        /// Sketch epsilon.
+        eps: f64,
+    },
+    /// `reecc generate --model M --n N [...]`
+    Generate {
+        /// Generator model.
+        model: Model,
+        /// Node count (ignored for `dataset`).
+        n: usize,
+        /// Model parameter (attachment count / rewiring base / etc.).
+        param: f64,
+        /// RNG seed.
+        seed: u64,
+        /// Dataset name for `--model dataset`.
+        dataset: Option<String>,
+        /// Output path; stdout when absent.
+        out: Option<String>,
+    },
+    /// `reecc help` / `--help`.
+    Help,
+}
+
+/// Query pipeline selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryMethod {
+    /// Dense pseudoinverse (EXACTQUERY).
+    Exact,
+    /// Sketch, full scan (APPROXQUERY).
+    Approx,
+    /// Sketch + hull (FASTQUERY).
+    Fast,
+}
+
+/// Optimization algorithm selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Exact greedy (SIMPLE); needs `--problem`.
+    Simple {
+        /// REMD or REM candidate set.
+        rem: bool,
+    },
+    /// FARMINRECC (REMD).
+    Far,
+    /// CENMINRECC (REMD).
+    Cen,
+    /// CHMINRECC (REM).
+    Ch,
+    /// MINRECC (REM).
+    MinRecc,
+}
+
+/// Generator model selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Model {
+    /// Barabási–Albert; `--param` = attachment count.
+    Ba,
+    /// Holme–Kim; `--param` = attachment count (triad prob fixed 0.6).
+    Hk,
+    /// Watts–Strogatz; `--param` = neighbors per side (β fixed 0.1).
+    Ws,
+    /// Erdős–Rényi (connected); `--param` = edge probability.
+    Er,
+    /// Power-law configuration model; `--param` = exponent γ.
+    PowerLaw,
+    /// A named dataset analog (see `reecc-datasets`).
+    DatasetAnalog,
+}
+
+struct Flags {
+    pairs: Vec<(String, String)>,
+    positional: Vec<String>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Flags, CliError> {
+        let mut pairs = Vec::new();
+        let mut positional = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                if name == "help" {
+                    pairs.push(("help".to_string(), String::new()));
+                    continue;
+                }
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage(format!("flag --{name} needs a value")))?;
+                pairs.push((name.to_string(), value.clone()));
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Ok(Flags { pairs, positional })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.pairs.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.pairs.iter().any(|(n, _)| n == name)
+    }
+
+    fn reject_unknown(&self, allowed: &[&str]) -> Result<(), CliError> {
+        for (n, _) in &self.pairs {
+            if !allowed.contains(&n.as_str()) && n != "help" {
+                return Err(CliError::Usage(format!("unknown flag --{n}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn parse_eps(flags: &Flags) -> Result<f64, CliError> {
+    match flags.get("eps") {
+        None => Ok(0.3),
+        Some(v) => {
+            let eps: f64 =
+                v.parse().map_err(|_| CliError::Usage(format!("bad --eps value {v:?}")))?;
+            if !(0.0..1.0).contains(&eps) || eps == 0.0 {
+                return Err(CliError::Usage("--eps must be in (0, 1)".to_string()));
+            }
+            Ok(eps)
+        }
+    }
+}
+
+fn parse_usize(flags: &Flags, name: &str) -> Result<Option<usize>, CliError> {
+    flags
+        .get(name)
+        .map(|v| {
+            v.parse::<usize>().map_err(|_| CliError::Usage(format!("bad --{name} value {v:?}")))
+        })
+        .transpose()
+}
+
+/// Parse a full argv (excluding the binary name) into a [`Command`].
+///
+/// # Errors
+///
+/// [`CliError::Usage`] with a targeted message for every malformed input.
+pub fn parse_command(args: &[String]) -> Result<Command, CliError> {
+    let Some(sub) = args.first() else {
+        return Ok(Command::Help);
+    };
+    let rest = &args[1..];
+    match sub.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "analyze" => {
+            let flags = Flags::parse(rest)?;
+            flags.reject_unknown(&["eps"])?;
+            if flags.has("help") {
+                return Ok(Command::Help);
+            }
+            let path = flags
+                .positional
+                .first()
+                .ok_or_else(|| CliError::Usage("analyze needs an edge-list path".into()))?
+                .clone();
+            Ok(Command::Analyze { path, eps: parse_eps(&flags)? })
+        }
+        "query" => {
+            let flags = Flags::parse(rest)?;
+            flags.reject_unknown(&["nodes", "method", "eps"])?;
+            if flags.has("help") {
+                return Ok(Command::Help);
+            }
+            let path = flags
+                .positional
+                .first()
+                .ok_or_else(|| CliError::Usage("query needs an edge-list path".into()))?
+                .clone();
+            let nodes_raw = flags
+                .get("nodes")
+                .ok_or_else(|| CliError::Usage("query needs --nodes A,B,C".into()))?;
+            let nodes: Result<Vec<usize>, _> =
+                nodes_raw.split(',').map(|t| t.trim().parse::<usize>()).collect();
+            let nodes = nodes
+                .map_err(|_| CliError::Usage(format!("bad --nodes list {nodes_raw:?}")))?;
+            if nodes.is_empty() {
+                return Err(CliError::Usage("--nodes list is empty".into()));
+            }
+            let method = match flags.get("method").unwrap_or("fast") {
+                "exact" => QueryMethod::Exact,
+                "approx" => QueryMethod::Approx,
+                "fast" => QueryMethod::Fast,
+                other => {
+                    return Err(CliError::Usage(format!("unknown --method {other:?}")));
+                }
+            };
+            Ok(Command::Query { path, nodes, method, eps: parse_eps(&flags)? })
+        }
+        "optimize" => {
+            let flags = Flags::parse(rest)?;
+            flags.reject_unknown(&["source", "k", "algorithm", "problem", "eps"])?;
+            if flags.has("help") {
+                return Ok(Command::Help);
+            }
+            let path = flags
+                .positional
+                .first()
+                .ok_or_else(|| CliError::Usage("optimize needs an edge-list path".into()))?
+                .clone();
+            let source = parse_usize(&flags, "source")?
+                .ok_or_else(|| CliError::Usage("optimize needs --source".into()))?;
+            let k = parse_usize(&flags, "k")?
+                .ok_or_else(|| CliError::Usage("optimize needs --k".into()))?;
+            let rem = match flags.get("problem").unwrap_or("rem") {
+                "rem" => true,
+                "remd" => false,
+                other => {
+                    return Err(CliError::Usage(format!("unknown --problem {other:?}")));
+                }
+            };
+            let algorithm = match flags.get("algorithm").unwrap_or("minrecc") {
+                "simple" => Algorithm::Simple { rem },
+                "far" => Algorithm::Far,
+                "cen" => Algorithm::Cen,
+                "ch" => Algorithm::Ch,
+                "minrecc" | "min" => Algorithm::MinRecc,
+                other => {
+                    return Err(CliError::Usage(format!("unknown --algorithm {other:?}")));
+                }
+            };
+            Ok(Command::Optimize { path, source, k, algorithm, eps: parse_eps(&flags)? })
+        }
+        "generate" => {
+            let flags = Flags::parse(rest)?;
+            flags.reject_unknown(&["model", "n", "param", "seed", "dataset", "out"])?;
+            if flags.has("help") {
+                return Ok(Command::Help);
+            }
+            let model = match flags.get("model").unwrap_or("ba") {
+                "ba" => Model::Ba,
+                "hk" => Model::Hk,
+                "ws" => Model::Ws,
+                "er" => Model::Er,
+                "powerlaw" => Model::PowerLaw,
+                "dataset" => Model::DatasetAnalog,
+                other => return Err(CliError::Usage(format!("unknown --model {other:?}"))),
+            };
+            let n = parse_usize(&flags, "n")?.unwrap_or(1000);
+            let param: f64 = match flags.get("param") {
+                None => match model {
+                    Model::Er => 0.01,
+                    Model::PowerLaw => 2.5,
+                    _ => 3.0,
+                },
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad --param value {v:?}")))?,
+            };
+            let seed: u64 = match flags.get("seed") {
+                None => 42,
+                Some(v) => {
+                    v.parse().map_err(|_| CliError::Usage(format!("bad --seed value {v:?}")))?
+                }
+            };
+            Ok(Command::Generate {
+                model,
+                n,
+                param,
+                seed,
+                dataset: flags.get("dataset").map(|s| s.to_string()),
+                out: flags.get("out").map(|s| s.to_string()),
+            })
+        }
+        other => Err(CliError::Usage(format!("unknown subcommand {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Command, CliError> {
+        parse_command(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn empty_and_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&["help"]).unwrap(), Command::Help);
+        assert_eq!(parse(&["--help"]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn analyze_defaults() {
+        let cmd = parse(&["analyze", "g.txt"]).unwrap();
+        assert_eq!(cmd, Command::Analyze { path: "g.txt".into(), eps: 0.3 });
+    }
+
+    #[test]
+    fn analyze_with_eps() {
+        let cmd = parse(&["analyze", "g.txt", "--eps", "0.2"]).unwrap();
+        assert!(matches!(cmd, Command::Analyze { eps, .. } if (eps - 0.2).abs() < 1e-12));
+    }
+
+    #[test]
+    fn query_full() {
+        let cmd = parse(&["query", "g.txt", "--nodes", "1,2,3", "--method", "exact"]).unwrap();
+        match cmd {
+            Command::Query { nodes, method, .. } => {
+                assert_eq!(nodes, vec![1, 2, 3]);
+                assert_eq!(method, QueryMethod::Exact);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn optimize_full() {
+        let cmd = parse(&[
+            "optimize",
+            "g.txt",
+            "--source",
+            "4",
+            "--k",
+            "3",
+            "--algorithm",
+            "simple",
+            "--problem",
+            "remd",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Optimize { source, k, algorithm, .. } => {
+                assert_eq!(source, 4);
+                assert_eq!(k, 3);
+                assert_eq!(algorithm, Algorithm::Simple { rem: false });
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn generate_variants() {
+        let cmd = parse(&["generate", "--model", "powerlaw", "--n", "500", "--param", "2.7"])
+            .unwrap();
+        match cmd {
+            Command::Generate { model, n, param, .. } => {
+                assert_eq!(model, Model::PowerLaw);
+                assert_eq!(n, 500);
+                assert!((param - 2.7).abs() < 1e-12);
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd =
+            parse(&["generate", "--model", "dataset", "--dataset", "politician"]).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Generate { model: Model::DatasetAnalog, dataset: Some(_), .. }
+        ));
+    }
+
+    #[test]
+    fn usage_errors_are_specific() {
+        assert!(matches!(parse(&["analyze"]), Err(CliError::Usage(_))));
+        assert!(matches!(parse(&["query", "g.txt"]), Err(CliError::Usage(_))));
+        assert!(matches!(parse(&["query", "g.txt", "--nodes", "x"]), Err(CliError::Usage(_))));
+        assert!(matches!(parse(&["optimize", "g.txt", "--k", "3"]), Err(CliError::Usage(_))));
+        assert!(matches!(parse(&["frobnicate"]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse(&["analyze", "g.txt", "--eps", "2.0"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&["analyze", "g.txt", "--bogus", "1"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+}

@@ -1,0 +1,235 @@
+//! A reusable query engine: build the sketch and hull once, answer many
+//! eccentricity queries cheaply.
+//!
+//! The free functions in [`crate::query`] rebuild the sketch per call —
+//! right for one-shot experiments, wasteful for services. `QueryEngine`
+//! is the long-lived counterpart a downstream application holds on to:
+//!
+//! ```
+//! use reecc_graph::generators::barabasi_albert;
+//! use reecc_core::engine::QueryEngine;
+//! use reecc_core::SketchParams;
+//!
+//! let g = barabasi_albert(500, 3, 7);
+//! let engine = QueryEngine::build(&g, &SketchParams::with_epsilon(0.3)).unwrap();
+//! let a = engine.eccentricity(0);
+//! let b = engine.eccentricity(499);
+//! assert!(a.value > 0.0 && b.value > 0.0);
+//! // Pairwise resistance estimates come for free from the same sketch.
+//! assert!(engine.resistance(0, 499) > 0.0);
+//! ```
+//!
+//! The engine also supports *edge-addition what-ifs* via the
+//! Sherman–Morrison machinery — one CG solve per hypothetical edge, no
+//! rebuild — which is exactly the inner loop of the optimizers.
+
+use reecc_graph::{Edge, Graph};
+use reecc_hull::approxch::{approx_convex_hull, ApproxChOptions};
+use reecc_linalg::cg::CgWorkspace;
+
+use crate::query::default_hull_budget;
+use crate::sketch::{ResistanceSketch, SketchParams};
+use crate::update::{solve_edge_potentials, updated_eccentricity};
+use crate::CoreError;
+
+/// One eccentricity answer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EccentricityAnswer {
+    /// The estimated eccentricity `ĉ(v)`.
+    pub value: f64,
+    /// The (estimated) farthest node realizing it.
+    pub farthest: usize,
+}
+
+/// A built sketch + hull pair answering repeated queries.
+#[derive(Debug, Clone)]
+pub struct QueryEngine {
+    graph: Graph,
+    sketch: ResistanceSketch,
+    hull: Vec<usize>,
+    params: SketchParams,
+}
+
+impl QueryEngine {
+    /// Build from a connected graph with the default hull budget.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sketch construction failures.
+    pub fn build(g: &Graph, params: &SketchParams) -> Result<Self, CoreError> {
+        Self::build_with_hull_options(
+            g,
+            params,
+            ApproxChOptions {
+                max_vertices: Some(default_hull_budget(g.node_count())),
+                ..ApproxChOptions::default()
+            },
+        )
+    }
+
+    /// Build with explicit hull options (e.g. the unbudgeted faithful
+    /// coverage mode).
+    ///
+    /// # Errors
+    ///
+    /// Propagates sketch construction failures.
+    pub fn build_with_hull_options(
+        g: &Graph,
+        params: &SketchParams,
+        hull_opts: ApproxChOptions,
+    ) -> Result<Self, CoreError> {
+        let sketch = ResistanceSketch::build(g, params)?;
+        let theta = (params.epsilon / 12.0).clamp(1e-6, 0.999);
+        let hull = approx_convex_hull(&sketch.point_set(), theta, hull_opts).vertices;
+        Ok(QueryEngine { graph: g.clone(), sketch, hull, params: *params })
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The sketch (for callers that need raw embeddings).
+    pub fn sketch(&self) -> &ResistanceSketch {
+        &self.sketch
+    }
+
+    /// Hull boundary size `l`.
+    pub fn hull_size(&self) -> usize {
+        self.hull.len()
+    }
+
+    /// FASTQUERY-style eccentricity of `v`: max over the hull boundary,
+    /// `O(l·d)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn eccentricity(&self, v: usize) -> EccentricityAnswer {
+        let (value, farthest) = self.sketch.eccentricity_over(v, &self.hull);
+        EccentricityAnswer { value, farthest }
+    }
+
+    /// APPROXQUERY-style eccentricity (full scan, `O(n·d)`), for callers
+    /// that want the hull bypassed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn eccentricity_full_scan(&self, v: usize) -> EccentricityAnswer {
+        let (value, farthest) = self.sketch.eccentricity(v);
+        EccentricityAnswer { value, farthest }
+    }
+
+    /// Sketched pairwise resistance, `O(d)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an id is out of range.
+    pub fn resistance(&self, u: usize, v: usize) -> f64 {
+        self.sketch.resistance(u, v)
+    }
+
+    /// What-if: the estimated eccentricity of `s` after hypothetically
+    /// adding `edge`, via one CG solve on the current graph (the engine is
+    /// not modified).
+    ///
+    /// # Panics
+    ///
+    /// Panics if ids are out of range.
+    pub fn eccentricity_after_edge(&self, s: usize, edge: Edge) -> EccentricityAnswer {
+        let mut ws = CgWorkspace::new(self.graph.node_count());
+        let (w, r_uv) = solve_edge_potentials(&self.graph, edge, self.params.cg, &mut ws);
+        let base = self.sketch.resistances_from(s);
+        let (value, farthest) = updated_eccentricity(&base, &w, r_uv, s);
+        EccentricityAnswer { value, farthest }
+    }
+
+    /// Commit an edge: add it to the graph and rebuild the sketch and
+    /// hull. `Õ(m·d)` — use [`Self::eccentricity_after_edge`] for cheap
+    /// what-ifs and commit only accepted edges.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph/sketch failures.
+    pub fn commit_edge(&mut self, edge: Edge) -> Result<(), CoreError> {
+        let augmented =
+            self.graph.with_edge(edge).map_err(|e| CoreError::Numerical(e.to_string()))?;
+        let rebuilt = QueryEngine::build(&augmented, &self.params)?;
+        *self = rebuilt;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactResistance;
+    use reecc_graph::generators::{barabasi_albert, line};
+
+    fn params() -> SketchParams {
+        SketchParams { epsilon: 0.3, seed: 3, ..Default::default() }
+    }
+
+    #[test]
+    fn engine_matches_free_functions() {
+        let g = barabasi_albert(60, 2, 5);
+        let p = params();
+        let engine = QueryEngine::build(&g, &p).unwrap();
+        let free = crate::query::fast_query(&g, &[0, 10, 59], &p).unwrap();
+        for &(node, c) in &free.results {
+            let ans = engine.eccentricity(node);
+            assert!((ans.value - c).abs() < 1e-12, "node {node}");
+        }
+        assert_eq!(engine.hull_size(), free.hull_size());
+    }
+
+    #[test]
+    fn engine_accuracy_against_exact() {
+        let g = barabasi_albert(50, 3, 9);
+        let engine = QueryEngine::build(&g, &params()).unwrap();
+        let exact = ExactResistance::new(&g).unwrap();
+        for v in [0usize, 25, 49] {
+            let (c, _) = exact.eccentricity(v);
+            let ans = engine.eccentricity(v);
+            assert!((ans.value - c).abs() <= 0.3 * c, "v={v}: {} vs {c}", ans.value);
+            // Full scan is at least as large as hull-restricted.
+            assert!(engine.eccentricity_full_scan(v).value >= ans.value - 1e-12);
+        }
+    }
+
+    #[test]
+    fn what_if_matches_rebuild() {
+        let g = line(12);
+        let engine = QueryEngine::build(&g, &params()).unwrap();
+        let e = Edge::new(0, 11);
+        let predicted = engine.eccentricity_after_edge(3, e);
+        let exact_after = ExactResistance::new(&g.with_edge(e).unwrap()).unwrap();
+        let (truth, _) = exact_after.eccentricity(3);
+        assert!(
+            (predicted.value - truth).abs() <= 0.3 * truth,
+            "{} vs {truth}",
+            predicted.value
+        );
+    }
+
+    #[test]
+    fn commit_updates_the_engine() {
+        let g = line(10);
+        let mut engine = QueryEngine::build(&g, &params()).unwrap();
+        let before = engine.eccentricity(0).value;
+        engine.commit_edge(Edge::new(0, 9)).unwrap();
+        assert_eq!(engine.graph().edge_count(), 10);
+        let after = engine.eccentricity(0).value;
+        assert!(after < before, "commit must reduce the end node's eccentricity");
+    }
+
+    #[test]
+    fn farthest_node_is_consistent() {
+        let g = line(15);
+        let engine = QueryEngine::build(&g, &params()).unwrap();
+        let ans = engine.eccentricity(0);
+        // Farthest from an end of a path is (approximately) the other end.
+        assert!(ans.farthest >= 12, "farthest {}", ans.farthest);
+    }
+}

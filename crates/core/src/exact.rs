@@ -1,0 +1,243 @@
+//! Exact resistance distances via the dense Laplacian pseudoinverse.
+//!
+//! This is the paper's EXACTQUERY preprocessing (Algorithm 1, line 1):
+//! compute `L† = (L + J/n)⁻¹ − J/n` once in `O(n³)`, then answer
+//! `r(u, v)` in `O(1)` and `c(v)` in `O(n)`.
+
+use reecc_graph::traversal::is_connected;
+use reecc_graph::Graph;
+use reecc_linalg::{laplacian_pseudoinverse, DenseMatrix};
+
+use crate::metrics::EccentricityDistribution;
+use crate::CoreError;
+
+/// Exact resistance-distance oracle backed by the dense pseudoinverse.
+#[derive(Debug, Clone)]
+pub struct ExactResistance {
+    n: usize,
+    pinv: DenseMatrix,
+}
+
+impl ExactResistance {
+    /// Preprocess a connected graph (`O(n³)` time, `O(n²)` space).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::EmptyGraph`] / [`CoreError::Disconnected`] on invalid
+    /// input, [`CoreError::Numerical`] if the factorization fails.
+    pub fn new(g: &Graph) -> Result<Self, CoreError> {
+        let n = g.node_count();
+        if n == 0 {
+            return Err(CoreError::EmptyGraph);
+        }
+        if !is_connected(g) {
+            return Err(CoreError::Disconnected);
+        }
+        let pinv = laplacian_pseudoinverse(g)?;
+        Ok(ExactResistance { n, pinv })
+    }
+
+    /// Wrap an externally computed pseudoinverse (used by the rank-1 update
+    /// machinery, which mutates a pseudoinverse incrementally).
+    pub fn from_pseudoinverse(pinv: DenseMatrix) -> Self {
+        ExactResistance { n: pinv.rows(), pinv }
+    }
+
+    /// Graph order.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Borrow the pseudoinverse.
+    pub fn pseudoinverse(&self) -> &DenseMatrix {
+        &self.pinv
+    }
+
+    /// Mutably borrow the pseudoinverse (for in-place rank-1 updates).
+    pub fn pseudoinverse_mut(&mut self) -> &mut DenseMatrix {
+        &mut self.pinv
+    }
+
+    /// Resistance distance `r(u, v)` in `O(1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    #[inline]
+    pub fn resistance(&self, u: usize, v: usize) -> f64 {
+        assert!(u < self.n && v < self.n, "node out of range");
+        self.pinv[(u, u)] + self.pinv[(v, v)] - 2.0 * self.pinv[(u, v)]
+    }
+
+    /// Resistance distances from `s` to every node, `O(n)`.
+    pub fn resistances_from(&self, s: usize) -> Vec<f64> {
+        assert!(s < self.n, "node out of range");
+        let ss = self.pinv[(s, s)];
+        (0..self.n).map(|j| ss + self.pinv[(j, j)] - 2.0 * self.pinv[(s, j)]).collect()
+    }
+
+    /// Resistance eccentricity `c(s) = max_j r(s, j)` and the farthest node
+    /// `f_s`, `O(n)`. Ties break toward the smaller node id.
+    pub fn eccentricity(&self, s: usize) -> (f64, usize) {
+        assert!(s < self.n, "node out of range");
+        let ss = self.pinv[(s, s)];
+        let mut best = (0.0f64, s);
+        for j in 0..self.n {
+            let r = ss + self.pinv[(j, j)] - 2.0 * self.pinv[(s, j)];
+            if r > best.0 {
+                best = (r, j);
+            }
+        }
+        best
+    }
+
+    /// The full resistance eccentricity distribution `E(G)`, `O(n²)` after
+    /// preprocessing.
+    pub fn eccentricity_distribution(&self) -> EccentricityDistribution {
+        let values = (0..self.n).map(|v| self.eccentricity(v).0).collect();
+        EccentricityDistribution::new(values)
+    }
+
+    /// Kirchhoff index `Σ_{u<v} r(u,v) = n · trace(L†)` (a cross-check
+    /// quantity used in tests).
+    pub fn kirchhoff_index(&self) -> f64 {
+        let trace: f64 = (0..self.n).map(|i| self.pinv[(i, i)]).sum();
+        self.n as f64 * trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reecc_graph::generators::{complete, cycle, line, star};
+    use reecc_graph::Graph;
+
+    const TOL: f64 = 1e-9;
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let empty = Graph::from_edges(0, []).unwrap();
+        assert_eq!(ExactResistance::new(&empty).unwrap_err(), CoreError::EmptyGraph);
+        let disc = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        assert_eq!(ExactResistance::new(&disc).unwrap_err(), CoreError::Disconnected);
+    }
+
+    #[test]
+    fn path_resistances_are_hop_counts() {
+        let g = line(6);
+        let er = ExactResistance::new(&g).unwrap();
+        for u in 0..6 {
+            for v in 0..6 {
+                let expected = (u as f64 - v as f64).abs();
+                assert!((er.resistance(u, v) - expected).abs() < TOL);
+            }
+        }
+    }
+
+    #[test]
+    fn complete_graph_resistance_is_two_over_n() {
+        let n = 7;
+        let g = complete(n);
+        let er = ExactResistance::new(&g).unwrap();
+        for u in 0..n {
+            for v in 0..n {
+                let expected = if u == v { 0.0 } else { 2.0 / n as f64 };
+                assert!((er.resistance(u, v) - expected).abs() < TOL);
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_resistance_formula() {
+        // r(u, v) on an n-cycle with hop distance k: k(n-k)/n.
+        let n = 9;
+        let g = cycle(n);
+        let er = ExactResistance::new(&g).unwrap();
+        for k in 0..n {
+            let expected = (k * (n - k)) as f64 / n as f64;
+            assert!((er.resistance(0, k) - expected).abs() < TOL, "k={k}");
+        }
+    }
+
+    #[test]
+    fn star_eccentricities_match_paper_figure1() {
+        // Figure 1(c): hub has c = 1, leaves have c = 2.
+        let g = star(8);
+        let er = ExactResistance::new(&g).unwrap();
+        assert!((er.eccentricity(0).0 - 1.0).abs() < TOL);
+        for leaf in 1..8 {
+            assert!((er.eccentricity(leaf).0 - 2.0).abs() < TOL);
+        }
+    }
+
+    #[test]
+    fn line_eccentricities_match_paper_figure1() {
+        // Figure 1(a): on a 2n-node line, c(v_i) = max distance to either
+        // endpoint. With 0-based ids: c(i) = max(i, 2n-1-i).
+        let g = line(8);
+        let er = ExactResistance::new(&g).unwrap();
+        for i in 0..8usize {
+            let expected = i.max(7 - i) as f64;
+            let (c, f) = er.eccentricity(i);
+            assert!((c - expected).abs() < TOL, "c({i}) = {c}");
+            assert!(f == 0 || f == 7, "farthest from {i} must be an endpoint, got {f}");
+        }
+    }
+
+    #[test]
+    fn cycle_eccentricities_match_paper_figure1() {
+        // Figure 1(b): every node of a 2n-cycle has c = n/2.
+        let g = cycle(10); // 2n = 10, n = 5 -> c = 2.5
+        let er = ExactResistance::new(&g).unwrap();
+        for v in 0..10 {
+            assert!((er.eccentricity(v).0 - 2.5).abs() < TOL);
+        }
+    }
+
+    #[test]
+    fn resistances_from_matches_pointwise() {
+        let g = cycle(7);
+        let er = ExactResistance::new(&g).unwrap();
+        let row = er.resistances_from(3);
+        for (j, &r) in row.iter().enumerate() {
+            assert!((r - er.resistance(3, j)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn distribution_radius_diameter_on_line() {
+        let g = line(8);
+        let er = ExactResistance::new(&g).unwrap();
+        let d = er.eccentricity_distribution();
+        // Radius: middle nodes, c = 4; diameter: endpoints, c = 7.
+        assert!((d.radius() - 4.0).abs() < TOL);
+        assert!((d.diameter() - 7.0).abs() < TOL);
+        let center = d.center(TOL);
+        assert_eq!(center, vec![3, 4]);
+    }
+
+    #[test]
+    fn kirchhoff_index_of_complete_graph() {
+        // K_n: Kf = n(n-1) * (2/n) / 2 = n - 1 ... actually sum over pairs:
+        // C(n,2) * 2/n = (n-1)... times? C(n,2)*2/n = n(n-1)/2 * 2/n = n-1.
+        let g = complete(6);
+        let er = ExactResistance::new(&g).unwrap();
+        assert!((er.kirchhoff_index() - 5.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn triangle_inequality_holds() {
+        let g = star(6).with_edge(reecc_graph::Edge::new(1, 2)).unwrap();
+        let er = ExactResistance::new(&g).unwrap();
+        let n = 6;
+        for a in 0..n {
+            for b in 0..n {
+                for c in 0..n {
+                    assert!(
+                        er.resistance(a, c) <= er.resistance(a, b) + er.resistance(b, c) + TOL
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! The resistance eccentricity distribution `E(G)` and derived metrics:
+//! resistance radius, resistance diameter, resistance center.
+
+/// The multiset `E(G) = {c(v) : v ∈ V}` of resistance eccentricities,
+/// indexed by node id.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EccentricityDistribution {
+    values: Vec<f64>,
+}
+
+impl EccentricityDistribution {
+    /// Wrap per-node eccentricity values (index = node id).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty or contains non-finite entries.
+    pub fn new(values: Vec<f64>) -> Self {
+        assert!(!values.is_empty(), "distribution must be non-empty");
+        assert!(values.iter().all(|v| v.is_finite()), "eccentricities must be finite");
+        EccentricityDistribution { values }
+    }
+
+    /// Per-node values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Always false (construction requires non-empty), present for API
+    /// completeness.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Eccentricity of node `v`.
+    pub fn get(&self, v: usize) -> f64 {
+        self.values[v]
+    }
+
+    /// Resistance radius `φ(G) = min_v c(v)`.
+    pub fn radius(&self) -> f64 {
+        self.values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Resistance diameter `R(G) = max_v c(v)`.
+    pub fn diameter(&self) -> f64 {
+        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Node with the maximum eccentricity (smallest id on ties).
+    pub fn argmax(&self) -> usize {
+        let mut best = 0usize;
+        for (i, &v) in self.values.iter().enumerate() {
+            if v > self.values[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Node with the minimum eccentricity (smallest id on ties).
+    pub fn argmin(&self) -> usize {
+        let mut best = 0usize;
+        for (i, &v) in self.values.iter().enumerate() {
+            if v < self.values[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// The resistance center: all nodes within `tol` of the radius.
+    pub fn center(&self, tol: f64) -> Vec<usize> {
+        let r = self.radius();
+        (0..self.values.len()).filter(|&v| self.values[v] <= r + tol).collect()
+    }
+
+    /// Mean eccentricity.
+    pub fn mean(&self) -> f64 {
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Mean relative error against a reference distribution — the paper's
+    /// σ (Eq. 8): `σ = (1/n) Σ_v |c̃(v) − c(v)| / c(v)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch or a zero reference value.
+    pub fn mean_relative_error(&self, reference: &EccentricityDistribution) -> f64 {
+        assert_eq!(self.len(), reference.len(), "distribution length mismatch");
+        let n = self.len() as f64;
+        self.values
+            .iter()
+            .zip(reference.values())
+            .map(|(&approx, &exact)| {
+                assert!(exact != 0.0, "reference eccentricity must be non-zero");
+                ((approx - exact) / exact).abs()
+            })
+            .sum::<f64>()
+            / n
+    }
+
+    /// Maximum relative error against a reference distribution (the
+    /// quantity bounded by the paper's ε guarantee).
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch or a zero reference value.
+    pub fn max_relative_error(&self, reference: &EccentricityDistribution) -> f64 {
+        assert_eq!(self.len(), reference.len(), "distribution length mismatch");
+        self.values
+            .iter()
+            .zip(reference.values())
+            .map(|(&approx, &exact)| {
+                assert!(exact != 0.0, "reference eccentricity must be non-zero");
+                ((approx - exact) / exact).abs()
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Histogram over `bins` equal-width buckets spanning
+    /// `[radius, diameter]`. Returns `(bucket_left_edges, counts)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0`.
+    pub fn histogram(&self, bins: usize) -> (Vec<f64>, Vec<usize>) {
+        assert!(bins > 0, "need at least one bin");
+        let lo = self.radius();
+        let hi = self.diameter();
+        let width = if hi > lo { (hi - lo) / bins as f64 } else { 1.0 };
+        let mut counts = vec![0usize; bins];
+        for &v in &self.values {
+            let mut b = ((v - lo) / width) as usize;
+            if b >= bins {
+                b = bins - 1;
+            }
+            counts[b] += 1;
+        }
+        let edges = (0..bins).map(|b| lo + b as f64 * width).collect();
+        (edges, counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dist() -> EccentricityDistribution {
+        EccentricityDistribution::new(vec![3.0, 1.0, 2.0, 1.0, 5.0])
+    }
+
+    #[test]
+    fn radius_diameter_center() {
+        let d = dist();
+        assert_eq!(d.radius(), 1.0);
+        assert_eq!(d.diameter(), 5.0);
+        assert_eq!(d.center(1e-12), vec![1, 3]);
+        assert_eq!(d.argmax(), 4);
+        assert_eq!(d.argmin(), 1);
+    }
+
+    #[test]
+    fn mean_value() {
+        assert!((dist().mean() - 2.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_errors() {
+        let exact = EccentricityDistribution::new(vec![1.0, 2.0, 4.0]);
+        let approx = EccentricityDistribution::new(vec![1.1, 1.8, 4.0]);
+        let sigma = approx.mean_relative_error(&exact);
+        assert!((sigma - (0.1 + 0.1 + 0.0) / 3.0).abs() < 1e-12);
+        let maxe = approx.max_relative_error(&exact);
+        assert!((maxe - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_partitions_everything() {
+        let d = dist();
+        let (edges, counts) = d.histogram(4);
+        assert_eq!(edges.len(), 4);
+        assert_eq!(counts.iter().sum::<usize>(), 5);
+        assert_eq!(edges[0], 1.0);
+    }
+
+    #[test]
+    fn histogram_of_constant_distribution() {
+        let d = EccentricityDistribution::new(vec![2.0; 6]);
+        let (_, counts) = d.histogram(3);
+        assert_eq!(counts[0], 6);
+        assert_eq!(counts.iter().sum::<usize>(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty() {
+        let _ = EccentricityDistribution::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan() {
+        let _ = EccentricityDistribution::new(vec![1.0, f64::NAN]);
+    }
+}

@@ -1,0 +1,330 @@
+//! The paper's three query algorithms: EXACTQUERY (Algorithm 1),
+//! APPROXQUERY (Algorithm 2), FASTQUERY (Algorithm 3), plus APPROXRECC
+//! (Algorithm 7), the single-node approximate eccentricity used inside the
+//! optimizers.
+
+use reecc_graph::Graph;
+use reecc_hull::approxch::{approx_convex_hull, ApproxChOptions};
+
+use crate::exact::ExactResistance;
+use crate::sketch::{ResistanceSketch, SketchParams};
+use crate::CoreError;
+
+/// EXACTQUERY (Algorithm 1): dense pseudoinverse preprocessing, then
+/// `c(i)` for every `i ∈ q`. `O(n³ + |Q|·n)`.
+///
+/// # Errors
+///
+/// Propagates preprocessing failures; rejects out-of-range query ids.
+pub fn exact_query(g: &Graph, q: &[usize]) -> Result<Vec<(usize, f64)>, CoreError> {
+    let exact = ExactResistance::new(g)?;
+    let n = g.node_count();
+    q.iter()
+        .map(|&i| {
+            if i >= n {
+                return Err(CoreError::NodeOutOfRange { node: i, n });
+            }
+            Ok((i, exact.eccentricity(i).0))
+        })
+        .collect()
+}
+
+/// APPROXQUERY (Algorithm 2): build the APPROXER sketch, then
+/// `c̄(i) = max_j r̃(i, j)` for every `i ∈ q`. `Õ((m + |Q|·n)/ε²)`.
+///
+/// # Errors
+///
+/// Propagates sketch failures; rejects out-of-range query ids.
+pub fn approx_query(
+    g: &Graph,
+    q: &[usize],
+    params: &SketchParams,
+) -> Result<Vec<(usize, f64)>, CoreError> {
+    let sketch = ResistanceSketch::build(g, params)?;
+    let n = g.node_count();
+    q.iter()
+        .map(|&i| {
+            if i >= n {
+                return Err(CoreError::NodeOutOfRange { node: i, n });
+            }
+            Ok((i, sketch.eccentricity(i).0))
+        })
+        .collect()
+}
+
+/// Output of [`fast_query`], carrying the diagnostics the paper reports
+/// (the boundary size `l` drives the complexity claim).
+#[derive(Debug, Clone)]
+pub struct FastQueryOutput {
+    /// `(node, ĉ(node))` per query, in input order.
+    pub results: Vec<(usize, f64)>,
+    /// The hull boundary subset `Ŝ` (node ids).
+    pub hull: Vec<usize>,
+    /// Sketch dimension `d` used.
+    pub dimension: usize,
+    /// Whether the hull enumeration was truncated by a vertex cap.
+    pub hull_truncated: bool,
+}
+
+impl FastQueryOutput {
+    /// Boundary size `l = |Ŝ|`.
+    pub fn hull_size(&self) -> usize {
+        self.hull.len()
+    }
+}
+
+/// The default hull vertex budget `l_max` used by [`fast_query`]:
+/// `max(16, 2⌈√n⌉)`.
+///
+/// Rationale (see DESIGN.md §3): in a JL-dimensional embedding essentially
+/// *every* point is a hull vertex, so enforcing rigorous `θ`-coverage
+/// degenerates to `l ≈ n` and erases FASTQUERY's complexity win. The
+/// enumeration order (diameter endpoints first, then extremes in witness
+/// directions) surfaces exactly the peripheral points that realize
+/// eccentricity maxima, so a small budget loses no accuracy in practice —
+/// matching the paper's empirical observation that `l` is small on real
+/// networks. Pass explicit [`ApproxChOptions`] to
+/// [`fast_query_with_hull_options`] for the unbudgeted faithful mode.
+pub fn default_hull_budget(n: usize) -> usize {
+    (2.0 * (n as f64).sqrt().ceil()) as usize + 16
+}
+
+/// FASTQUERY (Algorithm 3): sketch + approximate convex hull; queries are
+/// answered against the `l`-point boundary subset only.
+/// `Õ((m + n·l)/ε² + |Q|·l)`.
+///
+/// The hull tolerance is the paper's `θ = ε/12`; the vertex budget is
+/// [`default_hull_budget`].
+///
+/// # Errors
+///
+/// Propagates sketch failures; rejects out-of-range query ids.
+pub fn fast_query(
+    g: &Graph,
+    q: &[usize],
+    params: &SketchParams,
+) -> Result<FastQueryOutput, CoreError> {
+    let opts = ApproxChOptions {
+        max_vertices: Some(default_hull_budget(g.node_count())),
+        ..ApproxChOptions::default()
+    };
+    fast_query_with_hull_options(g, q, params, opts)
+}
+
+/// [`fast_query`] with explicit hull options (vertex caps, sweep counts) —
+/// used by the ablation benches.
+///
+/// # Errors
+///
+/// Propagates sketch failures; rejects out-of-range query ids.
+pub fn fast_query_with_hull_options(
+    g: &Graph,
+    q: &[usize],
+    params: &SketchParams,
+    hull_opts: ApproxChOptions,
+) -> Result<FastQueryOutput, CoreError> {
+    let sketch = ResistanceSketch::build(g, params)?;
+    let n = g.node_count();
+    let theta = (params.epsilon / 12.0).clamp(1e-6, 0.999);
+    let points = sketch.point_set();
+    let hull_result = approx_convex_hull(&points, theta, hull_opts);
+    let mut results = Vec::with_capacity(q.len());
+    for &i in q {
+        if i >= n {
+            return Err(CoreError::NodeOutOfRange { node: i, n });
+        }
+        let (c_hat, _) = sketch.eccentricity_over(i, &hull_result.vertices);
+        results.push((i, c_hat));
+    }
+    Ok(FastQueryOutput {
+        results,
+        hull: hull_result.vertices,
+        dimension: sketch.dimension(),
+        hull_truncated: hull_result.truncated,
+    })
+}
+
+/// Exact single-pair resistance distance via **one** CG solve (no dense
+/// pseudoinverse): `r(u,v) = bᵀ L† b` with `b = e_u − e_v`. `Õ(m)` per
+/// query — the right tool when only a handful of pairs is needed on a
+/// large graph.
+///
+/// # Errors
+///
+/// Rejects empty/disconnected graphs and out-of-range ids.
+pub fn resistance_between(g: &Graph, u: usize, v: usize) -> Result<f64, CoreError> {
+    let n = g.node_count();
+    if n == 0 {
+        return Err(CoreError::EmptyGraph);
+    }
+    if u >= n {
+        return Err(CoreError::NodeOutOfRange { node: u, n });
+    }
+    if v >= n {
+        return Err(CoreError::NodeOutOfRange { node: v, n });
+    }
+    if u == v {
+        return Ok(0.0);
+    }
+    if !reecc_graph::traversal::is_connected(g) {
+        return Err(CoreError::Disconnected);
+    }
+    let mut ws = reecc_linalg::cg::CgWorkspace::new(n);
+    let (_, r_uv) = crate::update::solve_edge_potentials(
+        g,
+        reecc_graph::Edge::new(u, v),
+        reecc_linalg::cg::CgOptions::default(),
+        &mut ws,
+    );
+    Ok(r_uv)
+}
+
+/// The full approximate eccentricity distribution via FASTQUERY
+/// (`Q = V`), as an [`EccentricityDistribution`] plus the query
+/// diagnostics.
+///
+/// # Errors
+///
+/// Propagates sketch failures.
+pub fn fast_query_distribution(
+    g: &Graph,
+    params: &SketchParams,
+) -> Result<(crate::metrics::EccentricityDistribution, FastQueryOutput), CoreError> {
+    let q: Vec<usize> = (0..g.node_count()).collect();
+    let out = fast_query(g, &q, params)?;
+    let dist = crate::metrics::EccentricityDistribution::new(
+        out.results.iter().map(|&(_, c)| c).collect(),
+    );
+    Ok((dist, out))
+}
+
+/// APPROXRECC (Algorithm 7): approximate `c(s)` for a single node by
+/// building a sketch and scanning all nodes. `Õ(m/ε²)`.
+///
+/// # Errors
+///
+/// Propagates sketch failures; rejects out-of-range `s`.
+pub fn approx_recc(g: &Graph, s: usize, params: &SketchParams) -> Result<f64, CoreError> {
+    let n = g.node_count();
+    if s >= n {
+        return Err(CoreError::NodeOutOfRange { node: s, n });
+    }
+    let sketch = ResistanceSketch::build(g, params)?;
+    Ok(sketch.eccentricity(s).0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reecc_graph::generators::{barabasi_albert, line, star};
+
+    fn params(epsilon: f64) -> SketchParams {
+        SketchParams { epsilon, seed: 13, ..Default::default() }
+    }
+
+    #[test]
+    fn exact_query_on_line() {
+        let g = line(8);
+        let out = exact_query(&g, &[0, 3, 7]).unwrap();
+        assert_eq!(out.len(), 3);
+        assert!((out[0].1 - 7.0).abs() < 1e-9);
+        assert!((out[1].1 - 4.0).abs() < 1e-9);
+        assert!((out[2].1 - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_query_rejects_bad_id() {
+        let g = line(4);
+        assert!(matches!(
+            exact_query(&g, &[9]),
+            Err(CoreError::NodeOutOfRange { node: 9, n: 4 })
+        ));
+    }
+
+    #[test]
+    fn approx_query_within_epsilon_of_exact() {
+        let g = star(15);
+        let eps = 0.3;
+        let exact = exact_query(&g, &[0, 1, 7]).unwrap();
+        let approx = approx_query(&g, &[0, 1, 7], &params(eps)).unwrap();
+        for ((i, c), (j, c_bar)) in exact.iter().zip(&approx) {
+            assert_eq!(i, j);
+            assert!((c_bar - c).abs() <= eps * c, "node {i}: approx {c_bar} vs exact {c}");
+        }
+    }
+
+    #[test]
+    fn fast_query_within_epsilon_of_exact() {
+        let g = barabasi_albert(50, 2, 21);
+        let eps = 0.3;
+        let q: Vec<usize> = (0..50).collect();
+        let exact = exact_query(&g, &q).unwrap();
+        let fast = fast_query(&g, &q, &params(eps)).unwrap();
+        assert!(
+            fast.hull_size() <= default_hull_budget(50),
+            "hull boundary ({}) must respect the budget",
+            fast.hull_size()
+        );
+        for ((i, c), (j, c_hat)) in exact.iter().zip(&fast.results) {
+            assert_eq!(i, j);
+            assert!((c_hat - c).abs() <= eps * c + 1e-9, "node {i}: fast {c_hat} vs exact {c}");
+        }
+    }
+
+    #[test]
+    fn fast_query_hull_contains_extreme_nodes() {
+        // On a line the embedding is essentially 1-D; the endpoints must be
+        // on the hull boundary.
+        let g = line(15);
+        let fast = fast_query(&g, &[7], &params(0.3)).unwrap();
+        assert!(fast.hull.contains(&0) || fast.hull.contains(&14));
+    }
+
+    #[test]
+    fn resistance_between_matches_dense() {
+        let g = barabasi_albert(40, 2, 33);
+        let exact = crate::ExactResistance::new(&g).unwrap();
+        for (u, v) in [(0usize, 1usize), (5, 30), (12, 39)] {
+            let solver = resistance_between(&g, u, v).unwrap();
+            let dense = exact.resistance(u, v);
+            assert!((solver - dense).abs() < 1e-6, "r({u},{v}): {solver} vs {dense}");
+        }
+        assert_eq!(resistance_between(&g, 7, 7).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn resistance_between_rejects_bad_input() {
+        let g = line(4);
+        assert!(resistance_between(&g, 0, 9).is_err());
+        let disc = reecc_graph::Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        assert!(resistance_between(&disc, 0, 2).is_err());
+    }
+
+    #[test]
+    fn fast_query_distribution_matches_pointwise() {
+        let g = star(20);
+        let p = params(0.3);
+        let (dist, out) = fast_query_distribution(&g, &p).unwrap();
+        assert_eq!(dist.len(), 20);
+        for &(node, c) in &out.results {
+            assert_eq!(dist.get(node), c);
+        }
+        // Star: hub radius ~1, leaf diameter ~2.
+        assert!(dist.radius() < dist.diameter());
+    }
+
+    #[test]
+    fn approx_recc_close_to_exact() {
+        let g = barabasi_albert(40, 3, 2);
+        let eps = 0.3;
+        let exact = exact_query(&g, &[5]).unwrap()[0].1;
+        let approx = approx_recc(&g, 5, &params(eps)).unwrap();
+        assert!((approx - exact).abs() <= eps * exact);
+    }
+
+    #[test]
+    fn approx_recc_rejects_bad_id() {
+        let g = line(4);
+        assert!(approx_recc(&g, 4, &params(0.3)).is_err());
+    }
+}

@@ -1,0 +1,389 @@
+//! APPROXER: the JL + Laplacian-solver resistance sketch (paper, Lemma 5.1).
+//!
+//! The sketch is the `d×n` matrix `X̃ ≈ Q B L†` with
+//! `Q ∈ {±1/√d}^{d×m}` and `d = ⌈24 ln n / ε²⌉`, such that with high
+//! probability `r(u,v) ≈_ε ‖X̃(e_u − e_v)‖²` for every pair.
+//!
+//! Construction: row `i` of `Q B` is formed edge-by-edge in `O(m)` (see
+//! [`reecc_linalg::jl`]), then `L z = (QB)ᵀ_i` is solved with the
+//! preconditioned CG solver; `z` is row `i` of `X̃`. Rows are independent,
+//! so they are solved on `std::thread::scope` worker threads.
+
+use reecc_graph::traversal::is_connected;
+use reecc_graph::Graph;
+use reecc_hull::PointSet;
+use reecc_linalg::cg::{solve_laplacian, CgOptions, CgWorkspace};
+use reecc_linalg::jl::{jl_dimension_scaled, projected_incidence_rows};
+use reecc_linalg::LaplacianOp;
+
+use crate::CoreError;
+
+/// Parameters controlling sketch construction.
+#[derive(Debug, Clone, Copy)]
+pub struct SketchParams {
+    /// Target multiplicative error `ε` of resistance estimates.
+    pub epsilon: f64,
+    /// Multiplier on the paper's `⌈24 ln n / ε²⌉` dimension formula
+    /// (`1.0` = faithful; harnesses use smaller values because the JL
+    /// constant is conservative — recorded per experiment).
+    pub dimension_scale: f64,
+    /// Optional hard cap on the sketch dimension.
+    pub max_dimension: Option<usize>,
+    /// RNG seed for the `±1/√d` projection.
+    pub seed: u64,
+    /// Worker threads for the row solves; `0` = use available parallelism.
+    pub threads: usize,
+    /// CG solver options for each row.
+    pub cg: CgOptions,
+}
+
+impl Default for SketchParams {
+    fn default() -> Self {
+        SketchParams {
+            epsilon: 0.3,
+            dimension_scale: 1.0,
+            max_dimension: None,
+            seed: 42,
+            threads: 0,
+            cg: CgOptions::default(),
+        }
+    }
+}
+
+impl SketchParams {
+    /// Convenience constructor with the given `ε` and defaults elsewhere.
+    pub fn with_epsilon(epsilon: f64) -> Self {
+        SketchParams { epsilon, ..Default::default() }
+    }
+
+    /// The sketch dimension this parameter set produces for an `n`-node
+    /// graph.
+    pub fn dimension_for(&self, n: usize) -> usize {
+        let d = jl_dimension_scaled(n, self.epsilon, self.dimension_scale);
+        match self.max_dimension {
+            Some(cap) => d.min(cap.max(1)),
+            None => d,
+        }
+    }
+
+    fn worker_count(&self, jobs: usize) -> usize {
+        let hw = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        let t = if self.threads == 0 { hw } else { self.threads };
+        t.clamp(1, jobs.max(1))
+    }
+}
+
+/// The APPROXER resistance sketch `X̃ ∈ R^{d×n}`.
+#[derive(Debug, Clone)]
+pub struct ResistanceSketch {
+    rows: Vec<Vec<f64>>,
+    n: usize,
+    epsilon: f64,
+    /// How many of the `d` row solves met the CG tolerance (diagnostic —
+    /// a shortfall degrades accuracy but is not an error).
+    converged_rows: usize,
+}
+
+impl ResistanceSketch {
+    /// Build the sketch for a connected graph.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::EmptyGraph`] / [`CoreError::Disconnected`] on invalid
+    /// input.
+    pub fn build(g: &Graph, params: &SketchParams) -> Result<Self, CoreError> {
+        let n = g.node_count();
+        if n == 0 {
+            return Err(CoreError::EmptyGraph);
+        }
+        if !is_connected(g) {
+            return Err(CoreError::Disconnected);
+        }
+        let d = params.dimension_for(n);
+        // (QB) rows are generated sequentially (single RNG stream, fully
+        // reproducible), solves run in parallel.
+        let rhs = projected_incidence_rows(g, d, params.seed);
+        let workers = params.worker_count(d);
+        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(d);
+        let mut converged = 0usize;
+        if workers <= 1 {
+            let op = LaplacianOp::new(g);
+            let mut ws = CgWorkspace::new(n);
+            for b in &rhs {
+                let out = solve_laplacian(&op, b, params.cg, &mut ws);
+                converged += usize::from(out.converged);
+                rows.push(out.solution);
+            }
+        } else {
+            let chunk = d.div_ceil(workers);
+            let results: Vec<(Vec<Vec<f64>>, usize)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = rhs
+                    .chunks(chunk)
+                    .map(|batch| {
+                        scope.spawn(move || {
+                            let op = LaplacianOp::new(g);
+                            let mut ws = CgWorkspace::new(n);
+                            let mut out_rows = Vec::with_capacity(batch.len());
+                            let mut ok = 0usize;
+                            for b in batch {
+                                let out = solve_laplacian(&op, b, params.cg, &mut ws);
+                                ok += usize::from(out.converged);
+                                out_rows.push(out.solution);
+                            }
+                            (out_rows, ok)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("sketch worker panicked")).collect()
+            });
+            for (batch_rows, ok) in results {
+                converged += ok;
+                rows.extend(batch_rows);
+            }
+        }
+        Ok(ResistanceSketch { rows, n, epsilon: params.epsilon, converged_rows: converged })
+    }
+
+    /// Sketch dimension `d`.
+    pub fn dimension(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Graph order `n`.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// The `ε` the sketch was built for.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Number of row solves that met the CG tolerance.
+    pub fn converged_rows(&self) -> usize {
+        self.converged_rows
+    }
+
+    /// Borrow the raw `d×n` rows.
+    pub fn rows(&self) -> &[Vec<f64>] {
+        &self.rows
+    }
+
+    /// Estimated resistance `r̃(u, v) = ‖X̃(e_u − e_v)‖²`, `O(d)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an id is out of range.
+    pub fn resistance(&self, u: usize, v: usize) -> f64 {
+        assert!(u < self.n && v < self.n, "node out of range");
+        self.rows
+            .iter()
+            .map(|row| {
+                let diff = row[u] - row[v];
+                diff * diff
+            })
+            .sum()
+    }
+
+    /// Estimated resistances from `s` to every node, `O(n·d)`.
+    pub fn resistances_from(&self, s: usize) -> Vec<f64> {
+        assert!(s < self.n, "node out of range");
+        let mut acc = vec![0.0f64; self.n];
+        for row in &self.rows {
+            let xs = row[s];
+            for (a, &xj) in acc.iter_mut().zip(row) {
+                let diff = xj - xs;
+                *a += diff * diff;
+            }
+        }
+        acc
+    }
+
+    /// APPROXQUERY inner step: `c̄(s) = max_j r̃(s, j)` over all nodes,
+    /// with the farthest node. `O(n·d)`.
+    pub fn eccentricity(&self, s: usize) -> (f64, usize) {
+        let dists = self.resistances_from(s);
+        argmax_with_value(&dists)
+    }
+
+    /// FASTQUERY inner step: `ĉ(s) = max_{j ∈ candidates} r̃(s, j)`,
+    /// `O(|candidates|·d)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates` is empty or contains out-of-range ids.
+    pub fn eccentricity_over(&self, s: usize, candidates: &[usize]) -> (f64, usize) {
+        assert!(!candidates.is_empty(), "candidate set must be non-empty");
+        let mut best = (f64::NEG_INFINITY, usize::MAX);
+        for &j in candidates {
+            let r = self.resistance(s, j);
+            if r > best.0 {
+                best = (r, j);
+            }
+        }
+        best
+    }
+
+    /// The node embedding: column `u` of `X̃` as a point in `R^d`.
+    pub fn embedding_point(&self, u: usize) -> Vec<f64> {
+        assert!(u < self.n, "node out of range");
+        self.rows.iter().map(|row| row[u]).collect()
+    }
+
+    /// All node embeddings as a [`PointSet`] (the set `S` FASTQUERY feeds
+    /// to APPROXCH).
+    pub fn point_set(&self) -> PointSet {
+        PointSet::from_matrix_columns(&self.rows)
+    }
+}
+
+fn argmax_with_value(values: &[f64]) -> (f64, usize) {
+    let mut best = (f64::NEG_INFINITY, 0usize);
+    for (i, &v) in values.iter().enumerate() {
+        if v > best.0 {
+            best = (v, i);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactResistance;
+    use reecc_graph::generators::{barabasi_albert, complete, cycle, line, star};
+    use reecc_graph::Graph;
+
+    /// Test parameters: full paper dimension would be thousands; the JL
+    /// guarantee holds with margin at much lower d for these tiny graphs.
+    fn params(epsilon: f64) -> SketchParams {
+        SketchParams { epsilon, seed: 7, ..Default::default() }
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let empty = Graph::from_edges(0, []).unwrap();
+        assert!(matches!(
+            ResistanceSketch::build(&empty, &params(0.3)),
+            Err(CoreError::EmptyGraph)
+        ));
+        let disc = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        assert!(matches!(
+            ResistanceSketch::build(&disc, &params(0.3)),
+            Err(CoreError::Disconnected)
+        ));
+    }
+
+    #[test]
+    fn dimension_matches_formula() {
+        let g = cycle(50);
+        let p = params(0.5);
+        let sk = ResistanceSketch::build(&g, &p).unwrap();
+        assert_eq!(sk.dimension(), p.dimension_for(50));
+        assert_eq!(sk.node_count(), 50);
+    }
+
+    #[test]
+    fn dimension_cap_applies() {
+        let g = cycle(50);
+        let p = SketchParams { max_dimension: Some(16), ..params(0.3) };
+        let sk = ResistanceSketch::build(&g, &p).unwrap();
+        assert_eq!(sk.dimension(), 16);
+    }
+
+    #[test]
+    fn sketch_resistances_close_to_exact_on_line() {
+        let g = line(12);
+        let eps = 0.3;
+        let sk = ResistanceSketch::build(&g, &params(eps)).unwrap();
+        assert_eq!(sk.converged_rows(), sk.dimension());
+        let exact = ExactResistance::new(&g).unwrap();
+        for u in 0..12 {
+            for v in (u + 1)..12 {
+                let r = exact.resistance(u, v);
+                let rt = sk.resistance(u, v);
+                assert!((rt - r).abs() <= eps * r, "r({u},{v}): sketch {rt} vs exact {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn sketch_eccentricity_close_on_star() {
+        let g = star(20);
+        let eps = 0.25;
+        let sk = ResistanceSketch::build(&g, &params(eps)).unwrap();
+        let (c_hub, _) = sk.eccentricity(0);
+        assert!((c_hub - 1.0).abs() <= eps, "hub ecc {c_hub}");
+        let (c_leaf, far) = sk.eccentricity(5);
+        assert!((c_leaf - 2.0).abs() <= 2.0 * eps, "leaf ecc {c_leaf}");
+        assert!(far != 0 && far != 5, "farthest from a leaf is another leaf, got {far}");
+    }
+
+    #[test]
+    fn resistances_from_matches_pointwise() {
+        let g = complete(8);
+        let sk = ResistanceSketch::build(&g, &params(0.4)).unwrap();
+        let row = sk.resistances_from(2);
+        for (j, &r) in row.iter().enumerate() {
+            assert!((r - sk.resistance(2, j)).abs() < 1e-12);
+        }
+        assert_eq!(row[2], 0.0);
+    }
+
+    #[test]
+    fn eccentricity_over_subset_bounded_by_full() {
+        let g = barabasi_albert(60, 2, 3);
+        let sk = ResistanceSketch::build(&g, &params(0.4)).unwrap();
+        let (full, _) = sk.eccentricity(0);
+        let subset: Vec<usize> = (0..60).step_by(3).collect();
+        let (part, _) = sk.eccentricity_over(0, &subset);
+        assert!(part <= full + 1e-12);
+    }
+
+    #[test]
+    fn seed_determinism() {
+        let g = cycle(20);
+        let a = ResistanceSketch::build(&g, &params(0.5)).unwrap();
+        let b = ResistanceSketch::build(&g, &params(0.5)).unwrap();
+        assert_eq!(a.rows(), b.rows());
+        let c = ResistanceSketch::build(&g, &SketchParams { seed: 8, ..params(0.5) }).unwrap();
+        assert_ne!(a.rows(), c.rows());
+    }
+
+    #[test]
+    fn single_thread_matches_parallel() {
+        let g = barabasi_albert(40, 2, 1);
+        let base = params(0.5);
+        let seq = ResistanceSketch::build(&g, &SketchParams { threads: 1, ..base }).unwrap();
+        let par = ResistanceSketch::build(&g, &SketchParams { threads: 4, ..base }).unwrap();
+        assert_eq!(seq.dimension(), par.dimension());
+        for (a, b) in seq.rows().iter().zip(par.rows()) {
+            for (x, y) in a.iter().zip(b) {
+                assert!((x - y).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn point_set_roundtrip() {
+        let g = cycle(10);
+        let sk = ResistanceSketch::build(&g, &params(0.5)).unwrap();
+        let ps = sk.point_set();
+        assert_eq!(ps.len(), 10);
+        assert_eq!(ps.dim(), sk.dimension());
+        assert_eq!(ps.point(3), sk.embedding_point(3).as_slice());
+        // Pairwise embedding distances are the resistance estimates.
+        let d2 = ps.dist_sq(2, 7);
+        assert!((d2 - sk.resistance(2, 7)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let g = Graph::from_edges(1, []).unwrap();
+        let sk = ResistanceSketch::build(&g, &params(0.3)).unwrap();
+        assert_eq!(sk.node_count(), 1);
+        let (c, f) = sk.eccentricity(0);
+        assert_eq!(c, 0.0);
+        assert_eq!(f, 0);
+    }
+}

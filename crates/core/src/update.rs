@@ -1,0 +1,321 @@
+//! Rank-1 resistance updates under edge addition (Sherman–Morrison).
+//!
+//! Adding edge `(u, v)` changes the Laplacian by `L' = L + b bᵀ` with
+//! `b = e_u − e_v`. Since `b ⊥ 1`, the pseudoinverse updates as
+//!
+//! ```text
+//! L'† = L† − (L† b)(L† b)ᵀ / (1 + bᵀ L† b),
+//! ```
+//!
+//! where `bᵀ L† b = r(u, v)`. Consequently every resistance updates as
+//!
+//! ```text
+//! r'(s, j) = r(s, j) − (w_s − w_j)² / (1 + r(u, v)),   w = L† b.
+//! ```
+//!
+//! Two consumers:
+//!
+//! * the exact greedy optimizers keep a dense `L†` and apply
+//!   [`pinv_add_edge`] per accepted edge, evaluating candidates in `O(n)`
+//!   via [`eccentricity_after_edge`];
+//! * the sketch-based optimizers obtain `w` from **one CG solve** per
+//!   candidate ([`solve_edge_potentials`]) and combine it with sketched
+//!   base distances ([`updated_resistances`]) — the `ShermanMorrison`
+//!   evaluation mode of CHMINRECC / MINRECC.
+
+use reecc_graph::{Edge, Graph};
+use reecc_linalg::cg::{solve_laplacian, CgOptions, CgWorkspace};
+use reecc_linalg::{DenseMatrix, LaplacianOp};
+
+/// Apply the rank-1 pseudoinverse update for adding edge `e` in place.
+///
+/// # Panics
+///
+/// Panics if endpoints are out of range. Adding an edge that already exists
+/// in the underlying graph is mathematically fine (it models a parallel
+/// unit resistor) but callers normally restrict to non-edges.
+pub fn pinv_add_edge(pinv: &mut DenseMatrix, e: Edge) {
+    let n = pinv.rows();
+    assert!(e.v < n, "edge endpoint out of range");
+    // w = L† b = column u − column v (symmetric, so rows work too).
+    let w: Vec<f64> = (0..n).map(|i| pinv[(i, e.u)] - pinv[(i, e.v)]).collect();
+    let r_uv = w[e.u] - w[e.v]; // bᵀ L† b
+    let denom = 1.0 + r_uv;
+    for i in 0..n {
+        let wi = w[i] / denom;
+        if wi == 0.0 {
+            continue;
+        }
+        let row = pinv.row_mut(i);
+        for (rij, &wj) in row.iter_mut().zip(&w) {
+            *rij -= wi * wj;
+        }
+    }
+}
+
+/// Inverse of [`pinv_add_edge`]: downdate the pseudoinverse for *removing*
+/// edge `e` (`L' = L − b bᵀ`, denominator `1 − bᵀ L† b`).
+///
+/// Only valid when the removal keeps the graph connected (equivalently
+/// `r(u, v) < 1` strictly in the current graph — a bridge has `r = 1`).
+/// Used by the exhaustive optimizer's DFS to undo a hypothetical addition.
+///
+/// # Panics
+///
+/// Panics if endpoints are out of range or `r(u, v) >= 1 − 1e-12`
+/// (disconnecting removal).
+pub fn pinv_remove_edge(pinv: &mut DenseMatrix, e: Edge) {
+    let n = pinv.rows();
+    assert!(e.v < n, "edge endpoint out of range");
+    let w: Vec<f64> = (0..n).map(|i| pinv[(i, e.u)] - pinv[(i, e.v)]).collect();
+    let r_uv = w[e.u] - w[e.v];
+    let denom = 1.0 - r_uv;
+    assert!(denom > 1e-12, "removing a bridge would disconnect the graph (r = {r_uv})");
+    for i in 0..n {
+        let wi = w[i] / denom;
+        if wi == 0.0 {
+            continue;
+        }
+        let row = pinv.row_mut(i);
+        for (rij, &wj) in row.iter_mut().zip(&w) {
+            *rij += wi * wj;
+        }
+    }
+}
+
+/// `c(s)` of the graph after hypothetically adding `e`, computed in `O(n)`
+/// from the *current* pseudoinverse without mutating it. Returns the
+/// eccentricity and the farthest node.
+///
+/// # Panics
+///
+/// Panics if ids are out of range.
+pub fn eccentricity_after_edge(pinv: &DenseMatrix, s: usize, e: Edge) -> (f64, usize) {
+    let n = pinv.rows();
+    assert!(s < n && e.v < n, "node out of range");
+    let r_uv = pinv[(e.u, e.u)] + pinv[(e.v, e.v)] - 2.0 * pinv[(e.u, e.v)];
+    let denom = 1.0 + r_uv;
+    let ss = pinv[(s, s)];
+    let ws = pinv[(s, e.u)] - pinv[(s, e.v)];
+    let mut best = (f64::NEG_INFINITY, s);
+    for j in 0..n {
+        let r_sj = ss + pinv[(j, j)] - 2.0 * pinv[(s, j)];
+        let wj = pinv[(j, e.u)] - pinv[(j, e.v)];
+        let delta = ws - wj;
+        let r_new = r_sj - delta * delta / denom;
+        if r_new > best.0 {
+            best = (r_new, j);
+        }
+    }
+    best
+}
+
+/// Edge potentials `w = L† (e_u − e_v)` via one CG solve on the *current*
+/// graph. Also returns `r(u, v) = w_u − w_v`.
+///
+/// # Panics
+///
+/// Panics if endpoints are out of range.
+pub fn solve_edge_potentials(
+    g: &Graph,
+    e: Edge,
+    cg: CgOptions,
+    ws: &mut CgWorkspace,
+) -> (Vec<f64>, f64) {
+    let n = g.node_count();
+    assert!(e.v < n, "edge endpoint out of range");
+    let mut b = vec![0.0; n];
+    b[e.u] = 1.0;
+    b[e.v] = -1.0;
+    let op = LaplacianOp::new(g);
+    let out = solve_laplacian(&op, &b, cg, ws);
+    let r_uv = out.solution[e.u] - out.solution[e.v];
+    (out.solution, r_uv)
+}
+
+/// Combine base resistances `r(s, ·)` (exact or sketched) with edge
+/// potentials to get the post-addition distances
+/// `r'(s, j) = r(s, j) − (w_s − w_j)²/(1 + r_uv)`.
+///
+/// # Panics
+///
+/// Panics on length mismatch or out-of-range `s`.
+pub fn updated_resistances(base: &[f64], potentials: &[f64], r_uv: f64, s: usize) -> Vec<f64> {
+    assert_eq!(base.len(), potentials.len(), "length mismatch");
+    assert!(s < base.len(), "source out of range");
+    let denom = 1.0 + r_uv;
+    let ws = potentials[s];
+    base.iter()
+        .zip(potentials)
+        .map(|(&r, &wj)| {
+            let delta = ws - wj;
+            r - delta * delta / denom
+        })
+        .collect()
+}
+
+/// Max of [`updated_resistances`] without materializing the vector:
+/// post-addition eccentricity estimate for `s`. Returns `(value, argmax)`.
+///
+/// # Panics
+///
+/// Panics on length mismatch or out-of-range `s`.
+pub fn updated_eccentricity(
+    base: &[f64],
+    potentials: &[f64],
+    r_uv: f64,
+    s: usize,
+) -> (f64, usize) {
+    assert_eq!(base.len(), potentials.len(), "length mismatch");
+    assert!(s < base.len(), "source out of range");
+    let denom = 1.0 + r_uv;
+    let ws = potentials[s];
+    let mut best = (f64::NEG_INFINITY, s);
+    for (j, (&r, &wj)) in base.iter().zip(potentials).enumerate() {
+        let delta = ws - wj;
+        let r_new = r - delta * delta / denom;
+        if r_new > best.0 {
+            best = (r_new, j);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactResistance;
+    use reecc_graph::generators::{cycle, line, star};
+
+    const TOL: f64 = 1e-8;
+
+    #[test]
+    fn pinv_update_matches_recomputation() {
+        let g = line(7);
+        let e = Edge::new(0, 6);
+        let mut pinv = reecc_linalg::laplacian_pseudoinverse(&g).unwrap();
+        pinv_add_edge(&mut pinv, e);
+        let g2 = g.with_edge(e).unwrap();
+        let pinv2 = reecc_linalg::laplacian_pseudoinverse(&g2).unwrap();
+        for i in 0..7 {
+            for j in 0..7 {
+                assert!(
+                    (pinv[(i, j)] - pinv2[(i, j)]).abs() < TOL,
+                    "mismatch at ({i},{j}): {} vs {}",
+                    pinv[(i, j)],
+                    pinv2[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chained_updates_stay_accurate() {
+        let g = cycle(9);
+        let edges = [Edge::new(0, 3), Edge::new(1, 5), Edge::new(2, 7)];
+        let mut pinv = reecc_linalg::laplacian_pseudoinverse(&g).unwrap();
+        let mut current = g.clone();
+        for e in edges {
+            pinv_add_edge(&mut pinv, e);
+            current = current.with_edge(e).unwrap();
+        }
+        let fresh = reecc_linalg::laplacian_pseudoinverse(&current).unwrap();
+        for i in 0..9 {
+            for j in 0..9 {
+                assert!((pinv[(i, j)] - fresh[(i, j)]).abs() < TOL);
+            }
+        }
+    }
+
+    #[test]
+    fn remove_undoes_add_exactly() {
+        let g = cycle(8);
+        let e = Edge::new(0, 4);
+        let original = reecc_linalg::laplacian_pseudoinverse(&g).unwrap();
+        let mut pinv = original.clone();
+        pinv_add_edge(&mut pinv, e);
+        pinv_remove_edge(&mut pinv, e);
+        for i in 0..8 {
+            for j in 0..8 {
+                assert!((pinv[(i, j)] - original[(i, j)]).abs() < TOL);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bridge")]
+    fn remove_rejects_bridges() {
+        // Every edge of a path is a bridge.
+        let g = line(5);
+        let mut pinv = reecc_linalg::laplacian_pseudoinverse(&g).unwrap();
+        pinv_remove_edge(&mut pinv, Edge::new(1, 2));
+    }
+
+    #[test]
+    fn eccentricity_after_edge_matches_rebuild() {
+        let g = line(8);
+        let pinv = reecc_linalg::laplacian_pseudoinverse(&g).unwrap();
+        for e in [Edge::new(0, 7), Edge::new(2, 5), Edge::new(0, 4)] {
+            let (pred, _) = eccentricity_after_edge(&pinv, 3, e);
+            let g2 = g.with_edge(e).unwrap();
+            let exact = ExactResistance::new(&g2).unwrap();
+            let (truth, _) = exact.eccentricity(3);
+            assert!((pred - truth).abs() < TOL, "edge {e:?}: {pred} vs {truth}");
+        }
+    }
+
+    #[test]
+    fn solver_potentials_match_dense() {
+        let g = star(9);
+        let e = Edge::new(3, 7);
+        let pinv = reecc_linalg::laplacian_pseudoinverse(&g).unwrap();
+        let mut ws = CgWorkspace::new(9);
+        let (w, r_uv) = solve_edge_potentials(&g, e, CgOptions::default(), &mut ws);
+        let expected_r = pinv[(3, 3)] + pinv[(7, 7)] - 2.0 * pinv[(3, 7)];
+        assert!((r_uv - expected_r).abs() < 1e-7);
+        for i in 0..9 {
+            let expected = pinv[(i, 3)] - pinv[(i, 7)];
+            assert!((w[i] - expected).abs() < 1e-7, "potential {i}");
+        }
+    }
+
+    #[test]
+    fn updated_resistances_match_exact_rebuild() {
+        let g = line(10);
+        let s = 2;
+        let e = Edge::new(0, 9);
+        let exact = ExactResistance::new(&g).unwrap();
+        let base = exact.resistances_from(s);
+        let mut ws = CgWorkspace::new(10);
+        let (w, r_uv) = solve_edge_potentials(&g, e, CgOptions::default(), &mut ws);
+        let updated = updated_resistances(&base, &w, r_uv, s);
+        let g2 = g.with_edge(e).unwrap();
+        let exact2 = ExactResistance::new(&g2).unwrap();
+        for (j, &r_new) in updated.iter().enumerate() {
+            let truth = exact2.resistance(s, j);
+            assert!((r_new - truth).abs() < 1e-6, "r'({s},{j}): {r_new} vs {truth}");
+        }
+        let (cmax, fmax) = updated_eccentricity(&base, &w, r_uv, s);
+        let (truth_c, _) = exact2.eccentricity(s);
+        assert!((cmax - truth_c).abs() < 1e-6);
+        assert!((updated[fmax] - cmax).abs() < 1e-12);
+    }
+
+    #[test]
+    fn update_never_increases_any_resistance() {
+        // Rayleigh monotonicity, verified through the update formula: the
+        // subtracted term is a square over a positive denominator.
+        let g = cycle(12);
+        let exact = ExactResistance::new(&g).unwrap();
+        let s = 0;
+        let base = exact.resistances_from(s);
+        let mut ws = CgWorkspace::new(12);
+        for e in [Edge::new(1, 6), Edge::new(0, 6), Edge::new(3, 9)] {
+            let (w, r_uv) = solve_edge_potentials(&g, e, CgOptions::default(), &mut ws);
+            let updated = updated_resistances(&base, &w, r_uv, s);
+            for j in 0..12 {
+                assert!(updated[j] <= base[j] + 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Random-walk metrics derived from resistance distances.
+//!
+//! The electrical and random-walk views of a graph are tied by classic
+//! identities, all computable from the machinery this crate already has:
+//!
+//! * **Commute time** `C(u,v) = 2m · r(u,v)`.
+//! * **Hitting time** `H(u,v) = 2m(L†_vv − L†_uv) + Σ_k d_k (L†_uk − L†_vk)`.
+//! * **Kemeny's constant** `K = (1/2m) Σ_{u<v} d_u d_v r(u,v)` — the
+//!   expected hitting time to a stationarily-chosen target, independent
+//!   of the start. The paper's conclusion names Kemeny-constant
+//!   optimization as future work; this module provides the exact value
+//!   and a sketch-based estimator so that line of work can start here.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use reecc_graph::Graph;
+
+use crate::exact::ExactResistance;
+use crate::sketch::ResistanceSketch;
+use crate::CoreError;
+
+/// Commute time `C(u, v) = 2m · r(u, v)`.
+///
+/// # Panics
+///
+/// Panics if ids are out of range for the oracle.
+pub fn commute_time(exact: &ExactResistance, g: &Graph, u: usize, v: usize) -> f64 {
+    2.0 * g.edge_count() as f64 * exact.resistance(u, v)
+}
+
+/// Expected hitting time `H(u, v)` of a random walk from `u` to `v`.
+///
+/// # Panics
+///
+/// Panics if ids are out of range or the oracle and graph disagree on `n`.
+pub fn hitting_time(exact: &ExactResistance, g: &Graph, u: usize, v: usize) -> f64 {
+    let n = g.node_count();
+    assert_eq!(exact.node_count(), n, "oracle/graph size mismatch");
+    assert!(u < n && v < n, "node out of range");
+    let pinv = exact.pseudoinverse();
+    let two_m = 2.0 * g.edge_count() as f64;
+    let mut degree_term = 0.0;
+    for k in 0..n {
+        degree_term += g.degree(k) as f64 * (pinv[(u, k)] - pinv[(v, k)]);
+    }
+    two_m * (pinv[(v, v)] - pinv[(u, v)]) + degree_term
+}
+
+/// Exact Kemeny constant `K = (1/2m) Σ_{u<v} d_u d_v r(u,v)`, `O(n²)`
+/// given the pseudoinverse.
+///
+/// # Panics
+///
+/// Panics if the oracle and graph disagree on `n`.
+pub fn kemeny_constant(exact: &ExactResistance, g: &Graph) -> f64 {
+    let n = g.node_count();
+    assert_eq!(exact.node_count(), n, "oracle/graph size mismatch");
+    let mut acc = 0.0;
+    for u in 0..n {
+        let du = g.degree(u) as f64;
+        for v in (u + 1)..n {
+            acc += du * g.degree(v) as f64 * exact.resistance(u, v);
+        }
+    }
+    acc / (2.0 * g.edge_count() as f64)
+}
+
+/// Monte-Carlo Kemeny estimate from a resistance sketch: sampling
+/// `u, v` independently from the stationary distribution `π(v) ∝ d_v`
+/// gives `K = m · E[r(u, v)]`, so the estimator averages sketched
+/// resistances over `samples` stationary pairs.
+///
+/// # Panics
+///
+/// Panics if `samples == 0` or the sketch and graph disagree on `n`.
+pub fn kemeny_constant_estimate(
+    sketch: &ResistanceSketch,
+    g: &Graph,
+    samples: usize,
+    seed: u64,
+) -> f64 {
+    let n = g.node_count();
+    assert_eq!(sketch.node_count(), n, "sketch/graph size mismatch");
+    assert!(samples > 0, "need at least one sample");
+    // Alias-free stationary sampling: pick a uniform edge endpoint slot.
+    let mut endpoints = Vec::with_capacity(2 * g.edge_count());
+    for e in g.edges() {
+        endpoints.push(e.u);
+        endpoints.push(e.v);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut acc = 0.0;
+    for _ in 0..samples {
+        let u = endpoints[rng.gen_range(0..endpoints.len())];
+        let v = endpoints[rng.gen_range(0..endpoints.len())];
+        acc += sketch.resistance(u, v);
+    }
+    g.edge_count() as f64 * acc / samples as f64
+}
+
+/// Exact Kemeny constant without a prebuilt oracle (convenience).
+///
+/// # Errors
+///
+/// Propagates pseudoinverse construction failures.
+pub fn kemeny_constant_of(g: &Graph) -> Result<f64, CoreError> {
+    let exact = ExactResistance::new(g)?;
+    Ok(kemeny_constant(&exact, g))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sketch::SketchParams;
+    use reecc_graph::generators::{barabasi_albert, complete, cycle, line, star};
+
+    const TOL: f64 = 1e-9;
+
+    #[test]
+    fn commute_equals_sum_of_hitting_times() {
+        let g = barabasi_albert(30, 2, 3);
+        let exact = ExactResistance::new(&g).unwrap();
+        for (u, v) in [(0usize, 5usize), (3, 17), (10, 29)] {
+            let c = commute_time(&exact, &g, u, v);
+            let huv = hitting_time(&exact, &g, u, v);
+            let hvu = hitting_time(&exact, &g, v, u);
+            assert!((c - (huv + hvu)).abs() < 1e-7, "C {c} vs H {huv}+{hvu}");
+        }
+    }
+
+    #[test]
+    fn hitting_time_on_k2_and_path() {
+        let g = complete(2);
+        let exact = ExactResistance::new(&g).unwrap();
+        assert!((hitting_time(&exact, &g, 0, 1) - 1.0).abs() < TOL);
+        // P3: from an end, the center is hit in exactly 1 step.
+        let p = line(3);
+        let exact = ExactResistance::new(&p).unwrap();
+        assert!((hitting_time(&exact, &p, 0, 1) - 1.0).abs() < TOL);
+        // From the center, an end takes H = 3 (classic result).
+        assert!((hitting_time(&exact, &p, 1, 0) - 3.0).abs() < TOL);
+    }
+
+    #[test]
+    fn hitting_time_to_self_is_zero() {
+        let g = cycle(7);
+        let exact = ExactResistance::new(&g).unwrap();
+        for v in 0..7 {
+            assert!(hitting_time(&exact, &g, v, v).abs() < TOL);
+        }
+    }
+
+    #[test]
+    fn kemeny_of_complete_graph() {
+        // K_n: eigenvalues of P are 1 and -1/(n-1) (n-1 times), so
+        // K = (n-1) / (1 + 1/(n-1)) = (n-1)^2 / n.
+        let n = 6;
+        let g = complete(n);
+        let k = kemeny_constant_of(&g).unwrap();
+        let expected = ((n - 1) * (n - 1)) as f64 / n as f64;
+        assert!((k - expected).abs() < 1e-8, "K {k} vs {expected}");
+    }
+
+    #[test]
+    fn kemeny_of_star() {
+        // Star K_{1,n-1}: transition eigenvalues 1, 0 (n-2 times), -1:
+        // K = (n-2)/1 + 1/2 = n - 1.5.
+        let n = 9;
+        let g = star(n);
+        let k = kemeny_constant_of(&g).unwrap();
+        assert!((k - (n as f64 - 1.5)).abs() < 1e-8, "K {k}");
+    }
+
+    #[test]
+    fn kemeny_matches_stationary_hitting_average() {
+        // K = sum_v pi(v) H(u, v) for any start u, pi(v) = d_v / 2m.
+        let g = barabasi_albert(25, 2, 9);
+        let exact = ExactResistance::new(&g).unwrap();
+        let k = kemeny_constant(&exact, &g);
+        let two_m = 2.0 * g.edge_count() as f64;
+        for u in [0usize, 12, 24] {
+            let avg: f64 = (0..25)
+                .map(|v| g.degree(v) as f64 / two_m * hitting_time(&exact, &g, u, v))
+                .sum();
+            assert!((avg - k).abs() < 1e-7, "start {u}: {avg} vs K {k}");
+        }
+    }
+
+    #[test]
+    fn sketch_estimate_tracks_exact_kemeny() {
+        let g = barabasi_albert(80, 3, 5);
+        let exact = kemeny_constant_of(&g).unwrap();
+        let sketch = ResistanceSketch::build(
+            &g,
+            &SketchParams { epsilon: 0.2, seed: 2, ..Default::default() },
+        )
+        .unwrap();
+        let estimate = kemeny_constant_estimate(&sketch, &g, 4000, 7);
+        assert!(
+            (estimate - exact).abs() / exact < 0.15,
+            "estimate {estimate} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn estimate_rejects_zero_samples() {
+        let g = cycle(5);
+        let sketch = ResistanceSketch::build(
+            &g,
+            &SketchParams { epsilon: 0.5, seed: 1, ..Default::default() },
+        )
+        .unwrap();
+        let _ = kemeny_constant_estimate(&sketch, &g, 0, 1);
+    }
+}

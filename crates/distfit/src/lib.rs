@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+//! # reecc-distfit
+//!
+//! Distribution fitting for the resistance-eccentricity analysis (paper
+//! §IV-B): the eccentricity distribution of real networks is asymmetric,
+//! right-skewed and heavy-tailed, and is well modelled by a **Burr XII**
+//! distribution. The paper fits it in MATLAB; this crate hand-rolls the
+//! same estimator:
+//!
+//! * [`burr::BurrXII`] — pdf / cdf / quantile / log-likelihood / sampling
+//!   of the three-parameter (shape `c`, shape `k`, scale `s`) Burr XII
+//!   distribution.
+//! * [`burr::fit_burr_mle`] — maximum-likelihood fit via a from-scratch
+//!   [`neldermead`] simplex optimizer over log-parameters.
+//! * [`summary`] — moment summaries (skewness, excess kurtosis),
+//!   histograms and the Kolmogorov–Smirnov statistic used to judge fits.
+
+pub mod burr;
+pub mod models;
+pub mod neldermead;
+pub mod summary;
+
+pub use burr::{fit_burr_mle, BurrFit, BurrXII};
+pub use models::{compare_models, LogNormal, ModelScore, Weibull};
+pub use neldermead::{minimize, NelderMeadOptions, NelderMeadResult};
+pub use summary::{histogram, ks_statistic, Summary};
+
+/// Errors from fitting routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FitError {
+    /// The sample was empty or contained non-positive / non-finite values.
+    InvalidSample {
+        /// Description of the violation.
+        reason: String,
+    },
+    /// The optimizer failed to produce a finite optimum.
+    OptimizationFailed,
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FitError::InvalidSample { reason } => write!(f, "invalid sample: {reason}"),
+            FitError::OptimizationFailed => write!(f, "optimization failed"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}

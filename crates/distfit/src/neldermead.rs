@@ -1,0 +1,225 @@
+//! A from-scratch Nelder–Mead downhill simplex minimizer.
+//!
+//! Small, dependency-free, and adequate for the 2–4 parameter maximum
+//! likelihood problems this library needs (Burr XII fits). Standard
+//! coefficients: reflection 1, expansion 2, contraction ½, shrink ½.
+
+/// Options for [`minimize`].
+#[derive(Debug, Clone, Copy)]
+pub struct NelderMeadOptions {
+    /// Convergence: stop when the simplex function-value spread drops
+    /// below this.
+    pub f_tolerance: f64,
+    /// Convergence: stop when the simplex diameter drops below this.
+    pub x_tolerance: f64,
+    /// Iteration cap.
+    pub max_iterations: usize,
+    /// Initial simplex step per coordinate.
+    pub initial_step: f64,
+}
+
+impl Default for NelderMeadOptions {
+    fn default() -> Self {
+        NelderMeadOptions {
+            f_tolerance: 1e-10,
+            x_tolerance: 1e-10,
+            max_iterations: 2000,
+            initial_step: 0.5,
+        }
+    }
+}
+
+/// Result of a minimization run.
+#[derive(Debug, Clone)]
+pub struct NelderMeadResult {
+    /// Best point found.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub value: f64,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Whether a tolerance criterion was met (vs. the iteration cap).
+    pub converged: bool,
+}
+
+/// Minimize `f` starting from `x0`.
+///
+/// Non-finite objective values are treated as `+∞`, which lets callers
+/// impose constraints by returning `f64::INFINITY` outside the feasible
+/// region.
+///
+/// # Panics
+///
+/// Panics if `x0` is empty.
+pub fn minimize<F>(mut f: F, x0: &[f64], opts: NelderMeadOptions) -> NelderMeadResult
+where
+    F: FnMut(&[f64]) -> f64,
+{
+    assert!(!x0.is_empty(), "need at least one dimension");
+    let n = x0.len();
+    let sanitize = |v: f64| if v.is_finite() { v } else { f64::INFINITY };
+
+    // Initial simplex: x0 plus a step along each axis.
+    let mut simplex: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
+    simplex.push(x0.to_vec());
+    for i in 0..n {
+        let mut p = x0.to_vec();
+        p[i] +=
+            if p[i].abs() > 1e-12 { opts.initial_step * p[i].abs() } else { opts.initial_step };
+        simplex.push(p);
+    }
+    let mut values: Vec<f64> = simplex.iter().map(|p| sanitize(f(p))).collect();
+
+    let mut iterations = 0usize;
+    let mut converged = false;
+    while iterations < opts.max_iterations {
+        iterations += 1;
+        // Order the simplex by objective value.
+        let mut order: Vec<usize> = (0..=n).collect();
+        order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("sanitized"));
+        let best = order[0];
+        let worst = order[n];
+        let second_worst = order[n - 1];
+
+        // Convergence checks.
+        let spread = values[worst] - values[best];
+        let diam = simplex
+            .iter()
+            .map(|p| {
+                p.iter().zip(&simplex[best]).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max)
+            })
+            .fold(0.0f64, f64::max);
+        // Both criteria must hold: function-value ties at symmetric points
+        // (e.g. |x − a|) would otherwise stop with a large simplex.
+        if spread.is_finite() && spread < opts.f_tolerance && diam < opts.x_tolerance {
+            converged = true;
+            break;
+        }
+
+        // Centroid of all but the worst.
+        let mut centroid = vec![0.0; n];
+        for (idx, p) in simplex.iter().enumerate() {
+            if idx == worst {
+                continue;
+            }
+            for (c, &pi) in centroid.iter_mut().zip(p) {
+                *c += pi / n as f64;
+            }
+        }
+
+        let blend = |a: &[f64], b: &[f64], t: f64| -> Vec<f64> {
+            a.iter().zip(b).map(|(&ai, &bi)| ai + t * (bi - ai)).collect()
+        };
+
+        // Reflection.
+        let reflected = blend(&centroid, &simplex[worst], -1.0);
+        let f_reflected = sanitize(f(&reflected));
+        if f_reflected < values[best] {
+            // Expansion.
+            let expanded = blend(&centroid, &simplex[worst], -2.0);
+            let f_expanded = sanitize(f(&expanded));
+            if f_expanded < f_reflected {
+                simplex[worst] = expanded;
+                values[worst] = f_expanded;
+            } else {
+                simplex[worst] = reflected;
+                values[worst] = f_reflected;
+            }
+            continue;
+        }
+        if f_reflected < values[second_worst] {
+            simplex[worst] = reflected;
+            values[worst] = f_reflected;
+            continue;
+        }
+        // Contraction (outside if the reflection helped vs the worst,
+        // inside otherwise).
+        let contracted = if f_reflected < values[worst] {
+            blend(&centroid, &reflected, 0.5)
+        } else {
+            blend(&centroid, &simplex[worst], 0.5)
+        };
+        let f_contracted = sanitize(f(&contracted));
+        if f_contracted < values[worst].min(f_reflected) {
+            simplex[worst] = contracted;
+            values[worst] = f_contracted;
+            continue;
+        }
+        // Shrink toward the best point.
+        let best_point = simplex[best].clone();
+        for (idx, p) in simplex.iter_mut().enumerate() {
+            if idx == best {
+                continue;
+            }
+            for (pi, &bi) in p.iter_mut().zip(&best_point) {
+                *pi = bi + 0.5 * (*pi - bi);
+            }
+            values[idx] = sanitize(f(p));
+        }
+    }
+
+    let (best_idx, &value) = values
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("sanitized"))
+        .expect("non-empty simplex");
+    NelderMeadResult { x: simplex[best_idx].clone(), value, iterations, converged }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic() {
+        let res = minimize(
+            |x| (x[0] - 3.0).powi(2) + (x[1] + 1.0).powi(2),
+            &[0.0, 0.0],
+            NelderMeadOptions::default(),
+        );
+        assert!(res.converged);
+        assert!((res.x[0] - 3.0).abs() < 1e-4, "{:?}", res.x);
+        assert!((res.x[1] + 1.0).abs() < 1e-4);
+        assert!(res.value < 1e-8);
+    }
+
+    #[test]
+    fn minimizes_rosenbrock() {
+        let rosen = |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
+        let res = minimize(
+            rosen,
+            &[-1.2, 1.0],
+            NelderMeadOptions { max_iterations: 5000, ..Default::default() },
+        );
+        assert!((res.x[0] - 1.0).abs() < 1e-3, "{:?}", res.x);
+        assert!((res.x[1] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn one_dimensional() {
+        let res = minimize(|x| (x[0] - 5.0).abs(), &[0.0], NelderMeadOptions::default());
+        assert!((res.x[0] - 5.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn respects_infinity_constraints() {
+        // Constrained to x >= 1 via infinity; optimum of (x-0)^2 clamps to 1.
+        let res = minimize(
+            |x| if x[0] < 1.0 { f64::INFINITY } else { x[0] * x[0] },
+            &[4.0],
+            NelderMeadOptions::default(),
+        );
+        assert!((res.x[0] - 1.0).abs() < 1e-3, "{:?}", res.x);
+    }
+
+    #[test]
+    fn iteration_cap_reported() {
+        let res = minimize(
+            |x| x.iter().map(|v| v * v).sum(),
+            &[100.0, -100.0, 55.0],
+            NelderMeadOptions { max_iterations: 3, ..Default::default() },
+        );
+        assert!(!res.converged);
+        assert_eq!(res.iterations, 3);
+    }
+}

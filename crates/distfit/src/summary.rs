@@ -1,0 +1,179 @@
+//! Moment summaries, histograms and goodness-of-fit statistics.
+//!
+//! These back the paper's §IV-B characterization of the eccentricity
+//! distribution: *asymmetric, rightward-skewed, pronounced heavy tail* —
+//! i.e. positive skewness and positive excess kurtosis.
+
+/// Moment summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Mean.
+    pub mean: f64,
+    /// Population variance.
+    pub variance: f64,
+    /// Skewness (third standardized moment); positive = right-skewed.
+    pub skewness: f64,
+    /// Excess kurtosis (fourth standardized moment − 3); positive =
+    /// heavy-tailed relative to a Gaussian.
+    pub excess_kurtosis: f64,
+}
+
+impl Summary {
+    /// Compute the summary; `None` for empty input or non-finite values.
+    pub fn of(sample: &[f64]) -> Option<Summary> {
+        if sample.is_empty() || sample.iter().any(|x| !x.is_finite()) {
+            return None;
+        }
+        let n = sample.len() as f64;
+        let mean = sample.iter().sum::<f64>() / n;
+        let mut m2 = 0.0;
+        let mut m3 = 0.0;
+        let mut m4 = 0.0;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &x in sample {
+            let d = x - mean;
+            m2 += d * d;
+            m3 += d * d * d;
+            m4 += d * d * d * d;
+            min = min.min(x);
+            max = max.max(x);
+        }
+        m2 /= n;
+        m3 /= n;
+        m4 /= n;
+        let sd = m2.sqrt();
+        let (skewness, excess_kurtosis) =
+            if sd > 0.0 { (m3 / (sd * sd * sd), m4 / (m2 * m2) - 3.0) } else { (0.0, 0.0) };
+        Some(Summary {
+            count: sample.len(),
+            min,
+            max,
+            mean,
+            variance: m2,
+            skewness,
+            excess_kurtosis,
+        })
+    }
+}
+
+/// Equal-width histogram over `[min, max]`. Returns `(left_edges, counts)`;
+/// the final bucket is right-closed.
+///
+/// # Panics
+///
+/// Panics if `bins == 0` or the sample is empty.
+pub fn histogram(sample: &[f64], bins: usize) -> (Vec<f64>, Vec<usize>) {
+    assert!(bins > 0, "need at least one bin");
+    assert!(!sample.is_empty(), "sample must be non-empty");
+    let lo = sample.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = sample.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let width = if hi > lo { (hi - lo) / bins as f64 } else { 1.0 };
+    let mut counts = vec![0usize; bins];
+    for &x in sample {
+        let mut b = ((x - lo) / width) as usize;
+        if b >= bins {
+            b = bins - 1;
+        }
+        counts[b] += 1;
+    }
+    let edges = (0..bins).map(|b| lo + b as f64 * width).collect();
+    (edges, counts)
+}
+
+/// Kolmogorov–Smirnov statistic between a **sorted ascending** sample and a
+/// model CDF: `sup_x |F_n(x) − F(x)|`, evaluated at the sample points with
+/// both one-sided deviations.
+///
+/// # Panics
+///
+/// Panics if the sample is empty or not sorted.
+pub fn ks_statistic<F: Fn(f64) -> f64>(sorted_sample: &[f64], cdf: F) -> f64 {
+    assert!(!sorted_sample.is_empty(), "sample must be non-empty");
+    assert!(sorted_sample.windows(2).all(|w| w[0] <= w[1]), "sample must be sorted ascending");
+    let n = sorted_sample.len() as f64;
+    let mut d = 0.0f64;
+    for (i, &x) in sorted_sample.iter().enumerate() {
+        let f = cdf(x);
+        let upper = (i + 1) as f64 / n - f;
+        let lower = f - i as f64 / n;
+        d = d.max(upper.abs()).max(lower.abs());
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_symmetric_sample() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert!((s.variance - 2.0).abs() < 1e-12);
+        assert!(s.skewness.abs() < 1e-12, "symmetric sample has zero skewness");
+    }
+
+    #[test]
+    fn right_skewed_sample_has_positive_skewness() {
+        // Bulk at small values plus a heavy right tail.
+        let mut sample = vec![1.0; 90];
+        sample.extend(vec![10.0; 10]);
+        let s = Summary::of(&sample).unwrap();
+        assert!(s.skewness > 1.0, "skewness {}", s.skewness);
+        assert!(s.excess_kurtosis > 0.0);
+    }
+
+    #[test]
+    fn summary_rejects_bad_input() {
+        assert!(Summary::of(&[]).is_none());
+        assert!(Summary::of(&[1.0, f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn constant_sample_degenerate_moments() {
+        let s = Summary::of(&[4.0; 8]).unwrap();
+        assert_eq!(s.variance, 0.0);
+        assert_eq!(s.skewness, 0.0);
+        assert_eq!(s.excess_kurtosis, 0.0);
+    }
+
+    #[test]
+    fn histogram_counts_everything() {
+        let (edges, counts) = histogram(&[0.0, 0.1, 0.5, 0.9, 1.0], 2);
+        assert_eq!(edges.len(), 2);
+        assert_eq!(counts.iter().sum::<usize>(), 5);
+        assert_eq!(counts, vec![2, 3]);
+    }
+
+    #[test]
+    fn ks_of_perfect_uniform_is_small() {
+        let n = 1000;
+        let sample: Vec<f64> = (0..n).map(|i| (i as f64 + 0.5) / n as f64).collect();
+        let d = ks_statistic(&sample, |x| x.clamp(0.0, 1.0));
+        assert!(d < 1.0 / n as f64 + 1e-12, "d = {d}");
+    }
+
+    #[test]
+    fn ks_detects_wrong_model() {
+        let sample: Vec<f64> = (0..100).map(|i| (i as f64 + 0.5) / 100.0).collect();
+        // Model: everything is below 0.5 (degenerate CDF).
+        let d = ks_statistic(&sample, |x| if x < 0.5 { 0.0 } else { 1.0 });
+        assert!(d >= 0.49, "d = {d}");
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn ks_rejects_unsorted() {
+        let _ = ks_statistic(&[2.0, 1.0], |x| x);
+    }
+}

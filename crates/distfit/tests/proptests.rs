@@ -1,0 +1,120 @@
+//! Property-based tests for the distribution-fitting substrate.
+
+use proptest::prelude::*;
+use reecc_distfit::burr::BurrXII;
+use reecc_distfit::models::{LogNormal, Weibull};
+use reecc_distfit::neldermead::{minimize, NelderMeadOptions};
+use reecc_distfit::summary::{ks_statistic, Summary};
+
+fn burr_params() -> impl Strategy<Value = (f64, f64, f64)> {
+    (0.5f64..5.0, 0.3f64..4.0, 0.2f64..5.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CDFs are monotone, bounded in [0, 1], and inverted by quantile.
+    #[test]
+    fn burr_cdf_contract((c, k, s) in burr_params(), x in 0.01f64..50.0, p in 0.01f64..0.99) {
+        let d = BurrXII::new(c, k, s);
+        let f = d.cdf(x);
+        prop_assert!((0.0..=1.0).contains(&f));
+        prop_assert!(d.cdf(x + 0.5) >= f - 1e-12, "CDF must be monotone");
+        let q = d.quantile(p);
+        prop_assert!(q > 0.0);
+        prop_assert!((d.cdf(q) - p).abs() < 1e-9);
+        prop_assert!(d.pdf(x) >= 0.0);
+        prop_assert_eq!(d.cdf(0.0), 0.0);
+    }
+
+    /// The same contract for Weibull and log-normal.
+    #[test]
+    fn alternative_models_cdf_contract(
+        shape in 0.4f64..4.0,
+        scale in 0.2f64..5.0,
+        x in 0.01f64..50.0
+    ) {
+        let w = Weibull::new(shape, scale);
+        prop_assert!((0.0..=1.0).contains(&w.cdf(x)));
+        prop_assert!(w.cdf(x + 0.5) >= w.cdf(x) - 1e-12);
+        prop_assert!(w.pdf(x) >= 0.0);
+
+        let ln = LogNormal::new(scale.ln(), shape.max(0.05));
+        prop_assert!((0.0..=1.0).contains(&ln.cdf(x)));
+        prop_assert!(ln.cdf(x + 0.5) >= ln.cdf(x) - 1e-12);
+        prop_assert!(ln.pdf(x) >= 0.0);
+    }
+
+    /// ln_pdf and pdf agree wherever the density is positive.
+    #[test]
+    fn burr_log_density_consistency((c, k, s) in burr_params(), x in 0.05f64..30.0) {
+        let d = BurrXII::new(c, k, s);
+        let pdf = d.pdf(x);
+        prop_assume!(pdf > 1e-280);
+        prop_assert!((d.ln_pdf(x).exp() - pdf).abs() <= 1e-9 * pdf.max(1.0));
+    }
+
+    /// KS statistic is in [0, 1], zero-ish for the empirical CDF itself.
+    #[test]
+    fn ks_bounds(values in proptest::collection::vec(0.01f64..100.0, 2..60)) {
+        let mut sorted = values;
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let d = ks_statistic(&sorted, |x| x / 100.0);
+        prop_assert!((0.0..=1.0).contains(&d));
+        // Against a degenerate CDF the statistic is ~1.
+        let d_bad = ks_statistic(&sorted, |_| 0.0);
+        prop_assert!(d_bad >= 1.0 - 1e-12);
+    }
+
+    /// Summary moments respect their definitions.
+    #[test]
+    fn summary_contract(values in proptest::collection::vec(-50.0f64..50.0, 2..80)) {
+        let s = Summary::of(&values).unwrap();
+        prop_assert_eq!(s.count, values.len());
+        prop_assert!(s.min <= s.mean + 1e-9 && s.mean <= s.max + 1e-9);
+        prop_assert!(s.variance >= 0.0);
+        // Shift invariance of variance/skewness/kurtosis.
+        let shifted: Vec<f64> = values.iter().map(|v| v + 10.0).collect();
+        let s2 = Summary::of(&shifted).unwrap();
+        prop_assert!((s.variance - s2.variance).abs() < 1e-6 * s.variance.max(1.0));
+        prop_assert!((s.skewness - s2.skewness).abs() < 1e-5);
+    }
+
+    /// Nelder–Mead finds the minimum of random positive-definite
+    /// quadratics in up to 4 dimensions.
+    #[test]
+    fn nelder_mead_solves_quadratics(
+        center in proptest::collection::vec(-5.0f64..5.0, 1..5),
+        scales in proptest::collection::vec(0.5f64..4.0, 4)
+    ) {
+        let dim = center.len();
+        let objective = |x: &[f64]| -> f64 {
+            x.iter()
+                .zip(&center)
+                .zip(&scales[..dim])
+                .map(|((xi, ci), si)| si * (xi - ci) * (xi - ci))
+                .sum()
+        };
+        let res = minimize(
+            objective,
+            &vec![0.0; dim],
+            NelderMeadOptions { max_iterations: 5000, ..Default::default() },
+        );
+        for (xi, ci) in res.x.iter().zip(&center) {
+            prop_assert!((xi - ci).abs() < 1e-3, "{} vs {}", xi, ci);
+        }
+    }
+
+    /// Sampling + refitting is stable: the fitted Burr's median is close
+    /// to the generator's median (distribution-level identifiability).
+    #[test]
+    fn burr_fit_roundtrip_median(seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let truth = BurrXII::new(2.0, 1.2, 1.5);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let sample = truth.sample_many(&mut rng, 1500);
+        let fit = reecc_distfit::burr::fit_burr_mle(&sample).unwrap();
+        let rel = (fit.distribution.median() - truth.median()).abs() / truth.median();
+        prop_assert!(rel < 0.15, "median drift {}", rel);
+    }
+}

@@ -1,0 +1,120 @@
+//! Incremental graph construction.
+
+use crate::graph::{Edge, Graph, NodeId};
+use crate::GraphError;
+
+/// Incremental builder for [`Graph`].
+///
+/// Collects edges (self-loops silently dropped, duplicates merged at build
+/// time) and can grow the node count on demand.
+///
+/// ```
+/// use reecc_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1);
+/// b.add_edge(1, 2);
+/// b.add_edge(2, 1); // duplicate, merged
+/// let g = b.build().unwrap();
+/// assert_eq!(g.edge_count(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    pairs: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// Builder for a graph with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder { n, pairs: Vec::new() }
+    }
+
+    /// Builder with pre-reserved edge capacity.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        GraphBuilder { n, pairs: Vec::with_capacity(m) }
+    }
+
+    /// Current node count.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of raw (possibly duplicate) edge records added so far.
+    pub fn raw_edge_count(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Ensure the node id space covers `0..=id`.
+    pub fn ensure_node(&mut self, id: NodeId) {
+        if id >= self.n {
+            self.n = id + 1;
+        }
+    }
+
+    /// Record an edge; endpoints may be in any order. Self-loops are dropped.
+    /// The node space grows to cover both endpoints.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId) {
+        self.ensure_node(a);
+        self.ensure_node(b);
+        if a != b {
+            self.pairs.push((a, b));
+        }
+    }
+
+    /// Finalize into an immutable [`Graph`].
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible in practice (endpoints are always in range by
+    /// construction), but kept fallible to mirror [`Graph::from_edges`].
+    pub fn build(self) -> Result<Graph, GraphError> {
+        let mut edges: Vec<Edge> =
+            self.pairs.into_iter().map(|(a, b)| Edge::new(a, b)).collect();
+        edges.sort_unstable();
+        edges.dedup();
+        Ok(Graph::from_canonical_edges(self.n, edges))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_grows_node_space() {
+        let mut b = GraphBuilder::new(0);
+        b.add_edge(4, 2);
+        assert_eq!(b.node_count(), 5);
+        let g = b.build().unwrap();
+        assert_eq!(g.node_count(), 5);
+        assert!(g.has_edge(2, 4));
+    }
+
+    #[test]
+    fn builder_drops_self_loops() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(1, 1);
+        b.add_edge(0, 1);
+        let g = b.build().unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn builder_merges_duplicates_both_orders() {
+        let mut b = GraphBuilder::with_capacity(3, 4);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        b.add_edge(0, 1);
+        assert_eq!(b.raw_edge_count(), 3);
+        let g = b.build().unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_graph() {
+        let g = GraphBuilder::default().build().unwrap();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Bridges and articulation points (iterative Tarjan low-link).
+//!
+//! A *bridge* is an edge whose removal disconnects its component. In
+//! resistance terms an edge `(u, v)` is a bridge iff `r(u, v) = 1`
+//! exactly — which is why the rank-1 *downdate* in `reecc-core` refuses
+//! edges with `r ≥ 1`; this module provides the combinatorial check the
+//! numeric one is validated against.
+
+use crate::graph::{Edge, Graph, NodeId};
+
+/// All bridges, in canonical edge order.
+pub fn bridges(g: &Graph) -> Vec<Edge> {
+    let (mut bridges, _) = lowlink_scan(g);
+    bridges.sort_unstable();
+    bridges
+}
+
+/// All articulation (cut) points, ascending.
+pub fn articulation_points(g: &Graph) -> Vec<NodeId> {
+    let (_, mut points) = lowlink_scan(g);
+    points.sort_unstable();
+    points.dedup();
+    points
+}
+
+/// Whether `{a, b}` is a bridge. `O(n + m)` (full scan); batch callers
+/// should use [`bridges`] once.
+pub fn is_bridge(g: &Graph, a: NodeId, b: NodeId) -> bool {
+    if !g.has_edge(a, b) {
+        return false;
+    }
+    bridges(g).contains(&Edge::new(a, b))
+}
+
+/// Iterative low-link DFS returning (bridges, articulation points).
+fn lowlink_scan(g: &Graph) -> (Vec<Edge>, Vec<NodeId>) {
+    let n = g.node_count();
+    let mut disc = vec![usize::MAX; n]; // discovery times
+    let mut low = vec![usize::MAX; n];
+    let mut parent = vec![usize::MAX; n];
+    let mut timer = 0usize;
+    let mut found_bridges = Vec::new();
+    let mut found_cuts = Vec::new();
+
+    // Explicit DFS stack: (node, neighbor cursor).
+    let mut stack: Vec<(NodeId, usize)> = Vec::new();
+    for root in 0..n {
+        if disc[root] != usize::MAX {
+            continue;
+        }
+        disc[root] = timer;
+        low[root] = timer;
+        timer += 1;
+        let mut root_children = 0usize;
+        stack.push((root, 0));
+        while let Some(&mut (u, ref mut cursor)) = stack.last_mut() {
+            let nb = g.neighbors(u);
+            if *cursor < nb.len() {
+                let v = nb[*cursor];
+                *cursor += 1;
+                if disc[v] == usize::MAX {
+                    parent[v] = u;
+                    disc[v] = timer;
+                    low[v] = timer;
+                    timer += 1;
+                    if u == root {
+                        root_children += 1;
+                    }
+                    stack.push((v, 0));
+                } else if v != parent[u] {
+                    // Back edge (or forward in undirected DFS terms).
+                    low[u] = low[u].min(disc[v]);
+                }
+            } else {
+                stack.pop();
+                if let Some(&(p, _)) = stack.last() {
+                    low[p] = low[p].min(low[u]);
+                    if low[u] > disc[p] {
+                        found_bridges.push(Edge::new(p, u));
+                    }
+                    if p != root && low[u] >= disc[p] {
+                        found_cuts.push(p);
+                    }
+                }
+            }
+        }
+        if root_children >= 2 {
+            found_cuts.push(root);
+        }
+    }
+    (found_bridges, found_cuts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{barbell, complete, cycle, line, star};
+    use crate::Graph;
+
+    #[test]
+    fn every_tree_edge_is_a_bridge() {
+        let g = line(6);
+        assert_eq!(bridges(&g).len(), 5);
+        let s = star(7);
+        assert_eq!(bridges(&s).len(), 6);
+    }
+
+    #[test]
+    fn cycles_and_cliques_have_no_bridges() {
+        assert!(bridges(&cycle(8)).is_empty());
+        assert!(bridges(&complete(5)).is_empty());
+        assert!(articulation_points(&cycle(8)).is_empty());
+    }
+
+    #[test]
+    fn barbell_bridge_structure() {
+        // Two K4 cliques joined by a 2-node path: the 3 path edges are the
+        // bridges, and the 4 nodes along the path (2 clique anchors + 2
+        // path nodes) are articulation points.
+        let g = barbell(4, 2);
+        let b = bridges(&g);
+        assert_eq!(b.len(), 3, "bridges: {b:?}");
+        let cuts = articulation_points(&g);
+        assert_eq!(cuts, vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn star_hub_is_the_only_cut_vertex() {
+        let g = star(9);
+        assert_eq!(articulation_points(&g), vec![0]);
+    }
+
+    #[test]
+    fn is_bridge_pointwise() {
+        let g = line(4);
+        assert!(is_bridge(&g, 1, 2));
+        assert!(!is_bridge(&g, 0, 3), "non-edges are not bridges");
+        let c = cycle(4);
+        assert!(!is_bridge(&c, 0, 1));
+    }
+
+    #[test]
+    fn disconnected_graphs_scan_all_components() {
+        // Two triangles plus one bridge-bearing path.
+        let g = Graph::from_edges(8, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (6, 7)])
+            .unwrap();
+        assert_eq!(bridges(&g), vec![Edge::new(6, 7)]);
+        assert!(articulation_points(&g).is_empty());
+    }
+
+    #[test]
+    fn bridge_iff_unit_resistance() {
+        // Cross-check the electrical characterization on a mixed graph:
+        // a triangle with a pendant path.
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)]).unwrap();
+        let b = bridges(&g);
+        assert_eq!(b, vec![Edge::new(2, 3), Edge::new(3, 4)]);
+    }
+}

@@ -1,0 +1,273 @@
+//! Deterministic graph families.
+//!
+//! These match the example graphs of the paper's Figure 1 (line, cycle,
+//! star) plus a few extra families used by tests and benchmarks.
+
+use crate::graph::Graph;
+
+/// Line (path) graph on `n` nodes: edges `(i, i+1)`.
+///
+/// Figure 1(a) of the paper uses a line with `2n` nodes; its resistance
+/// eccentricity has the closed form `c(v_i) = max(i, n-1-i)` with 0-based
+/// ids (distance to the farther endpoint).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn line(n: usize) -> Graph {
+    assert!(n > 0, "line graph needs at least one node");
+    Graph::from_edges(n, (0..n.saturating_sub(1)).map(|i| (i, i + 1))).expect("in range")
+}
+
+/// Cycle graph on `n >= 3` nodes.
+///
+/// Figure 1(b): for a cycle with `2n` nodes every node has
+/// `c(v) = (2n/2) * (2n/2) / (2n) = n/2`.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle needs at least 3 nodes");
+    Graph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n))).expect("in range")
+}
+
+/// Star graph: node 0 is the hub, nodes `1..n` are leaves.
+///
+/// Figure 1(c): `c(hub) = 1`, `c(leaf) = 2` (for `n >= 3`).
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn star(n: usize) -> Graph {
+    assert!(n >= 2, "star needs at least 2 nodes");
+    Graph::from_edges(n, (1..n).map(|i| (0, i))).expect("in range")
+}
+
+/// Complete graph `K_n`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn complete(n: usize) -> Graph {
+    assert!(n > 0, "complete graph needs at least one node");
+    let pairs = (0..n).flat_map(|u| ((u + 1)..n).map(move |v| (u, v)));
+    Graph::from_edges(n, pairs).expect("in range")
+}
+
+/// Wheel graph: a cycle on nodes `1..n` plus hub node `0` joined to all.
+///
+/// # Panics
+///
+/// Panics if `n < 4`.
+pub fn wheel(n: usize) -> Graph {
+    assert!(n >= 4, "wheel needs at least 4 nodes");
+    let rim = n - 1;
+    let mut pairs: Vec<(usize, usize)> = (0..rim).map(|i| (1 + i, 1 + (i + 1) % rim)).collect();
+    pairs.extend((1..n).map(|i| (0, i)));
+    Graph::from_edges(n, pairs).expect("in range")
+}
+
+/// `rows x cols` grid graph with 4-neighborhood.
+///
+/// # Panics
+///
+/// Panics if either dimension is 0.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    assert!(rows > 0 && cols > 0, "grid needs positive dimensions");
+    let idx = |r: usize, c: usize| r * cols + c;
+    let mut pairs = Vec::with_capacity(2 * rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                pairs.push((idx(r, c), idx(r, c + 1)));
+            }
+            if r + 1 < rows {
+                pairs.push((idx(r, c), idx(r + 1, c)));
+            }
+        }
+    }
+    Graph::from_edges(rows * cols, pairs).expect("in range")
+}
+
+/// Balanced tree with branching factor `b` and `depth` levels below the root.
+///
+/// `depth == 0` yields a single node.
+///
+/// # Panics
+///
+/// Panics if `b == 0`.
+pub fn balanced_tree(b: usize, depth: usize) -> Graph {
+    assert!(b > 0, "branching factor must be positive");
+    let mut pairs = Vec::new();
+    let mut level_start = 0usize;
+    let mut level_size = 1usize;
+    let mut next = 1usize;
+    for _ in 0..depth {
+        for parent in level_start..level_start + level_size {
+            for _ in 0..b {
+                pairs.push((parent, next));
+                next += 1;
+            }
+        }
+        level_start += level_size;
+        level_size *= b;
+    }
+    Graph::from_edges(next, pairs).expect("in range")
+}
+
+/// Barbell graph: two `K_k` cliques joined by a path of `path_len` extra
+/// nodes (`path_len == 0` joins the cliques with a single bridge edge).
+///
+/// # Panics
+///
+/// Panics if `k < 2`.
+pub fn barbell(k: usize, path_len: usize) -> Graph {
+    assert!(k >= 2, "barbell cliques need k >= 2");
+    let n = 2 * k + path_len;
+    let mut pairs = Vec::new();
+    for u in 0..k {
+        for v in (u + 1)..k {
+            pairs.push((u, v));
+        }
+    }
+    let second = k + path_len;
+    for u in second..n {
+        for v in (u + 1)..n {
+            pairs.push((u, v));
+        }
+    }
+    // Path from node k-1 through path nodes k..k+path_len to node `second`.
+    let mut prev = k - 1;
+    for p in k..k + path_len {
+        pairs.push((prev, p));
+        prev = p;
+    }
+    pairs.push((prev, second));
+    Graph::from_edges(n, pairs).expect("in range")
+}
+
+/// Lollipop graph: a `K_k` clique with a path of `path_len` nodes attached.
+///
+/// # Panics
+///
+/// Panics if `k < 2`.
+pub fn lollipop(k: usize, path_len: usize) -> Graph {
+    assert!(k >= 2, "lollipop clique needs k >= 2");
+    let n = k + path_len;
+    let mut pairs = Vec::new();
+    for u in 0..k {
+        for v in (u + 1)..k {
+            pairs.push((u, v));
+        }
+    }
+    let mut prev = k - 1;
+    for p in k..n {
+        pairs.push((prev, p));
+        prev = p;
+    }
+    Graph::from_edges(n, pairs).expect("in range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::is_connected;
+
+    #[test]
+    fn line_counts() {
+        let g = line(6);
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.edge_count(), 5);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(3), 2);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn line_single_node() {
+        let g = line(1);
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn cycle_counts() {
+        let g = cycle(8);
+        assert_eq!(g.edge_count(), 8);
+        assert!(g.nodes().all(|v| g.degree(v) == 2));
+        assert!(g.has_edge(7, 0));
+    }
+
+    #[test]
+    fn star_counts() {
+        let g = star(10);
+        assert_eq!(g.edge_count(), 9);
+        assert_eq!(g.degree(0), 9);
+        assert!((1..10).all(|v| g.degree(v) == 1));
+    }
+
+    #[test]
+    fn complete_counts() {
+        let g = complete(6);
+        assert_eq!(g.edge_count(), 15);
+        assert!(g.nodes().all(|v| g.degree(v) == 5));
+    }
+
+    #[test]
+    fn wheel_counts() {
+        let g = wheel(7); // hub + 6-cycle rim
+        assert_eq!(g.edge_count(), 12);
+        assert_eq!(g.degree(0), 6);
+        assert!((1..7).all(|v| g.degree(v) == 3));
+    }
+
+    #[test]
+    fn grid_counts() {
+        let g = grid(3, 4);
+        assert_eq!(g.node_count(), 12);
+        // 3 rows * 3 horizontal + 2 * 4 vertical = 9 + 8
+        assert_eq!(g.edge_count(), 17);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn balanced_tree_counts() {
+        let g = balanced_tree(2, 3);
+        assert_eq!(g.node_count(), 15);
+        assert_eq!(g.edge_count(), 14);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn balanced_tree_depth_zero() {
+        let g = balanced_tree(3, 0);
+        assert_eq!(g.node_count(), 1);
+    }
+
+    #[test]
+    fn barbell_counts() {
+        let g = barbell(4, 2);
+        assert_eq!(g.node_count(), 10);
+        // 2 * C(4,2) + 3 path edges
+        assert_eq!(g.edge_count(), 15);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn barbell_zero_path() {
+        let g = barbell(3, 0);
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.edge_count(), 7);
+        assert!(g.has_edge(2, 3));
+    }
+
+    #[test]
+    fn lollipop_counts() {
+        let g = lollipop(4, 3);
+        assert_eq!(g.node_count(), 7);
+        assert_eq!(g.edge_count(), 9);
+        assert!(is_connected(&g));
+        assert_eq!(g.degree(6), 1);
+    }
+}

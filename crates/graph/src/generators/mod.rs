@@ -1,0 +1,22 @@
+//! Graph generators.
+//!
+//! Deterministic families live in [`deterministic`]; seeded random families
+//! in [`random`]. Everything is re-exported here for convenience.
+//!
+//! All random generators take an explicit `seed` so that experiments are
+//! reproducible run-to-run and machine-to-machine.
+
+pub mod configuration;
+pub mod deterministic;
+pub mod random;
+
+pub use configuration::{
+    configuration_model, power_law_configuration, power_law_degree_sequence,
+};
+pub use deterministic::{
+    balanced_tree, barbell, complete, cycle, grid, line, lollipop, star, wheel,
+};
+pub use random::{
+    barabasi_albert, connected_erdos_renyi, erdos_renyi, holme_kim, holme_kim_varied,
+    random_dense_small, watts_strogatz, with_pendant_periphery,
+};

@@ -1,0 +1,505 @@
+//! Seeded random graph families.
+//!
+//! Every generator takes an explicit `seed` and uses a
+//! [`rand::rngs::StdRng`] so outputs are fully reproducible.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::graph::{Graph, NodeId};
+
+/// Erdős–Rényi `G(n, p)` graph.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]`.
+pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pairs = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(p) {
+                pairs.push((u, v));
+            }
+        }
+    }
+    Graph::from_edges(n, pairs).expect("in range")
+}
+
+/// Erdős–Rényi `G(n, p)` conditioned to be connected: a uniformly shuffled
+/// spanning tree (random recursive tree over a random permutation) is laid
+/// down first, then independent `G(n, p)` edges are superimposed.
+///
+/// This is *not* exactly `G(n,p) | connected`, but it is the standard cheap
+/// surrogate used when a connected random substrate is needed.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `p` is not in `[0, 1]`.
+pub fn connected_erdos_renyi(n: usize, p: f64, seed: u64) -> Graph {
+    assert!(n > 0, "need at least one node");
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<NodeId> = (0..n).collect();
+    order.shuffle(&mut rng);
+    let mut pairs = Vec::new();
+    for i in 1..n {
+        let parent = order[rng.gen_range(0..i)];
+        pairs.push((parent, order[i]));
+    }
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(p) {
+                pairs.push((u, v));
+            }
+        }
+    }
+    Graph::from_edges(n, pairs).expect("in range")
+}
+
+/// Barabási–Albert preferential attachment: start from a small clique of
+/// `m0 = m_attach` nodes, then each new node attaches to `m_attach` distinct
+/// existing nodes chosen proportionally to degree.
+///
+/// Produces a connected scale-free graph with power-law exponent ~3.
+///
+/// # Panics
+///
+/// Panics if `m_attach == 0` or `n <= m_attach`.
+pub fn barabasi_albert(n: usize, m_attach: usize, seed: u64) -> Graph {
+    assert!(m_attach >= 1, "attachment count must be positive");
+    assert!(n > m_attach, "need more nodes than the seed clique");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // `targets` holds one entry per degree unit; sampling uniformly from it
+    // is sampling proportionally to degree.
+    let mut targets: Vec<NodeId> = Vec::with_capacity(2 * n * m_attach);
+    let mut pairs: Vec<(NodeId, NodeId)> = Vec::with_capacity(n * m_attach);
+    // Seed clique on nodes 0..m0 where m0 = m_attach (+1 when m_attach == 1
+    // so the first sample pool is non-trivial).
+    let m0 = (m_attach + 1).min(n);
+    for u in 0..m0 {
+        for v in (u + 1)..m0 {
+            pairs.push((u, v));
+            targets.push(u);
+            targets.push(v);
+        }
+    }
+    let mut chosen: Vec<NodeId> = Vec::with_capacity(m_attach);
+    for new in m0..n {
+        chosen.clear();
+        // Rejection-sample distinct targets.
+        while chosen.len() < m_attach {
+            let t = targets[rng.gen_range(0..targets.len())];
+            if !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            pairs.push((new, t));
+            targets.push(new);
+            targets.push(t);
+        }
+    }
+    Graph::from_edges(n, pairs).expect("in range")
+}
+
+/// Holme–Kim "powerlaw cluster" model: Barabási–Albert with a triad
+/// formation step of probability `p_triad`, yielding scale-free graphs with
+/// tunable (high) clustering — the topology class of the paper's real
+/// networks.
+///
+/// # Panics
+///
+/// Panics if `m_attach == 0`, `n <= m_attach`, or `p_triad` is not in `[0,1]`.
+pub fn holme_kim(n: usize, m_attach: usize, p_triad: f64, seed: u64) -> Graph {
+    assert!(m_attach >= 1, "attachment count must be positive");
+    assert!(n > m_attach, "need more nodes than the seed clique");
+    assert!((0.0..=1.0).contains(&p_triad), "p_triad must be a probability");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut targets: Vec<NodeId> = Vec::with_capacity(2 * n * m_attach);
+    let mut pairs: Vec<(NodeId, NodeId)> = Vec::with_capacity(n * m_attach);
+    let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    let connect = |a: NodeId,
+                   b: NodeId,
+                   pairs: &mut Vec<(NodeId, NodeId)>,
+                   targets: &mut Vec<NodeId>,
+                   adj: &mut Vec<Vec<NodeId>>| {
+        pairs.push((a, b));
+        targets.push(a);
+        targets.push(b);
+        adj[a].push(b);
+        adj[b].push(a);
+    };
+    let m0 = (m_attach + 1).min(n);
+    for u in 0..m0 {
+        for v in (u + 1)..m0 {
+            connect(u, v, &mut pairs, &mut targets, &mut adj);
+        }
+    }
+    for new in m0..n {
+        let mut chosen: Vec<NodeId> = Vec::with_capacity(m_attach);
+        let mut last_pa: Option<NodeId> = None;
+        while chosen.len() < m_attach {
+            // Triad step: connect to a random neighbor of the previous
+            // preferential-attachment target, if possible.
+            let mut candidate: Option<NodeId> = None;
+            if let Some(prev) = last_pa {
+                if rng.gen_bool(p_triad) && !adj[prev].is_empty() {
+                    let nb = adj[prev][rng.gen_range(0..adj[prev].len())];
+                    if nb != new && !chosen.contains(&nb) {
+                        candidate = Some(nb);
+                    }
+                }
+            }
+            let t = match candidate {
+                Some(t) => t,
+                None => {
+                    let t = targets[rng.gen_range(0..targets.len())];
+                    if t == new || chosen.contains(&t) {
+                        continue;
+                    }
+                    last_pa = Some(t);
+                    t
+                }
+            };
+            chosen.push(t);
+            connect(new, t, &mut pairs, &mut targets, &mut adj);
+        }
+    }
+    Graph::from_edges(n, pairs).expect("in range")
+}
+
+/// Watts–Strogatz small-world graph: ring lattice with `k` nearest neighbors
+/// per side (total degree `2k` before rewiring), each "forward" edge rewired
+/// with probability `beta`.
+///
+/// # Panics
+///
+/// Panics if `k == 0`, `n <= 2 * k`, or `beta` is not in `[0, 1]`.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Graph {
+    assert!(k >= 1, "k must be positive");
+    assert!(n > 2 * k, "need n > 2k for a ring lattice");
+    assert!((0.0..=1.0).contains(&beta), "beta must be a probability");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Adjacency set kept as sorted Vec per node for O(log) membership.
+    let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    let add = |a: NodeId, b: NodeId, adj: &mut Vec<Vec<NodeId>>| {
+        let pos = adj[a].binary_search(&b).unwrap_err();
+        adj[a].insert(pos, b);
+        let pos = adj[b].binary_search(&a).unwrap_err();
+        adj[b].insert(pos, a);
+    };
+    let has = |a: NodeId, b: NodeId, adj: &[Vec<NodeId>]| adj[a].binary_search(&b).is_ok();
+    let remove = |a: NodeId, b: NodeId, adj: &mut Vec<Vec<NodeId>>| {
+        if let Ok(pos) = adj[a].binary_search(&b) {
+            adj[a].remove(pos);
+        }
+        if let Ok(pos) = adj[b].binary_search(&a) {
+            adj[b].remove(pos);
+        }
+    };
+    for u in 0..n {
+        for d in 1..=k {
+            let v = (u + d) % n;
+            if !has(u, v, &adj) {
+                add(u, v, &mut adj);
+            }
+        }
+    }
+    for u in 0..n {
+        for d in 1..=k {
+            let v = (u + d) % n;
+            if rng.gen_bool(beta) && has(u, v, &adj) {
+                // Rewire (u, v) -> (u, w) for a uniform non-neighbor w.
+                if adj[u].len() >= n - 1 {
+                    continue; // u is saturated
+                }
+                let w = loop {
+                    let w = rng.gen_range(0..n);
+                    if w != u && !has(u, w, &adj) {
+                        break w;
+                    }
+                };
+                remove(u, v, &mut adj);
+                add(u, w, &mut adj);
+            }
+        }
+    }
+    let pairs = adj
+        .iter()
+        .enumerate()
+        .flat_map(|(u, nb)| nb.iter().filter(move |&&v| v > u).map(move |&v| (u, v)));
+    Graph::from_edges(n, pairs.collect::<Vec<_>>()).expect("in range")
+}
+
+/// Holme–Kim with *varied* attachment counts: each incoming node attaches
+/// to `m_i ~ Uniform{1, …, 2·m_mean − 1}` targets (mean `m_mean`) instead
+/// of a fixed count. The resulting degree distribution reaches down to
+/// degree 1 — like real scale-free networks, and unlike fixed-`m`
+/// preferential attachment whose minimum degree is `m`. Resistance
+/// eccentricities then spread continuously (the `1/d_v` term varies over
+/// `(0, 1]`), which is what gives the paper's Figure-2 distributions
+/// their smooth bulk.
+///
+/// # Panics
+///
+/// Panics if `m_mean == 0`, `n <= m_mean`, or `p_triad` outside `[0, 1]`.
+pub fn holme_kim_varied(n: usize, m_mean: usize, p_triad: f64, seed: u64) -> Graph {
+    assert!(m_mean >= 1, "mean attachment must be positive");
+    assert!(n > m_mean, "need more nodes than the seed clique");
+    assert!((0.0..=1.0).contains(&p_triad), "p_triad must be a probability");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut targets: Vec<NodeId> = Vec::with_capacity(2 * n * m_mean);
+    let mut pairs: Vec<(NodeId, NodeId)> = Vec::with_capacity(n * m_mean);
+    let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    let connect = |a: NodeId,
+                   b: NodeId,
+                   pairs: &mut Vec<(NodeId, NodeId)>,
+                   targets: &mut Vec<NodeId>,
+                   adj: &mut Vec<Vec<NodeId>>| {
+        pairs.push((a, b));
+        targets.push(a);
+        targets.push(b);
+        adj[a].push(b);
+        adj[b].push(a);
+    };
+    let m0 = (m_mean + 1).min(n);
+    for u in 0..m0 {
+        for v in (u + 1)..m0 {
+            connect(u, v, &mut pairs, &mut targets, &mut adj);
+        }
+    }
+    for new in m0..n {
+        let m_i = rng.gen_range(1..=2 * m_mean - 1).min(new);
+        let mut chosen: Vec<NodeId> = Vec::with_capacity(m_i);
+        let mut last_pa: Option<NodeId> = None;
+        while chosen.len() < m_i {
+            let mut candidate: Option<NodeId> = None;
+            if let Some(prev) = last_pa {
+                if rng.gen_bool(p_triad) && !adj[prev].is_empty() {
+                    let nb = adj[prev][rng.gen_range(0..adj[prev].len())];
+                    if nb != new && !chosen.contains(&nb) {
+                        candidate = Some(nb);
+                    }
+                }
+            }
+            let t = match candidate {
+                Some(t) => t,
+                None => {
+                    let t = targets[rng.gen_range(0..targets.len())];
+                    if t == new || chosen.contains(&t) {
+                        continue;
+                    }
+                    last_pa = Some(t);
+                    t
+                }
+            };
+            chosen.push(t);
+            connect(new, t, &mut pairs, &mut targets, &mut adj);
+        }
+    }
+    Graph::from_edges(n, pairs).expect("in range")
+}
+
+/// Attach a low-degree periphery to a graph: `count` new nodes are added
+/// as pendant chains (each chain hangs off a uniformly random existing
+/// node; chain lengths are uniform in `1..=max_chain_len`).
+///
+/// Real scale-free networks have a large fraction of degree-1/2 nodes on
+/// their fringes — exactly the nodes that realize large resistance
+/// eccentricities (paper §IV-B). Preferential-attachment generators with
+/// `m_attach ≥ 2` lack such nodes; this decorator restores them.
+///
+/// # Panics
+///
+/// Panics if the base graph is empty or `max_chain_len == 0`.
+pub fn with_pendant_periphery(
+    g: &Graph,
+    count: usize,
+    max_chain_len: usize,
+    seed: u64,
+) -> Graph {
+    assert!(g.node_count() > 0, "base graph must be non-empty");
+    assert!(max_chain_len >= 1, "chains need positive length");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let base_n = g.node_count();
+    let mut pairs: Vec<(NodeId, NodeId)> = g.edges().iter().map(|e| (e.u, e.v)).collect();
+    let mut next = base_n;
+    let mut remaining = count;
+    while remaining > 0 {
+        let len = rng.gen_range(1..=max_chain_len).min(remaining);
+        let mut anchor = rng.gen_range(0..base_n);
+        for _ in 0..len {
+            pairs.push((anchor, next));
+            anchor = next;
+            next += 1;
+        }
+        remaining -= len;
+    }
+    Graph::from_edges(base_n + count, pairs).expect("in range")
+}
+
+/// A small dense random connected graph with exactly `n` nodes and `m`
+/// edges — a stand-in for tiny social datasets (Kangaroo, Rhesus, Cloister,
+/// Tribes) where only the size class matters.
+///
+/// A random spanning tree guarantees connectivity; remaining edges are drawn
+/// uniformly from the complement.
+///
+/// # Panics
+///
+/// Panics if `m < n - 1` or `m > n(n-1)/2`.
+pub fn random_dense_small(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(n >= 2, "need at least two nodes");
+    let max_m = n * (n - 1) / 2;
+    assert!(m >= n - 1, "need m >= n-1 for connectivity");
+    assert!(m <= max_m, "m exceeds the complete graph");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<NodeId> = (0..n).collect();
+    order.shuffle(&mut rng);
+    let mut chosen: Vec<(NodeId, NodeId)> = Vec::with_capacity(m);
+    for i in 1..n {
+        let parent = order[rng.gen_range(0..i)];
+        let (a, b) = (parent.min(order[i]), parent.max(order[i]));
+        chosen.push((a, b));
+    }
+    chosen.sort_unstable();
+    let mut have: std::collections::BTreeSet<(NodeId, NodeId)> =
+        chosen.iter().copied().collect();
+    while have.len() < m {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v {
+            continue;
+        }
+        have.insert((u.min(v), u.max(v)));
+    }
+    Graph::from_edges(n, have.into_iter().collect::<Vec<_>>()).expect("in range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::cycle;
+    use crate::traversal::is_connected;
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        let empty = erdos_renyi(10, 0.0, 1);
+        assert_eq!(empty.edge_count(), 0);
+        let full = erdos_renyi(10, 1.0, 1);
+        assert_eq!(full.edge_count(), 45);
+    }
+
+    #[test]
+    fn erdos_renyi_is_seed_deterministic() {
+        let a = erdos_renyi(50, 0.1, 7);
+        let b = erdos_renyi(50, 0.1, 7);
+        assert_eq!(a.edges(), b.edges());
+        let c = erdos_renyi(50, 0.1, 8);
+        assert_ne!(a.edges(), c.edges());
+    }
+
+    #[test]
+    fn connected_er_is_connected() {
+        for seed in 0..5 {
+            let g = connected_erdos_renyi(60, 0.02, seed);
+            assert!(is_connected(&g), "seed {seed} produced disconnected graph");
+        }
+    }
+
+    #[test]
+    fn ba_counts_and_connectivity() {
+        let g = barabasi_albert(200, 3, 42);
+        assert_eq!(g.node_count(), 200);
+        assert!(is_connected(&g));
+        // Seed clique of 4 (C(4,2)=6 edges) + 196 * 3 attachments.
+        assert_eq!(g.edge_count(), 6 + 196 * 3);
+        // Minimum degree is the attachment count.
+        assert!(g.nodes().all(|v| g.degree(v) >= 3));
+    }
+
+    #[test]
+    fn ba_hubs_emerge() {
+        let g = barabasi_albert(500, 2, 9);
+        let dmax = g.nodes().map(|v| g.degree(v)).max().unwrap();
+        assert!(dmax > 20, "expected a hub, got max degree {dmax}");
+    }
+
+    #[test]
+    fn holme_kim_counts_and_clustering() {
+        let g = holme_kim(300, 3, 0.8, 5);
+        assert!(is_connected(&g));
+        assert_eq!(g.edge_count(), 6 + 296 * 3);
+        let cc = crate::stats::average_clustering(&g);
+        let g_ba = barabasi_albert(300, 3, 5);
+        let cc_ba = crate::stats::average_clustering(&g_ba);
+        assert!(cc > cc_ba, "triad formation should raise clustering: {cc} vs {cc_ba}");
+    }
+
+    #[test]
+    fn watts_strogatz_zero_beta_is_lattice() {
+        let g = watts_strogatz(20, 2, 0.0, 3);
+        assert!(g.nodes().all(|v| g.degree(v) == 4));
+        assert_eq!(g.edge_count(), 40);
+    }
+
+    #[test]
+    fn watts_strogatz_rewired_preserves_edge_count() {
+        let g = watts_strogatz(100, 3, 0.3, 11);
+        assert_eq!(g.edge_count(), 300);
+    }
+
+    #[test]
+    fn pendant_periphery_counts_and_connectivity() {
+        let base = barabasi_albert(100, 3, 2);
+        let g = with_pendant_periphery(&base, 20, 3, 7);
+        assert_eq!(g.node_count(), 120);
+        assert_eq!(g.edge_count(), base.edge_count() + 20);
+        assert!(is_connected(&g));
+        // All new nodes have degree 1 or 2 (chain interiors).
+        for v in 100..120 {
+            assert!(g.degree(v) <= 2, "periphery node {v} has degree {}", g.degree(v));
+        }
+        // At least one degree-1 node exists now.
+        assert!((100..120).any(|v| g.degree(v) == 1));
+    }
+
+    #[test]
+    fn pendant_periphery_zero_count_is_identity() {
+        let base = cycle(10);
+        let g = with_pendant_periphery(&base, 0, 3, 1);
+        assert_eq!(g.edges(), base.edges());
+    }
+
+    #[test]
+    fn pendant_periphery_deterministic() {
+        let base = barabasi_albert(50, 2, 0);
+        let a = with_pendant_periphery(&base, 10, 2, 5);
+        let b = with_pendant_periphery(&base, 10, 2, 5);
+        assert_eq!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn random_dense_small_exact_counts() {
+        let g = random_dense_small(17, 91, 123);
+        assert_eq!(g.node_count(), 17);
+        assert_eq!(g.edge_count(), 91);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn random_dense_small_tree_case() {
+        let g = random_dense_small(10, 9, 77);
+        assert_eq!(g.edge_count(), 9);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "m >= n-1")]
+    fn random_dense_small_rejects_sparse() {
+        let _ = random_dense_small(10, 5, 0);
+    }
+}

@@ -1,0 +1,345 @@
+//! The core immutable CSR graph type.
+
+use crate::GraphError;
+
+/// Node identifier. Graphs are indexed `0..n`.
+pub type NodeId = usize;
+
+/// An undirected edge as an ordered pair `(min, max)`.
+///
+/// Edges are always normalized so `0 <= u < v < n`; self-loops are not
+/// representable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Edge {
+    /// Smaller endpoint.
+    pub u: NodeId,
+    /// Larger endpoint.
+    pub v: NodeId,
+}
+
+impl Edge {
+    /// Create a normalized edge from two distinct endpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` (self-loop).
+    pub fn new(a: NodeId, b: NodeId) -> Self {
+        assert_ne!(a, b, "self-loops are not valid edges");
+        if a < b {
+            Edge { u: a, v: b }
+        } else {
+            Edge { u: b, v: a }
+        }
+    }
+
+    /// The endpoint other than `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not an endpoint of this edge.
+    pub fn other(&self, x: NodeId) -> NodeId {
+        if x == self.u {
+            self.v
+        } else if x == self.v {
+            self.u
+        } else {
+            panic!("node {x} is not an endpoint of edge ({}, {})", self.u, self.v)
+        }
+    }
+
+    /// Whether `x` is an endpoint.
+    pub fn touches(&self, x: NodeId) -> bool {
+        self.u == x || self.v == x
+    }
+}
+
+/// A connected-or-not, undirected, unweighted simple graph in CSR form.
+///
+/// The adjacency of node `i` is the slice
+/// `neighbors[offsets[i]..offsets[i + 1]]`, kept sorted for binary-search
+/// adjacency tests. Every undirected edge appears twice in `neighbors`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    n: usize,
+    offsets: Vec<usize>,
+    neighbors: Vec<NodeId>,
+    /// Canonical edge list (u < v), sorted lexicographically.
+    edges: Vec<Edge>,
+}
+
+impl Graph {
+    /// Build a graph from `n` nodes and an iterator of (possibly messy)
+    /// endpoint pairs. Self-loops are dropped and duplicate edges are merged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] if any endpoint is `>= n`.
+    pub fn from_edges<I>(n: usize, pairs: I) -> Result<Self, GraphError>
+    where
+        I: IntoIterator<Item = (NodeId, NodeId)>,
+    {
+        let mut edges = Vec::new();
+        for (a, b) in pairs {
+            if a >= n {
+                return Err(GraphError::NodeOutOfRange { node: a, n });
+            }
+            if b >= n {
+                return Err(GraphError::NodeOutOfRange { node: b, n });
+            }
+            if a == b {
+                continue;
+            }
+            edges.push(Edge::new(a, b));
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        Ok(Self::from_canonical_edges(n, edges))
+    }
+
+    /// Build from an already sorted, deduplicated, in-range canonical edge
+    /// list. This is the fast path used by [`crate::GraphBuilder`].
+    pub(crate) fn from_canonical_edges(n: usize, edges: Vec<Edge>) -> Self {
+        debug_assert!(edges.windows(2).all(|w| w[0] < w[1]), "edges must be strictly sorted");
+        let mut degrees = vec![0usize; n];
+        for e in &edges {
+            degrees[e.u] += 1;
+            degrees[e.v] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for &d in &degrees {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        let mut neighbors = vec![0usize; 2 * edges.len()];
+        for e in &edges {
+            neighbors[cursor[e.u]] = e.v;
+            cursor[e.u] += 1;
+            neighbors[cursor[e.v]] = e.u;
+            cursor[e.v] += 1;
+        }
+        // Adjacency slices are sorted because edges were processed in
+        // lexicographic order for `u` but not for `v`; sort each slice.
+        for i in 0..n {
+            neighbors[offsets[i]..offsets[i + 1]].sort_unstable();
+        }
+        Graph { n, offsets, neighbors, edges }
+    }
+
+    /// Number of nodes `n`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of undirected edges `m`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Degree of node `i`.
+    #[inline]
+    pub fn degree(&self, i: NodeId) -> usize {
+        self.offsets[i + 1] - self.offsets[i]
+    }
+
+    /// Sorted neighbor slice of node `i`.
+    #[inline]
+    pub fn neighbors(&self, i: NodeId) -> &[NodeId] {
+        &self.neighbors[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Whether `{a, b}` is an edge. `O(log deg)`.
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        if a == b || a >= self.n || b >= self.n {
+            return false;
+        }
+        // Probe the smaller adjacency list.
+        let (x, y) = if self.degree(a) <= self.degree(b) { (a, b) } else { (b, a) };
+        self.neighbors(x).binary_search(&y).is_ok()
+    }
+
+    /// Canonical (sorted) edge list.
+    #[inline]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> std::ops::Range<NodeId> {
+        0..self.n
+    }
+
+    /// Sum of all degrees (`2m`).
+    pub fn degree_sum(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Average degree `2m / n`.
+    pub fn average_degree(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.degree_sum() as f64 / self.n as f64
+        }
+    }
+
+    /// Return a new graph with `extra` edges added (duplicates and existing
+    /// edges are ignored; endpoints must be in range).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] for out-of-range endpoints.
+    pub fn with_edges(&self, extra: &[Edge]) -> Result<Graph, GraphError> {
+        for e in extra {
+            if e.v >= self.n {
+                return Err(GraphError::NodeOutOfRange { node: e.v, n: self.n });
+            }
+        }
+        let mut edges = self.edges.clone();
+        edges.extend_from_slice(extra);
+        edges.sort_unstable();
+        edges.dedup();
+        Ok(Graph::from_canonical_edges(self.n, edges))
+    }
+
+    /// Return a new graph with a single extra edge added.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] for out-of-range endpoints.
+    pub fn with_edge(&self, e: Edge) -> Result<Graph, GraphError> {
+        self.with_edges(std::slice::from_ref(&e))
+    }
+
+    /// The complement candidate set `(V × V) \ E` as canonical edges.
+    ///
+    /// Quadratic; intended for small graphs (exhaustive search, tests).
+    pub fn non_edges(&self) -> Vec<Edge> {
+        let mut out = Vec::new();
+        for u in 0..self.n {
+            for v in (u + 1)..self.n {
+                if !self.has_edge(u, v) {
+                    out.push(Edge { u, v });
+                }
+            }
+        }
+        out
+    }
+
+    /// Non-edges incident to `s`: the REMD candidate set `Q1`.
+    pub fn non_edges_at(&self, s: NodeId) -> Vec<Edge> {
+        let mut out = Vec::new();
+        for v in 0..self.n {
+            if v != s && !self.has_edge(s, v) {
+                out.push(Edge::new(s, v));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        Graph::from_edges(3, [(0, 1), (1, 2), (2, 0)]).unwrap()
+    }
+
+    #[test]
+    fn edge_normalizes_order() {
+        assert_eq!(Edge::new(5, 2), Edge { u: 2, v: 5 });
+        assert_eq!(Edge::new(2, 5), Edge { u: 2, v: 5 });
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn edge_rejects_self_loop() {
+        let _ = Edge::new(3, 3);
+    }
+
+    #[test]
+    fn edge_other_endpoint() {
+        let e = Edge::new(1, 4);
+        assert_eq!(e.other(1), 4);
+        assert_eq!(e.other(4), 1);
+        assert!(e.touches(1) && e.touches(4) && !e.touches(2));
+    }
+
+    #[test]
+    fn triangle_basics() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.degree_sum(), 6);
+        for i in 0..3 {
+            assert_eq!(g.degree(i), 2);
+        }
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(2, 0));
+        assert!(!g.has_edge(0, 0));
+    }
+
+    #[test]
+    fn from_edges_dedups_and_drops_self_loops() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 0), (2, 2), (1, 2), (1, 2)]).unwrap();
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.degree(2), 1);
+        assert_eq!(g.degree(3), 0);
+    }
+
+    #[test]
+    fn from_edges_rejects_out_of_range() {
+        let err = Graph::from_edges(3, [(0, 3)]).unwrap_err();
+        assert_eq!(err, GraphError::NodeOutOfRange { node: 3, n: 3 });
+    }
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let g = Graph::from_edges(5, [(2, 4), (2, 0), (2, 3), (2, 1)]).unwrap();
+        assert_eq!(g.neighbors(2), &[0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn with_edge_adds_and_ignores_duplicates() {
+        let g = triangle();
+        let same = g.with_edge(Edge::new(0, 1)).unwrap();
+        assert_eq!(same.edge_count(), 3);
+        let bigger = Graph::from_edges(4, [(0, 1)]).unwrap();
+        let grown = bigger.with_edge(Edge::new(2, 3)).unwrap();
+        assert_eq!(grown.edge_count(), 2);
+        assert!(grown.has_edge(2, 3));
+    }
+
+    #[test]
+    fn with_edge_out_of_range() {
+        let g = triangle();
+        assert!(g.with_edge(Edge::new(0, 9)).is_err());
+    }
+
+    #[test]
+    fn non_edges_of_path() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        let ne = g.non_edges();
+        assert_eq!(ne, vec![Edge::new(0, 2), Edge::new(0, 3), Edge::new(1, 3)]);
+    }
+
+    #[test]
+    fn non_edges_at_source() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert_eq!(g.non_edges_at(0), vec![Edge::new(0, 2), Edge::new(0, 3)]);
+        assert_eq!(g.non_edges_at(1), vec![Edge::new(1, 3)]);
+    }
+
+    #[test]
+    fn average_degree_and_empty() {
+        let g = Graph::from_edges(0, []).unwrap();
+        assert_eq!(g.average_degree(), 0.0);
+        let t = triangle();
+        assert!((t.average_degree() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,203 @@
+//! Edge-list I/O.
+//!
+//! The format is the de-facto standard used by KONECT / SNAP / Network
+//! Repository dumps: one edge per line, two whitespace-separated integer
+//! ids, `#` or `%` starting a comment line. Node ids are remapped densely in
+//! order of first appearance.
+
+use std::io::{BufRead, Write};
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use crate::GraphError;
+
+/// Read an edge list from any [`BufRead`] source.
+///
+/// Returns the graph and the list mapping new dense id -> original label.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] on malformed lines and propagates I/O
+/// failures as parse errors with the line number.
+pub fn read_edge_list<R: BufRead>(reader: R) -> Result<(Graph, Vec<u64>), GraphError> {
+    let mut labels: Vec<u64> = Vec::new();
+    let mut index: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+    let mut builder = GraphBuilder::new(0);
+    let mut intern = |label: u64, labels: &mut Vec<u64>| -> usize {
+        *index.entry(label).or_insert_with(|| {
+            labels.push(label);
+            labels.len() - 1
+        })
+    };
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| GraphError::Parse {
+            line: lineno + 1,
+            message: format!("i/o error: {e}"),
+        })?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let a = parse_id(parts.next(), lineno + 1)?;
+        let b = parse_id(parts.next(), lineno + 1)?;
+        // Extra columns (weights, timestamps) are tolerated and ignored —
+        // the paper converts weighted networks to unweighted ones.
+        let ia = intern(a, &mut labels);
+        let ib = intern(b, &mut labels);
+        builder.add_edge(ia, ib);
+    }
+    let g = builder.build()?;
+    Ok((g, labels))
+}
+
+fn parse_id(token: Option<&str>, line: usize) -> Result<u64, GraphError> {
+    let token = token.ok_or_else(|| GraphError::Parse {
+        line,
+        message: "expected two node ids".to_string(),
+    })?;
+    token
+        .parse::<u64>()
+        .map_err(|_| GraphError::Parse { line, message: format!("invalid node id {token:?}") })
+}
+
+/// Parse an edge list held in a string.
+///
+/// # Errors
+///
+/// See [`read_edge_list`].
+pub fn parse_edge_list(text: &str) -> Result<(Graph, Vec<u64>), GraphError> {
+    read_edge_list(std::io::Cursor::new(text))
+}
+
+/// Write a graph as a canonical edge list (`u v` per line, `u < v`).
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_edge_list<W: Write>(g: &Graph, mut writer: W) -> std::io::Result<()> {
+    writeln!(writer, "# nodes {} edges {}", g.node_count(), g.edge_count())?;
+    for e in g.edges() {
+        writeln!(writer, "{} {}", e.u, e.v)?;
+    }
+    Ok(())
+}
+
+/// Render a graph in Graphviz DOT format, optionally labelling each node
+/// with a numeric attribute (e.g. its resistance eccentricity).
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+///
+/// # Panics
+///
+/// Panics if `labels` is `Some` but shorter than the node count.
+pub fn write_dot<W: Write>(
+    g: &Graph,
+    mut writer: W,
+    labels: Option<&[f64]>,
+) -> std::io::Result<()> {
+    if let Some(l) = labels {
+        assert!(l.len() >= g.node_count(), "label vector too short");
+    }
+    writeln!(writer, "graph reecc {{")?;
+    writeln!(writer, "  node [shape=circle];")?;
+    for v in 0..g.node_count() {
+        match labels {
+            Some(l) => writeln!(writer, "  n{v} [label=\"{v}\\n{:.3}\"];", l[v])?,
+            None => writeln!(writer, "  n{v};")?,
+        }
+    }
+    for e in g.edges() {
+        writeln!(writer, "  n{} -- n{};", e.u, e.v)?;
+    }
+    writeln!(writer, "}}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic() {
+        let (g, labels) = parse_edge_list("1 2\n2 3\n3 1\n").unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(labels, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn parse_skips_comments_and_blanks() {
+        let text = "# header\n% konect style\n\n10 20\n20 10\n";
+        let (g, _) = parse_edge_list(text).unwrap();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn parse_tolerates_extra_columns() {
+        let (g, _) = parse_edge_list("1 2 0.5 1234\n2 3 0.7 999\n").unwrap();
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn parse_drops_self_loops() {
+        let (g, _) = parse_edge_list("5 5\n5 6\n").unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = parse_edge_list("1 2\nbogus x\n").unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_missing_second_id() {
+        let err = parse_edge_list("42\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn dot_output_structure() {
+        let (g, _) = parse_edge_list("0 1\n1 2\n").unwrap();
+        let mut buf = Vec::new();
+        write_dot(&g, &mut buf, None).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("graph reecc {"));
+        assert!(text.contains("n0 -- n1;"));
+        assert!(text.contains("n1 -- n2;"));
+        assert!(text.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn dot_with_labels() {
+        let (g, _) = parse_edge_list("0 1\n").unwrap();
+        let mut buf = Vec::new();
+        write_dot(&g, &mut buf, Some(&[1.5, 2.25])).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("1.500"), "{text}");
+        assert!(text.contains("2.250"), "{text}");
+    }
+
+    #[test]
+    #[should_panic(expected = "label vector too short")]
+    fn dot_rejects_short_labels() {
+        let (g, _) = parse_edge_list("0 1\n1 2\n").unwrap();
+        let _ = write_dot(&g, &mut Vec::new(), Some(&[1.0]));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let (g, _) = parse_edge_list("0 1\n1 2\n0 2\n2 3\n").unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let (g2, _) = parse_edge_list(std::str::from_utf8(&buf).unwrap()).unwrap();
+        assert_eq!(g.node_count(), g2.node_count());
+        assert_eq!(g.edges(), g2.edges());
+    }
+}

@@ -1,0 +1,148 @@
+//! k-core decomposition (Matula–Beck peeling in `O(n + m)`).
+//!
+//! The core number of a node is the largest `k` such that the node
+//! belongs to a maximal subgraph of minimum degree `k`. Core numbers
+//! separate a network's dense nucleus from its fringe — the fringe being
+//! exactly where resistance eccentricities are largest (§IV-B), so the
+//! decomposition is a useful companion diagnostic for eccentricity
+//! analyses.
+
+use crate::graph::Graph;
+
+/// Core number of every node, via bucket peeling.
+pub fn core_numbers(g: &Graph) -> Vec<usize> {
+    let n = g.node_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut degree: Vec<usize> = (0..n).map(|v| g.degree(v)).collect();
+    let max_degree = degree.iter().copied().max().unwrap_or(0);
+    // Bucket sort nodes by degree.
+    let mut bins = vec![0usize; max_degree + 2];
+    for &d in &degree {
+        bins[d] += 1;
+    }
+    let mut start = 0usize;
+    for bin in bins.iter_mut() {
+        let count = *bin;
+        *bin = start;
+        start += count;
+    }
+    let mut pos = vec![0usize; n];
+    let mut vert = vec![0usize; n];
+    for v in 0..n {
+        pos[v] = bins[degree[v]];
+        vert[pos[v]] = v;
+        bins[degree[v]] += 1;
+    }
+    // Restore bin starts.
+    for d in (1..bins.len()).rev() {
+        bins[d] = bins[d - 1];
+    }
+    bins[0] = 0;
+    // Peel in non-decreasing degree order.
+    let mut core = degree.clone();
+    for i in 0..n {
+        let v = vert[i];
+        core[v] = degree[v];
+        for &u in g.neighbors(v) {
+            if degree[u] > degree[v] {
+                // Move u one bucket down: swap it with the first node of
+                // its current bucket.
+                let du = degree[u];
+                let pu = pos[u];
+                let pw = bins[du];
+                let w = vert[pw];
+                if u != w {
+                    pos[u] = pw;
+                    pos[w] = pu;
+                    vert[pu] = w;
+                    vert[pw] = u;
+                }
+                bins[du] += 1;
+                degree[u] -= 1;
+            }
+        }
+    }
+    core
+}
+
+/// The degeneracy of the graph: the maximum core number.
+pub fn degeneracy(g: &Graph) -> usize {
+    core_numbers(g).into_iter().max().unwrap_or(0)
+}
+
+/// Node ids of the `k`-core (nodes with core number `>= k`), ascending.
+pub fn k_core(g: &Graph, k: usize) -> Vec<usize> {
+    core_numbers(g).into_iter().enumerate().filter(|&(_, c)| c >= k).map(|(v, _)| v).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{barabasi_albert, complete, cycle, line, lollipop, star};
+    use crate::Graph;
+
+    #[test]
+    fn complete_graph_core() {
+        let g = complete(6);
+        assert_eq!(core_numbers(&g), vec![5; 6]);
+        assert_eq!(degeneracy(&g), 5);
+    }
+
+    #[test]
+    fn cycle_core_is_two() {
+        let g = cycle(9);
+        assert_eq!(core_numbers(&g), vec![2; 9]);
+    }
+
+    #[test]
+    fn tree_core_is_one() {
+        let g = line(7);
+        assert_eq!(core_numbers(&g), vec![1; 7]);
+        let s = star(9);
+        assert_eq!(core_numbers(&s), vec![1; 9]);
+    }
+
+    #[test]
+    fn lollipop_separates_clique_from_tail() {
+        let g = lollipop(5, 4); // K5 + 4-node tail
+        let core = core_numbers(&g);
+        for (v, &c) in core.iter().enumerate().take(5) {
+            assert_eq!(c, 4, "clique node {v}");
+        }
+        for (v, &c) in core.iter().enumerate().skip(5) {
+            assert_eq!(c, 1, "tail node {v}");
+        }
+        assert_eq!(k_core(&g, 4), vec![0, 1, 2, 3, 4]);
+        assert_eq!(k_core(&g, 2), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn core_number_definition_holds() {
+        // Every node of the k-core has >= k neighbors inside the k-core.
+        let g = barabasi_albert(150, 3, 6);
+        let core = core_numbers(&g);
+        let k = degeneracy(&g);
+        let members = k_core(&g, k);
+        assert!(!members.is_empty());
+        for &v in &members {
+            let inside = g.neighbors(v).iter().filter(|&&u| core[u] >= k).count();
+            assert!(inside >= k, "node {v} has only {inside} in-core neighbors");
+        }
+        // Core numbers never exceed degree.
+        for (v, &c) in core.iter().enumerate() {
+            assert!(c <= g.degree(v));
+        }
+    }
+
+    #[test]
+    fn disconnected_and_empty() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 0)]).unwrap();
+        let core = core_numbers(&g);
+        assert_eq!(core[..3], [2, 2, 2]);
+        assert_eq!(core[3..], [0, 0]);
+        assert!(core_numbers(&Graph::from_edges(0, []).unwrap()).is_empty());
+        assert_eq!(degeneracy(&Graph::from_edges(0, []).unwrap()), 0);
+    }
+}

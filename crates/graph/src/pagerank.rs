@@ -1,0 +1,135 @@
+//! Power-iteration PageRank.
+//!
+//! Used by the paper's PK-REMD / PK-REM baselines, which repeatedly connect
+//! the node(s) with the lowest PageRank centrality.
+
+use crate::graph::Graph;
+
+/// Options for [`pagerank`].
+#[derive(Debug, Clone, Copy)]
+pub struct PageRankOptions {
+    /// Damping factor `alpha` (the classic value is 0.85).
+    pub damping: f64,
+    /// Stop when the L1 change between iterations drops below this.
+    pub tolerance: f64,
+    /// Hard iteration cap.
+    pub max_iterations: usize,
+}
+
+impl Default for PageRankOptions {
+    fn default() -> Self {
+        PageRankOptions { damping: 0.85, tolerance: 1e-10, max_iterations: 200 }
+    }
+}
+
+/// PageRank scores by power iteration. Scores sum to 1. Dangling (degree-0)
+/// nodes redistribute their mass uniformly.
+///
+/// Returns the score vector and the number of iterations performed.
+pub fn pagerank(g: &Graph, opts: PageRankOptions) -> (Vec<f64>, usize) {
+    let n = g.node_count();
+    if n == 0 {
+        return (Vec::new(), 0);
+    }
+    let uniform = 1.0 / n as f64;
+    let mut rank = vec![uniform; n];
+    let mut next = vec![0.0f64; n];
+    let alpha = opts.damping;
+    for iter in 1..=opts.max_iterations {
+        let mut dangling_mass = 0.0;
+        for (v, &r) in rank.iter().enumerate() {
+            if g.degree(v) == 0 {
+                dangling_mass += r;
+            }
+        }
+        let base = (1.0 - alpha) * uniform + alpha * dangling_mass * uniform;
+        next.iter_mut().for_each(|x| *x = base);
+        for (u, &ru) in rank.iter().enumerate() {
+            let du = g.degree(u);
+            if du == 0 {
+                continue;
+            }
+            let share = alpha * ru / du as f64;
+            for &v in g.neighbors(u) {
+                next[v] += share;
+            }
+        }
+        let delta: f64 = rank.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
+        std::mem::swap(&mut rank, &mut next);
+        if delta < opts.tolerance {
+            return (rank, iter);
+        }
+    }
+    (rank, opts.max_iterations)
+}
+
+/// Node ids sorted by ascending PageRank (lowest-centrality first), the
+/// ordering the PK baselines consume. Ties break toward smaller ids.
+pub fn nodes_by_ascending_pagerank(g: &Graph, opts: PageRankOptions) -> Vec<usize> {
+    let (scores, _) = pagerank(g, opts);
+    let mut order: Vec<usize> = (0..g.node_count()).collect();
+    order.sort_by(|&a, &b| {
+        scores[a].partial_cmp(&scores[b]).expect("PageRank scores are finite").then(a.cmp(&b))
+    });
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{complete, star};
+    use crate::Graph;
+
+    #[test]
+    fn sums_to_one() {
+        let g = star(10);
+        let (scores, iters) = pagerank(&g, PageRankOptions::default());
+        let total: f64 = scores.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "sum {total}");
+        assert!(iters > 0);
+    }
+
+    #[test]
+    fn symmetric_graph_has_uniform_rank() {
+        let g = complete(6);
+        let (scores, _) = pagerank(&g, PageRankOptions::default());
+        for &s in &scores {
+            assert!((s - 1.0 / 6.0).abs() < 1e-9, "score {s}");
+        }
+    }
+
+    #[test]
+    fn hub_outranks_leaves() {
+        let g = star(8);
+        let (scores, _) = pagerank(&g, PageRankOptions::default());
+        for leaf in 1..8 {
+            assert!(scores[0] > scores[leaf]);
+            assert!((scores[leaf] - scores[1]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dangling_nodes_handled() {
+        let g = Graph::from_edges(3, [(0, 1)]).unwrap();
+        let (scores, _) = pagerank(&g, PageRankOptions::default());
+        let total: f64 = scores.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(scores[2] > 0.0);
+    }
+
+    #[test]
+    fn ascending_order_on_star() {
+        let g = star(5);
+        let order = nodes_by_ascending_pagerank(&g, PageRankOptions::default());
+        assert_eq!(*order.last().unwrap(), 0, "hub has the highest rank");
+        assert_eq!(order[..4], [1, 2, 3, 4], "leaves tie, ordered by id");
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, []).unwrap();
+        let (scores, iters) = pagerank(&g, PageRankOptions::default());
+        assert!(scores.is_empty());
+        assert_eq!(iters, 0);
+    }
+}

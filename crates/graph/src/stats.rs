@@ -1,0 +1,219 @@
+//! Degree statistics, clustering, and power-law exponent estimation.
+//!
+//! [`power_law_exponent_mle`] implements the Clauset–Shalizi–Newman
+//! continuous MLE `gamma = 1 + n / sum(ln(d_i / (d_min - 1/2)))`, which is
+//! what Table I's `gamma` column reports for each network.
+
+use crate::graph::Graph;
+
+/// Summary of a graph's degree sequence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree.
+    pub max: usize,
+    /// Mean degree (`2m/n`).
+    pub mean: f64,
+    /// Population variance of the degree sequence.
+    pub variance: f64,
+}
+
+/// Compute [`DegreeStats`]; `None` for the empty graph.
+pub fn degree_stats(g: &Graph) -> Option<DegreeStats> {
+    let n = g.node_count();
+    if n == 0 {
+        return None;
+    }
+    let mut min = usize::MAX;
+    let mut max = 0usize;
+    let mut sum = 0usize;
+    for v in 0..n {
+        let d = g.degree(v);
+        min = min.min(d);
+        max = max.max(d);
+        sum += d;
+    }
+    let mean = sum as f64 / n as f64;
+    let variance = (0..n).map(|v| (g.degree(v) as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+    Some(DegreeStats { min, max, mean, variance })
+}
+
+/// Degree histogram: `hist[d]` = number of nodes with degree `d`.
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let n = g.node_count();
+    let dmax = (0..n).map(|v| g.degree(v)).max().unwrap_or(0);
+    let mut hist = vec![0usize; dmax + 1];
+    for v in 0..n {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+/// Continuous power-law exponent MLE over degrees `>= d_min`
+/// (Clauset–Shalizi–Newman): `gamma = 1 + k / sum(ln(d_i/(d_min - 0.5)))`.
+///
+/// Returns `None` if fewer than two nodes meet the cutoff or the estimator
+/// degenerates.
+pub fn power_law_exponent_mle(g: &Graph, d_min: usize) -> Option<f64> {
+    let d_min = d_min.max(1);
+    let shift = d_min as f64 - 0.5;
+    let mut count = 0usize;
+    let mut log_sum = 0.0f64;
+    for v in 0..g.node_count() {
+        let d = g.degree(v);
+        if d >= d_min {
+            count += 1;
+            log_sum += (d as f64 / shift).ln();
+        }
+    }
+    if count < 2 || log_sum <= 0.0 {
+        return None;
+    }
+    Some(1.0 + count as f64 / log_sum)
+}
+
+/// Power-law exponent with an automatic `d_min`: scan `d_min` over distinct
+/// degrees, pick the fit minimizing the Kolmogorov–Smirnov distance between
+/// the empirical tail and the fitted Pareto tail. Returns `(gamma, d_min)`.
+pub fn power_law_fit(g: &Graph) -> Option<(f64, usize)> {
+    let mut degrees: Vec<usize> = (0..g.node_count()).map(|v| g.degree(v)).collect();
+    degrees.retain(|&d| d > 0);
+    if degrees.len() < 4 {
+        return None;
+    }
+    degrees.sort_unstable();
+    let mut candidates: Vec<usize> = degrees.clone();
+    candidates.dedup();
+    // Don't let the tail get too thin.
+    let mut best: Option<(f64, usize, f64)> = None;
+    for &d_min in &candidates {
+        let tail: Vec<usize> = degrees.iter().copied().filter(|&d| d >= d_min).collect();
+        if tail.len() < 8 {
+            break;
+        }
+        let Some(gamma) = power_law_exponent_mle(g, d_min) else { continue };
+        if !(1.0..=10.0).contains(&gamma) {
+            continue;
+        }
+        let ks = ks_distance_pareto(&tail, gamma, d_min);
+        match best {
+            Some((_, _, best_ks)) if ks >= best_ks => {}
+            _ => best = Some((gamma, d_min, ks)),
+        }
+    }
+    best.map(|(g, d, _)| (g, d))
+}
+
+/// KS distance between the empirical CDF of `tail` (sorted ascending) and a
+/// continuous Pareto CDF `1 - (x/x_min)^(1-gamma)`.
+fn ks_distance_pareto(tail: &[usize], gamma: f64, d_min: usize) -> f64 {
+    let n = tail.len() as f64;
+    let x_min = d_min as f64 - 0.5;
+    let mut max_diff = 0.0f64;
+    for (i, &d) in tail.iter().enumerate() {
+        let emp = (i + 1) as f64 / n;
+        let model = 1.0 - (d as f64 / x_min).powf(1.0 - gamma);
+        max_diff = max_diff.max((emp - model).abs());
+    }
+    max_diff
+}
+
+/// Local clustering coefficient of a node: triangles through `v` divided by
+/// `deg(v) * (deg(v)-1) / 2`. Zero for degree < 2.
+pub fn local_clustering(g: &Graph, v: usize) -> f64 {
+    let nb = g.neighbors(v);
+    let d = nb.len();
+    if d < 2 {
+        return 0.0;
+    }
+    let mut links = 0usize;
+    for (i, &a) in nb.iter().enumerate() {
+        for &b in &nb[i + 1..] {
+            if g.has_edge(a, b) {
+                links += 1;
+            }
+        }
+    }
+    2.0 * links as f64 / (d * (d - 1)) as f64
+}
+
+/// Average local clustering coefficient over all nodes.
+pub fn average_clustering(g: &Graph) -> f64 {
+    let n = g.node_count();
+    if n == 0 {
+        return 0.0;
+    }
+    (0..n).map(|v| local_clustering(g, v)).sum::<f64>() / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{barabasi_albert, complete, cycle, star};
+    use crate::Graph;
+
+    #[test]
+    fn degree_stats_on_star() {
+        let s = degree_stats(&star(5)).unwrap();
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 4);
+        assert!((s.mean - 8.0 / 5.0).abs() < 1e-12);
+        assert!(s.variance > 0.0);
+    }
+
+    #[test]
+    fn degree_stats_empty() {
+        assert!(degree_stats(&Graph::from_edges(0, []).unwrap()).is_none());
+    }
+
+    #[test]
+    fn histogram_on_cycle() {
+        let h = degree_histogram(&cycle(6));
+        assert_eq!(h, vec![0, 0, 6]);
+    }
+
+    #[test]
+    fn mle_on_ba_graph_is_near_three() {
+        let g = barabasi_albert(3000, 3, 17);
+        let gamma = power_law_exponent_mle(&g, 3).unwrap();
+        assert!((2.2..4.2).contains(&gamma), "BA exponent should be near 3, got {gamma}");
+    }
+
+    #[test]
+    fn mle_degenerate_cases() {
+        // Regular graph: all degrees equal d_min -> log_sum > 0 ... actually
+        // ln(2/1.5) > 0 per node, so it fits a (meaningless) steep exponent.
+        let g = cycle(10);
+        let gamma = power_law_exponent_mle(&g, 2).unwrap();
+        assert!(gamma > 3.0);
+        // Single node: too few points.
+        let one = Graph::from_edges(1, []).unwrap();
+        assert!(power_law_exponent_mle(&one, 1).is_none());
+    }
+
+    #[test]
+    fn auto_fit_runs_on_ba() {
+        let g = barabasi_albert(2000, 2, 4);
+        let (gamma, d_min) = power_law_fit(&g).unwrap();
+        assert!(d_min >= 2);
+        assert!((1.5..5.0).contains(&gamma), "gamma {gamma}");
+    }
+
+    #[test]
+    fn clustering_extremes() {
+        assert!((average_clustering(&complete(5)) - 1.0).abs() < 1e-12);
+        assert_eq!(average_clustering(&star(6)), 0.0);
+        assert_eq!(average_clustering(&cycle(8)), 0.0);
+    }
+
+    #[test]
+    fn local_clustering_triangle_plus_tail() {
+        // Triangle 0-1-2 with pendant 3 on node 0.
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 0), (0, 3)]).unwrap();
+        assert!((local_clustering(&g, 1) - 1.0).abs() < 1e-12);
+        // Node 0 has neighbors {1,2,3}; only (1,2) linked: 1/3.
+        assert!((local_clustering(&g, 0) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(local_clustering(&g, 3), 0.0);
+    }
+}

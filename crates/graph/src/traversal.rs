@@ -1,0 +1,210 @@
+//! Breadth-first search, connectivity, and hop-distance utilities.
+
+use std::collections::VecDeque;
+
+use crate::graph::{Graph, NodeId};
+
+/// Sentinel for "unreachable" in BFS distance arrays.
+pub const UNREACHABLE: usize = usize::MAX;
+
+/// BFS hop distances from `source`; unreachable nodes get [`UNREACHABLE`].
+pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<usize> {
+    let mut dist = vec![UNREACHABLE; g.node_count()];
+    let mut queue = VecDeque::new();
+    dist[source] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u];
+        for &v in g.neighbors(u) {
+            if dist[v] == UNREACHABLE {
+                dist[v] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// The hop-farthest node from `source` and its distance, restricted to the
+/// reachable set (ties broken toward the smaller node id).
+pub fn farthest_by_hops(g: &Graph, source: NodeId) -> (NodeId, usize) {
+    let dist = bfs_distances(g, source);
+    let mut best = (source, 0usize);
+    for (v, &d) in dist.iter().enumerate() {
+        if d != UNREACHABLE && d > best.1 {
+            best = (v, d);
+        }
+    }
+    best
+}
+
+/// Hop eccentricity of `source` (max BFS distance over the reachable set).
+pub fn hop_eccentricity(g: &Graph, source: NodeId) -> usize {
+    farthest_by_hops(g, source).1
+}
+
+/// Double-sweep pseudo-diameter: BFS from `start`, then BFS from the
+/// farthest node found. Returns the endpoints and the hop distance. This is
+/// a lower bound on the true diameter and exact on trees.
+pub fn pseudo_diameter(g: &Graph, start: NodeId) -> (NodeId, NodeId, usize) {
+    let (a, _) = farthest_by_hops(g, start);
+    let (b, d) = farthest_by_hops(g, a);
+    (a, b, d)
+}
+
+/// Connected-component labels: `labels[v]` is the component index of `v`
+/// (0-based, in order of discovery); also returns the component count.
+pub fn connected_components(g: &Graph) -> (Vec<usize>, usize) {
+    let n = g.node_count();
+    let mut labels = vec![usize::MAX; n];
+    let mut count = 0usize;
+    let mut queue = VecDeque::new();
+    for start in 0..n {
+        if labels[start] != usize::MAX {
+            continue;
+        }
+        labels[start] = count;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if labels[v] == usize::MAX {
+                    labels[v] = count;
+                    queue.push_back(v);
+                }
+            }
+        }
+        count += 1;
+    }
+    (labels, count)
+}
+
+/// Whether the graph is connected (vacuously true for <= 1 node).
+pub fn is_connected(g: &Graph) -> bool {
+    if g.node_count() <= 1 {
+        return true;
+    }
+    connected_components(g).1 == 1
+}
+
+/// Extract the largest connected component as a new graph, together with the
+/// mapping `old_id -> Some(new_id)` for retained nodes.
+///
+/// This implements the paper's preprocessing step: experiments are run on
+/// the LCC of each network.
+pub fn largest_connected_component(g: &Graph) -> (Graph, Vec<Option<NodeId>>) {
+    let n = g.node_count();
+    if n == 0 {
+        return (Graph::from_edges(0, []).expect("empty"), Vec::new());
+    }
+    let (labels, count) = connected_components(g);
+    let mut sizes = vec![0usize; count];
+    for &l in &labels {
+        sizes[l] += 1;
+    }
+    let big = sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &s)| s)
+        .map(|(i, _)| i)
+        .expect("at least one component");
+    let mut mapping: Vec<Option<NodeId>> = vec![None; n];
+    let mut next = 0usize;
+    for v in 0..n {
+        if labels[v] == big {
+            mapping[v] = Some(next);
+            next += 1;
+        }
+    }
+    let pairs = g.edges().iter().filter_map(|e| match (mapping[e.u], mapping[e.v]) {
+        (Some(a), Some(b)) => Some((a, b)),
+        _ => None,
+    });
+    let lcc = Graph::from_edges(next, pairs.collect::<Vec<_>>()).expect("in range");
+    (lcc, mapping)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{cycle, line, star};
+    use crate::Graph;
+
+    #[test]
+    fn bfs_on_line() {
+        let g = line(5);
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_distances(&g, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], UNREACHABLE);
+    }
+
+    #[test]
+    fn farthest_on_star() {
+        let g = star(6);
+        let (v, d) = farthest_by_hops(&g, 1);
+        assert_eq!(d, 2);
+        assert!(v >= 2, "farthest from a leaf is another leaf, got {v}");
+        assert_eq!(hop_eccentricity(&g, 0), 1);
+    }
+
+    #[test]
+    fn pseudo_diameter_on_line() {
+        let g = line(9);
+        let (a, b, d) = pseudo_diameter(&g, 4);
+        assert_eq!(d, 8);
+        assert!((a == 0 && b == 8) || (a == 8 && b == 0));
+    }
+
+    #[test]
+    fn components_counts() {
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (3, 4)]).unwrap();
+        let (labels, count) = connected_components(&g);
+        assert_eq!(count, 3);
+        assert_eq!(labels[0], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+        assert_ne!(labels[5], labels[0]);
+    }
+
+    #[test]
+    fn connectivity_checks() {
+        assert!(is_connected(&cycle(5)));
+        assert!(is_connected(&Graph::from_edges(1, []).unwrap()));
+        assert!(!is_connected(&Graph::from_edges(3, [(0, 1)]).unwrap()));
+    }
+
+    #[test]
+    fn lcc_extraction() {
+        // Component A: 0-1-2 (3 nodes), component B: 3-4 (2 nodes), isolate 5.
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (3, 4)]).unwrap();
+        let (lcc, map) = largest_connected_component(&g);
+        assert_eq!(lcc.node_count(), 3);
+        assert_eq!(lcc.edge_count(), 2);
+        assert!(map[0].is_some() && map[1].is_some() && map[2].is_some());
+        assert!(map[3].is_none() && map[5].is_none());
+        assert!(is_connected(&lcc));
+    }
+
+    #[test]
+    fn lcc_of_connected_graph_is_identity_sized() {
+        let g = cycle(7);
+        let (lcc, map) = largest_connected_component(&g);
+        assert_eq!(lcc.node_count(), 7);
+        assert_eq!(lcc.edge_count(), 7);
+        assert!(map.iter().all(|m| m.is_some()));
+    }
+
+    #[test]
+    fn lcc_of_empty_graph() {
+        let g = Graph::from_edges(0, []).unwrap();
+        let (lcc, map) = largest_connected_component(&g);
+        assert_eq!(lcc.node_count(), 0);
+        assert!(map.is_empty());
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+use reecc_graph::generators::{
+    barabasi_albert, connected_erdos_renyi, erdos_renyi, holme_kim_varied, watts_strogatz,
+    with_pendant_periphery,
+};
+use reecc_graph::pagerank::{pagerank, PageRankOptions};
+use reecc_graph::traversal::{
+    bfs_distances, connected_components, is_connected, largest_connected_component, UNREACHABLE,
+};
+use reecc_graph::{Graph, GraphBuilder};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CSR construction invariants for arbitrary edge soups.
+    #[test]
+    fn csr_invariants(pairs in proptest::collection::vec((0usize..30, 0usize..30), 0..120)) {
+        let g = Graph::from_edges(30, pairs.clone()).unwrap();
+        // Degree sum equals twice the edge count.
+        prop_assert_eq!(g.degree_sum(), 2 * g.edge_count());
+        // Neighbor lists are sorted, self-loop free, and symmetric.
+        for v in g.nodes() {
+            let nb = g.neighbors(v);
+            prop_assert!(nb.windows(2).all(|w| w[0] < w[1]), "sorted & deduped");
+            prop_assert!(!nb.contains(&v), "no self loops");
+            for &u in nb {
+                prop_assert!(g.neighbors(u).contains(&v), "symmetry");
+                prop_assert!(g.has_edge(u, v) && g.has_edge(v, u));
+            }
+        }
+        // Canonical edge list is strictly sorted.
+        prop_assert!(g.edges().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    /// Builder and direct construction agree.
+    #[test]
+    fn builder_equals_from_edges(
+        pairs in proptest::collection::vec((0usize..20, 0usize..20), 0..80)
+    ) {
+        let direct = Graph::from_edges(20, pairs.clone()).unwrap();
+        let mut b = GraphBuilder::new(20);
+        for (u, v) in pairs {
+            b.add_edge(u, v);
+        }
+        let built = b.build().unwrap();
+        prop_assert_eq!(direct.edges(), built.edges());
+    }
+
+    /// Edge-list I/O roundtrip preserves the graph up to relabeling:
+    /// same n, same m, same sorted degree sequence.
+    #[test]
+    fn io_roundtrip_preserves_structure(
+        pairs in proptest::collection::vec((0usize..25, 0usize..25), 1..100)
+    ) {
+        let g = Graph::from_edges(25, pairs).unwrap();
+        prop_assume!(g.edge_count() > 0);
+        let mut buf = Vec::new();
+        reecc_graph::io::write_edge_list(&g, &mut buf).unwrap();
+        let (g2, _) = reecc_graph::io::parse_edge_list(
+            std::str::from_utf8(&buf).unwrap()
+        ).unwrap();
+        prop_assert_eq!(g2.edge_count(), g.edge_count());
+        let mut d1: Vec<usize> = g.nodes().map(|v| g.degree(v)).filter(|&d| d > 0).collect();
+        let mut d2: Vec<usize> = g2.nodes().map(|v| g2.degree(v)).collect();
+        d1.sort_unstable();
+        d2.sort_unstable();
+        prop_assert_eq!(d1, d2, "degree sequences of non-isolated nodes match");
+    }
+
+    /// BFS distances satisfy the 1-Lipschitz property across edges.
+    #[test]
+    fn bfs_lipschitz(g in (5usize..30, 0.05f64..0.4, any::<u64>())
+        .prop_map(|(n, p, s)| connected_erdos_renyi(n, p, s)))
+    {
+        let d = bfs_distances(&g, 0);
+        prop_assert!(d.iter().all(|&x| x != UNREACHABLE));
+        for e in g.edges() {
+            let diff = d[e.u].abs_diff(d[e.v]);
+            prop_assert!(diff <= 1, "adjacent nodes differ by more than 1");
+        }
+    }
+
+    /// Component labels partition the graph and are edge-consistent.
+    #[test]
+    fn components_partition(
+        pairs in proptest::collection::vec((0usize..25, 0usize..25), 0..40)
+    ) {
+        let g = Graph::from_edges(25, pairs).unwrap();
+        let (labels, count) = connected_components(&g);
+        prop_assert!(labels.iter().all(|&l| l < count));
+        for e in g.edges() {
+            prop_assert_eq!(labels[e.u], labels[e.v]);
+        }
+        let (lcc, map) = largest_connected_component(&g);
+        prop_assert!(is_connected(&lcc));
+        let mapped = map.iter().filter(|m| m.is_some()).count();
+        prop_assert_eq!(mapped, lcc.node_count());
+        // LCC is at least as large as any other component.
+        let mut sizes = vec![0usize; count];
+        for &l in &labels {
+            sizes[l] += 1;
+        }
+        prop_assert_eq!(lcc.node_count(), *sizes.iter().max().unwrap());
+    }
+
+    /// Random generators always produce the structural guarantees they
+    /// document.
+    #[test]
+    fn generator_contracts(seed in any::<u64>()) {
+        let ba = barabasi_albert(80, 2, seed);
+        prop_assert!(is_connected(&ba));
+        prop_assert_eq!(ba.edge_count(), 3 + 77 * 2);
+        prop_assert!(ba.nodes().all(|v| ba.degree(v) >= 2));
+
+        let hk = holme_kim_varied(80, 3, 0.7, seed);
+        prop_assert!(is_connected(&hk));
+
+        let ws = watts_strogatz(40, 2, 0.3, seed);
+        prop_assert_eq!(ws.edge_count(), 80);
+
+        let er = erdos_renyi(30, 0.2, seed);
+        prop_assert!(er.edge_count() <= 30 * 29 / 2);
+
+        let padded = with_pendant_periphery(&ba, 12, 2, seed);
+        prop_assert!(is_connected(&padded));
+        prop_assert_eq!(padded.node_count(), 92);
+        prop_assert_eq!(padded.edge_count(), ba.edge_count() + 12);
+    }
+
+    /// PageRank is a probability distribution and respects degree
+    /// dominance on undirected graphs (stationary distribution is
+    /// proportional to degree when damping -> 1; at 0.85 the ordering of
+    /// extreme degrees still holds).
+    #[test]
+    fn pagerank_contract(g in (10usize..40, 0.1f64..0.4, any::<u64>())
+        .prop_map(|(n, p, s)| connected_erdos_renyi(n, p, s)))
+    {
+        let (scores, iters) = pagerank(&g, PageRankOptions::default());
+        prop_assert!(iters > 0);
+        let total: f64 = scores.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-8);
+        prop_assert!(scores.iter().all(|&s| s > 0.0));
+        let max_deg = g.nodes().max_by_key(|&v| g.degree(v)).unwrap();
+        let min_deg = g.nodes().min_by_key(|&v| g.degree(v)).unwrap();
+        if g.degree(max_deg) >= 3 * g.degree(min_deg).max(1) {
+            prop_assert!(
+                scores[max_deg] > scores[min_deg],
+                "hub ({}) should outrank fringe ({})",
+                g.degree(max_deg),
+                g.degree(min_deg)
+            );
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Exact 2-D convex hull (Andrew's monotone chain).
+//!
+//! Used as a test oracle for [`crate::approxch`]: in two dimensions the
+//! exact hull is cheap, so property tests can compare the approximate
+//! subset against ground truth.
+
+use crate::points::PointSet;
+
+/// Indices of the convex-hull vertices of a 2-D point set, in
+/// counter-clockwise order starting from the lexicographically smallest
+/// point. Collinear boundary points are excluded.
+///
+/// # Panics
+///
+/// Panics if `points.dim() != 2`.
+pub fn convex_hull_2d(points: &PointSet) -> Vec<usize> {
+    assert_eq!(points.dim(), 2, "exact hull is 2-D only");
+    let n = points.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| {
+        let pa = points.point(a);
+        let pb = points.point(b);
+        pa[0]
+            .partial_cmp(&pb[0])
+            .expect("finite")
+            .then(pa[1].partial_cmp(&pb[1]).expect("finite"))
+    });
+    idx.dedup_by(|&mut a, &mut b| points.point(a) == points.point(b));
+    if idx.len() == 1 {
+        return idx;
+    }
+    let cross = |o: usize, a: usize, b: usize| -> f64 {
+        let po = points.point(o);
+        let pa = points.point(a);
+        let pb = points.point(b);
+        (pa[0] - po[0]) * (pb[1] - po[1]) - (pa[1] - po[1]) * (pb[0] - po[0])
+    };
+    let mut hull: Vec<usize> = Vec::with_capacity(2 * idx.len());
+    // Lower hull.
+    for &p in &idx {
+        while hull.len() >= 2 && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0 {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    // Upper hull.
+    let lower_len = hull.len() + 1;
+    for &p in idx.iter().rev().skip(1) {
+        while hull.len() >= lower_len
+            && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    hull.pop(); // last point equals the first
+    hull
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_hull() {
+        let ps = PointSet::from_points(&[
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+            vec![0.0, 1.0],
+            vec![0.5, 0.5],
+        ]);
+        let mut hull = convex_hull_2d(&ps);
+        hull.sort_unstable();
+        assert_eq!(hull, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn collinear_points_reduce_to_endpoints() {
+        let ps = PointSet::from_points(&[
+            vec![0.0, 0.0],
+            vec![1.0, 1.0],
+            vec![2.0, 2.0],
+            vec![3.0, 3.0],
+        ]);
+        let mut hull = convex_hull_2d(&ps);
+        hull.sort_unstable();
+        assert_eq!(hull, vec![0, 3]);
+    }
+
+    #[test]
+    fn duplicate_points_deduped() {
+        let ps = PointSet::from_points(&[
+            vec![0.0, 0.0],
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+        ]);
+        let hull = convex_hull_2d(&ps);
+        assert_eq!(hull.len(), 3);
+    }
+
+    #[test]
+    fn single_and_empty() {
+        let single = PointSet::from_points(&[vec![5.0, 5.0]]);
+        assert_eq!(convex_hull_2d(&single), vec![0]);
+        let empty = PointSet::from_flat(2, vec![]);
+        assert!(convex_hull_2d(&empty).is_empty());
+    }
+
+    #[test]
+    fn triangle_with_inner_points() {
+        let ps = PointSet::from_points(&[
+            vec![0.0, 0.0],
+            vec![4.0, 0.0],
+            vec![2.0, 3.0],
+            vec![2.0, 1.0],
+            vec![1.5, 0.5],
+        ]);
+        let mut hull = convex_hull_2d(&ps);
+        hull.sort_unstable();
+        assert_eq!(hull, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn hull_is_ccw() {
+        let ps = PointSet::from_points(&[
+            vec![0.0, 0.0],
+            vec![2.0, 0.0],
+            vec![2.0, 2.0],
+            vec![0.0, 2.0],
+        ]);
+        let hull = convex_hull_2d(&ps);
+        // Signed area of the polygon must be positive (CCW).
+        let mut area = 0.0;
+        for i in 0..hull.len() {
+            let a = ps.point(hull[i]);
+            let b = ps.point(hull[(i + 1) % hull.len()]);
+            area += a[0] * b[1] - b[0] * a[1];
+        }
+        assert!(area > 0.0, "area {area}");
+    }
+}

@@ -1,0 +1,285 @@
+//! Flat storage for `n` points in `R^d`.
+
+/// A set of `n` points in `R^d`, stored point-major in one flat buffer.
+///
+/// Point `i` occupies `data[i*dim..(i+1)*dim]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointSet {
+    dim: usize,
+    len: usize,
+    data: Vec<f64>,
+}
+
+impl PointSet {
+    /// Build from a flat point-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not a multiple of `dim` or `dim == 0`.
+    pub fn from_flat(dim: usize, data: Vec<f64>) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert_eq!(data.len() % dim, 0, "flat buffer length must be a multiple of dim");
+        let len = data.len() / dim;
+        PointSet { dim, len, data }
+    }
+
+    /// Build from per-point slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics on ragged input or empty dimension.
+    pub fn from_points(points: &[Vec<f64>]) -> Self {
+        let dim = points.first().map_or(1, |p| p.len());
+        assert!(dim > 0, "dimension must be positive");
+        let mut data = Vec::with_capacity(points.len() * dim);
+        for p in points {
+            assert_eq!(p.len(), dim, "ragged point set");
+            data.extend_from_slice(p);
+        }
+        PointSet { dim, len: points.len(), data }
+    }
+
+    /// Build from the columns of a `d×n` matrix given as `d` rows — the
+    /// orientation the sketch produces (`X̃` rows are sketch dimensions,
+    /// columns are node embeddings).
+    ///
+    /// # Panics
+    ///
+    /// Panics on ragged rows or empty input.
+    pub fn from_matrix_columns(rows: &[Vec<f64>]) -> Self {
+        let d = rows.len();
+        assert!(d > 0, "need at least one row");
+        let n = rows[0].len();
+        for r in rows {
+            assert_eq!(r.len(), n, "ragged rows");
+        }
+        let mut data = vec![0.0; n * d];
+        for (r, row) in rows.iter().enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                data[c * d + r] = v;
+            }
+        }
+        PointSet { dim: d, len: n, data }
+    }
+
+    /// Number of points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Dimension `d`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Borrow point `i`.
+    #[inline]
+    pub fn point(&self, i: usize) -> &[f64] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Squared distance between stored points `i` and `j`.
+    #[inline]
+    pub fn dist_sq(&self, i: usize, j: usize) -> f64 {
+        dist_sq(self.point(i), self.point(j))
+    }
+
+    /// Index of the stored point farthest (Euclidean) from an arbitrary
+    /// query point; ties break to the smaller index. `None` if empty.
+    pub fn farthest_from(&self, query: &[f64]) -> Option<(usize, f64)> {
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..self.len {
+            let d2 = dist_sq(self.point(i), query);
+            match best {
+                Some((_, bd)) if d2 <= bd => {}
+                _ => best = Some((i, d2)),
+            }
+        }
+        best.map(|(i, d2)| (i, d2.sqrt()))
+    }
+
+    /// Index of the stored point farthest from stored point `from`.
+    pub fn farthest_from_index(&self, from: usize) -> Option<(usize, f64)> {
+        self.farthest_from(self.point(from))
+    }
+
+    /// Lower bound on the diameter `D(S)` via iterated farthest-point
+    /// sweeps starting at point 0. With `sweeps >= 2` the bound is at least
+    /// `D/2` in any metric space (and typically much tighter).
+    pub fn diameter_estimate(&self, sweeps: usize) -> f64 {
+        if self.len < 2 {
+            return 0.0;
+        }
+        let mut a = 0usize;
+        let mut best = 0.0f64;
+        for _ in 0..sweeps.max(1) {
+            let (b, d) = self.farthest_from_index(a).expect("non-empty");
+            if d <= best {
+                break;
+            }
+            best = d;
+            a = b;
+        }
+        best
+    }
+
+    /// Farthest-first traversal: starting from `seeds`, repeatedly append
+    /// the point maximizing the distance to the already-chosen set, `count`
+    /// times. This is the k-center heuristic CENMINRECC is built on.
+    ///
+    /// Returns the appended indices in selection order (seed indices are
+    /// not repeated in the output).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds` is empty or contains out-of-range indices.
+    pub fn farthest_first_traversal(&self, seeds: &[usize], count: usize) -> Vec<usize> {
+        assert!(!seeds.is_empty(), "need at least one seed");
+        for &s in seeds {
+            assert!(s < self.len, "seed {s} out of range");
+        }
+        // min_d2[i] = squared distance from point i to the chosen set.
+        let mut min_d2 = vec![f64::INFINITY; self.len];
+        let mut in_set = vec![false; self.len];
+        for &s in seeds {
+            in_set[s] = true;
+        }
+        for (i, slot) in min_d2.iter_mut().enumerate() {
+            for &s in seeds {
+                *slot = slot.min(self.dist_sq(i, s));
+            }
+        }
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let mut best: Option<(usize, f64)> = None;
+            for i in 0..self.len {
+                if in_set[i] {
+                    continue;
+                }
+                match best {
+                    Some((_, bd)) if min_d2[i] <= bd => {}
+                    _ => best = Some((i, min_d2[i])),
+                }
+            }
+            let Some((pick, _)) = best else { break };
+            in_set[pick] = true;
+            out.push(pick);
+            for i in 0..self.len {
+                if !in_set[i] {
+                    min_d2[i] = min_d2[i].min(self.dist_sq(i, pick));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Squared Euclidean distance between two equal-length slices.
+#[inline]
+pub fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_square() -> PointSet {
+        PointSet::from_points(&[
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+            vec![0.0, 1.0],
+            vec![0.5, 0.5],
+        ])
+    }
+
+    #[test]
+    fn from_flat_roundtrip() {
+        let ps = PointSet::from_flat(2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps.dim(), 2);
+        assert_eq!(ps.point(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn from_matrix_columns_transposes() {
+        // 2x3 matrix: rows are dims, columns are points.
+        let rows = vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]];
+        let ps = PointSet::from_matrix_columns(&rows);
+        assert_eq!(ps.len(), 3);
+        assert_eq!(ps.dim(), 2);
+        assert_eq!(ps.point(0), &[1.0, 4.0]);
+        assert_eq!(ps.point(2), &[3.0, 6.0]);
+    }
+
+    #[test]
+    fn distances() {
+        let ps = unit_square();
+        assert!((ps.dist_sq(0, 2) - 2.0).abs() < 1e-15);
+        assert!((ps.dist_sq(0, 4) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn farthest_queries() {
+        let ps = unit_square();
+        let (idx, d) = ps.farthest_from(&[0.0, 0.0]).unwrap();
+        assert_eq!(idx, 2);
+        assert!((d - 2.0f64.sqrt()).abs() < 1e-12);
+        let (idx2, _) = ps.farthest_from_index(1).unwrap();
+        assert_eq!(idx2, 3);
+    }
+
+    #[test]
+    fn diameter_estimate_square() {
+        let ps = unit_square();
+        let d = ps.diameter_estimate(3);
+        assert!((d - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diameter_of_single_point_is_zero() {
+        let ps = PointSet::from_points(&[vec![1.0, 1.0]]);
+        assert_eq!(ps.diameter_estimate(3), 0.0);
+    }
+
+    #[test]
+    fn fft_picks_spread_points() {
+        let ps = unit_square();
+        let picks = ps.farthest_first_traversal(&[0], 2);
+        // Farthest from corner 0 is corner 2; farthest from {0, 2} is
+        // corner 1 or 3 (distance 1), not the center (distance ~0.707).
+        assert_eq!(picks[0], 2);
+        assert!(picks[1] == 1 || picks[1] == 3);
+    }
+
+    #[test]
+    fn fft_exhausts_gracefully() {
+        let ps = PointSet::from_points(&[vec![0.0], vec![1.0]]);
+        let picks = ps.farthest_first_traversal(&[0], 5);
+        assert_eq!(picks, vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_points_rejected() {
+        let _ = PointSet::from_points(&[vec![0.0, 1.0], vec![2.0]]);
+    }
+}

@@ -1,0 +1,240 @@
+//! Kalantari's Triangle Algorithm: approximate convex-hull membership.
+//!
+//! Given a query point `p`, a candidate subset `hull ⊆ S` and a tolerance
+//! `tol`, the algorithm maintains an iterate `x ∈ conv(hull)` and either
+//!
+//! * finds `x` with `‖p − x‖ ≤ tol` (approximate membership), or
+//! * finds a *witness* `x` with `‖x − v‖ < ‖p − v‖` for every `v ∈ hull`,
+//!   which certifies that the bisecting hyperplane of `(x, p)` strictly
+//!   separates `conv(hull)` from `p`; in particular
+//!   `dist(p, conv(hull)) ≥ ‖p − x‖ / 2`.
+//!
+//! Each iteration picks the *pivot* `v ∈ hull` maximizing `(p − x)·v` and
+//! moves `x` to the point of segment `[x, v]` closest to `p`. The number of
+//! iterations to reach gap `ε·D` is `O(1/ε²)` — this is the `1/θ²` factor
+//! in Lemma 5.3's running time.
+
+use crate::points::{dist_sq, dot, PointSet};
+
+/// Options for the membership test.
+#[derive(Debug, Clone, Copy)]
+pub struct TriangleOptions {
+    /// Hard cap on pivot iterations (safety net; the gap bound normally
+    /// terminates first).
+    pub max_iterations: usize,
+}
+
+impl Default for TriangleOptions {
+    fn default() -> Self {
+        TriangleOptions { max_iterations: 10_000 }
+    }
+}
+
+/// Result of a membership query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Membership {
+    /// `p` is within `tol` of `conv(hull)`; carries the final gap.
+    Inside {
+        /// Final distance `‖p − x‖`.
+        gap: f64,
+    },
+    /// A witness separates `p` from `conv(hull)`; carries the witness
+    /// point and the gap `‖p − x‖` (so `dist(p, conv(hull)) ≥ gap / 2`).
+    Outside {
+        /// The witness iterate `x ∈ conv(hull)`.
+        witness: Vec<f64>,
+        /// Distance from `p` to the witness.
+        gap: f64,
+    },
+    /// Iteration cap hit before deciding; carries the best gap reached.
+    /// Callers should treat this conservatively (the hull loop treats it
+    /// as *inside* so it never loops forever adding vertices).
+    Undecided {
+        /// Best gap reached.
+        gap: f64,
+    },
+}
+
+impl Membership {
+    /// Whether the query concluded the point is (approximately) inside.
+    pub fn is_inside(&self) -> bool {
+        matches!(self, Membership::Inside { .. })
+    }
+}
+
+/// Approximate membership of `p` in the convex hull of
+/// `{points[i] : i ∈ hull}` with additive tolerance `tol`.
+///
+/// # Panics
+///
+/// Panics if `hull` is empty, contains out-of-range indices, or `p` has the
+/// wrong dimension.
+pub fn membership(
+    points: &PointSet,
+    hull: &[usize],
+    p: &[f64],
+    tol: f64,
+    opts: TriangleOptions,
+) -> Membership {
+    assert!(!hull.is_empty(), "hull subset must be non-empty");
+    assert_eq!(p.len(), points.dim(), "query dimension mismatch");
+    let tol_sq = tol * tol;
+
+    // Start from the hull point closest to p.
+    let start = *hull
+        .iter()
+        .min_by(|&&a, &&b| {
+            dist_sq(points.point(a), p)
+                .partial_cmp(&dist_sq(points.point(b), p))
+                .expect("finite distances")
+        })
+        .expect("non-empty hull");
+    let mut x: Vec<f64> = points.point(start).to_vec();
+
+    for _ in 0..opts.max_iterations {
+        let gap_sq = dist_sq(&x, p);
+        if gap_sq <= tol_sq {
+            return Membership::Inside { gap: gap_sq.sqrt() };
+        }
+        // Pivot search: maximize (p - x)·v over hull; v is a pivot iff
+        // d(x, v) >= d(p, v), i.e. 2 (p - x)·v >= ||p||² - ||x||².
+        let dir: Vec<f64> = p.iter().zip(&x).map(|(pi, xi)| pi - xi).collect();
+        let mut best: Option<(usize, f64)> = None;
+        for &v in hull {
+            let score = dot(&dir, points.point(v));
+            match best {
+                Some((_, bs)) if score <= bs => {}
+                _ => best = Some((v, score)),
+            }
+        }
+        let (v_idx, score) = best.expect("non-empty hull");
+        let p_norm_sq = dot(p, p);
+        let x_norm_sq = dot(&x, &x);
+        if 2.0 * score < p_norm_sq - x_norm_sq {
+            // No pivot exists anywhere in the hull: x is a witness.
+            return Membership::Outside { witness: x, gap: gap_sq.sqrt() };
+        }
+        // Move x to the closest point to p on segment [x, v].
+        let v = points.point(v_idx);
+        let vx: Vec<f64> = v.iter().zip(&x).map(|(vi, xi)| vi - xi).collect();
+        let vx_sq = dot(&vx, &vx);
+        if vx_sq == 0.0 {
+            // Degenerate pivot (v == x); cannot make progress.
+            return Membership::Undecided { gap: gap_sq.sqrt() };
+        }
+        let alpha = (dot(&dir, &vx) / vx_sq).clamp(0.0, 1.0);
+        if alpha == 0.0 {
+            // No progress possible along this (best) pivot.
+            return Membership::Undecided { gap: gap_sq.sqrt() };
+        }
+        for (xi, di) in x.iter_mut().zip(&vx) {
+            *xi += alpha * di;
+        }
+    }
+    Membership::Undecided { gap: dist_sq(&x, p).sqrt() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_points() -> PointSet {
+        PointSet::from_points(&[vec![0.0, 0.0], vec![2.0, 0.0], vec![2.0, 2.0], vec![0.0, 2.0]])
+    }
+
+    #[test]
+    fn interior_point_is_inside() {
+        let ps = square_points();
+        let m = membership(&ps, &[0, 1, 2, 3], &[1.0, 1.0], 1e-6, TriangleOptions::default());
+        assert!(m.is_inside(), "{m:?}");
+    }
+
+    #[test]
+    fn vertex_is_inside() {
+        let ps = square_points();
+        let m = membership(&ps, &[0, 1, 2, 3], &[2.0, 2.0], 1e-9, TriangleOptions::default());
+        assert!(m.is_inside());
+    }
+
+    #[test]
+    fn far_outside_point_is_outside_with_witness() {
+        let ps = square_points();
+        let m = membership(&ps, &[0, 1, 2, 3], &[5.0, 1.0], 1e-6, TriangleOptions::default());
+        match m {
+            Membership::Outside { witness, gap } => {
+                // Distance from (5,1) to the square is 3; gap/2 lower-bounds it.
+                assert!(gap / 2.0 <= 3.0 + 1e-9);
+                assert!(gap > 0.0);
+                // Witness must satisfy d(x, v) < d(p, v) for all vertices.
+                for i in 0..4 {
+                    let dxv = crate::points::dist_sq(&witness, ps.point(i));
+                    let dpv = crate::points::dist_sq(&[5.0, 1.0], ps.point(i));
+                    assert!(dxv < dpv, "witness condition violated at vertex {i}");
+                }
+            }
+            other => panic!("expected Outside, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn near_boundary_point_within_tolerance_is_inside() {
+        let ps = square_points();
+        // 0.05 outside the right edge, tolerance 0.1.
+        let m = membership(&ps, &[0, 1, 2, 3], &[2.05, 1.0], 0.1, TriangleOptions::default());
+        assert!(m.is_inside(), "{m:?}");
+    }
+
+    #[test]
+    fn subset_hull_excludes_region() {
+        let ps = square_points();
+        // Only the bottom edge: the top corners are far from conv{(0,0),(2,0)}.
+        let m = membership(&ps, &[0, 1], &[2.0, 2.0], 0.1, TriangleOptions::default());
+        assert!(matches!(m, Membership::Outside { .. }), "{m:?}");
+    }
+
+    #[test]
+    fn single_point_hull() {
+        let ps = PointSet::from_points(&[vec![1.0, 1.0], vec![3.0, 3.0]]);
+        let m = membership(&ps, &[0], &[1.0, 1.0], 1e-12, TriangleOptions::default());
+        assert!(m.is_inside());
+        let m2 = membership(&ps, &[0], &[3.0, 3.0], 0.5, TriangleOptions::default());
+        assert!(matches!(m2, Membership::Outside { .. } | Membership::Undecided { .. }));
+    }
+
+    #[test]
+    fn high_dimensional_simplex() {
+        // Standard basis vectors in R^8; their centroid is inside, 2*e_0 is
+        // outside.
+        let dim = 8;
+        let pts: Vec<Vec<f64>> = (0..dim)
+            .map(|i| {
+                let mut v = vec![0.0; dim];
+                v[i] = 1.0;
+                v
+            })
+            .collect();
+        let ps = PointSet::from_points(&pts);
+        let all: Vec<usize> = (0..dim).collect();
+        let centroid = vec![1.0 / dim as f64; dim];
+        let m = membership(&ps, &all, &centroid, 1e-6, TriangleOptions::default());
+        assert!(m.is_inside(), "{m:?}");
+        let mut far = vec![0.0; dim];
+        far[0] = 2.0;
+        let m2 = membership(&ps, &all, &far, 0.1, TriangleOptions::default());
+        assert!(matches!(m2, Membership::Outside { .. }), "{m2:?}");
+    }
+
+    #[test]
+    fn iteration_cap_yields_undecided_or_result() {
+        let ps = square_points();
+        let m = membership(
+            &ps,
+            &[0, 1, 2, 3],
+            &[1.0, 1.0],
+            1e-15,
+            TriangleOptions { max_iterations: 1 },
+        );
+        // With one iteration the tiny tolerance cannot be met from a corner.
+        assert!(!m.is_inside());
+    }
+}

@@ -1,0 +1,460 @@
+//! Dense row-major matrices with the factorizations the exact algorithms
+//! need: Cholesky (for SPD systems like `L + J/n`) and partially pivoted LU
+//! (general fallback), plus inversion built on them.
+
+use crate::LinalgError;
+
+/// A dense row-major `rows x cols` matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from a row-major data vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length must equal rows*cols");
+        DenseMatrix { rows, cols, data }
+    }
+
+    /// Build from nested row arrays (convenient in tests).
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        DenseMatrix { rows: r, cols: c, data }
+    }
+
+    /// Row count.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Raw row-major data.
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Matrix–vector product `A x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "matvec: dimension mismatch");
+        (0..self.rows).map(|i| crate::vector::dot(self.row(i), x)).collect()
+    }
+
+    /// Matrix product `A * B`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `self.cols != other.rows`.
+    pub fn matmul(&self, other: &DenseMatrix) -> Result<DenseMatrix, LinalgError> {
+        if self.cols != other.rows {
+            return Err(LinalgError::DimensionMismatch {
+                context: format!(
+                    "matmul {}x{} by {}x{}",
+                    self.rows, self.cols, other.rows, other.cols
+                ),
+            });
+        }
+        let mut out = DenseMatrix::zeros(self.rows, other.cols);
+        // i-k-j loop order keeps the inner loop contiguous in both B and C.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = other.row(k);
+                let crow = out.row_mut(i);
+                for (cij, bkj) in crow.iter_mut().zip(brow) {
+                    *cij += aik * bkj;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Maximum absolute entry (used for approximate-equality checks).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0f64, |acc, &x| acc.max(x.abs()))
+    }
+
+    /// Cholesky factorization `A = G Gᵀ` (lower triangular `G`) of an SPD
+    /// matrix.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::NotPositiveDefinite`] if a pivot is non-positive, and
+    /// [`LinalgError::DimensionMismatch`] for non-square input.
+    pub fn cholesky(&self) -> Result<Cholesky, LinalgError> {
+        if self.rows != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                context: format!("cholesky of {}x{}", self.rows, self.cols),
+            });
+        }
+        let n = self.rows;
+        let mut g = self.clone();
+        for j in 0..n {
+            let mut diag = g[(j, j)];
+            for k in 0..j {
+                diag -= g[(j, k)] * g[(j, k)];
+            }
+            if diag <= 0.0 || !diag.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite { pivot: j });
+            }
+            let diag = diag.sqrt();
+            g[(j, j)] = diag;
+            for i in (j + 1)..n {
+                let mut v = g[(i, j)];
+                for k in 0..j {
+                    v -= g[(i, k)] * g[(j, k)];
+                }
+                g[(i, j)] = v / diag;
+            }
+            // Zero the strict upper triangle as we go.
+            for k in (j + 1)..n {
+                g[(j, k)] = 0.0;
+            }
+        }
+        Ok(Cholesky { g })
+    }
+
+    /// Partially pivoted LU factorization.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::Singular`] if a pivot column is numerically zero, and
+    /// [`LinalgError::DimensionMismatch`] for non-square input.
+    pub fn lu(&self) -> Result<Lu, LinalgError> {
+        if self.rows != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                context: format!("lu of {}x{}", self.rows, self.cols),
+            });
+        }
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            // Partial pivot.
+            let (pivot_row, pivot_val) = (k..n)
+                .map(|i| (i, a[(i, k)].abs()))
+                .max_by(|x, y| x.1.partial_cmp(&y.1).expect("finite"))
+                .expect("non-empty range");
+            if pivot_val < 1e-300 {
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            if pivot_row != k {
+                perm.swap(k, pivot_row);
+                for j in 0..n {
+                    let tmp = a[(k, j)];
+                    a[(k, j)] = a[(pivot_row, j)];
+                    a[(pivot_row, j)] = tmp;
+                }
+            }
+            let pivot = a[(k, k)];
+            for i in (k + 1)..n {
+                let factor = a[(i, k)] / pivot;
+                a[(i, k)] = factor;
+                for j in (k + 1)..n {
+                    let akj = a[(k, j)];
+                    a[(i, j)] -= factor * akj;
+                }
+            }
+        }
+        Ok(Lu { lu: a, perm })
+    }
+
+    /// Matrix inverse via LU.
+    ///
+    /// # Errors
+    ///
+    /// Propagates factorization failures.
+    pub fn inverse(&self) -> Result<DenseMatrix, LinalgError> {
+        let lu = self.lu()?;
+        let n = self.rows;
+        let mut inv = DenseMatrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e.iter_mut().for_each(|x| *x = 0.0);
+            e[j] = 1.0;
+            let col = lu.solve(&e);
+            for i in 0..n {
+                inv[(i, j)] = col[i];
+            }
+        }
+        Ok(inv)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for DenseMatrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for DenseMatrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// Cholesky factor `G` (lower triangular) with `A = G Gᵀ`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    g: DenseMatrix,
+}
+
+impl Cholesky {
+    /// Solve `A x = b` by forward + backward substitution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` differs from the matrix order.
+    #[allow(clippy::needless_range_loop)] // index form mirrors the math
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.g.rows();
+        assert_eq!(b.len(), n, "cholesky solve: dimension mismatch");
+        // Forward: G y = b.
+        let mut y = b.to_vec();
+        for i in 0..n {
+            let row = self.g.row(i);
+            let mut v = y[i];
+            for k in 0..i {
+                v -= row[k] * y[k];
+            }
+            y[i] = v / row[i];
+        }
+        // Backward: Gᵀ x = y.
+        let mut x = y;
+        for i in (0..n).rev() {
+            let mut v = x[i];
+            for k in (i + 1)..n {
+                v -= self.g[(k, i)] * x[k];
+            }
+            x[i] = v / self.g[(i, i)];
+        }
+        x
+    }
+
+    /// The lower-triangular factor.
+    pub fn factor(&self) -> &DenseMatrix {
+        &self.g
+    }
+}
+
+/// Packed LU factorization with row permutation.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    lu: DenseMatrix,
+    perm: Vec<usize>,
+}
+
+impl Lu {
+    /// Solve `A x = b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` differs from the matrix order.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.lu.rows();
+        assert_eq!(b.len(), n, "lu solve: dimension mismatch");
+        // Apply permutation, then forward substitution with unit lower L.
+        let mut y: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 0..n {
+            let row = self.lu.row(i);
+            let mut v = y[i];
+            for k in 0..i {
+                v -= row[k] * y[k];
+            }
+            y[i] = v;
+        }
+        // Backward substitution with U.
+        for i in (0..n).rev() {
+            let row = self.lu.row(i);
+            let mut v = y[i];
+            for k in (i + 1)..n {
+                v -= row[k] * y[k];
+            }
+            y[i] = v / row[i];
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> DenseMatrix {
+        DenseMatrix::from_rows(&[&[4.0, 1.0, 0.0], &[1.0, 3.0, 1.0], &[0.0, 1.0, 2.0]])
+    }
+
+    #[test]
+    fn index_and_rows() {
+        let m = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m[(0, 1)], 2.0);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 2);
+    }
+
+    #[test]
+    fn matvec_basic() {
+        let m = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m.matvec(&[1.0, 1.0]), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let m = spd3();
+        let i = DenseMatrix::identity(3);
+        let p = m.matmul(&i).unwrap();
+        assert_eq!(p, m);
+    }
+
+    #[test]
+    fn matmul_rejects_mismatch() {
+        let a = DenseMatrix::zeros(2, 3);
+        let b = DenseMatrix::zeros(2, 3);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = DenseMatrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let t = m.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t[(2, 1)], 6.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = spd3();
+        let ch = a.cholesky().unwrap();
+        let g = ch.factor();
+        let gt = g.transpose();
+        let back = g.matmul(&gt).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((back[(i, j)] - a[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_solve() {
+        let a = spd3();
+        let ch = a.cholesky().unwrap();
+        let x_true = [1.0, -2.0, 0.5];
+        let b = a.matvec(&x_true);
+        let x = ch.solve(&b);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(matches!(a.cholesky(), Err(LinalgError::NotPositiveDefinite { .. })));
+    }
+
+    #[test]
+    fn lu_solve_nonsymmetric() {
+        let a = DenseMatrix::from_rows(&[&[0.0, 2.0, 1.0], &[1.0, 0.0, 3.0], &[2.0, 1.0, 0.0]]);
+        let lu = a.lu().unwrap();
+        let x_true = [3.0, -1.0, 2.0];
+        let b = a.matvec(&x_true);
+        let x = lu.solve(&b);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lu_rejects_singular() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(a.lu(), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = spd3();
+        let inv = a.inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        let eye = DenseMatrix::identity(3);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((prod[(i, j)] - eye[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn max_abs_entry() {
+        let m = DenseMatrix::from_rows(&[&[1.0, -7.0], &[3.0, 4.0]]);
+        assert_eq!(m.max_abs(), 7.0);
+    }
+}

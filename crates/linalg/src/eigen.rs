@@ -1,0 +1,247 @@
+//! Laplacian eigenvalue estimation.
+//!
+//! Two quantities matter for this library:
+//!
+//! * `λ_max` — the largest Laplacian eigenvalue, via plain power
+//!   iteration. Bounds the CG condition number together with `λ₂`.
+//! * `λ₂` — the algebraic connectivity (smallest non-zero eigenvalue),
+//!   via inverse power iteration on the subspace `⊥ 1` (each step is one
+//!   CG solve). Together they yield the spectral sandwich for resistance
+//!   distances used as a cross-check in tests and diagnostics:
+//!   `2/λ_max ≤ r(u, v) ≤ 2/λ₂` for every pair of distinct nodes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cg::{solve_laplacian, CgOptions, CgWorkspace};
+use crate::laplacian::LaplacianOp;
+use crate::vector;
+
+/// Options for the iterative eigenvalue estimators.
+#[derive(Debug, Clone, Copy)]
+pub struct EigenOptions {
+    /// Iteration cap.
+    pub max_iterations: usize,
+    /// Relative change in the eigenvalue estimate that counts as
+    /// converged.
+    pub tolerance: f64,
+    /// RNG seed for the starting vector.
+    pub seed: u64,
+    /// CG options for the inner solves of [`lambda2_estimate`].
+    pub cg: CgOptions,
+}
+
+impl Default for EigenOptions {
+    fn default() -> Self {
+        EigenOptions { max_iterations: 500, tolerance: 1e-9, seed: 7, cg: CgOptions::default() }
+    }
+}
+
+/// An eigenvalue estimate with its convergence diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EigenEstimate {
+    /// The eigenvalue estimate (Rayleigh quotient at the final iterate).
+    pub value: f64,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Whether the tolerance was met.
+    pub converged: bool,
+}
+
+fn random_unit_perp_ones(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    vector::project_out_ones(&mut x);
+    let norm = vector::norm2(&x);
+    if norm > 0.0 {
+        vector::scale(&mut x, 1.0 / norm);
+    } else {
+        // Astronomically unlikely; fall back to a deterministic vector.
+        for (i, xi) in x.iter_mut().enumerate() {
+            *xi = if i % 2 == 0 { 1.0 } else { -1.0 };
+        }
+        vector::project_out_ones(&mut x);
+        let norm = vector::norm2(&x);
+        vector::scale(&mut x, 1.0 / norm);
+    }
+    x
+}
+
+/// Largest Laplacian eigenvalue via power iteration (restricted to `⊥ 1`,
+/// which contains the top eigenvector for any graph with at least one
+/// edge).
+///
+/// # Panics
+///
+/// Panics if the graph has no nodes.
+pub fn lambda_max_estimate(op: &LaplacianOp<'_>, opts: EigenOptions) -> EigenEstimate {
+    let n = op.order();
+    assert!(n > 0, "graph must be non-empty");
+    if n == 1 {
+        return EigenEstimate { value: 0.0, iterations: 0, converged: true };
+    }
+    let mut x = random_unit_perp_ones(n, opts.seed);
+    let mut y = vec![0.0; n];
+    let mut prev = 0.0f64;
+    for it in 1..=opts.max_iterations {
+        op.apply(&x, &mut y);
+        vector::project_out_ones(&mut y);
+        let norm = vector::norm2(&y);
+        if norm == 0.0 {
+            // Edgeless graph: L = 0.
+            return EigenEstimate { value: 0.0, iterations: it, converged: true };
+        }
+        for (xi, yi) in x.iter_mut().zip(&y) {
+            *xi = yi / norm;
+        }
+        // Rayleigh quotient = x' L x (x is unit).
+        op.apply(&x, &mut y);
+        let value = vector::dot(&x, &y);
+        if (value - prev).abs() <= opts.tolerance * value.abs().max(1.0) {
+            return EigenEstimate { value, iterations: it, converged: true };
+        }
+        prev = value;
+    }
+    EigenEstimate { value: prev, iterations: opts.max_iterations, converged: false }
+}
+
+/// Algebraic connectivity `λ₂` via inverse power iteration: repeatedly
+/// solve `L y = x` on `⊥ 1` (CG) and renormalize; the Rayleigh quotient
+/// converges to the smallest non-zero eigenvalue.
+///
+/// Requires a connected graph (otherwise `λ₂ = 0` and the solves stall);
+/// the estimate degrades gracefully to `converged = false` in that case.
+///
+/// # Panics
+///
+/// Panics if the graph has no nodes.
+pub fn lambda2_estimate(op: &LaplacianOp<'_>, opts: EigenOptions) -> EigenEstimate {
+    let n = op.order();
+    assert!(n > 0, "graph must be non-empty");
+    if n == 1 {
+        return EigenEstimate { value: 0.0, iterations: 0, converged: true };
+    }
+    let mut ws = CgWorkspace::new(n);
+    let mut x = random_unit_perp_ones(n, opts.seed);
+    let mut lx = vec![0.0; n];
+    let mut prev = f64::INFINITY;
+    for it in 1..=opts.max_iterations {
+        let solve = solve_laplacian(op, &x, opts.cg, &mut ws);
+        let mut y = solve.solution;
+        vector::project_out_ones(&mut y);
+        let norm = vector::norm2(&y);
+        if norm == 0.0 || !solve.converged {
+            return EigenEstimate { value: prev, iterations: it, converged: false };
+        }
+        vector::scale(&mut y, 1.0 / norm);
+        x = y;
+        op.apply(&x, &mut lx);
+        let value = vector::dot(&x, &lx);
+        if (value - prev).abs() <= opts.tolerance * value.abs().max(1e-12) {
+            return EigenEstimate { value, iterations: it, converged: true };
+        }
+        prev = value;
+    }
+    EigenEstimate { value: prev, iterations: opts.max_iterations, converged: false }
+}
+
+/// Spectral sandwich for resistance distances on a connected graph:
+/// `r(u,v) = bᵀ L† b` with `b = e_u − e_v ⊥ 1` and `‖b‖² = 2`, so the
+/// spectrum of `L†` on `1⊥` gives `2/λ_max ≤ r(u,v) ≤ 2/λ₂` for every
+/// pair. Returns `(lower, upper)`.
+pub fn resistance_bounds(lambda2: f64, lambda_max: f64) -> (f64, f64) {
+    assert!(lambda2 > 0.0, "lambda2 must be positive for a connected graph");
+    assert!(lambda_max >= lambda2, "lambda_max must dominate lambda2");
+    (2.0 / lambda_max, 2.0 / lambda2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laplacian::laplacian_pseudoinverse;
+    use reecc_graph::generators::{barabasi_albert, complete, cycle, line, star};
+
+    #[test]
+    fn complete_graph_spectrum() {
+        // K_n: lambda_2 = ... = lambda_n = n.
+        let n = 8;
+        let g = complete(n);
+        let op = LaplacianOp::new(&g);
+        let top = lambda_max_estimate(&op, EigenOptions::default());
+        assert!(top.converged);
+        assert!((top.value - n as f64).abs() < 1e-6, "lambda_max {}", top.value);
+        let bottom = lambda2_estimate(&op, EigenOptions::default());
+        assert!(bottom.converged);
+        assert!((bottom.value - n as f64).abs() < 1e-6, "lambda2 {}", bottom.value);
+    }
+
+    #[test]
+    fn star_lambda_max_is_n() {
+        // Star K_{1,n-1}: eigenvalues 0, 1 (n-2 times), n.
+        let g = star(10);
+        let op = LaplacianOp::new(&g);
+        let top = lambda_max_estimate(&op, EigenOptions::default());
+        assert!((top.value - 10.0).abs() < 1e-6);
+        let bottom = lambda2_estimate(&op, EigenOptions::default());
+        assert!((bottom.value - 1.0).abs() < 1e-6, "lambda2 {}", bottom.value);
+    }
+
+    #[test]
+    fn cycle_lambda2_formula() {
+        // C_n: lambda2 = 2 - 2 cos(2 pi / n).
+        let n = 12;
+        let g = cycle(n);
+        let op = LaplacianOp::new(&g);
+        let expected = 2.0 - 2.0 * (std::f64::consts::TAU / n as f64).cos();
+        let est = lambda2_estimate(&op, EigenOptions::default());
+        assert!(est.converged);
+        assert!((est.value - expected).abs() < 1e-6, "{} vs {expected}", est.value);
+    }
+
+    #[test]
+    fn lambda_max_upper_bounds_two_dmax() {
+        // lambda_max <= 2 * d_max, and >= d_max + 1 for any graph with an
+        // edge.
+        let g = barabasi_albert(60, 2, 9);
+        let dmax = (0..60).map(|v| g.degree(v)).max().unwrap() as f64;
+        let op = LaplacianOp::new(&g);
+        let top = lambda_max_estimate(&op, EigenOptions::default());
+        assert!(top.value <= 2.0 * dmax + 1e-6);
+        assert!(top.value >= dmax + 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn resistance_sandwich_holds_on_line() {
+        let g = line(9);
+        let op = LaplacianOp::new(&g);
+        let l2 = lambda2_estimate(&op, EigenOptions::default());
+        assert!(l2.converged);
+        let lmax = lambda_max_estimate(&op, EigenOptions::default());
+        let (lower, upper) = resistance_bounds(l2.value, lmax.value);
+        let pinv = laplacian_pseudoinverse(&g).unwrap();
+        for u in 0..9 {
+            for v in 0..9 {
+                if u == v {
+                    continue;
+                }
+                let r = pinv[(u, u)] + pinv[(v, v)] - 2.0 * pinv[(u, v)];
+                assert!(r <= upper + 1e-9, "r({u},{v})={r} > upper {upper}");
+                assert!(r >= lower - 1e-9, "r({u},{v})={r} < lower {lower}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let g = reecc_graph::Graph::from_edges(1, []).unwrap();
+        let op = LaplacianOp::new(&g);
+        assert_eq!(lambda_max_estimate(&op, EigenOptions::default()).value, 0.0);
+        assert_eq!(lambda2_estimate(&op, EigenOptions::default()).value, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bounds_reject_zero_lambda2() {
+        let _ = resistance_bounds(0.0, 4.0);
+    }
+}

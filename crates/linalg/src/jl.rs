@@ -1,0 +1,136 @@
+//! Johnson–Lindenstrauss random-sign projection.
+//!
+//! APPROXER (paper, Lemma 5.1) projects the `m`-dimensional edge embedding
+//! `B L† e_i` down to `d = ⌈24 ln n / ε²⌉` dimensions with a random matrix
+//! `Q ∈ {±1/√d}^{d×m}` (Achlioptas's database-friendly projection). This
+//! module provides the projected incidence product: the `i`-th row of
+//! `Q B ∈ R^{d×n}` is computed edge-by-edge without materializing `Q` or
+//! `B`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use reecc_graph::Graph;
+
+/// The paper's JL dimension formula `⌈24 ln n / ε²⌉`.
+///
+/// The constant is conservative; see [`jl_dimension_scaled`] for the knob
+/// the benchmark harnesses use.
+pub fn jl_dimension(n: usize, epsilon: f64) -> usize {
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    if n <= 1 {
+        return 1;
+    }
+    ((24.0 * (n as f64).ln()) / (epsilon * epsilon)).ceil() as usize
+}
+
+/// JL dimension with a multiplicative `scale` applied to the constant (the
+/// paper's formula corresponds to `scale = 1.0`). The result is clamped to
+/// at least 1.
+pub fn jl_dimension_scaled(n: usize, epsilon: f64, scale: f64) -> usize {
+    assert!(scale > 0.0, "scale must be positive");
+    ((jl_dimension(n, epsilon) as f64 * scale).ceil() as usize).max(1)
+}
+
+/// Compute the rows of `Q B` for a graph, where `Q` has i.i.d. entries
+/// `±1/√d` and `B` is the (arbitrarily oriented) `m×n` incidence matrix.
+///
+/// Row `i` is a length-`n` vector: for each edge `e = (u, v)` (with the
+/// orientation `u → v` fixed by the canonical edge order) the entry `q_ie`
+/// adds `+q` at `u` and `−q` at `v`. The full `d×n` product costs
+/// `O(d·m)` time and `O(d·n)` output space; `Q` itself is never stored.
+pub fn projected_incidence_rows(g: &Graph, d: usize, seed: u64) -> Vec<Vec<f64>> {
+    assert!(d > 0, "projection dimension must be positive");
+    let n = g.node_count();
+    let inv_sqrt_d = 1.0 / (d as f64).sqrt();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::with_capacity(d);
+    for _ in 0..d {
+        let mut row = vec![0.0f64; n];
+        for e in g.edges() {
+            let q = if rng.gen::<bool>() { inv_sqrt_d } else { -inv_sqrt_d };
+            row[e.u] += q;
+            row[e.v] -= q;
+        }
+        rows.push(row);
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reecc_graph::generators::{cycle, star};
+
+    #[test]
+    fn dimension_formula() {
+        // n = e^1 -> 24/eps^2 * 1
+        let d = jl_dimension(1000, 0.5);
+        let expected = (24.0 * (1000.0f64).ln() / 0.25).ceil() as usize;
+        assert_eq!(d, expected);
+        assert_eq!(jl_dimension(1, 0.1), 1);
+    }
+
+    #[test]
+    fn dimension_scaling() {
+        let base = jl_dimension(500, 0.3);
+        let tenth = jl_dimension_scaled(500, 0.3, 0.1);
+        assert!(tenth < base);
+        assert!(tenth >= 1);
+        assert_eq!(jl_dimension_scaled(500, 0.3, 1.0), base);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be positive")]
+    fn rejects_zero_epsilon() {
+        let _ = jl_dimension(10, 0.0);
+    }
+
+    #[test]
+    fn rows_have_zero_sum() {
+        // Each edge contributes +q and -q, so every row sums to zero.
+        let g = star(6);
+        let rows = projected_incidence_rows(&g, 8, 42);
+        assert_eq!(rows.len(), 8);
+        for row in &rows {
+            let s: f64 = row.iter().sum();
+            assert!(s.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rows_are_seed_deterministic() {
+        let g = cycle(10);
+        let a = projected_incidence_rows(&g, 4, 7);
+        let b = projected_incidence_rows(&g, 4, 7);
+        assert_eq!(a, b);
+        let c = projected_incidence_rows(&g, 4, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn entries_scale_with_dimension() {
+        let g = cycle(5);
+        let rows = projected_incidence_rows(&g, 16, 1);
+        // Each entry of a row is a sum of +-1/4 contributions from incident
+        // edges (each node in a cycle touches 2 edges), so |entry| <= 0.5.
+        for row in &rows {
+            for &x in row {
+                assert!(x.abs() <= 0.5 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn jl_preserves_norms_statistically() {
+        // ||Q y||^2 should concentrate around ||y||^2 for a fixed vector y
+        // in edge space. We use y = B e_u (row u of B^T), whose squared norm
+        // is deg(u); the projected vector is column u of QB.
+        let g = star(20); // hub degree 19
+        let d = 2000;
+        let rows = projected_incidence_rows(&g, d, 99);
+        let hub_sq: f64 = rows.iter().map(|r| r[0] * r[0]).sum();
+        assert!((hub_sq - 19.0).abs() < 3.0, "projected norm {hub_sq} vs 19");
+        let leaf_sq: f64 = rows.iter().map(|r| r[3] * r[3]).sum();
+        assert!((leaf_sq - 1.0).abs() < 0.5, "projected norm {leaf_sq} vs 1");
+    }
+}

@@ -1,0 +1,208 @@
+//! Graph Laplacian representations: matrix-free operator, CSR, dense, and
+//! the dense pseudoinverse `L† = (L + J/n)⁻¹ − J/n` (paper, §III-B).
+
+use reecc_graph::Graph;
+
+use crate::dense::DenseMatrix;
+use crate::sparse::CsrMatrix;
+use crate::LinalgError;
+
+/// Matrix-free Laplacian `L = D − A` of a graph.
+///
+/// `apply` runs in `O(n + m)` straight off the CSR adjacency — no explicit
+/// matrix is materialized, which keeps the CG solver's memory footprint at
+/// a handful of length-`n` vectors.
+#[derive(Debug, Clone, Copy)]
+pub struct LaplacianOp<'g> {
+    graph: &'g Graph,
+}
+
+impl<'g> LaplacianOp<'g> {
+    /// Wrap a graph.
+    pub fn new(graph: &'g Graph) -> Self {
+        LaplacianOp { graph }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// Operator order `n`.
+    pub fn order(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// `y = L x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn apply(&self, x: &[f64], y: &mut [f64]) {
+        let n = self.graph.node_count();
+        assert_eq!(x.len(), n, "laplacian apply: input dimension");
+        assert_eq!(y.len(), n, "laplacian apply: output dimension");
+        for u in 0..n {
+            let mut acc = self.graph.degree(u) as f64 * x[u];
+            for &v in self.graph.neighbors(u) {
+                acc -= x[v];
+            }
+            y[u] = acc;
+        }
+    }
+
+    /// Degree of node `i` (the diagonal of `L`), used by the Jacobi
+    /// preconditioner.
+    pub fn diagonal(&self, i: usize) -> f64 {
+        self.graph.degree(i) as f64
+    }
+}
+
+/// Explicit CSR Laplacian.
+pub fn laplacian_csr(g: &Graph) -> CsrMatrix {
+    let n = g.node_count();
+    let mut triplets = Vec::with_capacity(n + 2 * g.edge_count());
+    for u in 0..n {
+        triplets.push((u, u, g.degree(u) as f64));
+        for &v in g.neighbors(u) {
+            triplets.push((u, v, -1.0));
+        }
+    }
+    CsrMatrix::from_triplets(n, n, &triplets).expect("indices in range by construction")
+}
+
+/// Explicit dense Laplacian (small graphs only).
+pub fn laplacian_dense(g: &Graph) -> DenseMatrix {
+    let n = g.node_count();
+    let mut m = DenseMatrix::zeros(n, n);
+    for u in 0..n {
+        m[(u, u)] = g.degree(u) as f64;
+        for &v in g.neighbors(u) {
+            m[(u, v)] = -1.0;
+        }
+    }
+    m
+}
+
+/// Dense Moore–Penrose pseudoinverse of the Laplacian of a *connected*
+/// graph, via the paper's identity `L† = (L + J/n)⁻¹ − J/n`.
+///
+/// `L + J/n` is SPD for connected graphs, so Cholesky is used; cost is
+/// `O(n³)` time and `O(n²)` space — exactly the EXACTQUERY preprocessing
+/// step.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::NotPositiveDefinite`] when the graph is
+/// disconnected (the shifted matrix is then singular in exact arithmetic)
+/// and propagates numerical failures.
+pub fn laplacian_pseudoinverse(g: &Graph) -> Result<DenseMatrix, LinalgError> {
+    let n = g.node_count();
+    if n == 0 {
+        return Ok(DenseMatrix::zeros(0, 0));
+    }
+    let inv_n = 1.0 / n as f64;
+    let mut shifted = laplacian_dense(g);
+    for i in 0..n {
+        for j in 0..n {
+            shifted[(i, j)] += inv_n;
+        }
+    }
+    let ch = shifted.cholesky()?;
+    // Invert column by column: (L + J/n)^{-1} e_j, then subtract J/n.
+    let mut pinv = DenseMatrix::zeros(n, n);
+    let mut e = vec![0.0; n];
+    for j in 0..n {
+        e.iter_mut().for_each(|x| *x = 0.0);
+        e[j] = 1.0;
+        let col = ch.solve(&e);
+        for i in 0..n {
+            pinv[(i, j)] = col[i] - inv_n;
+        }
+    }
+    Ok(pinv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reecc_graph::generators::{complete, cycle, line, star};
+    use reecc_graph::Graph;
+
+    #[test]
+    fn operator_matches_dense() {
+        let g = cycle(6);
+        let op = LaplacianOp::new(&g);
+        let dense = laplacian_dense(&g);
+        let x: Vec<f64> = (0..6).map(|i| (i as f64).sin()).collect();
+        let mut y = vec![0.0; 6];
+        op.apply(&x, &mut y);
+        assert_eq!(y, dense.matvec(&x));
+    }
+
+    #[test]
+    fn csr_matches_dense() {
+        let g = star(7);
+        let csr = laplacian_csr(&g);
+        let dense = laplacian_dense(&g);
+        assert_eq!(csr.to_dense(), dense);
+        assert_eq!(csr.nnz(), 7 + 2 * 6);
+    }
+
+    #[test]
+    fn laplacian_rows_sum_to_zero() {
+        let g = line(5);
+        let dense = laplacian_dense(&g);
+        for i in 0..5 {
+            let s: f64 = dense.row(i).iter().sum();
+            assert!(s.abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn laplacian_annihilates_ones() {
+        let g = complete(5);
+        let op = LaplacianOp::new(&g);
+        let ones = vec![1.0; 5];
+        let mut y = vec![0.0; 5];
+        op.apply(&ones, &mut y);
+        assert!(y.iter().all(|v| v.abs() < 1e-15));
+    }
+
+    #[test]
+    fn pseudoinverse_properties() {
+        // Verify the Moore-Penrose identities L L† L = L and L† L L† = L†
+        // plus symmetry and 1ᵀ L† = 0 on a small graph.
+        let g = line(4);
+        let l = laplacian_dense(&g);
+        let p = laplacian_pseudoinverse(&g).unwrap();
+        let llp = l.matmul(&p).unwrap().matmul(&l).unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((llp[(i, j)] - l[(i, j)]).abs() < 1e-10, "L L† L != L at ({i},{j})");
+                assert!((p[(i, j)] - p[(j, i)]).abs() < 1e-10, "L† not symmetric");
+            }
+        }
+        for j in 0..4 {
+            let colsum: f64 = (0..4).map(|i| p[(i, j)]).sum();
+            assert!(colsum.abs() < 1e-10, "column {j} of L† not orthogonal to 1");
+        }
+    }
+
+    #[test]
+    fn pseudoinverse_of_k2() {
+        // For K2, L = [[1,-1],[-1,1]], eigenvalue 2 on (1,-1)/sqrt(2), so
+        // L† = [[1/4,-1/4],[-1/4,1/4]].
+        let g = complete(2);
+        let p = laplacian_pseudoinverse(&g).unwrap();
+        assert!((p[(0, 0)] - 0.25).abs() < 1e-12);
+        assert!((p[(0, 1)] + 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pseudoinverse_empty_graph() {
+        let g = Graph::from_edges(0, []).unwrap();
+        let p = laplacian_pseudoinverse(&g).unwrap();
+        assert_eq!(p.rows(), 0);
+    }
+}

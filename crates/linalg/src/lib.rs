@@ -1,0 +1,82 @@
+#![warn(missing_docs)]
+//! # reecc-linalg
+//!
+//! Linear-algebra substrate for the resistance-eccentricity library.
+//!
+//! The paper relies on two numerical engines:
+//!
+//! 1. **Dense pseudoinverse** of the graph Laplacian,
+//!    `L† = (L + J/n)⁻¹ − J/n`, used by EXACTQUERY and by the exact
+//!    optimizers on small graphs. Provided by [`dense`] (Cholesky / LU) and
+//!    [`laplacian::laplacian_pseudoinverse`].
+//! 2. **Fast Laplacian solves** `L x = b` (with `b ⊥ 1`), used by the
+//!    APPROXER sketch. The paper uses an `Õ(m)` SDD solver; the Rust
+//!    ecosystem has no mature equivalent, so this crate hand-rolls a
+//!    preconditioned Conjugate Gradient ([`cg`]) operating on the subspace
+//!    orthogonal to the all-ones vector, with a Jacobi (degree)
+//!    preconditioner. See DESIGN.md §3 for the substitution rationale.
+//!
+//! [`jl`] provides the Johnson–Lindenstrauss random-sign projection used to
+//! compress the edge dimension, and [`sparse`] a CSR matrix with SpMV for
+//! generic operators.
+
+pub mod cg;
+pub mod dense;
+pub mod eigen;
+pub mod jl;
+pub mod laplacian;
+pub mod sparse;
+pub mod vector;
+
+pub use cg::{CgOptions, CgOutcome, Preconditioner};
+pub use dense::DenseMatrix;
+pub use eigen::{lambda2_estimate, lambda_max_estimate, EigenEstimate, EigenOptions};
+pub use laplacian::{laplacian_csr, laplacian_dense, laplacian_pseudoinverse, LaplacianOp};
+pub use sparse::CsrMatrix;
+
+/// Errors from numerical routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Matrix dimensions were incompatible with the operation.
+    DimensionMismatch {
+        /// Human-readable description of the mismatch.
+        context: String,
+    },
+    /// A factorization failed (matrix not positive definite).
+    NotPositiveDefinite {
+        /// Pivot index where the failure occurred.
+        pivot: usize,
+    },
+    /// Singular matrix encountered during LU elimination.
+    Singular {
+        /// Pivot index where the failure occurred.
+        pivot: usize,
+    },
+    /// CG failed to reach the requested tolerance within the iteration cap.
+    DidNotConverge {
+        /// Iterations performed.
+        iterations: usize,
+        /// Final relative residual.
+        residual: f64,
+    },
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { context } => {
+                write!(f, "dimension mismatch: {context}")
+            }
+            LinalgError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite (pivot {pivot})")
+            }
+            LinalgError::Singular { pivot } => write!(f, "singular matrix (pivot {pivot})"),
+            LinalgError::DidNotConverge { iterations, residual } => write!(
+                f,
+                "conjugate gradient did not converge: {iterations} iterations, residual {residual:.3e}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}

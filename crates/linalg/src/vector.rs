@@ -1,0 +1,165 @@
+//! Dense vector kernels used throughout the numerical code.
+//!
+//! All functions operate on `&[f64]` slices; panics on length mismatch are
+//! debug-asserted on the hot paths and hard-asserted on the public entry
+//! points that are not performance critical.
+
+/// Dot product `a · b`.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm `||a||_2`.
+#[inline]
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Squared Euclidean norm `||a||_2^2`.
+#[inline]
+pub fn norm2_sq(a: &[f64]) -> f64 {
+    dot(a, a)
+}
+
+/// `y += alpha * x`.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `y = x + beta * y` (classic CG direction update).
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+#[inline]
+pub fn xpby(x: &[f64], beta: f64, y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "xpby: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi = xi + beta * *yi;
+    }
+}
+
+/// Scale in place: `a *= alpha`.
+#[inline]
+pub fn scale(a: &mut [f64], alpha: f64) {
+    for x in a {
+        *x *= alpha;
+    }
+}
+
+/// Mean of the entries.
+#[inline]
+pub fn mean(a: &[f64]) -> f64 {
+    if a.is_empty() {
+        0.0
+    } else {
+        a.iter().sum::<f64>() / a.len() as f64
+    }
+}
+
+/// Subtract the mean from every entry, projecting onto `1⊥`.
+///
+/// This is how the Laplacian's null space is handled: both right-hand sides
+/// and iterates are kept orthogonal to the all-ones vector.
+#[inline]
+pub fn project_out_ones(a: &mut [f64]) {
+    let m = mean(a);
+    for x in a.iter_mut() {
+        *x -= m;
+    }
+}
+
+/// Squared Euclidean distance between two vectors.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+#[inline]
+pub fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dist_sq: length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Euclidean distance between two vectors.
+#[inline]
+pub fn dist(a: &[f64], b: &[f64]) -> f64 {
+    dist_sq(a, b).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norms() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, -5.0, 6.0];
+        assert_eq!(dot(&a, &b), 4.0 - 10.0 + 18.0);
+        assert_eq!(norm2_sq(&a), 14.0);
+        assert!((norm2(&a) - 14.0f64.sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn axpy_updates() {
+        let x = [1.0, 2.0];
+        let mut y = [10.0, 20.0];
+        axpy(0.5, &x, &mut y);
+        assert_eq!(y, [10.5, 21.0]);
+    }
+
+    #[test]
+    fn xpby_updates() {
+        let x = [1.0, 1.0];
+        let mut y = [2.0, 4.0];
+        xpby(&x, 0.5, &mut y);
+        assert_eq!(y, [2.0, 3.0]);
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut a = [1.0, -2.0];
+        scale(&mut a, 3.0);
+        assert_eq!(a, [3.0, -6.0]);
+    }
+
+    #[test]
+    fn projection_removes_mean() {
+        let mut a = [1.0, 2.0, 3.0, 6.0];
+        project_out_ones(&mut a);
+        assert!(mean(&a).abs() < 1e-15);
+        assert_eq!(a, [-2.0, -1.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn distances() {
+        let a = [0.0, 0.0];
+        let b = [3.0, 4.0];
+        assert_eq!(dist_sq(&a, &b), 25.0);
+        assert_eq!(dist(&a, &b), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_rejects_mismatch() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use proptest::prelude::*;
+use reecc_graph::generators::connected_erdos_renyi;
+use reecc_linalg::cg::{solve_laplacian_simple, CgOptions, Preconditioner};
+use reecc_linalg::eigen::{lambda2_estimate, lambda_max_estimate, EigenOptions};
+use reecc_linalg::{laplacian_csr, laplacian_dense, DenseMatrix, LaplacianOp};
+
+fn spd_matrix() -> impl Strategy<Value = DenseMatrix> {
+    // A' A + n I is SPD for any A.
+    (2usize..8)
+        .prop_flat_map(|n| (Just(n), proptest::collection::vec(-3.0f64..3.0, n * n)))
+        .prop_map(|(n, data)| {
+            let a = DenseMatrix::from_vec(n, n, data);
+            let at = a.transpose();
+            let mut spd = at.matmul(&a).expect("square");
+            for i in 0..n {
+                spd[(i, i)] += n as f64;
+            }
+            spd
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Cholesky and LU agree on SPD systems and reconstruct solutions.
+    #[test]
+    fn factorizations_agree(a in spd_matrix()) {
+        let n = a.rows();
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64) - 1.5).collect();
+        let b = a.matvec(&x_true);
+        let x_chol = a.cholesky().expect("SPD").solve(&b);
+        let x_lu = a.lu().expect("nonsingular").solve(&b);
+        for i in 0..n {
+            prop_assert!((x_chol[i] - x_true[i]).abs() < 1e-8, "cholesky off at {}", i);
+            prop_assert!((x_lu[i] - x_true[i]).abs() < 1e-8, "lu off at {}", i);
+        }
+    }
+
+    /// Inverse actually inverts.
+    #[test]
+    fn inverse_roundtrip(a in spd_matrix()) {
+        let inv = a.inverse().expect("nonsingular");
+        let prod = a.matmul(&inv).expect("square");
+        let n = a.rows();
+        for i in 0..n {
+            for j in 0..n {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                prop_assert!((prod[(i, j)] - expect).abs() < 1e-7);
+            }
+        }
+    }
+
+    /// Matrix-free operator, CSR, and dense Laplacian all agree.
+    #[test]
+    fn laplacian_representations_agree(
+        (n, p, seed) in (3usize..25, 0.1f64..0.6, any::<u64>()),
+        xs in proptest::collection::vec(-5.0f64..5.0, 25)
+    ) {
+        let g = connected_erdos_renyi(n, p, seed);
+        let x = &xs[..n];
+        let dense = laplacian_dense(&g).matvec(x);
+        let csr = laplacian_csr(&g).matvec(x);
+        let op = LaplacianOp::new(&g);
+        let mut free = vec![0.0; n];
+        op.apply(x, &mut free);
+        for i in 0..n {
+            prop_assert!((dense[i] - csr[i]).abs() < 1e-12);
+            prop_assert!((dense[i] - free[i]).abs() < 1e-12);
+        }
+    }
+
+    /// All three preconditioners converge to the same solution.
+    #[test]
+    fn preconditioners_agree(
+        (n, p, seed) in (4usize..30, 0.1f64..0.5, any::<u64>())
+    ) {
+        let g = connected_erdos_renyi(n, p, seed);
+        let op = LaplacianOp::new(&g);
+        let mut b = vec![0.0; n];
+        b[0] = 1.0;
+        b[n - 1] = -1.0;
+        let solutions: Vec<Vec<f64>> = [
+            Preconditioner::Identity,
+            Preconditioner::Jacobi,
+            Preconditioner::SymmetricGaussSeidel,
+        ]
+        .into_iter()
+        .map(|preconditioner| {
+            let out = solve_laplacian_simple(
+                &op,
+                &b,
+                CgOptions { preconditioner, ..Default::default() },
+            );
+            prop_assert!(out.converged, "{:?} failed to converge", preconditioner);
+            Ok(out.solution)
+        })
+        .collect::<Result<_, _>>()?;
+        for sol in &solutions[1..] {
+            for (a, e) in sol.iter().zip(&solutions[0]) {
+                prop_assert!((a - e).abs() < 1e-6);
+            }
+        }
+    }
+
+    /// Eigen estimates bracket the true spectrum: lambda2 <= lambda_max,
+    /// lambda_max <= 2 * d_max, lambda2 <= n (vertex connectivity bound),
+    /// and the Rayleigh quotient of any test vector lies between them.
+    #[test]
+    fn eigen_estimates_are_consistent(
+        (n, p, seed) in (4usize..25, 0.15f64..0.6, any::<u64>())
+    ) {
+        let g = connected_erdos_renyi(n, p, seed);
+        let op = LaplacianOp::new(&g);
+        let l2 = lambda2_estimate(&op, EigenOptions::default());
+        let lmax = lambda_max_estimate(&op, EigenOptions::default());
+        prop_assume!(l2.converged && lmax.converged);
+        prop_assert!(l2.value > 0.0, "connected graph has positive lambda2");
+        prop_assert!(l2.value <= lmax.value + 1e-9);
+        prop_assert!(l2.value <= n as f64 + 1e-9);
+        let dmax = (0..n).map(|v| g.degree(v)).max().unwrap() as f64;
+        prop_assert!(lmax.value <= 2.0 * dmax + 1e-9);
+        // Rayleigh quotient of e_0 - e_1 projected: between the extremes
+        // (allowing estimate slack).
+        let mut x = vec![0.0; n];
+        x[0] = 1.0;
+        x[1] = -1.0;
+        let mut lx = vec![0.0; n];
+        op.apply(&x, &mut lx);
+        let quotient = reecc_linalg::vector::dot(&x, &lx) / 2.0;
+        prop_assert!(quotient <= lmax.value * (1.0 + 1e-6) + 1e-9);
+        prop_assert!(quotient >= l2.value * (1.0 - 1e-6) - 1e-9);
+    }
+}

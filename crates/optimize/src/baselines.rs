@@ -1,0 +1,271 @@
+//! The paper's baseline edge-addition strategies (§VIII-C1):
+//!
+//! * **DE** — connect the lowest-*degree* node(s);
+//! * **PK** — connect the lowest-*PageRank* node(s);
+//! * **PATH** — connect the hop-farthest node(s) (longest shortest path).
+//!
+//! Each comes in a REMD variant (one endpoint is `s`) and a REM variant
+//! (both endpoints free). All recompute their criterion on the *updated*
+//! graph each step, as the paper specifies.
+
+use reecc_graph::pagerank::{pagerank, PageRankOptions};
+use reecc_graph::traversal::{bfs_distances, pseudo_diameter};
+use reecc_graph::{Edge, Graph};
+
+use crate::problem::validate;
+use crate::OptError;
+
+/// DE-REMD: `k` times, connect `s` to the lowest-degree non-neighbor
+/// (ties to the smaller id).
+///
+/// # Errors
+///
+/// Invalid source/budget.
+pub fn de_remd(g: &Graph, k: usize, s: usize) -> Result<Vec<Edge>, OptError> {
+    validate(g, s, k, g.non_edges_at(s).len())?;
+    iterate_remd(g, k, s, |current, s| {
+        (0..current.node_count())
+            .filter(|&u| u != s && !current.has_edge(s, u))
+            .min_by_key(|&u| (current.degree(u), u))
+    })
+}
+
+/// DE-REM: `k` times, connect the two lowest-degree non-adjacent nodes.
+///
+/// # Errors
+///
+/// Invalid source/budget (the source only participates in validation —
+/// the criterion ignores it, as in the paper).
+pub fn de_rem(g: &Graph, k: usize, s: usize) -> Result<Vec<Edge>, OptError> {
+    let q2 = g.node_count() * (g.node_count() - 1) / 2 - g.edge_count();
+    validate(g, s, k, q2)?;
+    iterate_rem(g, k, |current| {
+        let mut order: Vec<usize> = (0..current.node_count()).collect();
+        order.sort_by_key(|&u| (current.degree(u), u));
+        lowest_nonadjacent_pair(current, &order)
+    })
+}
+
+/// PK-REMD: `k` times, connect `s` to the lowest-PageRank non-neighbor.
+///
+/// # Errors
+///
+/// Invalid source/budget.
+pub fn pk_remd(g: &Graph, k: usize, s: usize) -> Result<Vec<Edge>, OptError> {
+    validate(g, s, k, g.non_edges_at(s).len())?;
+    iterate_remd(g, k, s, |current, s| {
+        let (scores, _) = pagerank(current, PageRankOptions::default());
+        (0..current.node_count())
+            .filter(|&u| u != s && !current.has_edge(s, u))
+            .min_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("finite").then(a.cmp(&b)))
+    })
+}
+
+/// PK-REM: `k` times, connect the two lowest-PageRank non-adjacent nodes.
+///
+/// # Errors
+///
+/// Invalid source/budget.
+pub fn pk_rem(g: &Graph, k: usize, s: usize) -> Result<Vec<Edge>, OptError> {
+    let q2 = g.node_count() * (g.node_count() - 1) / 2 - g.edge_count();
+    validate(g, s, k, q2)?;
+    iterate_rem(g, k, |current| {
+        let (scores, _) = pagerank(current, PageRankOptions::default());
+        let mut order: Vec<usize> = (0..current.node_count()).collect();
+        order.sort_by(|&a, &b| {
+            scores[a].partial_cmp(&scores[b]).expect("finite").then(a.cmp(&b))
+        });
+        lowest_nonadjacent_pair(current, &order)
+    })
+}
+
+/// PATH-REMD: `k` times, connect `s` to a hop-farthest node (BFS).
+///
+/// # Errors
+///
+/// Invalid source/budget.
+pub fn path_remd(g: &Graph, k: usize, s: usize) -> Result<Vec<Edge>, OptError> {
+    validate(g, s, k, g.non_edges_at(s).len())?;
+    iterate_remd(g, k, s, |current, s| {
+        let dist = bfs_distances(current, s);
+        (0..current.node_count())
+            .filter(|&u| u != s && !current.has_edge(s, u))
+            .max_by_key(|&u| (dist[u], std::cmp::Reverse(u)))
+    })
+}
+
+/// PATH-REM: `k` times, connect a pseudo-diameter pair (double BFS).
+///
+/// # Errors
+///
+/// Invalid source/budget.
+pub fn path_rem(g: &Graph, k: usize, s: usize) -> Result<Vec<Edge>, OptError> {
+    let q2 = g.node_count() * (g.node_count() - 1) / 2 - g.edge_count();
+    validate(g, s, k, q2)?;
+    iterate_rem(g, k, |current| {
+        let (a, b, d) = pseudo_diameter(current, 0);
+        if d >= 2 && !current.has_edge(a, b) {
+            return Some(Edge::new(a, b));
+        }
+        // Pseudo-diameter endpoints already adjacent (dense graph): fall
+        // back to the farthest non-neighbor of `a`.
+        let dist = bfs_distances(current, a);
+        (0..current.node_count())
+            .filter(|&u| u != a && !current.has_edge(a, u))
+            .max_by_key(|&u| (dist[u], std::cmp::Reverse(u)))
+            .map(|u| Edge::new(a, u))
+            .or_else(|| first_non_edge(current))
+    })
+}
+
+fn iterate_remd<F>(g: &Graph, k: usize, s: usize, mut pick: F) -> Result<Vec<Edge>, OptError>
+where
+    F: FnMut(&Graph, usize) -> Option<usize>,
+{
+    let mut current = g.clone();
+    let mut plan = Vec::with_capacity(k);
+    for _ in 0..k {
+        let Some(u) = pick(&current, s) else { break };
+        let e = Edge::new(s, u);
+        current = current.with_edge(e)?;
+        plan.push(e);
+    }
+    Ok(plan)
+}
+
+fn iterate_rem<F>(g: &Graph, k: usize, mut pick: F) -> Result<Vec<Edge>, OptError>
+where
+    F: FnMut(&Graph) -> Option<Edge>,
+{
+    let mut current = g.clone();
+    let mut plan = Vec::with_capacity(k);
+    for _ in 0..k {
+        let Some(e) = pick(&current) else { break };
+        debug_assert!(!current.has_edge(e.u, e.v));
+        current = current.with_edge(e)?;
+        plan.push(e);
+    }
+    Ok(plan)
+}
+
+/// First non-adjacent pair scanning `order` lexicographically by rank:
+/// pairs the lowest-ranked node with the next lowest non-neighbor, walking
+/// up the ranking as nodes saturate.
+fn lowest_nonadjacent_pair(g: &Graph, order: &[usize]) -> Option<Edge> {
+    for (i, &u) in order.iter().enumerate() {
+        for &v in &order[i + 1..] {
+            if !g.has_edge(u, v) {
+                return Some(Edge::new(u, v));
+            }
+        }
+    }
+    None
+}
+
+fn first_non_edge(g: &Graph) -> Option<Edge> {
+    let n = g.node_count();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if !g.has_edge(u, v) {
+                return Some(Edge::new(u, v));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trajectory::exact_trajectory;
+    use reecc_graph::generators::{barabasi_albert, line};
+
+    #[test]
+    fn de_remd_prefers_low_degree() {
+        // Hub 0 with leaves 1..=5, plus node 6 hanging off leaf 5 (so node
+        // 5 has degree 2, the other leaves and node 6 have degree 1).
+        let g = Graph::from_edges(7, [(0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (5, 6)]).unwrap();
+        let plan = de_remd(&g, 1, 1).unwrap();
+        // Lowest-degree non-neighbors of 1 are {2, 3, 4, 6} (degree 1);
+        // the tie breaks to node 2. Node 5 (degree 2) must lose the tie.
+        assert_eq!(plan, vec![Edge::new(1, 2)]);
+    }
+
+    #[test]
+    fn de_rem_connects_two_lowest_degree() {
+        let g = line(6);
+        let plan = de_rem(&g, 1, 0).unwrap();
+        // Degrees: ends 0 and 5 have degree 1; they are non-adjacent.
+        assert_eq!(plan, vec![Edge::new(0, 5)]);
+    }
+
+    #[test]
+    fn pk_remd_targets_low_pagerank() {
+        let g = line(7);
+        let plan = pk_remd(&g, 2, 3).unwrap();
+        assert_eq!(plan.len(), 2);
+        assert!(plan.iter().all(|e| e.touches(3)));
+    }
+
+    #[test]
+    fn pk_rem_runs_and_is_valid() {
+        let g = barabasi_albert(25, 2, 3);
+        let plan = pk_rem(&g, 3, 0).unwrap();
+        assert_eq!(plan.len(), 3);
+        for e in &plan {
+            assert!(!g.has_edge(e.u, e.v));
+        }
+    }
+
+    #[test]
+    fn path_remd_connects_hop_farthest() {
+        let g = line(9);
+        let plan = path_remd(&g, 1, 0).unwrap();
+        assert_eq!(plan, vec![Edge::new(0, 8)]);
+    }
+
+    #[test]
+    fn path_rem_connects_diameter_pair() {
+        let g = line(9);
+        let plan = path_rem(&g, 1, 4).unwrap();
+        assert_eq!(plan, vec![Edge::new(0, 8)]);
+    }
+
+    #[test]
+    fn baselines_give_monotone_trajectories() {
+        let g = barabasi_albert(20, 2, 7);
+        let s = 1;
+        for plan in [
+            de_remd(&g, 4, s).unwrap(),
+            de_rem(&g, 4, s).unwrap(),
+            pk_remd(&g, 4, s).unwrap(),
+            pk_rem(&g, 4, s).unwrap(),
+            path_remd(&g, 4, s).unwrap(),
+            path_rem(&g, 4, s).unwrap(),
+        ] {
+            let traj = exact_trajectory(&g, s, &plan).unwrap();
+            for w in traj.windows(2) {
+                assert!(w[1] <= w[0] + 1e-9, "trajectory increased: {traj:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn baselines_reject_invalid_input() {
+        let g = line(5);
+        assert!(de_remd(&g, 0, 0).is_err());
+        assert!(pk_remd(&g, 1, 99).is_err());
+        assert!(path_rem(&g, 0, 0).is_err());
+    }
+
+    #[test]
+    fn rem_plans_avoid_duplicates() {
+        let g = line(10);
+        for plan in [de_rem(&g, 5, 0).unwrap(), path_rem(&g, 5, 0).unwrap()] {
+            let mut sorted = plan.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), plan.len());
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! OPT: exhaustive search over all `C(|Q|, k)` edge subsets.
+//!
+//! Exponential in `k`, quadratic-per-leaf avoided by a DFS that applies
+//! each edge's rank-1 pseudoinverse *update* on entry and the matching
+//! *downdate* on exit, so each visited node costs `O(n²)` and leaves cost
+//! `O(n)`. Practical for the paper's Figure-8 setting (n ≈ 16–18,
+//! k ≤ 4).
+
+use reecc_core::update::{pinv_add_edge, pinv_remove_edge};
+use reecc_core::ExactResistance;
+use reecc_graph::{Edge, Graph};
+use reecc_linalg::DenseMatrix;
+
+use crate::problem::{validate, Problem};
+use crate::OptError;
+
+/// Exhaustively find the `k`-subset of the problem's candidate set
+/// minimizing `c(s)`. Returns the optimal subset (lexicographically first
+/// among ties, in candidate order) and its objective value.
+///
+/// # Errors
+///
+/// Invalid budget/source, disconnected graph, or numerical failure.
+pub fn opt_exhaustive(
+    g: &Graph,
+    problem: Problem,
+    k: usize,
+    s: usize,
+) -> Result<(Vec<Edge>, f64), OptError> {
+    let candidates = problem.candidates(g, s);
+    validate(g, s, k, candidates.len())?;
+    let exact = ExactResistance::new(g)?;
+    let mut pinv = exact.pseudoinverse().clone();
+    let mut chosen: Vec<usize> = Vec::with_capacity(k);
+    let mut best_value = f64::INFINITY;
+    let mut best_set: Vec<usize> = Vec::new();
+    dfs(&mut pinv, &candidates, s, k, 0, &mut chosen, &mut best_value, &mut best_set);
+    let plan = best_set.iter().map(|&i| candidates[i]).collect();
+    Ok((plan, best_value))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs(
+    pinv: &mut DenseMatrix,
+    candidates: &[Edge],
+    s: usize,
+    k: usize,
+    start: usize,
+    chosen: &mut Vec<usize>,
+    best_value: &mut f64,
+    best_set: &mut Vec<usize>,
+) {
+    if chosen.len() == k {
+        let c = eccentricity_from_pinv(pinv, s);
+        if c < *best_value {
+            *best_value = c;
+            best_set.clone_from(chosen);
+        }
+        return;
+    }
+    let needed = k - chosen.len();
+    // Not enough candidates left to fill the subset.
+    if candidates.len() - start < needed {
+        return;
+    }
+    for idx in start..candidates.len() {
+        let e = candidates[idx];
+        pinv_add_edge(pinv, e);
+        chosen.push(idx);
+        dfs(pinv, candidates, s, k, idx + 1, chosen, best_value, best_set);
+        chosen.pop();
+        pinv_remove_edge(pinv, e);
+    }
+}
+
+fn eccentricity_from_pinv(pinv: &DenseMatrix, s: usize) -> f64 {
+    let n = pinv.rows();
+    let ss = pinv[(s, s)];
+    let mut best = f64::NEG_INFINITY;
+    for j in 0..n {
+        let r = ss + pinv[(j, j)] - 2.0 * pinv[(s, j)];
+        if r > best {
+            best = r;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simple::simple_greedy;
+    use crate::trajectory::exact_trajectory;
+    use reecc_graph::generators::{cycle, line, random_dense_small};
+
+    #[test]
+    fn opt_rem_on_figure3_line() {
+        // The paper's Figure 3: on a 6-node line with s = node 3 (id 2),
+        // the optimal single REM edge is (1,6) -> (0,5) giving c = 1.5.
+        let g = line(6);
+        let (plan, value) = opt_exhaustive(&g, Problem::Rem, 1, 2).unwrap();
+        assert_eq!(plan, vec![Edge::new(0, 5)]);
+        assert!((value - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn opt_remd_on_figure3_line() {
+        let g = line(6);
+        let (plan, value) = opt_exhaustive(&g, Problem::Remd, 1, 2).unwrap();
+        assert!((value - 2.0).abs() < 1e-9, "value {value}");
+        // Optimum (s,u) attaches s=2 to an endpoint region: (2,5).
+        assert!(plan[0].touches(2));
+    }
+
+    #[test]
+    fn opt_value_matches_trajectory_of_plan() {
+        let g = cycle(8);
+        let (plan, value) = opt_exhaustive(&g, Problem::Rem, 2, 0).unwrap();
+        let traj = exact_trajectory(&g, 0, &plan).unwrap();
+        assert!((traj[2] - value).abs() < 1e-8);
+    }
+
+    #[test]
+    fn opt_never_worse_than_greedy() {
+        let g = random_dense_small(10, 16, 5);
+        for k in 1..=2 {
+            let (_, opt_value) = opt_exhaustive(&g, Problem::Rem, k, 3).unwrap();
+            let greedy = simple_greedy(&g, Problem::Rem, k, 3).unwrap();
+            let greedy_value = exact_trajectory(&g, 3, &greedy).unwrap()[k];
+            assert!(
+                opt_value <= greedy_value + 1e-9,
+                "k={k}: opt {opt_value} vs greedy {greedy_value}"
+            );
+        }
+    }
+
+    #[test]
+    fn opt_k_equals_all_candidates() {
+        let g = line(4);
+        let q = Problem::Remd.candidates(&g, 0);
+        let (plan, _) = opt_exhaustive(&g, Problem::Remd, q.len(), 0).unwrap();
+        assert_eq!(plan.len(), q.len());
+    }
+
+    #[test]
+    fn rejects_invalid() {
+        let g = line(4);
+        assert!(opt_exhaustive(&g, Problem::Remd, 0, 0).is_err());
+        assert!(opt_exhaustive(&g, Problem::Remd, 99, 0).is_err());
+    }
+}

@@ -1,0 +1,438 @@
+//! The paper's four fast heuristics (Algorithms 5, 6, 8, 9).
+//!
+//! * [`far_min_recc`] — FARMINRECC (REMD): per iteration, re-sketch and
+//!   connect `s` to the node farthest from it in resistance distance.
+//! * [`cen_min_recc`] — CENMINRECC (REMD): sketch once, run a k-center
+//!   farthest-first traversal seeded at `s`, connect `s` to each chosen
+//!   center.
+//! * [`ch_min_recc`] — CHMINRECC (REM): per iteration, sketch, enumerate
+//!   the hull boundary `Ŝ`, and commit the boundary pair whose addition
+//!   minimizes the (approximate) eccentricity of `s`.
+//! * [`min_recc`] — MINRECC (REM): CHMINRECC's candidate pool plus the
+//!   direct edge from `s` to its farthest boundary node — the union the
+//!   paper motivates with Figure 6.
+//!
+//! Candidate evaluation inside CHMINRECC/MINRECC supports two modes (see
+//! DESIGN.md §3): `Faithful` re-sketches the augmented graph per candidate
+//! exactly as the pseudocode states; `ShermanMorrison` (default) evaluates
+//! each candidate with **one** CG solve via the rank-1 resistance update —
+//! same decisions up to sketch noise at a fraction of the cost.
+
+use reecc_core::query::default_hull_budget;
+use reecc_core::sketch::{ResistanceSketch, SketchParams};
+use reecc_core::update::{solve_edge_potentials, updated_eccentricity};
+use reecc_graph::{Edge, Graph};
+use reecc_hull::approxch::{approx_convex_hull, ApproxChOptions};
+use reecc_linalg::cg::CgWorkspace;
+
+use crate::problem::validate;
+use crate::OptError;
+
+/// How CHMINRECC / MINRECC score a candidate edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvalMode {
+    /// Re-sketch the augmented graph per candidate (paper pseudocode,
+    /// `Õ(m/ε²)` per candidate).
+    Faithful,
+    /// One CG solve per candidate combined with the current sketch via the
+    /// Sherman–Morrison resistance update (default).
+    #[default]
+    ShermanMorrison,
+}
+
+/// Parameters shared by the sketch-based heuristics.
+#[derive(Debug, Clone, Copy)]
+pub struct OptimizeParams {
+    /// Sketch configuration (ε, dimension scaling, seed, threads, CG).
+    pub sketch: SketchParams,
+    /// Candidate evaluation mode for CHMINRECC / MINRECC.
+    pub eval: EvalMode,
+    /// Hull vertex budget for CHMINRECC / MINRECC; `None` uses
+    /// [`default_hull_budget`]. Smaller budgets mean fewer (`l²`)
+    /// candidate pairs per iteration.
+    pub hull_budget: Option<usize>,
+}
+
+impl Default for OptimizeParams {
+    fn default() -> Self {
+        OptimizeParams {
+            sketch: SketchParams::default(),
+            eval: EvalMode::ShermanMorrison,
+            hull_budget: None,
+        }
+    }
+}
+
+impl OptimizeParams {
+    /// Convenience constructor fixing `ε`.
+    pub fn with_epsilon(epsilon: f64) -> Self {
+        OptimizeParams { sketch: SketchParams::with_epsilon(epsilon), ..Default::default() }
+    }
+
+    fn iteration_sketch(&self, iteration: usize) -> SketchParams {
+        // Derive a fresh projection per iteration so repeated sketches do
+        // not share the same JL noise (and stay deterministic overall).
+        SketchParams {
+            seed: self.sketch.seed.wrapping_add(1_000_003u64.wrapping_mul(iteration as u64)),
+            ..self.sketch
+        }
+    }
+
+    fn budget(&self, n: usize) -> usize {
+        self.hull_budget.unwrap_or_else(|| default_hull_budget(n)).max(2)
+    }
+}
+
+/// FARMINRECC (Algorithm 5) for REMD: `k` times, re-sketch the current
+/// graph and connect `s` to the (estimated) resistance-farthest
+/// non-neighbor.
+///
+/// # Errors
+///
+/// Invalid source/budget, disconnected graph, or sketch failure.
+pub fn far_min_recc(
+    g: &Graph,
+    k: usize,
+    s: usize,
+    params: &OptimizeParams,
+) -> Result<Vec<Edge>, OptError> {
+    validate(g, s, k, g.non_edges_at(s).len())?;
+    let mut current = g.clone();
+    let mut plan = Vec::with_capacity(k);
+    for iter in 0..k {
+        let sketch = ResistanceSketch::build(&current, &params.iteration_sketch(iter))?;
+        let dists = sketch.resistances_from(s);
+        let mut best: Option<(usize, f64)> = None;
+        for (u, &r) in dists.iter().enumerate() {
+            if u == s || current.has_edge(s, u) {
+                continue;
+            }
+            match best {
+                Some((_, br)) if r <= br => {}
+                _ => best = Some((u, r)),
+            }
+        }
+        let Some((u, _)) = best else {
+            break; // source saturated: every node already adjacent
+        };
+        let e = Edge::new(s, u);
+        current = current.with_edge(e)?;
+        plan.push(e);
+    }
+    Ok(plan)
+}
+
+/// CENMINRECC (Algorithm 6) for REMD: one sketch, then a k-center
+/// farthest-first traversal (in resistance space) seeded at `s`; each
+/// chosen center is connected to `s`.
+///
+/// # Errors
+///
+/// Invalid source/budget, disconnected graph, or sketch failure.
+pub fn cen_min_recc(
+    g: &Graph,
+    k: usize,
+    s: usize,
+    params: &OptimizeParams,
+) -> Result<Vec<Edge>, OptError> {
+    validate(g, s, k, g.non_edges_at(s).len())?;
+    let sketch = ResistanceSketch::build(g, &params.sketch)?;
+    let n = g.node_count();
+    // min_r[u] = estimated resistance from u to the chosen center set T.
+    let mut min_r = sketch.resistances_from(s);
+    let mut in_t = vec![false; n];
+    in_t[s] = true;
+    let mut plan = Vec::with_capacity(k);
+    let mut current = g.clone();
+    for _ in 0..k {
+        let mut best: Option<(usize, f64)> = None;
+        for u in 0..n {
+            if in_t[u] || current.has_edge(s, u) {
+                continue;
+            }
+            match best {
+                Some((_, br)) if min_r[u] <= br => {}
+                _ => best = Some((u, min_r[u])),
+            }
+        }
+        let Some((u, _)) = best else { break };
+        in_t[u] = true;
+        let e = Edge::new(s, u);
+        current = current.with_edge(e)?;
+        plan.push(e);
+        let new_dists = sketch.resistances_from(u);
+        for (m, &d) in min_r.iter_mut().zip(&new_dists) {
+            if d < *m {
+                *m = d;
+            }
+        }
+    }
+    Ok(plan)
+}
+
+/// CHMINRECC (Algorithm 8) for REM: per iteration, sketch the current
+/// graph, enumerate the hull boundary `Ŝ`, and commit the `Ŝ×Ŝ`
+/// non-edge minimizing the (approximate) post-addition `c(s)`.
+///
+/// # Errors
+///
+/// Invalid source/budget, disconnected graph, or sketch failure.
+pub fn ch_min_recc(
+    g: &Graph,
+    k: usize,
+    s: usize,
+    params: &OptimizeParams,
+) -> Result<Vec<Edge>, OptError> {
+    hull_guided(g, k, s, params, false)
+}
+
+/// MINRECC (Algorithm 9) for REM: CHMINRECC plus the direct candidate
+/// `(s, argmax_{u ∈ Ŝ} r̃(s, u))` each iteration.
+///
+/// # Errors
+///
+/// Invalid source/budget, disconnected graph, or sketch failure.
+pub fn min_recc(
+    g: &Graph,
+    k: usize,
+    s: usize,
+    params: &OptimizeParams,
+) -> Result<Vec<Edge>, OptError> {
+    hull_guided(g, k, s, params, true)
+}
+
+fn hull_guided(
+    g: &Graph,
+    k: usize,
+    s: usize,
+    params: &OptimizeParams,
+    include_direct: bool,
+) -> Result<Vec<Edge>, OptError> {
+    let n = g.node_count();
+    // REM candidate count without materializing Q2.
+    let q2 = n * (n - 1) / 2 - g.edge_count();
+    validate(g, s, k, q2)?;
+    let mut current = g.clone();
+    let mut plan: Vec<Edge> = Vec::with_capacity(k);
+    let mut ws = CgWorkspace::new(n);
+    for iter in 0..k {
+        let sketch_params = params.iteration_sketch(iter);
+        let sketch = ResistanceSketch::build(&current, &sketch_params)?;
+        let points = sketch.point_set();
+        let theta = (sketch_params.epsilon / 12.0).clamp(1e-6, 0.999);
+        let hull = approx_convex_hull(
+            &points,
+            theta,
+            ApproxChOptions {
+                max_vertices: Some(params.budget(n)),
+                ..ApproxChOptions::default()
+            },
+        );
+        // Candidate pool: boundary pairs that are still non-edges ...
+        let mut candidates: Vec<Edge> = Vec::new();
+        for (i, &u) in hull.vertices.iter().enumerate() {
+            for &v in &hull.vertices[i + 1..] {
+                if !current.has_edge(u, v) {
+                    candidates.push(Edge::new(u, v));
+                }
+            }
+        }
+        // ... plus (MINRECC) the direct edge to the farthest boundary node.
+        if include_direct {
+            let eligible: Vec<usize> = hull
+                .vertices
+                .iter()
+                .copied()
+                .filter(|&u| u != s && !current.has_edge(s, u))
+                .collect();
+            if !eligible.is_empty() {
+                let (_, far) = sketch.eccentricity_over(s, &eligible);
+                let direct = Edge::new(s, far);
+                if !candidates.contains(&direct) {
+                    candidates.push(direct);
+                }
+            }
+        }
+        if candidates.is_empty() {
+            // Degenerate hull (e.g. all boundary pairs already connected):
+            // fall back to the farthest node overall.
+            let dists = sketch.resistances_from(s);
+            let fallback = (0..n)
+                .filter(|&u| u != s && !current.has_edge(s, u))
+                .max_by(|&a, &b| dists[a].partial_cmp(&dists[b]).expect("finite"));
+            let Some(u) = fallback else { break };
+            let e = Edge::new(s, u);
+            current = current.with_edge(e)?;
+            plan.push(e);
+            continue;
+        }
+        let chosen = match params.eval {
+            EvalMode::ShermanMorrison => {
+                let base = sketch.resistances_from(s);
+                let mut best: Option<(Edge, f64)> = None;
+                for &e in &candidates {
+                    let (w, r_uv) =
+                        solve_edge_potentials(&current, e, sketch_params.cg, &mut ws);
+                    let (c_after, _) = updated_eccentricity(&base, &w, r_uv, s);
+                    match best {
+                        Some((_, bc)) if c_after >= bc => {}
+                        _ => best = Some((e, c_after)),
+                    }
+                }
+                best.expect("non-empty candidates").0
+            }
+            EvalMode::Faithful => {
+                let mut best: Option<(Edge, f64)> = None;
+                for &e in &candidates {
+                    let augmented = current.with_edge(e)?;
+                    let probe = ResistanceSketch::build(&augmented, &sketch_params)?;
+                    let (c_after, _) = probe.eccentricity(s);
+                    match best {
+                        Some((_, bc)) if c_after >= bc => {}
+                        _ => best = Some((e, c_after)),
+                    }
+                }
+                best.expect("non-empty candidates").0
+            }
+        };
+        current = current.with_edge(chosen)?;
+        plan.push(chosen);
+    }
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trajectory::exact_trajectory;
+    use reecc_graph::generators::{barabasi_albert, line, random_dense_small};
+
+    fn params() -> OptimizeParams {
+        OptimizeParams {
+            sketch: SketchParams { epsilon: 0.3, seed: 11, ..Default::default() },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn far_connects_source_to_far_end() {
+        let g = line(10);
+        let plan = far_min_recc(&g, 1, 0, &params()).unwrap();
+        assert_eq!(plan.len(), 1);
+        assert!(plan[0].touches(0));
+        // Farthest node from 0 on a line is 9 (robust even with ε = 0.3).
+        assert_eq!(plan[0], Edge::new(0, 9));
+    }
+
+    #[test]
+    fn far_trajectory_monotone() {
+        let g = barabasi_albert(40, 2, 9);
+        let plan = far_min_recc(&g, 3, 0, &params()).unwrap();
+        let traj = exact_trajectory(&g, 0, &plan).unwrap();
+        for w in traj.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9);
+        }
+    }
+
+    #[test]
+    fn cen_picks_distinct_spread_targets() {
+        let g = line(12);
+        let plan = cen_min_recc(&g, 3, 0, &params()).unwrap();
+        assert_eq!(plan.len(), 3);
+        assert!(plan.iter().all(|e| e.touches(0)));
+        let mut targets: Vec<usize> = plan.iter().map(|e| e.other(0)).collect();
+        targets.sort_unstable();
+        targets.dedup();
+        assert_eq!(targets.len(), 3, "targets must be distinct");
+        // First pick is the far end.
+        assert_eq!(plan[0].other(0), 11);
+    }
+
+    #[test]
+    fn ch_picks_a_peripheral_pair() {
+        // On a line with source in the middle, CHMINRECC should connect
+        // the two ends (the Figure 6(a) insight): c drops to 1.5.
+        let g = line(6);
+        let plan = ch_min_recc(&g, 1, 2, &params()).unwrap();
+        let traj = exact_trajectory(&g, 2, &plan).unwrap();
+        assert!(
+            traj[1] < 2.2,
+            "hull-pair addition should beat direct attachment: {traj:?} via {plan:?}"
+        );
+    }
+
+    #[test]
+    fn min_recc_at_least_as_good_as_ch_on_figure6b() {
+        // Figure 6(b): source = endpoint (node 0). The optimal move is the
+        // direct edge (0,5); CHMINRECC's pair-only pool misses it.
+        let g = line(6);
+        let p = params();
+        let ch = ch_min_recc(&g, 1, 0, &p).unwrap();
+        let mr = min_recc(&g, 1, 0, &p).unwrap();
+        let c_ch = exact_trajectory(&g, 0, &ch).unwrap()[1];
+        let c_mr = exact_trajectory(&g, 0, &mr).unwrap()[1];
+        assert!(c_mr <= c_ch + 1e-9, "MINRECC {c_mr} vs CHMINRECC {c_ch}");
+        assert!((c_mr - 1.5).abs() < 0.2, "direct edge (0,5) gives 1.5, got {c_mr}");
+    }
+
+    #[test]
+    fn faithful_and_sherman_morrison_agree_on_small_graph() {
+        let g = line(8);
+        let p_sm = params();
+        let p_faithful = OptimizeParams { eval: EvalMode::Faithful, ..p_sm };
+        let sm = min_recc(&g, 2, 3, &p_sm).unwrap();
+        let faithful = min_recc(&g, 2, 3, &p_faithful).unwrap();
+        // Decisions may differ by sketch noise; objective values must be
+        // close.
+        let c_sm = exact_trajectory(&g, 3, &sm).unwrap()[2];
+        let c_f = exact_trajectory(&g, 3, &faithful).unwrap()[2];
+        assert!((c_sm - c_f).abs() < 0.35, "sm {c_sm} vs faithful {c_f}");
+    }
+
+    #[test]
+    fn plans_contain_only_new_distinct_edges() {
+        let g = random_dense_small(12, 20, 3);
+        for plan in [
+            far_min_recc(&g, 3, 0, &params()).unwrap(),
+            cen_min_recc(&g, 3, 0, &params()).unwrap(),
+            ch_min_recc(&g, 3, 0, &params()).unwrap(),
+            min_recc(&g, 3, 0, &params()).unwrap(),
+        ] {
+            let mut sorted = plan.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), plan.len(), "duplicate edges in {plan:?}");
+            for e in &plan {
+                assert!(!g.has_edge(e.u, e.v), "{e:?} already existed");
+            }
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let g = barabasi_albert(30, 2, 5);
+        let a = min_recc(&g, 2, 1, &params()).unwrap();
+        let b = min_recc(&g, 2, 1, &params()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_invalid() {
+        let g = line(5);
+        assert!(far_min_recc(&g, 0, 0, &params()).is_err());
+        assert!(cen_min_recc(&g, 1, 9, &params()).is_err());
+        assert!(ch_min_recc(&g, 0, 0, &params()).is_err());
+    }
+
+    #[test]
+    fn saturated_source_stops_early() {
+        // Star: the hub is adjacent to everyone; REMD from the hub has no
+        // candidates at all -> validate() errors.
+        let g = reecc_graph::generators::star(6);
+        assert!(far_min_recc(&g, 1, 0, &params()).is_err());
+        // A leaf has non-edges to the other leaves: k larger than that
+        // errors; k within works.
+        let plan = far_min_recc(&g, 4, 1, &params()).unwrap();
+        assert_eq!(plan.len(), 4);
+    }
+}

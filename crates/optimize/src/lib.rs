@@ -1,0 +1,97 @@
+#![warn(missing_docs)]
+//! # reecc-opt
+//!
+//! Resistance-eccentricity minimization by edge addition (paper §VI–VII).
+//!
+//! Two problems:
+//!
+//! * **REMD** (Problem 1): add `k` edges *incident to the source* `s`
+//!   (candidates `Q₁ = {(s,u) : (s,u) ∉ E}`) minimizing `c(s)`.
+//! * **REM** (Problem 2): add `k` arbitrary missing edges (candidates
+//!   `Q₂ = (V×V)\E`) minimizing `c(s)`.
+//!
+//! Both objectives are monotone non-increasing but **not** supermodular
+//! (§VI-B; see [`supermodularity`]), so greedy carries no
+//! `(1 − 1/e)`-guarantee — the paper (and this crate) provides heuristics:
+//!
+//! | Algorithm | Problem | Module |
+//! |---|---|---|
+//! | OPT (exhaustive) | both | [`exhaustive`] |
+//! | SIMPLE (exact greedy, Algorithm 4) | both | [`simple`] |
+//! | FARMINRECC (Algorithm 5) | REMD | [`heuristics`] |
+//! | CENMINRECC (Algorithm 6) | REMD | [`heuristics`] |
+//! | CHMINRECC (Algorithm 8) | REM | [`heuristics`] |
+//! | MINRECC (Algorithm 9) | REM | [`heuristics`] |
+//! | DE / PK / PATH baselines | both | [`baselines`] |
+//!
+//! [`trajectory`] evaluates `c(s)` along a plan's prefixes so the
+//! experiment harnesses can plot the paper's Figures 8–9 curves.
+
+pub mod baselines;
+pub mod exhaustive;
+pub mod heuristics;
+pub mod problem;
+pub mod simple;
+pub mod supermodularity;
+pub mod trajectory;
+
+pub use baselines::{de_rem, de_remd, path_rem, path_remd, pk_rem, pk_remd};
+pub use exhaustive::opt_exhaustive;
+pub use heuristics::{
+    cen_min_recc, ch_min_recc, far_min_recc, min_recc, EvalMode, OptimizeParams,
+};
+pub use problem::Problem;
+pub use simple::simple_greedy;
+pub use trajectory::{approx_trajectory, exact_trajectory};
+
+/// Errors from the optimizers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptError {
+    /// `k` was zero or exceeded the candidate set.
+    InvalidBudget {
+        /// Requested budget.
+        k: usize,
+        /// Available candidates.
+        candidates: usize,
+    },
+    /// Source node out of range.
+    SourceOutOfRange {
+        /// Offending id.
+        node: usize,
+        /// Graph order.
+        n: usize,
+    },
+    /// An underlying resistance computation failed.
+    Core(reecc_core::CoreError),
+    /// Graph manipulation failed.
+    Graph(String),
+}
+
+impl std::fmt::Display for OptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OptError::InvalidBudget { k, candidates } => {
+                write!(f, "budget k={k} invalid for {candidates} candidate edges")
+            }
+            OptError::SourceOutOfRange { node, n } => {
+                write!(f, "source {node} out of range for {n}-node graph")
+            }
+            OptError::Core(e) => write!(f, "resistance computation failed: {e}"),
+            OptError::Graph(msg) => write!(f, "graph operation failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for OptError {}
+
+impl From<reecc_core::CoreError> for OptError {
+    fn from(e: reecc_core::CoreError) -> Self {
+        OptError::Core(e)
+    }
+}
+
+impl From<reecc_graph::GraphError> for OptError {
+    fn from(e: reecc_graph::GraphError) -> Self {
+        OptError::Graph(e.to_string())
+    }
+}

@@ -1,0 +1,97 @@
+//! Problem definitions and candidate edge sets.
+
+use reecc_graph::{Edge, Graph};
+
+use crate::OptError;
+
+/// Which optimization problem is being solved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Problem {
+    /// Problem 1 (REMD): candidates are missing edges incident to the
+    /// source, `Q₁ = {(s,u) : u ∈ V, (s,u) ∉ E}`.
+    Remd,
+    /// Problem 2 (REM): candidates are all missing edges,
+    /// `Q₂ = (V×V)\E`.
+    Rem,
+}
+
+impl Problem {
+    /// The candidate edge set for this problem on graph `g` with source
+    /// `s`. Quadratic for [`Problem::Rem`]; callers at scale use the
+    /// hull-restricted heuristics instead of materializing this.
+    pub fn candidates(&self, g: &Graph, s: usize) -> Vec<Edge> {
+        match self {
+            Problem::Remd => g.non_edges_at(s),
+            Problem::Rem => g.non_edges(),
+        }
+    }
+
+    /// Human-readable name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Problem::Remd => "REMD",
+            Problem::Rem => "REM",
+        }
+    }
+}
+
+/// Validate `s` and `k` against a graph and candidate pool size.
+pub(crate) fn validate(
+    g: &Graph,
+    s: usize,
+    k: usize,
+    candidates: usize,
+) -> Result<(), OptError> {
+    let n = g.node_count();
+    if s >= n {
+        return Err(OptError::SourceOutOfRange { node: s, n });
+    }
+    if k == 0 || k > candidates {
+        return Err(OptError::InvalidBudget { k, candidates });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reecc_graph::generators::line;
+
+    #[test]
+    fn remd_candidates_touch_source() {
+        let g = line(5);
+        let q1 = Problem::Remd.candidates(&g, 0);
+        assert_eq!(q1, vec![Edge::new(0, 2), Edge::new(0, 3), Edge::new(0, 4)]);
+        assert!(q1.iter().all(|e| e.touches(0)));
+    }
+
+    #[test]
+    fn rem_candidates_are_all_non_edges() {
+        let g = line(4);
+        let q2 = Problem::Rem.candidates(&g, 0);
+        assert_eq!(q2.len(), 6 - 3);
+    }
+
+    #[test]
+    fn remd_is_subset_of_rem() {
+        let g = line(6);
+        let q1 = Problem::Remd.candidates(&g, 2);
+        let q2 = Problem::Rem.candidates(&g, 2);
+        assert!(q1.iter().all(|e| q2.contains(e)));
+    }
+
+    #[test]
+    fn validation() {
+        let g = line(4);
+        assert!(validate(&g, 5, 1, 3).is_err());
+        assert!(validate(&g, 0, 0, 3).is_err());
+        assert!(validate(&g, 0, 4, 3).is_err());
+        assert!(validate(&g, 0, 3, 3).is_ok());
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Problem::Remd.name(), "REMD");
+        assert_eq!(Problem::Rem.name(), "REM");
+    }
+}

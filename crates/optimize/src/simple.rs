@@ -1,0 +1,130 @@
+//! SIMPLE (Algorithm 4): exact greedy edge addition.
+//!
+//! Per iteration, every remaining candidate `e` is scored by the exact
+//! post-addition eccentricity `c(s | G+e)` and the best edge is committed.
+//! The naive per-candidate cost is `O(n³)` (re-inverting); this
+//! implementation instead maintains the dense pseudoinverse across
+//! iterations with Sherman–Morrison rank-1 updates, making each candidate
+//! evaluation `O(n)` and each commit `O(n²)` — exact arithmetic, vastly
+//! cheaper, same outputs.
+
+use reecc_core::update::{eccentricity_after_edge, pinv_add_edge};
+use reecc_core::ExactResistance;
+use reecc_graph::{Edge, Graph};
+
+use crate::problem::{validate, Problem};
+use crate::OptError;
+
+/// Run SIMPLE on the given problem. Returns the selected edges in order.
+///
+/// SIM-REMD and SIM-REM of the paper are this function with
+/// [`Problem::Remd`] / [`Problem::Rem`].
+///
+/// # Errors
+///
+/// Invalid budget/source, disconnected graph, or numerical failure.
+pub fn simple_greedy(
+    g: &Graph,
+    problem: Problem,
+    k: usize,
+    s: usize,
+) -> Result<Vec<Edge>, OptError> {
+    let candidates = problem.candidates(g, s);
+    validate(g, s, k, candidates.len())?;
+    let exact = ExactResistance::new(g)?;
+    let mut pinv = exact.pseudoinverse().clone();
+    let mut remaining = candidates;
+    let mut plan = Vec::with_capacity(k);
+    for _ in 0..k {
+        let mut best: Option<(usize, f64)> = None;
+        for (idx, &e) in remaining.iter().enumerate() {
+            let (c_after, _) = eccentricity_after_edge(&pinv, s, e);
+            match best {
+                Some((_, bc)) if c_after >= bc => {}
+                _ => best = Some((idx, c_after)),
+            }
+        }
+        let (idx, _) = best.expect("validated non-empty candidate set");
+        let chosen = remaining.swap_remove(idx);
+        pinv_add_edge(&mut pinv, chosen);
+        plan.push(chosen);
+    }
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trajectory::exact_trajectory;
+    use reecc_graph::generators::{line, star};
+
+    #[test]
+    fn figure3_example_line_graph() {
+        // Paper Figure 3: 6-node line, source = node 3 (1-indexed) = id 2.
+        // REMD's best single edge is (3,5)->(2,4): c = 2. REM's best is
+        // (1,6)->(0,5): c = 1.5.
+        let g = line(6);
+        let s = 2;
+        let remd = simple_greedy(&g, Problem::Remd, 1, s).unwrap();
+        let c_remd = exact_trajectory(&g, s, &remd).unwrap();
+        assert!((c_remd[1] - 2.0).abs() < 1e-9, "REMD c = {}", c_remd[1]);
+        let rem = simple_greedy(&g, Problem::Rem, 1, s).unwrap();
+        let c_rem = exact_trajectory(&g, s, &rem).unwrap();
+        assert!((c_rem[1] - 1.5).abs() < 1e-9, "REM c = {}", c_rem[1]);
+        assert_eq!(rem[0], Edge::new(0, 5), "REM should bridge the endpoints");
+    }
+
+    #[test]
+    fn trajectory_is_monotone_nonincreasing() {
+        let g = line(8);
+        let plan = simple_greedy(&g, Problem::Rem, 4, 0).unwrap();
+        let traj = exact_trajectory(&g, 0, &plan).unwrap();
+        assert_eq!(traj.len(), 5);
+        for w in traj.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12, "c(s) increased: {:?}", traj);
+        }
+    }
+
+    #[test]
+    fn selected_edges_are_valid_and_distinct() {
+        let g = star(7);
+        let plan = simple_greedy(&g, Problem::Rem, 3, 1).unwrap();
+        assert_eq!(plan.len(), 3);
+        for e in &plan {
+            assert!(!g.has_edge(e.u, e.v), "{e:?} already existed");
+        }
+        let mut dedup = plan.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 3);
+    }
+
+    #[test]
+    fn remd_edges_touch_source() {
+        let g = line(7);
+        let plan = simple_greedy(&g, Problem::Remd, 3, 1).unwrap();
+        assert!(plan.iter().all(|e| e.touches(1)));
+    }
+
+    #[test]
+    fn rejects_invalid_budgets() {
+        let g = line(4);
+        assert!(simple_greedy(&g, Problem::Remd, 0, 0).is_err());
+        assert!(simple_greedy(&g, Problem::Remd, 10, 0).is_err());
+        assert!(simple_greedy(&g, Problem::Remd, 1, 7).is_err());
+    }
+
+    #[test]
+    fn rem_at_least_as_good_as_remd() {
+        // Q1 ⊆ Q2, and greedy-on-superset is not always better in general,
+        // but for single-step k=1 the minimum over a superset is <=.
+        let g = line(9);
+        for s in [0usize, 2, 4] {
+            let remd = simple_greedy(&g, Problem::Remd, 1, s).unwrap();
+            let rem = simple_greedy(&g, Problem::Rem, 1, s).unwrap();
+            let c_remd = exact_trajectory(&g, s, &remd).unwrap()[1];
+            let c_rem = exact_trajectory(&g, s, &rem).unwrap()[1];
+            assert!(c_rem <= c_remd + 1e-12, "s={s}: {c_rem} > {c_remd}");
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Structural-property checkers for the objective `f(P) = c(s | G(P))`
+//! (paper §VI-B): the objective is monotone non-increasing, but **not**
+//! supermodular — which rules out the classical `(1 − 1/e)` greedy
+//! guarantee and motivates the paper's heuristics.
+//!
+//! The checkers here evaluate the objective exactly (dense pseudoinverse +
+//! rank-1 updates) and are used both by unit tests and by the
+//! `fig3456_counterexamples` harness, which regenerates the paper's
+//! Figures 3–6 numbers.
+
+use reecc_core::update::pinv_add_edge;
+use reecc_core::ExactResistance;
+use reecc_graph::{Edge, Graph};
+
+use crate::OptError;
+
+/// Exact objective value `f(P) = c(s)` in `G(P)`.
+///
+/// # Errors
+///
+/// Propagates preprocessing failures and rejects out-of-range edges.
+pub fn objective(g: &Graph, s: usize, added: &[Edge]) -> Result<f64, OptError> {
+    let exact = ExactResistance::new(g)?;
+    let mut pinv = exact.pseudoinverse().clone();
+    for &e in added {
+        if e.v >= g.node_count() {
+            return Err(OptError::Graph(format!("edge {e:?} out of range")));
+        }
+        pinv_add_edge(&mut pinv, e);
+    }
+    Ok(ExactResistance::from_pseudoinverse(pinv).eccentricity(s).0)
+}
+
+/// A witnessed violation of supermodularity: sets `small ⊆ large` and an
+/// element `e` with marginal gain larger at `large` than at `small`
+/// (for a *decreasing* objective, "gain" is `f(S) − f(S ∪ {e}) ≥ 0`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupermodularityViolation {
+    /// The smaller set `A`.
+    pub small: Vec<Edge>,
+    /// The larger set `B ⊇ A`.
+    pub large: Vec<Edge>,
+    /// The element whose marginal gains are compared.
+    pub element: Edge,
+    /// `f(A) − f(A ∪ {e})`.
+    pub gain_at_small: f64,
+    /// `f(B) − f(B ∪ {e})`.
+    pub gain_at_large: f64,
+}
+
+/// Check one supermodularity instance: returns the violation if the
+/// marginal gain of `element` at `large` strictly exceeds the gain at
+/// `small` (beyond `tol`).
+///
+/// # Errors
+///
+/// Propagates objective-evaluation failures.
+pub fn check_supermodularity_instance(
+    g: &Graph,
+    s: usize,
+    small: &[Edge],
+    large: &[Edge],
+    element: Edge,
+    tol: f64,
+) -> Result<Option<SupermodularityViolation>, OptError> {
+    let f_small = objective(g, s, small)?;
+    let mut small_plus: Vec<Edge> = small.to_vec();
+    small_plus.push(element);
+    let f_small_plus = objective(g, s, &small_plus)?;
+    let f_large = objective(g, s, large)?;
+    let mut large_plus: Vec<Edge> = large.to_vec();
+    large_plus.push(element);
+    let f_large_plus = objective(g, s, &large_plus)?;
+    let gain_at_small = f_small - f_small_plus;
+    let gain_at_large = f_large - f_large_plus;
+    if gain_at_large > gain_at_small + tol {
+        Ok(Some(SupermodularityViolation {
+            small: small.to_vec(),
+            large: large.to_vec(),
+            element,
+            gain_at_small,
+            gain_at_large,
+        }))
+    } else {
+        Ok(None)
+    }
+}
+
+/// Exhaustively search for a supermodularity violation with
+/// `|A| = 1, |B| = 2, A ⊂ B` over a candidate pool. Returns the first
+/// violation found (or `None` if the objective behaved supermodular on
+/// every tested triple).
+///
+/// # Errors
+///
+/// Propagates objective-evaluation failures.
+pub fn find_violation(
+    g: &Graph,
+    s: usize,
+    pool: &[Edge],
+    tol: f64,
+) -> Result<Option<SupermodularityViolation>, OptError> {
+    for (i, &a) in pool.iter().enumerate() {
+        for (j, &b) in pool.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            for &e in pool.iter() {
+                if e == a || e == b {
+                    continue;
+                }
+                let small = [a];
+                let large = [a, b];
+                if let Some(v) = check_supermodularity_instance(g, s, &small, &large, e, tol)? {
+                    return Ok(Some(v));
+                }
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// Verify monotonicity on a chain `∅ ⊆ {e₁} ⊆ {e₁,e₂} ⊆ …`: every prefix
+/// must have `f` no larger than the previous one (within `tol`). Returns
+/// the first violating prefix length, if any.
+///
+/// # Errors
+///
+/// Propagates objective-evaluation failures.
+pub fn check_monotone_chain(
+    g: &Graph,
+    s: usize,
+    chain: &[Edge],
+    tol: f64,
+) -> Result<Option<usize>, OptError> {
+    let mut prev = objective(g, s, &[])?;
+    for i in 1..=chain.len() {
+        let cur = objective(g, s, &chain[..i])?;
+        if cur > prev + tol {
+            return Ok(Some(i));
+        }
+        prev = cur;
+    }
+    Ok(None)
+}
+
+/// The paper's Figure 4 instance: 6-node line, source node 1 (id 0),
+/// `A = {(1,6)}`, `B = {(1,3),(1,6)}`, `e = (3,5)` (1-indexed).
+pub fn figure4_instance() -> (Graph, usize, Vec<Edge>, Vec<Edge>, Edge) {
+    let g = reecc_graph::generators::line(6);
+    let s = 0;
+    let a = vec![Edge::new(0, 5)];
+    let b = vec![Edge::new(0, 2), Edge::new(0, 5)];
+    let e = Edge::new(2, 4);
+    (g, s, a, b, e)
+}
+
+/// The paper's Figure 5 instance: a 6-node, 5-edge caterpillar tree
+/// (`1–2, 2–3, 2–5, 3–4, 3–6` in the paper's 1-indexed labels), source
+/// node 1 (id 0), `A = {(1,3)}`, `B = {(1,3),(1,4)}`, `e = (1,5)`.
+/// Recovered by exhaustive search over all connected 6-node 5-edge graphs:
+/// this topology reproduces the paper's reported values exactly
+/// (`c_A(1) = 1.667`, `c_B(1) = 1.625`, `c_B'(1) = 1.476`).
+pub fn figure5_instance() -> (Graph, usize, Vec<Edge>, Vec<Edge>, Edge) {
+    let g = Graph::from_edges(6, [(0, 1), (1, 2), (1, 4), (2, 3), (2, 5)])
+        .expect("static edges in range");
+    let s = 0;
+    let a = vec![Edge::new(0, 2)];
+    let b = vec![Edge::new(0, 2), Edge::new(0, 3)];
+    let e = Edge::new(0, 4);
+    (g, s, a, b, e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reecc_graph::generators::line;
+
+    #[test]
+    fn figure4_shows_non_supermodularity() {
+        let (g, s, a, b, e) = figure4_instance();
+        let violation = check_supermodularity_instance(&g, s, &a, &b, e, 1e-9)
+            .unwrap()
+            .expect("the paper's Figure 4 instance violates supermodularity");
+        // Paper: gain at A is 0, gain at B is ~0.11.
+        assert!(violation.gain_at_small.abs() < 1e-9, "{violation:?}");
+        assert!((violation.gain_at_large - 0.11).abs() < 0.02, "{violation:?}");
+    }
+
+    #[test]
+    fn figure5_shows_non_supermodularity() {
+        let (g, s, a, b, e) = figure5_instance();
+        let violation = check_supermodularity_instance(&g, s, &a, &b, e, 1e-9)
+            .unwrap()
+            .expect("the paper's Figure 5 instance violates supermodularity");
+        // Paper: 0.042 at A vs 0.149 at B.
+        assert!((violation.gain_at_small - 0.042).abs() < 0.01, "{violation:?}");
+        assert!((violation.gain_at_large - 0.149).abs() < 0.01, "{violation:?}");
+    }
+
+    #[test]
+    fn figure5_paper_values() {
+        // c_A(1)=1.667, c_B(1)=1.625, c_B'(1)=1.476 (paper §VI-B).
+        let (g, s, a, b, e) = figure5_instance();
+        let f_a = objective(&g, s, &a).unwrap();
+        assert!((f_a - 1.667).abs() < 0.01, "c_A = {f_a}");
+        let f_b = objective(&g, s, &b).unwrap();
+        assert!((f_b - 1.625).abs() < 0.01, "c_B = {f_b}");
+        let mut b_plus = b.clone();
+        b_plus.push(e);
+        let f_b_plus = objective(&g, s, &b_plus).unwrap();
+        assert!((f_b_plus - 1.476).abs() < 0.01, "c_B' = {f_b_plus}");
+    }
+
+    #[test]
+    fn violation_search_finds_one_on_line() {
+        let g = line(6);
+        let pool = g.non_edges();
+        let v = find_violation(&g, 0, &pool, 1e-9).unwrap();
+        assert!(v.is_some(), "6-node line admits a supermodularity violation");
+    }
+
+    #[test]
+    fn monotone_on_random_chains() {
+        let g = line(7);
+        let chain = [Edge::new(0, 6), Edge::new(1, 5), Edge::new(0, 3)];
+        assert_eq!(check_monotone_chain(&g, 2, &chain, 1e-9).unwrap(), None);
+    }
+
+    #[test]
+    fn objective_with_no_additions_is_base_eccentricity() {
+        let g = line(5);
+        let f = objective(&g, 0, &[]).unwrap();
+        assert!((f - 4.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,109 @@
+//! Evaluate `c(s)` along a plan's prefixes — the y-axis of the paper's
+//! Figures 8 and 9.
+
+use reecc_core::sketch::SketchParams;
+use reecc_core::update::pinv_add_edge;
+use reecc_core::{approx_recc, ExactResistance};
+use reecc_graph::{Edge, Graph};
+
+use crate::OptError;
+
+/// Exact `c(s)` after adding each prefix of `plan`: returns
+/// `k + 1` values, starting with the original graph (`k = 0`).
+///
+/// Uses one `O(n³)` preprocessing plus `O(n²)` per edge (rank-1 updates).
+///
+/// # Errors
+///
+/// Propagates preprocessing failures and rejects out-of-range edges.
+pub fn exact_trajectory(g: &Graph, s: usize, plan: &[Edge]) -> Result<Vec<f64>, OptError> {
+    let exact = ExactResistance::new(g)?;
+    if s >= g.node_count() {
+        return Err(OptError::SourceOutOfRange { node: s, n: g.node_count() });
+    }
+    let mut pinv = exact.pseudoinverse().clone();
+    let mut out = Vec::with_capacity(plan.len() + 1);
+    let view = ExactResistance::from_pseudoinverse(pinv.clone());
+    out.push(view.eccentricity(s).0);
+    for &e in plan {
+        if e.v >= g.node_count() {
+            return Err(OptError::Graph(format!("edge {e:?} out of range")));
+        }
+        pinv_add_edge(&mut pinv, e);
+        let view = ExactResistance::from_pseudoinverse(pinv.clone());
+        out.push(view.eccentricity(s).0);
+    }
+    Ok(out)
+}
+
+/// Sketch-based `c(s)` after each prefix (for graphs too large for the
+/// dense pseudoinverse). Rebuilds a sketch per prefix: `O(k · m · d)`.
+///
+/// # Errors
+///
+/// Propagates sketch failures and rejects out-of-range input.
+pub fn approx_trajectory(
+    g: &Graph,
+    s: usize,
+    plan: &[Edge],
+    params: &SketchParams,
+) -> Result<Vec<f64>, OptError> {
+    let mut out = Vec::with_capacity(plan.len() + 1);
+    out.push(approx_recc(g, s, params)?);
+    let mut current = g.clone();
+    for &e in plan {
+        current = current.with_edge(e)?;
+        out.push(approx_recc(&current, s, params)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reecc_graph::generators::{cycle, line};
+
+    #[test]
+    fn exact_trajectory_matches_rebuilds() {
+        let g = line(7);
+        let plan = vec![Edge::new(0, 6), Edge::new(2, 5)];
+        let traj = exact_trajectory(&g, 1, &plan).unwrap();
+        assert_eq!(traj.len(), 3);
+        // Cross-check each prefix against a fresh solve.
+        let mut current = g.clone();
+        let e0 = ExactResistance::new(&current).unwrap().eccentricity(1).0;
+        assert!((traj[0] - e0).abs() < 1e-9);
+        for (i, &e) in plan.iter().enumerate() {
+            current = current.with_edge(e).unwrap();
+            let c = ExactResistance::new(&current).unwrap().eccentricity(1).0;
+            assert!((traj[i + 1] - c).abs() < 1e-8, "prefix {i}");
+        }
+    }
+
+    #[test]
+    fn empty_plan_gives_baseline_only() {
+        let g = cycle(6);
+        let traj = exact_trajectory(&g, 0, &[]).unwrap();
+        assert_eq!(traj.len(), 1);
+        assert!((traj[0] - 1.5).abs() < 1e-9); // cycle 6: c = 3*3/6 = 1.5
+    }
+
+    #[test]
+    fn approx_trajectory_tracks_exact() {
+        let g = line(10);
+        let plan = vec![Edge::new(0, 9)];
+        let exact = exact_trajectory(&g, 0, &plan).unwrap();
+        let params = SketchParams { epsilon: 0.3, seed: 4, ..Default::default() };
+        let approx = approx_trajectory(&g, 0, &plan, &params).unwrap();
+        for (a, e) in approx.iter().zip(&exact) {
+            assert!((a - e).abs() <= 0.3 * e, "approx {a} vs exact {e}");
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let g = line(4);
+        assert!(exact_trajectory(&g, 9, &[]).is_err());
+        assert!(exact_trajectory(&g, 0, &[Edge::new(0, 9)]).is_err());
+    }
+}

@@ -1,0 +1,1 @@
+//! Example support library (intentionally empty).

@@ -1,0 +1,67 @@
+//! Protecting a critical node by direct edge addition (REMD, Problem 1).
+//!
+//! Infrastructure scenario from the paper's §VI motivation: reducing a
+//! key node's resistance eccentricity strengthens its worst-case
+//! electrical connectivity to the rest of the network. We pick a
+//! "critical server" in a scale-free topology, add `k` direct links with
+//! FARMINRECC and CENMINRECC, and compare effectiveness and runtime
+//! against the exact greedy (SIMPLE) and the degree baseline (DE-REMD).
+//!
+//! Run with: `cargo run --release -p reecc-examples --bin protect_node`
+
+use std::time::Instant;
+
+use reecc_core::SketchParams;
+use reecc_datasets::{preprocess, Dataset, Tier};
+use reecc_opt::{
+    cen_min_recc, de_remd, exact_trajectory, far_min_recc, simple_greedy, OptimizeParams,
+    Problem,
+};
+
+fn main() {
+    let g = preprocess(&Dataset::Government.synthesize(Tier::Ci));
+    println!("infrastructure analog: n = {}, m = {}", g.node_count(), g.edge_count());
+
+    // The critical node: a mid-degree node (hubs are already central).
+    let mut by_degree: Vec<usize> = g.nodes().collect();
+    by_degree.sort_by_key(|&v| g.degree(v));
+    let server = by_degree[g.node_count() / 2];
+    println!("critical node = {server} (degree {})", g.degree(server));
+
+    let k = 6;
+    let params =
+        OptimizeParams { sketch: SketchParams::with_epsilon(0.3), ..Default::default() };
+
+    let run = |name: &str, plan: Vec<reecc_graph::Edge>, secs: f64| {
+        let traj = exact_trajectory(&g, server, &plan).expect("evaluates");
+        let last = *traj.last().expect("non-empty");
+        println!(
+            "{name:>10}: c(s) {:.4} -> {:.4}  ({:.1}% lower) in {secs:.3}s; edges: {}",
+            traj[0],
+            last,
+            100.0 * (traj[0] - last) / traj[0],
+            plan.iter().map(|e| format!("({},{})", e.u, e.v)).collect::<Vec<_>>().join(" ")
+        );
+    };
+
+    let t = Instant::now();
+    let plan = far_min_recc(&g, k, server, &params).expect("runs");
+    run("FAR", plan, t.elapsed().as_secs_f64());
+
+    let t = Instant::now();
+    let plan = cen_min_recc(&g, k, server, &params).expect("runs");
+    run("CEN", plan, t.elapsed().as_secs_f64());
+
+    let t = Instant::now();
+    let plan = simple_greedy(&g, Problem::Remd, k, server).expect("runs");
+    run("SIMPLE", plan, t.elapsed().as_secs_f64());
+
+    let t = Instant::now();
+    let plan = de_remd(&g, k, server).expect("runs");
+    run("DE-REMD", plan, t.elapsed().as_secs_f64());
+
+    println!(
+        "\nFAR/CEN track the exact greedy at a fraction of its cost and beat the\n\
+         degree baseline; CEN builds one sketch, FAR one per added edge."
+    );
+}

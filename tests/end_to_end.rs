@@ -1,0 +1,147 @@
+//! Integration: the full paper pipeline on dataset analogs —
+//! synthesize → preprocess → query → characterize the distribution →
+//! optimize — exercising every crate together.
+
+use reecc_core::metrics::EccentricityDistribution;
+use reecc_core::{exact_query, fast_query, ExactResistance, SketchParams};
+use reecc_datasets::{preprocess, Dataset, Tier};
+use reecc_distfit::burr::fit_burr_mle;
+use reecc_distfit::summary::Summary;
+use reecc_graph::stats::{average_clustering, power_law_fit};
+use reecc_graph::traversal::is_connected;
+use reecc_opt::{exact_trajectory, far_min_recc, OptimizeParams};
+
+#[test]
+fn full_pipeline_on_politician_analog() {
+    // 1. Synthesize + preprocess.
+    let raw = Dataset::Politician.synthesize(Tier::Ci);
+    let g = preprocess(&raw);
+    assert!(is_connected(&g));
+    assert_eq!(g.node_count(), raw.node_count(), "analogs are already connected");
+
+    // 2. Structural statistics match the scale-free small-world class.
+    let (gamma, _) = power_law_fit(&g).expect("degree sequence is heavy-tailed");
+    assert!((1.8..4.5).contains(&gamma), "gamma {gamma}");
+    assert!(average_clustering(&g) > 0.05);
+
+    // 3. Exact distribution: radius/diameter ordering and positive skew.
+    let exact = ExactResistance::new(&g).expect("connected");
+    let dist = exact.eccentricity_distribution();
+    assert!(dist.radius() > 0.0);
+    assert!(dist.radius() < dist.diameter());
+    let summary = Summary::of(dist.values()).expect("non-empty");
+    assert!(
+        summary.skewness > 0.5,
+        "analog distribution must be right-skewed, got {}",
+        summary.skewness
+    );
+    assert!(summary.excess_kurtosis > 0.0, "and heavy-tailed");
+
+    // 4. FASTQUERY agrees within epsilon.
+    let q: Vec<usize> = (0..g.node_count()).collect();
+    let eps = 0.3;
+    let fast =
+        fast_query(&g, &q, &SketchParams { epsilon: eps, seed: 1, ..Default::default() })
+            .expect("connected");
+    let fast_dist =
+        EccentricityDistribution::new(fast.results.iter().map(|&(_, c)| c).collect());
+    let sigma = fast_dist.mean_relative_error(&dist);
+    assert!(sigma < eps / 2.0, "sigma {sigma} should be well under epsilon {eps}");
+
+    // 5. Burr XII fits the distribution better than a flat strawman.
+    let fit = fit_burr_mle(dist.values()).expect("fit succeeds");
+    assert!(fit.ks_statistic < 0.5);
+
+    // 6. Optimization improves the most eccentric node.
+    let worst = dist.argmax();
+    let plan = far_min_recc(
+        &g,
+        3,
+        worst,
+        &OptimizeParams {
+            sketch: SketchParams { epsilon: 0.3, seed: 2, ..Default::default() },
+            ..Default::default()
+        },
+    )
+    .expect("runs");
+    let traj = exact_trajectory(&g, worst, &plan).expect("evaluates");
+    assert!(
+        traj[3] < traj[0] * 0.9,
+        "3 edges should reduce the worst node's eccentricity by >10%: {traj:?}"
+    );
+}
+
+#[test]
+fn paper_shape_claims_hold_across_all_table1_analogs() {
+    for dataset in Dataset::table1() {
+        let g = preprocess(&dataset.synthesize(Tier::Ci));
+        let dist = ExactResistance::new(&g).expect("connected").eccentricity_distribution();
+        let summary = Summary::of(dist.values()).expect("non-empty");
+        // Paper §IV-B: asymmetric, right-skewed, heavy-tailed.
+        assert!(summary.skewness > 0.0, "{}: skew {}", dataset.name(), summary.skewness);
+        assert!(
+            summary.mean < (dist.radius() + dist.diameter()) / 2.0,
+            "{}: bulk must sit closer to the radius than the diameter",
+            dataset.name()
+        );
+        // Paper Table I: radius and diameter are close (same magnitude).
+        assert!(
+            dist.diameter() < 4.0 * dist.radius(),
+            "{}: R {} vs phi {}",
+            dataset.name(),
+            dist.diameter(),
+            dist.radius()
+        );
+    }
+}
+
+#[test]
+fn exact_query_and_distribution_are_consistent() {
+    let g = preprocess(&Dataset::Government.synthesize(Tier::Ci));
+    let dist = ExactResistance::new(&g).expect("connected").eccentricity_distribution();
+    let sample: Vec<usize> = (0..g.node_count()).step_by(37).collect();
+    let queried = exact_query(&g, &sample).expect("connected");
+    for (node, c) in queried {
+        assert!((dist.get(node) - c).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn tier_scaling_preserves_topology_class() {
+    let ci = preprocess(&Dataset::HepPh.synthesize(Tier::Ci));
+    let small = preprocess(&Dataset::HepPh.synthesize(Tier::Small));
+    assert!(small.node_count() > ci.node_count());
+    // Average degree stays in the same band across tiers.
+    let ratio = small.average_degree() / ci.average_degree();
+    assert!((0.5..2.0).contains(&ratio), "degree ratio {ratio}");
+    // Both are connected scale-free graphs.
+    assert!(is_connected(&ci) && is_connected(&small));
+    assert!(power_law_fit(&small).is_some());
+}
+
+#[test]
+fn edge_list_roundtrip_preserves_eccentricities() {
+    // Serialize an analog, re-read it, and verify the resistance
+    // eccentricities survive the I/O roundtrip.
+    let g = Dataset::Tribes.synthesize(Tier::Ci);
+    let mut buf = Vec::new();
+    reecc_graph::io::write_edge_list(&g, &mut buf).expect("write");
+    let (g2, _) =
+        reecc_graph::io::parse_edge_list(std::str::from_utf8(&buf).unwrap()).expect("parse");
+    // Node ids are remapped by first appearance; compare sorted values.
+    let mut d1 = ExactResistance::new(&g)
+        .expect("connected")
+        .eccentricity_distribution()
+        .values()
+        .to_vec();
+    let mut d2 = ExactResistance::new(&g2)
+        .expect("connected")
+        .eccentricity_distribution()
+        .values()
+        .to_vec();
+    d1.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    d2.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    for (a, b) in d1.iter().zip(&d2) {
+        assert!((a - b).abs() < 1e-9);
+    }
+}

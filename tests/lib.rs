@@ -1,0 +1,1 @@
+//! Integration test support library (intentionally empty).

@@ -1,0 +1,169 @@
+//! Integration: the optimization suite end to end — heuristics vs OPT vs
+//! baselines, plus the paper's §VI structural results.
+
+use reecc_core::SketchParams;
+use reecc_datasets::{Dataset, Tier};
+use reecc_graph::generators::{barabasi_albert, line};
+use reecc_opt::supermodularity::{check_monotone_chain, find_violation, objective};
+use reecc_opt::{
+    cen_min_recc, ch_min_recc, de_rem, de_remd, exact_trajectory, far_min_recc, min_recc,
+    opt_exhaustive, path_remd, pk_remd, simple_greedy, OptimizeParams, Problem,
+};
+
+fn params() -> OptimizeParams {
+    OptimizeParams {
+        sketch: SketchParams { epsilon: 0.3, seed: 5, ..Default::default() },
+        ..Default::default()
+    }
+}
+
+/// The paper's Figure 8 protocol: on tiny networks the heuristics must be
+/// near-optimal.
+#[test]
+fn heuristics_near_optimal_on_tiny_social_analogs() {
+    for dataset in Dataset::tiny_social() {
+        let g = dataset.synthesize(Tier::Ci);
+        let s = g.nodes().min_by_key(|&v| g.degree(v)).expect("non-empty");
+        let k = 2.min(g.non_edges_at(s).len());
+        if k == 0 {
+            continue;
+        }
+        let (_, opt_remd) = opt_exhaustive(&g, Problem::Remd, k, s).expect("runs");
+        let (_, opt_rem) = opt_exhaustive(&g, Problem::Rem, k, s).expect("runs");
+        let evaluate = |plan: &[reecc_graph::Edge]| {
+            *exact_trajectory(&g, s, plan).expect("evaluates").last().expect("non-empty")
+        };
+        let far = evaluate(&far_min_recc(&g, k, s, &params()).expect("runs"));
+        let cen = evaluate(&cen_min_recc(&g, k, s, &params()).expect("runs"));
+        let ch = evaluate(&ch_min_recc(&g, k, s, &params()).expect("runs"));
+        let mr = evaluate(&min_recc(&g, k, s, &params()).expect("runs"));
+        // Near-optimality: within 15% of OPT on these tiny graphs.
+        for (name, value, opt) in [
+            ("FAR", far, opt_remd),
+            ("CEN", cen, opt_remd),
+            ("CH", ch, opt_rem),
+            ("MIN", mr, opt_rem),
+        ] {
+            assert!(
+                value <= opt * 1.15 + 1e-9,
+                "{} on {}: {value} vs OPT {opt}",
+                name,
+                dataset.name()
+            );
+            assert!(value >= opt - 1e-9, "heuristic cannot beat OPT");
+        }
+    }
+}
+
+#[test]
+fn heuristics_beat_baselines_on_scale_free_graph() {
+    let g = barabasi_albert(120, 2, 31);
+    let s = g.nodes().min_by_key(|&v| g.degree(v)).expect("non-empty");
+    let k = 8;
+    let evaluate = |plan: &[reecc_graph::Edge]| {
+        *exact_trajectory(&g, s, plan).expect("evaluates").last().expect("non-empty")
+    };
+    let far = evaluate(&far_min_recc(&g, k, s, &params()).expect("runs"));
+    let mr = evaluate(&min_recc(&g, k, s, &params()).expect("runs"));
+    let de = evaluate(&de_remd(&g, k, s).expect("runs"));
+    let de2 = evaluate(&de_rem(&g, k, s).expect("runs"));
+    let pk = evaluate(&pk_remd(&g, k, s).expect("runs"));
+    let path = evaluate(&path_remd(&g, k, s).expect("runs"));
+    let worst_baseline = de.min(de2).min(pk).min(path);
+    assert!(
+        far < worst_baseline && mr < worst_baseline,
+        "FAR {far} / MIN {mr} must beat best baseline {worst_baseline}"
+    );
+}
+
+#[test]
+fn simple_greedy_tracks_opt_within_tolerance() {
+    let g = line(9);
+    for s in [0usize, 4] {
+        for k in 1..=2 {
+            let (_, opt) = opt_exhaustive(&g, Problem::Rem, k, s).expect("runs");
+            let plan = simple_greedy(&g, Problem::Rem, k, s).expect("runs");
+            let greedy = *exact_trajectory(&g, s, &plan).expect("evaluates").last().unwrap();
+            assert!(greedy <= opt * 1.25 + 1e-9, "s={s} k={k}: greedy {greedy} vs opt {opt}");
+        }
+    }
+}
+
+/// Rayleigh monotonicity end to end: every optimizer's trajectory is
+/// non-increasing, and so is any random chain.
+#[test]
+fn all_trajectories_monotone() {
+    let g = barabasi_albert(60, 2, 41);
+    let s = 3;
+    let k = 5;
+    let plans = vec![
+        far_min_recc(&g, k, s, &params()).expect("runs"),
+        cen_min_recc(&g, k, s, &params()).expect("runs"),
+        ch_min_recc(&g, k, s, &params()).expect("runs"),
+        min_recc(&g, k, s, &params()).expect("runs"),
+        simple_greedy(&g, Problem::Remd, k, s).expect("runs"),
+        de_remd(&g, k, s).expect("runs"),
+    ];
+    for plan in plans {
+        let traj = exact_trajectory(&g, s, &plan).expect("evaluates");
+        for w in traj.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "monotonicity violated: {traj:?}");
+        }
+    }
+}
+
+#[test]
+fn monotone_chain_checker_agrees_with_direct_evaluation() {
+    let g = line(8);
+    let chain = [reecc_graph::Edge::new(0, 7), reecc_graph::Edge::new(2, 5)];
+    assert_eq!(check_monotone_chain(&g, 1, &chain, 1e-9).expect("evaluates"), None);
+}
+
+/// §VI-B: the objective is *not* supermodular — a violation exists on a
+/// small line graph, which is exactly why the paper develops heuristics
+/// instead of relying on the greedy (1 - 1/e) guarantee.
+#[test]
+fn non_supermodularity_is_reproducible() {
+    let g = line(6);
+    let pool = g.non_edges();
+    let violation = find_violation(&g, 0, &pool, 1e-9).expect("evaluates");
+    assert!(violation.is_some());
+    let v = violation.unwrap();
+    assert!(v.gain_at_large > v.gain_at_small);
+}
+
+/// The paper's Figure 3 headline: REM's optimum strictly beats REMD's.
+#[test]
+fn rem_strictly_better_than_remd_on_figure3() {
+    let g = line(6);
+    let s = 2;
+    let (_, remd) = opt_exhaustive(&g, Problem::Remd, 1, s).expect("runs");
+    let (_, rem) = opt_exhaustive(&g, Problem::Rem, 1, s).expect("runs");
+    assert!((remd - 2.0).abs() < 1e-9);
+    assert!((rem - 1.5).abs() < 1e-9);
+    assert!(rem < remd);
+}
+
+#[test]
+fn objective_evaluation_matches_trajectory_machinery() {
+    let g = barabasi_albert(40, 2, 51);
+    let plan = de_remd(&g, 3, 0).expect("runs");
+    let via_objective = objective(&g, 0, &plan).expect("evaluates");
+    let via_trajectory =
+        *exact_trajectory(&g, 0, &plan).expect("evaluates").last().expect("non-empty");
+    assert!((via_objective - via_trajectory).abs() < 1e-9);
+}
+
+#[test]
+fn optimizers_work_on_dataset_analogs_end_to_end() {
+    let g = reecc_datasets::preprocess(&Dataset::EmailUn.synthesize(Tier::Ci));
+    let s = g.nodes().min_by_key(|&v| g.degree(v)).expect("non-empty");
+    let k = 3;
+    let plan = min_recc(&g, k, s, &params()).expect("runs");
+    assert_eq!(plan.len(), k);
+    let traj = exact_trajectory(&g, s, &plan).expect("evaluates");
+    assert!(
+        traj[k] < traj[0],
+        "adding {k} optimized edges must strictly reduce c(s): {traj:?}"
+    );
+}

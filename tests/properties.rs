@@ -1,0 +1,255 @@
+//! Property-based tests (proptest) over the whole stack: metric axioms of
+//! the resistance distance, Rayleigh monotonicity, solver/dense agreement,
+//! hull guarantees and generator invariants on randomized inputs.
+
+use proptest::prelude::*;
+use reecc_core::update::{pinv_add_edge, solve_edge_potentials, updated_resistances};
+use reecc_core::{ExactResistance, ResistanceSketch, SketchParams};
+use reecc_graph::generators::connected_erdos_renyi;
+use reecc_graph::{Edge, Graph};
+use reecc_hull::approxch::{approx_convex_hull, verify_coverage, ApproxChOptions};
+use reecc_hull::PointSet;
+use reecc_linalg::cg::{solve_laplacian_simple, CgOptions};
+use reecc_linalg::{laplacian_dense, laplacian_pseudoinverse, LaplacianOp};
+
+/// A random connected graph with 4..=24 nodes.
+fn connected_graph() -> impl Strategy<Value = Graph> {
+    (4usize..=24, 0.05f64..0.5, any::<u64>())
+        .prop_map(|(n, p, seed)| connected_erdos_renyi(n, p, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Resistance distance is a metric: non-negative, zero iff equal,
+    /// symmetric, triangle inequality.
+    #[test]
+    fn resistance_is_a_metric(g in connected_graph()) {
+        let er = ExactResistance::new(&g).unwrap();
+        let n = g.node_count();
+        for u in 0..n {
+            prop_assert!(er.resistance(u, u).abs() < 1e-9);
+            for v in 0..n {
+                let ruv = er.resistance(u, v);
+                prop_assert!(ruv >= -1e-12);
+                prop_assert!((ruv - er.resistance(v, u)).abs() < 1e-9);
+                if u != v {
+                    prop_assert!(ruv > 1e-9, "distinct nodes have positive resistance");
+                }
+            }
+        }
+        // Triangle inequality on a sample of triples.
+        for a in 0..n.min(6) {
+            for b in 0..n.min(6) {
+                for c in 0..n.min(6) {
+                    prop_assert!(
+                        er.resistance(a, c)
+                            <= er.resistance(a, b) + er.resistance(b, c) + 1e-9
+                    );
+                }
+            }
+        }
+    }
+
+    /// Resistance never exceeds hop distance (unit resistors in series
+    /// upper-bound the parallel network), and r <= n - 1 always.
+    #[test]
+    fn resistance_bounded_by_hops(g in connected_graph()) {
+        let er = ExactResistance::new(&g).unwrap();
+        let n = g.node_count();
+        for s in 0..n.min(5) {
+            let hops = reecc_graph::traversal::bfs_distances(&g, s);
+            for (v, &h) in hops.iter().enumerate() {
+                prop_assert!(er.resistance(s, v) <= h as f64 + 1e-9);
+            }
+        }
+    }
+
+    /// Rayleigh monotonicity: adding any edge never increases any pairwise
+    /// resistance, hence never increases any eccentricity.
+    #[test]
+    fn edge_addition_is_monotone(g in connected_graph()) {
+        let non_edges = g.non_edges();
+        prop_assume!(!non_edges.is_empty());
+        let e = non_edges[0];
+        let before = ExactResistance::new(&g).unwrap();
+        let after = ExactResistance::new(&g.with_edge(e).unwrap()).unwrap();
+        let n = g.node_count();
+        for u in 0..n {
+            for v in 0..n {
+                prop_assert!(after.resistance(u, v) <= before.resistance(u, v) + 1e-9);
+            }
+            prop_assert!(after.eccentricity(u).0 <= before.eccentricity(u).0 + 1e-9);
+        }
+    }
+
+    /// The CG solver agrees with the dense pseudoinverse on every graph.
+    #[test]
+    fn cg_agrees_with_dense_pseudoinverse(g in connected_graph()) {
+        let n = g.node_count();
+        let pinv = laplacian_pseudoinverse(&g).unwrap();
+        let op = LaplacianOp::new(&g);
+        let mut b = vec![0.0; n];
+        b[0] = 1.0;
+        b[n - 1] = -1.0;
+        let out = solve_laplacian_simple(&op, &b, CgOptions::default());
+        prop_assert!(out.converged);
+        let expected = pinv.matvec(&b);
+        for (a, e) in out.solution.iter().zip(&expected) {
+            prop_assert!((a - e).abs() < 1e-6, "{a} vs {e}");
+        }
+    }
+
+    /// The Sherman–Morrison update agrees with a rebuilt pseudoinverse.
+    #[test]
+    fn rank_one_update_agrees_with_rebuild(g in connected_graph()) {
+        let non_edges = g.non_edges();
+        prop_assume!(!non_edges.is_empty());
+        let e = non_edges[non_edges.len() / 2];
+        let mut pinv = laplacian_pseudoinverse(&g).unwrap();
+        pinv_add_edge(&mut pinv, e);
+        let fresh = laplacian_pseudoinverse(&g.with_edge(e).unwrap()).unwrap();
+        let n = g.node_count();
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert!((pinv[(i, j)] - fresh[(i, j)]).abs() < 1e-7);
+            }
+        }
+    }
+
+    /// Solver-based updated resistances match exact recomputation.
+    #[test]
+    fn solver_updated_resistances_match(g in connected_graph()) {
+        let non_edges = g.non_edges();
+        prop_assume!(!non_edges.is_empty());
+        let e = non_edges[0];
+        let s = 0usize;
+        let exact = ExactResistance::new(&g).unwrap();
+        let base = exact.resistances_from(s);
+        let mut ws = reecc_linalg::cg::CgWorkspace::new(g.node_count());
+        let (w, r_uv) = solve_edge_potentials(&g, e, CgOptions::default(), &mut ws);
+        let updated = updated_resistances(&base, &w, r_uv, s);
+        let after = ExactResistance::new(&g.with_edge(e).unwrap()).unwrap();
+        for (j, &r_new) in updated.iter().enumerate() {
+            prop_assert!((r_new - after.resistance(s, j)).abs() < 1e-5);
+        }
+    }
+
+    /// Laplacian essentials: L * 1 = 0 and x' L x = sum of squared edge
+    /// differences (energy form).
+    #[test]
+    fn laplacian_energy_form(g in connected_graph()) {
+        let n = g.node_count();
+        let l = laplacian_dense(&g);
+        let x: Vec<f64> = (0..n).map(|i| ((i * 13 % 7) as f64) - 3.0).collect();
+        let lx = l.matvec(&x);
+        let quad: f64 = x.iter().zip(&lx).map(|(a, b)| a * b).sum();
+        let energy: f64 = g
+            .edges()
+            .iter()
+            .map(|e| (x[e.u] - x[e.v]) * (x[e.u] - x[e.v]))
+            .sum();
+        prop_assert!((quad - energy).abs() < 1e-9);
+    }
+
+    /// Hull coverage: the (unbudgeted) approximate hull covers every point
+    /// within theta * D, and the selected set is a subset of the input.
+    #[test]
+    fn hull_covers_random_point_clouds(
+        pts in proptest::collection::vec(
+            proptest::collection::vec(-10.0f64..10.0, 3),
+            4..40
+        ),
+        theta in 0.05f64..0.3
+    ) {
+        let ps = PointSet::from_points(&pts);
+        let res = approx_convex_hull(&ps, theta, ApproxChOptions::default());
+        prop_assert!(!res.truncated);
+        prop_assert!(res.vertices.iter().all(|&v| v < ps.len()));
+        let mut dedup = res.vertices.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), res.vertices.len(), "vertices are distinct");
+        prop_assert!(verify_coverage(
+            &ps,
+            &res.vertices,
+            theta * res.diameter_estimate + 1e-9
+        ));
+    }
+
+    /// Sketch estimates respect epsilon on random connected graphs (with
+    /// the paper's full dimension the JL guarantee has huge margin).
+    #[test]
+    fn sketch_within_epsilon_on_random_graphs(
+        (n, p, seed) in (6usize..=16, 0.2f64..0.6, any::<u64>())
+    ) {
+        let g = connected_erdos_renyi(n, p, seed);
+        let eps = 0.35;
+        let sk = ResistanceSketch::build(
+            &g,
+            &SketchParams { epsilon: eps, seed: seed ^ 0xabcd, ..Default::default() },
+        ).unwrap();
+        let exact = ExactResistance::new(&g).unwrap();
+        for u in 0..n {
+            let (c_exact, _) = exact.eccentricity(u);
+            let (c_sketch, _) = sk.eccentricity(u);
+            prop_assert!(
+                (c_sketch - c_exact).abs() <= eps * c_exact + 1e-9,
+                "node {}: sketch {} vs exact {}", u, c_sketch, c_exact
+            );
+        }
+    }
+
+    /// Graph invariants under edge addition.
+    #[test]
+    fn with_edge_invariants(g in connected_graph()) {
+        let non_edges = g.non_edges();
+        prop_assume!(!non_edges.is_empty());
+        let e = non_edges[0];
+        let g2 = g.with_edge(e).unwrap();
+        prop_assert_eq!(g2.node_count(), g.node_count());
+        prop_assert_eq!(g2.edge_count(), g.edge_count() + 1);
+        prop_assert!(g2.has_edge(e.u, e.v));
+        prop_assert_eq!(g2.degree(e.u), g.degree(e.u) + 1);
+        // Degree sum stays consistent.
+        prop_assert_eq!(g2.degree_sum(), g.degree_sum() + 2);
+    }
+
+    /// Eccentricity of the farthest node: c(v) = r(v, f_v) and no node is
+    /// farther.
+    #[test]
+    fn farthest_node_realizes_eccentricity(g in connected_graph()) {
+        let er = ExactResistance::new(&g).unwrap();
+        for v in 0..g.node_count() {
+            let (c, f) = er.eccentricity(v);
+            prop_assert!((er.resistance(v, f) - c).abs() < 1e-12);
+            for u in 0..g.node_count() {
+                prop_assert!(er.resistance(v, u) <= c + 1e-12);
+            }
+        }
+    }
+}
+
+// Deterministic companion: Edge normalization invariants under proptest
+// over raw pairs.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn edge_normalization(a in 0usize..100, b in 0usize..100) {
+        prop_assume!(a != b);
+        let e = Edge::new(a, b);
+        prop_assert!(e.u < e.v);
+        prop_assert_eq!(e.other(a), b);
+        prop_assert_eq!(e.other(b), a);
+    }
+
+    #[test]
+    fn graph_from_edges_idempotent(
+        pairs in proptest::collection::vec((0usize..20, 0usize..20), 0..60)
+    ) {
+        let g1 = Graph::from_edges(20, pairs.clone()).unwrap();
+        let g2 = Graph::from_edges(20, g1.edges().iter().map(|e| (e.u, e.v)).collect::<Vec<_>>()).unwrap();
+        prop_assert_eq!(g1.edges(), g2.edges());
+    }
+}

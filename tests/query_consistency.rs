@@ -1,0 +1,147 @@
+//! Integration: the three query pipelines agree within their guarantees
+//! across graph families and parameter settings.
+
+use reecc_core::metrics::EccentricityDistribution;
+use reecc_core::{
+    approx_query, approx_recc, exact_query, fast_query, ExactResistance, ResistanceSketch,
+    SketchParams,
+};
+use reecc_graph::generators::{
+    barabasi_albert, barbell, cycle, grid, holme_kim, line, lollipop, star, watts_strogatz,
+};
+use reecc_graph::Graph;
+
+fn params(epsilon: f64) -> SketchParams {
+    SketchParams { epsilon, seed: 99, ..Default::default() }
+}
+
+fn families() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("line", line(20)),
+        ("cycle", cycle(24)),
+        ("star", star(25)),
+        ("grid", grid(5, 6)),
+        ("barbell", barbell(6, 4)),
+        ("lollipop", lollipop(7, 6)),
+        ("ba", barabasi_albert(60, 2, 5)),
+        ("holme_kim", holme_kim(60, 3, 0.5, 6)),
+        ("watts_strogatz", watts_strogatz(50, 3, 0.2, 7)),
+    ]
+}
+
+#[test]
+fn approx_query_meets_epsilon_guarantee_across_families() {
+    let eps = 0.3;
+    for (name, g) in families() {
+        let q: Vec<usize> = (0..g.node_count()).collect();
+        let exact = exact_query(&g, &q).expect("connected");
+        let approx = approx_query(&g, &q, &params(eps)).expect("connected");
+        for ((i, c), (_, c_bar)) in exact.iter().zip(&approx) {
+            assert!(
+                (c_bar - c).abs() <= eps * c + 1e-12,
+                "{name} node {i}: approx {c_bar} vs exact {c}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fast_query_meets_epsilon_guarantee_across_families() {
+    let eps = 0.3;
+    for (name, g) in families() {
+        let q: Vec<usize> = (0..g.node_count()).collect();
+        let exact = exact_query(&g, &q).expect("connected");
+        let fast = fast_query(&g, &q, &params(eps)).expect("connected");
+        for ((i, c), (_, c_hat)) in exact.iter().zip(&fast.results) {
+            assert!(
+                (c_hat - c).abs() <= eps * c + 1e-12,
+                "{name} node {i}: fast {c_hat} vs exact {c}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fast_query_hull_values_never_exceed_approx_query() {
+    // The hull restricts the max to a subset, so ĉ(v) <= c̄(v) when both
+    // use the same sketch seed.
+    let g = barabasi_albert(80, 3, 11);
+    let p = params(0.3);
+    let q: Vec<usize> = (0..80).collect();
+    let approx = approx_query(&g, &q, &p).expect("connected");
+    let fast = fast_query(&g, &q, &p).expect("connected");
+    for ((_, c_bar), (_, c_hat)) in approx.iter().zip(&fast.results) {
+        assert!(*c_hat <= c_bar + 1e-12);
+    }
+}
+
+#[test]
+fn sigma_shrinks_with_epsilon_on_average() {
+    let g = holme_kim(100, 3, 0.6, 13);
+    let q: Vec<usize> = (0..100).collect();
+    let exact_vals = EccentricityDistribution::new(
+        exact_query(&g, &q).expect("connected").iter().map(|&(_, c)| c).collect(),
+    );
+    let sigma = |eps: f64| {
+        let out = approx_query(&g, &q, &params(eps)).expect("connected");
+        EccentricityDistribution::new(out.iter().map(|&(_, c)| c).collect())
+            .mean_relative_error(&exact_vals)
+    };
+    let coarse = sigma(0.5);
+    let fine = sigma(0.15);
+    assert!(
+        fine < coarse,
+        "sigma should shrink with epsilon: eps=0.5 -> {coarse}, eps=0.15 -> {fine}"
+    );
+    assert!(fine < 0.05, "fine sigma should be tiny, got {fine}");
+}
+
+#[test]
+fn approx_recc_matches_single_node_of_full_query() {
+    let g = barabasi_albert(50, 2, 17);
+    let p = params(0.3);
+    let full = approx_query(&g, &[7], &p).expect("connected")[0].1;
+    let single = approx_recc(&g, 7, &p).expect("connected");
+    assert!((full - single).abs() < 1e-12, "same sketch seed must give identical results");
+}
+
+#[test]
+fn sketch_pairwise_resistances_meet_epsilon_on_mixed_graph() {
+    let g = lollipop(8, 8);
+    let eps = 0.25;
+    let exact = ExactResistance::new(&g).expect("connected");
+    let sketch = ResistanceSketch::build(&g, &params(eps)).expect("connected");
+    let n = g.node_count();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let r = exact.resistance(u, v);
+            let rt = sketch.resistance(u, v);
+            assert!((rt - r).abs() <= eps * r, "r({u},{v}): {rt} vs {r}");
+        }
+    }
+}
+
+#[test]
+fn radius_diameter_consistency_between_exact_and_fast() {
+    let g = holme_kim(90, 3, 0.6, 23);
+    let q: Vec<usize> = (0..90).collect();
+    let exact = EccentricityDistribution::new(
+        exact_query(&g, &q).expect("connected").iter().map(|&(_, c)| c).collect(),
+    );
+    let fast = fast_query(&g, &q, &params(0.2)).expect("connected");
+    let fast_dist =
+        EccentricityDistribution::new(fast.results.iter().map(|&(_, c)| c).collect());
+    assert!((fast_dist.radius() - exact.radius()).abs() <= 0.2 * exact.radius());
+    assert!((fast_dist.diameter() - exact.diameter()).abs() <= 0.2 * exact.diameter());
+}
+
+#[test]
+fn disconnected_and_empty_graphs_error_everywhere() {
+    let disc = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+    assert!(exact_query(&disc, &[0]).is_err());
+    assert!(approx_query(&disc, &[0], &params(0.3)).is_err());
+    assert!(fast_query(&disc, &[0], &params(0.3)).is_err());
+    assert!(approx_recc(&disc, 0, &params(0.3)).is_err());
+    let empty = Graph::from_edges(0, []).unwrap();
+    assert!(exact_query(&empty, &[]).is_err());
+}
