@@ -13,8 +13,9 @@ use reecc_graph::generators::{
 use reecc_graph::stats::power_law_fit;
 use reecc_graph::Graph;
 use reecc_opt::{
-    cen_min_recc, ch_min_recc, exact_trajectory, far_min_recc, min_recc, simple_greedy,
-    OptimizeParams, Problem,
+    cen_min_recc_with_diagnostics, ch_min_recc_with_diagnostics, exact_trajectory,
+    far_min_recc_with_diagnostics, min_recc_with_diagnostics, simple_greedy, OptimizeParams,
+    Problem,
 };
 
 use crate::parse::{parse_command, Algorithm, Command, Model, QueryMethod};
@@ -29,10 +30,12 @@ use crate::{CliError, USAGE};
 pub fn run(args: &[String]) -> Result<String, CliError> {
     match parse_command(args)? {
         Command::Help => Ok(USAGE.to_string()),
-        Command::Analyze { path, eps } => analyze(&path, eps),
-        Command::Query { path, nodes, method, eps } => query(&path, &nodes, method, eps),
-        Command::Optimize { path, source, k, algorithm, eps } => {
-            optimize(&path, source, k, algorithm, eps)
+        Command::Analyze { path, eps, lcc } => analyze(&path, eps, lcc),
+        Command::Query { path, nodes, method, eps, lcc } => {
+            query(&path, &nodes, method, eps, lcc)
+        }
+        Command::Optimize { path, source, k, algorithm, eps, lcc } => {
+            optimize(&path, source, k, algorithm, eps, lcc)
         }
         Command::Generate { model, n, param, seed, dataset, out } => {
             generate(model, n, param, seed, dataset.as_deref(), out.as_deref())
@@ -40,27 +43,44 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     }
 }
 
-fn load_graph(path: &str) -> Result<Graph, CliError> {
+/// Load, parse (leniently: duplicate edges and self-loops in public dumps
+/// are dropped), and connectivity-check an edge-list file. Disconnected
+/// inputs are an error naming the component split unless `lcc` asks for
+/// the largest-connected-component reduction.
+fn load_graph(path: &str, lcc: bool) -> Result<Graph, CliError> {
     let file = std::fs::File::open(path)
         .map_err(|e| CliError::Io(format!("cannot open {path}: {e}")))?;
-    let (g, _) = reecc_graph::io::read_edge_list(std::io::BufReader::new(file))
+    let (g, _) = reecc_graph::io::read_edge_list_lenient(std::io::BufReader::new(file))
         .map_err(|e| CliError::Graph(format!("cannot parse {path}: {e}")))?;
     if g.node_count() == 0 {
         return Err(CliError::Graph(format!("{path} contains no edges")));
     }
-    Ok(preprocess(&g))
+    if reecc_graph::traversal::is_connected(&g) {
+        return Ok(g);
+    }
+    if lcc {
+        return Ok(preprocess(&g));
+    }
+    let reduced = preprocess(&g);
+    Err(CliError::Graph(format!(
+        "{path} is disconnected ({} of {} nodes in the largest component); resistance \
+         eccentricity needs a connected graph — rerun with --lcc to analyze the largest \
+         component",
+        reduced.node_count(),
+        g.node_count()
+    )))
 }
 
 fn sketch_params(eps: f64) -> SketchParams {
     SketchParams { epsilon: eps, ..Default::default() }
 }
 
-fn analyze(path: &str, eps: f64) -> Result<String, CliError> {
-    let g = load_graph(path)?;
+fn analyze(path: &str, eps: f64, lcc: bool) -> Result<String, CliError> {
+    let g = load_graph(path, lcc)?;
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "LCC: n = {}, m = {}, avg degree = {:.2}",
+        "graph: n = {}, m = {}, avg degree = {:.2}",
         g.node_count(),
         g.edge_count(),
         g.average_degree()
@@ -114,28 +134,17 @@ fn query(
     nodes: &[usize],
     method: QueryMethod,
     eps: f64,
+    lcc: bool,
 ) -> Result<String, CliError> {
-    let g = load_graph(path)?;
+    let g = load_graph(path, lcc)?;
     for &v in nodes {
         if v >= g.node_count() {
             return Err(CliError::Usage(format!(
-                "node {v} out of range (LCC has {} nodes)",
+                "node {v} out of range (graph has {} nodes)",
                 g.node_count()
             )));
         }
     }
-    let results: Vec<(usize, f64)> = match method {
-        QueryMethod::Exact => {
-            exact_query(&g, nodes).map_err(|e| CliError::Compute(e.to_string()))?
-        }
-        QueryMethod::Approx => approx_query(&g, nodes, &sketch_params(eps))
-            .map_err(|e| CliError::Compute(e.to_string()))?,
-        QueryMethod::Fast => {
-            fast_query(&g, nodes, &sketch_params(eps))
-                .map_err(|e| CliError::Compute(e.to_string()))?
-                .results
-        }
-    };
     let mut out = String::new();
     let label = match method {
         QueryMethod::Exact => "exact",
@@ -143,6 +152,24 @@ fn query(
         QueryMethod::Fast => "fast",
     };
     let _ = writeln!(out, "method = {label}, eps = {eps}");
+    let results: Vec<(usize, f64)> = match method {
+        QueryMethod::Exact => {
+            exact_query(&g, nodes).map_err(|e| CliError::Compute(e.to_string()))?
+        }
+        QueryMethod::Approx => approx_query(&g, nodes, &sketch_params(eps))
+            .map_err(|e| CliError::Compute(e.to_string()))?,
+        QueryMethod::Fast => {
+            let fast = fast_query(&g, nodes, &sketch_params(eps))
+                .map_err(|e| CliError::Compute(e.to_string()))?;
+            if fast.diagnostics.degraded() {
+                let _ = writeln!(out, "answered by tier = {}", fast.diagnostics.tier);
+                for note in &fast.diagnostics.notes {
+                    let _ = writeln!(out, "  note: {note}");
+                }
+            }
+            fast.results
+        }
+    };
     for (node, c) in results {
         let _ = writeln!(out, "c({node}) = {c:.6}");
     }
@@ -155,32 +182,60 @@ fn optimize(
     k: usize,
     algorithm: Algorithm,
     eps: f64,
+    lcc: bool,
 ) -> Result<String, CliError> {
-    let g = load_graph(path)?;
+    let g = load_graph(path, lcc)?;
     if source >= g.node_count() {
         return Err(CliError::Usage(format!(
-            "source {source} out of range (LCC has {} nodes)",
+            "source {source} out of range (graph has {} nodes)",
             g.node_count()
         )));
     }
     let params = OptimizeParams { sketch: sketch_params(eps), ..Default::default() };
     let compute = |e: reecc_opt::OptError| CliError::Compute(e.to_string());
+    let mut diagnostics = None;
     let (name, plan) = match algorithm {
         Algorithm::Simple { rem } => {
             let problem = if rem { Problem::Rem } else { Problem::Remd };
             ("SIMPLE", simple_greedy(&g, problem, k, source).map_err(compute)?)
         }
         Algorithm::Far => {
-            ("FARMINRECC", far_min_recc(&g, k, source, &params).map_err(compute)?)
+            let (plan, diag) =
+                far_min_recc_with_diagnostics(&g, k, source, &params).map_err(compute)?;
+            diagnostics = Some(diag);
+            ("FARMINRECC", plan)
         }
         Algorithm::Cen => {
-            ("CENMINRECC", cen_min_recc(&g, k, source, &params).map_err(compute)?)
+            let (plan, diag) =
+                cen_min_recc_with_diagnostics(&g, k, source, &params).map_err(compute)?;
+            diagnostics = Some(diag);
+            ("CENMINRECC", plan)
         }
-        Algorithm::Ch => ("CHMINRECC", ch_min_recc(&g, k, source, &params).map_err(compute)?),
-        Algorithm::MinRecc => ("MINRECC", min_recc(&g, k, source, &params).map_err(compute)?),
+        Algorithm::Ch => {
+            let (plan, diag) =
+                ch_min_recc_with_diagnostics(&g, k, source, &params).map_err(compute)?;
+            diagnostics = Some(diag);
+            ("CHMINRECC", plan)
+        }
+        Algorithm::MinRecc => {
+            let (plan, diag) =
+                min_recc_with_diagnostics(&g, k, source, &params).map_err(compute)?;
+            diagnostics = Some(diag);
+            ("MINRECC", plan)
+        }
     };
     let mut out = String::new();
     let _ = writeln!(out, "{name}: {} edge(s) selected for source {source}", plan.len());
+    if let Some(diag) = diagnostics.filter(|d| !d.clean()) {
+        let _ = writeln!(
+            out,
+            "robustness: {} candidate(s) skipped, {} degraded evaluation(s)",
+            diag.skipped_candidates, diag.degraded_evaluations
+        );
+        for note in &diag.notes {
+            let _ = writeln!(out, "  note: {note}");
+        }
+    }
     for (i, e) in plan.iter().enumerate() {
         let _ = writeln!(out, "  {}. add ({}, {})", i + 1, e.u, e.v);
     }
@@ -308,7 +363,7 @@ mod tests {
     fn analyze_runs_end_to_end() {
         let path = temp_graph();
         let out = run_str(&["analyze", &path, "--eps", "0.4"]).unwrap();
-        assert!(out.contains("LCC: n = 60"), "{out}");
+        assert!(out.contains("graph: n = 60"), "{out}");
         assert!(out.contains("resistance radius"), "{out}");
     }
 
@@ -375,5 +430,68 @@ mod tests {
             run_str(&["generate", "--model", "dataset", "--dataset", "nope"]),
             Err(CliError::Usage(_))
         ));
+    }
+
+    fn temp_file(name: &str, contents: &str) -> String {
+        let dir = std::env::temp_dir().join(format!("reecc-cli-rob-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, contents).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn missing_file_is_io_error_with_distinct_exit_code() {
+        let err = run_str(&["analyze", "/no/such/file"]).unwrap_err();
+        assert!(matches!(err, CliError::Io(_)));
+        assert_eq!(err.exit_code(), 3);
+        assert!(err.to_string().contains("/no/such/file"), "{err}");
+    }
+
+    #[test]
+    fn malformed_edge_list_is_graph_error_with_line_number() {
+        let path = temp_file("malformed.txt", "0 1\n1 2\nbogus tokens here\n");
+        let err = run_str(&["analyze", &path]).unwrap_err();
+        assert!(matches!(err, CliError::Graph(_)), "{err:?}");
+        assert_eq!(err.exit_code(), 4);
+        let msg = err.to_string();
+        assert!(msg.contains("line 3"), "message must locate the offense: {msg}");
+        assert!(msg.contains("bogus"), "message must quote the token: {msg}");
+    }
+
+    #[test]
+    fn disconnected_graph_is_rejected_with_actionable_message() {
+        let path = temp_file("disconnected.txt", "0 1\n1 2\n2 0\n5 6\n");
+        let err = run_str(&["analyze", &path]).unwrap_err();
+        assert!(matches!(err, CliError::Graph(_)), "{err:?}");
+        let msg = err.to_string();
+        assert!(msg.contains("disconnected"), "{msg}");
+        assert!(msg.contains("--lcc"), "message must name the escape hatch: {msg}");
+        // The escape hatch works and reports the reduced order.
+        let out = run_str(&["analyze", &path, "--lcc"]).unwrap();
+        assert!(out.contains("n = 3"), "{out}");
+    }
+
+    #[test]
+    fn duplicate_and_self_loop_lines_are_tolerated_when_loading() {
+        // Public dumps routinely contain both; the CLI loads leniently.
+        let path = temp_file("dirty.txt", "0 1\n1 0\n1 1\n1 2\n2 0\n");
+        let out = run_str(&["analyze", &path]).unwrap();
+        assert!(out.contains("n = 3, m = 3"), "{out}");
+    }
+
+    #[test]
+    fn exit_codes_are_distinct_per_error_class() {
+        let codes = [
+            CliError::Usage(String::new()).exit_code(),
+            CliError::Io(String::new()).exit_code(),
+            CliError::Graph(String::new()).exit_code(),
+            CliError::Compute(String::new()).exit_code(),
+        ];
+        let mut unique = codes.to_vec();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), codes.len(), "codes: {codes:?}");
+        assert!(codes.iter().all(|&c| c != 0), "codes: {codes:?}");
     }
 }

@@ -45,17 +45,35 @@ impl std::fmt::Display for CliError {
 
 impl std::error::Error for CliError {}
 
+impl CliError {
+    /// Process exit code for this error class. Distinct nonzero codes per
+    /// class so scripts can tell a bad invocation (2) from a bad input
+    /// file (3/4) from a numerical failure (5).
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Io(_) => 3,
+            CliError::Graph(_) => 4,
+            CliError::Compute(_) => 5,
+        }
+    }
+}
+
 /// The top-level usage text.
 pub const USAGE: &str = "\
 reecc — resistance eccentricity toolkit
 
 USAGE:
-  reecc analyze  <edges.txt> [--eps X]
-  reecc query    <edges.txt> --nodes A,B,C [--method exact|approx|fast] [--eps X]
+  reecc analyze  <edges.txt> [--eps X] [--lcc]
+  reecc query    <edges.txt> --nodes A,B,C [--method exact|approx|fast] [--eps X] [--lcc]
   reecc optimize <edges.txt> --source S --k N
-                 [--algorithm simple|far|cen|ch|minrecc] [--problem remd|rem] [--eps X]
+                 [--algorithm simple|far|cen|ch|minrecc] [--problem remd|rem] [--eps X] [--lcc]
   reecc generate --model ba|hk|ws|er|powerlaw|dataset --n N [--param P] [--seed S]
                  [--dataset NAME] [--out FILE]
 
 Edge-list format: one `u v` pair per line; `#`/`%` comments; ids remapped densely.
+Disconnected inputs are rejected; pass --lcc to analyze the largest connected
+component instead.
+
+Exit codes: 0 ok, 2 usage, 3 i/o, 4 graph input, 5 computation.
 ";

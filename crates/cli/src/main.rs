@@ -6,9 +6,14 @@ fn main() {
         Ok(report) => print!("{report}"),
         Err(e) => {
             eprintln!("{e}");
-            eprintln!();
-            eprintln!("{}", reecc_cli::USAGE);
-            std::process::exit(1);
+            // The full usage dump only helps when the invocation itself was
+            // wrong; i/o, graph, and computation errors carry their own
+            // actionable one-liner.
+            if matches!(e, reecc_cli::CliError::Usage(_)) {
+                eprintln!();
+                eprintln!("{}", reecc_cli::USAGE);
+            }
+            std::process::exit(e.exit_code());
         }
     }
 }

@@ -5,14 +5,17 @@ use crate::CliError;
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
-    /// `reecc analyze <file> [--eps X]`
+    /// `reecc analyze <file> [--eps X] [--lcc]`
     Analyze {
         /// Edge-list path.
         path: String,
         /// Sketch epsilon.
         eps: f64,
+        /// Reduce disconnected inputs to their largest connected component
+        /// instead of rejecting them.
+        lcc: bool,
     },
-    /// `reecc query <file> --nodes A,B,C [--method M] [--eps X]`
+    /// `reecc query <file> --nodes A,B,C [--method M] [--eps X] [--lcc]`
     Query {
         /// Edge-list path.
         path: String,
@@ -22,6 +25,8 @@ pub enum Command {
         method: QueryMethod,
         /// Sketch epsilon.
         eps: f64,
+        /// Reduce disconnected inputs to their largest connected component.
+        lcc: bool,
     },
     /// `reecc optimize <file> --source S --k N [...]`
     Optimize {
@@ -35,6 +40,8 @@ pub enum Command {
         algorithm: Algorithm,
         /// Sketch epsilon.
         eps: f64,
+        /// Reduce disconnected inputs to their largest connected component.
+        lcc: bool,
     },
     /// `reecc generate --model M --n N [...]`
     Generate {
@@ -113,8 +120,9 @@ impl Flags {
         let mut it = args.iter();
         while let Some(a) = it.next() {
             if let Some(name) = a.strip_prefix("--") {
-                if name == "help" {
-                    pairs.push(("help".to_string(), String::new()));
+                // Boolean flags take no value.
+                if name == "help" || name == "lcc" {
+                    pairs.push((name.to_string(), String::new()));
                     continue;
                 }
                 let value = it
@@ -183,7 +191,7 @@ pub fn parse_command(args: &[String]) -> Result<Command, CliError> {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "analyze" => {
             let flags = Flags::parse(rest)?;
-            flags.reject_unknown(&["eps"])?;
+            flags.reject_unknown(&["eps", "lcc"])?;
             if flags.has("help") {
                 return Ok(Command::Help);
             }
@@ -192,11 +200,11 @@ pub fn parse_command(args: &[String]) -> Result<Command, CliError> {
                 .first()
                 .ok_or_else(|| CliError::Usage("analyze needs an edge-list path".into()))?
                 .clone();
-            Ok(Command::Analyze { path, eps: parse_eps(&flags)? })
+            Ok(Command::Analyze { path, eps: parse_eps(&flags)?, lcc: flags.has("lcc") })
         }
         "query" => {
             let flags = Flags::parse(rest)?;
-            flags.reject_unknown(&["nodes", "method", "eps"])?;
+            flags.reject_unknown(&["nodes", "method", "eps", "lcc"])?;
             if flags.has("help") {
                 return Ok(Command::Help);
             }
@@ -223,11 +231,17 @@ pub fn parse_command(args: &[String]) -> Result<Command, CliError> {
                     return Err(CliError::Usage(format!("unknown --method {other:?}")));
                 }
             };
-            Ok(Command::Query { path, nodes, method, eps: parse_eps(&flags)? })
+            Ok(Command::Query {
+                path,
+                nodes,
+                method,
+                eps: parse_eps(&flags)?,
+                lcc: flags.has("lcc"),
+            })
         }
         "optimize" => {
             let flags = Flags::parse(rest)?;
-            flags.reject_unknown(&["source", "k", "algorithm", "problem", "eps"])?;
+            flags.reject_unknown(&["source", "k", "algorithm", "problem", "eps", "lcc"])?;
             if flags.has("help") {
                 return Ok(Command::Help);
             }
@@ -257,7 +271,14 @@ pub fn parse_command(args: &[String]) -> Result<Command, CliError> {
                     return Err(CliError::Usage(format!("unknown --algorithm {other:?}")));
                 }
             };
-            Ok(Command::Optimize { path, source, k, algorithm, eps: parse_eps(&flags)? })
+            Ok(Command::Optimize {
+                path,
+                source,
+                k,
+                algorithm,
+                eps: parse_eps(&flags)?,
+                lcc: flags.has("lcc"),
+            })
         }
         "generate" => {
             let flags = Flags::parse(rest)?;
@@ -322,7 +343,15 @@ mod tests {
     #[test]
     fn analyze_defaults() {
         let cmd = parse(&["analyze", "g.txt"]).unwrap();
-        assert_eq!(cmd, Command::Analyze { path: "g.txt".into(), eps: 0.3 });
+        assert_eq!(cmd, Command::Analyze { path: "g.txt".into(), eps: 0.3, lcc: false });
+    }
+
+    #[test]
+    fn lcc_flag_is_boolean() {
+        let cmd = parse(&["analyze", "g.txt", "--lcc", "--eps", "0.2"]).unwrap();
+        assert!(matches!(cmd, Command::Analyze { lcc: true, .. }));
+        let cmd = parse(&["query", "g.txt", "--nodes", "1", "--lcc"]).unwrap();
+        assert!(matches!(cmd, Command::Query { lcc: true, .. }));
     }
 
     #[test]

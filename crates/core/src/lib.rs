@@ -56,9 +56,10 @@ pub use exact::ExactResistance;
 pub use metrics::EccentricityDistribution;
 pub use query::{
     approx_query, approx_recc, exact_query, fast_query, fast_query_distribution,
-    resistance_between, FastQueryOutput,
+    fast_query_with_policy, resistance_between, DegradationPolicy, FastQueryOutput,
+    QueryDiagnostics, QueryTier,
 };
-pub use sketch::{ResistanceSketch, SketchParams};
+pub use sketch::{ResistanceSketch, SketchDiagnostics, SketchParams};
 
 /// Errors from resistance computations.
 #[derive(Debug, Clone, PartialEq)]

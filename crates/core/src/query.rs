@@ -10,6 +10,91 @@ use crate::exact::ExactResistance;
 use crate::sketch::{ResistanceSketch, SketchParams};
 use crate::CoreError;
 
+/// Which pipeline actually answered a query (FASTQUERY may degrade to a
+/// lower tier when the sketch is unhealthy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryTier {
+    /// Sketch + hull boundary scan (FASTQUERY).
+    Fast,
+    /// Sketch + full node scan (APPROXQUERY).
+    Approx,
+    /// Dense pseudoinverse (EXACTQUERY).
+    Exact,
+}
+
+impl std::fmt::Display for QueryTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryTier::Fast => write!(f, "fast"),
+            QueryTier::Approx => write!(f, "approx"),
+            QueryTier::Exact => write!(f, "exact"),
+        }
+    }
+}
+
+/// When FASTQUERY abandons the hull (and possibly the sketch) because too
+/// many sketch rows stayed unconverged after the repair ladder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradationPolicy {
+    /// Above this degraded-row fraction the hull step is skipped and the
+    /// query falls back to a full sketch scan (APPROXQUERY semantics).
+    pub max_unconverged_fraction: f64,
+    /// Above this fraction the sketch itself is distrusted and the query
+    /// escalates to EXACTQUERY — when the size guard permits.
+    pub severe_unconverged_fraction: f64,
+    /// Largest graph order for which the `O(n³)` exact escalation is
+    /// allowed. `0` disables exact escalation.
+    pub exact_fallback_max_nodes: usize,
+}
+
+impl Default for DegradationPolicy {
+    fn default() -> Self {
+        DegradationPolicy {
+            max_unconverged_fraction: 0.25,
+            severe_unconverged_fraction: 0.5,
+            exact_fallback_max_nodes: 2048,
+        }
+    }
+}
+
+/// How a (possibly degraded) query was answered.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryDiagnostics {
+    /// Tier the caller asked for.
+    pub requested_tier: QueryTier,
+    /// Tier that produced the returned values.
+    pub tier: QueryTier,
+    /// Sketch dimension after any row drops (0 when no sketch was usable).
+    pub sketch_dimension: usize,
+    /// Sketch rows still degraded after the repair ladder.
+    pub degraded_rows: usize,
+    /// Sketch rows the escalation ladder repaired.
+    pub repaired_rows: usize,
+    /// Human-readable notes on every degradation decision taken.
+    pub notes: Vec<String>,
+}
+
+impl QueryDiagnostics {
+    /// Whether the query was answered below the requested tier.
+    pub fn degraded(&self) -> bool {
+        self.tier != self.requested_tier
+    }
+
+    fn healthy(tier: QueryTier, sketch: Option<&ResistanceSketch>) -> Self {
+        QueryDiagnostics {
+            requested_tier: tier,
+            tier,
+            sketch_dimension: sketch.map_or(0, ResistanceSketch::dimension),
+            degraded_rows: sketch.map_or(0, |s| {
+                let d = s.diagnostics();
+                d.unconverged.len() + d.dropped.len()
+            }),
+            repaired_rows: sketch.map_or(0, |s| s.diagnostics().repaired.len()),
+            notes: Vec::new(),
+        }
+    }
+}
+
 /// EXACTQUERY (Algorithm 1): dense pseudoinverse preprocessing, then
 /// `c(i)` for every `i ∈ q`. `O(n³ + |Q|·n)`.
 ///
@@ -58,12 +143,15 @@ pub fn approx_query(
 pub struct FastQueryOutput {
     /// `(node, ĉ(node))` per query, in input order.
     pub results: Vec<(usize, f64)>,
-    /// The hull boundary subset `Ŝ` (node ids).
+    /// The hull boundary subset `Ŝ` (node ids; empty when the query
+    /// degraded below the Fast tier).
     pub hull: Vec<usize>,
     /// Sketch dimension `d` used.
     pub dimension: usize,
     /// Whether the hull enumeration was truncated by a vertex cap.
     pub hull_truncated: bool,
+    /// Which tier answered and why (see [`DegradationPolicy`]).
+    pub diagnostics: QueryDiagnostics,
 }
 
 impl FastQueryOutput {
@@ -123,35 +211,123 @@ pub fn fast_query_with_hull_options(
     params: &SketchParams,
     hull_opts: ApproxChOptions,
 ) -> Result<FastQueryOutput, CoreError> {
-    let sketch = ResistanceSketch::build(g, params)?;
+    fast_query_with_policy(g, q, params, hull_opts, DegradationPolicy::default())
+}
+
+/// FASTQUERY with an explicit [`DegradationPolicy`]: when too many sketch
+/// rows remain degraded after the repair ladder, the query falls back to a
+/// full sketch scan (APPROXQUERY), and beyond the severe threshold to
+/// EXACTQUERY — gated by `exact_fallback_max_nodes` to keep the `O(n³)`
+/// escalation off large graphs. The answering tier and every fallback
+/// decision are recorded in the output's [`QueryDiagnostics`].
+///
+/// # Errors
+///
+/// Propagates sketch failures; rejects out-of-range query ids; returns
+/// [`CoreError::Numerical`] when the sketch is unusable (no surviving rows)
+/// and the size guard forbids the exact escalation.
+pub fn fast_query_with_policy(
+    g: &Graph,
+    q: &[usize],
+    params: &SketchParams,
+    hull_opts: ApproxChOptions,
+    policy: DegradationPolicy,
+) -> Result<FastQueryOutput, CoreError> {
     let n = g.node_count();
-    let theta = (params.epsilon / 12.0).clamp(1e-6, 0.999);
-    let points = sketch.point_set();
-    let hull_result = approx_convex_hull(&points, theta, hull_opts);
-    let mut results = Vec::with_capacity(q.len());
     for &i in q {
         if i >= n {
             return Err(CoreError::NodeOutOfRange { node: i, n });
         }
-        let (c_hat, _) = sketch.eccentricity_over(i, &hull_result.vertices);
-        results.push((i, c_hat));
     }
+    let sketch = ResistanceSketch::build(g, params)?;
+    let mut diag = QueryDiagnostics::healthy(QueryTier::Fast, Some(&sketch));
+    let frac = sketch.diagnostics().unconverged_fraction();
+    let sketch_unusable = sketch.dimension() == 0;
+    let severe = sketch_unusable || frac > policy.severe_unconverged_fraction;
+
+    if severe {
+        diag.notes.push(if sketch_unusable {
+            "sketch has no surviving rows".to_string()
+        } else {
+            format!(
+                "degraded sketch rows ({:.0}%) exceed severe threshold ({:.0}%)",
+                frac * 100.0,
+                policy.severe_unconverged_fraction * 100.0
+            )
+        });
+        if n <= policy.exact_fallback_max_nodes {
+            diag.tier = QueryTier::Exact;
+            diag.notes.push("escalated to dense exact query".to_string());
+            let exact = ExactResistance::new(g)?;
+            let results = q.iter().map(|&i| (i, exact.eccentricity(i).0)).collect();
+            return Ok(FastQueryOutput {
+                results,
+                hull: Vec::new(),
+                dimension: sketch.dimension(),
+                hull_truncated: false,
+                diagnostics: diag,
+            });
+        }
+        if sketch_unusable {
+            return Err(CoreError::Numerical(format!(
+                "sketch has no surviving rows and graph order {n} exceeds the \
+                 exact-fallback size guard ({})",
+                policy.exact_fallback_max_nodes
+            )));
+        }
+        diag.notes.push(format!(
+            "graph order {n} exceeds exact-fallback size guard ({}); \
+             answering from the degraded sketch by full scan",
+            policy.exact_fallback_max_nodes
+        ));
+        diag.tier = QueryTier::Approx;
+    } else if frac > policy.max_unconverged_fraction {
+        diag.tier = QueryTier::Approx;
+        diag.notes.push(format!(
+            "degraded sketch rows ({:.0}%) exceed hull-trust threshold ({:.0}%); \
+             skipping hull, scanning all nodes",
+            frac * 100.0,
+            policy.max_unconverged_fraction * 100.0
+        ));
+    }
+
+    if diag.tier == QueryTier::Approx {
+        let results = q.iter().map(|&i| (i, sketch.eccentricity(i).0)).collect();
+        return Ok(FastQueryOutput {
+            results,
+            hull: Vec::new(),
+            dimension: sketch.dimension(),
+            hull_truncated: false,
+            diagnostics: diag,
+        });
+    }
+
+    let theta = (params.epsilon / 12.0).clamp(1e-6, 0.999);
+    let points = sketch.point_set();
+    let hull_result = approx_convex_hull(&points, theta, hull_opts);
+    let results =
+        q.iter().map(|&i| (i, sketch.eccentricity_over(i, &hull_result.vertices).0)).collect();
     Ok(FastQueryOutput {
         results,
         hull: hull_result.vertices,
         dimension: sketch.dimension(),
         hull_truncated: hull_result.truncated,
+        diagnostics: diag,
     })
 }
 
 /// Exact single-pair resistance distance via **one** CG solve (no dense
 /// pseudoinverse): `r(u,v) = bᵀ L† b` with `b = e_u − e_v`. `Õ(m)` per
 /// query — the right tool when only a handful of pairs is needed on a
-/// large graph.
+/// large graph. The solve runs through the fault-tolerant escalation
+/// ladder, so a hard problem degrades to stronger preconditioning or (on
+/// small graphs) the dense fallback instead of silently returning a bad
+/// iterate.
 ///
 /// # Errors
 ///
-/// Rejects empty/disconnected graphs and out-of-range ids.
+/// Rejects empty/disconnected graphs and out-of-range ids; returns
+/// [`CoreError::Numerical`] when even the full ladder cannot converge.
 pub fn resistance_between(g: &Graph, u: usize, v: usize) -> Result<f64, CoreError> {
     let n = g.node_count();
     if n == 0 {
@@ -169,13 +345,23 @@ pub fn resistance_between(g: &Graph, u: usize, v: usize) -> Result<f64, CoreErro
     if !reecc_graph::traversal::is_connected(g) {
         return Err(CoreError::Disconnected);
     }
-    let mut ws = reecc_linalg::cg::CgWorkspace::new(n);
-    let (_, r_uv) = crate::update::solve_edge_potentials(
-        g,
-        reecc_graph::Edge::new(u, v),
+    let op = reecc_linalg::LaplacianOp::new(g);
+    let mut solver = reecc_linalg::RecoverySolver::new(
+        op,
         reecc_linalg::cg::CgOptions::default(),
-        &mut ws,
+        reecc_linalg::RecoveryPolicy::default(),
     );
+    let (_, r_uv, report) = crate::update::solve_edge_potentials_recovering(
+        &mut solver,
+        reecc_graph::Edge::new(u, v),
+    );
+    if !report.converged {
+        return Err(CoreError::Numerical(format!(
+            "resistance solve did not converge after {} attempts (residual {:.3e})",
+            report.attempts.len(),
+            report.final_residual
+        )));
+    }
     Ok(r_uv)
 }
 
@@ -326,5 +512,113 @@ mod tests {
     fn approx_recc_rejects_bad_id() {
         let g = line(4);
         assert!(approx_recc(&g, 4, &params(0.3)).is_err());
+    }
+
+    /// A policy that leaves starved CG rows genuinely unconverged: no
+    /// tolerance relaxation, no budget boost, no dense fallback.
+    fn no_repair() -> reecc_linalg::RecoveryPolicy {
+        reecc_linalg::RecoveryPolicy {
+            tolerance_relaxation: 1.0,
+            iteration_boost: 1,
+            dense_fallback_max_nodes: 0,
+        }
+    }
+
+    fn starved_params() -> SketchParams {
+        SketchParams {
+            epsilon: 0.3,
+            seed: 13,
+            cg: reecc_linalg::CgOptions { max_iterations: Some(1), ..Default::default() },
+            recovery: no_repair(),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn healthy_query_stays_at_fast_tier() {
+        let g = barabasi_albert(50, 2, 21);
+        let out = fast_query(&g, &[0, 10], &params(0.3)).unwrap();
+        assert_eq!(out.diagnostics.tier, QueryTier::Fast);
+        assert_eq!(out.diagnostics.requested_tier, QueryTier::Fast);
+        assert!(!out.diagnostics.degraded());
+        assert!(out.diagnostics.notes.is_empty());
+        assert!(out.diagnostics.sketch_dimension > 0);
+    }
+
+    #[test]
+    fn severely_starved_sketch_escalates_to_exact_tier() {
+        let g = line(40);
+        let q: Vec<usize> = (0..40).collect();
+        let out = fast_query_with_policy(
+            &g,
+            &q,
+            &starved_params(),
+            ApproxChOptions::default(),
+            DegradationPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(
+            out.diagnostics.tier,
+            QueryTier::Exact,
+            "notes: {:?}",
+            out.diagnostics.notes
+        );
+        assert!(out.diagnostics.degraded());
+        assert!(!out.diagnostics.notes.is_empty());
+        assert!(out.hull.is_empty(), "degraded query must not claim a hull");
+        // The exact tier must return the true eccentricities even though
+        // the sketch was garbage.
+        let exact = exact_query(&g, &q).unwrap();
+        for ((i, c_hat), (j, c)) in out.results.iter().zip(&exact) {
+            assert_eq!(i, j);
+            assert!((c_hat - c).abs() < 1e-9, "node {i}: {c_hat} vs {c}");
+        }
+    }
+
+    #[test]
+    fn severe_degradation_without_exact_guard_reports_approx_tier() {
+        let g = line(40);
+        let policy = DegradationPolicy { exact_fallback_max_nodes: 0, ..Default::default() };
+        let out = fast_query_with_policy(
+            &g,
+            &[0, 20, 39],
+            &starved_params(),
+            ApproxChOptions::default(),
+            policy,
+        )
+        .unwrap();
+        assert_eq!(
+            out.diagnostics.tier,
+            QueryTier::Approx,
+            "notes: {:?}",
+            out.diagnostics.notes
+        );
+        assert!(out.diagnostics.degraded());
+        assert!(out.diagnostics.degraded_rows > 0);
+        assert!(out.hull.is_empty());
+        for &(_, c_hat) in &out.results {
+            assert!(c_hat.is_finite(), "degraded answers must still be finite");
+        }
+    }
+
+    #[test]
+    fn default_policy_repairs_starved_rows_and_stays_fast() {
+        // Same starved CG budget, but the default recovery ladder (dense
+        // fallback allowed) should repair every row, so no degradation.
+        let g = line(40);
+        let p = SketchParams {
+            epsilon: 0.3,
+            seed: 13,
+            cg: reecc_linalg::CgOptions { max_iterations: Some(1), ..Default::default() },
+            ..Default::default()
+        };
+        let q: Vec<usize> = (0..40).collect();
+        let out = fast_query(&g, &q, &p).unwrap();
+        assert_eq!(out.diagnostics.tier, QueryTier::Fast);
+        assert!(out.diagnostics.repaired_rows > 0, "ladder should have repaired rows");
+        let exact = exact_query(&g, &q).unwrap();
+        for ((i, c_hat), (_, c)) in out.results.iter().zip(&exact) {
+            assert!((c_hat - c).abs() <= 0.3 * c + 1e-9, "node {i}: fast {c_hat} vs exact {c}");
+        }
     }
 }

@@ -14,6 +14,7 @@ use reecc_graph::Graph;
 use reecc_hull::PointSet;
 use reecc_linalg::cg::{solve_laplacian, CgOptions, CgWorkspace};
 use reecc_linalg::jl::{jl_dimension_scaled, projected_incidence_rows};
+use reecc_linalg::recovery::{RecoveryPolicy, RecoverySolver};
 use reecc_linalg::LaplacianOp;
 
 use crate::CoreError;
@@ -35,6 +36,10 @@ pub struct SketchParams {
     pub threads: usize,
     /// CG solver options for each row.
     pub cg: CgOptions,
+    /// Escalation-ladder policy for repairing rows whose first solve did
+    /// not converge or produced non-finite values (see
+    /// [`reecc_linalg::recovery`]).
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for SketchParams {
@@ -46,6 +51,7 @@ impl Default for SketchParams {
             seed: 42,
             threads: 0,
             cg: CgOptions::default(),
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -73,6 +79,49 @@ impl SketchParams {
     }
 }
 
+/// Per-build health record: what the row solves did, which rows the
+/// escalation ladder repaired, and which remain degraded. FASTQUERY's
+/// degradation policy keys off [`SketchDiagnostics::unconverged_fraction`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SketchDiagnostics {
+    /// Sketch dimension `d` as requested (before any row drops).
+    pub rows: usize,
+    /// Rows whose first CG solve met the tolerance.
+    pub converged_first_try: usize,
+    /// Rows the escalation ladder brought to convergence.
+    pub repaired: Vec<usize>,
+    /// Subset of `repaired` that needed the dense pseudoinverse fallback.
+    pub fallback_rows: Vec<usize>,
+    /// Rows removed because they stayed non-finite even after the ladder;
+    /// the surviving rows are rescaled by `√(d/(d−k))` so the resistance
+    /// estimator stays unbiased.
+    pub dropped: Vec<usize>,
+    /// Rows kept (finite) but still short of the tolerance after the
+    /// ladder — an accuracy downgrade the query layer can react to.
+    pub unconverged: Vec<usize>,
+}
+
+impl SketchDiagnostics {
+    /// Fraction of rows that are degraded (unconverged or dropped).
+    pub fn unconverged_fraction(&self) -> f64 {
+        if self.rows == 0 {
+            0.0
+        } else {
+            (self.unconverged.len() + self.dropped.len()) as f64 / self.rows as f64
+        }
+    }
+
+    /// Whether every row ended up converged (possibly after repair).
+    pub fn fully_converged(&self) -> bool {
+        self.unconverged.is_empty() && self.dropped.is_empty()
+    }
+
+    /// Whether any repair work happened at all.
+    pub fn repaired_any(&self) -> bool {
+        !self.repaired.is_empty() || !self.dropped.is_empty()
+    }
+}
+
 /// The APPROXER resistance sketch `X̃ ∈ R^{d×n}`.
 #[derive(Debug, Clone)]
 pub struct ResistanceSketch {
@@ -82,6 +131,7 @@ pub struct ResistanceSketch {
     /// How many of the `d` row solves met the CG tolerance (diagnostic —
     /// a shortfall degrades accuracy but is not an error).
     converged_rows: usize,
+    diagnostics: SketchDiagnostics,
 }
 
 impl ResistanceSketch {
@@ -105,18 +155,18 @@ impl ResistanceSketch {
         let rhs = projected_incidence_rows(g, d, params.seed);
         let workers = params.worker_count(d);
         let mut rows: Vec<Vec<f64>> = Vec::with_capacity(d);
-        let mut converged = 0usize;
+        let mut row_ok: Vec<bool> = Vec::with_capacity(d);
         if workers <= 1 {
             let op = LaplacianOp::new(g);
             let mut ws = CgWorkspace::new(n);
             for b in &rhs {
                 let out = solve_laplacian(&op, b, params.cg, &mut ws);
-                converged += usize::from(out.converged);
+                row_ok.push(out.converged);
                 rows.push(out.solution);
             }
         } else {
             let chunk = d.div_ceil(workers);
-            let results: Vec<(Vec<Vec<f64>>, usize)> = std::thread::scope(|scope| {
+            let results: Vec<(Vec<Vec<f64>>, Vec<bool>)> = std::thread::scope(|scope| {
                 let handles: Vec<_> = rhs
                     .chunks(chunk)
                     .map(|batch| {
@@ -124,10 +174,10 @@ impl ResistanceSketch {
                             let op = LaplacianOp::new(g);
                             let mut ws = CgWorkspace::new(n);
                             let mut out_rows = Vec::with_capacity(batch.len());
-                            let mut ok = 0usize;
+                            let mut ok = Vec::with_capacity(batch.len());
                             for b in batch {
                                 let out = solve_laplacian(&op, b, params.cg, &mut ws);
-                                ok += usize::from(out.converged);
+                                ok.push(out.converged);
                                 out_rows.push(out.solution);
                             }
                             (out_rows, ok)
@@ -137,11 +187,78 @@ impl ResistanceSketch {
                 handles.into_iter().map(|h| h.join().expect("sketch worker panicked")).collect()
             });
             for (batch_rows, ok) in results {
-                converged += ok;
+                row_ok.extend(ok);
                 rows.extend(batch_rows);
             }
         }
-        Ok(ResistanceSketch { rows, n, epsilon: params.epsilon, converged_rows: converged })
+
+        // Repair pass: every non-converged or NaN/Inf-polluted row goes
+        // through the escalation ladder. Sequential on purpose — repairs
+        // are rare and the ladder's dense fallback is cached across rows.
+        let mut diagnostics = SketchDiagnostics {
+            rows: d,
+            converged_first_try: row_ok
+                .iter()
+                .zip(&rows)
+                .filter(|(&ok, row)| ok && row_is_finite(row))
+                .count(),
+            ..SketchDiagnostics::default()
+        };
+        let needs_repair: Vec<usize> =
+            (0..d).filter(|&i| !row_ok[i] || !row_is_finite(&rows[i])).collect();
+        if !needs_repair.is_empty() {
+            let op = LaplacianOp::new(g);
+            let mut solver = RecoverySolver::new(op, params.cg, params.recovery);
+            for i in needs_repair {
+                let (solution, report) = solver.solve(&rhs[i]);
+                // A row is usable only if it is finite and actually carries
+                // information (an all-zero iterate against a nonzero rhs is
+                // the ladder saying "every attempt was poisoned").
+                let usable =
+                    row_is_finite(&solution) && (!is_zero(&solution) || is_zero(&rhs[i]));
+                if usable && report.converged {
+                    rows[i] = solution;
+                    diagnostics.repaired.push(i);
+                    if report.fallback_used {
+                        diagnostics.fallback_rows.push(i);
+                    }
+                } else if usable {
+                    // Best-effort iterate: finite but short of tolerance.
+                    rows[i] = solution;
+                    diagnostics.unconverged.push(i);
+                } else {
+                    diagnostics.dropped.push(i);
+                }
+            }
+        }
+
+        // Drop irreparably non-finite rows and rescale the survivors by
+        // √(d/(d−k)): each row contributes an unbiased 1/d share of the
+        // resistance estimate, so the rescale keeps E[r̃] on target.
+        if !diagnostics.dropped.is_empty() {
+            let kept = d - diagnostics.dropped.len();
+            if kept == 0 {
+                rows.clear();
+            } else {
+                let scale = (d as f64 / kept as f64).sqrt();
+                let dropped: std::collections::BTreeSet<usize> =
+                    diagnostics.dropped.iter().copied().collect();
+                let mut filtered = Vec::with_capacity(kept);
+                for (i, mut row) in rows.into_iter().enumerate() {
+                    if dropped.contains(&i) {
+                        continue;
+                    }
+                    for x in &mut row {
+                        *x *= scale;
+                    }
+                    filtered.push(row);
+                }
+                rows = filtered;
+            }
+        }
+
+        let converged_rows = d - diagnostics.unconverged.len() - diagnostics.dropped.len();
+        Ok(ResistanceSketch { rows, n, epsilon: params.epsilon, converged_rows, diagnostics })
     }
 
     /// Sketch dimension `d`.
@@ -159,9 +276,16 @@ impl ResistanceSketch {
         self.epsilon
     }
 
-    /// Number of row solves that met the CG tolerance.
+    /// Number of row solves that met the CG tolerance (counting rows the
+    /// escalation ladder repaired).
     pub fn converged_rows(&self) -> usize {
         self.converged_rows
+    }
+
+    /// Per-build health record: repairs, fallbacks, and remaining degraded
+    /// rows.
+    pub fn diagnostics(&self) -> &SketchDiagnostics {
+        &self.diagnostics
     }
 
     /// Borrow the raw `d×n` rows.
@@ -235,6 +359,14 @@ impl ResistanceSketch {
     pub fn point_set(&self) -> PointSet {
         PointSet::from_matrix_columns(&self.rows)
     }
+}
+
+fn row_is_finite(row: &[f64]) -> bool {
+    row.iter().all(|x| x.is_finite())
+}
+
+fn is_zero(row: &[f64]) -> bool {
+    row.iter().all(|&x| x == 0.0)
 }
 
 fn argmax_with_value(values: &[f64]) -> (f64, usize) {
@@ -385,5 +517,65 @@ mod tests {
         let (c, f) = sk.eccentricity(0);
         assert_eq!(c, 0.0);
         assert_eq!(f, 0);
+    }
+
+    #[test]
+    fn starved_cg_budget_rows_are_repaired() {
+        use reecc_linalg::cg::CgOptions;
+        // Two CG iterations cannot solve a length-40 path system, so every
+        // row needs the ladder; the dense fallback must rescue them all.
+        let g = line(40);
+        let eps = 0.3;
+        let p = SketchParams {
+            cg: CgOptions { max_iterations: Some(2), ..CgOptions::default() },
+            ..params(eps)
+        };
+        let sk = ResistanceSketch::build(&g, &p).unwrap();
+        let diag = sk.diagnostics();
+        assert!(diag.repaired_any(), "{diag:?}");
+        assert!(diag.fully_converged(), "{diag:?}");
+        assert_eq!(sk.converged_rows(), sk.dimension());
+        assert!(!diag.fallback_rows.is_empty());
+        // Repaired rows give estimates as good as a healthy build's.
+        let exact = ExactResistance::new(&g).unwrap();
+        for (u, v) in [(0usize, 39usize), (5, 20)] {
+            let r = exact.resistance(u, v);
+            let rt = sk.resistance(u, v);
+            assert!((rt - r).abs() <= eps * r, "r({u},{v}): sketch {rt} vs exact {r}");
+            assert!(rt.is_finite());
+        }
+    }
+
+    #[test]
+    fn starved_budget_without_fallback_is_reported_not_hidden() {
+        use reecc_linalg::cg::CgOptions;
+        use reecc_linalg::recovery::RecoveryPolicy;
+        let g = line(60);
+        let p = SketchParams {
+            cg: CgOptions { max_iterations: Some(1), ..CgOptions::default() },
+            recovery: RecoveryPolicy {
+                tolerance_relaxation: 1.0,
+                iteration_boost: 1,
+                dense_fallback_max_nodes: 0,
+            },
+            ..params(0.4)
+        };
+        let sk = ResistanceSketch::build(&g, &p).unwrap();
+        let diag = sk.diagnostics();
+        // Every row is accounted for: first-try + repaired + unconverged
+        // + dropped partition the dimension.
+        assert_eq!(
+            diag.converged_first_try
+                + diag.repaired.len()
+                + diag.unconverged.len()
+                + diag.dropped.len(),
+            diag.rows
+        );
+        assert!(!diag.fully_converged());
+        assert!(diag.unconverged_fraction() > 0.5, "{diag:?}");
+        // Degraded, but never silently poisoned: all estimates stay finite.
+        for (u, v) in [(0usize, 59usize), (10, 30)] {
+            assert!(sk.resistance(u, v).is_finite());
+        }
     }
 }

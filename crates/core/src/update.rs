@@ -25,6 +25,7 @@
 
 use reecc_graph::{Edge, Graph};
 use reecc_linalg::cg::{solve_laplacian, CgOptions, CgWorkspace};
+use reecc_linalg::recovery::{RecoverySolver, SolveReport};
 use reecc_linalg::{DenseMatrix, LaplacianOp};
 
 /// Apply the rank-1 pseudoinverse update for adding edge `e` in place.
@@ -131,6 +132,29 @@ pub fn solve_edge_potentials(
     let out = solve_laplacian(&op, &b, cg, ws);
     let r_uv = out.solution[e.u] - out.solution[e.v];
     (out.solution, r_uv)
+}
+
+/// [`solve_edge_potentials`] routed through the fault-tolerant escalation
+/// ladder. The caller holds the [`RecoverySolver`] so its CG workspace and
+/// cached dense fallback are shared across many candidate edges on the same
+/// graph. Returns the potentials, `r(u, v)`, and the full [`SolveReport`]
+/// so the caller can skip (rather than trust) an unconverged candidate.
+///
+/// # Panics
+///
+/// Panics if endpoints are out of range for the solver's graph.
+pub fn solve_edge_potentials_recovering(
+    solver: &mut RecoverySolver<'_>,
+    e: Edge,
+) -> (Vec<f64>, f64, SolveReport) {
+    let n = solver.order();
+    assert!(e.v < n, "edge endpoint out of range");
+    let mut b = vec![0.0; n];
+    b[e.u] = 1.0;
+    b[e.v] = -1.0;
+    let (w, report) = solver.solve(&b);
+    let r_uv = w[e.u] - w[e.v];
+    (w, r_uv, report)
 }
 
 /// Combine base resistances `r(s, ·)` (exact or sketched) with edge
@@ -277,6 +301,41 @@ mod tests {
             let expected = pinv[(i, 3)] - pinv[(i, 7)];
             assert!((w[i] - expected).abs() < 1e-7, "potential {i}");
         }
+    }
+
+    #[test]
+    fn recovering_potentials_match_plain_solve_on_healthy_graph() {
+        let g = star(9);
+        let e = Edge::new(3, 7);
+        let op = reecc_linalg::LaplacianOp::new(&g);
+        let mut solver = RecoverySolver::new(
+            op,
+            CgOptions::default(),
+            reecc_linalg::RecoveryPolicy::default(),
+        );
+        let (w, r_uv, report) = solve_edge_potentials_recovering(&mut solver, e);
+        assert!(report.converged);
+        assert!(!report.escalated());
+        let pinv = reecc_linalg::laplacian_pseudoinverse(&g).unwrap();
+        let expected_r = pinv[(3, 3)] + pinv[(7, 7)] - 2.0 * pinv[(3, 7)];
+        assert!((r_uv - expected_r).abs() < 1e-7);
+        for i in 0..9 {
+            assert!((w[i] - (pinv[(i, 3)] - pinv[(i, 7)])).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn recovering_potentials_rescue_starved_budget() {
+        let g = line(30);
+        let e = Edge::new(0, 29);
+        let op = reecc_linalg::LaplacianOp::new(&g);
+        let starved = CgOptions { max_iterations: Some(1), ..CgOptions::default() };
+        let mut solver =
+            RecoverySolver::new(op, starved, reecc_linalg::RecoveryPolicy::default());
+        let (_, r_uv, report) = solve_edge_potentials_recovering(&mut solver, e);
+        assert!(report.converged, "ladder must rescue the solve");
+        assert!(report.escalated());
+        assert!((r_uv - 29.0).abs() < 1e-6, "r(0,29) on a path is 29, got {r_uv}");
     }
 
     #[test]

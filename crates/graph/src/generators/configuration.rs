@@ -16,7 +16,9 @@ use crate::graph::{Graph, NodeId};
 
 /// Build a configuration-model graph from a degree sequence by stub
 /// matching. Self-loops and duplicate edges produced by the matching are
-/// dropped, so realized degrees can be slightly below the request.
+/// dropped; unmatched stubs are re-shuffled and re-matched for a few
+/// rounds so realized degrees track the request closely regardless of how
+/// unlucky the first shuffle was.
 ///
 /// # Panics
 ///
@@ -28,14 +30,34 @@ pub fn configuration_model(degrees: &[usize], seed: u64) -> Graph {
     for (v, &d) in degrees.iter().enumerate() {
         assert!(d < n.max(1), "degree of node {v} ({d}) must be < n ({n})");
     }
-    let mut stubs: Vec<NodeId> = Vec::with_capacity(total);
-    for (v, &d) in degrees.iter().enumerate() {
-        stubs.extend(std::iter::repeat_n(v, d));
-    }
     let mut rng = StdRng::seed_from_u64(seed);
-    stubs.shuffle(&mut rng);
-    let pairs = stubs.chunks_exact(2).map(|c| (c[0], c[1]));
-    Graph::from_edges(n, pairs.collect::<Vec<_>>()).expect("in range")
+    let mut chosen: std::collections::BTreeSet<(NodeId, NodeId)> =
+        std::collections::BTreeSet::new();
+    let mut deficit: Vec<usize> = degrees.to_vec();
+    for _round in 0..4 {
+        let mut stubs: Vec<NodeId> = Vec::new();
+        for (v, &d) in deficit.iter().enumerate() {
+            stubs.extend(std::iter::repeat_n(v, d));
+        }
+        if stubs.len() < 2 {
+            break;
+        }
+        stubs.shuffle(&mut rng);
+        let mut progress = false;
+        for c in stubs.chunks_exact(2) {
+            let (a, b) = (c[0].min(c[1]), c[0].max(c[1]));
+            if a == b || !chosen.insert((a, b)) {
+                continue; // self-loop or duplicate: stubs stay unmatched
+            }
+            deficit[a] -= 1;
+            deficit[b] -= 1;
+            progress = true;
+        }
+        if !progress {
+            break;
+        }
+    }
+    Graph::from_edges(n, chosen.into_iter().collect::<Vec<_>>()).expect("in range")
 }
 
 /// Sample a power-law degree sequence with exponent `gamma` on

@@ -11,17 +11,45 @@ use crate::builder::GraphBuilder;
 use crate::graph::Graph;
 use crate::GraphError;
 
-/// Read an edge list from any [`BufRead`] source.
+/// Read an edge list from any [`BufRead`] source, **strictly**: self-loops
+/// and duplicate edges (in either orientation) are rejected with the
+/// 1-based line number of the offense (and, for duplicates, the line where
+/// the edge first appeared).
 ///
 /// Returns the graph and the list mapping new dense id -> original label.
 ///
+/// Real-world dumps (KONECT, SNAP) frequently contain both defects; use
+/// [`read_edge_list_lenient`] to silently drop them instead.
+///
 /// # Errors
 ///
-/// Returns [`GraphError::Parse`] on malformed lines and propagates I/O
-/// failures as parse errors with the line number.
+/// Returns [`GraphError::Parse`] on malformed lines, self-loops, and
+/// duplicate edges, and propagates I/O failures as parse errors with the
+/// line number.
 pub fn read_edge_list<R: BufRead>(reader: R) -> Result<(Graph, Vec<u64>), GraphError> {
+    read_edge_list_impl(reader, true)
+}
+
+/// Lenient counterpart of [`read_edge_list`]: self-loops are dropped and
+/// duplicate edges collapsed silently (the historical behavior, matching
+/// what most public datasets need).
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] on malformed lines (bad tokens are never
+/// tolerated) and propagates I/O failures.
+pub fn read_edge_list_lenient<R: BufRead>(reader: R) -> Result<(Graph, Vec<u64>), GraphError> {
+    read_edge_list_impl(reader, false)
+}
+
+fn read_edge_list_impl<R: BufRead>(
+    reader: R,
+    strict: bool,
+) -> Result<(Graph, Vec<u64>), GraphError> {
     let mut labels: Vec<u64> = Vec::new();
     let mut index: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+    let mut first_seen: std::collections::HashMap<(usize, usize), usize> =
+        std::collections::HashMap::new();
     let mut builder = GraphBuilder::new(0);
     let mut intern = |label: u64, labels: &mut Vec<u64>| -> usize {
         *index.entry(label).or_insert_with(|| {
@@ -45,6 +73,22 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<(Graph, Vec<u64>), GraphE
         // the paper converts weighted networks to unweighted ones.
         let ia = intern(a, &mut labels);
         let ib = intern(b, &mut labels);
+        if strict {
+            if ia == ib {
+                return Err(GraphError::Parse {
+                    line: lineno + 1,
+                    message: format!("self-loop {a} {b} is not allowed"),
+                });
+            }
+            let key = (ia.min(ib), ia.max(ib));
+            if let Some(&prev) = first_seen.get(&key) {
+                return Err(GraphError::Parse {
+                    line: lineno + 1,
+                    message: format!("duplicate edge {a} {b} (first seen at line {prev})"),
+                });
+            }
+            first_seen.insert(key, lineno + 1);
+        }
         builder.add_edge(ia, ib);
     }
     let g = builder.build()?;
@@ -61,13 +105,23 @@ fn parse_id(token: Option<&str>, line: usize) -> Result<u64, GraphError> {
         .map_err(|_| GraphError::Parse { line, message: format!("invalid node id {token:?}") })
 }
 
-/// Parse an edge list held in a string.
+/// Parse an edge list held in a string (strict mode).
 ///
 /// # Errors
 ///
 /// See [`read_edge_list`].
 pub fn parse_edge_list(text: &str) -> Result<(Graph, Vec<u64>), GraphError> {
     read_edge_list(std::io::Cursor::new(text))
+}
+
+/// Parse an edge list held in a string, dropping self-loops and duplicate
+/// edges silently.
+///
+/// # Errors
+///
+/// See [`read_edge_list_lenient`].
+pub fn parse_edge_list_lenient(text: &str) -> Result<(Graph, Vec<u64>), GraphError> {
+    read_edge_list_lenient(std::io::Cursor::new(text))
 }
 
 /// Write a graph as a canonical edge list (`u v` per line, `u < v`).
@@ -129,10 +183,10 @@ mod tests {
 
     #[test]
     fn parse_skips_comments_and_blanks() {
-        let text = "# header\n% konect style\n\n10 20\n20 10\n";
+        let text = "# header\n% konect style\n\n10 20\n30 10\n";
         let (g, _) = parse_edge_list(text).unwrap();
-        assert_eq!(g.node_count(), 2);
-        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
     }
 
     #[test]
@@ -142,8 +196,34 @@ mod tests {
     }
 
     #[test]
-    fn parse_drops_self_loops() {
-        let (g, _) = parse_edge_list("5 5\n5 6\n").unwrap();
+    fn strict_rejects_self_loops_with_location() {
+        let err = parse_edge_list("5 6\n5 5\n").unwrap_err();
+        match err {
+            GraphError::Parse { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("self-loop 5 5"), "{message}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn strict_rejects_duplicates_with_both_locations() {
+        // Reversed orientation is still the same undirected edge.
+        let err = parse_edge_list("# header\n10 20\n20 10\n").unwrap_err();
+        match err {
+            GraphError::Parse { line, message } => {
+                assert_eq!(line, 3);
+                assert!(message.contains("duplicate edge 20 10"), "{message}");
+                assert!(message.contains("first seen at line 2"), "{message}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lenient_drops_self_loops_and_duplicates() {
+        let (g, _) = parse_edge_list_lenient("5 5\n5 6\n6 5\n").unwrap();
         assert_eq!(g.edge_count(), 1);
     }
 

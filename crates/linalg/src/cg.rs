@@ -222,6 +222,12 @@ pub fn solve_laplacian(
             vector::project_out_ones(&mut x);
         }
         rel = vector::norm2(&ws.r) / b_norm;
+        if !rel.is_finite() {
+            // Overflow/NaN contaminated the residual: no further iteration
+            // can recover (CG recurrences only propagate the poison), so
+            // abort the attempt immediately and let the caller escalate.
+            break;
+        }
         if rel <= opts.tolerance {
             break;
         }

@@ -33,7 +33,15 @@ pub struct EigenOptions {
 
 impl Default for EigenOptions {
     fn default() -> Self {
-        EigenOptions { max_iterations: 500, tolerance: 1e-9, seed: 7, cg: CgOptions::default() }
+        // Power/inverse iteration contracts like (λ₂/λ₃)^k, and real-world
+        // graphs routinely have ratio 0.99+; a 500-step cap cannot resolve
+        // a 1e-9 tolerance there, so the default budget is generous.
+        EigenOptions {
+            max_iterations: 4000,
+            tolerance: 1e-9,
+            seed: 7,
+            cg: CgOptions::default(),
+        }
     }
 }
 
@@ -97,6 +105,9 @@ pub fn lambda_max_estimate(op: &LaplacianOp<'_>, opts: EigenOptions) -> EigenEst
         // Rayleigh quotient = x' L x (x is unit).
         op.apply(&x, &mut y);
         let value = vector::dot(&x, &y);
+        if !value.is_finite() {
+            return EigenEstimate { value: prev, iterations: it, converged: false };
+        }
         if (value - prev).abs() <= opts.tolerance * value.abs().max(1.0) {
             return EigenEstimate { value, iterations: it, converged: true };
         }
@@ -137,6 +148,9 @@ pub fn lambda2_estimate(op: &LaplacianOp<'_>, opts: EigenOptions) -> EigenEstima
         x = y;
         op.apply(&x, &mut lx);
         let value = vector::dot(&x, &lx);
+        if !value.is_finite() {
+            return EigenEstimate { value: prev, iterations: it, converged: false };
+        }
         if (value - prev).abs() <= opts.tolerance * value.abs().max(1e-12) {
             return EigenEstimate { value, iterations: it, converged: true };
         }

@@ -87,15 +87,16 @@ pub fn laplacian_dense(g: &Graph) -> DenseMatrix {
 /// Dense Moore–Penrose pseudoinverse of the Laplacian of a *connected*
 /// graph, via the paper's identity `L† = (L + J/n)⁻¹ − J/n`.
 ///
-/// `L + J/n` is SPD for connected graphs, so Cholesky is used; cost is
-/// `O(n³)` time and `O(n²)` space — exactly the EXACTQUERY preprocessing
-/// step.
+/// `L + J/n` is SPD for connected graphs, so Cholesky is attempted first;
+/// if roundoff pushes a pivot non-positive (near-degenerate spectra), the
+/// factorization falls back to partial-pivot LU, which tolerates the loss
+/// of numerical definiteness. Cost is `O(n³)` time and `O(n²)` space —
+/// exactly the EXACTQUERY preprocessing step.
 ///
 /// # Errors
 ///
-/// Returns [`LinalgError::NotPositiveDefinite`] when the graph is
-/// disconnected (the shifted matrix is then singular in exact arithmetic)
-/// and propagates numerical failures.
+/// Returns a factorization error when the shifted matrix is singular even
+/// under LU — in exact arithmetic that means the graph is disconnected.
 pub fn laplacian_pseudoinverse(g: &Graph) -> Result<DenseMatrix, LinalgError> {
     let n = g.node_count();
     if n == 0 {
@@ -108,14 +109,25 @@ pub fn laplacian_pseudoinverse(g: &Graph) -> Result<DenseMatrix, LinalgError> {
             shifted[(i, j)] += inv_n;
         }
     }
-    let ch = shifted.cholesky()?;
+    enum Factor {
+        Chol(crate::dense::Cholesky),
+        Lu(crate::dense::Lu),
+    }
+    let factor = match shifted.cholesky() {
+        Ok(ch) => Factor::Chol(ch),
+        Err(LinalgError::NotPositiveDefinite { .. }) => Factor::Lu(shifted.lu()?),
+        Err(e) => return Err(e),
+    };
     // Invert column by column: (L + J/n)^{-1} e_j, then subtract J/n.
     let mut pinv = DenseMatrix::zeros(n, n);
     let mut e = vec![0.0; n];
     for j in 0..n {
         e.iter_mut().for_each(|x| *x = 0.0);
         e[j] = 1.0;
-        let col = ch.solve(&e);
+        let col = match &factor {
+            Factor::Chol(ch) => ch.solve(&e),
+            Factor::Lu(lu) => lu.solve(&e),
+        };
         for i in 0..n {
             pinv[(i, j)] = col[i] - inv_n;
         }
@@ -197,6 +209,14 @@ mod tests {
         let p = laplacian_pseudoinverse(&g).unwrap();
         assert!((p[(0, 0)] - 0.25).abs() < 1e-12);
         assert!((p[(0, 1)] + 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pseudoinverse_of_disconnected_graph_errors() {
+        // The shifted matrix is exactly singular for disconnected graphs;
+        // the Cholesky → LU ladder must report an error, not return garbage.
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        assert!(laplacian_pseudoinverse(&g).is_err());
     }
 
     #[test]

@@ -19,12 +19,19 @@
 //! [`jl`] provides the Johnson–Lindenstrauss random-sign projection used to
 //! compress the edge dimension, and [`sparse`] a CSR matrix with SpMV for
 //! generic operators.
+//!
+//! [`recovery`] wraps the CG solver in a fault-tolerant escalation ladder
+//! (stronger preconditioner → relaxed tolerance/boosted budget → size-gated
+//! dense pseudoinverse), recording every attempt in a [`SolveReport`] so
+//! downstream layers can degrade gracefully instead of silently returning
+//! garbage.
 
 pub mod cg;
 pub mod dense;
 pub mod eigen;
 pub mod jl;
 pub mod laplacian;
+pub mod recovery;
 pub mod sparse;
 pub mod vector;
 
@@ -32,6 +39,10 @@ pub use cg::{CgOptions, CgOutcome, Preconditioner};
 pub use dense::DenseMatrix;
 pub use eigen::{lambda2_estimate, lambda_max_estimate, EigenEstimate, EigenOptions};
 pub use laplacian::{laplacian_csr, laplacian_dense, laplacian_pseudoinverse, LaplacianOp};
+pub use recovery::{
+    solve_laplacian_checked, solve_laplacian_with_recovery, RecoveryPolicy, RecoverySolver,
+    SolveAttempt, SolveMethod, SolveReport,
+};
 pub use sparse::CsrMatrix;
 
 /// Errors from numerical routines.

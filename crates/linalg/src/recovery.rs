@@ -1,0 +1,486 @@
+//! Fault-tolerant Laplacian solves: an escalation ladder over [`crate::cg`]
+//! with a dense-pseudoinverse safety net and structured diagnostics.
+//!
+//! The CG solver never fails hard — it reports `converged = false` and
+//! hands back its best iterate. For most sketch rows that is the right
+//! contract, but some workloads (pathological graphs, starved iteration
+//! budgets, NaN-poisoned arithmetic) need an answer anyway. This module
+//! escalates through progressively heavier attempts:
+//!
+//! 1. CG exactly as requested by the caller's [`CgOptions`];
+//! 2. CG with the [`Preconditioner::SymmetricGaussSeidel`] preconditioner
+//!    (stronger smoothing, ~3× per-iteration cost), if not already chosen;
+//! 3. CG with a relaxed tolerance and a boosted iteration budget — an
+//!    accuracy downgrade is preferable to no answer;
+//! 4. the dense pseudoinverse `x = L† b` (`O(n³)` once, reusable), gated
+//!    behind a size threshold so huge graphs never pay it accidentally.
+//!
+//! Every attempt is recorded in a [`SolveReport`] so callers can surface
+//! *how* an answer was obtained, not just the answer. If nothing converges
+//! the best (smallest finite residual) iterate is returned with
+//! `converged = false`; the report never lies about quality.
+
+use std::time::{Duration, Instant};
+
+use crate::cg::{solve_laplacian, CgOptions, CgWorkspace, Preconditioner};
+use crate::dense::DenseMatrix;
+use crate::laplacian::{laplacian_pseudoinverse, LaplacianOp};
+use crate::vector;
+use crate::LinalgError;
+
+/// Configuration of the escalation ladder. `Copy` so parameter structs
+/// embedding it (e.g. sketch parameters) stay `Copy`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Multiplier applied to the requested CG tolerance in the relaxed
+    /// attempt (step 3).
+    pub tolerance_relaxation: f64,
+    /// Multiplier applied to the iteration cap in the relaxed attempt.
+    pub iteration_boost: usize,
+    /// Largest graph order for which the dense pseudoinverse fallback
+    /// (step 4) is permitted. `0` disables the fallback entirely.
+    pub dense_fallback_max_nodes: usize,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            tolerance_relaxation: 100.0,
+            iteration_boost: 4,
+            dense_fallback_max_nodes: 2048,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// A policy with the dense fallback disabled (pure-iterative ladder).
+    pub fn without_dense_fallback() -> Self {
+        RecoveryPolicy { dense_fallback_max_nodes: 0, ..Default::default() }
+    }
+}
+
+/// How a ladder attempt solved (or tried to solve) the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveMethod {
+    /// Conjugate gradient with the given preconditioner.
+    Cg(Preconditioner),
+    /// Dense pseudoinverse apply `x = L† b`.
+    DensePseudoinverse,
+}
+
+impl std::fmt::Display for SolveMethod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveMethod::Cg(Preconditioner::Identity) => write!(f, "cg"),
+            SolveMethod::Cg(Preconditioner::Jacobi) => write!(f, "cg+jacobi"),
+            SolveMethod::Cg(Preconditioner::SymmetricGaussSeidel) => write!(f, "cg+sgs"),
+            SolveMethod::DensePseudoinverse => write!(f, "dense-pinv"),
+        }
+    }
+}
+
+/// One rung of the ladder, as attempted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveAttempt {
+    /// Method used.
+    pub method: SolveMethod,
+    /// Tolerance this attempt aimed for.
+    pub tolerance: f64,
+    /// Iteration cap this attempt ran under (0 for the dense fallback).
+    pub max_iterations: usize,
+    /// Iterations actually performed.
+    pub iterations: usize,
+    /// Final relative residual `‖b − L x‖ / ‖b‖` (may be non-finite when
+    /// the attempt was poisoned).
+    pub residual: f64,
+    /// Whether this attempt met its tolerance.
+    pub converged: bool,
+}
+
+/// Structured record of a recovered solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveReport {
+    /// Every attempt, in escalation order.
+    pub attempts: Vec<SolveAttempt>,
+    /// Total iterations across all attempts.
+    pub iterations: usize,
+    /// Relative residual of the *returned* solution.
+    pub final_residual: f64,
+    /// Whether the dense pseudoinverse fallback produced the answer.
+    pub fallback_used: bool,
+    /// Wall-clock time spent in the ladder.
+    pub wall_time: Duration,
+    /// Whether the returned solution met the tolerance of the attempt that
+    /// produced it.
+    pub converged: bool,
+}
+
+impl SolveReport {
+    /// Whether anything beyond the caller's requested solve was needed.
+    pub fn escalated(&self) -> bool {
+        self.attempts.len() > 1
+    }
+
+    /// The method that produced the returned solution (`None` only for
+    /// empty systems where no attempt ran).
+    pub fn answering_method(&self) -> Option<SolveMethod> {
+        // The best attempt is tracked during the ladder; reconstruct it as
+        // the attempt whose residual equals the final one (first match).
+        self.attempts
+            .iter()
+            .find(|a| {
+                a.residual == self.final_residual
+                    || a.residual.total_cmp(&self.final_residual).is_eq()
+            })
+            .map(|a| a.method)
+    }
+}
+
+/// A stateful ladder runner: reuses the CG workspace across solves and
+/// caches the dense pseudoinverse so repairing many right-hand sides on the
+/// same graph pays the `O(n³)` factorization at most once.
+#[derive(Debug)]
+pub struct RecoverySolver<'g> {
+    op: LaplacianOp<'g>,
+    opts: CgOptions,
+    policy: RecoveryPolicy,
+    ws: CgWorkspace,
+    /// Lazily built dense fallback; the error case is cached too so a
+    /// disconnected graph does not retry the factorization per row.
+    pinv: Option<Result<DenseMatrix, LinalgError>>,
+}
+
+impl<'g> RecoverySolver<'g> {
+    /// Create a solver for `op` with the caller's base options and policy.
+    pub fn new(op: LaplacianOp<'g>, opts: CgOptions, policy: RecoveryPolicy) -> Self {
+        let n = op.order();
+        RecoverySolver { op, opts, policy, ws: CgWorkspace::new(n), pinv: None }
+    }
+
+    /// Solve `L x = b` through the ladder. Always returns a solution (the
+    /// best iterate seen) plus the full report.
+    pub fn solve(&mut self, b: &[f64]) -> (Vec<f64>, SolveReport) {
+        let start = Instant::now();
+        let n = self.op.order();
+        let mut attempts: Vec<SolveAttempt> = Vec::new();
+        let mut total_iterations = 0usize;
+        // Best = smallest finite residual seen so far.
+        let mut best: Option<(Vec<f64>, f64, bool)> = None;
+
+        let base_cap = self.opts.max_iterations.unwrap_or(10 * n + 100);
+        let mut ladder: Vec<(SolveMethod, CgOptions)> =
+            vec![(SolveMethod::Cg(self.opts.preconditioner), self.opts)];
+        if self.opts.preconditioner != Preconditioner::SymmetricGaussSeidel {
+            ladder.push((
+                SolveMethod::Cg(Preconditioner::SymmetricGaussSeidel),
+                CgOptions { preconditioner: Preconditioner::SymmetricGaussSeidel, ..self.opts },
+            ));
+        }
+        ladder.push((
+            SolveMethod::Cg(Preconditioner::SymmetricGaussSeidel),
+            CgOptions {
+                tolerance: self.opts.tolerance * self.policy.tolerance_relaxation.max(1.0),
+                max_iterations: Some(
+                    base_cap.saturating_mul(self.policy.iteration_boost.max(1)),
+                ),
+                preconditioner: Preconditioner::SymmetricGaussSeidel,
+            },
+        ));
+
+        for (method, opts) in ladder {
+            let out = solve_laplacian(&self.op, b, opts, &mut self.ws);
+            total_iterations += out.iterations;
+            attempts.push(SolveAttempt {
+                method,
+                tolerance: opts.tolerance,
+                max_iterations: opts.max_iterations.unwrap_or(10 * n + 100),
+                iterations: out.iterations,
+                residual: out.relative_residual,
+                converged: out.converged,
+            });
+            let better = out.relative_residual.is_finite()
+                && best.as_ref().is_none_or(|(_, r, _)| out.relative_residual < *r);
+            if better {
+                best = Some((out.solution, out.relative_residual, out.converged));
+            }
+            if out.converged {
+                // The ladder only accepts a converged attempt as final.
+                return self.finish(attempts, total_iterations, best, false, start);
+            }
+        }
+
+        // Dense fallback, gated by the size threshold.
+        if n > 0 && n <= self.policy.dense_fallback_max_nodes {
+            let relaxed_tol = self.opts.tolerance * self.policy.tolerance_relaxation.max(1.0);
+            let pinv = self
+                .pinv
+                .get_or_insert_with(|| laplacian_pseudoinverse(self.op.graph()))
+                .as_ref();
+            match pinv {
+                Ok(pinv) => {
+                    let mut b_proj = b.to_vec();
+                    vector::project_out_ones(&mut b_proj);
+                    let x = pinv.matvec(&b_proj);
+                    let residual = relative_residual(&self.op, &x, &b_proj);
+                    let converged = residual.is_finite() && residual <= relaxed_tol;
+                    attempts.push(SolveAttempt {
+                        method: SolveMethod::DensePseudoinverse,
+                        tolerance: relaxed_tol,
+                        max_iterations: 0,
+                        iterations: 0,
+                        residual,
+                        converged,
+                    });
+                    let better = residual.is_finite()
+                        && best.as_ref().is_none_or(|(_, r, _)| residual < *r);
+                    if better {
+                        best = Some((x, residual, converged));
+                    }
+                    return self.finish(attempts, total_iterations, best, converged, start);
+                }
+                Err(e) => {
+                    // Factorization failed (e.g. disconnected graph): record
+                    // an attempt that explains itself via a NaN residual.
+                    let _ = e;
+                    attempts.push(SolveAttempt {
+                        method: SolveMethod::DensePseudoinverse,
+                        tolerance: relaxed_tol,
+                        max_iterations: 0,
+                        iterations: 0,
+                        residual: f64::NAN,
+                        converged: false,
+                    });
+                }
+            }
+        }
+        self.finish(attempts, total_iterations, best, false, start)
+    }
+
+    fn finish(
+        &self,
+        attempts: Vec<SolveAttempt>,
+        iterations: usize,
+        best: Option<(Vec<f64>, f64, bool)>,
+        fallback_used: bool,
+        start: Instant,
+    ) -> (Vec<f64>, SolveReport) {
+        let n = self.op.order();
+        let (solution, final_residual, converged) = match best {
+            Some(b) => b,
+            // Every attempt was poisoned: return the only safe value — zero
+            // (residual is then exactly ‖b‖/‖b‖ = 1).
+            None => (vec![0.0; n], 1.0, false),
+        };
+        let report = SolveReport {
+            attempts,
+            iterations,
+            final_residual,
+            fallback_used,
+            wall_time: start.elapsed(),
+            converged,
+        };
+        (solution, report)
+    }
+
+    /// The policy this solver escalates under.
+    pub fn policy(&self) -> RecoveryPolicy {
+        self.policy
+    }
+
+    /// Operator order `n` (convenience for callers building right-hand
+    /// sides without holding the graph).
+    pub fn order(&self) -> usize {
+        self.op.order()
+    }
+}
+
+fn relative_residual(op: &LaplacianOp<'_>, x: &[f64], b: &[f64]) -> f64 {
+    let b_norm = vector::norm2(b);
+    if b_norm == 0.0 {
+        return 0.0;
+    }
+    let mut lx = vec![0.0; b.len()];
+    op.apply(x, &mut lx);
+    let mut sq = 0.0f64;
+    for (li, bi) in lx.iter().zip(b) {
+        let d = bi - li;
+        sq += d * d;
+    }
+    sq.sqrt() / b_norm
+}
+
+/// One-shot convenience: run the full ladder with a fresh solver.
+pub fn solve_laplacian_with_recovery(
+    op: &LaplacianOp<'_>,
+    b: &[f64],
+    opts: CgOptions,
+    policy: RecoveryPolicy,
+) -> (Vec<f64>, SolveReport) {
+    RecoverySolver::new(*op, opts, policy).solve(b)
+}
+
+/// Ladder solve that converts non-convergence into a typed error (for
+/// callers with no use for a degraded iterate, e.g. the CLI).
+///
+/// # Errors
+///
+/// [`LinalgError::DidNotConverge`] when no rung of the ladder met its
+/// tolerance; the best residual is reported.
+pub fn solve_laplacian_checked(
+    op: &LaplacianOp<'_>,
+    b: &[f64],
+    opts: CgOptions,
+    policy: RecoveryPolicy,
+) -> Result<(Vec<f64>, SolveReport), LinalgError> {
+    let (x, report) = solve_laplacian_with_recovery(op, b, opts, policy);
+    if report.converged {
+        Ok((x, report))
+    } else {
+        Err(LinalgError::DidNotConverge {
+            iterations: report.iterations,
+            residual: report.final_residual,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reecc_graph::generators::{barbell, line, star};
+
+    fn rhs_pair(n: usize, u: usize, v: usize) -> Vec<f64> {
+        let mut b = vec![0.0; n];
+        b[u] = 1.0;
+        b[v] = -1.0;
+        b
+    }
+
+    #[test]
+    fn healthy_solve_stops_at_first_rung() {
+        let g = line(20);
+        let op = LaplacianOp::new(&g);
+        let b = rhs_pair(20, 0, 19);
+        let (x, report) = solve_laplacian_with_recovery(
+            &op,
+            &b,
+            CgOptions::default(),
+            RecoveryPolicy::default(),
+        );
+        assert!(report.converged);
+        assert!(!report.escalated(), "attempts: {:?}", report.attempts);
+        assert!(!report.fallback_used);
+        assert_eq!(report.attempts.len(), 1);
+        assert!((x[0] - x[19] - 19.0).abs() < 1e-5, "r(0,19) on a path is 19");
+    }
+
+    #[test]
+    fn starved_budget_escalates_to_dense_fallback() {
+        let g = line(60);
+        let op = LaplacianOp::new(&g);
+        let b = rhs_pair(60, 0, 59);
+        // One CG iteration can never solve a length-60 path system.
+        let opts = CgOptions { max_iterations: Some(1), ..CgOptions::default() };
+        let (x, report) =
+            solve_laplacian_with_recovery(&op, &b, opts, RecoveryPolicy::default());
+        assert!(report.converged, "dense fallback must rescue the solve");
+        assert!(report.fallback_used);
+        assert!(report.escalated());
+        assert_eq!(report.attempts.last().unwrap().method, SolveMethod::DensePseudoinverse);
+        assert!((x[0] - x[59] - 59.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fallback_respects_size_gate() {
+        let g = line(60);
+        let op = LaplacianOp::new(&g);
+        let b = rhs_pair(60, 0, 59);
+        let opts = CgOptions { max_iterations: Some(1), ..CgOptions::default() };
+        let policy = RecoveryPolicy::without_dense_fallback();
+        let (_, report) = solve_laplacian_with_recovery(&op, &b, opts, policy);
+        assert!(!report.converged);
+        assert!(!report.fallback_used);
+        assert!(report.attempts.iter().all(|a| a.method != SolveMethod::DensePseudoinverse));
+        // Best-effort answer still carries an honest residual.
+        assert!(report.final_residual.is_finite());
+        assert!(report.final_residual > 0.0);
+    }
+
+    #[test]
+    fn relaxed_rung_rescues_without_dense_fallback() {
+        // A budget large enough for the boosted attempt but not the base
+        // one: the ladder should converge iteratively, no fallback.
+        let g = barbell(8, 30);
+        let op = LaplacianOp::new(&g);
+        let n = g.node_count();
+        let b = rhs_pair(n, 0, n - 1);
+        let tight =
+            CgOptions { tolerance: 1e-12, max_iterations: Some(12), ..CgOptions::default() };
+        let policy = RecoveryPolicy {
+            tolerance_relaxation: 1e6,
+            iteration_boost: 50,
+            dense_fallback_max_nodes: 0,
+        };
+        let (_, report) = solve_laplacian_with_recovery(&op, &b, tight, policy);
+        assert!(report.converged, "attempts: {:?}", report.attempts);
+        assert!(!report.fallback_used);
+        assert!(report.escalated());
+    }
+
+    #[test]
+    fn report_totals_are_consistent() {
+        let g = star(30);
+        let op = LaplacianOp::new(&g);
+        let b = rhs_pair(30, 1, 2);
+        let opts =
+            CgOptions { max_iterations: Some(2), tolerance: 1e-14, ..CgOptions::default() };
+        let (_, report) =
+            solve_laplacian_with_recovery(&op, &b, opts, RecoveryPolicy::default());
+        let sum: usize = report.attempts.iter().map(|a| a.iterations).sum();
+        assert_eq!(report.iterations, sum);
+        assert!(report.attempts.len() <= 4);
+        assert!(report.answering_method().is_some());
+    }
+
+    #[test]
+    fn checked_variant_errors_when_ladder_exhausted() {
+        let g = line(80);
+        let op = LaplacianOp::new(&g);
+        let b = rhs_pair(80, 0, 79);
+        let opts = CgOptions { max_iterations: Some(1), ..CgOptions::default() };
+        let err =
+            solve_laplacian_checked(&op, &b, opts, RecoveryPolicy::without_dense_fallback())
+                .unwrap_err();
+        assert!(matches!(err, LinalgError::DidNotConverge { .. }));
+        let ok = solve_laplacian_checked(&op, &b, opts, RecoveryPolicy::default());
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn solver_reuses_cached_pseudoinverse() {
+        let g = line(40);
+        let op = LaplacianOp::new(&g);
+        let opts = CgOptions { max_iterations: Some(1), ..CgOptions::default() };
+        let mut solver = RecoverySolver::new(op, opts, RecoveryPolicy::default());
+        for (u, v) in [(0usize, 39usize), (3, 17), (8, 25)] {
+            let b = rhs_pair(40, u, v);
+            let (x, report) = solver.solve(&b);
+            assert!(report.converged);
+            assert!(report.fallback_used);
+            assert!((x[u] - x[v] - (v as f64 - u as f64).abs()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn zero_rhs_is_trivially_converged() {
+        let g = line(5);
+        let op = LaplacianOp::new(&g);
+        let (x, report) = solve_laplacian_with_recovery(
+            &op,
+            &[0.0; 5],
+            CgOptions::default(),
+            RecoveryPolicy::default(),
+        );
+        assert!(report.converged);
+        assert!(x.iter().all(|&v| v == 0.0));
+    }
+}

@@ -20,13 +20,35 @@
 
 use reecc_core::query::default_hull_budget;
 use reecc_core::sketch::{ResistanceSketch, SketchParams};
-use reecc_core::update::{solve_edge_potentials, updated_eccentricity};
+use reecc_core::update::{solve_edge_potentials_recovering, updated_eccentricity};
 use reecc_graph::{Edge, Graph};
 use reecc_hull::approxch::{approx_convex_hull, ApproxChOptions};
-use reecc_linalg::cg::CgWorkspace;
+use reecc_linalg::{LaplacianOp, RecoverySolver};
 
 use crate::problem::validate;
 use crate::OptError;
+
+/// Robustness record of a heuristic run: candidate evaluations that failed
+/// (non-finite scores, unconverged solves, probe-sketch errors) are
+/// *skipped and counted* here instead of aborting the whole optimization.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OptDiagnostics {
+    /// Candidate edges discarded because their evaluation produced a
+    /// non-finite score or an unusable solve.
+    pub skipped_candidates: usize,
+    /// Candidates whose solve needed the escalation ladder but still
+    /// yielded a usable (if degraded) score.
+    pub degraded_evaluations: usize,
+    /// Human-readable notes on each skip / early stop.
+    pub notes: Vec<String>,
+}
+
+impl OptDiagnostics {
+    /// Whether every evaluation was clean.
+    pub fn clean(&self) -> bool {
+        self.skipped_candidates == 0 && self.degraded_evaluations == 0
+    }
+}
 
 /// How CHMINRECC / MINRECC score a candidate edge.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -96,9 +118,26 @@ pub fn far_min_recc(
     s: usize,
     params: &OptimizeParams,
 ) -> Result<Vec<Edge>, OptError> {
+    far_min_recc_with_diagnostics(g, k, s, params).map(|(plan, _)| plan)
+}
+
+/// [`far_min_recc`] returning the robustness diagnostics alongside the
+/// plan: nodes with non-finite distance estimates are skipped and counted
+/// rather than poisoning the argmax.
+///
+/// # Errors
+///
+/// Invalid source/budget, disconnected graph, or sketch failure.
+pub fn far_min_recc_with_diagnostics(
+    g: &Graph,
+    k: usize,
+    s: usize,
+    params: &OptimizeParams,
+) -> Result<(Vec<Edge>, OptDiagnostics), OptError> {
     validate(g, s, k, g.non_edges_at(s).len())?;
     let mut current = g.clone();
     let mut plan = Vec::with_capacity(k);
+    let mut diag = OptDiagnostics::default();
     for iter in 0..k {
         let sketch = ResistanceSketch::build(&current, &params.iteration_sketch(iter))?;
         let dists = sketch.resistances_from(s);
@@ -107,19 +146,28 @@ pub fn far_min_recc(
             if u == s || current.has_edge(s, u) {
                 continue;
             }
+            if !r.is_finite() {
+                diag.skipped_candidates += 1;
+                continue;
+            }
             match best {
                 Some((_, br)) if r <= br => {}
                 _ => best = Some((u, r)),
             }
         }
         let Some((u, _)) = best else {
-            break; // source saturated: every node already adjacent
+            if dists.iter().any(|r| !r.is_finite()) {
+                diag.notes.push(format!(
+                    "iteration {iter}: no finite distance estimate among candidates; stopping"
+                ));
+            }
+            break; // source saturated (or nothing evaluable)
         };
         let e = Edge::new(s, u);
         current = current.with_edge(e)?;
         plan.push(e);
     }
-    Ok(plan)
+    Ok((plan, diag))
 }
 
 /// CENMINRECC (Algorithm 6) for REMD: one sketch, then a k-center
@@ -135,9 +183,25 @@ pub fn cen_min_recc(
     s: usize,
     params: &OptimizeParams,
 ) -> Result<Vec<Edge>, OptError> {
+    cen_min_recc_with_diagnostics(g, k, s, params).map(|(plan, _)| plan)
+}
+
+/// [`cen_min_recc`] returning the robustness diagnostics alongside the
+/// plan.
+///
+/// # Errors
+///
+/// Invalid source/budget, disconnected graph, or sketch failure.
+pub fn cen_min_recc_with_diagnostics(
+    g: &Graph,
+    k: usize,
+    s: usize,
+    params: &OptimizeParams,
+) -> Result<(Vec<Edge>, OptDiagnostics), OptError> {
     validate(g, s, k, g.non_edges_at(s).len())?;
     let sketch = ResistanceSketch::build(g, &params.sketch)?;
     let n = g.node_count();
+    let mut diag = OptDiagnostics::default();
     // min_r[u] = estimated resistance from u to the chosen center set T.
     let mut min_r = sketch.resistances_from(s);
     let mut in_t = vec![false; n];
@@ -148,6 +212,10 @@ pub fn cen_min_recc(
         let mut best: Option<(usize, f64)> = None;
         for u in 0..n {
             if in_t[u] || current.has_edge(s, u) {
+                continue;
+            }
+            if !min_r[u].is_finite() {
+                diag.skipped_candidates += 1;
                 continue;
             }
             match best {
@@ -167,7 +235,7 @@ pub fn cen_min_recc(
             }
         }
     }
-    Ok(plan)
+    Ok((plan, diag))
 }
 
 /// CHMINRECC (Algorithm 8) for REM: per iteration, sketch the current
@@ -183,6 +251,22 @@ pub fn ch_min_recc(
     s: usize,
     params: &OptimizeParams,
 ) -> Result<Vec<Edge>, OptError> {
+    hull_guided(g, k, s, params, false).map(|(plan, _)| plan)
+}
+
+/// [`ch_min_recc`] returning the robustness diagnostics alongside the
+/// plan: failed candidate evaluations are skipped and counted instead of
+/// aborting.
+///
+/// # Errors
+///
+/// Invalid source/budget, disconnected graph, or sketch failure.
+pub fn ch_min_recc_with_diagnostics(
+    g: &Graph,
+    k: usize,
+    s: usize,
+    params: &OptimizeParams,
+) -> Result<(Vec<Edge>, OptDiagnostics), OptError> {
     hull_guided(g, k, s, params, false)
 }
 
@@ -198,6 +282,20 @@ pub fn min_recc(
     s: usize,
     params: &OptimizeParams,
 ) -> Result<Vec<Edge>, OptError> {
+    hull_guided(g, k, s, params, true).map(|(plan, _)| plan)
+}
+
+/// [`min_recc`] returning the robustness diagnostics alongside the plan.
+///
+/// # Errors
+///
+/// Invalid source/budget, disconnected graph, or sketch failure.
+pub fn min_recc_with_diagnostics(
+    g: &Graph,
+    k: usize,
+    s: usize,
+    params: &OptimizeParams,
+) -> Result<(Vec<Edge>, OptDiagnostics), OptError> {
     hull_guided(g, k, s, params, true)
 }
 
@@ -207,14 +305,14 @@ fn hull_guided(
     s: usize,
     params: &OptimizeParams,
     include_direct: bool,
-) -> Result<Vec<Edge>, OptError> {
+) -> Result<(Vec<Edge>, OptDiagnostics), OptError> {
     let n = g.node_count();
     // REM candidate count without materializing Q2.
     let q2 = n * (n - 1) / 2 - g.edge_count();
     validate(g, s, k, q2)?;
     let mut current = g.clone();
     let mut plan: Vec<Edge> = Vec::with_capacity(k);
-    let mut ws = CgWorkspace::new(n);
+    let mut diag = OptDiagnostics::default();
     for iter in 0..k {
         let sketch_params = params.iteration_sketch(iter);
         let sketch = ResistanceSketch::build(&current, &sketch_params)?;
@@ -255,11 +353,12 @@ fn hull_guided(
         }
         if candidates.is_empty() {
             // Degenerate hull (e.g. all boundary pairs already connected):
-            // fall back to the farthest node overall.
+            // fall back to the farthest node overall. `total_cmp` plus the
+            // finite filter keeps NaN estimates out of the argmax.
             let dists = sketch.resistances_from(s);
             let fallback = (0..n)
-                .filter(|&u| u != s && !current.has_edge(s, u))
-                .max_by(|&a, &b| dists[a].partial_cmp(&dists[b]).expect("finite"));
+                .filter(|&u| u != s && !current.has_edge(s, u) && dists[u].is_finite())
+                .max_by(|&a, &b| dists[a].total_cmp(&dists[b]));
             let Some(u) = fallback else { break };
             let e = Edge::new(s, u);
             current = current.with_edge(e)?;
@@ -269,36 +368,81 @@ fn hull_guided(
         let chosen = match params.eval {
             EvalMode::ShermanMorrison => {
                 let base = sketch.resistances_from(s);
+                let op = LaplacianOp::new(&current);
+                let mut solver =
+                    RecoverySolver::new(op, sketch_params.cg, sketch_params.recovery);
                 let mut best: Option<(Edge, f64)> = None;
                 for &e in &candidates {
-                    let (w, r_uv) =
-                        solve_edge_potentials(&current, e, sketch_params.cg, &mut ws);
+                    let (w, r_uv, report) = solve_edge_potentials_recovering(&mut solver, e);
+                    if !report.converged {
+                        diag.skipped_candidates += 1;
+                        diag.notes.push(format!(
+                            "iteration {iter}: skipped candidate {e:?} \
+                             (solve residual {:.3e})",
+                            report.final_residual
+                        ));
+                        continue;
+                    }
+                    if report.escalated() {
+                        diag.degraded_evaluations += 1;
+                    }
                     let (c_after, _) = updated_eccentricity(&base, &w, r_uv, s);
+                    if !c_after.is_finite() {
+                        diag.skipped_candidates += 1;
+                        diag.notes.push(format!(
+                            "iteration {iter}: skipped candidate {e:?} (non-finite score)"
+                        ));
+                        continue;
+                    }
                     match best {
                         Some((_, bc)) if c_after >= bc => {}
                         _ => best = Some((e, c_after)),
                     }
                 }
-                best.expect("non-empty candidates").0
+                best.map(|(e, _)| e)
             }
             EvalMode::Faithful => {
                 let mut best: Option<(Edge, f64)> = None;
                 for &e in &candidates {
                     let augmented = current.with_edge(e)?;
-                    let probe = ResistanceSketch::build(&augmented, &sketch_params)?;
+                    let probe = match ResistanceSketch::build(&augmented, &sketch_params) {
+                        Ok(p) => p,
+                        Err(err) => {
+                            diag.skipped_candidates += 1;
+                            diag.notes.push(format!(
+                                "iteration {iter}: skipped candidate {e:?} (probe sketch: {err})"
+                            ));
+                            continue;
+                        }
+                    };
                     let (c_after, _) = probe.eccentricity(s);
+                    if !c_after.is_finite() {
+                        diag.skipped_candidates += 1;
+                        diag.notes.push(format!(
+                            "iteration {iter}: skipped candidate {e:?} (non-finite score)"
+                        ));
+                        continue;
+                    }
                     match best {
                         Some((_, bc)) if c_after >= bc => {}
                         _ => best = Some((e, c_after)),
                     }
                 }
-                best.expect("non-empty candidates").0
+                best.map(|(e, _)| e)
             }
+        };
+        let Some(chosen) = chosen else {
+            diag.notes.push(format!(
+                "iteration {iter}: every candidate evaluation failed; stopping early \
+                 with {} of {k} edges planned",
+                plan.len()
+            ));
+            break;
         };
         current = current.with_edge(chosen)?;
         plan.push(chosen);
     }
-    Ok(plan)
+    Ok((plan, diag))
 }
 
 #[cfg(test)]
@@ -422,6 +566,62 @@ mod tests {
         assert!(far_min_recc(&g, 0, 0, &params()).is_err());
         assert!(cen_min_recc(&g, 1, 9, &params()).is_err());
         assert!(ch_min_recc(&g, 0, 0, &params()).is_err());
+    }
+
+    #[test]
+    fn healthy_run_has_clean_diagnostics() {
+        let g = barabasi_albert(30, 2, 5);
+        let (plan, diag) = min_recc_with_diagnostics(&g, 2, 1, &params()).unwrap();
+        assert_eq!(plan.len(), 2);
+        assert!(diag.clean(), "diagnostics: {diag:?}");
+    }
+
+    #[test]
+    fn starved_solves_are_skipped_not_fatal() {
+        // CG capped at one iteration with the whole escalation ladder
+        // disabled: no candidate solve can converge, so the heuristic must
+        // stop early with recorded skips — never panic or return Err.
+        let g = line(20);
+        let crippled = OptimizeParams {
+            sketch: SketchParams {
+                epsilon: 0.3,
+                seed: 11,
+                cg: reecc_linalg::CgOptions { max_iterations: Some(1), ..Default::default() },
+                recovery: reecc_linalg::RecoveryPolicy {
+                    tolerance_relaxation: 1.0,
+                    iteration_boost: 1,
+                    dense_fallback_max_nodes: 0,
+                },
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let (plan, diag) = min_recc_with_diagnostics(&g, 2, 0, &crippled).unwrap();
+        assert!(plan.len() < 2, "no candidate should survive evaluation: {plan:?}");
+        assert!(!diag.clean());
+        assert!(diag.skipped_candidates > 0);
+        assert!(!diag.notes.is_empty());
+    }
+
+    #[test]
+    fn ladder_rescues_starved_solves_when_enabled() {
+        // Same starved CG budget but the default ladder (dense fallback on):
+        // every candidate is still evaluable, the plan completes, and the
+        // degraded evaluations are counted.
+        let g = line(20);
+        let starved = OptimizeParams {
+            sketch: SketchParams {
+                epsilon: 0.3,
+                seed: 11,
+                cg: reecc_linalg::CgOptions { max_iterations: Some(1), ..Default::default() },
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let (plan, diag) = min_recc_with_diagnostics(&g, 2, 0, &starved).unwrap();
+        assert_eq!(plan.len(), 2, "diagnostics: {diag:?}");
+        assert_eq!(diag.skipped_candidates, 0, "diagnostics: {diag:?}");
+        assert!(diag.degraded_evaluations > 0);
     }
 
     #[test]

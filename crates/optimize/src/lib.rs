@@ -38,7 +38,9 @@ pub mod trajectory;
 pub use baselines::{de_rem, de_remd, path_rem, path_remd, pk_rem, pk_remd};
 pub use exhaustive::opt_exhaustive;
 pub use heuristics::{
-    cen_min_recc, ch_min_recc, far_min_recc, min_recc, EvalMode, OptimizeParams,
+    cen_min_recc, cen_min_recc_with_diagnostics, ch_min_recc, ch_min_recc_with_diagnostics,
+    far_min_recc, far_min_recc_with_diagnostics, min_recc, min_recc_with_diagnostics, EvalMode,
+    OptDiagnostics, OptimizeParams,
 };
 pub use problem::Problem;
 pub use simple::simple_greedy;

@@ -21,7 +21,7 @@ fn main() {
         Some(path) => {
             let file = std::fs::File::open(&path)
                 .unwrap_or_else(|e| panic!("cannot open {path}: {e}"));
-            let (g, _) = reecc_graph::io::read_edge_list(std::io::BufReader::new(file))
+            let (g, _) = reecc_graph::io::read_edge_list_lenient(std::io::BufReader::new(file))
                 .unwrap_or_else(|e| panic!("cannot parse {path}: {e}"));
             println!("loaded {path}: n = {}, m = {}", g.node_count(), g.edge_count());
             g

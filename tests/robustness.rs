@@ -1,0 +1,228 @@
+//! Robustness integration tests: the fault-tolerant solve ladder and the
+//! query degradation policy, exercised on pathological graphs (barbell,
+//! star with extreme degree spread, long path) and under injected faults
+//! (artificially starved CG iteration budgets).
+//!
+//! The contract under test, end to end:
+//!
+//! * `ResistanceSketch::build` repairs or reports every poisoned row —
+//!   the diagnostics partition (`converged_first_try + repaired +
+//!   unconverged + dropped = rows`) always holds;
+//! * `fast_query` answers within `(1 ± ε)` of `exact_query` **or**
+//!   explicitly reports degradation and names the answering tier;
+//! * no silently out-of-bound (non-finite, negative, > n−1) resistance
+//!   estimates ever escape, and nothing panics.
+
+use proptest::prelude::*;
+use reecc_core::query::{exact_query, fast_query_with_policy, DegradationPolicy, QueryTier};
+use reecc_core::{fast_query, ResistanceSketch, SketchParams};
+use reecc_graph::generators::{barbell, line, star};
+use reecc_graph::Graph;
+use reecc_hull::approxch::ApproxChOptions;
+use reecc_linalg::cg::CgOptions;
+use reecc_linalg::RecoveryPolicy;
+
+const EPS: f64 = 0.3;
+
+/// The pathological family: dumbbell/barbell (two dense lobes joined by a
+/// long thin bridge — tiny spectral gap), star (extreme degree spread:
+/// hub degree n−1 vs leaf degree 1), and path (worst-case CG iteration
+/// count per unit of diameter).
+fn pathological(idx: usize, size: usize) -> Graph {
+    match idx % 3 {
+        0 => barbell(size.clamp(3, 8), size + 4),
+        1 => star(3 * size + 4),
+        _ => line(2 * size + 2),
+    }
+}
+
+fn starved_cg(cap: usize) -> CgOptions {
+    CgOptions { max_iterations: Some(cap), ..CgOptions::default() }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// With a starved CG budget but the full escalation ladder available,
+    /// every estimate is either within the (1 ± ε) band of the exact
+    /// answer or the query explicitly reports that it degraded.
+    #[test]
+    fn fast_query_is_accurate_or_honest(
+        idx in 0usize..3,
+        size in 4usize..12,
+        seed in 0u64..500,
+        cap in 1usize..4,
+    ) {
+        let g = pathological(idx, size);
+        let n = g.node_count();
+        let params = SketchParams {
+            epsilon: EPS,
+            seed,
+            cg: starved_cg(cap),
+            ..Default::default()
+        };
+        let q: Vec<usize> = (0..n).collect();
+        let out = fast_query_with_policy(
+            &g,
+            &q,
+            &params,
+            ApproxChOptions::default(),
+            DegradationPolicy::default(),
+        ).unwrap();
+        let exact = exact_query(&g, &q).unwrap();
+        for (&(i, c_hat), &(_, c)) in out.results.iter().zip(&exact) {
+            prop_assert!(c_hat.is_finite(), "node {}: non-finite estimate", i);
+            prop_assert!(
+                c_hat >= 0.0 && c_hat <= (n as f64) * (1.0 + EPS),
+                "node {}: estimate {} out of bounds for an n = {} graph",
+                i, c_hat, n
+            );
+            let within = (c_hat - c).abs() <= EPS * c + 1e-9;
+            prop_assert!(
+                within || out.diagnostics.degraded(),
+                "node {}: {} vs exact {} with no degradation report ({:?})",
+                i, c_hat, c, out.diagnostics
+            );
+        }
+    }
+
+    /// The sketch row-repair accounting is a partition of the rows, on
+    /// every pathological graph and every starvation level.
+    #[test]
+    fn sketch_diagnostics_partition_rows(
+        idx in 0usize..3,
+        size in 4usize..12,
+        seed in 0u64..500,
+        cap in 1usize..6,
+    ) {
+        let g = pathological(idx, size);
+        let params = SketchParams {
+            epsilon: EPS,
+            seed,
+            cg: starved_cg(cap),
+            ..Default::default()
+        };
+        let sketch = ResistanceSketch::build(&g, &params).unwrap();
+        let d = sketch.diagnostics();
+        prop_assert_eq!(
+            d.converged_first_try + d.repaired.len() + d.unconverged.len() + d.dropped.len(),
+            d.rows,
+            "row accounting must partition: {:?}", d
+        );
+        // Fallback rows are a subset of repaired rows.
+        for r in &d.fallback_rows {
+            prop_assert!(d.repaired.contains(r));
+        }
+        // All surviving estimates stay finite regardless of repair outcome.
+        for v in 0..g.node_count() {
+            prop_assert!(sketch.eccentricity(v).0.is_finite());
+        }
+    }
+}
+
+/// The injected-fault acceptance test: cap the CG iteration budget at one
+/// iteration. With the default policy the ladder must repair every row and
+/// `fast_query` must stay at the Fast tier with correct answers. With the
+/// relaxation rungs and the dense fallback disabled, each graph must either
+/// still be rescued by the preconditioned rung alone (the star is — SGS is
+/// nearly an exact solve there) and stay accurate at Fast, or visibly
+/// degrade with the answering tier named and the answers still correct via
+/// the Exact tier. At least one graph in the family must exercise the
+/// degraded path.
+#[test]
+fn injected_fault_is_repaired_or_reported() {
+    let mut saw_degraded = false;
+    for (name, g) in [("barbell", barbell(5, 12)), ("star", star(24)), ("line", line(30))] {
+        let n = g.node_count();
+        let q: Vec<usize> = (0..n).collect();
+        let exact = exact_query(&g, &q).unwrap();
+
+        // Default policy: the ladder repairs every row.
+        let repaired_params =
+            SketchParams { epsilon: EPS, seed: 7, cg: starved_cg(1), ..Default::default() };
+        let sketch = ResistanceSketch::build(&g, &repaired_params).unwrap();
+        let d = sketch.diagnostics();
+        assert_eq!(
+            d.converged_first_try + d.repaired.len() + d.unconverged.len() + d.dropped.len(),
+            d.rows,
+            "{name}: every row must be repaired or reported"
+        );
+        assert!(d.fully_converged(), "{name}: default ladder must repair all rows: {d:?}");
+        let out = fast_query(&g, &q, &repaired_params).unwrap();
+        assert_eq!(out.diagnostics.tier, QueryTier::Fast, "{name}");
+        for (&(i, c_hat), &(_, c)) in out.results.iter().zip(&exact) {
+            assert!(
+                (c_hat - c).abs() <= EPS * c + 1e-9,
+                "{name} node {i}: repaired fast {c_hat} vs exact {c}"
+            );
+        }
+
+        // Fallback disabled: degradation must be visible, answers correct
+        // via the Exact tier.
+        let crippled_params = SketchParams {
+            recovery: RecoveryPolicy {
+                tolerance_relaxation: 1.0,
+                iteration_boost: 1,
+                dense_fallback_max_nodes: 0,
+            },
+            ..repaired_params
+        };
+        let out = fast_query_with_policy(
+            &g,
+            &q,
+            &crippled_params,
+            ApproxChOptions::default(),
+            DegradationPolicy::default(),
+        )
+        .unwrap();
+        if out.diagnostics.degraded() {
+            saw_degraded = true;
+            assert_eq!(out.diagnostics.tier, QueryTier::Exact, "{name}: {:?}", out.diagnostics);
+            assert!(!out.diagnostics.notes.is_empty(), "{name}: notes must explain the tier");
+            for (&(i, c_hat), &(_, c)) in out.results.iter().zip(&exact) {
+                assert!(
+                    (c_hat - c).abs() < 1e-9,
+                    "{name} node {i}: exact-tier answer {c_hat} vs {c}"
+                );
+            }
+        } else {
+            // The preconditioned rung alone repaired every row; the
+            // estimates must then honour the ordinary accuracy contract.
+            assert_eq!(out.diagnostics.tier, QueryTier::Fast, "{name}: {:?}", out.diagnostics);
+            for (&(i, c_hat), &(_, c)) in out.results.iter().zip(&exact) {
+                assert!(
+                    (c_hat - c).abs() <= EPS * c + 1e-9,
+                    "{name} node {i}: preconditioner-rescued {c_hat} vs exact {c}"
+                );
+            }
+        }
+    }
+    assert!(saw_degraded, "no graph in the family exercised the degraded path");
+}
+
+/// Degradation without an exact escape hatch: the query must still return
+/// finite answers, name the Approx tier, and keep the hull empty.
+#[test]
+fn degradation_without_exact_guard_stays_finite() {
+    let g = line(40);
+    let q: Vec<usize> = (0..40).collect();
+    let params = SketchParams {
+        epsilon: EPS,
+        seed: 3,
+        cg: starved_cg(1),
+        recovery: RecoveryPolicy {
+            tolerance_relaxation: 1.0,
+            iteration_boost: 1,
+            dense_fallback_max_nodes: 0,
+        },
+        ..Default::default()
+    };
+    let policy = DegradationPolicy { exact_fallback_max_nodes: 0, ..Default::default() };
+    let out =
+        fast_query_with_policy(&g, &q, &params, ApproxChOptions::default(), policy).unwrap();
+    assert_eq!(out.diagnostics.tier, QueryTier::Approx, "{:?}", out.diagnostics);
+    assert!(out.hull.is_empty());
+    for &(_, c_hat) in &out.results {
+        assert!(c_hat.is_finite());
+    }
+}

@@ -1,0 +1,178 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements just enough of the criterion 0.5 API for this workspace's
+//! benches to compile and run without crates.io access. Each benchmark
+//! executes its routine a handful of times and prints the median wall-clock
+//! time — smoke-test numbers, not statistics. When invoked by `cargo test`
+//! (which passes `--test` to `harness = false` targets) benchmarks run one
+//! iteration each, so bench code stays compile- and run-checked in CI.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Whether the process was started by the test runner (`--test` flag).
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+/// Benchmark identifier, mirroring `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{function}/{parameter}") }
+    }
+
+    /// A parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+/// Passed to benchmark closures; `iter` times the routine.
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: u32,
+    median: Duration,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly and record the median duration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let mut samples = Vec::with_capacity(self.iterations as usize);
+        for _ in 0..self.iterations {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            samples.push(start.elapsed());
+        }
+        samples.sort_unstable();
+        self.median = samples[samples.len() / 2];
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    iterations: u32,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for API compatibility; the stub ignores sample counts.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stub ignores time budgets.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    fn run(&mut self, label: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher { iterations: self.iterations, median: Duration::ZERO };
+        f(&mut b);
+        println!("bench {}/{}: median {:?}", self.name, label, b.median);
+    }
+
+    /// Benchmark a routine under `id`.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnOnce(&mut Bencher)) {
+        self.run(&id.to_string(), f);
+    }
+
+    /// Benchmark a routine against a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) {
+        let label = id.label.clone();
+        self.run(&label, |b| f(b, input));
+    }
+
+    /// End the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    iterations: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { iterations: if test_mode() { 1 } else { 5 } }
+    }
+}
+
+impl Criterion {
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into(), iterations: self.iterations }
+    }
+
+    /// Benchmark a routine outside any group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let mut group = self.benchmark_group("");
+        group.bench_function(name, f);
+        self
+    }
+}
+
+/// Re-export of `std::hint::black_box`, mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Define a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Define `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_api_runs_closures() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        let mut ran = 0;
+        group.bench_function("f", |b| {
+            b.iter(|| ran += 1);
+        });
+        group.bench_with_input(BenchmarkId::new("h", 3), &3usize, |b, &n| {
+            b.iter(|| black_box(n * 2));
+        });
+        group.finish();
+        assert!(ran >= 1);
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("f", 10).label, "f/10");
+        assert_eq!(BenchmarkId::from_parameter(0.5).label, "0.5");
+    }
+}

@@ -1,0 +1,323 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! this vendored crate implements exactly the subset of the `rand 0.8` API
+//! the workspace uses: [`rngs::StdRng`] seeded via
+//! [`SeedableRng::seed_from_u64`], the [`Rng`] extension methods
+//! (`gen_range`, `gen_bool`, `gen`), and [`seq::SliceRandom::shuffle`].
+//!
+//! The generator is xoshiro256** seeded through splitmix64 — not the same
+//! stream as upstream `StdRng` (ChaCha12), but every consumer in this
+//! workspace only relies on determinism-per-seed and uniformity, never on
+//! a specific stream.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level source of random 64-bit words. Object safe.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types producible by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draw one value from the generator.
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for usize {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for bool {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits -> [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Types with uniform sampling over an interval, mirroring `rand`'s
+/// `SampleUniform`.
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)`. Panics if the interval is empty.
+    fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+
+    /// Uniform draw from `[lo, hi]`. Panics if the interval is empty.
+    fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                assert!(lo < hi, "cannot sample empty range");
+                let span = (hi as u128).wrapping_sub(lo as u128) as u64;
+                // Multiply-shift bounded sampling (Lemire); the slight bias
+                // at 64-bit spans is irrelevant for test workloads.
+                let word = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                lo.wrapping_add(word as $t)
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                assert!(lo <= hi, "cannot sample empty range");
+                if lo == <$t>::MIN && hi == <$t>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                Self::sample_half_open(lo, hi + 1, rng)
+            }
+        }
+    )*};
+}
+
+int_sample_uniform!(usize, u64, u32, i64, i32);
+
+macro_rules! float_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                assert!(lo < hi, "cannot sample empty range");
+                let u = f64::draw(rng) as $t;
+                lo + u * (hi - lo)
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                assert!(lo <= hi, "cannot sample empty range");
+                let u = f64::draw(rng) as $t;
+                lo + u * (hi - lo)
+            }
+        }
+    )*};
+}
+
+float_sample_uniform!(f64, f32);
+
+/// Ranges accepted by [`Rng::gen_range`], mirroring `rand`'s `SampleRange`.
+pub trait SampleRange<T> {
+    /// Draw a value uniformly from the range.
+    ///
+    /// Panics on an empty range, like upstream `rand`.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+/// High-level convenience methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Uniform draw from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be a probability");
+        f64::draw(self) < p
+    }
+
+    /// Draw a value of type `T` from the standard distribution.
+    #[allow(clippy::should_implement_trait)]
+    fn gen<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator, the workspace's stand-in for
+    /// `rand::rngs::StdRng`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence-related extensions.
+
+    use super::{Rng, RngCore};
+
+    /// Slice extensions, mirroring `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+
+        /// Uniformly random element, `None` on an empty slice.
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn determinism_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.gen::<u64>()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.gen::<u64>()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.gen::<u64>()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let i = rng.gen_range(2usize..9);
+            assert!((2..9).contains(&i));
+            let j = rng.gen_range(1usize..=4);
+            assert!((1..=4).contains(&j));
+            let x = rng.gen_range(-1.5f64..2.5);
+            assert!((-1.5..2.5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uniformity_is_rough_but_present() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[rng.gen_range(0usize..10)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "bucket count {c} out of band");
+        }
+    }
+
+    #[test]
+    fn gen_bool_probability() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "p=0.25 gave {hits}/10000");
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert!(v.choose(&mut rng).is_some());
+        let empty: [usize; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}
