@@ -1,0 +1,101 @@
+//! Criterion benches for the serving subsystem's reason to exist: the
+//! sketch build dominates every cold query, so a server that pays it once
+//! (snapshot load + `QueryEngine` reuse) should answer a 64-query batch
+//! orders of magnitude faster than 64 cold `fast_query` calls.
+//!
+//! Also measured separately: the snapshot decode itself (bytes →
+//! validated engine) and the warm per-query cost, so regressions in the
+//! codec or the query path are visible on their own.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use reecc_core::{fast_query, QueryEngine, SketchParams};
+use reecc_graph::generators::barabasi_albert;
+use reecc_serve::SketchSnapshot;
+
+const N: usize = 100;
+const QUERIES: usize = 64;
+
+fn params() -> SketchParams {
+    // A scaled-down sketch keeps the cold side of the comparison fast
+    // enough to iterate; both sides use the same params so the ratio is
+    // what matters.
+    SketchParams { epsilon: 0.4, dimension_scale: 0.1, seed: 17, ..Default::default() }
+}
+
+fn query_nodes() -> Vec<usize> {
+    (0..QUERIES).map(|i| (i * 31) % N).collect()
+}
+
+fn bench_cold_vs_snapshot(c: &mut Criterion) {
+    let g = barabasi_albert(N, 2, 23);
+    let params = params();
+    let nodes = query_nodes();
+    let snapshot_bytes =
+        SketchSnapshot::from_engine(&QueryEngine::build(&g, &params).unwrap()).to_bytes();
+
+    let mut group = c.benchmark_group("serving_batch64");
+    group.sample_size(10);
+    // Cold: every query pays the full sketch + hull build, as a one-shot
+    // CLI invocation would.
+    group.bench_function("cold_fast_query_per_call", |bench| {
+        bench.iter(|| {
+            let mut total = 0.0;
+            for &v in &nodes {
+                total += fast_query(&g, &[v], &params).unwrap().results[0].1;
+            }
+            total
+        });
+    });
+    // Warm: decode the snapshot once, then reuse the engine for the batch.
+    group.bench_function("snapshot_load_then_reuse", |bench| {
+        bench.iter(|| {
+            let engine =
+                SketchSnapshot::from_bytes(&snapshot_bytes).unwrap().into_engine(&g).unwrap();
+            let mut total = 0.0;
+            for &v in &nodes {
+                total += engine.eccentricity(v).value;
+            }
+            total
+        });
+    });
+    group.finish();
+}
+
+fn bench_snapshot_codec(c: &mut Criterion) {
+    let g = barabasi_albert(N, 2, 23);
+    let engine = QueryEngine::build(&g, &params()).unwrap();
+    let snap = SketchSnapshot::from_engine(&engine);
+    let bytes = snap.to_bytes();
+
+    let mut group = c.benchmark_group("snapshot_codec");
+    group.bench_function("encode", |bench| bench.iter(|| snap.to_bytes()));
+    group.bench_function("decode_validate", |bench| {
+        bench.iter(|| SketchSnapshot::from_bytes(&bytes).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_warm_query(c: &mut Criterion) {
+    let g = barabasi_albert(N, 2, 23);
+    let engine = QueryEngine::build(&g, &params()).unwrap();
+
+    let mut group = c.benchmark_group("warm_engine");
+    group.bench_function("eccentricity", |bench| {
+        let mut v = 0;
+        bench.iter(|| {
+            v = (v + 31) % N;
+            engine.eccentricity(v)
+        });
+    });
+    group.bench_function("resistance", |bench| {
+        let mut v = 1;
+        bench.iter(|| {
+            v = (v + 31) % N;
+            engine.resistance(0, v.max(1))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cold_vs_snapshot, bench_snapshot_codec, bench_warm_query);
+criterion_main!(benches);

@@ -2,8 +2,10 @@
 //! so the whole surface is unit-testable without capturing stdout.
 
 use std::fmt::Write as _;
+use std::path::Path;
+use std::sync::Arc;
 
-use reecc_core::{approx_query, exact_query, fast_query, SketchParams};
+use reecc_core::{approx_query, exact_query, fast_query, QueryEngine, SketchParams};
 use reecc_datasets::{preprocess, Dataset, Tier};
 use reecc_distfit::burr::fit_burr_mle;
 use reecc_distfit::summary::Summary;
@@ -16,6 +18,9 @@ use reecc_opt::{
     cen_min_recc_with_diagnostics, ch_min_recc_with_diagnostics, exact_trajectory,
     far_min_recc_with_diagnostics, min_recc_with_diagnostics, simple_greedy, OptimizeParams,
     Problem,
+};
+use reecc_serve::{
+    serve_pipe, PoolConfig, ServePool, SketchSnapshot, SnapshotError, TcpServer,
 };
 
 use crate::parse::{parse_command, Algorithm, Command, Model, QueryMethod};
@@ -39,6 +44,13 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         }
         Command::Generate { model, n, param, seed, dataset, out } => {
             generate(model, n, param, seed, dataset.as_deref(), out.as_deref())
+        }
+        Command::SketchBuild { path, out, eps, seed, lcc } => {
+            sketch_build(&path, &out, eps, seed, lcc)
+        }
+        Command::SketchInfo { path } => sketch_info(&path),
+        Command::Serve { path, snapshot, addr, threads, queue_depth, eps, lcc } => {
+            serve(&path, snapshot.as_deref(), addr.as_deref(), threads, queue_depth, eps, lcc)
         }
     }
 }
@@ -261,6 +273,104 @@ fn optimize(
     Ok(out)
 }
 
+/// Map snapshot failures onto the CLI error taxonomy: filesystem trouble
+/// is i/o (exit 3); a corrupt, incompatible, or mismatched snapshot is an
+/// input problem like a bad graph file (exit 4).
+fn snapshot_err(e: SnapshotError) -> CliError {
+    match e {
+        SnapshotError::Io(m) => CliError::Io(m),
+        other => CliError::Graph(other.to_string()),
+    }
+}
+
+fn sketch_build(
+    path: &str,
+    out: &str,
+    eps: f64,
+    seed: u64,
+    lcc: bool,
+) -> Result<String, CliError> {
+    let g = load_graph(path, lcc)?;
+    let params = SketchParams { epsilon: eps, seed, ..Default::default() };
+    let engine =
+        QueryEngine::build(&g, &params).map_err(|e| CliError::Compute(e.to_string()))?;
+    let snap = SketchSnapshot::from_engine(&engine);
+    let bytes = snap.save(Path::new(out)).map_err(snapshot_err)?;
+    Ok(format!(
+        "built sketch for {path}: n = {}, d = {}, hull l = {}, eps = {eps}\n\
+         wrote {bytes} bytes to {out} (fingerprint {:#018x})\n",
+        g.node_count(),
+        engine.sketch().dimension(),
+        engine.hull_size(),
+        snap.fingerprint,
+    ))
+}
+
+fn sketch_info(path: &str) -> Result<String, CliError> {
+    let snap = SketchSnapshot::load(Path::new(path)).map_err(snapshot_err)?;
+    Ok(snap.summary())
+}
+
+fn serve(
+    path: &str,
+    snapshot: Option<&str>,
+    addr: Option<&str>,
+    threads: usize,
+    queue_depth: usize,
+    eps: f64,
+    lcc: bool,
+) -> Result<String, CliError> {
+    let g = load_graph(path, lcc)?;
+    let engine = match snapshot {
+        Some(snap_path) => {
+            let snap = SketchSnapshot::load(Path::new(snap_path)).map_err(snapshot_err)?;
+            eprintln!("loaded snapshot {snap_path}: {}", snap.summary());
+            snap.into_engine(&g).map_err(snapshot_err)?
+        }
+        None => {
+            eprintln!("no snapshot given; building sketch for {path} (eps = {eps}) ...");
+            QueryEngine::build(&g, &SketchParams { epsilon: eps, ..Default::default() })
+                .map_err(|e| CliError::Compute(e.to_string()))?
+        }
+    };
+    let pool = ServePool::new(
+        Arc::new(engine),
+        PoolConfig { threads, queue_depth, ..Default::default() },
+    );
+    // All serving chatter goes to stderr: stdout is the response stream in
+    // pipe mode and must stay machine-parseable NDJSON.
+    match addr {
+        Some(addr) => {
+            let pool = Arc::new(pool);
+            let server = TcpServer::start(Arc::clone(&pool), addr)
+                .map_err(|e| CliError::Io(format!("cannot listen on {addr}: {e}")))?;
+            eprintln!(
+                "serving {path} on {} ({threads} worker(s), queue depth {queue_depth}, \
+                 tier {})",
+                server.local_addr(),
+                pool.tier_name()
+            );
+            server
+                .run_forever()
+                .map_err(|e| CliError::Io(format!("accept loop failed: {e}")))?;
+            Ok(String::new())
+        }
+        None => {
+            eprintln!(
+                "serving {path} on stdin/stdout ({threads} worker(s), queue depth \
+                 {queue_depth}, tier {}); one JSON request per line",
+                pool.tier_name()
+            );
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            let stats = serve_pipe(&pool, stdin.lock(), stdout.lock())
+                .map_err(|e| CliError::Io(format!("session failed: {e}")))?;
+            eprintln!("session done: {} request(s), {} error(s)", stats.requests, stats.errors);
+            Ok(String::new())
+        }
+    }
+}
+
 fn generate(
     model: Model,
     n: usize,
@@ -478,6 +588,49 @@ mod tests {
         let path = temp_file("dirty.txt", "0 1\n1 0\n1 1\n1 2\n2 0\n");
         let out = run_str(&["analyze", &path]).unwrap();
         assert!(out.contains("n = 3, m = 3"), "{out}");
+    }
+
+    #[test]
+    fn sketch_build_then_info_round_trips() {
+        let graph = temp_graph();
+        let dir = std::env::temp_dir().join(format!("reecc-cli-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("g.sketch").to_string_lossy().into_owned();
+        let built = run_str(&["sketch-build", &graph, "--out", &snap, "--eps", "0.5"]).unwrap();
+        assert!(built.contains("n = 60"), "{built}");
+        assert!(built.contains("fingerprint 0x"), "{built}");
+        let info = run_str(&["sketch-info", &snap]).unwrap();
+        assert!(info.contains("n = 60"), "{info}");
+        assert!(info.contains("eps = 0.5"), "{info}");
+    }
+
+    #[test]
+    fn sketch_info_classifies_missing_vs_corrupt() {
+        let err = run_str(&["sketch-info", "/no/such/snapshot"]).unwrap_err();
+        assert_eq!(err.exit_code(), 3, "missing file is i/o: {err:?}");
+        let path = temp_file("notasnapshot.bin", "this is not a snapshot at all");
+        let err = run_str(&["sketch-info", &path]).unwrap_err();
+        assert!(matches!(err, CliError::Graph(_)), "{err:?}");
+        assert_eq!(err.exit_code(), 4);
+    }
+
+    #[test]
+    fn serve_rejects_snapshot_for_a_different_graph() {
+        let graph = temp_graph();
+        let dir = std::env::temp_dir().join(format!("reecc-cli-mm-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // Snapshot built against a *different* graph.
+        let other = dir.join("other.txt");
+        let g = barabasi_albert(50, 3, 77);
+        let mut buf = Vec::new();
+        reecc_graph::io::write_edge_list(&g, &mut buf).unwrap();
+        std::fs::write(&other, buf).unwrap();
+        let snap = dir.join("other.sketch").to_string_lossy().into_owned();
+        run_str(&["sketch-build", &other.to_string_lossy(), "--out", &snap, "--eps", "0.5"])
+            .unwrap();
+        let err = run_str(&["serve", &graph, "--snapshot", &snap]).unwrap_err();
+        assert!(matches!(err, CliError::Graph(_)), "{err:?}");
+        assert!(err.to_string().contains("fingerprint"), "{err}");
     }
 
     #[test]

@@ -70,10 +70,19 @@ USAGE:
                  [--algorithm simple|far|cen|ch|minrecc] [--problem remd|rem] [--eps X] [--lcc]
   reecc generate --model ba|hk|ws|er|powerlaw|dataset --n N [--param P] [--seed S]
                  [--dataset NAME] [--out FILE]
+  reecc sketch-build <edges.txt> --out SNAPSHOT [--eps X] [--seed S] [--lcc]
+  reecc sketch-info  <SNAPSHOT>
+  reecc serve    <edges.txt> [--snapshot SNAPSHOT] [--addr HOST:PORT]
+                 [--threads N] [--queue-depth D] [--eps X] [--lcc]
 
 Edge-list format: one `u v` pair per line; `#`/`%` comments; ids remapped densely.
 Disconnected inputs are rejected; pass --lcc to analyze the largest connected
 component instead.
+
+`serve` answers newline-delimited JSON requests (`{\"op\":\"ecc\",\"v\":17}`; ops
+ecc | res | radius | diameter | whatif-edge | stats) over stdin/stdout, or over
+TCP with --addr. With --snapshot it reuses a sketch built by `sketch-build`
+instead of rebuilding; the snapshot must match the graph (fingerprint-checked).
 
 Exit codes: 0 ok, 2 usage, 3 i/o, 4 graph input, 5 computation.
 ";

@@ -58,6 +58,43 @@ pub enum Command {
         /// Output path; stdout when absent.
         out: Option<String>,
     },
+    /// `reecc sketch-build <file> --out SNAP [--eps X] [--seed S] [--lcc]`
+    SketchBuild {
+        /// Edge-list path.
+        path: String,
+        /// Snapshot output path.
+        out: String,
+        /// Sketch epsilon.
+        eps: f64,
+        /// Sketch RNG seed.
+        seed: u64,
+        /// Reduce disconnected inputs to their largest connected component.
+        lcc: bool,
+    },
+    /// `reecc sketch-info <snapshot>`
+    SketchInfo {
+        /// Snapshot path.
+        path: String,
+    },
+    /// `reecc serve <file> [--snapshot SNAP] [--addr HOST:PORT] [--threads N]
+    /// [--queue-depth D] [--eps X] [--lcc]`
+    Serve {
+        /// Edge-list path (always needed: snapshots store a fingerprint,
+        /// not the graph).
+        path: String,
+        /// Snapshot to load instead of building a sketch.
+        snapshot: Option<String>,
+        /// TCP listen address; pipe mode (stdin/stdout) when absent.
+        addr: Option<String>,
+        /// Worker threads.
+        threads: usize,
+        /// Bounded queue depth (backpressure threshold).
+        queue_depth: usize,
+        /// Sketch epsilon (ignored with `--snapshot`).
+        eps: f64,
+        /// Reduce disconnected inputs to their largest connected component.
+        lcc: bool,
+    },
     /// `reecc help` / `--help`.
     Help,
 }
@@ -321,6 +358,84 @@ pub fn parse_command(args: &[String]) -> Result<Command, CliError> {
                 out: flags.get("out").map(|s| s.to_string()),
             })
         }
+        "sketch-build" => {
+            let flags = Flags::parse(rest)?;
+            flags.reject_unknown(&["out", "eps", "seed", "lcc"])?;
+            if flags.has("help") {
+                return Ok(Command::Help);
+            }
+            let path = flags
+                .positional
+                .first()
+                .ok_or_else(|| CliError::Usage("sketch-build needs an edge-list path".into()))?
+                .clone();
+            let out = flags
+                .get("out")
+                .ok_or_else(|| CliError::Usage("sketch-build needs --out SNAPSHOT".into()))?
+                .to_string();
+            let seed: u64 = match flags.get("seed") {
+                None => 42,
+                Some(v) => {
+                    v.parse().map_err(|_| CliError::Usage(format!("bad --seed value {v:?}")))?
+                }
+            };
+            Ok(Command::SketchBuild {
+                path,
+                out,
+                eps: parse_eps(&flags)?,
+                seed,
+                lcc: flags.has("lcc"),
+            })
+        }
+        "sketch-info" => {
+            let flags = Flags::parse(rest)?;
+            flags.reject_unknown(&[])?;
+            if flags.has("help") {
+                return Ok(Command::Help);
+            }
+            let path = flags
+                .positional
+                .first()
+                .ok_or_else(|| CliError::Usage("sketch-info needs a snapshot path".into()))?
+                .clone();
+            Ok(Command::SketchInfo { path })
+        }
+        "serve" => {
+            let flags = Flags::parse(rest)?;
+            flags.reject_unknown(&[
+                "snapshot",
+                "addr",
+                "threads",
+                "queue-depth",
+                "eps",
+                "lcc",
+            ])?;
+            if flags.has("help") {
+                return Ok(Command::Help);
+            }
+            let path = flags
+                .positional
+                .first()
+                .ok_or_else(|| CliError::Usage("serve needs an edge-list path".into()))?
+                .clone();
+            let threads = parse_usize(&flags, "threads")?.unwrap_or(4);
+            if threads == 0 {
+                return Err(CliError::Usage("--threads must be at least 1".into()));
+            }
+            let queue_depth = parse_usize(&flags, "queue-depth")?.unwrap_or(256);
+            if queue_depth == 0 {
+                return Err(CliError::Usage("--queue-depth must be at least 1".into()));
+            }
+            Ok(Command::Serve {
+                path,
+                snapshot: flags.get("snapshot").map(|s| s.to_string()),
+                addr: flags.get("addr").map(|s| s.to_string()),
+                threads,
+                queue_depth,
+                eps: parse_eps(&flags)?,
+                lcc: flags.has("lcc"),
+            })
+        }
         other => Err(CliError::Usage(format!("unknown subcommand {other:?}"))),
     }
 }
@@ -414,6 +529,85 @@ mod tests {
         assert!(matches!(
             cmd,
             Command::Generate { model: Model::DatasetAnalog, dataset: Some(_), .. }
+        ));
+    }
+
+    #[test]
+    fn sketch_build_and_info() {
+        let cmd = parse(&[
+            "sketch-build",
+            "g.txt",
+            "--out",
+            "g.sketch",
+            "--eps",
+            "0.4",
+            "--seed",
+            "7",
+        ])
+        .unwrap();
+        match cmd {
+            Command::SketchBuild { path, out, eps, seed, lcc } => {
+                assert_eq!((path.as_str(), out.as_str()), ("g.txt", "g.sketch"));
+                assert!((eps - 0.4).abs() < 1e-12);
+                assert_eq!((seed, lcc), (7, false));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            parse(&["sketch-info", "g.sketch"]).unwrap(),
+            Command::SketchInfo { path: "g.sketch".into() }
+        );
+    }
+
+    #[test]
+    fn serve_defaults_to_pipe_mode() {
+        let cmd = parse(&["serve", "g.txt"]).unwrap();
+        match cmd {
+            Command::Serve { path, snapshot, addr, threads, queue_depth, .. } => {
+                assert_eq!(path, "g.txt");
+                assert_eq!((snapshot, addr), (None, None));
+                assert_eq!((threads, queue_depth), (4, 256));
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse(&[
+            "serve",
+            "g.txt",
+            "--snapshot",
+            "g.sketch",
+            "--addr",
+            "127.0.0.1:7878",
+            "--threads",
+            "8",
+            "--queue-depth",
+            "32",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Serve { snapshot, addr, threads, queue_depth, .. } => {
+                assert_eq!(snapshot.as_deref(), Some("g.sketch"));
+                assert_eq!(addr.as_deref(), Some("127.0.0.1:7878"));
+                assert_eq!((threads, queue_depth), (8, 32));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_and_sketch_usage_errors() {
+        assert!(matches!(parse(&["sketch-build", "g.txt"]), Err(CliError::Usage(_))));
+        assert!(matches!(parse(&["sketch-info"]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse(&["serve", "g.txt", "--threads", "0"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&["serve", "g.txt", "--queue-depth", "0"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&["sketch-info", "g.sketch", "--bogus", "1"]),
+            Err(CliError::Usage(_))
         ));
     }
 

@@ -42,6 +42,13 @@ pub struct EccentricityAnswer {
 }
 
 /// A built sketch + hull pair answering repeated queries.
+///
+/// The engine is a plain owned value with no interior mutability: every
+/// query method takes `&self` and allocates any scratch space it needs
+/// locally (see [`Self::eccentricity_after_edge`]). It is therefore
+/// `Send + Sync` and intended to be shared across worker threads behind
+/// an `Arc` — the `reecc-serve` thread pool does exactly that. A
+/// compile-time assertion below keeps that property from regressing.
 #[derive(Debug, Clone)]
 pub struct QueryEngine {
     graph: Graph,
@@ -84,9 +91,54 @@ impl QueryEngine {
         Ok(QueryEngine { graph: g.clone(), sketch, hull, params: *params })
     }
 
+    /// Reassemble an engine from previously exported parts — the snapshot
+    /// restore path in `reecc-serve`, which persists the sketch rows and
+    /// hull so a service restart skips the `m·log n·ε⁻²` rebuild. The
+    /// parts are validated against each other: the sketch must cover the
+    /// graph's node set and the hull must be a non-empty in-range vertex
+    /// list.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Numerical`] / [`CoreError::NodeOutOfRange`] naming the
+    /// inconsistency.
+    pub fn from_parts(
+        graph: Graph,
+        sketch: ResistanceSketch,
+        hull: Vec<usize>,
+        params: SketchParams,
+    ) -> Result<Self, CoreError> {
+        let n = graph.node_count();
+        if sketch.node_count() != n {
+            return Err(CoreError::Numerical(format!(
+                "sketch covers {} nodes but the graph has {n}",
+                sketch.node_count()
+            )));
+        }
+        if hull.is_empty() {
+            return Err(CoreError::Numerical(
+                "hull boundary must contain at least one vertex".to_string(),
+            ));
+        }
+        if let Some(&bad) = hull.iter().find(|&&v| v >= n) {
+            return Err(CoreError::NodeOutOfRange { node: bad, n });
+        }
+        Ok(QueryEngine { graph, sketch, hull, params })
+    }
+
     /// The underlying graph.
     pub fn graph(&self) -> &Graph {
         &self.graph
+    }
+
+    /// The hull boundary subset `Ŝ` (node ids, in selection order).
+    pub fn hull(&self) -> &[usize] {
+        &self.hull
+    }
+
+    /// The sketch parameters the engine was built with.
+    pub fn params(&self) -> &SketchParams {
+        &self.params
     }
 
     /// The sketch (for callers that need raw embeddings).
@@ -161,6 +213,19 @@ impl QueryEngine {
     }
 }
 
+/// Compile-time audit that the long-lived shared types stay thread-safe
+/// (`Arc<QueryEngine>` across a worker pool). If a future change
+/// introduces interior mutability (`Cell`, `Rc`, raw pointers), this
+/// stops compiling rather than failing at a distant call site.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<QueryEngine>();
+    assert_send_sync::<ResistanceSketch>();
+    assert_send_sync::<crate::sketch::SketchDiagnostics>();
+    assert_send_sync::<SketchParams>();
+    assert_send_sync::<EccentricityAnswer>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,6 +287,53 @@ mod tests {
         assert_eq!(engine.graph().edge_count(), 10);
         let after = engine.eccentricity(0).value;
         assert!(after < before, "commit must reduce the end node's eccentricity");
+    }
+
+    #[test]
+    fn from_parts_roundtrips_a_built_engine() {
+        let g = barabasi_albert(50, 2, 11);
+        let built = QueryEngine::build(&g, &params()).unwrap();
+        let rebuilt = QueryEngine::from_parts(
+            built.graph().clone(),
+            built.sketch().clone(),
+            built.hull().to_vec(),
+            *built.params(),
+        )
+        .unwrap();
+        for v in [0usize, 17, 49] {
+            assert_eq!(built.eccentricity(v), rebuilt.eccentricity(v));
+            assert_eq!(built.resistance(v, 23), rebuilt.resistance(v, 23));
+        }
+        assert_eq!(built.hull(), rebuilt.hull());
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistent_parts() {
+        let g = barabasi_albert(30, 2, 11);
+        let built = QueryEngine::build(&g, &params()).unwrap();
+        // Sketch over a different node count.
+        let small = line(10);
+        let err = QueryEngine::from_parts(
+            small,
+            built.sketch().clone(),
+            built.hull().to_vec(),
+            *built.params(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::Numerical(_)), "{err:?}");
+        // Empty hull.
+        assert!(QueryEngine::from_parts(
+            g.clone(),
+            built.sketch().clone(),
+            Vec::new(),
+            *built.params(),
+        )
+        .is_err());
+        // Out-of-range hull vertex.
+        assert!(matches!(
+            QueryEngine::from_parts(g, built.sketch().clone(), vec![99], *built.params()),
+            Err(CoreError::NodeOutOfRange { node: 99, .. })
+        ));
     }
 
     #[test]

@@ -261,6 +261,62 @@ impl ResistanceSketch {
         Ok(ResistanceSketch { rows, n, epsilon: params.epsilon, converged_rows, diagnostics })
     }
 
+    /// Reassemble a sketch from previously exported parts (the snapshot
+    /// path in `reecc-serve`): the surviving rows, the graph order, the
+    /// `ε` the build targeted, and the build diagnostics. The invariants
+    /// [`Self::build`] guarantees are re-checked rather than trusted:
+    /// every row must have length `n` and be finite, and the diagnostics
+    /// partition must account for exactly the rows present
+    /// (`rows.len() + dropped = diagnostics.rows`).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Numerical`] naming the violated invariant.
+    pub fn from_parts(
+        rows: Vec<Vec<f64>>,
+        node_count: usize,
+        epsilon: f64,
+        diagnostics: SketchDiagnostics,
+    ) -> Result<Self, CoreError> {
+        if node_count == 0 {
+            return Err(CoreError::EmptyGraph);
+        }
+        if !(epsilon > 0.0 && epsilon < 1.0) {
+            return Err(CoreError::Numerical(format!(
+                "sketch epsilon must be in (0, 1), got {epsilon}"
+            )));
+        }
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != node_count {
+                return Err(CoreError::Numerical(format!(
+                    "sketch row {i} has length {} but the graph has {node_count} nodes",
+                    row.len()
+                )));
+            }
+            if !row_is_finite(row) {
+                return Err(CoreError::Numerical(format!(
+                    "sketch row {i} contains non-finite entries"
+                )));
+            }
+        }
+        if rows.len() + diagnostics.dropped.len() != diagnostics.rows {
+            return Err(CoreError::Numerical(format!(
+                "diagnostics claim {} rows with {} dropped, but {} rows are present",
+                diagnostics.rows,
+                diagnostics.dropped.len(),
+                rows.len()
+            )));
+        }
+        let degraded = diagnostics.unconverged.len() + diagnostics.dropped.len();
+        if degraded > diagnostics.rows {
+            return Err(CoreError::Numerical(
+                "diagnostics report more degraded rows than exist".to_string(),
+            ));
+        }
+        let converged_rows = diagnostics.rows - degraded;
+        Ok(ResistanceSketch { rows, n: node_count, epsilon, converged_rows, diagnostics })
+    }
+
     /// Sketch dimension `d`.
     pub fn dimension(&self) -> usize {
         self.rows.len()
@@ -507,6 +563,49 @@ mod tests {
         // Pairwise embedding distances are the resistance estimates.
         let d2 = ps.dist_sq(2, 7);
         assert!((d2 - sk.resistance(2, 7)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_parts_roundtrips_and_validates() {
+        let g = barabasi_albert(30, 2, 5);
+        let sk = ResistanceSketch::build(&g, &params(0.4)).unwrap();
+        let back = ResistanceSketch::from_parts(
+            sk.rows().to_vec(),
+            sk.node_count(),
+            sk.epsilon(),
+            sk.diagnostics().clone(),
+        )
+        .unwrap();
+        assert_eq!(back.rows(), sk.rows());
+        assert_eq!(back.converged_rows(), sk.converged_rows());
+        assert_eq!(back.resistance(0, 29), sk.resistance(0, 29));
+        // Row length mismatch.
+        assert!(ResistanceSketch::from_parts(
+            vec![vec![0.0; 7]],
+            30,
+            0.4,
+            SketchDiagnostics { rows: 1, ..Default::default() }
+        )
+        .is_err());
+        // Diagnostics that do not account for the rows present.
+        assert!(ResistanceSketch::from_parts(
+            sk.rows().to_vec(),
+            sk.node_count(),
+            sk.epsilon(),
+            SketchDiagnostics { rows: sk.dimension() + 3, ..sk.diagnostics().clone() }
+        )
+        .is_err());
+        // Bad epsilon and non-finite rows.
+        assert!(
+            ResistanceSketch::from_parts(vec![], 5, 1.5, SketchDiagnostics::default()).is_err()
+        );
+        assert!(ResistanceSketch::from_parts(
+            vec![vec![f64::NAN; 5]],
+            5,
+            0.3,
+            SketchDiagnostics { rows: 1, ..Default::default() }
+        )
+        .is_err());
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! Representation-level graph fingerprinting.
+//!
+//! [`fingerprint`] hashes a graph's canonical representation — the node
+//! count plus the sorted edge list — with 64-bit FNV-1a. Two [`Graph`]
+//! values compare equal iff they fingerprint equal, which is exactly the
+//! contract snapshot validation needs: a sketch built for one edge list
+//! must not be replayed against another.
+//!
+//! The fingerprint is **representation-level, not isomorphism-level**:
+//! relabeling the nodes of a graph generally changes the fingerprint even
+//! though the relabeled graph is isomorphic to the original. That is
+//! deliberate — sketch rows and hull ids are tied to concrete node ids, so
+//! an isomorphic-but-relabeled graph genuinely cannot reuse them.
+
+use crate::Graph;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An incremental 64-bit FNV-1a hasher over byte slices.
+///
+/// Small, dependency-free, and stable across platforms (the caller feeds
+/// explicitly little-endian bytes) — shared by [`fingerprint`] and the
+/// snapshot checksum in `reecc-serve`.
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+}
+
+impl Fnv1a {
+    /// Start a fresh hash at the FNV offset basis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorb `bytes`.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// The representation-level fingerprint of `g`: FNV-1a over the node
+/// count, edge count, and every canonical edge `(u, v)` in sorted order.
+///
+/// Equal graphs (same `n`, same edge set) always agree; distinct edge
+/// lists collide only with the usual 64-bit hash probability. See the
+/// module docs for why isomorphic relabelings intentionally differ.
+pub fn fingerprint(g: &Graph) -> u64 {
+    let mut h = Fnv1a::new();
+    h.update(&(g.node_count() as u64).to_le_bytes());
+    h.update(&(g.edge_count() as u64).to_le_bytes());
+    for e in g.edges() {
+        h.update(&(e.u as u64).to_le_bytes());
+        h.update(&(e.v as u64).to_le_bytes());
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{barabasi_albert, cycle, line};
+    use crate::Edge;
+
+    #[test]
+    fn equal_graphs_fingerprint_equal() {
+        let a = barabasi_albert(40, 2, 7);
+        let b = barabasi_albert(40, 2, 7);
+        assert_eq!(a, b);
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn edge_changes_change_the_fingerprint() {
+        let g = line(10);
+        let grown = g.with_edge(Edge::new(0, 9)).unwrap();
+        assert_ne!(fingerprint(&g), fingerprint(&grown));
+    }
+
+    #[test]
+    fn node_count_is_hashed_even_with_identical_edges() {
+        // Same edge list, one extra isolated node: different graphs,
+        // different fingerprints.
+        let small = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        let padded = Graph::from_edges(4, [(0, 1), (1, 2)]).unwrap();
+        assert_ne!(fingerprint(&small), fingerprint(&padded));
+    }
+
+    #[test]
+    fn isomorphic_relabel_is_not_identical_fingerprint() {
+        // The path 0-1-2 relabeled by swapping nodes 0 and 1 is isomorphic
+        // but has a different canonical edge list, hence a different
+        // fingerprint: the fingerprint is representation-level.
+        let path = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        let relabeled = Graph::from_edges(3, [(1, 0), (0, 2)]).unwrap();
+        assert_ne!(path, relabeled);
+        assert_ne!(fingerprint(&path), fingerprint(&relabeled));
+    }
+
+    #[test]
+    fn fingerprint_is_stable_across_builders() {
+        // The same edge set reached through different input orders and
+        // duplicates is the same graph, so the same fingerprint.
+        let a = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let b = Graph::from_edges(5, [(3, 4), (2, 1), (1, 0), (4, 3), (2, 3)]).unwrap();
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn fnv1a_incremental_matches_one_shot() {
+        let mut a = Fnv1a::new();
+        a.update(b"hello ");
+        a.update(b"world");
+        let mut b = Fnv1a::new();
+        b.update(b"hello world");
+        assert_eq!(a.finish(), b.finish());
+        assert_ne!(Fnv1a::new().finish(), a.finish());
+    }
+
+    #[test]
+    fn cycle_fingerprints_differ_by_order() {
+        assert_ne!(fingerprint(&cycle(10)), fingerprint(&cycle(11)));
+    }
+}

@@ -10,6 +10,8 @@
 //!   O(deg) neighbor iteration.
 //! * [`GraphBuilder`] — incremental construction with duplicate-edge and
 //!   self-loop removal.
+//! * [`fingerprint`] — representation-level FNV-1a graph fingerprints
+//!   (snapshot validation in the serving layer).
 //! * [`generators`] — deterministic and seeded random graph families (line,
 //!   cycle, star, complete, grid, trees, barbells, Erdős–Rényi,
 //!   Barabási–Albert, Watts–Strogatz, Holme–Kim).
@@ -34,6 +36,7 @@
 
 pub mod builder;
 pub mod connectivity;
+pub mod fingerprint;
 pub mod generators;
 pub mod graph;
 pub mod io;
@@ -44,6 +47,7 @@ pub mod stats;
 pub mod traversal;
 
 pub use builder::GraphBuilder;
+pub use fingerprint::fingerprint;
 pub use graph::{Edge, Graph, NodeId};
 
 /// Errors produced while constructing or loading graphs.

@@ -1,0 +1,243 @@
+//! A sharded LRU result cache for query answers.
+//!
+//! Keys carry the graph fingerprint, so a cache can never serve answers
+//! computed for a different graph (a restarted server with a new snapshot
+//! simply misses). Sharding keeps lock contention bounded: each key hashes
+//! to one of `shards` independently locked maps, so concurrent workers
+//! only collide when they touch the same shard.
+//!
+//! Recency is tracked with a per-shard monotonic tick; eviction removes
+//! the smallest tick. That makes eviction `O(shard size)` — with the
+//! default 512-entry shards this is a few hundred comparisons on the rare
+//! full-shard insert, which profiles far below one CG solve. The usual
+//! linked-list LRU would buy `O(1)` eviction at the cost of unsafe code or
+//! index juggling; not worth it at these sizes.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// What a cached query is keyed on: the op, its arguments, and the graph
+/// fingerprint the answer was computed against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CacheKey {
+    /// `ecc` of a node.
+    Ecc(u64, usize),
+    /// `res` between an (ordered) pair.
+    Res(u64, usize, usize),
+    /// Graph radius.
+    Radius(u64),
+    /// Graph diameter.
+    Diameter(u64),
+    /// What-if eccentricity of `s` after adding `{u, v}` (ordered).
+    WhatIf(u64, usize, usize, usize),
+}
+
+/// A cached scalar answer plus the node realizing it (unused for `res`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CachedAnswer {
+    /// The scalar answer.
+    pub value: f64,
+    /// The realizing node (farthest node, center, …; 0 when meaningless).
+    pub node: usize,
+}
+
+#[derive(Debug)]
+struct Shard {
+    map: HashMap<CacheKey, (u64, CachedAnswer)>,
+    tick: u64,
+    capacity: usize,
+}
+
+impl Shard {
+    fn touch(&mut self, key: &CacheKey) -> Option<CachedAnswer> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|slot| {
+            slot.0 = tick;
+            slot.1
+        })
+    }
+
+    fn insert(&mut self, key: CacheKey, answer: CachedAnswer) -> bool {
+        self.tick += 1;
+        let tick = self.tick;
+        let mut evicted = false;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            if let Some(oldest) = self.map.iter().min_by_key(|(_, (t, _))| *t).map(|(k, _)| *k)
+            {
+                self.map.remove(&oldest);
+                evicted = true;
+            }
+        }
+        self.map.insert(key, (tick, answer));
+        evicted
+    }
+}
+
+/// Counters exported by [`ShardedLru::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries displaced by capacity pressure.
+    pub evictions: u64,
+    /// Entries currently resident (across all shards).
+    pub entries: usize,
+}
+
+/// The sharded LRU cache.
+#[derive(Debug)]
+pub struct ShardedLru {
+    shards: Vec<Mutex<Shard>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ShardedLru {
+    /// A cache holding up to `capacity` entries split across `shards`
+    /// independently locked shards (both clamped to at least 1).
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard = capacity.max(1).div_ceil(shards);
+        ShardedLru {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        map: HashMap::new(),
+                        tick: 0,
+                        capacity: per_shard.max(1),
+                    })
+                })
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<Shard> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Look up `key`, refreshing its recency on a hit.
+    pub fn get(&self, key: &CacheKey) -> Option<CachedAnswer> {
+        let hit = self.shard(key).lock().expect("cache shard poisoned").touch(key);
+        match hit {
+            Some(answer) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(answer)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) an answer.
+    pub fn insert(&self, key: CacheKey, answer: CachedAnswer) {
+        let evicted =
+            self.shard(&key).lock().expect("cache shard poisoned").insert(key, answer);
+        if evicted {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| s.lock().expect("cache shard poisoned").map.len())
+                .sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FP: u64 = 0xfeed;
+
+    #[test]
+    fn get_after_insert_hits() {
+        let cache = ShardedLru::new(64, 4);
+        let key = CacheKey::Ecc(FP, 7);
+        assert_eq!(cache.get(&key), None);
+        cache.insert(key, CachedAnswer { value: 2.5, node: 3 });
+        assert_eq!(cache.get(&key), Some(CachedAnswer { value: 2.5, node: 3 }));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn fingerprint_partitions_the_key_space() {
+        let cache = ShardedLru::new(64, 4);
+        cache.insert(CacheKey::Ecc(1, 0), CachedAnswer { value: 1.0, node: 0 });
+        assert_eq!(cache.get(&CacheKey::Ecc(2, 0)), None);
+        assert!(cache.get(&CacheKey::Ecc(1, 0)).is_some());
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        // One shard so the LRU order is globally observable.
+        let cache = ShardedLru::new(2, 1);
+        let (a, b, c) = (CacheKey::Ecc(FP, 1), CacheKey::Ecc(FP, 2), CacheKey::Ecc(FP, 3));
+        cache.insert(a, CachedAnswer { value: 1.0, node: 0 });
+        cache.insert(b, CachedAnswer { value: 2.0, node: 0 });
+        // Touch `a` so `b` is the LRU entry, then overflow.
+        assert!(cache.get(&a).is_some());
+        cache.insert(c, CachedAnswer { value: 3.0, node: 0 });
+        assert!(cache.get(&a).is_some(), "recently used entry must survive");
+        assert_eq!(cache.get(&b), None, "LRU entry must be evicted");
+        assert!(cache.get(&c).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn reinserting_an_existing_key_does_not_evict() {
+        let cache = ShardedLru::new(2, 1);
+        let a = CacheKey::Radius(FP);
+        cache.insert(a, CachedAnswer { value: 1.0, node: 0 });
+        cache.insert(CacheKey::Diameter(FP), CachedAnswer { value: 2.0, node: 0 });
+        cache.insert(a, CachedAnswer { value: 1.5, node: 4 });
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.get(&a).unwrap().value, 1.5);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe_and_consistent() {
+        let cache = std::sync::Arc::new(ShardedLru::new(1024, 8));
+        let handles: Vec<_> = (0..8u64)
+            .map(|t| {
+                let cache = std::sync::Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    for i in 0..200usize {
+                        let key = CacheKey::Res(FP, i % 50, (i + t as usize) % 50);
+                        cache.insert(key, CachedAnswer { value: i as f64, node: 0 });
+                        let _ = cache.get(&key);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(cache.stats().entries <= 1024);
+        assert!(cache.stats().hits > 0);
+    }
+}

@@ -1,0 +1,467 @@
+//! A minimal JSON value parser and printer.
+//!
+//! The workspace builds offline (no serde), and the serve protocol needs
+//! only the plain JSON value grammar: objects, arrays, strings with the
+//! standard escapes, `f64` numbers, booleans, and null. This module
+//! implements exactly that, with byte offsets in every parse error so a
+//! malformed request line can be diagnosed from the wire.
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (always held as `f64`).
+    Num(f64),
+    /// A string (escapes resolved).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object as an ordered key–value list (duplicate keys keep the
+    /// first occurrence on lookup).
+    Obj(Vec<(String, Json)>),
+}
+
+/// A parse failure: what went wrong and the byte offset it went wrong at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Parse a complete JSON document (trailing whitespace allowed,
+    /// trailing garbage rejected).
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError`] with the offending byte offset.
+    pub fn parse(input: &str) -> Result<Json, JsonError> {
+        let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after JSON value"));
+        }
+        Ok(value)
+    }
+
+    /// Object field lookup (`None` for non-objects and missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is a number that is one
+    /// (rejects fractional, negative, and unsafely large values).
+    pub fn as_usize(&self) -> Option<usize> {
+        let x = self.as_f64()?;
+        if x.fract() != 0.0 || !(0.0..=9.007_199_254_740_992e15).contains(&x) {
+            return None;
+        }
+        Some(x as usize)
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Render to compact JSON text (no whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(x) => render_number(*x, out),
+            Json::Str(s) => render_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_string(k, out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Render a number the way JSON expects: integers without a fraction,
+/// everything else in Rust's shortest-roundtrip form. Non-finite values
+/// (which JSON cannot express) degrade to `null`.
+fn render_number(x: f64, out: &mut String) {
+    use std::fmt::Write as _;
+    if !x.is_finite() {
+        out.push_str("null");
+    } else if x.fract() == 0.0 && x.abs() < 9.0e15 {
+        let _ = write!(out, "{}", x as i64);
+    } else {
+        let _ = write!(out, "{x}");
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError { offset: self.pos, message: message.to_string() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected {word:?}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.err(&format!("unexpected character {:?}", c as char))),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let code = self.hex4()?;
+                            // Surrogate pairs: read the low half if present.
+                            let c = if (0xd800..0xdc00).contains(&code) {
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')?;
+                                    let low = self.hex4()?;
+                                    let combined = 0x10000
+                                        + ((code - 0xd800) << 10)
+                                        + (low.wrapping_sub(0xdc00) & 0x3ff);
+                                    char::from_u32(combined)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(code)
+                            };
+                            out.push(c.unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                }
+                Some(_) => {
+                    // Advance over one UTF-8 scalar (input came from &str,
+                    // so boundaries are valid).
+                    let start = self.pos;
+                    let mut end = start + 1;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xc0) == 0x80 {
+                        end += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..end])
+                            .map_err(|_| self.err("invalid utf-8 in string"))?,
+                    );
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        text.parse::<f64>().map(Json::Num).map_err(|_| JsonError {
+            offset: start,
+            message: format!("invalid number {text:?}"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_request_grammar() {
+        let v = Json::parse(r#"{"op":"ecc","v":17}"#).unwrap();
+        assert_eq!(v.get("op").unwrap().as_str(), Some("ecc"));
+        assert_eq!(v.get("v").unwrap().as_usize(), Some(17));
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn parses_scalars_arrays_and_nesting() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("-2.5e2").unwrap(), Json::Num(-250.0));
+        let v = Json::parse(r#"{"a":[1,2,{"b":false}],"c":""}"#).unwrap();
+        match v.get("a").unwrap() {
+            Json::Arr(items) => assert_eq!(items.len(), 3),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(v.get("c").unwrap().as_str(), Some(""));
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let v = Json::parse(r#""line\nquote\" back\\ tab\t uA""#).unwrap();
+        assert_eq!(v.as_str(), Some("line\nquote\" back\\ tab\t uA"));
+        let rendered = Json::Str("a\"b\\c\nd\u{1}".to_string()).render();
+        assert_eq!(Json::parse(&rendered).unwrap().as_str(), Some("a\"b\\c\nd\u{1}"));
+    }
+
+    #[test]
+    fn surrogate_pair_decodes() {
+        let v = Json::parse(r#""😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("😀"));
+    }
+
+    #[test]
+    fn rejects_malformed_input_with_offsets() {
+        for bad in ["", "{", "{\"a\"}", "[1,]", "tru", "\"unterminated", "1 2", "{\"a\":}"] {
+            let err = Json::parse(bad).unwrap_err();
+            assert!(err.offset <= bad.len(), "{bad:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn as_usize_is_strict() {
+        assert_eq!(Json::parse("3").unwrap().as_usize(), Some(3));
+        assert_eq!(Json::parse("3.5").unwrap().as_usize(), None);
+        assert_eq!(Json::parse("-1").unwrap().as_usize(), None);
+        assert_eq!(Json::parse("\"3\"").unwrap().as_usize(), None);
+    }
+
+    #[test]
+    fn render_is_parseable_and_compact() {
+        let v = Json::Obj(vec![
+            ("ok".into(), Json::Bool(true)),
+            ("value".into(), Json::Num(1.25)),
+            ("n".into(), Json::Num(7.0)),
+            ("items".into(), Json::Arr(vec![Json::Null, Json::Str("x".into())])),
+        ]);
+        let text = v.render();
+        assert_eq!(text, r#"{"ok":true,"value":1.25,"n":7,"items":[null,"x"]}"#);
+        assert_eq!(Json::parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn non_finite_numbers_render_as_null() {
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn duplicate_keys_keep_first_on_lookup() {
+        let v = Json::parse(r#"{"a":1,"a":2}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_f64(), Some(1.0));
+    }
+}

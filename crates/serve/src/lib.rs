@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+//! # reecc-serve
+//!
+//! The query-serving subsystem: everything needed to run the resistance
+//! eccentricity engine as a long-lived service instead of a one-shot CLI
+//! invocation.
+//!
+//! The dominant cost of every query pipeline is building the APPROXER
+//! sketch (`m · log n · ε⁻²` CG solves). A service should pay it once:
+//!
+//! * [`snapshot`] — a versioned, checksummed binary format persisting the
+//!   sketch rows, hull boundary, and build diagnostics, keyed to the
+//!   graph by a representation-level fingerprint. Loading a snapshot
+//!   restores a [`reecc_core::QueryEngine`] in milliseconds.
+//! * [`pool`] — a hand-rolled worker thread pool (std::thread + mpsc)
+//!   around `Arc<QueryEngine>` with a bounded request queue, explicit
+//!   `overloaded` backpressure, per-request deadlines, and a sharded
+//!   LRU result cache.
+//! * [`protocol`] — newline-delimited JSON requests and responses
+//!   (`{"op":"ecc","v":17}`), every answer carrying the degradation tier
+//!   and timing.
+//! * [`server`] — session loops over stdin/stdout (pipe mode) and
+//!   `std::net::TcpListener` (socket mode, one thread per connection).
+//! * [`json`] — the minimal JSON value parser/printer the protocol uses
+//!   (the workspace is offline; no serde).
+//!
+//! ```
+//! use std::io::BufReader;
+//! use std::sync::Arc;
+//! use reecc_core::{QueryEngine, SketchParams};
+//! use reecc_graph::generators::barabasi_albert;
+//! use reecc_serve::pool::{PoolConfig, ServePool};
+//! use reecc_serve::server::serve_pipe;
+//!
+//! let g = barabasi_albert(60, 2, 7);
+//! let engine = QueryEngine::build(&g, &SketchParams::with_epsilon(0.4)).unwrap();
+//! let pool = ServePool::new(Arc::new(engine), PoolConfig::default());
+//! let input = b"{\"op\":\"ecc\",\"v\":0}\n{\"op\":\"stats\"}\n";
+//! let mut output = Vec::new();
+//! let stats = serve_pipe(&pool, BufReader::new(&input[..]), &mut output).unwrap();
+//! assert_eq!(stats.requests, 2);
+//! assert!(String::from_utf8(output).unwrap().contains("\"ok\":true"));
+//! ```
+
+pub mod cache;
+pub mod json;
+pub mod pool;
+pub mod protocol;
+pub mod server;
+pub mod snapshot;
+
+pub use pool::{PoolConfig, ServePool, SubmitError};
+pub use protocol::{ErrorKind, Request, RequestEnvelope, Response};
+pub use server::{serve_pipe, SessionStats, TcpServer};
+pub use snapshot::{SketchSnapshot, SnapshotError};

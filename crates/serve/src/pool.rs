@@ -1,0 +1,544 @@
+//! A hand-rolled worker thread pool around `Arc<QueryEngine>`.
+//!
+//! `std::thread` workers pull jobs from one bounded `mpsc::sync_channel`;
+//! the queue depth is the backpressure contract: when it is full,
+//! [`ServePool::submit`] returns [`SubmitError::Overloaded`] *immediately*
+//! instead of blocking the accepting thread — a loaded server degrades to
+//! fast explicit rejections, never to unbounded latency.
+//!
+//! Each job carries its enqueue time and an optional deadline; a worker
+//! that dequeues an already-expired job answers `deadline-exceeded`
+//! without touching the engine. Answers to pure queries are memoized in a
+//! sharded LRU cache keyed on (graph fingerprint, query), so hot keys cost
+//! one lock and one hash after the first computation.
+//!
+//! The degradation tier is decided once per pool from the sketch's build
+//! diagnostics, mirroring `fast_query_with_policy`: a sketch with too many
+//! degraded rows is not trusted to drive the hull shortcut, and every
+//! eccentricity query falls back to the full `O(n·d)` scan — reported on
+//! the wire as `"tier":"approx"`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use reecc_core::{DegradationPolicy, QueryEngine, QueryTier};
+use reecc_graph::{fingerprint, Edge};
+
+use crate::cache::{CacheKey, CachedAnswer, ShardedLru};
+use crate::protocol::{ErrorKind, Outcome, Request, RequestEnvelope, Response, StatsReport};
+
+/// Pool sizing and behavior knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolConfig {
+    /// Worker threads; `0` = use available parallelism (min 2).
+    pub threads: usize,
+    /// Bounded queue depth; submissions beyond it are rejected with
+    /// `overloaded` (clamped to at least 1).
+    pub queue_depth: usize,
+    /// Total result-cache capacity in entries.
+    pub cache_capacity: usize,
+    /// Number of independently locked cache shards.
+    pub cache_shards: usize,
+    /// Deadline applied to requests that do not carry their own.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            threads: 4,
+            queue_depth: 256,
+            cache_capacity: 4096,
+            cache_shards: 8,
+            default_deadline: None,
+        }
+    }
+}
+
+/// Why a submission was rejected at the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is full.
+    Overloaded {
+        /// The configured depth, for the error message.
+        depth: usize,
+    },
+    /// The pool has been shut down.
+    ShuttingDown,
+}
+
+struct Job {
+    env: RequestEnvelope,
+    enqueued: Instant,
+    deadline: Option<Instant>,
+    reply: Sender<Response>,
+}
+
+struct Shared {
+    engine: Arc<QueryEngine>,
+    fingerprint: u64,
+    cache: ShardedLru,
+    tier: QueryTier,
+    served: AtomicU64,
+    threads: usize,
+    queue_depth: usize,
+}
+
+/// The serving pool: workers, bounded queue, shared cache.
+pub struct ServePool {
+    tx: Option<SyncSender<Job>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    shared: Arc<Shared>,
+    default_deadline: Option<Duration>,
+}
+
+impl std::fmt::Debug for ServePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServePool")
+            .field("threads", &self.shared.threads)
+            .field("queue_depth", &self.shared.queue_depth)
+            .field("served", &self.shared.served.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl ServePool {
+    /// Spin up the workers for `engine`.
+    pub fn new(engine: Arc<QueryEngine>, config: PoolConfig) -> Self {
+        let threads = if config.threads == 0 {
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(2).max(2)
+        } else {
+            config.threads
+        };
+        let queue_depth = config.queue_depth.max(1);
+        // Mirror fast_query's hull-trust policy: a sketch with too many
+        // degraded rows answers by full scan instead of the hull.
+        let policy = DegradationPolicy::default();
+        let frac = engine.sketch().diagnostics().unconverged_fraction();
+        let tier = if frac > policy.max_unconverged_fraction {
+            QueryTier::Approx
+        } else {
+            QueryTier::Fast
+        };
+        let shared = Arc::new(Shared {
+            fingerprint: fingerprint(engine.graph()),
+            cache: ShardedLru::new(config.cache_capacity, config.cache_shards),
+            tier,
+            served: AtomicU64::new(0),
+            threads,
+            queue_depth,
+            engine,
+        });
+        let (tx, rx) = mpsc::sync_channel::<Job>(queue_depth);
+        let rx = Arc::new(Mutex::new(rx));
+        let default_deadline = config.default_deadline;
+        let workers = (0..threads)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("reecc-serve-{i}"))
+                    .spawn(move || worker_loop(&rx, &shared))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        ServePool { tx: Some(tx), workers, shared, default_deadline }
+    }
+
+    /// The pool's tier for eccentricity answers, as a wire string.
+    pub fn tier_name(&self) -> &'static str {
+        tier_name(self.shared.tier)
+    }
+
+    /// Enqueue a request without blocking. On success the response arrives
+    /// on the returned channel exactly once.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Overloaded`] when the bounded queue is full;
+    /// [`SubmitError::ShuttingDown`] after shutdown began.
+    pub fn submit(&self, env: RequestEnvelope) -> Result<Receiver<Response>, SubmitError> {
+        let Some(tx) = &self.tx else {
+            return Err(SubmitError::ShuttingDown);
+        };
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let now = Instant::now();
+        let deadline = match env.deadline_ms {
+            Some(ms) => Some(now + Duration::from_millis(ms)),
+            None => self.default_deadline.map(|d| now + d),
+        };
+        let job = Job { env, enqueued: now, deadline, reply: reply_tx };
+        match tx.try_send(job) {
+            Ok(()) => Ok(reply_rx),
+            Err(TrySendError::Full(_)) => {
+                Err(SubmitError::Overloaded { depth: self.shared.queue_depth })
+            }
+            Err(TrySendError::Disconnected(_)) => Err(SubmitError::ShuttingDown),
+        }
+    }
+
+    /// Submit and wait for the answer, mapping every rejection to an error
+    /// [`Response`] so callers always get one line per request.
+    pub fn run(&self, env: RequestEnvelope) -> Response {
+        let id = env.id;
+        let op = env.request.op_name();
+        match self.submit(env) {
+            Ok(rx) => rx.recv().unwrap_or_else(|_| {
+                Response::error(
+                    id,
+                    op,
+                    ErrorKind::Internal,
+                    "worker dropped the request (pool shutting down?)".to_string(),
+                )
+            }),
+            Err(SubmitError::Overloaded { depth }) => Response::error(
+                id,
+                op,
+                ErrorKind::Overloaded,
+                format!("request queue full (depth {depth}); retry later"),
+            ),
+            Err(SubmitError::ShuttingDown) => Response::error(
+                id,
+                op,
+                ErrorKind::Internal,
+                "pool is shutting down".to_string(),
+            ),
+        }
+    }
+
+    /// Requests answered so far (any outcome).
+    pub fn served(&self) -> u64 {
+        self.shared.served.load(Ordering::Relaxed)
+    }
+
+    /// The engine's graph fingerprint.
+    pub fn graph_fingerprint(&self) -> u64 {
+        self.shared.fingerprint
+    }
+}
+
+impl Drop for ServePool {
+    fn drop(&mut self) {
+        // Closing the channel wakes every worker out of recv; join so no
+        // in-flight reply is lost.
+        drop(self.tx.take());
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn tier_name(tier: QueryTier) -> &'static str {
+    match tier {
+        QueryTier::Fast => "fast",
+        QueryTier::Approx => "approx",
+        QueryTier::Exact => "exact",
+    }
+}
+
+fn worker_loop(rx: &Arc<Mutex<Receiver<Job>>>, shared: &Shared) {
+    loop {
+        // Hold the lock only for the blocking recv; execution runs
+        // unlocked so workers overlap on distinct jobs.
+        let job = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return,
+        };
+        let Ok(job) = job else {
+            return; // channel closed: shutdown
+        };
+        let started = Instant::now();
+        let queue_micros = started.duration_since(job.enqueued).as_micros() as u64;
+        let response = if job.deadline.is_some_and(|d| started > d) {
+            Response::error(
+                job.env.id,
+                job.env.request.op_name(),
+                ErrorKind::DeadlineExceeded,
+                format!("deadline expired after {queue_micros}us in queue"),
+            )
+        } else {
+            let (outcome, cached) = execute(shared, job.env.request);
+            let tier =
+                if matches!(outcome, Outcome::Error { .. }) { None } else { Some(shared.tier) };
+            Response {
+                id: job.env.id,
+                op: job.env.request.op_name(),
+                outcome,
+                tier: tier.map(tier_name),
+                cached,
+                compute_micros: started.elapsed().as_micros() as u64,
+                queue_micros,
+            }
+        };
+        shared.served.fetch_add(1, Ordering::Relaxed);
+        // A disappeared client is not an error; drop the reply.
+        let _ = job.reply.send(response);
+    }
+}
+
+fn ecc_answer(shared: &Shared, v: usize) -> CachedAnswer {
+    let ans = match shared.tier {
+        QueryTier::Fast => shared.engine.eccentricity(v),
+        _ => shared.engine.eccentricity_full_scan(v),
+    };
+    CachedAnswer { value: ans.value, node: ans.farthest }
+}
+
+/// Run one validated-or-rejected operation, consulting the cache first.
+fn execute(shared: &Shared, request: Request) -> (Outcome, bool) {
+    let n = shared.engine.graph().node_count();
+    let fp = shared.fingerprint;
+    let bad =
+        |message: String| (Outcome::Error { kind: ErrorKind::BadRequest, message }, false);
+    let check = |node: usize, name: &str| -> Option<String> {
+        (node >= n).then(|| format!("{name} = {node} out of range (graph has {n} nodes)"))
+    };
+    match request {
+        Request::Ecc { v } => {
+            if let Some(msg) = check(v, "v") {
+                return bad(msg);
+            }
+            let key = CacheKey::Ecc(fp, v);
+            if let Some(hit) = shared.cache.get(&key) {
+                return (Outcome::Ecc { value: hit.value, node: hit.node }, true);
+            }
+            let ans = ecc_answer(shared, v);
+            shared.cache.insert(key, ans);
+            (Outcome::Ecc { value: ans.value, node: ans.node }, false)
+        }
+        Request::Res { u, v } => {
+            if let Some(msg) = check(u, "u").or_else(|| check(v, "v")) {
+                return bad(msg);
+            }
+            let (a, b) = if u <= v { (u, v) } else { (v, u) };
+            let key = CacheKey::Res(fp, a, b);
+            if let Some(hit) = shared.cache.get(&key) {
+                return (Outcome::Scalar { value: hit.value }, true);
+            }
+            let value = shared.engine.resistance(a, b);
+            shared.cache.insert(key, CachedAnswer { value, node: 0 });
+            (Outcome::Scalar { value }, false)
+        }
+        Request::Radius | Request::Diameter => {
+            let key = match request {
+                Request::Radius => CacheKey::Radius(fp),
+                _ => CacheKey::Diameter(fp),
+            };
+            if let Some(hit) = shared.cache.get(&key) {
+                return (Outcome::Ecc { value: hit.value, node: hit.node }, true);
+            }
+            // One full sweep computes both extremes; cache both so the
+            // sibling query is a hit.
+            let mut min = CachedAnswer { value: f64::INFINITY, node: 0 };
+            let mut max = CachedAnswer { value: f64::NEG_INFINITY, node: 0 };
+            for v in 0..n {
+                let ans = ecc_answer(shared, v);
+                if ans.value < min.value {
+                    min = CachedAnswer { value: ans.value, node: v };
+                }
+                if ans.value > max.value {
+                    max = CachedAnswer { value: ans.value, node: v };
+                }
+            }
+            shared.cache.insert(CacheKey::Radius(fp), min);
+            shared.cache.insert(CacheKey::Diameter(fp), max);
+            let chosen = if matches!(request, Request::Radius) { min } else { max };
+            (Outcome::Ecc { value: chosen.value, node: chosen.node }, false)
+        }
+        Request::WhatIfEdge { s, u, v } => {
+            if let Some(msg) = check(s, "s").or_else(|| check(u, "u")).or_else(|| check(v, "v"))
+            {
+                return bad(msg);
+            }
+            if u == v {
+                return bad(format!("whatif-edge needs two distinct endpoints, got {u} twice"));
+            }
+            let (a, b) = if u <= v { (u, v) } else { (v, u) };
+            let key = CacheKey::WhatIf(fp, s, a, b);
+            if let Some(hit) = shared.cache.get(&key) {
+                return (Outcome::Ecc { value: hit.value, node: hit.node }, true);
+            }
+            let ans = shared.engine.eccentricity_after_edge(s, Edge::new(a, b));
+            let cached = CachedAnswer { value: ans.value, node: ans.farthest };
+            shared.cache.insert(key, cached);
+            (Outcome::Ecc { value: cached.value, node: cached.node }, false)
+        }
+        Request::Stats => {
+            let cache = shared.cache.stats();
+            let sketch = shared.engine.sketch();
+            let diag = sketch.diagnostics();
+            (
+                Outcome::Stats(StatsReport {
+                    nodes: n,
+                    edges: shared.engine.graph().edge_count(),
+                    fingerprint: fp,
+                    epsilon: sketch.epsilon(),
+                    dimension: sketch.dimension(),
+                    hull_size: shared.engine.hull_size(),
+                    degraded_rows: diag.unconverged.len() + diag.dropped.len(),
+                    tier: tier_name(shared.tier),
+                    threads: shared.threads,
+                    queue_depth: shared.queue_depth,
+                    served: shared.served.load(Ordering::Relaxed),
+                    cache_hits: cache.hits,
+                    cache_misses: cache.misses,
+                    cache_evictions: cache.evictions,
+                    cache_entries: cache.entries,
+                }),
+                false,
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reecc_core::SketchParams;
+    use reecc_graph::generators::barabasi_albert;
+
+    fn pool(threads: usize, queue_depth: usize) -> ServePool {
+        let g = barabasi_albert(40, 2, 9);
+        let engine = QueryEngine::build(
+            &g,
+            &SketchParams { epsilon: 0.5, seed: 3, ..Default::default() },
+        )
+        .unwrap();
+        ServePool::new(
+            Arc::new(engine),
+            PoolConfig { threads, queue_depth, ..Default::default() },
+        )
+    }
+
+    fn env(request: Request) -> RequestEnvelope {
+        RequestEnvelope { id: None, deadline_ms: None, request }
+    }
+
+    #[test]
+    fn answers_each_op_and_caches_repeats() {
+        let p = pool(2, 16);
+        let first = p.run(env(Request::Ecc { v: 5 }));
+        assert!(first.is_ok(), "{first:?}");
+        assert!(!first.cached);
+        assert_eq!(first.tier, Some("fast"));
+        let again = p.run(env(Request::Ecc { v: 5 }));
+        assert!(again.cached, "{again:?}");
+        assert_eq!(again.outcome, first.outcome);
+
+        let res = p.run(env(Request::Res { u: 0, v: 7 }));
+        let res_flipped = p.run(env(Request::Res { u: 7, v: 0 }));
+        assert!(res_flipped.cached, "endpoint order must normalize: {res_flipped:?}");
+        assert_eq!(res.outcome, res_flipped.outcome);
+
+        let radius = p.run(env(Request::Radius));
+        let diameter = p.run(env(Request::Diameter));
+        assert!(diameter.cached, "radius sweep must have cached the diameter");
+        match (&radius.outcome, &diameter.outcome) {
+            (Outcome::Ecc { value: r, .. }, Outcome::Ecc { value: d, .. }) => {
+                assert!(r <= d, "radius {r} must not exceed diameter {d}");
+            }
+            other => panic!("{other:?}"),
+        }
+
+        let whatif = p.run(env(Request::WhatIfEdge { s: 5, u: 0, v: 39 }));
+        assert!(whatif.is_ok(), "{whatif:?}");
+
+        let stats = p.run(env(Request::Stats));
+        match stats.outcome {
+            Outcome::Stats(s) => {
+                assert_eq!(s.nodes, 40);
+                assert_eq!(s.threads, 2);
+                assert!(s.cache_hits >= 3, "{s:?}");
+                assert!(s.served >= 6);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_arguments_are_bad_requests_not_panics() {
+        let p = pool(1, 8);
+        for request in [
+            Request::Ecc { v: 400 },
+            Request::Res { u: 0, v: 400 },
+            Request::WhatIfEdge { s: 400, u: 0, v: 1 },
+            Request::WhatIfEdge { s: 0, u: 3, v: 3 },
+        ] {
+            let resp = p.run(env(request));
+            match resp.outcome {
+                Outcome::Error { kind, .. } => assert_eq!(kind, ErrorKind::BadRequest),
+                other => panic!("{request:?} -> {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn full_queue_rejects_with_overloaded_instead_of_blocking() {
+        let p = pool(1, 1);
+        // Occupy the single worker with a full radius sweep, then flood.
+        let busy = p.submit(env(Request::Radius)).unwrap();
+        let mut outcomes = Vec::new();
+        for v in 0..12 {
+            outcomes.push(p.submit(env(Request::Ecc { v })));
+        }
+        let overloaded = outcomes
+            .iter()
+            .filter(|r| matches!(r, Err(SubmitError::Overloaded { .. })))
+            .count();
+        assert!(overloaded >= 1, "flooding a depth-1 queue must overload: {outcomes:?}");
+        // Accepted requests still complete.
+        for rx in outcomes.into_iter().flatten() {
+            assert!(rx.recv().unwrap().is_ok());
+        }
+        assert!(busy.recv().unwrap().is_ok());
+    }
+
+    #[test]
+    fn expired_deadline_is_reported_not_computed() {
+        let p = pool(1, 4);
+        // Keep the worker busy so the dated request waits in queue past
+        // its 0 ms deadline.
+        let busy = p.submit(env(Request::Radius)).unwrap();
+        let dated = p
+            .submit(RequestEnvelope {
+                id: Some(7),
+                deadline_ms: Some(0),
+                request: Request::Ecc { v: 1 },
+            })
+            .unwrap();
+        let resp = dated.recv().unwrap();
+        match resp.outcome {
+            Outcome::Error { kind, .. } => {
+                assert_eq!(kind, ErrorKind::DeadlineExceeded);
+                assert_eq!(resp.id, Some(7));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(busy.recv().unwrap().is_ok());
+    }
+
+    #[test]
+    fn concurrent_submitters_all_get_answers() {
+        let p = Arc::new(pool(4, 64));
+        let handles: Vec<_> = (0..4usize)
+            .map(|t| {
+                let p = Arc::clone(&p);
+                std::thread::spawn(move || {
+                    let mut ok = 0;
+                    for i in 0..20 {
+                        let resp = p.run(env(Request::Ecc { v: (t * 10 + i) % 40 }));
+                        if resp.is_ok() {
+                            ok += 1;
+                        }
+                    }
+                    ok
+                })
+            })
+            .collect();
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 80, "large queue + run() must answer everything");
+        assert_eq!(p.served(), 80);
+    }
+}

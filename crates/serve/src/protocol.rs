@@ -1,0 +1,413 @@
+//! The wire protocol: newline-delimited JSON requests and responses.
+//!
+//! One request per line, e.g. `{"op":"ecc","v":17}`. Supported ops:
+//!
+//! | op            | fields            | answer                          |
+//! |---------------|-------------------|---------------------------------|
+//! | `ecc`         | `v`               | eccentricity of `v` + farthest  |
+//! | `res`         | `u`, `v`          | resistance distance `r(u, v)`   |
+//! | `radius`      | —                 | min eccentricity + center node  |
+//! | `diameter`    | —                 | max eccentricity + node         |
+//! | `whatif-edge` | `s`, `u`, `v`     | ecc of `s` after adding `{u,v}` |
+//! | `stats`       | —                 | engine / pool / cache counters  |
+//!
+//! Every request may carry an optional `id` (echoed back verbatim, for
+//! pipelined clients) and `deadline_ms` (per-request deadline; the pool
+//! drops requests still queued when it expires). Every successful
+//! response names the degradation tier that answered (`fast` / `approx`,
+//! PR 1's `QueryDiagnostics` made wire-visible) plus compute and queue
+//! times in microseconds.
+
+use crate::json::Json;
+
+/// A single query operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Request {
+    /// Eccentricity of one node.
+    Ecc {
+        /// Query node.
+        v: usize,
+    },
+    /// Pairwise resistance distance.
+    Res {
+        /// First endpoint.
+        u: usize,
+        /// Second endpoint.
+        v: usize,
+    },
+    /// Minimum eccentricity over all nodes (and a node realizing it).
+    Radius,
+    /// Maximum eccentricity over all nodes (and a node realizing it).
+    Diameter,
+    /// Eccentricity of `s` after hypothetically adding edge `{u, v}`.
+    WhatIfEdge {
+        /// Node whose eccentricity is re-estimated.
+        s: usize,
+        /// First endpoint of the hypothetical edge.
+        u: usize,
+        /// Second endpoint of the hypothetical edge.
+        v: usize,
+    },
+    /// Engine, pool, and cache statistics.
+    Stats,
+}
+
+impl Request {
+    /// The protocol name of this operation.
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Request::Ecc { .. } => "ecc",
+            Request::Res { .. } => "res",
+            Request::Radius => "radius",
+            Request::Diameter => "diameter",
+            Request::WhatIfEdge { .. } => "whatif-edge",
+            Request::Stats => "stats",
+        }
+    }
+}
+
+/// A request plus its wire envelope (client id, deadline).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestEnvelope {
+    /// Echoed back in the response when present.
+    pub id: Option<u64>,
+    /// Per-request deadline in milliseconds from submission.
+    pub deadline_ms: Option<u64>,
+    /// The operation itself.
+    pub request: Request,
+}
+
+/// Parse one request line.
+///
+/// # Errors
+///
+/// A human-readable message suitable for a `parse` / `bad-request` error
+/// response.
+pub fn parse_request(line: &str) -> Result<RequestEnvelope, String> {
+    let value = Json::parse(line).map_err(|e| format!("invalid JSON: {e}"))?;
+    if !matches!(value, Json::Obj(_)) {
+        return Err("request must be a JSON object".to_string());
+    }
+    let op = value
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "request needs a string \"op\" field".to_string())?;
+    let field = |name: &str| -> Result<usize, String> {
+        value
+            .get(name)
+            .ok_or_else(|| format!("op {op:?} needs field {name:?}"))?
+            .as_usize()
+            .ok_or_else(|| format!("field {name:?} must be a non-negative integer"))
+    };
+    let request = match op {
+        "ecc" => Request::Ecc { v: field("v")? },
+        "res" => Request::Res { u: field("u")?, v: field("v")? },
+        "radius" => Request::Radius,
+        "diameter" => Request::Diameter,
+        "whatif-edge" => Request::WhatIfEdge { s: field("s")?, u: field("u")?, v: field("v")? },
+        "stats" => Request::Stats,
+        other => {
+            return Err(format!(
+                "unknown op {other:?} (known: ecc, res, radius, diameter, whatif-edge, stats)"
+            ))
+        }
+    };
+    let id = match value.get("id") {
+        None => None,
+        Some(v) => {
+            Some(v.as_usize().map(|x| x as u64).ok_or("field \"id\" must be an integer")?)
+        }
+    };
+    let deadline_ms = match value.get("deadline_ms") {
+        None => None,
+        Some(v) => Some(
+            v.as_usize().map(|x| x as u64).ok_or("field \"deadline_ms\" must be an integer")?,
+        ),
+    };
+    Ok(RequestEnvelope { id, deadline_ms, request })
+}
+
+/// Machine-readable failure classes, mirrored on the wire as the
+/// `"error"` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The request line was not valid protocol JSON.
+    Parse,
+    /// The request was well-formed but semantically invalid (node out of
+    /// range, self-loop edge, …).
+    BadRequest,
+    /// The bounded queue was full — explicit backpressure, never blocking.
+    Overloaded,
+    /// The request's deadline expired before a worker picked it up.
+    DeadlineExceeded,
+    /// The pool is shutting down or a worker failed internally.
+    Internal,
+}
+
+impl ErrorKind {
+    /// The wire name of this error class.
+    pub fn wire_name(&self) -> &'static str {
+        match self {
+            ErrorKind::Parse => "parse",
+            ErrorKind::BadRequest => "bad-request",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::DeadlineExceeded => "deadline-exceeded",
+            ErrorKind::Internal => "internal",
+        }
+    }
+}
+
+/// Engine / pool / cache counters returned by the `stats` op.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsReport {
+    /// Graph order `n`.
+    pub nodes: usize,
+    /// Graph size `m`.
+    pub edges: usize,
+    /// Representation-level graph fingerprint (hex on the wire).
+    pub fingerprint: u64,
+    /// Sketch `ε`.
+    pub epsilon: f64,
+    /// Sketch dimension `d` (after any row drops).
+    pub dimension: usize,
+    /// Hull boundary size `l`.
+    pub hull_size: usize,
+    /// Sketch rows still degraded after the repair ladder.
+    pub degraded_rows: usize,
+    /// The tier eccentricity queries are answered at.
+    pub tier: &'static str,
+    /// Worker thread count.
+    pub threads: usize,
+    /// Bounded queue depth.
+    pub queue_depth: usize,
+    /// Requests answered so far (any outcome).
+    pub served: u64,
+    /// Result-cache hits.
+    pub cache_hits: u64,
+    /// Result-cache misses.
+    pub cache_misses: u64,
+    /// Result-cache evictions.
+    pub cache_evictions: u64,
+    /// Entries currently cached.
+    pub cache_entries: usize,
+}
+
+/// What a request produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// An eccentricity-style scalar answer with the realizing node.
+    Ecc {
+        /// The estimate.
+        value: f64,
+        /// The node realizing it (farthest node / center / periphery).
+        node: usize,
+    },
+    /// A scalar answer with no associated node.
+    Scalar {
+        /// The estimate.
+        value: f64,
+    },
+    /// Statistics.
+    Stats(StatsReport),
+    /// A failure.
+    Error {
+        /// Failure class.
+        kind: ErrorKind,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// A complete response, ready to serialize as one output line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Echo of the request id, when one was given.
+    pub id: Option<u64>,
+    /// Protocol op name (best-effort `"?"` when the line did not parse).
+    pub op: &'static str,
+    /// The answer or failure.
+    pub outcome: Outcome,
+    /// Degradation tier that answered (`fast` / `approx`), for successes.
+    pub tier: Option<&'static str>,
+    /// Whether the answer came from the result cache.
+    pub cached: bool,
+    /// Worker compute time in microseconds.
+    pub compute_micros: u64,
+    /// Time spent waiting in the bounded queue, in microseconds.
+    pub queue_micros: u64,
+}
+
+impl Response {
+    /// Build an error response outside the pool (parse failures,
+    /// submission rejections).
+    pub fn error(id: Option<u64>, op: &'static str, kind: ErrorKind, message: String) -> Self {
+        Response {
+            id,
+            op,
+            outcome: Outcome::Error { kind, message },
+            tier: None,
+            cached: false,
+            compute_micros: 0,
+            queue_micros: 0,
+        }
+    }
+
+    /// Whether this response reports success.
+    pub fn is_ok(&self) -> bool {
+        !matches!(self.outcome, Outcome::Error { .. })
+    }
+
+    /// Serialize to one compact JSON line (no trailing newline).
+    pub fn render(&self) -> String {
+        let mut fields: Vec<(String, Json)> =
+            vec![("ok".into(), Json::Bool(self.is_ok())), ("op".into(), str_json(self.op))];
+        if let Some(id) = self.id {
+            fields.push(("id".into(), Json::Num(id as f64)));
+        }
+        match &self.outcome {
+            Outcome::Ecc { value, node } => {
+                fields.push(("value".into(), Json::Num(*value)));
+                fields.push(("node".into(), Json::Num(*node as f64)));
+            }
+            Outcome::Scalar { value } => {
+                fields.push(("value".into(), Json::Num(*value)));
+            }
+            Outcome::Stats(s) => {
+                fields.push(("nodes".into(), Json::Num(s.nodes as f64)));
+                fields.push(("edges".into(), Json::Num(s.edges as f64)));
+                fields.push((
+                    "fingerprint".into(),
+                    str_json(&format!("{:#018x}", s.fingerprint)),
+                ));
+                fields.push(("epsilon".into(), Json::Num(s.epsilon)));
+                fields.push(("dimension".into(), Json::Num(s.dimension as f64)));
+                fields.push(("hull_size".into(), Json::Num(s.hull_size as f64)));
+                fields.push(("degraded_rows".into(), Json::Num(s.degraded_rows as f64)));
+                fields.push(("threads".into(), Json::Num(s.threads as f64)));
+                fields.push(("queue_depth".into(), Json::Num(s.queue_depth as f64)));
+                fields.push(("served".into(), Json::Num(s.served as f64)));
+                fields.push(("cache_hits".into(), Json::Num(s.cache_hits as f64)));
+                fields.push(("cache_misses".into(), Json::Num(s.cache_misses as f64)));
+                fields.push(("cache_evictions".into(), Json::Num(s.cache_evictions as f64)));
+                fields.push(("cache_entries".into(), Json::Num(s.cache_entries as f64)));
+            }
+            Outcome::Error { kind, message } => {
+                fields.push(("error".into(), str_json(kind.wire_name())));
+                fields.push(("message".into(), str_json(message)));
+            }
+        }
+        if let Some(tier) = self.tier {
+            fields.push(("tier".into(), str_json(tier)));
+        }
+        if self.is_ok() {
+            fields.push(("cached".into(), Json::Bool(self.cached)));
+            fields.push(("micros".into(), Json::Num(self.compute_micros as f64)));
+            fields.push(("queue_micros".into(), Json::Num(self.queue_micros as f64)));
+        }
+        Json::Obj(fields).render()
+    }
+}
+
+fn str_json(s: &str) -> Json {
+    Json::Str(s.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_op() {
+        let cases: Vec<(&str, Request)> = vec![
+            (r#"{"op":"ecc","v":17}"#, Request::Ecc { v: 17 }),
+            (r#"{"op":"res","u":1,"v":2}"#, Request::Res { u: 1, v: 2 }),
+            (r#"{"op":"radius"}"#, Request::Radius),
+            (r#"{"op":"diameter"}"#, Request::Diameter),
+            (
+                r#"{"op":"whatif-edge","s":3,"u":0,"v":9}"#,
+                Request::WhatIfEdge { s: 3, u: 0, v: 9 },
+            ),
+            (r#"{"op":"stats"}"#, Request::Stats),
+        ];
+        for (line, expected) in cases {
+            let env = parse_request(line).unwrap();
+            assert_eq!(env.request, expected, "{line}");
+            assert_eq!(env.id, None);
+        }
+    }
+
+    #[test]
+    fn envelope_fields_are_optional_but_typed() {
+        let env = parse_request(r#"{"op":"ecc","v":1,"id":9,"deadline_ms":250}"#).unwrap();
+        assert_eq!(env.id, Some(9));
+        assert_eq!(env.deadline_ms, Some(250));
+        assert!(parse_request(r#"{"op":"ecc","v":1,"id":"x"}"#).is_err());
+        assert!(parse_request(r#"{"op":"ecc","v":1,"deadline_ms":-5}"#).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_requests_with_reasons() {
+        for (line, needle) in [
+            ("not json", "invalid JSON"),
+            ("[1,2]", "must be a JSON object"),
+            (r#"{"v":1}"#, "\"op\""),
+            (r#"{"op":"frob"}"#, "unknown op"),
+            (r#"{"op":"ecc"}"#, "needs field"),
+            (r#"{"op":"ecc","v":-3}"#, "non-negative"),
+            (r#"{"op":"res","u":1}"#, "needs field \"v\""),
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert!(err.contains(needle), "{line}: {err}");
+        }
+    }
+
+    #[test]
+    fn success_response_renders_contract_fields() {
+        let resp = Response {
+            id: Some(4),
+            op: "ecc",
+            outcome: Outcome::Ecc { value: 2.5, node: 19 },
+            tier: Some("fast"),
+            cached: true,
+            compute_micros: 12,
+            queue_micros: 3,
+        };
+        let line = resp.render();
+        let v = Json::parse(&line).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("op").unwrap().as_str(), Some("ecc"));
+        assert_eq!(v.get("id").unwrap().as_usize(), Some(4));
+        assert_eq!(v.get("value").unwrap().as_f64(), Some(2.5));
+        assert_eq!(v.get("node").unwrap().as_usize(), Some(19));
+        assert_eq!(v.get("tier").unwrap().as_str(), Some("fast"));
+        assert_eq!(v.get("cached").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("micros").unwrap().as_usize(), Some(12));
+        assert_eq!(v.get("queue_micros").unwrap().as_usize(), Some(3));
+    }
+
+    #[test]
+    fn error_response_renders_kind_and_message() {
+        let resp =
+            Response::error(None, "ecc", ErrorKind::Overloaded, "queue full (depth 1)".into());
+        let v = Json::parse(&resp.render()).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(v.get("error").unwrap().as_str(), Some("overloaded"));
+        assert!(v.get("message").unwrap().as_str().unwrap().contains("queue full"));
+        assert!(v.get("cached").is_none(), "errors carry no timing block");
+    }
+
+    #[test]
+    fn error_kinds_have_distinct_wire_names() {
+        let kinds = [
+            ErrorKind::Parse,
+            ErrorKind::BadRequest,
+            ErrorKind::Overloaded,
+            ErrorKind::DeadlineExceeded,
+            ErrorKind::Internal,
+        ];
+        let mut names: Vec<&str> = kinds.iter().map(ErrorKind::wire_name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), kinds.len());
+    }
+}

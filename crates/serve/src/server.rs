@@ -1,0 +1,271 @@
+//! Transports: newline-delimited JSON over a pipe or a TCP socket.
+//!
+//! Both transports speak the same protocol (see [`crate::protocol`]): one
+//! JSON object per line in, one JSON object per line out, in order. The
+//! pipe mode drives a single session over any `BufRead`/`Write` pair
+//! (stdin/stdout in the CLI, in-memory buffers in tests); the TCP mode
+//! accepts connections on a `std::net::TcpListener` and runs one session
+//! thread per client, all submitting into the same bounded [`ServePool`].
+//!
+//! Transport threads never compute: they parse, submit, and forward. The
+//! pool's bounded queue is the only admission control, so a burst of
+//! clients degrades to `overloaded` responses rather than OS-level socket
+//! backlog growth.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::pool::ServePool;
+use crate::protocol::{parse_request, ErrorKind, Response};
+
+/// Counters for one pipe/socket session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionStats {
+    /// Non-blank lines read.
+    pub requests: u64,
+    /// Responses that carried an error outcome (parse errors included).
+    pub errors: u64,
+}
+
+/// Serve one newline-delimited JSON session: read a request per line from
+/// `reader`, write exactly one response line to `writer`, until EOF.
+///
+/// Blank lines are skipped; unparseable lines produce a `parse` error
+/// response instead of killing the session, so one bad client line never
+/// costs the stream.
+///
+/// # Errors
+///
+/// Only transport failures (read/write/flush) abort the session; protocol
+/// and engine errors are reported in-band.
+pub fn serve_pipe<R: BufRead, W: Write>(
+    pool: &ServePool,
+    reader: R,
+    mut writer: W,
+) -> io::Result<SessionStats> {
+    let mut stats = SessionStats::default();
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        stats.requests += 1;
+        let response = match parse_request(&line) {
+            Ok(env) => pool.run(env),
+            Err(message) => Response::error(None, "?", ErrorKind::Parse, message),
+        };
+        if !response.is_ok() {
+            stats.errors += 1;
+        }
+        writer.write_all(response.render().as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+    }
+    Ok(stats)
+}
+
+/// A TCP front end over a shared [`ServePool`].
+///
+/// The accept loop runs on its own thread with a nonblocking listener so
+/// [`TcpServer::stop`] takes effect within one poll interval (~25 ms);
+/// each accepted connection gets a session thread running [`serve_pipe`].
+#[derive(Debug)]
+pub struct TcpServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<io::Result<()>>>,
+}
+
+impl TcpServer {
+    /// Bind `addr` and start accepting in the background.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/configuration failures.
+    pub fn start(pool: Arc<ServePool>, addr: &str) -> io::Result<TcpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let accept_thread = std::thread::Builder::new()
+            .name("reecc-serve-accept".to_string())
+            .spawn(move || accept_loop(&listener, &pool, &flag))?;
+        Ok(TcpServer { addr, shutdown, accept_thread: Some(accept_thread) })
+    }
+
+    /// The bound address (useful with a `:0` ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the accept thread. Already-accepted
+    /// sessions run to completion on their own threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns the accept loop's I/O error, if it died on one.
+    pub fn stop(&mut self) -> io::Result<()> {
+        self.shutdown.store(true, Ordering::SeqCst);
+        match self.accept_thread.take() {
+            Some(handle) => handle
+                .join()
+                .unwrap_or_else(|_| Err(io::Error::other("accept thread panicked"))),
+            None => Ok(()),
+        }
+    }
+
+    /// Block this thread on the accept loop until the process dies or the
+    /// loop fails; used by `cli serve --addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the accept loop's I/O error, if it died on one.
+    pub fn run_forever(mut self) -> io::Result<()> {
+        match self.accept_thread.take() {
+            Some(handle) => handle
+                .join()
+                .unwrap_or_else(|_| Err(io::Error::other("accept thread panicked"))),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        let _ = self.stop();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    pool: &Arc<ServePool>,
+    shutdown: &Arc<AtomicBool>,
+) -> io::Result<()> {
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let pool = Arc::clone(pool);
+                std::thread::Builder::new().name("reecc-serve-conn".to_string()).spawn(
+                    move || {
+                        let _ = handle_connection(&pool, stream);
+                    },
+                )?;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+fn handle_connection(pool: &ServePool, stream: TcpStream) -> io::Result<SessionStats> {
+    // The accepted stream inherits the listener's nonblocking flag on some
+    // platforms; sessions want plain blocking reads.
+    stream.set_nonblocking(false)?;
+    let reader = BufReader::new(stream.try_clone()?);
+    serve_pipe(pool, reader, stream)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::PoolConfig;
+    use crate::protocol::Request;
+    use reecc_core::{QueryEngine, SketchParams};
+    use reecc_graph::generators::barabasi_albert;
+
+    fn test_pool() -> Arc<ServePool> {
+        let g = barabasi_albert(40, 2, 11);
+        let engine = QueryEngine::build(
+            &g,
+            &SketchParams { epsilon: 0.5, seed: 5, ..Default::default() },
+        )
+        .unwrap();
+        Arc::new(ServePool::new(
+            Arc::new(engine),
+            PoolConfig { threads: 2, queue_depth: 32, ..Default::default() },
+        ))
+    }
+
+    #[test]
+    fn pipe_session_reports_answers_and_inline_errors() {
+        let pool = test_pool();
+        let input = "\n{\"op\":\"ecc\",\"v\":3}\nnot json\n{\"op\":\"res\",\"u\":0,\"v\":5}\n";
+        let mut out = Vec::new();
+        let stats = serve_pipe(&pool, input.as_bytes(), &mut out).unwrap();
+        assert_eq!(stats, SessionStats { requests: 3, errors: 1 });
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "one response per non-blank request line: {text}");
+        assert!(lines[0].contains("\"ok\":true") && lines[0].contains("\"op\":\"ecc\""));
+        assert!(lines[1].contains("\"ok\":false") && lines[1].contains("\"error\":\"parse\""));
+        assert!(lines[2].contains("\"ok\":true") && lines[2].contains("\"op\":\"res\""));
+    }
+
+    #[test]
+    fn tcp_round_trip_on_ephemeral_port() {
+        let pool = test_pool();
+        let mut server = TcpServer::start(Arc::clone(&pool), "127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut stream = stream;
+        writeln!(stream, "{{\"op\":\"ecc\",\"v\":1,\"id\":42}}").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"ok\":true") && line.contains("\"id\":42"), "{line}");
+        drop(stream);
+        drop(reader);
+
+        server.stop().unwrap();
+        // After stop, new connections are no longer accepted (the listener
+        // socket is closed when the accept loop returns).
+        assert!(pool.served() >= 1);
+        let _ = pool.run(crate::protocol::RequestEnvelope {
+            id: None,
+            deadline_ms: None,
+            request: Request::Stats,
+        });
+    }
+
+    #[test]
+    fn tcp_serves_concurrent_clients() {
+        let pool = test_pool();
+        let server = TcpServer::start(Arc::clone(&pool), "127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        let handles: Vec<_> = (0..4u16)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let stream = TcpStream::connect(addr).unwrap();
+                    let mut reader = BufReader::new(stream.try_clone().unwrap());
+                    let mut stream = stream;
+                    let mut ok = 0;
+                    for i in 0..5usize {
+                        writeln!(
+                            stream,
+                            "{{\"op\":\"ecc\",\"v\":{}}}",
+                            (t as usize * 7 + i) % 40
+                        )
+                        .unwrap();
+                        let mut line = String::new();
+                        reader.read_line(&mut line).unwrap();
+                        if line.contains("\"ok\":true") {
+                            ok += 1;
+                        }
+                    }
+                    ok
+                })
+            })
+            .collect();
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 20);
+    }
+}

@@ -1,0 +1,515 @@
+//! Persistent sketch snapshots: build the APPROXER sketch once, serve it
+//! forever.
+//!
+//! A snapshot is a versioned little-endian binary file:
+//!
+//! ```text
+//! magic            8  b"REECCSK\0"
+//! format version   4  u32 (currently 1)
+//! graph fingerprint 8 u64   (reecc_graph::fingerprint, representation-level)
+//! epsilon          8  f64 bit pattern
+//! node count n     8  u64
+//! row count d      8  u64
+//! rows           d·n·8 f64 bit patterns, row-major
+//! hull length      8  u64
+//! hull vertices  l·8  u64 node ids
+//! diagnostics      …  rows, converged_first_try, then the four index
+//!                     lists (repaired / fallback / dropped / unconverged)
+//!                     each as u64 length + u64 entries
+//! checksum         8  u64 FNV-1a over every preceding byte
+//! ```
+//!
+//! `load` verifies the checksum before interpreting anything, so a single
+//! flipped byte anywhere in the file is a [`SnapshotError::ChecksumMismatch`],
+//! and [`SketchSnapshot::into_engine`] refuses to marry a snapshot to a
+//! graph whose fingerprint differs ([`SnapshotError::FingerprintMismatch`]).
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use reecc_core::{QueryEngine, ResistanceSketch, SketchDiagnostics, SketchParams};
+use reecc_graph::fingerprint::{fingerprint, Fnv1a};
+use reecc_graph::Graph;
+
+/// File magic: identifies a reecc sketch snapshot.
+pub const MAGIC: [u8; 8] = *b"REECCSK\0";
+/// Current format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Everything needed to restore a [`QueryEngine`] without rebuilding the
+/// sketch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SketchSnapshot {
+    /// Fingerprint of the graph the sketch was built for.
+    pub fingerprint: u64,
+    /// The `ε` the sketch targets.
+    pub epsilon: f64,
+    /// Graph order `n`.
+    pub node_count: usize,
+    /// Surviving sketch rows (`d × n`).
+    pub rows: Vec<Vec<f64>>,
+    /// Hull boundary vertex ids, in selection order.
+    pub hull: Vec<usize>,
+    /// The build's health record.
+    pub diagnostics: SketchDiagnostics,
+}
+
+/// Failures while saving, loading, or validating snapshots. Corruption
+/// ([`Self::ChecksumMismatch`]) and wrong-graph
+/// ([`Self::FingerprintMismatch`]) are deliberately distinct variants so
+/// operators can tell a damaged file from a stale one.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnapshotError {
+    /// Underlying I/O failure.
+    Io(String),
+    /// The file does not start with the snapshot magic.
+    BadMagic,
+    /// The file's format version is newer than this build understands.
+    UnsupportedVersion(u32),
+    /// The trailing checksum does not match the file contents.
+    ChecksumMismatch {
+        /// Checksum stored in the file.
+        stored: u64,
+        /// Checksum recomputed over the contents.
+        computed: u64,
+    },
+    /// The snapshot was built for a different graph.
+    FingerprintMismatch {
+        /// Fingerprint recorded in the snapshot.
+        snapshot: u64,
+        /// Fingerprint of the graph offered at load time.
+        graph: u64,
+    },
+    /// The file is well-checksummed but structurally invalid (truncated
+    /// counts, out-of-range ids, inconsistent diagnostics).
+    Corrupt(String),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(m) => write!(f, "snapshot i/o error: {m}"),
+            SnapshotError::BadMagic => {
+                write!(f, "not a reecc sketch snapshot (bad magic)")
+            }
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(f, "snapshot format version {v} is not supported (max {FORMAT_VERSION})")
+            }
+            SnapshotError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "snapshot checksum mismatch (stored {stored:#018x}, computed {computed:#018x}) \
+                 — the file is corrupted"
+            ),
+            SnapshotError::FingerprintMismatch { snapshot, graph } => write!(
+                f,
+                "snapshot was built for a different graph (snapshot fingerprint \
+                 {snapshot:#018x}, graph fingerprint {graph:#018x}) — rebuild with sketch-build"
+            ),
+            SnapshotError::Corrupt(m) => write!(f, "snapshot is malformed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl SketchSnapshot {
+    /// Capture a snapshot of a built engine, stamping it with the
+    /// fingerprint of the engine's graph.
+    pub fn from_engine(engine: &QueryEngine) -> Self {
+        SketchSnapshot {
+            fingerprint: fingerprint(engine.graph()),
+            epsilon: engine.sketch().epsilon(),
+            node_count: engine.sketch().node_count(),
+            rows: engine.sketch().rows().to_vec(),
+            hull: engine.hull().to_vec(),
+            diagnostics: engine.sketch().diagnostics().clone(),
+        }
+    }
+
+    /// Restore a [`QueryEngine`] against `g`, verifying the fingerprint
+    /// and every structural invariant first. Sketch parameters not stored
+    /// in the snapshot (CG options, recovery policy) take their defaults —
+    /// they only affect what-if solves, not the persisted sketch.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::FingerprintMismatch`] when `g` is not the graph
+    /// the sketch was built for; [`SnapshotError::Corrupt`] when the parts
+    /// fail reassembly validation.
+    pub fn into_engine(self, g: &Graph) -> Result<QueryEngine, SnapshotError> {
+        let graph_fp = fingerprint(g);
+        if graph_fp != self.fingerprint {
+            return Err(SnapshotError::FingerprintMismatch {
+                snapshot: self.fingerprint,
+                graph: graph_fp,
+            });
+        }
+        let sketch = ResistanceSketch::from_parts(
+            self.rows,
+            self.node_count,
+            self.epsilon,
+            self.diagnostics,
+        )
+        .map_err(|e| SnapshotError::Corrupt(e.to_string()))?;
+        let params = SketchParams::with_epsilon(self.epsilon);
+        QueryEngine::from_parts(g.clone(), sketch, self.hull, params)
+            .map_err(|e| SnapshotError::Corrupt(e.to_string()))
+    }
+
+    /// Serialized size in bytes (exact).
+    pub fn encoded_len(&self) -> usize {
+        let d = self.rows.len();
+        let diag_lists = self.diagnostics.repaired.len()
+            + self.diagnostics.fallback_rows.len()
+            + self.diagnostics.dropped.len()
+            + self.diagnostics.unconverged.len();
+        8 + 4                      // magic + version
+            + 8 + 8 + 8 + 8        // fingerprint, epsilon, n, d
+            + d * self.node_count * 8
+            + 8 + self.hull.len() * 8
+            + 8 + 8                // diagnostics.rows, converged_first_try
+            + 4 * 8 + diag_lists * 8
+            + 8 // checksum
+    }
+
+    /// Encode to bytes (checksummed).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.encoded_len());
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        buf.extend_from_slice(&self.fingerprint.to_le_bytes());
+        buf.extend_from_slice(&self.epsilon.to_bits().to_le_bytes());
+        buf.extend_from_slice(&(self.node_count as u64).to_le_bytes());
+        buf.extend_from_slice(&(self.rows.len() as u64).to_le_bytes());
+        for row in &self.rows {
+            for &x in row {
+                buf.extend_from_slice(&x.to_bits().to_le_bytes());
+            }
+        }
+        push_index_list(&mut buf, &self.hull);
+        buf.extend_from_slice(&(self.diagnostics.rows as u64).to_le_bytes());
+        buf.extend_from_slice(&(self.diagnostics.converged_first_try as u64).to_le_bytes());
+        push_index_list(&mut buf, &self.diagnostics.repaired);
+        push_index_list(&mut buf, &self.diagnostics.fallback_rows);
+        push_index_list(&mut buf, &self.diagnostics.dropped);
+        push_index_list(&mut buf, &self.diagnostics.unconverged);
+        let mut h = Fnv1a::new();
+        h.update(&buf);
+        buf.extend_from_slice(&h.finish().to_le_bytes());
+        buf
+    }
+
+    /// Decode from bytes, verifying the checksum before interpreting
+    /// anything else.
+    ///
+    /// # Errors
+    ///
+    /// See [`SnapshotError`]; every corruption mode maps to a distinct
+    /// variant.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        if bytes.len() < MAGIC.len() {
+            return Err(SnapshotError::BadMagic);
+        }
+        if bytes[..MAGIC.len()] != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        if bytes.len() < MAGIC.len() + 4 + 8 {
+            return Err(SnapshotError::Corrupt("file shorter than the fixed header".into()));
+        }
+        let (body, tail) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes(tail.try_into().expect("8-byte tail"));
+        let mut h = Fnv1a::new();
+        h.update(body);
+        let computed = h.finish();
+        if stored != computed {
+            return Err(SnapshotError::ChecksumMismatch { stored, computed });
+        }
+
+        let mut c = Cursor { bytes: body, pos: MAGIC.len() };
+        let version = c.read_u32()?;
+        if version != FORMAT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion(version));
+        }
+        let fingerprint = c.read_u64()?;
+        let epsilon = f64::from_bits(c.read_u64()?);
+        let node_count = c.read_count("node count")?;
+        let row_count = c.read_count("row count")?;
+        let cells = row_count
+            .checked_mul(node_count)
+            .and_then(|x| x.checked_mul(8))
+            .ok_or_else(|| SnapshotError::Corrupt("row matrix size overflows".into()))?;
+        if cells > c.remaining() {
+            return Err(SnapshotError::Corrupt(format!(
+                "row matrix claims {cells} bytes but only {} remain",
+                c.remaining()
+            )));
+        }
+        let mut rows = Vec::with_capacity(row_count);
+        for _ in 0..row_count {
+            let mut row = Vec::with_capacity(node_count);
+            for _ in 0..node_count {
+                row.push(f64::from_bits(c.read_u64()?));
+            }
+            rows.push(row);
+        }
+        let hull = c.read_index_list("hull")?;
+        let diagnostics = SketchDiagnostics {
+            rows: c.read_count("diagnostics rows")?,
+            converged_first_try: c.read_count("diagnostics converged count")?,
+            repaired: c.read_index_list("repaired rows")?,
+            fallback_rows: c.read_index_list("fallback rows")?,
+            dropped: c.read_index_list("dropped rows")?,
+            unconverged: c.read_index_list("unconverged rows")?,
+        };
+        if c.remaining() != 0 {
+            return Err(SnapshotError::Corrupt(format!(
+                "{} unexpected trailing bytes",
+                c.remaining()
+            )));
+        }
+        Ok(SketchSnapshot { fingerprint, epsilon, node_count, rows, hull, diagnostics })
+    }
+
+    /// Write to `writer` (encode + single write).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`].
+    pub fn write_to<W: Write>(&self, mut writer: W) -> Result<usize, SnapshotError> {
+        let bytes = self.to_bytes();
+        writer.write_all(&bytes).map_err(|e| SnapshotError::Io(e.to_string()))?;
+        Ok(bytes.len())
+    }
+
+    /// Save to a file, returning the byte count written.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`].
+    pub fn save(&self, path: &Path) -> Result<usize, SnapshotError> {
+        let file = std::fs::File::create(path)
+            .map_err(|e| SnapshotError::Io(format!("cannot create {}: {e}", path.display())))?;
+        self.write_to(std::io::BufWriter::new(file))
+    }
+
+    /// Read and decode from `reader`.
+    ///
+    /// # Errors
+    ///
+    /// See [`SnapshotError`].
+    pub fn read_from<R: Read>(mut reader: R) -> Result<Self, SnapshotError> {
+        let mut bytes = Vec::new();
+        reader.read_to_end(&mut bytes).map_err(|e| SnapshotError::Io(e.to_string()))?;
+        Self::from_bytes(&bytes)
+    }
+
+    /// Load from a file.
+    ///
+    /// # Errors
+    ///
+    /// See [`SnapshotError`].
+    pub fn load(path: &Path) -> Result<Self, SnapshotError> {
+        let file = std::fs::File::open(path)
+            .map_err(|e| SnapshotError::Io(format!("cannot open {}: {e}", path.display())))?;
+        Self::read_from(std::io::BufReader::new(file))
+    }
+
+    /// A human-readable multi-line summary (the `sketch-info` report).
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "snapshot format v{FORMAT_VERSION}");
+        let _ = writeln!(out, "graph fingerprint: {:#018x}", self.fingerprint);
+        let _ = writeln!(
+            out,
+            "sketch: n = {}, d = {} (of {} built), eps = {}",
+            self.node_count,
+            self.rows.len(),
+            self.diagnostics.rows,
+            self.epsilon
+        );
+        let _ = writeln!(out, "hull boundary: l = {}", self.hull.len());
+        let _ = writeln!(
+            out,
+            "health: {} converged first try, {} repaired ({} via dense fallback), \
+             {} unconverged, {} dropped",
+            self.diagnostics.converged_first_try,
+            self.diagnostics.repaired.len(),
+            self.diagnostics.fallback_rows.len(),
+            self.diagnostics.unconverged.len(),
+            self.diagnostics.dropped.len()
+        );
+        let _ = writeln!(out, "encoded size: {} bytes", self.encoded_len());
+        out
+    }
+}
+
+fn push_index_list(buf: &mut Vec<u8>, list: &[usize]) {
+    buf.extend_from_slice(&(list.len() as u64).to_le_bytes());
+    for &x in list {
+        buf.extend_from_slice(&(x as u64).to_le_bytes());
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if self.remaining() < n {
+            return Err(SnapshotError::Corrupt(format!(
+                "truncated: needed {n} bytes at offset {}, {} remain",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn read_u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn read_u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn read_count(&mut self, what: &str) -> Result<usize, SnapshotError> {
+        let x = self.read_u64()?;
+        usize::try_from(x)
+            .map_err(|_| SnapshotError::Corrupt(format!("{what} {x} exceeds usize")))
+    }
+
+    fn read_index_list(&mut self, what: &str) -> Result<Vec<usize>, SnapshotError> {
+        let len = self.read_count(what)?;
+        if len.checked_mul(8).is_none_or(|bytes| bytes > self.remaining()) {
+            return Err(SnapshotError::Corrupt(format!(
+                "{what} claims {len} entries but only {} bytes remain",
+                self.remaining()
+            )));
+        }
+        (0..len).map(|_| self.read_count(what)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reecc_graph::generators::barabasi_albert;
+    use reecc_graph::Edge;
+
+    fn engine() -> QueryEngine {
+        let g = barabasi_albert(40, 2, 9);
+        QueryEngine::build(&g, &SketchParams { epsilon: 0.4, seed: 3, ..Default::default() })
+            .unwrap()
+    }
+
+    #[test]
+    fn byte_roundtrip_is_lossless() {
+        let e = engine();
+        let snap = SketchSnapshot::from_engine(&e);
+        let bytes = snap.to_bytes();
+        assert_eq!(bytes.len(), snap.encoded_len());
+        let back = SketchSnapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn restored_engine_answers_identically() {
+        let e = engine();
+        let bytes = SketchSnapshot::from_engine(&e).to_bytes();
+        let restored =
+            SketchSnapshot::from_bytes(&bytes).unwrap().into_engine(e.graph()).unwrap();
+        for v in [0usize, 13, 39] {
+            assert_eq!(e.eccentricity(v), restored.eccentricity(v));
+        }
+        assert_eq!(e.hull(), restored.hull());
+    }
+
+    #[test]
+    fn any_flipped_byte_is_detected() {
+        let bytes = SketchSnapshot::from_engine(&engine()).to_bytes();
+        // Flip one byte at a spread of offsets covering header, rows,
+        // hull, diagnostics, and the checksum itself.
+        let probes = [0, 9, 13, 21, 40, bytes.len() / 2, bytes.len() - 9, bytes.len() - 1];
+        for &at in &probes {
+            let mut bad = bytes.clone();
+            bad[at] ^= 0x40;
+            let err = SketchSnapshot::from_bytes(&bad).unwrap_err();
+            assert!(
+                matches!(err, SnapshotError::ChecksumMismatch { .. } | SnapshotError::BadMagic),
+                "offset {at}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn version_and_magic_are_enforced() {
+        let snap = SketchSnapshot::from_engine(&engine());
+        let mut bytes = snap.to_bytes();
+        // Bump the version and re-seal the checksum so only the version
+        // check can object.
+        bytes[8] = 2;
+        let body_len = bytes.len() - 8;
+        let mut h = Fnv1a::new();
+        h.update(&bytes[..body_len]);
+        let sum = h.finish().to_le_bytes();
+        bytes[body_len..].copy_from_slice(&sum);
+        assert_eq!(
+            SketchSnapshot::from_bytes(&bytes).unwrap_err(),
+            SnapshotError::UnsupportedVersion(2)
+        );
+        assert_eq!(SketchSnapshot::from_bytes(b"PNG!").unwrap_err(), SnapshotError::BadMagic);
+        assert_eq!(SketchSnapshot::from_bytes(&[]).unwrap_err(), SnapshotError::BadMagic);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_its_own_error() {
+        let e = engine();
+        let snap = SketchSnapshot::from_engine(&e);
+        let other = e.graph().with_edge(Edge::new(0, 39)).unwrap();
+        let err = snap.into_engine(&other).unwrap_err();
+        assert!(matches!(err, SnapshotError::FingerprintMismatch { .. }), "{err:?}");
+        assert!(err.to_string().contains("different graph"), "{err}");
+    }
+
+    #[test]
+    fn checksummed_but_inconsistent_content_is_corrupt() {
+        let e = engine();
+        let mut snap = SketchSnapshot::from_engine(&e);
+        // Claim one more built row than the matrix carries; the encoding
+        // is internally well-formed, so only semantic validation catches
+        // it — at into_engine time.
+        snap.diagnostics.rows += 1;
+        let bytes = snap.to_bytes();
+        let loaded = SketchSnapshot::from_bytes(&bytes).unwrap();
+        let err = loaded.into_engine(e.graph()).unwrap_err();
+        assert!(matches!(err, SnapshotError::Corrupt(_)), "{err:?}");
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("reecc-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.sketch");
+        let e = engine();
+        let snap = SketchSnapshot::from_engine(&e);
+        let written = snap.save(&path).unwrap();
+        assert_eq!(written, snap.encoded_len());
+        let back = SketchSnapshot::load(&path).unwrap();
+        assert_eq!(back, snap);
+        assert!(back.summary().contains("hull boundary"));
+        assert!(matches!(
+            SketchSnapshot::load(&dir.join("missing.sketch")).unwrap_err(),
+            SnapshotError::Io(_)
+        ));
+    }
+}

@@ -1,0 +1,278 @@
+//! End-to-end tests for the serving subsystem: snapshot persistence,
+//! pipe-mode protocol sessions against ground truth, and pool
+//! backpressure under a deliberately tiny queue.
+
+use std::io::BufReader;
+use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
+
+use reecc_core::{exact_query, ExactResistance, QueryEngine, SketchParams};
+use reecc_graph::generators::barabasi_albert;
+use reecc_graph::{fingerprint, Graph};
+use reecc_serve::json::Json;
+use reecc_serve::{
+    serve_pipe, PoolConfig, Request, RequestEnvelope, ServePool, SketchSnapshot, SnapshotError,
+    SubmitError, TcpServer,
+};
+
+const N: usize = 200;
+const EPS: f64 = 0.3;
+
+fn graph() -> &'static Graph {
+    static GRAPH: OnceLock<Graph> = OnceLock::new();
+    GRAPH.get_or_init(|| barabasi_albert(N, 2, 1234))
+}
+
+/// One engine shared by every test in this file: the sketch build is the
+/// expensive part (`d ≈ 24 ln n / ε²` CG solves) and is identical for all.
+fn engine() -> Arc<QueryEngine> {
+    static ENGINE: OnceLock<Arc<QueryEngine>> = OnceLock::new();
+    Arc::clone(ENGINE.get_or_init(|| {
+        Arc::new(
+            QueryEngine::build(
+                graph(),
+                &SketchParams { epsilon: EPS, seed: 99, ..Default::default() },
+            )
+            .expect("BA graph is connected"),
+        )
+    }))
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("reecc-serving-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn snapshot_roundtrip_serves_queries_without_rebuilding() {
+    let engine = engine();
+    let path = temp_path("roundtrip.sketch");
+    let snap = SketchSnapshot::from_engine(&engine);
+    snap.save(&path).unwrap();
+
+    let restored = SketchSnapshot::load(&path).unwrap().into_engine(graph()).unwrap();
+    // The restored engine is byte-identical in behavior: same sketch rows,
+    // same hull, so identical answers — not merely within ε.
+    for v in [0, 17, 99, N - 1] {
+        let a = engine.eccentricity(v);
+        let b = restored.eccentricity(v);
+        assert_eq!((a.value, a.farthest), (b.value, b.farthest), "v = {v}");
+    }
+    // And the answers themselves respect the sketch guarantee.
+    let exact = exact_query(graph(), &[0, 17]).unwrap();
+    for (v, c) in exact {
+        let got = restored.eccentricity(v).value;
+        assert!((got - c).abs() <= EPS * c + 1e-9, "c({v}): {got} vs exact {c}");
+    }
+}
+
+#[test]
+fn corrupting_any_byte_is_a_checksum_error_not_garbage() {
+    let bytes = SketchSnapshot::from_engine(&engine()).to_bytes();
+    // Flip one byte in the middle of the row payload.
+    let mut corrupted = bytes.clone();
+    let mid = bytes.len() / 2;
+    corrupted[mid] ^= 0x40;
+    match SketchSnapshot::from_bytes(&corrupted) {
+        Err(SnapshotError::ChecksumMismatch { stored, computed }) => {
+            assert_ne!(stored, computed);
+        }
+        other => panic!("expected checksum mismatch, got {other:?}"),
+    }
+    // A snapshot for a *different* graph fails differently: fingerprints,
+    // not checksums, so operators can tell corruption from wrong pairing.
+    let other_graph = barabasi_albert(N, 2, 4321);
+    let err =
+        SketchSnapshot::from_bytes(&bytes).unwrap().into_engine(&other_graph).unwrap_err();
+    assert!(
+        matches!(err, SnapshotError::FingerprintMismatch { .. }),
+        "wrong graph must be a fingerprint error, got {err:?}"
+    );
+}
+
+fn render_request(i: usize) -> String {
+    match i % 5 {
+        0 => format!("{{\"op\":\"ecc\",\"v\":{},\"id\":{i}}}", (i * 13) % N),
+        1 => format!(
+            "{{\"op\":\"res\",\"u\":{},\"v\":{},\"id\":{i}}}",
+            (i * 7) % N,
+            (i * 11 + 1) % N
+        ),
+        2 => format!("{{\"op\":\"radius\",\"id\":{i}}}"),
+        3 => format!("{{\"op\":\"diameter\",\"id\":{i}}}"),
+        _ => format!("{{\"op\":\"stats\",\"id\":{i}}}"),
+    }
+}
+
+#[test]
+fn pipe_session_of_100_mixed_ops_matches_ground_truth() {
+    let pool = ServePool::new(engine(), PoolConfig { threads: 4, ..Default::default() });
+    let mut input = String::new();
+    for i in 0..100 {
+        // Skip the res self-pair the schedule would hit (u == v).
+        let line = render_request(i);
+        input.push_str(&line);
+        input.push('\n');
+    }
+    let mut output = Vec::new();
+    let stats = serve_pipe(&pool, BufReader::new(input.as_bytes()), &mut output).unwrap();
+    assert_eq!(stats.requests, 100);
+    assert_eq!(stats.errors, 0, "{}", String::from_utf8_lossy(&output));
+
+    let exact = ExactResistance::new(graph()).unwrap();
+    let exact_dist = exact.eccentricity_distribution();
+    let (radius, diameter) = (exact_dist.radius(), exact_dist.diameter());
+    let text = String::from_utf8(output).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 100, "one response line per request");
+    for (i, line) in lines.iter().enumerate() {
+        let json = Json::parse(line).unwrap_or_else(|e| panic!("line {i} not JSON: {e}"));
+        assert_eq!(json.get("ok").and_then(Json::as_bool), Some(true), "{line}");
+        assert_eq!(json.get("id").and_then(Json::as_usize), Some(i), "{line}");
+        let value = json.get("value").and_then(Json::as_f64);
+        match i % 5 {
+            0 => {
+                let v = (i * 13) % N;
+                let c = exact.eccentricity(v).0;
+                let got = value.unwrap();
+                assert!((got - c).abs() <= EPS * c + 1e-9, "c({v}): {got} vs {c}");
+                assert_eq!(json.get("tier").and_then(Json::as_str), Some("fast"), "{line}");
+            }
+            1 => {
+                let (u, v) = ((i * 7) % N, (i * 11 + 1) % N);
+                let r = exact.resistance(u, v);
+                let got = value.unwrap();
+                assert!((got - r).abs() <= EPS * r + 1e-9, "r({u},{v}): {got} vs {r}");
+            }
+            2 => {
+                let got = value.unwrap();
+                assert!(
+                    (got - radius).abs() <= EPS * radius + 1e-9,
+                    "radius: {got} vs {radius}"
+                );
+            }
+            3 => {
+                let got = value.unwrap();
+                assert!(
+                    (got - diameter).abs() <= EPS * diameter + 1e-9,
+                    "diameter: {got} vs {diameter}"
+                );
+            }
+            _ => {
+                assert_eq!(json.get("nodes").and_then(Json::as_usize), Some(N), "{line}");
+            }
+        }
+    }
+}
+
+#[test]
+fn depth_one_queue_rejects_instead_of_blocking() {
+    let pool = ServePool::new(
+        engine(),
+        PoolConfig { threads: 1, queue_depth: 1, ..Default::default() },
+    );
+    // Occupy the single worker with the O(n · l · d) radius sweep ...
+    let busy = pool
+        .submit(RequestEnvelope { id: None, deadline_ms: None, request: Request::Radius })
+        .unwrap();
+    // ... then flood. Submission must return immediately either way; with
+    // the worker busy, at most one request fits the queue.
+    let started = std::time::Instant::now();
+    let mut overloaded = 0;
+    let mut accepted = Vec::new();
+    for v in 0..24 {
+        match pool.submit(RequestEnvelope {
+            id: None,
+            deadline_ms: None,
+            request: Request::Ecc { v },
+        }) {
+            Ok(rx) => accepted.push(rx),
+            Err(SubmitError::Overloaded { depth }) => {
+                assert_eq!(depth, 1);
+                overloaded += 1;
+            }
+            Err(e) => panic!("{e:?}"),
+        }
+    }
+    let elapsed = started.elapsed();
+    assert!(overloaded >= 1, "a depth-1 queue under flood must shed load");
+    assert!(
+        elapsed < std::time::Duration::from_millis(250),
+        "24 submissions must not block on the busy worker: took {elapsed:?}"
+    );
+    assert!(busy.recv().unwrap().is_ok());
+    for rx in accepted {
+        assert!(rx.recv().unwrap().is_ok(), "accepted requests still complete");
+    }
+}
+
+#[test]
+fn tcp_server_answers_concurrent_clients_consistently() {
+    use std::io::{BufRead, Write};
+
+    let pool =
+        Arc::new(ServePool::new(engine(), PoolConfig { threads: 4, ..Default::default() }));
+    let server = TcpServer::start(Arc::clone(&pool), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+    let expected = engine().eccentricity(7).value;
+
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let stream = std::net::TcpStream::connect(addr).unwrap();
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut stream = stream;
+                let mut values = Vec::new();
+                for _ in 0..8 {
+                    writeln!(stream, "{{\"op\":\"ecc\",\"v\":7}}").unwrap();
+                    let mut line = String::new();
+                    reader.read_line(&mut line).unwrap();
+                    let json = Json::parse(&line).unwrap();
+                    assert_eq!(json.get("ok").and_then(Json::as_bool), Some(true), "{line}");
+                    values.push(json.get("value").and_then(Json::as_f64).unwrap());
+                }
+                values
+            })
+        })
+        .collect();
+    for handle in handles {
+        for value in handle.join().unwrap() {
+            assert!(
+                (value - expected).abs() < 1e-12,
+                "every client must see the same cached answer: {value} vs {expected}"
+            );
+        }
+    }
+    assert!(pool.served() >= 32);
+}
+
+#[test]
+fn expired_deadline_is_never_computed() {
+    let pool = ServePool::new(
+        engine(),
+        PoolConfig { threads: 1, queue_depth: 8, ..Default::default() },
+    );
+    let busy = pool
+        .submit(RequestEnvelope { id: None, deadline_ms: None, request: Request::Diameter })
+        .unwrap();
+    let dated = pool.run(RequestEnvelope {
+        id: Some(1),
+        deadline_ms: Some(0),
+        request: Request::Ecc { v: 3 },
+    });
+    assert!(!dated.is_ok());
+    assert!(dated.render().contains("deadline-exceeded"), "{}", dated.render());
+    assert!(busy.recv().unwrap().is_ok());
+}
+
+#[test]
+fn snapshot_fingerprint_is_representation_level() {
+    // The snapshot key is fingerprint(graph): the same edge list loads,
+    // a relabeled isomorph does not. This is by design — sketch rows are
+    // indexed by node id, so an isomorph's ids would scramble answers.
+    let g = graph();
+    let clone =
+        Graph::from_edges(g.node_count(), g.edges().iter().map(|e| (e.u, e.v))).unwrap();
+    assert_eq!(fingerprint(g), fingerprint(&clone));
+}
