@@ -4,6 +4,7 @@
 use std::fmt::Write as _;
 use std::path::Path;
 use std::sync::Arc;
+use std::time::Duration;
 
 use reecc_core::{approx_query, exact_query, fast_query, QueryEngine, SketchParams};
 use reecc_datasets::{preprocess, Dataset, Tier};
@@ -20,7 +21,7 @@ use reecc_opt::{
     Problem,
 };
 use reecc_serve::{
-    serve_pipe, PoolConfig, ServePool, SketchSnapshot, SnapshotError, TcpServer,
+    serve_pipe, PoolConfig, RetryPolicy, ServePool, SketchSnapshot, SnapshotError, TcpServer,
 };
 
 use crate::parse::{parse_command, Algorithm, Command, Model, QueryMethod};
@@ -45,8 +46,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         Command::Generate { model, n, param, seed, dataset, out } => {
             generate(model, n, param, seed, dataset.as_deref(), out.as_deref())
         }
-        Command::SketchBuild { path, out, eps, seed, lcc } => {
-            sketch_build(&path, &out, eps, seed, lcc)
+        Command::SketchBuild { path, out, eps, seed, lcc, verify } => {
+            sketch_build(&path, &out, eps, seed, lcc, verify)
         }
         Command::SketchInfo { path } => sketch_info(&path),
         Command::Serve { path, snapshot, addr, threads, queue_depth, eps, lcc } => {
@@ -289,6 +290,7 @@ fn sketch_build(
     eps: f64,
     seed: u64,
     lcc: bool,
+    verify: bool,
 ) -> Result<String, CliError> {
     let g = load_graph(path, lcc)?;
     let params = SketchParams { epsilon: eps, seed, ..Default::default() };
@@ -296,14 +298,30 @@ fn sketch_build(
         QueryEngine::build(&g, &params).map_err(|e| CliError::Compute(e.to_string()))?;
     let snap = SketchSnapshot::from_engine(&engine);
     let bytes = snap.save(Path::new(out)).map_err(snapshot_err)?;
-    Ok(format!(
+    let mut report = format!(
         "built sketch for {path}: n = {}, d = {}, hull l = {}, eps = {eps}\n\
          wrote {bytes} bytes to {out} (fingerprint {:#018x})\n",
         g.node_count(),
         engine.sketch().dimension(),
         engine.hull_size(),
         snap.fingerprint,
-    ))
+    );
+    if verify {
+        // Round-trip the file we just wrote: a snapshot that cannot be
+        // loaded back (or that loads to a different fingerprint) is a
+        // build failure, not a surprise at serve time.
+        let reread = SketchSnapshot::load(Path::new(out)).map_err(|e| {
+            CliError::Io(format!("verify failed: snapshot did not load back: {e}"))
+        })?;
+        if reread.fingerprint != snap.fingerprint {
+            return Err(CliError::Io(format!(
+                "verify failed: reloaded fingerprint {:#018x} != written {:#018x}",
+                reread.fingerprint, snap.fingerprint
+            )));
+        }
+        report.push_str("verify: round-trip load OK (checksum and fingerprint match)\n");
+    }
+    Ok(report)
 }
 
 fn sketch_info(path: &str) -> Result<String, CliError> {
@@ -321,9 +339,18 @@ fn serve(
     lcc: bool,
 ) -> Result<String, CliError> {
     let g = load_graph(path, lcc)?;
+    let mut snapshot_retries = 0u64;
     let engine = match snapshot {
         Some(snap_path) => {
-            let snap = SketchSnapshot::load(Path::new(snap_path)).map_err(snapshot_err)?;
+            // Transient filesystem hiccups (network mounts, slow volumes)
+            // get a bounded retry; corruption fails immediately.
+            let (snap, retries) =
+                SketchSnapshot::load_with_retry(Path::new(snap_path), &RetryPolicy::default())
+                    .map_err(snapshot_err)?;
+            snapshot_retries = retries;
+            if retries > 0 {
+                eprintln!("snapshot {snap_path} loaded after {retries} retry(ies)");
+            }
             eprintln!("loaded snapshot {snap_path}: {}", snap.summary());
             snap.into_engine(&g).map_err(snapshot_err)?
         }
@@ -335,7 +362,7 @@ fn serve(
     };
     let pool = ServePool::new(
         Arc::new(engine),
-        PoolConfig { threads, queue_depth, ..Default::default() },
+        PoolConfig { threads, queue_depth, snapshot_retries, ..Default::default() },
     );
     // All serving chatter goes to stderr: stdout is the response stream in
     // pipe mode and must stay machine-parseable NDJSON.
@@ -366,6 +393,18 @@ fn serve(
             let stats = serve_pipe(&pool, stdin.lock(), stdout.lock())
                 .map_err(|e| CliError::Io(format!("session failed: {e}")))?;
             eprintln!("session done: {} request(s), {} error(s)", stats.requests, stats.errors);
+            // Deadline-bounded drain, then the one-line shutdown summary.
+            let report = pool.drain(Duration::from_secs(30));
+            eprintln!(
+                "drain: {} submitted, {} answered, {} dropped, {} panic(s), \
+                 {} worker(s) respawned, {:?} elapsed",
+                report.submitted,
+                report.answered,
+                report.dropped,
+                report.panics,
+                report.respawned,
+                report.elapsed
+            );
             Ok(String::new())
         }
     }
@@ -596,9 +635,12 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("reecc-cli-snap-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let snap = dir.join("g.sketch").to_string_lossy().into_owned();
-        let built = run_str(&["sketch-build", &graph, "--out", &snap, "--eps", "0.5"]).unwrap();
+        let built =
+            run_str(&["sketch-build", &graph, "--out", &snap, "--eps", "0.5", "--verify"])
+                .unwrap();
         assert!(built.contains("n = 60"), "{built}");
         assert!(built.contains("fingerprint 0x"), "{built}");
+        assert!(built.contains("verify: round-trip load OK"), "{built}");
         let info = run_str(&["sketch-info", &snap]).unwrap();
         assert!(info.contains("n = 60"), "{info}");
         assert!(info.contains("eps = 0.5"), "{info}");

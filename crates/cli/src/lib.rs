@@ -70,7 +70,7 @@ USAGE:
                  [--algorithm simple|far|cen|ch|minrecc] [--problem remd|rem] [--eps X] [--lcc]
   reecc generate --model ba|hk|ws|er|powerlaw|dataset --n N [--param P] [--seed S]
                  [--dataset NAME] [--out FILE]
-  reecc sketch-build <edges.txt> --out SNAPSHOT [--eps X] [--seed S] [--lcc]
+  reecc sketch-build <edges.txt> --out SNAPSHOT [--eps X] [--seed S] [--lcc] [--verify]
   reecc sketch-info  <SNAPSHOT>
   reecc serve    <edges.txt> [--snapshot SNAPSHOT] [--addr HOST:PORT]
                  [--threads N] [--queue-depth D] [--eps X] [--lcc]
@@ -79,10 +79,18 @@ Edge-list format: one `u v` pair per line; `#`/`%` comments; ids remapped densel
 Disconnected inputs are rejected; pass --lcc to analyze the largest connected
 component instead.
 
+`sketch-build --verify` re-loads the written snapshot and checks its checksum
+and fingerprint before reporting success (snapshots are written atomically:
+temp file + fsync + rename).
+
 `serve` answers newline-delimited JSON requests (`{\"op\":\"ecc\",\"v\":17}`; ops
 ecc | res | radius | diameter | whatif-edge | stats) over stdin/stdout, or over
 TCP with --addr. With --snapshot it reuses a sketch built by `sketch-build`
-instead of rebuilding; the snapshot must match the graph (fingerprint-checked).
+instead of rebuilding; the snapshot must match the graph (fingerprint-checked,
+transient load errors retried with backoff). Worker panics are contained and
+the worker respawned; on shutdown the pool drains with a deadline and prints a
+one-line summary (answered / dropped). Fault injection for testing:
+REECC_FAILPOINTS='site=action[;...]' (see reecc-serve docs).
 
 Exit codes: 0 ok, 2 usage, 3 i/o, 4 graph input, 5 computation.
 ";

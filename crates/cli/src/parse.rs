@@ -58,7 +58,8 @@ pub enum Command {
         /// Output path; stdout when absent.
         out: Option<String>,
     },
-    /// `reecc sketch-build <file> --out SNAP [--eps X] [--seed S] [--lcc]`
+    /// `reecc sketch-build <file> --out SNAP [--eps X] [--seed S] [--lcc]
+    /// [--verify]`
     SketchBuild {
         /// Edge-list path.
         path: String,
@@ -70,6 +71,9 @@ pub enum Command {
         seed: u64,
         /// Reduce disconnected inputs to their largest connected component.
         lcc: bool,
+        /// Round-trip the written snapshot (load + fingerprint check)
+        /// before reporting success.
+        verify: bool,
     },
     /// `reecc sketch-info <snapshot>`
     SketchInfo {
@@ -158,7 +162,7 @@ impl Flags {
         while let Some(a) = it.next() {
             if let Some(name) = a.strip_prefix("--") {
                 // Boolean flags take no value.
-                if name == "help" || name == "lcc" {
+                if name == "help" || name == "lcc" || name == "verify" {
                     pairs.push((name.to_string(), String::new()));
                     continue;
                 }
@@ -360,7 +364,7 @@ pub fn parse_command(args: &[String]) -> Result<Command, CliError> {
         }
         "sketch-build" => {
             let flags = Flags::parse(rest)?;
-            flags.reject_unknown(&["out", "eps", "seed", "lcc"])?;
+            flags.reject_unknown(&["out", "eps", "seed", "lcc", "verify"])?;
             if flags.has("help") {
                 return Ok(Command::Help);
             }
@@ -385,6 +389,7 @@ pub fn parse_command(args: &[String]) -> Result<Command, CliError> {
                 eps: parse_eps(&flags)?,
                 seed,
                 lcc: flags.has("lcc"),
+                verify: flags.has("verify"),
             })
         }
         "sketch-info" => {
@@ -546,10 +551,10 @@ mod tests {
         ])
         .unwrap();
         match cmd {
-            Command::SketchBuild { path, out, eps, seed, lcc } => {
+            Command::SketchBuild { path, out, eps, seed, lcc, verify } => {
                 assert_eq!((path.as_str(), out.as_str()), ("g.txt", "g.sketch"));
                 assert!((eps - 0.4).abs() < 1e-12);
-                assert_eq!((seed, lcc), (7, false));
+                assert_eq!((seed, lcc, verify), (7, false, false));
             }
             other => panic!("{other:?}"),
         }
@@ -557,6 +562,8 @@ mod tests {
             parse(&["sketch-info", "g.sketch"]).unwrap(),
             Command::SketchInfo { path: "g.sketch".into() }
         );
+        let cmd = parse(&["sketch-build", "g.txt", "--out", "g.sketch", "--verify"]).unwrap();
+        assert!(matches!(cmd, Command::SketchBuild { verify: true, .. }));
     }
 
     #[test]

@@ -240,4 +240,61 @@ mod tests {
         assert!(cache.stats().entries <= 1024);
         assert!(cache.stats().hits > 0);
     }
+
+    /// Many threads, several distinct fingerprints, a deliberately small
+    /// cache so eviction churns constantly. Two invariants under fire:
+    /// every hit returns the value that was inserted for *exactly* that
+    /// key (a wrong-fingerprint or wrong-node serve would show up as a
+    /// value mismatch), and the counters stay consistent (hits + misses
+    /// equals the number of lookups issued).
+    #[test]
+    fn hammer_small_cache_never_serves_a_wrong_answer() {
+        // Value encoding makes every (fingerprint, node) pair's correct
+        // answer recomputable by the reader.
+        fn expected(fp: u64, node: usize) -> f64 {
+            (fp * 10_000 + node as u64) as f64
+        }
+
+        let cache = std::sync::Arc::new(ShardedLru::new(64, 4));
+        let threads = 8u64;
+        let iters = 2_000usize;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let cache = std::sync::Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    let fp = 100 + (t % 3); // 3 fingerprints shared across threads
+                    let mut gets = 0u64;
+                    for i in 0..iters {
+                        let node = (i * 7 + t as usize) % 97;
+                        let key = CacheKey::Ecc(fp, node);
+                        if i % 3 != 0 {
+                            cache.insert(key, CachedAnswer { value: expected(fp, node), node });
+                        }
+                        // Probe our own key and a neighboring fingerprint's.
+                        for probe_fp in [fp, 100 + ((t + 1) % 3)] {
+                            let probe = CacheKey::Ecc(probe_fp, node);
+                            gets += 1;
+                            if let Some(hit) = cache.get(&probe) {
+                                assert_eq!(
+                                    hit.value,
+                                    expected(probe_fp, node),
+                                    "cache served a wrong answer for fp={probe_fp} node={node}"
+                                );
+                            }
+                        }
+                    }
+                    gets
+                })
+            })
+            .collect();
+        let total_gets: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        let stats = cache.stats();
+        assert_eq!(
+            stats.hits + stats.misses,
+            total_gets,
+            "counter drift under concurrency: {stats:?} vs {total_gets} lookups"
+        );
+        assert!(stats.evictions > 0, "a 64-entry cache under this load must evict");
+        assert!(stats.entries <= 64 + 4, "entries bounded by capacity (plus shard slack)");
+    }
 }

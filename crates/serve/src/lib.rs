@@ -14,8 +14,12 @@
 //!   restores a [`reecc_core::QueryEngine`] in milliseconds.
 //! * [`pool`] — a hand-rolled worker thread pool (std::thread + mpsc)
 //!   around `Arc<QueryEngine>` with a bounded request queue, explicit
-//!   `overloaded` backpressure, per-request deadlines, and a sharded
-//!   LRU result cache.
+//!   `overloaded` backpressure, per-request deadlines, a sharded LRU
+//!   result cache, panic containment (`catch_unwind` + supervisor
+//!   respawn), and a deadline-bounded graceful drain.
+//! * [`failpoint`] — deterministic fault injection (panics, delays, I/O
+//!   errors) at named sites, armed programmatically or via
+//!   `REECC_FAILPOINTS`; one relaxed atomic load when disarmed.
 //! * [`protocol`] — newline-delimited JSON requests and responses
 //!   (`{"op":"ecc","v":17}`), every answer carrying the degradation tier
 //!   and timing.
@@ -43,13 +47,14 @@
 //! ```
 
 pub mod cache;
+pub mod failpoint;
 pub mod json;
 pub mod pool;
 pub mod protocol;
 pub mod server;
 pub mod snapshot;
 
-pub use pool::{PoolConfig, ServePool, SubmitError};
+pub use pool::{DrainReport, PoolConfig, ServePool, SubmitError};
 pub use protocol::{ErrorKind, Request, RequestEnvelope, Response};
-pub use server::{serve_pipe, SessionStats, TcpServer};
-pub use snapshot::{SketchSnapshot, SnapshotError};
+pub use server::{serve_pipe, ServerConfig, SessionStats, TcpServer};
+pub use snapshot::{RetryPolicy, SketchSnapshot, SnapshotError};

@@ -1,4 +1,5 @@
-//! A hand-rolled worker thread pool around `Arc<QueryEngine>`.
+//! A hand-rolled, panic-contained worker thread pool around
+//! `Arc<QueryEngine>`.
 //!
 //! `std::thread` workers pull jobs from one bounded `mpsc::sync_channel`;
 //! the queue depth is the backpressure contract: when it is full,
@@ -12,13 +13,33 @@
 //! sharded LRU cache keyed on (graph fingerprint, query), so hot keys cost
 //! one lock and one hash after the first computation.
 //!
+//! # Supervision
+//!
+//! Every job runs inside `catch_unwind`: a panic in engine code (or an
+//! armed `worker.compute` failpoint) is converted into a structured
+//! `internal` error response for the in-flight request instead of a hung
+//! client. The panicked worker thread then *exits* — its stack and any
+//! half-mutated thread-locals are discarded — and a supervisor thread
+//! respawns a fresh replacement, recording both events in the pool
+//! counters (`panics_total`, `workers_respawned`). The pool therefore
+//! keeps its configured parallelism through arbitrarily many panics.
+//!
+//! # Graceful drain
+//!
+//! [`ServePool::drain`] stops admissions, lets workers finish queued work
+//! until a deadline, and answers every job still queued past the deadline
+//! with a `draining` error (counted in `dropped_on_drain`). The returned
+//! [`DrainReport`] accounts for every accepted request:
+//! `answered + dropped == submitted`.
+//!
 //! The degradation tier is decided once per pool from the sketch's build
 //! diagnostics, mirroring `fast_query_with_policy`: a sketch with too many
 //! degraded rows is not trusted to drive the hull shortcut, and every
 //! eccentricity query falls back to the full `O(n·d)` scan — reported on
 //! the wire as `"tier":"approx"`.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -27,6 +48,7 @@ use reecc_core::{DegradationPolicy, QueryEngine, QueryTier};
 use reecc_graph::{fingerprint, Edge};
 
 use crate::cache::{CacheKey, CachedAnswer, ShardedLru};
+use crate::failpoint;
 use crate::protocol::{ErrorKind, Outcome, Request, RequestEnvelope, Response, StatsReport};
 
 /// Pool sizing and behavior knobs.
@@ -43,6 +65,9 @@ pub struct PoolConfig {
     pub cache_shards: usize,
     /// Deadline applied to requests that do not carry their own.
     pub default_deadline: Option<Duration>,
+    /// Transient-error retries it took to load the snapshot this pool
+    /// serves (0 when built fresh); surfaced in `stats` for observability.
+    pub snapshot_retries: u64,
 }
 
 impl Default for PoolConfig {
@@ -53,6 +78,7 @@ impl Default for PoolConfig {
             cache_capacity: 4096,
             cache_shards: 8,
             default_deadline: None,
+            snapshot_retries: 0,
         }
     }
 }
@@ -65,8 +91,27 @@ pub enum SubmitError {
         /// The configured depth, for the error message.
         depth: usize,
     },
-    /// The pool has been shut down.
+    /// The pool has been shut down or is draining.
     ShuttingDown,
+}
+
+/// The final accounting returned by [`ServePool::drain`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Requests accepted by [`ServePool::submit`] over the pool's life.
+    pub submitted: u64,
+    /// Requests that received a computed (or error) response before the
+    /// drain deadline.
+    pub answered: u64,
+    /// Requests answered with a `draining` error because the deadline
+    /// passed while they were still queued.
+    pub dropped: u64,
+    /// Worker panics contained over the pool's life.
+    pub panics: u64,
+    /// Workers respawned by the supervisor.
+    pub respawned: u64,
+    /// Wall time the drain took.
+    pub elapsed: Duration,
 }
 
 struct Job {
@@ -82,14 +127,29 @@ struct Shared {
     cache: ShardedLru,
     tier: QueryTier,
     served: AtomicU64,
+    submitted: AtomicU64,
+    panics: AtomicU64,
+    respawned: AtomicU64,
+    dropped_on_drain: AtomicU64,
+    snapshot_retries: u64,
+    shutdown: AtomicBool,
+    /// Jobs dequeued after this instant are dropped with a `draining`
+    /// error instead of computed.
+    drain_deadline: Mutex<Option<Instant>>,
     threads: usize,
     queue_depth: usize,
 }
 
-/// The serving pool: workers, bounded queue, shared cache.
+enum WorkerExit {
+    Clean,
+    Panicked,
+}
+
+/// The serving pool: supervised workers, bounded queue, shared cache.
 pub struct ServePool {
-    tx: Option<SyncSender<Job>>,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    tx: Mutex<Option<SyncSender<Job>>>,
+    workers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    supervisor: Mutex<Option<std::thread::JoinHandle<()>>>,
     shared: Arc<Shared>,
     default_deadline: Option<Duration>,
 }
@@ -100,12 +160,13 @@ impl std::fmt::Debug for ServePool {
             .field("threads", &self.shared.threads)
             .field("queue_depth", &self.shared.queue_depth)
             .field("served", &self.shared.served.load(Ordering::Relaxed))
+            .field("panics", &self.shared.panics.load(Ordering::Relaxed))
             .finish()
     }
 }
 
 impl ServePool {
-    /// Spin up the workers for `engine`.
+    /// Spin up the supervised workers for `engine`.
     pub fn new(engine: Arc<QueryEngine>, config: PoolConfig) -> Self {
         let threads = if config.threads == 0 {
             std::thread::available_parallelism().map(|p| p.get()).unwrap_or(2).max(2)
@@ -127,24 +188,43 @@ impl ServePool {
             cache: ShardedLru::new(config.cache_capacity, config.cache_shards),
             tier,
             served: AtomicU64::new(0),
+            submitted: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            respawned: AtomicU64::new(0),
+            dropped_on_drain: AtomicU64::new(0),
+            snapshot_retries: config.snapshot_retries,
+            shutdown: AtomicBool::new(false),
+            drain_deadline: Mutex::new(None),
             threads,
             queue_depth,
             engine,
         });
         let (tx, rx) = mpsc::sync_channel::<Job>(queue_depth);
         let rx = Arc::new(Mutex::new(rx));
-        let default_deadline = config.default_deadline;
-        let workers = (0..threads)
-            .map(|i| {
-                let rx = Arc::clone(&rx);
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("reecc-serve-{i}"))
-                    .spawn(move || worker_loop(&rx, &shared))
-                    .expect("spawn serve worker")
-            })
-            .collect();
-        ServePool { tx: Some(tx), workers, shared, default_deadline }
+        let (exit_tx, exit_rx) = mpsc::channel::<WorkerExit>();
+        let workers = Arc::new(Mutex::new(Vec::with_capacity(threads + 1)));
+        {
+            let mut handles = workers.lock().expect("worker registry poisoned");
+            for i in 0..threads {
+                handles.push(spawn_worker(i, &rx, &shared, &exit_tx));
+            }
+        }
+        let supervisor = {
+            let rx_jobs = Arc::clone(&rx);
+            let shared = Arc::clone(&shared);
+            let workers = Arc::clone(&workers);
+            std::thread::Builder::new()
+                .name("reecc-serve-supervisor".to_string())
+                .spawn(move || supervisor_loop(&exit_rx, &exit_tx, &rx_jobs, &shared, &workers))
+                .expect("spawn serve supervisor")
+        };
+        ServePool {
+            tx: Mutex::new(Some(tx)),
+            workers,
+            supervisor: Mutex::new(Some(supervisor)),
+            shared,
+            default_deadline: config.default_deadline,
+        }
     }
 
     /// The pool's tier for eccentricity answers, as a wire string.
@@ -158,9 +238,10 @@ impl ServePool {
     /// # Errors
     ///
     /// [`SubmitError::Overloaded`] when the bounded queue is full;
-    /// [`SubmitError::ShuttingDown`] after shutdown began.
+    /// [`SubmitError::ShuttingDown`] after shutdown or drain began.
     pub fn submit(&self, env: RequestEnvelope) -> Result<Receiver<Response>, SubmitError> {
-        let Some(tx) = &self.tx else {
+        let guard = self.tx.lock().expect("pool sender poisoned");
+        let Some(tx) = guard.as_ref() else {
             return Err(SubmitError::ShuttingDown);
         };
         let (reply_tx, reply_rx) = mpsc::channel();
@@ -171,7 +252,10 @@ impl ServePool {
         };
         let job = Job { env, enqueued: now, deadline, reply: reply_tx };
         match tx.try_send(job) {
-            Ok(()) => Ok(reply_rx),
+            Ok(()) => {
+                self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+                Ok(reply_rx)
+            }
             Err(TrySendError::Full(_)) => {
                 Err(SubmitError::Overloaded { depth: self.shared.queue_depth })
             }
@@ -202,30 +286,123 @@ impl ServePool {
             Err(SubmitError::ShuttingDown) => Response::error(
                 id,
                 op,
-                ErrorKind::Internal,
-                "pool is shutting down".to_string(),
+                ErrorKind::Draining,
+                "pool is draining; request not accepted".to_string(),
             ),
         }
     }
 
-    /// Requests answered so far (any outcome).
+    /// Requests answered so far (any outcome, drain drops included).
     pub fn served(&self) -> u64 {
         self.shared.served.load(Ordering::Relaxed)
+    }
+
+    /// Worker panics contained so far.
+    pub fn panics_total(&self) -> u64 {
+        self.shared.panics.load(Ordering::Relaxed)
+    }
+
+    /// Workers respawned by the supervisor so far.
+    pub fn workers_respawned(&self) -> u64 {
+        self.shared.respawned.load(Ordering::Relaxed)
     }
 
     /// The engine's graph fingerprint.
     pub fn graph_fingerprint(&self) -> u64 {
         self.shared.fingerprint
     }
+
+    /// Stop accepting, finish queued work for up to `grace`, answer
+    /// anything still queued past the deadline with a `draining` error,
+    /// and join every worker. Idempotent: a second call (or `Drop`)
+    /// reports the same final counters with zero additional work.
+    pub fn drain(&self, grace: Duration) -> DrainReport {
+        let started = Instant::now();
+        *self.shared.drain_deadline.lock().expect("drain deadline poisoned") =
+            Some(started + grace);
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Closing the channel stops admissions and lets workers run the
+        // queue dry; jobs dequeued past the deadline are answered with
+        // `draining` instead of computed.
+        drop(self.tx.lock().expect("pool sender poisoned").take());
+        if let Some(handle) = self.supervisor.lock().expect("supervisor handle poisoned").take()
+        {
+            let _ = handle.join();
+        }
+        let handles: Vec<_> =
+            self.workers.lock().expect("worker registry poisoned").drain(..).collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+        let submitted = self.shared.submitted.load(Ordering::SeqCst);
+        let dropped = self.shared.dropped_on_drain.load(Ordering::SeqCst);
+        let served = self.shared.served.load(Ordering::SeqCst);
+        DrainReport {
+            submitted,
+            answered: served - dropped,
+            dropped,
+            panics: self.shared.panics.load(Ordering::SeqCst),
+            respawned: self.shared.respawned.load(Ordering::SeqCst),
+            elapsed: started.elapsed(),
+        }
+    }
 }
 
 impl Drop for ServePool {
     fn drop(&mut self) {
-        // Closing the channel wakes every worker out of recv; join so no
-        // in-flight reply is lost.
-        drop(self.tx.take());
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
+        // A normal shutdown is a drain with no deadline pressure: finish
+        // everything queued, lose nothing.
+        let _ = self.drain(Duration::from_secs(3600));
+    }
+}
+
+fn spawn_worker(
+    index: usize,
+    rx: &Arc<Mutex<Receiver<Job>>>,
+    shared: &Arc<Shared>,
+    exit_tx: &Sender<WorkerExit>,
+) -> std::thread::JoinHandle<()> {
+    let rx = Arc::clone(rx);
+    let shared = Arc::clone(shared);
+    let exit_tx = exit_tx.clone();
+    std::thread::Builder::new()
+        .name(format!("reecc-serve-{index}"))
+        .spawn(move || {
+            let reason = worker_loop(&rx, &shared);
+            let _ = exit_tx.send(reason);
+        })
+        .expect("spawn serve worker")
+}
+
+/// Respawn panicked workers until every worker has exited cleanly.
+///
+/// The supervisor keeps a live-worker count: a clean exit (channel closed
+/// at shutdown) decrements it; a panic exit spawns a replacement unless
+/// the pool is already shutting down. It holds its own `exit_tx` clone to
+/// hand to replacements, so termination is by counting, not disconnect.
+fn supervisor_loop(
+    exit_rx: &Receiver<WorkerExit>,
+    exit_tx: &Sender<WorkerExit>,
+    rx_jobs: &Arc<Mutex<Receiver<Job>>>,
+    shared: &Arc<Shared>,
+    workers: &Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+) {
+    let mut live = shared.threads;
+    let mut spawned = shared.threads;
+    while live > 0 {
+        match exit_rx.recv() {
+            Ok(WorkerExit::Clean) => live -= 1,
+            Ok(WorkerExit::Panicked) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    live -= 1;
+                    continue;
+                }
+                let handle = spawn_worker(spawned, rx_jobs, shared, exit_tx);
+                spawned += 1;
+                shared.respawned.fetch_add(1, Ordering::SeqCst);
+                workers.lock().expect("worker registry poisoned").push(handle);
+            }
+            Err(_) => break,
         }
     }
 }
@@ -238,20 +415,34 @@ fn tier_name(tier: QueryTier) -> &'static str {
     }
 }
 
-fn worker_loop(rx: &Arc<Mutex<Receiver<Job>>>, shared: &Shared) {
+fn worker_loop(rx: &Arc<Mutex<Receiver<Job>>>, shared: &Shared) -> WorkerExit {
     loop {
         // Hold the lock only for the blocking recv; execution runs
         // unlocked so workers overlap on distinct jobs.
         let job = match rx.lock() {
             Ok(guard) => guard.recv(),
-            Err(_) => return,
+            Err(_) => return WorkerExit::Clean,
         };
         let Ok(job) = job else {
-            return; // channel closed: shutdown
+            return WorkerExit::Clean; // channel closed: shutdown
         };
         let started = Instant::now();
         let queue_micros = started.duration_since(job.enqueued).as_micros() as u64;
-        let response = if job.deadline.is_some_and(|d| started > d) {
+        let past_drain = shared
+            .drain_deadline
+            .lock()
+            .ok()
+            .and_then(|g| *g)
+            .is_some_and(|deadline| started > deadline);
+        let response = if past_drain {
+            shared.dropped_on_drain.fetch_add(1, Ordering::SeqCst);
+            Response::error(
+                job.env.id,
+                job.env.request.op_name(),
+                ErrorKind::Draining,
+                format!("dropped: still queued {queue_micros}us past the drain deadline"),
+            )
+        } else if job.deadline.is_some_and(|d| started > d) {
             Response::error(
                 job.env.id,
                 job.env.request.op_name(),
@@ -259,22 +450,60 @@ fn worker_loop(rx: &Arc<Mutex<Receiver<Job>>>, shared: &Shared) {
                 format!("deadline expired after {queue_micros}us in queue"),
             )
         } else {
-            let (outcome, cached) = execute(shared, job.env.request);
-            let tier =
-                if matches!(outcome, Outcome::Error { .. }) { None } else { Some(shared.tier) };
-            Response {
-                id: job.env.id,
-                op: job.env.request.op_name(),
-                outcome,
-                tier: tier.map(tier_name),
-                cached,
-                compute_micros: started.elapsed().as_micros() as u64,
-                queue_micros,
+            // Containment boundary: a panic below this line costs this
+            // one request (answered with `internal`) and this one worker
+            // thread (respawned by the supervisor) — never the pool.
+            match catch_unwind(AssertUnwindSafe(|| execute(shared, job.env.request))) {
+                Ok((outcome, cached)) => {
+                    let tier = if matches!(outcome, Outcome::Error { .. }) {
+                        None
+                    } else {
+                        Some(shared.tier)
+                    };
+                    Response {
+                        id: job.env.id,
+                        op: job.env.request.op_name(),
+                        outcome,
+                        tier: tier.map(tier_name),
+                        cached,
+                        compute_micros: started.elapsed().as_micros() as u64,
+                        queue_micros,
+                    }
+                }
+                Err(payload) => {
+                    shared.panics.fetch_add(1, Ordering::SeqCst);
+                    let detail = panic_message(payload.as_ref());
+                    let response = Response::error(
+                        job.env.id,
+                        job.env.request.op_name(),
+                        ErrorKind::Internal,
+                        format!(
+                            "worker panicked while serving this request: {detail}; \
+                             the worker was respawned and the pool keeps serving"
+                        ),
+                    );
+                    shared.served.fetch_add(1, Ordering::SeqCst);
+                    let _ = job.reply.send(response);
+                    // Exit so the half-unwound thread is discarded; the
+                    // supervisor spawns a clean replacement.
+                    return WorkerExit::Panicked;
+                }
             }
         };
-        shared.served.fetch_add(1, Ordering::Relaxed);
+        shared.served.fetch_add(1, Ordering::SeqCst);
         // A disappeared client is not an error; drop the reply.
         let _ = job.reply.send(response);
+    }
+}
+
+/// Best-effort extraction of a `panic!` payload message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
     }
 }
 
@@ -288,6 +517,9 @@ fn ecc_answer(shared: &Shared, v: usize) -> CachedAnswer {
 
 /// Run one validated-or-rejected operation, consulting the cache first.
 fn execute(shared: &Shared, request: Request) -> (Outcome, bool) {
+    if let Err(msg) = failpoint::hit("worker.compute") {
+        return (Outcome::Error { kind: ErrorKind::Internal, message: msg }, false);
+    }
     let n = shared.engine.graph().node_count();
     let fp = shared.fingerprint;
     let bad =
@@ -382,6 +614,10 @@ fn execute(shared: &Shared, request: Request) -> (Outcome, bool) {
                     threads: shared.threads,
                     queue_depth: shared.queue_depth,
                     served: shared.served.load(Ordering::Relaxed),
+                    panics_total: shared.panics.load(Ordering::Relaxed),
+                    workers_respawned: shared.respawned.load(Ordering::Relaxed),
+                    dropped_on_drain: shared.dropped_on_drain.load(Ordering::Relaxed),
+                    snapshot_retries: shared.snapshot_retries,
                     cache_hits: cache.hits,
                     cache_misses: cache.misses,
                     cache_evictions: cache.evictions,
@@ -452,6 +688,9 @@ mod tests {
                 assert_eq!(s.threads, 2);
                 assert!(s.cache_hits >= 3, "{s:?}");
                 assert!(s.served >= 6);
+                assert_eq!(s.panics_total, 0);
+                assert_eq!(s.workers_respawned, 0);
+                assert_eq!(s.dropped_on_drain, 0);
             }
             other => panic!("{other:?}"),
         }
@@ -540,5 +779,23 @@ mod tests {
         let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
         assert_eq!(total, 80, "large queue + run() must answer everything");
         assert_eq!(p.served(), 80);
+    }
+
+    #[test]
+    fn drain_of_an_idle_pool_is_clean_and_idempotent() {
+        let p = pool(2, 8);
+        assert!(p.run(env(Request::Ecc { v: 1 })).is_ok());
+        let report = p.drain(Duration::from_secs(5));
+        assert_eq!(report.submitted, 1);
+        assert_eq!(report.answered, 1);
+        assert_eq!(report.dropped, 0);
+        // After drain, submissions are refused as draining.
+        let resp = p.run(env(Request::Ecc { v: 2 }));
+        match resp.outcome {
+            Outcome::Error { kind, .. } => assert_eq!(kind, ErrorKind::Draining),
+            other => panic!("{other:?}"),
+        }
+        let again = p.drain(Duration::from_secs(5));
+        assert_eq!((again.submitted, again.answered, again.dropped), (1, 1, 0));
     }
 }

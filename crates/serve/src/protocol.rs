@@ -140,8 +140,11 @@ pub enum ErrorKind {
     Overloaded,
     /// The request's deadline expired before a worker picked it up.
     DeadlineExceeded,
-    /// The pool is shutting down or a worker failed internally.
+    /// A worker failed internally (including a contained panic).
     Internal,
+    /// The pool is draining: the request was refused at admission, or was
+    /// still queued when the drain deadline passed.
+    Draining,
 }
 
 impl ErrorKind {
@@ -153,6 +156,7 @@ impl ErrorKind {
             ErrorKind::Overloaded => "overloaded",
             ErrorKind::DeadlineExceeded => "deadline-exceeded",
             ErrorKind::Internal => "internal",
+            ErrorKind::Draining => "draining",
         }
     }
 }
@@ -182,6 +186,15 @@ pub struct StatsReport {
     pub queue_depth: usize,
     /// Requests answered so far (any outcome).
     pub served: u64,
+    /// Worker panics contained by the supervision layer.
+    pub panics_total: u64,
+    /// Workers respawned after a contained panic.
+    pub workers_respawned: u64,
+    /// Requests answered with `draining` because they were still queued
+    /// past a drain deadline.
+    pub dropped_on_drain: u64,
+    /// Transient-error retries needed to load the serving snapshot.
+    pub snapshot_retries: u64,
     /// Result-cache hits.
     pub cache_hits: u64,
     /// Result-cache misses.
@@ -286,6 +299,11 @@ impl Response {
                 fields.push(("threads".into(), Json::Num(s.threads as f64)));
                 fields.push(("queue_depth".into(), Json::Num(s.queue_depth as f64)));
                 fields.push(("served".into(), Json::Num(s.served as f64)));
+                fields.push(("panics_total".into(), Json::Num(s.panics_total as f64)));
+                fields
+                    .push(("workers_respawned".into(), Json::Num(s.workers_respawned as f64)));
+                fields.push(("dropped_on_drain".into(), Json::Num(s.dropped_on_drain as f64)));
+                fields.push(("snapshot_retries".into(), Json::Num(s.snapshot_retries as f64)));
                 fields.push(("cache_hits".into(), Json::Num(s.cache_hits as f64)));
                 fields.push(("cache_misses".into(), Json::Num(s.cache_misses as f64)));
                 fields.push(("cache_evictions".into(), Json::Num(s.cache_evictions as f64)));
@@ -404,6 +422,7 @@ mod tests {
             ErrorKind::Overloaded,
             ErrorKind::DeadlineExceeded,
             ErrorKind::Internal,
+            ErrorKind::Draining,
         ];
         let mut names: Vec<&str> = kinds.iter().map(ErrorKind::wire_name).collect();
         names.sort_unstable();

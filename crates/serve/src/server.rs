@@ -8,18 +8,63 @@
 //! thread per client, all submitting into the same bounded [`ServePool`].
 //!
 //! Transport threads never compute: they parse, submit, and forward. The
-//! pool's bounded queue is the only admission control, so a burst of
-//! clients degrades to `overloaded` responses rather than OS-level socket
-//! backlog growth.
+//! pool's bounded queue is the only admission control for *work*; the
+//! transport adds its own hygiene for *connections* ([`ServerConfig`]):
+//!
+//! * a connection cap — clients past it get one `overloaded` line and an
+//!   immediate close instead of an unbounded thread pile-up;
+//! * per-connection read/write timeouts — a stalled client cannot pin a
+//!   session thread forever (`idle_timeout`), and a client that stops
+//!   reading cannot wedge a writer (`write_timeout`);
+//! * a line-length cap — a client streaming bytes without a newline
+//!   cannot grow a session buffer without bound;
+//! * [`TcpServer::stop`] closes *live sessions* too, not just the accept
+//!   loop: every registered connection socket is shut down and every
+//!   session thread joined, so stop completes even with clients parked
+//!   mid-connection.
 
-use std::io::{self, BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::collections::HashMap;
+use std::io::{self, BufRead, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
+use crate::failpoint;
 use crate::pool::ServePool;
 use crate::protocol::{parse_request, ErrorKind, Response};
+
+/// Connection-hygiene knobs for the TCP transport.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Maximum simultaneous sessions; connections beyond it are answered
+    /// with one `overloaded` error line and closed (clamped to ≥ 1).
+    pub max_connections: usize,
+    /// A session whose client sends nothing for this long is closed with
+    /// an in-band `deadline-exceeded` notice.
+    pub idle_timeout: Duration,
+    /// How often a blocked session read wakes up to check the shutdown
+    /// flag and the idle clock.
+    pub poll_interval: Duration,
+    /// Socket write timeout: a client that stops reading its responses
+    /// errors the session instead of wedging the thread.
+    pub write_timeout: Duration,
+    /// Maximum request-line length in bytes; longer lines error the
+    /// session (clamped to ≥ 1024).
+    pub max_line_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_connections: 64,
+            idle_timeout: Duration::from_secs(300),
+            poll_interval: Duration::from_millis(50),
+            write_timeout: Duration::from_secs(10),
+            max_line_bytes: 64 * 1024,
+        }
+    }
+}
 
 /// Counters for one pipe/socket session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -49,52 +94,122 @@ pub fn serve_pipe<R: BufRead, W: Write>(
     let mut stats = SessionStats::default();
     for line in reader.lines() {
         let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        stats.requests += 1;
-        let response = match parse_request(&line) {
-            Ok(env) => pool.run(env),
-            Err(message) => Response::error(None, "?", ErrorKind::Parse, message),
-        };
-        if !response.is_ok() {
-            stats.errors += 1;
-        }
-        writer.write_all(response.render().as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
+        respond_line(pool, &line, &mut writer, &mut stats)?;
     }
     Ok(stats)
+}
+
+/// Parse-submit-answer one request line (shared by both transports).
+fn respond_line<W: Write>(
+    pool: &ServePool,
+    line: &str,
+    writer: &mut W,
+    stats: &mut SessionStats,
+) -> io::Result<()> {
+    if line.trim().is_empty() {
+        return Ok(());
+    }
+    stats.requests += 1;
+    let response = match parse_request(line) {
+        Ok(env) => pool.run(env),
+        Err(message) => Response::error(None, "?", ErrorKind::Parse, message),
+    };
+    if !response.is_ok() {
+        stats.errors += 1;
+    }
+    write_response(writer, &response)
+}
+
+fn write_response<W: Write>(writer: &mut W, response: &Response) -> io::Result<()> {
+    writer.write_all(response.render().as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// Live-session bookkeeping shared between the accept loop, the session
+/// threads, and [`TcpServer::stop`].
+#[derive(Debug, Default)]
+struct SessionRegistry {
+    /// Socket clones of live sessions, keyed by a per-server serial; used
+    /// by `stop` to force-close parked connections.
+    streams: Mutex<HashMap<u64, TcpStream>>,
+    /// Session thread handles (never self-joined: sessions only register,
+    /// `stop` joins).
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    next_id: AtomicU64,
+}
+
+impl SessionRegistry {
+    fn live(&self) -> usize {
+        self.streams.lock().expect("session registry poisoned").len()
+    }
+
+    fn register(&self, stream: &TcpStream) -> io::Result<u64> {
+        let id = self.next_id.fetch_add(1, Ordering::SeqCst);
+        let clone = stream.try_clone()?;
+        self.streams.lock().expect("session registry poisoned").insert(id, clone);
+        Ok(id)
+    }
+
+    fn deregister(&self, id: u64) {
+        self.streams.lock().expect("session registry poisoned").remove(&id);
+    }
+
+    /// Shut down every live connection socket; blocked session reads
+    /// return immediately with EOF/error.
+    fn close_all(&self) {
+        for stream in self.streams.lock().expect("session registry poisoned").values() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
 }
 
 /// A TCP front end over a shared [`ServePool`].
 ///
 /// The accept loop runs on its own thread with a nonblocking listener so
 /// [`TcpServer::stop`] takes effect within one poll interval (~25 ms);
-/// each accepted connection gets a session thread running [`serve_pipe`].
+/// each accepted connection gets a session thread running the timed
+/// session loop.
 #[derive(Debug)]
 pub struct TcpServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    registry: Arc<SessionRegistry>,
     accept_thread: Option<std::thread::JoinHandle<io::Result<()>>>,
 }
 
 impl TcpServer {
-    /// Bind `addr` and start accepting in the background.
+    /// Bind `addr` and start accepting in the background with default
+    /// connection hygiene.
     ///
     /// # Errors
     ///
     /// Propagates bind/configuration failures.
     pub fn start(pool: Arc<ServePool>, addr: &str) -> io::Result<TcpServer> {
+        Self::start_with(pool, addr, ServerConfig::default())
+    }
+
+    /// Bind `addr` and start accepting in the background.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/configuration failures.
+    pub fn start_with(
+        pool: Arc<ServePool>,
+        addr: &str,
+        config: ServerConfig,
+    ) -> io::Result<TcpServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let shutdown = Arc::new(AtomicBool::new(false));
+        let registry = Arc::new(SessionRegistry::default());
         let flag = Arc::clone(&shutdown);
+        let reg = Arc::clone(&registry);
         let accept_thread = std::thread::Builder::new()
             .name("reecc-serve-accept".to_string())
-            .spawn(move || accept_loop(&listener, &pool, &flag))?;
-        Ok(TcpServer { addr, shutdown, accept_thread: Some(accept_thread) })
+            .spawn(move || accept_loop(&listener, &pool, &flag, &reg, config))?;
+        Ok(TcpServer { addr, shutdown, registry, accept_thread: Some(accept_thread) })
     }
 
     /// The bound address (useful with a `:0` ephemeral port).
@@ -102,20 +217,38 @@ impl TcpServer {
         self.addr
     }
 
-    /// Stop accepting and join the accept thread. Already-accepted
-    /// sessions run to completion on their own threads.
+    /// Currently live session count.
+    pub fn live_sessions(&self) -> usize {
+        self.registry.live()
+    }
+
+    /// Stop accepting, force-close every live session socket, and join
+    /// both the accept thread and all session threads. Safe to call
+    /// repeatedly.
     ///
     /// # Errors
     ///
     /// Returns the accept loop's I/O error, if it died on one.
     pub fn stop(&mut self) -> io::Result<()> {
         self.shutdown.store(true, Ordering::SeqCst);
-        match self.accept_thread.take() {
+        let accept_result = match self.accept_thread.take() {
             Some(handle) => handle
                 .join()
                 .unwrap_or_else(|_| Err(io::Error::other("accept thread panicked"))),
             None => Ok(()),
+        };
+        // With the accept loop gone no new sessions can appear; closing
+        // the sockets unblocks any session parked in a read, and joining
+        // guarantees their threads are gone before stop returns.
+        self.registry.close_all();
+        let threads: Vec<_> = {
+            let mut guard = self.registry.threads.lock().expect("session registry poisoned");
+            guard.drain(..).collect()
+        };
+        for handle in threads {
+            let _ = handle.join();
         }
+        accept_result
     }
 
     /// Block this thread on the accept loop until the process dies or the
@@ -144,16 +277,31 @@ fn accept_loop(
     listener: &TcpListener,
     pool: &Arc<ServePool>,
     shutdown: &Arc<AtomicBool>,
+    registry: &Arc<SessionRegistry>,
+    config: ServerConfig,
 ) -> io::Result<()> {
+    let max_connections = config.max_connections.max(1);
     while !shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
+                if registry.live() >= max_connections {
+                    shed_connection(stream, max_connections, config.write_timeout);
+                    continue;
+                }
+                let id = match registry.register(&stream) {
+                    Ok(id) => id,
+                    Err(_) => continue, // clone failed: drop the connection
+                };
                 let pool = Arc::clone(pool);
-                std::thread::Builder::new().name("reecc-serve-conn".to_string()).spawn(
-                    move || {
-                        let _ = handle_connection(&pool, stream);
-                    },
-                )?;
+                let reg = Arc::clone(registry);
+                let flag = Arc::clone(shutdown);
+                let handle = std::thread::Builder::new()
+                    .name("reecc-serve-conn".to_string())
+                    .spawn(move || {
+                    let _ = serve_tcp_session(&pool, stream, &flag, config);
+                    reg.deregister(id);
+                })?;
+                registry.threads.lock().expect("session registry poisoned").push(handle);
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(25));
@@ -165,12 +313,100 @@ fn accept_loop(
     Ok(())
 }
 
-fn handle_connection(pool: &ServePool, stream: TcpStream) -> io::Result<SessionStats> {
-    // The accepted stream inherits the listener's nonblocking flag on some
-    // platforms; sessions want plain blocking reads.
+/// Answer an over-cap connection with one error line, then close it.
+fn shed_connection(stream: TcpStream, cap: usize, write_timeout: Duration) {
+    let response = Response::error(
+        None,
+        "?",
+        ErrorKind::Overloaded,
+        format!("connection limit reached ({cap} live sessions); retry later"),
+    );
+    let mut stream = stream;
+    let _ = stream.set_write_timeout(Some(write_timeout));
+    let _ = write_response(&mut stream, &response);
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Would-block comes back as `WouldBlock` on Unix and `TimedOut` on
+/// Windows; treat both as "no data this tick".
+fn is_timeout(kind: io::ErrorKind) -> bool {
+    matches!(kind, io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+/// One TCP session: a hand-rolled line loop over a socket with a read
+/// timeout, so the thread periodically observes the server shutdown flag
+/// and the idle clock instead of blocking forever on a silent client.
+fn serve_tcp_session(
+    pool: &ServePool,
+    stream: TcpStream,
+    shutdown: &AtomicBool,
+    config: ServerConfig,
+) -> io::Result<SessionStats> {
+    // The accepted stream inherits the listener's nonblocking flag on
+    // some platforms; sessions want blocking reads with a timeout tick.
     stream.set_nonblocking(false)?;
-    let reader = BufReader::new(stream.try_clone()?);
-    serve_pipe(pool, reader, stream)
+    stream.set_read_timeout(Some(config.poll_interval.max(Duration::from_millis(1))))?;
+    stream.set_write_timeout(Some(config.write_timeout))?;
+    let max_line = config.max_line_bytes.max(1024);
+    let mut writer = stream.try_clone()?;
+    let mut reader = stream;
+    let mut stats = SessionStats::default();
+    let mut pending: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let mut last_activity = Instant::now();
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(stats); // server stopping: close without ceremony
+        }
+        if let Err(msg) = failpoint::hit("session.read") {
+            return Err(io::Error::other(msg));
+        }
+        match reader.read(&mut chunk) {
+            Ok(0) => return Ok(stats), // EOF: client done
+            Ok(n) => {
+                last_activity = Instant::now();
+                pending.extend_from_slice(&chunk[..n]);
+                // Answer every complete line in arrival order.
+                while let Some(nl) = pending.iter().position(|&b| b == b'\n') {
+                    let line: Vec<u8> = pending.drain(..=nl).collect();
+                    let line = String::from_utf8_lossy(&line[..nl]);
+                    respond_line(pool, &line, &mut writer, &mut stats)?;
+                }
+                if pending.len() > max_line {
+                    let response = Response::error(
+                        None,
+                        "?",
+                        ErrorKind::Parse,
+                        format!(
+                            "request line exceeds {max_line} bytes without a newline; \
+                             closing session"
+                        ),
+                    );
+                    stats.errors += 1;
+                    let _ = write_response(&mut writer, &response);
+                    return Ok(stats);
+                }
+            }
+            Err(e) if is_timeout(e.kind()) => {
+                if last_activity.elapsed() >= config.idle_timeout {
+                    let response = Response::error(
+                        None,
+                        "?",
+                        ErrorKind::DeadlineExceeded,
+                        format!(
+                            "idle for {:?} (limit {:?}); closing session",
+                            last_activity.elapsed(),
+                            config.idle_timeout
+                        ),
+                    );
+                    let _ = write_response(&mut writer, &response);
+                    return Ok(stats);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -180,6 +416,7 @@ mod tests {
     use crate::protocol::Request;
     use reecc_core::{QueryEngine, SketchParams};
     use reecc_graph::generators::barabasi_albert;
+    use std::io::BufReader;
 
     fn test_pool() -> Arc<ServePool> {
         let g = barabasi_albert(40, 2, 11);
@@ -192,6 +429,10 @@ mod tests {
             Arc::new(engine),
             PoolConfig { threads: 2, queue_depth: 32, ..Default::default() },
         ))
+    }
+
+    fn quick_config() -> ServerConfig {
+        ServerConfig { poll_interval: Duration::from_millis(10), ..ServerConfig::default() }
     }
 
     #[test]
@@ -212,7 +453,8 @@ mod tests {
     #[test]
     fn tcp_round_trip_on_ephemeral_port() {
         let pool = test_pool();
-        let mut server = TcpServer::start(Arc::clone(&pool), "127.0.0.1:0").unwrap();
+        let mut server =
+            TcpServer::start_with(Arc::clone(&pool), "127.0.0.1:0", quick_config()).unwrap();
         let addr = server.local_addr();
 
         let stream = TcpStream::connect(addr).unwrap();
@@ -267,5 +509,118 @@ mod tests {
             .collect();
         let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
         assert_eq!(total, 20);
+    }
+
+    #[test]
+    fn stop_closes_sessions_that_are_parked_mid_connection() {
+        let pool = test_pool();
+        let mut server =
+            TcpServer::start_with(Arc::clone(&pool), "127.0.0.1:0", quick_config()).unwrap();
+        let addr = server.local_addr();
+
+        // A client that connects, speaks once, then parks silently.
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream.try_clone().unwrap();
+        writeln!(writer, "{{\"op\":\"ecc\",\"v\":2}}").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"ok\":true"), "{line}");
+        assert_eq!(server.live_sessions(), 1);
+
+        // stop() must return promptly even though the client never
+        // disconnects, and must take the session down with it.
+        let started = Instant::now();
+        server.stop().unwrap();
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "stop must not wait for the client: {:?}",
+            started.elapsed()
+        );
+        assert_eq!(server.live_sessions(), 0, "live sessions must be closed by stop");
+        // The client's next read observes the close.
+        let mut rest = String::new();
+        let _ = reader.read_line(&mut rest);
+        let eofed = rest.is_empty() || reader.read_line(&mut String::new()).unwrap_or(0) == 0;
+        assert!(eofed, "client must see the connection close: {rest:?}");
+    }
+
+    #[test]
+    fn idle_sessions_are_reaped_by_the_idle_timeout() {
+        let pool = test_pool();
+        let config = ServerConfig {
+            idle_timeout: Duration::from_millis(120),
+            poll_interval: Duration::from_millis(10),
+            ..ServerConfig::default()
+        };
+        let server = TcpServer::start_with(Arc::clone(&pool), "127.0.0.1:0", config).unwrap();
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut reader = BufReader::new(stream);
+        // Send nothing; the server must close us with an in-band notice.
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(
+            line.contains("deadline-exceeded") && line.contains("idle"),
+            "idle close must be announced: {line:?}"
+        );
+        let mut eof = String::new();
+        assert_eq!(reader.read_line(&mut eof).unwrap(), 0, "then the socket closes");
+    }
+
+    #[test]
+    fn connections_past_the_cap_are_shed_with_an_overloaded_line() {
+        let pool = test_pool();
+        let config = ServerConfig {
+            max_connections: 1,
+            poll_interval: Duration::from_millis(10),
+            ..ServerConfig::default()
+        };
+        let server = TcpServer::start_with(Arc::clone(&pool), "127.0.0.1:0", config).unwrap();
+        let addr = server.local_addr();
+
+        // First client occupies the single slot (and proves it works).
+        let first = TcpStream::connect(addr).unwrap();
+        let mut first_reader = BufReader::new(first.try_clone().unwrap());
+        let mut first_writer = first;
+        writeln!(first_writer, "{{\"op\":\"ecc\",\"v\":0}}").unwrap();
+        let mut line = String::new();
+        first_reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"ok\":true"), "{line}");
+
+        // Second client is shed with a structured error, then closed.
+        let second = TcpStream::connect(addr).unwrap();
+        second.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut second_reader = BufReader::new(second);
+        let mut shed = String::new();
+        second_reader.read_line(&mut shed).unwrap();
+        assert!(
+            shed.contains("\"error\":\"overloaded\"") && shed.contains("connection limit"),
+            "{shed:?}"
+        );
+        let mut eof = String::new();
+        assert_eq!(second_reader.read_line(&mut eof).unwrap(), 0);
+    }
+
+    #[test]
+    fn oversized_request_lines_error_the_session_instead_of_growing_forever() {
+        let pool = test_pool();
+        let config = ServerConfig {
+            max_line_bytes: 1024,
+            poll_interval: Duration::from_millis(10),
+            ..ServerConfig::default()
+        };
+        let server = TcpServer::start_with(Arc::clone(&pool), "127.0.0.1:0", config).unwrap();
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        // 8 KiB of newline-free garbage.
+        let blob = vec![b'x'; 8 * 1024];
+        writer.write_all(&blob).unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("exceeds") && line.contains("\"error\":\"parse\""), "{line:?}");
     }
 }

@@ -23,9 +23,25 @@
 //! flipped byte anywhere in the file is a [`SnapshotError::ChecksumMismatch`],
 //! and [`SketchSnapshot::into_engine`] refuses to marry a snapshot to a
 //! graph whose fingerprint differs ([`SnapshotError::FingerprintMismatch`]).
+//! A truncated file — any prefix of a valid snapshot — is always a typed
+//! error naming the byte offset, never a raw `UnexpectedEof`.
+//!
+//! # Crash safety
+//!
+//! [`SketchSnapshot::save`] is atomic: bytes go to a same-directory temp
+//! file, which is fsynced and then renamed over the target. A reader (or
+//! a crash) can therefore only ever observe the old complete snapshot or
+//! the new complete snapshot at the target path — never a torn write.
+//! [`SketchSnapshot::load_with_retry`] adds bounded retry-with-backoff
+//! for *transient* failures (classified as [`SnapshotError::Io`]);
+//! corruption and mismatches fail immediately, because re-reading a
+//! damaged file cannot help.
 
 use std::io::{Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use crate::failpoint;
 
 use reecc_core::{QueryEngine, ResistanceSketch, SketchDiagnostics, SketchParams};
 use reecc_graph::fingerprint::{fingerprint, Fnv1a};
@@ -208,13 +224,28 @@ impl SketchSnapshot {
     /// variant.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
         if bytes.len() < MAGIC.len() {
+            // A proper prefix of the magic is a truncated snapshot, not a
+            // foreign file; report the offset, never an EOF panic path.
+            if !bytes.is_empty() && MAGIC.starts_with(bytes) {
+                return Err(SnapshotError::Corrupt(format!(
+                    "truncated at byte {} inside the {}-byte magic",
+                    bytes.len(),
+                    MAGIC.len()
+                )));
+            }
             return Err(SnapshotError::BadMagic);
         }
         if bytes[..MAGIC.len()] != MAGIC {
             return Err(SnapshotError::BadMagic);
         }
+        // Magic + version + checksum is the smallest decodable file; below
+        // that the trailing-checksum split itself would be out of bounds.
         if bytes.len() < MAGIC.len() + 4 + 8 {
-            return Err(SnapshotError::Corrupt("file shorter than the fixed header".into()));
+            return Err(SnapshotError::Corrupt(format!(
+                "truncated at byte {}: shorter than the {}-byte fixed header",
+                bytes.len(),
+                MAGIC.len() + 4 + 8
+            )));
         }
         let (body, tail) = bytes.split_at(bytes.len() - 8);
         let stored = u64::from_le_bytes(tail.try_into().expect("8-byte tail"));
@@ -281,15 +312,38 @@ impl SketchSnapshot {
         Ok(bytes.len())
     }
 
-    /// Save to a file, returning the byte count written.
+    /// Save to a file atomically, returning the byte count written.
+    ///
+    /// The bytes are written to a temp file in the target's directory,
+    /// fsynced, and renamed into place, so no reader ever observes a
+    /// partial snapshot at `path`: on any failure the previous contents
+    /// of `path` (if any) are untouched and the temp file is removed.
     ///
     /// # Errors
     ///
     /// [`SnapshotError::Io`].
     pub fn save(&self, path: &Path) -> Result<usize, SnapshotError> {
-        let file = std::fs::File::create(path)
-            .map_err(|e| SnapshotError::Io(format!("cannot create {}: {e}", path.display())))?;
-        self.write_to(std::io::BufWriter::new(file))
+        let bytes = self.to_bytes();
+        let tmp = temp_sibling(path);
+        let result = write_exclusive(&tmp, &bytes).and_then(|()| {
+            // `snapshot.write` fires between the temp write and the
+            // rename: the window where a crash must leave the target
+            // untouched.
+            failpoint::hit("snapshot.write").map_err(SnapshotError::Io)?;
+            std::fs::rename(&tmp, path).map_err(|e| {
+                SnapshotError::Io(format!(
+                    "cannot rename {} over {}: {e}",
+                    tmp.display(),
+                    path.display()
+                ))
+            })
+        });
+        if result.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+            result?;
+        }
+        sync_parent_dir(path);
+        Ok(bytes.len())
     }
 
     /// Read and decode from `reader`.
@@ -309,9 +363,43 @@ impl SketchSnapshot {
     ///
     /// See [`SnapshotError`].
     pub fn load(path: &Path) -> Result<Self, SnapshotError> {
+        failpoint::hit("snapshot.load").map_err(SnapshotError::Io)?;
         let file = std::fs::File::open(path)
             .map_err(|e| SnapshotError::Io(format!("cannot open {}: {e}", path.display())))?;
         Self::read_from(std::io::BufReader::new(file))
+    }
+
+    /// Load from a file, retrying *transient* ([`SnapshotError::Io`])
+    /// failures up to `policy.attempts` times with exponential backoff.
+    /// Corruption, version, and fingerprint errors are returned
+    /// immediately — re-reading a damaged file cannot fix it.
+    ///
+    /// Returns the snapshot and how many retries it took (0 = first try),
+    /// which the serving layer surfaces as `snapshot_retries` in `stats`.
+    ///
+    /// # Errors
+    ///
+    /// The last [`SnapshotError::Io`] once the attempt budget is spent,
+    /// or any non-transient error as soon as it occurs.
+    pub fn load_with_retry(
+        path: &Path,
+        policy: &RetryPolicy,
+    ) -> Result<(Self, u64), SnapshotError> {
+        let attempts = policy.attempts.max(1);
+        let mut backoff = policy.initial_backoff;
+        let mut last = None;
+        for attempt in 0..attempts {
+            match Self::load(path) {
+                Ok(snap) => return Ok((snap, u64::from(attempt))),
+                Err(SnapshotError::Io(m)) => last = Some(SnapshotError::Io(m)),
+                Err(fatal) => return Err(fatal),
+            }
+            if attempt + 1 < attempts {
+                std::thread::sleep(backoff);
+                backoff = backoff.saturating_mul(2);
+            }
+        }
+        Err(last.expect("at least one attempt ran"))
     }
 
     /// A human-readable multi-line summary (the `sketch-info` report).
@@ -342,6 +430,60 @@ impl SketchSnapshot {
         let _ = writeln!(out, "encoded size: {} bytes", self.encoded_len());
         out
     }
+}
+
+/// Bounded retry-with-backoff knobs for [`SketchSnapshot::load_with_retry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total load attempts (clamped to at least 1).
+    pub attempts: u32,
+    /// Sleep before the first retry; doubles on each subsequent one.
+    pub initial_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { attempts: 3, initial_backoff: Duration::from_millis(50) }
+    }
+}
+
+/// A temp path in the same directory as `path` (rename must not cross
+/// filesystems), unique per process so concurrent builders cannot tread
+/// on each other's half-written files.
+fn temp_sibling(path: &Path) -> PathBuf {
+    let name = path
+        .file_name()
+        .map_or_else(|| "snapshot".to_string(), |n| n.to_string_lossy().into_owned());
+    path.with_file_name(format!(".{name}.tmp.{}", std::process::id()))
+}
+
+/// Write `bytes` to a fresh file at `tmp` and fsync it to disk.
+fn write_exclusive(tmp: &Path, bytes: &[u8]) -> Result<(), SnapshotError> {
+    let io_err = |what: &str, e: std::io::Error| {
+        SnapshotError::Io(format!("{what} {}: {e}", tmp.display()))
+    };
+    let mut file = std::fs::File::create(tmp).map_err(|e| io_err("cannot create", e))?;
+    file.write_all(bytes).map_err(|e| io_err("cannot write", e))?;
+    // fsync before rename: without it, a power loss after the rename can
+    // surface a correctly named file with missing tail pages.
+    file.sync_all().map_err(|e| io_err("cannot fsync", e))
+}
+
+/// Best-effort fsync of the directory entry after a rename; on platforms
+/// or filesystems where opening a directory fails this is skipped — the
+/// rename itself already guarantees no torn file is visible.
+fn sync_parent_dir(path: &Path) {
+    #[cfg(unix)]
+    {
+        let parent = path.parent().filter(|p| !p.as_os_str().is_empty());
+        if let Some(dir) = parent {
+            if let Ok(d) = std::fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+    }
+    #[cfg(not(unix))]
+    let _ = path;
 }
 
 fn push_index_list(buf: &mut Vec<u8>, list: &[usize]) {
@@ -493,6 +635,88 @@ mod tests {
         let loaded = SketchSnapshot::from_bytes(&bytes).unwrap();
         let err = loaded.into_engine(e.graph()).unwrap_err();
         assert!(matches!(err, SnapshotError::Corrupt(_)), "{err:?}");
+    }
+
+    #[test]
+    fn every_truncation_prefix_is_a_typed_error_with_offset() {
+        // A snapshot of a tiny engine keeps the loop over every prefix
+        // length affordable (~1k prefixes).
+        let g = barabasi_albert(12, 2, 5);
+        let e = QueryEngine::build(
+            &g,
+            &SketchParams { epsilon: 0.9, seed: 1, ..Default::default() },
+        )
+        .unwrap();
+        let bytes = SketchSnapshot::from_engine(&e).to_bytes();
+        for len in 0..bytes.len() {
+            let err = SketchSnapshot::from_bytes(&bytes[..len])
+                .expect_err(&format!("prefix of {len} bytes must not decode"));
+            match &err {
+                SnapshotError::BadMagic => {
+                    assert_eq!(len, 0, "only the empty prefix lacks magic evidence: {len}")
+                }
+                SnapshotError::Corrupt(msg) => {
+                    assert!(
+                        msg.contains("truncated") && msg.contains("byte"),
+                        "prefix {len}: corrupt message must locate the cut: {msg}"
+                    );
+                }
+                SnapshotError::ChecksumMismatch { .. } => {
+                    assert!(len >= MAGIC.len() + 4 + 8, "prefix {len}: {err:?}");
+                }
+                other => panic!("prefix {len}: unexpected {other:?}"),
+            }
+        }
+        assert!(SketchSnapshot::from_bytes(&bytes).is_ok(), "the full file still decodes");
+    }
+
+    #[test]
+    fn save_is_atomic_overwrite_and_leaves_no_temp_files() {
+        let dir = std::env::temp_dir().join(format!("reecc-snap-at-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("atomic.sketch");
+        let first = SketchSnapshot::from_engine(&engine());
+        first.save(&path).unwrap();
+        // Overwrite with a snapshot of a different engine; the new file
+        // must fully replace the old one.
+        let g = barabasi_albert(30, 2, 77);
+        let e = QueryEngine::build(
+            &g,
+            &SketchParams { epsilon: 0.5, seed: 2, ..Default::default() },
+        )
+        .unwrap();
+        let second = SketchSnapshot::from_engine(&e);
+        second.save(&path).unwrap();
+        assert_eq!(SketchSnapshot::load(&path).unwrap(), second);
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|entry| entry.ok())
+            .map(|entry| entry.file_name().to_string_lossy().into_owned())
+            .filter(|name| name.contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files must not survive a save: {leftovers:?}");
+    }
+
+    #[test]
+    fn retry_policy_does_not_retry_corruption() {
+        let dir = std::env::temp_dir().join(format!("reecc-snap-rt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupt.sketch");
+        let mut bytes = SketchSnapshot::from_engine(&engine()).to_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        std::fs::write(&path, &bytes).unwrap();
+        let started = std::time::Instant::now();
+        let err = SketchSnapshot::load_with_retry(
+            &path,
+            &RetryPolicy { attempts: 5, initial_backoff: Duration::from_millis(200) },
+        )
+        .unwrap_err();
+        assert!(matches!(err, SnapshotError::ChecksumMismatch { .. }), "{err:?}");
+        assert!(
+            started.elapsed() < Duration::from_millis(150),
+            "corruption must fail fast, without backoff sleeps"
+        );
     }
 
     #[test]

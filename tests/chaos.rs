@@ -1,0 +1,231 @@
+//! Chaos tests: deterministic fault injection against the serving stack.
+//!
+//! Each scenario arms a named failpoint (`reecc_serve::failpoint`), drives
+//! the system through the fault, and asserts the *containment* contract —
+//! a panic costs exactly one request, a write fault never leaves a partial
+//! snapshot at the target path, and a drain under load accounts for every
+//! submitted request.
+//!
+//! The failpoint registry is process-global and the test harness runs
+//! tests concurrently, so every test that arms a shared site serializes
+//! on [`chaos_lock`] (poison-tolerant: an assert failure in one test must
+//! not cascade into "poisoned lock" noise in the others).
+
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+
+use reecc_core::{exact_query, QueryEngine, SketchParams};
+use reecc_graph::generators::barabasi_albert;
+use reecc_graph::Graph;
+use reecc_serve::failpoint::{self, Action};
+use reecc_serve::{
+    PoolConfig, Request, RequestEnvelope, ServePool, SketchSnapshot, SnapshotError,
+};
+
+const N: usize = 120;
+const EPS: f64 = 0.35;
+
+fn graph() -> &'static Graph {
+    static GRAPH: OnceLock<Graph> = OnceLock::new();
+    GRAPH.get_or_init(|| barabasi_albert(N, 2, 777))
+}
+
+fn engine() -> Arc<QueryEngine> {
+    static ENGINE: OnceLock<Arc<QueryEngine>> = OnceLock::new();
+    Arc::clone(ENGINE.get_or_init(|| {
+        Arc::new(
+            QueryEngine::build(
+                graph(),
+                &SketchParams { epsilon: EPS, seed: 31, ..Default::default() },
+            )
+            .expect("BA graph is connected"),
+        )
+    }))
+}
+
+/// Serialize failpoint-arming tests; tolerate poisoning so one failing
+/// test does not turn its siblings into lock panics.
+fn chaos_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("reecc-chaos-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn ecc_request(v: usize, id: u64) -> RequestEnvelope {
+    RequestEnvelope { id: Some(id), deadline_ms: None, request: Request::Ecc { v } }
+}
+
+/// Scenario 1 (worker supervision): a panic injected into worker compute
+/// must come back as a structured `internal` error on *that* request, the
+/// worker must be respawned, and the next 100 requests must be answered
+/// correctly — within the sketch's ε guarantee of exact resistance
+/// eccentricity.
+#[test]
+fn injected_worker_panic_is_contained_and_the_pool_keeps_answering_correctly() {
+    let _guard = chaos_lock();
+    failpoint::clear("worker.compute");
+    let pool = ServePool::new(
+        engine(),
+        PoolConfig { threads: 2, queue_depth: 64, ..Default::default() },
+    );
+
+    // Arm: exactly one hit panics, then the site disarms itself.
+    failpoint::configure("worker.compute", Action::Panic, Some(1));
+    let response = pool.run(ecc_request(3, 1));
+    let rendered = response.render();
+    assert!(!response.is_ok(), "the panicked request must fail: {rendered}");
+    assert!(
+        rendered.contains("\"error\":\"internal\"") && rendered.contains("panic"),
+        "panic must surface as a structured internal error: {rendered}"
+    );
+    assert_eq!(failpoint::fired("worker.compute"), 1);
+    assert_eq!(pool.panics_total(), 1, "the panic must be counted");
+
+    // Follow-ups: 100 requests, all answered, all within ε of exact.
+    let nodes: Vec<usize> = (0..100).map(|i| (i * 7) % N).collect();
+    let exact = exact_query(graph(), &nodes).unwrap();
+    for (i, (v, truth)) in exact.into_iter().enumerate() {
+        let response = pool.run(ecc_request(v, 100 + i as u64));
+        let rendered = response.render();
+        assert!(response.is_ok(), "request {i} after the panic failed: {rendered}");
+        let got = extract_value(&rendered);
+        assert!(
+            (got - truth).abs() <= EPS * truth + 1e-9,
+            "c({v}) = {got} vs exact {truth} (request {i} after panic)"
+        );
+    }
+    assert!(
+        pool.workers_respawned() >= 1,
+        "the supervisor must have respawned the panicked worker"
+    );
+    failpoint::clear("worker.compute");
+}
+
+/// Pull `"value":X` out of a rendered response line.
+fn extract_value(rendered: &str) -> f64 {
+    let start = rendered.find("\"value\":").expect("ok response carries a value") + 8;
+    let rest = &rendered[start..];
+    let end = rest.find([',', '}']).unwrap();
+    rest[..end].parse().expect("numeric value")
+}
+
+/// Scenario 2 (atomic snapshots): an I/O fault injected into the commit
+/// window of `save` — after the temp file is written, before the rename —
+/// must never leave a partial or corrupt file at the target path. Either
+/// the old content survives intact or the target does not exist; temp
+/// files never accumulate.
+#[test]
+fn injected_write_fault_never_exposes_a_partial_snapshot() {
+    let _guard = chaos_lock();
+    failpoint::clear("snapshot.write");
+    let snap = SketchSnapshot::from_engine(&engine());
+    let path = temp_path("atomic-under-fault.sketch");
+    let _ = std::fs::remove_file(&path);
+
+    // Fault on a fresh target: save fails, nothing appears at the path.
+    failpoint::configure("snapshot.write", Action::IoError, Some(1));
+    let err = snap.save(&path).unwrap_err();
+    assert!(matches!(err, SnapshotError::Io(_)), "injected fault is transient I/O: {err:?}");
+    assert!(!path.exists(), "a failed first save must not create the target");
+
+    // Establish good content, then fault an overwrite: the old bytes must
+    // survive byte-for-byte.
+    snap.save(&path).unwrap();
+    let before = std::fs::read(&path).unwrap();
+    failpoint::configure("snapshot.write", Action::IoError, Some(1));
+    snap.save(&path).unwrap_err();
+    let after = std::fs::read(&path).unwrap();
+    assert_eq!(before, after, "a failed overwrite must leave the old snapshot untouched");
+    // And what is on disk still loads cleanly.
+    SketchSnapshot::load(&path).unwrap();
+
+    // No temp droppings in the directory, across both failed saves.
+    let dir = path.parent().unwrap();
+    let stray: Vec<_> = std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.contains(".tmp."))
+        .collect();
+    assert!(stray.is_empty(), "failed saves must clean their temp files: {stray:?}");
+    failpoint::clear("snapshot.write");
+}
+
+/// Scenario 3 (graceful drain): drain a pool that still has queued work —
+/// with a compute delay armed so the queue is genuinely backed up — and
+/// check the books: the drain finishes within its deadline and every
+/// submitted request is either answered or reported dropped.
+#[test]
+fn drain_under_load_meets_its_deadline_and_accounts_for_every_request() {
+    let _guard = chaos_lock();
+    failpoint::clear("worker.compute");
+    let pool = ServePool::new(
+        engine(),
+        PoolConfig { threads: 2, queue_depth: 64, ..Default::default() },
+    );
+
+    // Slow every compute down so submissions outpace the workers.
+    failpoint::configure("worker.compute", Action::Delay(30), None);
+    let mut receivers = Vec::new();
+    let mut submitted = 0u64;
+    for i in 0..40usize {
+        match pool.submit(ecc_request(i % N, i as u64)) {
+            Ok(rx) => {
+                submitted += 1;
+                receivers.push(rx);
+            }
+            Err(e) => panic!("queue depth 64 must accept 40 requests: {e:?}"),
+        }
+    }
+
+    // Drain with a deadline shorter than the remaining work (40 × 30 ms
+    // across 2 workers ≈ 600 ms of queue) so some requests are dropped.
+    let grace = Duration::from_millis(250);
+    let started = Instant::now();
+    let report = pool.drain(grace);
+    let elapsed = started.elapsed();
+    failpoint::clear("worker.compute");
+
+    assert!(
+        elapsed < grace + Duration::from_secs(5),
+        "drain must not run far past its deadline: {elapsed:?}"
+    );
+    assert_eq!(report.submitted, submitted, "drain report counts what we submitted");
+    assert_eq!(
+        report.answered + report.dropped,
+        report.submitted,
+        "every request is either answered or reported dropped: {report:?}"
+    );
+    assert!(report.dropped > 0, "an over-deadline drain must drop something: {report:?}");
+
+    // Every receiver got *some* response — dropped requests get a
+    // structured `draining` error, not a hung channel.
+    let mut draining_errors = 0u64;
+    for rx in receivers {
+        let response = rx.recv().expect("no request may be silently abandoned");
+        if response.render().contains("\"error\":\"draining\"") {
+            draining_errors += 1;
+        }
+    }
+    assert_eq!(
+        draining_errors, report.dropped,
+        "dropped requests must be told they were dropped"
+    );
+}
+
+/// The env-var grammar that the CLI smoke test uses must parse: one armed
+/// site with a count, one delay site, separated by semicolons.
+#[test]
+fn failpoint_env_grammar_round_trips() {
+    let parsed =
+        failpoint::parse_spec("worker.compute=panic*1;snapshot.load=delay(5)").unwrap();
+    assert_eq!(parsed.len(), 2);
+    assert!(failpoint::parse_spec("nonsense without an equals").is_err());
+    assert!(failpoint::parse_spec("site=unknown-action").is_err());
+}
