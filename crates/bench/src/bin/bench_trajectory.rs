@@ -1,0 +1,181 @@
+//! Machine-readable kernel-trajectory bench: times a scalar (`block_size
+//! = 1`) sketch build against the blocked multi-RHS build on one dataset
+//! at equal `ε`, checks the two sketches are bitwise identical, and
+//! appends the measurements to `BENCH_sketch.json` / `BENCH_query.json`
+//! in the working directory so the speedup trajectory across commits is
+//! greppable and plottable.
+//!
+//! Invocation shapes:
+//!
+//! ```text
+//! # CI smoke (small graph, seconds, non-blocking):
+//! cargo run --release -p reecc-bench --bin bench_trajectory -- \
+//!     --tier ci --eps 0.4 --dim-scale 0.25
+//! # Recorded trajectory point (largest bundled bench graph at the tier):
+//! cargo run --release -p reecc-bench --bin bench_trajectory -- \
+//!     --tier medium --dataset live-journal --eps 0.3 --dim-scale 0.2
+//! ```
+//!
+//! The bin never fails on a threshold — slowdowns are reported, not
+//! enforced, so it is safe as a CI step — but it exits non-zero if the
+//! scalar and blocked sketches are not bitwise identical, because that is
+//! a correctness bug, not a performance regression.
+
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use reecc_bench::{timed, HarnessArgs};
+use reecc_core::sketch::ResistanceSketch;
+use reecc_core::SketchParams;
+use reecc_datasets::{preprocess, Dataset};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let name = args.dataset.clone().unwrap_or_else(|| "live-journal".to_string());
+    let dataset =
+        Dataset::all().iter().copied().find(|d| d.name() == name).unwrap_or_else(|| {
+            eprintln!("error: unknown dataset {name:?}");
+            std::process::exit(2);
+        });
+    let eps = args.epsilons.first().copied().unwrap_or(0.3);
+    let seed = args.seed.unwrap_or(42);
+    let dim_scale = args.dimension_scale.unwrap_or(1.0);
+    let tier_name = format!("{:?}", args.tier).to_ascii_lowercase();
+
+    eprintln!("synthesizing {name} at tier {tier_name} ...");
+    let g = preprocess(&dataset.synthesize(args.tier));
+    let (n, m) = (g.node_count(), g.edge_count());
+
+    let base = SketchParams {
+        epsilon: eps,
+        seed,
+        dimension_scale: dim_scale,
+        threads: 1,
+        ..Default::default()
+    };
+    eprintln!("building scalar sketch (block_size = 1, threads = 1) on n={n} m={m} ...");
+    let (scalar, scalar_secs) = timed(|| {
+        ResistanceSketch::build(&g, &SketchParams { block_size: 1, ..base })
+            .expect("bench graphs are connected")
+    });
+    let block_params = SketchParams { block_size: args.block_size.unwrap_or(0), ..base };
+    let blocked_width = block_params.effective_block_size(n);
+    eprintln!("building blocked sketch (block_size = {blocked_width}, threads = 1) ...");
+    let (blocked, blocked_secs) = timed(|| {
+        ResistanceSketch::build(&g, &block_params).expect("bench graphs are connected")
+    });
+
+    let bits_match = scalar.flat() == blocked.flat();
+    let speedup = scalar_secs / blocked_secs.max(1e-9);
+
+    // Matching eccentricity outputs, recorded per sample node so a reader
+    // of the JSON can verify "equal accuracy" without rerunning anything.
+    let sample: Vec<usize> = (0..n).step_by((n / 8).max(1)).take(8).collect();
+    let eccs: Vec<String> = sample
+        .iter()
+        .map(|&v| {
+            let (cs, _) = scalar.eccentricity(v);
+            let (cb, _) = blocked.eccentricity(v);
+            format!(
+                "{{\"v\": {v}, \"scalar\": {cs:.12e}, \"blocked\": {cb:.12e}, \
+                 \"equal\": {}}}",
+                cs == cb
+            )
+        })
+        .collect();
+
+    let unix_time =
+        SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0);
+    let sketch_record = format!(
+        "  {{\n    \"bench\": \"sketch_build\",\n    \"unix_time\": {unix_time},\n    \
+         \"graph\": \"{name}\",\n    \"tier\": \"{tier_name}\",\n    \"n\": {n},\n    \
+         \"m\": {m},\n    \"epsilon\": {eps},\n    \"dimension_scale\": {dim_scale},\n    \
+         \"d\": {d},\n    \"seed\": {seed},\n    \"threads\": 1,\n    \
+         \"scalar\": {{\"block_size\": 1, \"wall_ms\": {sms:.3}, \"iters\": {sit}}},\n    \
+         \"blocked\": {{\"block_size\": {bw}, \"wall_ms\": {bms:.3}, \"iters\": {bit}}},\n    \
+         \"speedup\": {speedup:.3},\n    \"sketch_bits_match\": {bits_match},\n    \
+         \"sample_eccentricities\": [{eccs}]\n  }}",
+        d = blocked.dimension(),
+        sms = scalar_secs * 1e3,
+        sit = scalar.solve_iterations(),
+        bw = blocked_width,
+        bms = blocked_secs * 1e3,
+        bit = blocked.solve_iterations(),
+        eccs = eccs.join(", "),
+    );
+    append_record("BENCH_sketch.json", &sketch_record);
+
+    // Query-side trajectory: full-scan eccentricities over the flat
+    // storage (the path the node-major rework turned into contiguous
+    // scans).
+    let queries: Vec<usize> = (0..n).step_by((n / 64).max(1)).take(64).collect();
+    let (checksum, query_secs) = timed(|| {
+        let mut acc = 0.0f64;
+        for &v in &queries {
+            acc += blocked.eccentricity(v).0;
+        }
+        acc
+    });
+    let query_record = format!(
+        "  {{\n    \"bench\": \"query_full_scan\",\n    \"unix_time\": {unix_time},\n    \
+         \"graph\": \"{name}\",\n    \"tier\": \"{tier_name}\",\n    \"n\": {n},\n    \
+         \"m\": {m},\n    \"epsilon\": {eps},\n    \"d\": {d},\n    \"threads\": 1,\n    \
+         \"queries\": {q},\n    \"wall_ms\": {wms:.3},\n    \
+         \"per_query_us\": {pq:.3},\n    \"ecc_sum\": {checksum:.9e}\n  }}",
+        d = blocked.dimension(),
+        q = queries.len(),
+        wms = query_secs * 1e3,
+        pq = query_secs * 1e6 / queries.len().max(1) as f64,
+    );
+    append_record("BENCH_query.json", &query_record);
+
+    println!(
+        "{name} (tier {tier_name}, n={n}, m={m}, eps={eps}, d={}): scalar {:.1} ms \
+         ({} iters), blocked {:.1} ms ({} iters), speedup {speedup:.2}x, bits match: \
+         {bits_match}",
+        blocked.dimension(),
+        scalar_secs * 1e3,
+        scalar.solve_iterations(),
+        blocked_secs * 1e3,
+        blocked.solve_iterations(),
+    );
+    if !bits_match {
+        eprintln!("FAIL: scalar and blocked sketches are not bitwise identical");
+        std::process::exit(1);
+    }
+    if speedup < 2.0 {
+        eprintln!(
+            "note: speedup {speedup:.2}x is below the 2x target (non-blocking; \
+             small graphs are overhead-dominated)"
+        );
+    }
+}
+
+/// Append one record to a JSON array file without parsing it: an existing
+/// file ends in `]`, so strip that, add a comma, and close again. A fresh
+/// file starts the array.
+fn append_record(path: &str, record: &str) {
+    let body = match std::fs::read_to_string(path) {
+        Ok(existing) => {
+            let trimmed = existing.trim_end();
+            match trimmed.strip_suffix(']') {
+                Some(head) => {
+                    let head = head.trim_end();
+                    let head = head.strip_suffix(',').unwrap_or(head);
+                    if head.trim_end().ends_with('[') {
+                        format!("{head}\n{record}\n]\n")
+                    } else {
+                        format!("{head},\n{record}\n]\n")
+                    }
+                }
+                None => {
+                    eprintln!("warning: {path} is not a JSON array; rewriting");
+                    format!("[\n{record}\n]\n")
+                }
+            }
+        }
+        Err(_) => format!("[\n{record}\n]\n"),
+    };
+    if let Err(e) = std::fs::write(path, body) {
+        eprintln!("warning: cannot write {path}: {e}");
+    }
+}

@@ -28,6 +28,8 @@ pub struct HarnessArgs {
     pub seed: Option<u64>,
     /// Optional sketch-dimension scale override (1.0 = paper formula).
     pub dimension_scale: Option<f64>,
+    /// Optional blocked-CG batch width override (0 = adaptive default).
+    pub block_size: Option<usize>,
 }
 
 impl Default for HarnessArgs {
@@ -39,6 +41,7 @@ impl Default for HarnessArgs {
             epsilons: vec![0.3, 0.2, 0.1],
             seed: None,
             dimension_scale: None,
+            block_size: None,
         }
     }
 }
@@ -52,7 +55,7 @@ impl HarnessArgs {
                 eprintln!("error: {msg}");
                 eprintln!(
                     "usage: --tier ci|small|medium|large --dataset NAME --k N \
-                     --eps 0.3,0.2,0.1 --seed N --dim-scale X"
+                     --eps 0.3,0.2,0.1 --seed N --dim-scale X --block B"
                 );
                 std::process::exit(2);
             }
@@ -98,6 +101,10 @@ impl HarnessArgs {
                         return Err("--dim-scale must be positive".to_string());
                     }
                     out.dimension_scale = Some(v);
+                }
+                "--block" => {
+                    out.block_size =
+                        Some(value()?.parse().map_err(|_| "bad --block value".to_string())?)
                 }
                 other => return Err(format!("unknown flag {other:?}")),
             }

@@ -364,6 +364,8 @@ fn serve(
         Arc::new(engine),
         PoolConfig { threads, queue_depth, snapshot_retries, ..Default::default() },
     );
+    // Echo the count the pool actually resolved (0 = auto), not the flag.
+    let threads = pool.threads();
     // All serving chatter goes to stderr: stdout is the response stream in
     // pipe mode and must stay machine-parseable NDJSON.
     match addr {

@@ -73,7 +73,7 @@ USAGE:
   reecc sketch-build <edges.txt> --out SNAPSHOT [--eps X] [--seed S] [--lcc] [--verify]
   reecc sketch-info  <SNAPSHOT>
   reecc serve    <edges.txt> [--snapshot SNAPSHOT] [--addr HOST:PORT]
-                 [--threads N] [--queue-depth D] [--eps X] [--lcc]
+                 [--threads N (0 = auto)] [--queue-depth D] [--eps X] [--lcc]
 
 Edge-list format: one `u v` pair per line; `#`/`%` comments; ids remapped densely.
 Disconnected inputs are rejected; pass --lcc to analyze the largest connected

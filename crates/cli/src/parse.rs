@@ -90,7 +90,7 @@ pub enum Command {
         snapshot: Option<String>,
         /// TCP listen address; pipe mode (stdin/stdout) when absent.
         addr: Option<String>,
-        /// Worker threads.
+        /// Worker threads (`0` = auto-detect hardware parallelism).
         threads: usize,
         /// Bounded queue depth (backpressure threshold).
         queue_depth: usize,
@@ -423,10 +423,10 @@ pub fn parse_command(args: &[String]) -> Result<Command, CliError> {
                 .first()
                 .ok_or_else(|| CliError::Usage("serve needs an edge-list path".into()))?
                 .clone();
+            // 0 = auto: resolved against hardware parallelism by the pool
+            // through `reecc_core::resolve_threads`, the same helper the
+            // sketch build's partitioner uses.
             let threads = parse_usize(&flags, "threads")?.unwrap_or(4);
-            if threads == 0 {
-                return Err(CliError::Usage("--threads must be at least 1".into()));
-            }
             let queue_depth = parse_usize(&flags, "queue-depth")?.unwrap_or(256);
             if queue_depth == 0 {
                 return Err(CliError::Usage("--queue-depth must be at least 1".into()));
@@ -604,10 +604,11 @@ mod tests {
     fn serve_and_sketch_usage_errors() {
         assert!(matches!(parse(&["sketch-build", "g.txt"]), Err(CliError::Usage(_))));
         assert!(matches!(parse(&["sketch-info"]), Err(CliError::Usage(_))));
-        assert!(matches!(
-            parse(&["serve", "g.txt", "--threads", "0"]),
-            Err(CliError::Usage(_))
-        ));
+        // --threads 0 is the auto setting, not an error.
+        match parse(&["serve", "g.txt", "--threads", "0"]) {
+            Ok(Command::Serve { threads, .. }) => assert_eq!(threads, 0),
+            other => panic!("{other:?}"),
+        }
         assert!(matches!(
             parse(&["serve", "g.txt", "--queue-depth", "0"]),
             Err(CliError::Usage(_))

@@ -7,17 +7,48 @@
 //! Construction: row `i` of `Q B` is formed edge-by-edge in `O(m)` (see
 //! [`reecc_linalg::jl`]), then `L z = (QB)ᵀ_i` is solved with the
 //! preconditioned CG solver; `z` is row `i` of `X̃`. Rows are independent,
-//! so they are solved on `std::thread::scope` worker threads.
+//! so they are solved in *blocks* of right-hand sides through the
+//! multi-RHS blocked CG ([`reecc_linalg::block_cg`]), and the blocks are
+//! distributed over `std::thread::scope` worker threads. Block boundaries
+//! depend only on `d` and the block size — never on the thread count —
+//! and the blocked solver is bitwise identical to the scalar one per
+//! column, so every combination of `threads` × `block_size` produces the
+//! same sketch bit-for-bit.
+//!
+//! Storage is one flat node-major buffer (see [`ResistanceSketch::flat`]):
+//! the embedding of node `u` is the contiguous slice `data[u·d..(u+1)·d]`,
+//! which turns every query-time `‖X̃(e_u − e_v)‖²` evaluation into a
+//! stride-1 scan of two slices.
 
 use reecc_graph::traversal::is_connected;
 use reecc_graph::Graph;
 use reecc_hull::PointSet;
+use reecc_linalg::block::BlockVectors;
+use reecc_linalg::block_cg::{solve_laplacian_block, BlockCgWorkspace};
 use reecc_linalg::cg::{solve_laplacian, CgOptions, CgWorkspace};
 use reecc_linalg::jl::{jl_dimension_scaled, projected_incidence_rows};
 use reecc_linalg::recovery::{RecoveryPolicy, RecoverySolver};
-use reecc_linalg::LaplacianOp;
+use reecc_linalg::{vector, LaplacianOp};
 
 use crate::CoreError;
+
+/// Default number of right-hand sides per blocked-CG batch (the
+/// `block_size: 0` resolution) on graphs small enough that the SpMM's
+/// node-major gather buffer (`n·b·8` bytes) stays L2-resident. Wide
+/// enough to amortize the adjacency sweep and feed independent
+/// accumulator chains.
+pub const DEFAULT_BLOCK_SIZE: usize = 8;
+
+/// Narrower default once `n · DEFAULT_BLOCK_SIZE · 8` bytes outgrows a
+/// typical L2 (the gather buffer starts missing and the per-neighbor
+/// gathers fetch whole cache lines from further away, eating the
+/// adjacency-amortization win — see DESIGN.md §9 for measurements).
+pub const LARGE_GRAPH_BLOCK_SIZE: usize = 4;
+
+/// Node count above which `block_size: 0` resolves to
+/// [`LARGE_GRAPH_BLOCK_SIZE`]: the crossover where `n · 8 · 8` bytes
+/// (the width-8 gather buffer) exceeds ~1.25 MiB of L2.
+pub const BLOCK_SIZE_CROSSOVER_NODES: usize = 20_000;
 
 /// Parameters controlling sketch construction.
 #[derive(Debug, Clone, Copy)]
@@ -32,8 +63,16 @@ pub struct SketchParams {
     pub max_dimension: Option<usize>,
     /// RNG seed for the `±1/√d` projection.
     pub seed: u64,
-    /// Worker threads for the row solves; `0` = use available parallelism.
+    /// Worker threads for the row solves; `0` = use available parallelism
+    /// (resolved through [`crate::resolve_threads`]).
     pub threads: usize,
+    /// Right-hand sides per blocked-CG batch: `0` = adaptive default
+    /// ([`DEFAULT_BLOCK_SIZE`], narrowing to [`LARGE_GRAPH_BLOCK_SIZE`]
+    /// past [`BLOCK_SIZE_CROSSOVER_NODES`] nodes), `1` = the scalar
+    /// single-RHS path, anything else the literal block width. Every
+    /// setting produces a bitwise-identical sketch — the knob only trades
+    /// cache footprint against solve throughput.
+    pub block_size: usize,
     /// CG solver options for each row.
     pub cg: CgOptions,
     /// Escalation-ladder policy for repairing rows whose first solve did
@@ -50,6 +89,7 @@ impl Default for SketchParams {
             max_dimension: None,
             seed: 42,
             threads: 0,
+            block_size: 0,
             cg: CgOptions::default(),
             recovery: RecoveryPolicy::default(),
         }
@@ -72,10 +112,19 @@ impl SketchParams {
         }
     }
 
+    /// The blocked-CG batch width this parameter set resolves to for an
+    /// `n`-node graph. The choice never changes the sketch bits, only
+    /// throughput, so adapting it to the graph size is safe.
+    pub fn effective_block_size(&self, n: usize) -> usize {
+        match self.block_size {
+            0 if n > BLOCK_SIZE_CROSSOVER_NODES => LARGE_GRAPH_BLOCK_SIZE,
+            0 => DEFAULT_BLOCK_SIZE,
+            b => b,
+        }
+    }
+
     fn worker_count(&self, jobs: usize) -> usize {
-        let hw = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
-        let t = if self.threads == 0 { hw } else { self.threads };
-        t.clamp(1, jobs.max(1))
+        crate::resolve_threads(self.threads).clamp(1, jobs.max(1))
     }
 }
 
@@ -123,15 +172,41 @@ impl SketchDiagnostics {
 }
 
 /// The APPROXER resistance sketch `X̃ ∈ R^{d×n}`.
+///
+/// Stored as one flat node-major buffer: the embedding of node `u`
+/// (column `u` of `X̃`) is the contiguous slice `data[u·d..(u+1)·d]`.
+/// Query-time distance evaluations scan two contiguous slices (SIMD
+/// friendly), and [`Self::point_set`] hands the buffer to the hull layer
+/// without a transpose — [`PointSet`] uses the identical layout.
 #[derive(Debug, Clone)]
 pub struct ResistanceSketch {
-    rows: Vec<Vec<f64>>,
+    /// Node-major flat storage; entry `(i, u)` of `X̃` at `data[u*d + i]`.
+    data: Vec<f64>,
+    /// Surviving sketch dimension `d` (the per-node stride).
+    d: usize,
     n: usize,
     epsilon: f64,
     /// How many of the `d` row solves met the CG tolerance (diagnostic —
     /// a shortfall degrades accuracy but is not an error).
     converged_rows: usize,
+    /// Total CG iterations the build spent (first-pass solves plus any
+    /// escalation-ladder repairs) — bench telemetry, 0 when reassembled
+    /// from parts.
+    solve_iterations: usize,
     diagnostics: SketchDiagnostics,
+}
+
+/// Pack row-major sketch rows (`d` rows of length `n`) into the flat
+/// node-major layout.
+fn pack_node_major(rows: &[Vec<f64>], n: usize) -> Vec<f64> {
+    let d = rows.len();
+    let mut data = vec![0.0; n * d];
+    for (i, row) in rows.iter().enumerate() {
+        for (u, &x) in row.iter().enumerate() {
+            data[u * d + i] = x;
+        }
+    }
+    data
 }
 
 impl ResistanceSketch {
@@ -153,42 +228,112 @@ impl ResistanceSketch {
         // (QB) rows are generated sequentially (single RNG stream, fully
         // reproducible), solves run in parallel.
         let rhs = projected_incidence_rows(g, d, params.seed);
-        let workers = params.worker_count(d);
-        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(d);
-        let mut row_ok: Vec<bool> = Vec::with_capacity(d);
-        if workers <= 1 {
-            let op = LaplacianOp::new(g);
-            let mut ws = CgWorkspace::new(n);
-            for b in &rhs {
-                let out = solve_laplacian(&op, b, params.cg, &mut ws);
-                row_ok.push(out.converged);
-                rows.push(out.solution);
+        let block = params.effective_block_size(n);
+        let mut rows: Vec<Vec<f64>>;
+        let mut row_ok: Vec<bool>;
+        let mut solve_iterations: usize;
+        if block <= 1 {
+            // Scalar single-RHS path: one CG solve per JL row, workers over
+            // contiguous chunks of rows.
+            let workers = params.worker_count(d);
+            rows = Vec::with_capacity(d);
+            row_ok = Vec::with_capacity(d);
+            solve_iterations = 0;
+            if workers <= 1 {
+                let op = LaplacianOp::new(g);
+                let mut ws = CgWorkspace::new(n);
+                for b in &rhs {
+                    let out = solve_laplacian(&op, b, params.cg, &mut ws);
+                    row_ok.push(out.converged);
+                    solve_iterations += out.iterations;
+                    rows.push(out.solution);
+                }
+            } else {
+                let chunk = d.div_ceil(workers);
+                let results: Vec<(Vec<Vec<f64>>, Vec<bool>, usize)> =
+                    std::thread::scope(|scope| {
+                        let handles: Vec<_> = rhs
+                            .chunks(chunk)
+                            .map(|batch| {
+                                scope.spawn(move || {
+                                    let op = LaplacianOp::new(g);
+                                    let mut ws = CgWorkspace::new(n);
+                                    let mut out_rows = Vec::with_capacity(batch.len());
+                                    let mut ok = Vec::with_capacity(batch.len());
+                                    let mut iters = 0usize;
+                                    for b in batch {
+                                        let out = solve_laplacian(&op, b, params.cg, &mut ws);
+                                        ok.push(out.converged);
+                                        iters += out.iterations;
+                                        out_rows.push(out.solution);
+                                    }
+                                    (out_rows, ok, iters)
+                                })
+                            })
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|h| h.join().expect("sketch worker panicked"))
+                            .collect()
+                    });
+                for (batch_rows, ok, iters) in results {
+                    row_ok.extend(ok);
+                    rows.extend(batch_rows);
+                    solve_iterations += iters;
+                }
             }
         } else {
-            let chunk = d.div_ceil(workers);
-            let results: Vec<(Vec<Vec<f64>>, Vec<bool>)> = std::thread::scope(|scope| {
-                let handles: Vec<_> = rhs
-                    .chunks(chunk)
-                    .map(|batch| {
-                        scope.spawn(move || {
-                            let op = LaplacianOp::new(g);
-                            let mut ws = CgWorkspace::new(n);
-                            let mut out_rows = Vec::with_capacity(batch.len());
-                            let mut ok = Vec::with_capacity(batch.len());
-                            for b in batch {
-                                let out = solve_laplacian(&op, b, params.cg, &mut ws);
-                                ok.push(out.converged);
-                                out_rows.push(out.solution);
-                            }
-                            (out_rows, ok)
-                        })
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("sketch worker panicked")).collect()
-            });
-            for (batch_rows, ok) in results {
-                row_ok.extend(ok);
-                rows.extend(batch_rows);
+            // Blocked multi-RHS path: rows are grouped into blocks of up to
+            // `block` right-hand sides and each block is solved in one
+            // lockstep blocked-CG call (single adjacency sweep per
+            // iteration across the whole block). Block boundaries depend
+            // only on `d` and `block` — never on the worker count — so the
+            // sketch is bitwise identical for every `threads` setting.
+            let blocks: Vec<&[Vec<f64>]> = rhs.chunks(block).collect();
+            let workers = params.worker_count(blocks.len());
+            let solve_blocks = |assigned: &[&[Vec<f64>]]| {
+                let op = LaplacianOp::new(g);
+                let mut ws = BlockCgWorkspace::new();
+                let mut out_rows = Vec::new();
+                let mut ok = Vec::new();
+                let mut iters = 0usize;
+                for batch in assigned {
+                    let rhs_block = BlockVectors::from_columns(batch);
+                    let outcome = solve_laplacian_block(&op, &rhs_block, params.cg, &mut ws);
+                    iters += outcome.total_iterations();
+                    for j in 0..batch.len() {
+                        ok.push(outcome.converged[j]);
+                        out_rows.push(outcome.solutions.column_to_vec(j));
+                    }
+                }
+                (out_rows, ok, iters)
+            };
+            if workers <= 1 {
+                let (out_rows, ok, iters) = solve_blocks(&blocks);
+                rows = out_rows;
+                row_ok = ok;
+                solve_iterations = iters;
+            } else {
+                let chunk = blocks.len().div_ceil(workers);
+                let results: Vec<(Vec<Vec<f64>>, Vec<bool>, usize)> =
+                    std::thread::scope(|scope| {
+                        let handles: Vec<_> = blocks
+                            .chunks(chunk)
+                            .map(|assigned| scope.spawn(|| solve_blocks(assigned)))
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|h| h.join().expect("sketch worker panicked"))
+                            .collect()
+                    });
+                rows = Vec::with_capacity(d);
+                row_ok = Vec::with_capacity(d);
+                solve_iterations = 0;
+                for (batch_rows, ok, iters) in results {
+                    row_ok.extend(ok);
+                    rows.extend(batch_rows);
+                    solve_iterations += iters;
+                }
             }
         }
 
@@ -211,6 +356,7 @@ impl ResistanceSketch {
             let mut solver = RecoverySolver::new(op, params.cg, params.recovery);
             for i in needs_repair {
                 let (solution, report) = solver.solve(&rhs[i]);
+                solve_iterations += report.iterations;
                 // A row is usable only if it is finite and actually carries
                 // information (an all-zero iterate against a nonzero rhs is
                 // the ladder saying "every attempt was poisoned").
@@ -258,7 +404,17 @@ impl ResistanceSketch {
         }
 
         let converged_rows = d - diagnostics.unconverged.len() - diagnostics.dropped.len();
-        Ok(ResistanceSketch { rows, n, epsilon: params.epsilon, converged_rows, diagnostics })
+        let kept = rows.len();
+        let data = pack_node_major(&rows, n);
+        Ok(ResistanceSketch {
+            data,
+            d: kept,
+            n,
+            epsilon: params.epsilon,
+            converged_rows,
+            solve_iterations,
+            diagnostics,
+        })
     }
 
     /// Reassemble a sketch from previously exported parts (the snapshot
@@ -314,12 +470,22 @@ impl ResistanceSketch {
             ));
         }
         let converged_rows = diagnostics.rows - degraded;
-        Ok(ResistanceSketch { rows, n: node_count, epsilon, converged_rows, diagnostics })
+        let d = rows.len();
+        let data = pack_node_major(&rows, node_count);
+        Ok(ResistanceSketch {
+            data,
+            d,
+            n: node_count,
+            epsilon,
+            converged_rows,
+            solve_iterations: 0,
+            diagnostics,
+        })
     }
 
     /// Sketch dimension `d`.
     pub fn dimension(&self) -> usize {
-        self.rows.len()
+        self.d
     }
 
     /// Graph order `n`.
@@ -344,39 +510,66 @@ impl ResistanceSketch {
         &self.diagnostics
     }
 
-    /// Borrow the raw `d×n` rows.
-    pub fn rows(&self) -> &[Vec<f64>] {
-        &self.rows
+    /// Total CG iterations the build spent across first-pass solves and
+    /// escalation-ladder repairs (bench telemetry; `0` for sketches
+    /// reassembled via [`Self::from_parts`]).
+    pub fn solve_iterations(&self) -> usize {
+        self.solve_iterations
     }
 
-    /// Estimated resistance `r̃(u, v) = ‖X̃(e_u − e_v)‖²`, `O(d)`.
+    /// The flat node-major storage: entry `(i, u)` of `X̃` lives at
+    /// `flat()[u * stride() + i]`.
+    pub fn flat(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// The per-node stride of [`Self::flat`] — equal to
+    /// [`Self::dimension`].
+    pub fn stride(&self) -> usize {
+        self.d
+    }
+
+    /// The embedding of node `u` (column `u` of `X̃`) as a contiguous
+    /// slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn embedding(&self, u: usize) -> &[f64] {
+        assert!(u < self.n, "node out of range");
+        &self.data[u * self.d..(u + 1) * self.d]
+    }
+
+    /// Reconstruct the row-major `d×n` rows (row `i` is row `i` of `X̃`).
+    /// Allocates; the snapshot writer uses this to keep the on-disk format
+    /// row-major while in-memory storage is node-major.
+    pub fn to_rows(&self) -> Vec<Vec<f64>> {
+        (0..self.d).map(|i| (0..self.n).map(|u| self.data[u * self.d + i]).collect()).collect()
+    }
+
+    /// Estimated resistance `r̃(u, v) = ‖X̃(e_u − e_v)‖²`, `O(d)` over two
+    /// contiguous slices.
     ///
     /// # Panics
     ///
     /// Panics if an id is out of range.
     pub fn resistance(&self, u: usize, v: usize) -> f64 {
         assert!(u < self.n && v < self.n, "node out of range");
-        self.rows
-            .iter()
-            .map(|row| {
-                let diff = row[u] - row[v];
-                diff * diff
-            })
-            .sum()
+        vector::dist_sq(self.embedding(u), self.embedding(v))
     }
 
     /// Estimated resistances from `s` to every node, `O(n·d)`.
     pub fn resistances_from(&self, s: usize) -> Vec<f64> {
         assert!(s < self.n, "node out of range");
-        let mut acc = vec![0.0f64; self.n];
-        for row in &self.rows {
-            let xs = row[s];
-            for (a, &xj) in acc.iter_mut().zip(row) {
-                let diff = xj - xs;
-                *a += diff * diff;
-            }
-        }
-        acc
+        let src = s * self.d;
+        (0..self.n)
+            .map(|u| {
+                vector::dist_sq(
+                    &self.data[src..src + self.d],
+                    &self.data[u * self.d..(u + 1) * self.d],
+                )
+            })
+            .collect()
     }
 
     /// APPROXQUERY inner step: `c̄(s) = max_j r̃(s, j)` over all nodes,
@@ -404,16 +597,17 @@ impl ResistanceSketch {
         best
     }
 
-    /// The node embedding: column `u` of `X̃` as a point in `R^d`.
+    /// The node embedding: column `u` of `X̃` as an owned point in `R^d`
+    /// (see [`Self::embedding`] for the borrowing variant).
     pub fn embedding_point(&self, u: usize) -> Vec<f64> {
-        assert!(u < self.n, "node out of range");
-        self.rows.iter().map(|row| row[u]).collect()
+        self.embedding(u).to_vec()
     }
 
     /// All node embeddings as a [`PointSet`] (the set `S` FASTQUERY feeds
-    /// to APPROXCH).
+    /// to APPROXCH). `PointSet` is point-major with the same layout as
+    /// [`Self::flat`], so this is a single buffer copy — no transpose.
     pub fn point_set(&self) -> PointSet {
-        PointSet::from_matrix_columns(&self.rows)
+        PointSet::from_flat(self.d, self.data.clone())
     }
 }
 
@@ -533,23 +727,37 @@ mod tests {
         let g = cycle(20);
         let a = ResistanceSketch::build(&g, &params(0.5)).unwrap();
         let b = ResistanceSketch::build(&g, &params(0.5)).unwrap();
-        assert_eq!(a.rows(), b.rows());
+        assert_eq!(a.flat(), b.flat());
         let c = ResistanceSketch::build(&g, &SketchParams { seed: 8, ..params(0.5) }).unwrap();
-        assert_ne!(a.rows(), c.rows());
+        assert_ne!(a.flat(), c.flat());
     }
 
     #[test]
-    fn single_thread_matches_parallel() {
+    fn single_thread_matches_parallel_bitwise() {
+        // The bitwise contract: every threads × block_size combination
+        // yields the exact same sketch bits. Block boundaries depend only
+        // on d and the block width, and blocked CG is per-column bitwise
+        // identical to scalar CG.
         let g = barabasi_albert(40, 2, 1);
         let base = params(0.5);
-        let seq = ResistanceSketch::build(&g, &SketchParams { threads: 1, ..base }).unwrap();
-        let par = ResistanceSketch::build(&g, &SketchParams { threads: 4, ..base }).unwrap();
-        assert_eq!(seq.dimension(), par.dimension());
-        for (a, b) in seq.rows().iter().zip(par.rows()) {
-            for (x, y) in a.iter().zip(b) {
-                assert!((x - y).abs() < 1e-12);
+        let reference =
+            ResistanceSketch::build(&g, &SketchParams { threads: 1, block_size: 1, ..base })
+                .unwrap();
+        for threads in [1usize, 4] {
+            for block_size in [0usize, 1, 3, 8] {
+                let sk =
+                    ResistanceSketch::build(&g, &SketchParams { threads, block_size, ..base })
+                        .unwrap();
+                assert_eq!(sk.dimension(), reference.dimension());
+                assert_eq!(
+                    sk.flat(),
+                    reference.flat(),
+                    "sketch bits diverged at threads={threads} block_size={block_size}"
+                );
+                assert_eq!(sk.diagnostics(), reference.diagnostics());
             }
         }
+        assert!(reference.solve_iterations() > 0);
     }
 
     #[test]
@@ -570,13 +778,13 @@ mod tests {
         let g = barabasi_albert(30, 2, 5);
         let sk = ResistanceSketch::build(&g, &params(0.4)).unwrap();
         let back = ResistanceSketch::from_parts(
-            sk.rows().to_vec(),
+            sk.to_rows(),
             sk.node_count(),
             sk.epsilon(),
             sk.diagnostics().clone(),
         )
         .unwrap();
-        assert_eq!(back.rows(), sk.rows());
+        assert_eq!(back.flat(), sk.flat());
         assert_eq!(back.converged_rows(), sk.converged_rows());
         assert_eq!(back.resistance(0, 29), sk.resistance(0, 29));
         // Row length mismatch.
@@ -589,7 +797,7 @@ mod tests {
         .is_err());
         // Diagnostics that do not account for the rows present.
         assert!(ResistanceSketch::from_parts(
-            sk.rows().to_vec(),
+            sk.to_rows(),
             sk.node_count(),
             sk.epsilon(),
             SketchDiagnostics { rows: sk.dimension() + 3, ..sk.diagnostics().clone() }

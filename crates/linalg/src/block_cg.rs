@@ -1,0 +1,385 @@
+//! Multi-RHS blocked Conjugate Gradient for Laplacian systems.
+//!
+//! [`solve_laplacian_block`] runs `b` *independent* preconditioned CG
+//! recurrences in lockstep: each column keeps its own `α`, `β`, residual,
+//! and convergence flag, but the expensive operator application is fused
+//! into one [`LaplacianOp::apply_node_major`] sweep over the adjacency
+//! (gathering from a node-major mirror of the direction block that the
+//! fused xpby keeps current, so no per-iteration transpose), and the
+//! vector updates go through the fused stride-1 block kernels in
+//! [`crate::block`].
+//!
+//! **Bitwise contract.** This is deliberately *not* a classical block-CG
+//! with a shared search subspace — sharing directions would change the
+//! iterates. Every column executes exactly the floating-point operation
+//! sequence of the scalar [`solve_laplacian`]: per-column dots in the same
+//! summation order, the same `% 64` null-space re-projection cadence
+//! (columns start together and frozen columns stop counting, so a column's
+//! private iteration count always equals the global one while it is
+//! active), and the same breakdown/early-exit points. A column that
+//! converges — or breaks down — is *masked out*: its iterate is frozen at
+//! exactly the vector scalar CG would have returned, and the remaining
+//! columns keep iterating. The speedup comes from amortized memory
+//! traffic and instruction-level parallelism, never from different
+//! arithmetic, which is what lets the sketch layer guarantee
+//! blocked-vs-scalar builds are bitwise identical.
+//!
+//! Columns that stall (budget exhausted, breakdown, non-finite residual)
+//! are reported per column via [`BlockCgOutcome`], so the caller can hand
+//! exactly those right-hand sides to the [`crate::recovery`] escalation
+//! ladder — the block layer does not duplicate any recovery logic.
+
+use crate::block::{block_axpy, block_dot, block_xpby_mirror, BlockVectors};
+use crate::cg::{apply_preconditioner, CgOptions};
+use crate::laplacian::LaplacianOp;
+use crate::vector;
+
+/// Outcome of a blocked multi-RHS solve: per-column solutions and
+/// per-column solver telemetry (mirroring [`crate::cg::CgOutcome`]).
+#[derive(Debug, Clone)]
+pub struct BlockCgOutcome {
+    /// Column `j` is the (mean-zero) solution for right-hand side `j`.
+    pub solutions: BlockVectors,
+    /// Iterations each column performed before converging or freezing.
+    pub iterations: Vec<usize>,
+    /// Final relative residual `‖b_j − L x_j‖ / ‖b_j‖` per column.
+    pub relative_residual: Vec<f64>,
+    /// Whether each column met the tolerance.
+    pub converged: Vec<bool>,
+}
+
+impl BlockCgOutcome {
+    /// Total CG iterations across all columns (solver-work telemetry).
+    pub fn total_iterations(&self) -> usize {
+        self.iterations.iter().sum()
+    }
+}
+
+/// Reusable scratch for [`solve_laplacian_block`]: four `n×b` blocks plus
+/// the node-major mirror of `p` that the SpMM gathers through (transposed
+/// once per solve, then kept current by the fused xpby). Reused across
+/// blocks so a sketch build allocates once per worker, not once per block.
+#[derive(Debug, Default)]
+pub struct BlockCgWorkspace {
+    r: Option<BlockVectors>,
+    z: Option<BlockVectors>,
+    p: Option<BlockVectors>,
+    ap: Option<BlockVectors>,
+    node_major: Vec<f64>,
+}
+
+impl BlockCgWorkspace {
+    /// Create an empty workspace (buffers are sized lazily per solve).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn take(slot: &mut Option<BlockVectors>, n: usize, b: usize) -> BlockVectors {
+        match slot.take() {
+            Some(block) if block.len() == n && block.block_size() == b => block,
+            _ => BlockVectors::zeros(n, b),
+        }
+    }
+}
+
+/// Solve `L X = B` column-by-column-in-lockstep for a connected graph's
+/// Laplacian, each column projected onto `1⊥` exactly as
+/// [`crate::cg::solve_laplacian`] does.
+///
+/// Never fails hard: stalled or broken-down columns are returned as
+/// `converged == false` with their best iterate, and callers escalate
+/// those columns individually (the sketch uses the recovery ladder).
+pub fn solve_laplacian_block(
+    op: &LaplacianOp<'_>,
+    rhs: &BlockVectors,
+    opts: CgOptions,
+    ws: &mut BlockCgWorkspace,
+) -> BlockCgOutcome {
+    let n = op.order();
+    assert_eq!(rhs.len(), n, "block cg: rhs dimension mismatch");
+    let b = rhs.block_size();
+    let mut x = BlockVectors::zeros(n, b);
+    let mut iterations = vec![0usize; b];
+    let mut rel = vec![0.0f64; b];
+    let mut converged = vec![true; b];
+    if n == 0 {
+        return BlockCgOutcome { solutions: x, iterations, relative_residual: rel, converged };
+    }
+
+    let mut r = BlockCgWorkspace::take(&mut ws.r, n, b);
+    let mut z = BlockCgWorkspace::take(&mut ws.z, n, b);
+    let mut p = BlockCgWorkspace::take(&mut ws.p, n, b);
+    let mut ap = BlockCgWorkspace::take(&mut ws.ap, n, b);
+
+    // Per-column init, replicating the scalar preamble: project b, bail
+    // out converged on a zero norm, else seed r/z/p and the rz product.
+    let mut active = vec![false; b];
+    let mut b_norm = vec![0.0f64; b];
+    let mut rz = vec![0.0f64; b];
+    for j in 0..b {
+        let rj = r.column_mut(j);
+        rj.copy_from_slice(rhs.column(j));
+        vector::project_out_ones(rj);
+        b_norm[j] = vector::norm2(rj);
+        if b_norm[j] == 0.0 {
+            continue; // converged at zero, frozen from the start
+        }
+        active[j] = true;
+        converged[j] = false;
+        rel[j] = 1.0;
+        apply_preconditioner(op, opts.preconditioner, r.column(j), z.column_mut(j));
+        vector::project_out_ones(z.column_mut(j));
+        p.set_column(j, z.column(j));
+        rz[j] = vector::dot(r.column(j), z.column(j));
+    }
+    // Node-major mirror of `p` for the SpMM gather: transposed once here,
+    // then kept current by the fused xpby below. Frozen columns go stale
+    // in `p` and the mirror together, so mirror == p at every apply.
+    p.transpose_into(&mut ws.node_major);
+
+    let max_iter = opts.max_iterations.unwrap_or(10 * n + 100);
+    let mut alpha = vec![0.0f64; b];
+    let mut neg_alpha = vec![0.0f64; b];
+    let mut p_ap = vec![0.0f64; b];
+    let mut r_dot = vec![0.0f64; b];
+    let mut beta = vec![0.0f64; b];
+    let mut global_iter = 0usize;
+    while global_iter < max_iter && active.iter().any(|&a| a) {
+        global_iter += 1;
+        // One adjacency sweep serves every column, gathering straight
+        // from the node-major mirror (frozen columns get a harmless
+        // recompute; their state is simply never read again).
+        op.apply_node_major(&ws.node_major, &mut ap);
+        block_dot(&p, &ap, &mut p_ap, &active);
+        // `step` = columns that take this iteration's x/r update; a
+        // breakdown column freezes *before* the update, like the scalar
+        // `break`.
+        let mut step = active.clone();
+        for j in 0..b {
+            if !step[j] {
+                continue;
+            }
+            iterations[j] += 1;
+            if p_ap[j] <= 0.0 || !p_ap[j].is_finite() {
+                step[j] = false;
+                active[j] = false;
+                continue;
+            }
+            alpha[j] = rz[j] / p_ap[j];
+            neg_alpha[j] = -alpha[j];
+        }
+        block_axpy(&alpha, &p, &mut x, &step);
+        block_axpy(&neg_alpha, &ap, &mut r, &step);
+        if global_iter % 64 == 0 {
+            // All stepping columns share the same private iteration count,
+            // so the drift re-projection fires for them simultaneously —
+            // the same cadence each would see under scalar CG.
+            for (j, &stepping) in step.iter().enumerate() {
+                if stepping {
+                    vector::project_out_ones(r.column_mut(j));
+                    vector::project_out_ones(x.column_mut(j));
+                }
+            }
+        }
+        block_dot(&r, &r, &mut r_dot, &step);
+        for j in 0..b {
+            if !step[j] {
+                continue;
+            }
+            rel[j] = r_dot[j].sqrt() / b_norm[j];
+            if !rel[j].is_finite() || rel[j] <= opts.tolerance {
+                // Poisoned or converged: freeze at this iterate, exactly
+                // where the scalar loop breaks.
+                step[j] = false;
+                active[j] = false;
+            }
+        }
+        for (j, &stepping) in step.iter().enumerate() {
+            if stepping {
+                apply_preconditioner(op, opts.preconditioner, r.column(j), z.column_mut(j));
+            }
+        }
+        block_dot(&r, &z, &mut r_dot, &step);
+        for j in 0..b {
+            if step[j] {
+                beta[j] = r_dot[j] / rz[j];
+                rz[j] = r_dot[j];
+            }
+        }
+        block_xpby_mirror(&z, &beta, &mut p, &step, &mut ws.node_major);
+    }
+
+    for j in 0..b {
+        vector::project_out_ones(x.column_mut(j));
+        if b_norm[j] != 0.0 {
+            converged[j] = rel[j] <= opts.tolerance;
+        }
+    }
+
+    ws.r = Some(r);
+    ws.z = Some(z);
+    ws.p = Some(p);
+    ws.ap = Some(ap);
+    BlockCgOutcome { solutions: x, iterations, relative_residual: rel, converged }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cg::{solve_laplacian_simple, Preconditioner};
+    use crate::jl::projected_incidence_rows;
+    use reecc_graph::generators::{barabasi_albert, cycle, line, star};
+
+    fn block_of_pairs(n: usize, pairs: &[(usize, usize)]) -> BlockVectors {
+        let cols: Vec<Vec<f64>> = pairs
+            .iter()
+            .map(|&(u, v)| {
+                let mut b = vec![0.0; n];
+                b[u] = 1.0;
+                b[v] = -1.0;
+                b
+            })
+            .collect();
+        BlockVectors::from_columns(&cols)
+    }
+
+    #[test]
+    fn block_solve_is_bitwise_identical_to_scalar_per_column() {
+        for precond in [
+            Preconditioner::Identity,
+            Preconditioner::Jacobi,
+            Preconditioner::SymmetricGaussSeidel,
+        ] {
+            let g = barabasi_albert(80, 2, 5);
+            let op = LaplacianOp::new(&g);
+            let rhs_rows = projected_incidence_rows(&g, 6, 13);
+            let rhs = BlockVectors::from_columns(&rhs_rows);
+            let opts = CgOptions { preconditioner: precond, ..CgOptions::default() };
+            let out = solve_laplacian_block(&op, &rhs, opts, &mut BlockCgWorkspace::new());
+            for (j, row) in rhs_rows.iter().enumerate() {
+                let scalar = solve_laplacian_simple(&op, row, opts);
+                assert_eq!(
+                    out.solutions.column(j),
+                    scalar.solution.as_slice(),
+                    "{precond:?} column {j} diverged from scalar CG"
+                );
+                assert_eq!(out.iterations[j], scalar.iterations, "{precond:?} col {j} iters");
+                assert_eq!(out.converged[j], scalar.converged);
+                assert_eq!(
+                    out.relative_residual[j].to_bits(),
+                    scalar.relative_residual.to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn uneven_convergence_freezes_early_columns() {
+        // The two right-hand sides need very different iteration counts;
+        // the fast column must freeze at its scalar iterate while the slow
+        // one keeps going, and both must report their own counts.
+        let g = line(120);
+        let op = LaplacianOp::new(&g);
+        let pairs = [(0usize, 1usize), (0, 119)];
+        let rhs = block_of_pairs(120, &pairs);
+        let scalar: Vec<_> = (0..2)
+            .map(|j| solve_laplacian_simple(&op, rhs.column(j), CgOptions::default()))
+            .collect();
+        assert_ne!(scalar[0].iterations, scalar[1].iterations, "need uneven columns");
+        let out = solve_laplacian_block(
+            &op,
+            &rhs,
+            CgOptions::default(),
+            &mut BlockCgWorkspace::new(),
+        );
+        assert!(out.converged[0] && out.converged[1]);
+        for (j, s) in scalar.iter().enumerate() {
+            assert_eq!(out.iterations[j], s.iterations, "column {j}");
+            assert_eq!(out.solutions.column(j), s.solution.as_slice());
+        }
+        let r = out.solutions.column(1)[0] - out.solutions.column(1)[119];
+        assert!((r - 119.0).abs() < 1e-4, "effective resistance {r}");
+    }
+
+    #[test]
+    fn zero_and_constant_columns_converge_immediately() {
+        let g = cycle(9);
+        let op = LaplacianOp::new(&g);
+        let cols = vec![vec![0.0; 9], vec![3.0; 9], {
+            let mut b = vec![0.0; 9];
+            b[0] = 1.0;
+            b[4] = -1.0;
+            b
+        }];
+        let rhs = BlockVectors::from_columns(&cols);
+        let out = solve_laplacian_block(
+            &op,
+            &rhs,
+            CgOptions::default(),
+            &mut BlockCgWorkspace::new(),
+        );
+        assert_eq!(out.iterations[0], 0);
+        assert_eq!(out.iterations[1], 0, "constant rhs projects to zero");
+        assert!(out.converged.iter().all(|&c| c));
+        assert!(out.solutions.column(0).iter().all(|&v| v == 0.0));
+        assert!(out.solutions.column(1).iter().all(|&v| v.abs() < 1e-12));
+        assert!(out.iterations[2] > 0);
+    }
+
+    #[test]
+    fn starved_budget_reports_per_column_nonconvergence() {
+        let g = line(150);
+        let op = LaplacianOp::new(&g);
+        let pairs = [(70usize, 71usize), (0, 149)];
+        let rhs = block_of_pairs(150, &pairs);
+        // Starve the slower column only: budget between the two scalar
+        // iteration counts, so exactly one column stalls mid-block.
+        let iters: Vec<usize> = (0..2)
+            .map(|j| {
+                solve_laplacian_simple(&op, rhs.column(j), CgOptions::default()).iterations
+            })
+            .collect();
+        let (fast, slow) = if iters[0] < iters[1] { (0, 1) } else { (1, 0) };
+        let budget = (iters[fast] + iters[slow]) / 2;
+        assert!(iters[fast] <= budget && budget < iters[slow], "need a separating budget");
+        let out = solve_laplacian_block(
+            &op,
+            &rhs,
+            CgOptions { max_iterations: Some(budget), ..CgOptions::default() },
+            &mut BlockCgWorkspace::new(),
+        );
+        assert!(out.converged[fast]);
+        assert!(!out.converged[slow]);
+        assert_eq!(out.iterations[slow], budget);
+        assert!(out.relative_residual[slow] > out.relative_residual[fast]);
+        assert_eq!(out.total_iterations(), out.iterations[fast] + budget);
+    }
+
+    #[test]
+    fn workspace_reuse_across_block_shapes() {
+        let g = star(30);
+        let op = LaplacianOp::new(&g);
+        let mut ws = BlockCgWorkspace::new();
+        for width in [4usize, 4, 2, 7] {
+            let pairs: Vec<(usize, usize)> = (1..=width).map(|j| (0, j)).collect();
+            let rhs = block_of_pairs(30, &pairs);
+            let out = solve_laplacian_block(&op, &rhs, CgOptions::default(), &mut ws);
+            assert!(out.converged.iter().all(|&c| c), "width {width}");
+        }
+    }
+
+    #[test]
+    fn empty_graph_block_solve() {
+        let g = reecc_graph::Graph::from_edges(0, []).unwrap();
+        let op = LaplacianOp::new(&g);
+        let rhs = BlockVectors::zeros(0, 3);
+        let out = solve_laplacian_block(
+            &op,
+            &rhs,
+            CgOptions::default(),
+            &mut BlockCgWorkspace::new(),
+        );
+        assert!(out.converged.iter().all(|&c| c));
+        assert_eq!(out.total_iterations(), 0);
+    }
+}

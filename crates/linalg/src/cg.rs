@@ -31,7 +31,9 @@ pub enum Preconditioner {
 }
 
 /// Apply `z = M⁻¹ r` for the chosen preconditioner of a Laplacian.
-fn apply_preconditioner(
+/// Shared with the multi-RHS block solver ([`crate::block_cg`]), which
+/// applies it per column so blocked and scalar solves stay bitwise equal.
+pub(crate) fn apply_preconditioner(
     op: &LaplacianOp<'_>,
     precond: Preconditioner,
     r: &[f64],

@@ -20,12 +20,21 @@
 //! compress the edge dimension, and [`sparse`] a CSR matrix with SpMV for
 //! generic operators.
 //!
+//! [`block`] and [`block_cg`] form the multi-RHS kernel layer: contiguous
+//! column-major vector blocks with fused stride-1 kernels, SpMM-style
+//! `apply_block` on both operators, and a lockstep blocked CG whose
+//! per-column arithmetic is bitwise identical to [`cg::solve_laplacian`]
+//! — the sketch build solves its JL rows in blocks through this path.
+//! See DESIGN.md §9 for the kernel-layer design.
+//!
 //! [`recovery`] wraps the CG solver in a fault-tolerant escalation ladder
 //! (stronger preconditioner → relaxed tolerance/boosted budget → size-gated
 //! dense pseudoinverse), recording every attempt in a [`SolveReport`] so
 //! downstream layers can degrade gracefully instead of silently returning
 //! garbage.
 
+pub mod block;
+pub mod block_cg;
 pub mod cg;
 pub mod dense;
 pub mod eigen;
@@ -35,6 +44,8 @@ pub mod recovery;
 pub mod sparse;
 pub mod vector;
 
+pub use block::{block_axpy, block_dot, block_xpby, block_xpby_mirror, BlockVectors};
+pub use block_cg::{solve_laplacian_block, BlockCgOutcome, BlockCgWorkspace};
 pub use cg::{CgOptions, CgOutcome, Preconditioner};
 pub use dense::DenseMatrix;
 pub use eigen::{lambda2_estimate, lambda_max_estimate, EigenEstimate, EigenOptions};

@@ -2,8 +2,11 @@
 
 use proptest::prelude::*;
 use reecc_graph::generators::connected_erdos_renyi;
+use reecc_linalg::block::BlockVectors;
+use reecc_linalg::block_cg::{solve_laplacian_block, BlockCgWorkspace};
 use reecc_linalg::cg::{solve_laplacian_simple, CgOptions, Preconditioner};
 use reecc_linalg::eigen::{lambda2_estimate, lambda_max_estimate, EigenOptions};
+use reecc_linalg::recovery::{RecoveryPolicy, RecoverySolver};
 use reecc_linalg::{laplacian_csr, laplacian_dense, DenseMatrix, LaplacianOp};
 
 fn spd_matrix() -> impl Strategy<Value = DenseMatrix> {
@@ -100,6 +103,82 @@ proptest! {
         for sol in &solutions[1..] {
             for (a, e) in sol.iter().zip(&solutions[0]) {
                 prop_assert!((a - e).abs() < 1e-6);
+            }
+        }
+    }
+
+    /// Blocked CG is bitwise identical to scalar CG per column, for every
+    /// block width — the invariant that makes the sketch build's
+    /// `threads` × `block_size` knobs observationally irrelevant.
+    #[test]
+    fn block_cg_matches_scalar_bitwise(
+        (n, p, seed) in (4usize..28, 0.12f64..0.55, any::<u64>()),
+        raw in proptest::collection::vec(-4.0f64..4.0, 28 * 8)
+    ) {
+        let g = connected_erdos_renyi(n, p, seed);
+        let op = LaplacianOp::new(&g);
+        let opts = CgOptions::default();
+        let columns: Vec<Vec<f64>> =
+            (0..8).map(|j| raw[j * n..(j + 1) * n].to_vec()).collect();
+        let scalar: Vec<_> =
+            columns.iter().map(|c| solve_laplacian_simple(&op, c, opts)).collect();
+        let mut ws = BlockCgWorkspace::new();
+        for width in [1usize, 3, 8] {
+            // Blocks are formed exactly the way the sketch build chunks its
+            // JL rows: contiguous groups of `width` columns.
+            let mut col = 0;
+            for batch in columns.chunks(width) {
+                let rhs = BlockVectors::from_columns(batch);
+                let out = solve_laplacian_block(&op, &rhs, opts, &mut ws);
+                for j in 0..batch.len() {
+                    let reference = &scalar[col + j];
+                    prop_assert_eq!(out.solutions.column(j), reference.solution.as_slice());
+                    prop_assert_eq!(out.iterations[j], reference.iterations);
+                    prop_assert_eq!(out.converged[j], reference.converged);
+                    prop_assert_eq!(
+                        out.relative_residual[j].to_bits(),
+                        reference.relative_residual.to_bits()
+                    );
+                }
+                col += batch.len();
+            }
+        }
+    }
+
+    /// A column the blocked solver reports as unconverged (starved budget)
+    /// is exactly the column scalar CG fails on, and the PR-1 escalation
+    /// ladder repairs it from the same right-hand side — the composition
+    /// the sketch build's repair pass relies on.
+    #[test]
+    fn starved_block_columns_are_recoverable(
+        (n, p, seed) in (8usize..24, 0.12f64..0.4, any::<u64>())
+    ) {
+        let g = connected_erdos_renyi(n, p, seed);
+        let op = LaplacianOp::new(&g);
+        let starved = CgOptions { max_iterations: Some(2), ..CgOptions::default() };
+        let mut columns = vec![vec![0.0; n]; 3];
+        columns[0][0] = 1.0;
+        columns[0][n - 1] = -1.0;
+        columns[1][n / 2] = 1.0;
+        columns[1][0] = -1.0;
+        // Column 2 stays zero: converges instantly even under starvation.
+        let rhs = BlockVectors::from_columns(&columns);
+        let mut ws = BlockCgWorkspace::new();
+        let out = solve_laplacian_block(&op, &rhs, starved, &mut ws);
+        prop_assert!(out.converged[2], "zero column must converge immediately");
+        let scalar: Vec<_> =
+            columns.iter().map(|c| solve_laplacian_simple(&op, c, starved)).collect();
+        let mut solver = RecoverySolver::new(
+            LaplacianOp::new(&g),
+            starved,
+            RecoveryPolicy::default(),
+        );
+        for j in 0..3 {
+            prop_assert_eq!(out.converged[j], scalar[j].converged);
+            if !out.converged[j] {
+                let (solution, report) = solver.solve(&columns[j]);
+                prop_assert!(report.converged, "ladder must rescue column {}", j);
+                prop_assert!(solution.iter().all(|x| x.is_finite()));
             }
         }
     }

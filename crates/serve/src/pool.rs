@@ -168,8 +168,11 @@ impl std::fmt::Debug for ServePool {
 impl ServePool {
     /// Spin up the supervised workers for `engine`.
     pub fn new(engine: Arc<QueryEngine>, config: PoolConfig) -> Self {
+        // `threads: 0` resolves through the shared helper; the pool keeps
+        // a floor of two workers so one panicked worker never leaves the
+        // queue unattended while the supervisor respawns it.
         let threads = if config.threads == 0 {
-            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(2).max(2)
+            reecc_core::resolve_threads(0).max(2)
         } else {
             config.threads
         };
@@ -230,6 +233,11 @@ impl ServePool {
     /// The pool's tier for eccentricity answers, as a wire string.
     pub fn tier_name(&self) -> &'static str {
         tier_name(self.shared.tier)
+    }
+
+    /// The resolved worker count (after `threads: 0` auto-detection).
+    pub fn threads(&self) -> usize {
+        self.shared.threads
     }
 
     /// Enqueue a request without blocking. On success the response arrives

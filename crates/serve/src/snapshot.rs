@@ -136,7 +136,7 @@ impl SketchSnapshot {
             fingerprint: fingerprint(engine.graph()),
             epsilon: engine.sketch().epsilon(),
             node_count: engine.sketch().node_count(),
-            rows: engine.sketch().rows().to_vec(),
+            rows: engine.sketch().to_rows(),
             hull: engine.hull().to_vec(),
             diagnostics: engine.sketch().diagnostics().clone(),
         }

@@ -276,3 +276,37 @@ fn snapshot_fingerprint_is_representation_level() {
         Graph::from_edges(g.node_count(), g.edges().iter().map(|e| (e.u, e.v))).unwrap();
     assert_eq!(fingerprint(g), fingerprint(&clone));
 }
+
+#[test]
+fn pre_rework_golden_snapshot_still_loads_and_answers() {
+    // Regression guard for the flat node-major sketch-storage rework: the
+    // checked-in golden snapshot was produced by the PRE-rework code
+    // (row-major `Vec<Vec<f64>>` storage, scalar per-row CG). It must keep
+    // loading byte-for-byte, and — because the blocked kernels are bitwise
+    // identical to the old scalar path — rebuilding with the same
+    // parameters must reproduce the golden bytes exactly.
+    let golden_path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("golden/pre_flat_rework.sketch");
+    let bytes = std::fs::read(&golden_path).expect("golden snapshot is checked in");
+    let snap = SketchSnapshot::from_bytes(&bytes).expect("golden snapshot parses");
+
+    // Generation recipe (recorded so the golden file can be regenerated):
+    let g = barabasi_albert(40, 2, 9);
+    let params =
+        SketchParams { epsilon: 0.4, max_dimension: Some(64), seed: 3, ..Default::default() };
+    let engine = snap.into_engine(&g).expect("golden snapshot pairs with its graph");
+
+    // Loaded engine answers within the sketch guarantee against exact.
+    let nodes: Vec<usize> = (0..g.node_count()).step_by(7).collect();
+    let exact = exact_query(&g, &nodes).unwrap();
+    for (v, c) in exact {
+        let got = engine.eccentricity(v).value;
+        assert!((got - c).abs() <= 0.4 * c + 1e-9, "c({v}): {got} vs exact {c}");
+    }
+
+    // Bitwise build-compatibility: today's blocked build serializes to the
+    // exact bytes the pre-rework scalar build wrote.
+    let rebuilt = QueryEngine::build(&g, &params).unwrap();
+    let rebuilt_bytes = SketchSnapshot::from_engine(&rebuilt).to_bytes();
+    assert_eq!(rebuilt_bytes, bytes, "snapshot byte format or sketch bits drifted");
+}
