@@ -17,8 +17,8 @@ use reecc_graph::stats::power_law_fit;
 use reecc_graph::Graph;
 use reecc_opt::{
     cen_min_recc_with_diagnostics, ch_min_recc_with_diagnostics, exact_trajectory,
-    far_min_recc_with_diagnostics, min_recc_with_diagnostics, simple_greedy, OptimizeParams,
-    Problem,
+    far_min_recc_with_diagnostics, min_recc_with_diagnostics, simple_greedy_with_diagnostics,
+    OptimizeParams, Problem, SimpleOptions,
 };
 use reecc_serve::{
     serve_pipe, PoolConfig, RetryPolicy, ServePool, SketchSnapshot, SnapshotError, TcpServer,
@@ -40,9 +40,17 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         Command::Query { path, nodes, method, eps, lcc } => {
             query(&path, &nodes, method, eps, lcc)
         }
-        Command::Optimize { path, source, k, algorithm, eps, lcc } => {
-            optimize(&path, source, k, algorithm, eps, lcc)
-        }
+        Command::Optimize {
+            path,
+            source,
+            k,
+            algorithm,
+            eps,
+            threads,
+            block_size,
+            lazy,
+            lcc,
+        } => optimize(&path, source, k, algorithm, eps, threads, block_size, lazy, lcc),
         Command::Generate { model, n, param, seed, dataset, out } => {
             generate(model, n, param, seed, dataset.as_deref(), out.as_deref())
         }
@@ -189,12 +197,16 @@ fn query(
     Ok(out)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn optimize(
     path: &str,
     source: usize,
     k: usize,
     algorithm: Algorithm,
     eps: f64,
+    threads: usize,
+    block_size: usize,
+    lazy: bool,
     lcc: bool,
 ) -> Result<String, CliError> {
     let g = load_graph(path, lcc)?;
@@ -204,50 +216,64 @@ fn optimize(
             g.node_count()
         )));
     }
-    let params = OptimizeParams { sketch: sketch_params(eps), ..Default::default() };
+    // `--threads` / `--block-size` steer both the sketch build and the
+    // candidate-evaluation engine (`0` = auto via `resolve_threads` /
+    // the adaptive block width) — results are identical for every setting.
+    let params = OptimizeParams {
+        sketch: SketchParams { threads, block_size, ..sketch_params(eps) },
+        ..Default::default()
+    };
     let compute = |e: reecc_opt::OptError| CliError::Compute(e.to_string());
-    let mut diagnostics = None;
-    let (name, plan) = match algorithm {
+    let (name, plan, diag) = match algorithm {
         Algorithm::Simple { rem } => {
             let problem = if rem { Problem::Rem } else { Problem::Remd };
-            ("SIMPLE", simple_greedy(&g, problem, k, source).map_err(compute)?)
+            let (plan, diag) = simple_greedy_with_diagnostics(
+                &g,
+                problem,
+                k,
+                source,
+                SimpleOptions { threads, lazy },
+            )
+            .map_err(compute)?;
+            ("SIMPLE", plan, diag)
         }
         Algorithm::Far => {
             let (plan, diag) =
                 far_min_recc_with_diagnostics(&g, k, source, &params).map_err(compute)?;
-            diagnostics = Some(diag);
-            ("FARMINRECC", plan)
+            ("FARMINRECC", plan, diag)
         }
         Algorithm::Cen => {
             let (plan, diag) =
                 cen_min_recc_with_diagnostics(&g, k, source, &params).map_err(compute)?;
-            diagnostics = Some(diag);
-            ("CENMINRECC", plan)
+            ("CENMINRECC", plan, diag)
         }
         Algorithm::Ch => {
             let (plan, diag) =
                 ch_min_recc_with_diagnostics(&g, k, source, &params).map_err(compute)?;
-            diagnostics = Some(diag);
-            ("CHMINRECC", plan)
+            ("CHMINRECC", plan, diag)
         }
         Algorithm::MinRecc => {
             let (plan, diag) =
                 min_recc_with_diagnostics(&g, k, source, &params).map_err(compute)?;
-            diagnostics = Some(diag);
-            ("MINRECC", plan)
+            ("MINRECC", plan, diag)
         }
     };
     let mut out = String::new();
     let _ = writeln!(out, "{name}: {} edge(s) selected for source {source}", plan.len());
-    if let Some(diag) = diagnostics.filter(|d| !d.clean()) {
+    let _ = writeln!(
+        out,
+        "evaluation: {} full eval(s), {} lazy hit(s), {} CG block(s)",
+        diag.full_evals, diag.lazy_hits, diag.blocks_solved
+    );
+    if !diag.clean() {
         let _ = writeln!(
             out,
             "robustness: {} candidate(s) skipped, {} degraded evaluation(s)",
             diag.skipped_candidates, diag.degraded_evaluations
         );
-        for note in &diag.notes {
-            let _ = writeln!(out, "  note: {note}");
-        }
+    }
+    for note in &diag.notes {
+        let _ = writeln!(out, "  note: {note}");
     }
     for (i, e) in plan.iter().enumerate() {
         let _ = writeln!(out, "  {}. add ({}, {})", i + 1, e.u, e.v);

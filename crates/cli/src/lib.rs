@@ -67,7 +67,8 @@ USAGE:
   reecc analyze  <edges.txt> [--eps X] [--lcc]
   reecc query    <edges.txt> --nodes A,B,C [--method exact|approx|fast] [--eps X] [--lcc]
   reecc optimize <edges.txt> --source S --k N
-                 [--algorithm simple|far|cen|ch|minrecc] [--problem remd|rem] [--eps X] [--lcc]
+                 [--algorithm simple|far|cen|ch|minrecc] [--problem remd|rem] [--eps X]
+                 [--threads N (0 = auto)] [--block-size B (0 = adaptive)] [--lazy] [--lcc]
   reecc generate --model ba|hk|ws|er|powerlaw|dataset --n N [--param P] [--seed S]
                  [--dataset NAME] [--out FILE]
   reecc sketch-build <edges.txt> --out SNAPSHOT [--eps X] [--seed S] [--lcc] [--verify]

@@ -40,6 +40,14 @@ pub enum Command {
         algorithm: Algorithm,
         /// Sketch epsilon.
         eps: f64,
+        /// Worker threads for candidate evaluation and the sketch build
+        /// (`0` = auto via `resolve_threads`).
+        threads: usize,
+        /// Right-hand sides per blocked-CG batch (`0` = adaptive default,
+        /// `1` = scalar solves).
+        block_size: usize,
+        /// CELF-style lazy re-evaluation for SIMPLE.
+        lazy: bool,
         /// Reduce disconnected inputs to their largest connected component.
         lcc: bool,
     },
@@ -162,7 +170,7 @@ impl Flags {
         while let Some(a) = it.next() {
             if let Some(name) = a.strip_prefix("--") {
                 // Boolean flags take no value.
-                if name == "help" || name == "lcc" || name == "verify" {
+                if name == "help" || name == "lcc" || name == "verify" || name == "lazy" {
                     pairs.push((name.to_string(), String::new()));
                     continue;
                 }
@@ -282,7 +290,17 @@ pub fn parse_command(args: &[String]) -> Result<Command, CliError> {
         }
         "optimize" => {
             let flags = Flags::parse(rest)?;
-            flags.reject_unknown(&["source", "k", "algorithm", "problem", "eps", "lcc"])?;
+            flags.reject_unknown(&[
+                "source",
+                "k",
+                "algorithm",
+                "problem",
+                "eps",
+                "threads",
+                "block-size",
+                "lazy",
+                "lcc",
+            ])?;
             if flags.has("help") {
                 return Ok(Command::Help);
             }
@@ -318,6 +336,9 @@ pub fn parse_command(args: &[String]) -> Result<Command, CliError> {
                 k,
                 algorithm,
                 eps: parse_eps(&flags)?,
+                threads: parse_usize(&flags, "threads")?.unwrap_or(0),
+                block_size: parse_usize(&flags, "block-size")?.unwrap_or(0),
+                lazy: flags.has("lazy"),
                 lcc: flags.has("lcc"),
             })
         }
@@ -508,10 +529,39 @@ mod tests {
         ])
         .unwrap();
         match cmd {
-            Command::Optimize { source, k, algorithm, .. } => {
+            Command::Optimize { source, k, algorithm, threads, block_size, lazy, .. } => {
                 assert_eq!(source, 4);
                 assert_eq!(k, 3);
                 assert_eq!(algorithm, Algorithm::Simple { rem: false });
+                assert_eq!(threads, 0, "default = auto");
+                assert_eq!(block_size, 0, "default = adaptive");
+                assert!(!lazy);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn optimize_engine_knobs() {
+        let cmd = parse(&[
+            "optimize",
+            "g.txt",
+            "--source",
+            "0",
+            "--k",
+            "2",
+            "--threads",
+            "4",
+            "--block-size",
+            "16",
+            "--lazy",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Optimize { threads, block_size, lazy, .. } => {
+                assert_eq!(threads, 4);
+                assert_eq!(block_size, 16);
+                assert!(lazy);
             }
             other => panic!("{other:?}"),
         }

@@ -29,7 +29,7 @@ use reecc_linalg::cg::CgWorkspace;
 
 use crate::query::default_hull_budget;
 use crate::sketch::{ResistanceSketch, SketchParams};
-use crate::update::{solve_edge_potentials, updated_eccentricity};
+use crate::update::{solve_edge_potentials_with, updated_eccentricity};
 use crate::CoreError;
 
 /// One eccentricity answer.
@@ -186,14 +186,45 @@ impl QueryEngine {
     /// adding `edge`, via one CG solve on the current graph (the engine is
     /// not modified).
     ///
+    /// Allocates fresh scratch per call; long-lived callers (the serving
+    /// pool) should hold a [`WhatIfScratch`] and use
+    /// [`Self::eccentricity_after_edge_with`] instead.
+    ///
     /// # Panics
     ///
     /// Panics if ids are out of range.
     pub fn eccentricity_after_edge(&self, s: usize, edge: Edge) -> EccentricityAnswer {
-        let mut ws = CgWorkspace::new(self.graph.node_count());
-        let (w, r_uv) = solve_edge_potentials(&self.graph, edge, self.params.cg, &mut ws);
-        let base = self.sketch.resistances_from(s);
-        let (value, farthest) = updated_eccentricity(&base, &w, r_uv, s);
+        let mut scratch = WhatIfScratch::new(self.graph.node_count());
+        self.eccentricity_after_edge_with(&mut scratch, s, edge)
+    }
+
+    /// [`Self::eccentricity_after_edge`] with caller-held scratch: the CG
+    /// workspace, right-hand-side, and base-distance buffers are reused
+    /// across calls, so a warm what-if solve performs only the one
+    /// solution-vector allocation inside CG. Bitwise identical to the
+    /// allocating variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ids are out of range or the scratch was sized for a
+    /// different node count.
+    pub fn eccentricity_after_edge_with(
+        &self,
+        scratch: &mut WhatIfScratch,
+        s: usize,
+        edge: Edge,
+    ) -> EccentricityAnswer {
+        let n = self.graph.node_count();
+        assert_eq!(scratch.base.len(), n, "scratch sized for a different graph");
+        let (w, r_uv) = solve_edge_potentials_with(
+            &self.graph,
+            edge,
+            self.params.cg,
+            &mut scratch.ws,
+            &mut scratch.rhs,
+        );
+        self.sketch.resistances_from_into(&mut scratch.base, s);
+        let (value, farthest) = updated_eccentricity(&scratch.base, &w, r_uv, s);
         EccentricityAnswer { value, farthest }
     }
 
@@ -213,6 +244,32 @@ impl QueryEngine {
     }
 }
 
+/// Reusable scratch for [`QueryEngine::eccentricity_after_edge_with`]:
+/// the CG workspace, the (zero-filled) right-hand-side buffer, and the
+/// base-distance buffer. Keep one per worker (or behind a mutex) so warm
+/// what-if queries skip the per-call allocations of the cold path.
+#[derive(Debug)]
+pub struct WhatIfScratch {
+    ws: CgWorkspace,
+    rhs: Vec<f64>,
+    base: Vec<f64>,
+}
+
+impl WhatIfScratch {
+    /// Scratch for an `n`-node engine.
+    pub fn new(n: usize) -> Self {
+        WhatIfScratch { ws: CgWorkspace::new(n), rhs: vec![0.0; n], base: vec![0.0; n] }
+    }
+
+    /// Re-zero the right-hand-side buffer. The solve resets it on every
+    /// normal return; call this only when recovering the scratch after a
+    /// panic (e.g. from a poisoned lock), which may have left the two ±1
+    /// source entries set mid-solve.
+    pub fn reset(&mut self) {
+        self.rhs.fill(0.0);
+    }
+}
+
 /// Compile-time audit that the long-lived shared types stay thread-safe
 /// (`Arc<QueryEngine>` across a worker pool). If a future change
 /// introduces interior mutability (`Cell`, `Rc`, raw pointers), this
@@ -224,6 +281,7 @@ const _: () = {
     assert_send_sync::<crate::sketch::SketchDiagnostics>();
     assert_send_sync::<SketchParams>();
     assert_send_sync::<EccentricityAnswer>();
+    assert_send_sync::<WhatIfScratch>();
 };
 
 #[cfg(test)]
@@ -334,6 +392,20 @@ mod tests {
             QueryEngine::from_parts(g, built.sketch().clone(), vec![99], *built.params()),
             Err(CoreError::NodeOutOfRange { node: 99, .. })
         ));
+    }
+
+    #[test]
+    fn warm_what_if_scratch_is_bitwise_identical_and_reusable() {
+        let g = barabasi_albert(40, 2, 13);
+        let engine = QueryEngine::build(&g, &params()).unwrap();
+        let mut scratch = WhatIfScratch::new(40);
+        for (s, e) in [(0, Edge::new(0, 39)), (7, Edge::new(3, 31)), (39, Edge::new(1, 20))] {
+            let cold = engine.eccentricity_after_edge(s, e);
+            let warm = engine.eccentricity_after_edge_with(&mut scratch, s, e);
+            assert_eq!(cold, warm, "s={s} e={e:?}");
+            // The rhs buffer must come back zeroed for the next edge.
+            assert!(scratch.rhs.iter().all(|&x| x == 0.0));
+        }
     }
 
     #[test]

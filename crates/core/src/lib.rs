@@ -51,7 +51,7 @@ pub mod sketch;
 pub mod update;
 pub mod walks;
 
-pub use engine::QueryEngine;
+pub use engine::{QueryEngine, WhatIfScratch};
 pub use exact::ExactResistance;
 pub use metrics::EccentricityDistribution;
 pub use query::{

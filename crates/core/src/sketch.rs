@@ -560,16 +560,28 @@ impl ResistanceSketch {
 
     /// Estimated resistances from `s` to every node, `O(n·d)`.
     pub fn resistances_from(&self, s: usize) -> Vec<f64> {
+        let mut out = vec![0.0; self.n];
+        self.resistances_from_into(&mut out, s);
+        out
+    }
+
+    /// In-place variant of [`Self::resistances_from`]: fills a caller-owned
+    /// buffer (bitwise identical values) so per-candidate hot loops reuse
+    /// one allocation across calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range or `out.len() != n`.
+    pub fn resistances_from_into(&self, out: &mut [f64], s: usize) {
         assert!(s < self.n, "node out of range");
+        assert_eq!(out.len(), self.n, "output length mismatch");
         let src = s * self.d;
-        (0..self.n)
-            .map(|u| {
-                vector::dist_sq(
-                    &self.data[src..src + self.d],
-                    &self.data[u * self.d..(u + 1) * self.d],
-                )
-            })
-            .collect()
+        for (u, o) in out.iter_mut().enumerate() {
+            *o = vector::dist_sq(
+                &self.data[src..src + self.d],
+                &self.data[u * self.d..(u + 1) * self.d],
+            );
+        }
     }
 
     /// APPROXQUERY inner step: `c̄(s) = max_j r̃(s, j)` over all nodes,

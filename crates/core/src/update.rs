@@ -123,13 +123,36 @@ pub fn solve_edge_potentials(
     cg: CgOptions,
     ws: &mut CgWorkspace,
 ) -> (Vec<f64>, f64) {
+    let mut rhs = vec![0.0; g.node_count()];
+    solve_edge_potentials_with(g, e, cg, ws, &mut rhs)
+}
+
+/// [`solve_edge_potentials`] with a caller-owned right-hand-side buffer.
+/// `rhs` must be all-zero on entry; the two `±1` entries are written for
+/// the solve and reset to zero before returning, so one buffer serves an
+/// arbitrary sequence of candidate edges without reallocation. Bitwise
+/// identical to [`solve_edge_potentials`].
+///
+/// # Panics
+///
+/// Panics if endpoints are out of range or `rhs.len() != n`.
+pub fn solve_edge_potentials_with(
+    g: &Graph,
+    e: Edge,
+    cg: CgOptions,
+    ws: &mut CgWorkspace,
+    rhs: &mut [f64],
+) -> (Vec<f64>, f64) {
     let n = g.node_count();
     assert!(e.v < n, "edge endpoint out of range");
-    let mut b = vec![0.0; n];
-    b[e.u] = 1.0;
-    b[e.v] = -1.0;
+    assert_eq!(rhs.len(), n, "rhs length mismatch");
+    debug_assert!(rhs.iter().all(|&x| x == 0.0), "rhs buffer must be zeroed");
+    rhs[e.u] = 1.0;
+    rhs[e.v] = -1.0;
     let op = LaplacianOp::new(g);
-    let out = solve_laplacian(&op, &b, cg, ws);
+    let out = solve_laplacian(&op, rhs, cg, ws);
+    rhs[e.u] = 0.0;
+    rhs[e.v] = 0.0;
     let r_uv = out.solution[e.u] - out.solution[e.v];
     (out.solution, r_uv)
 }
@@ -165,17 +188,35 @@ pub fn solve_edge_potentials_recovering(
 ///
 /// Panics on length mismatch or out-of-range `s`.
 pub fn updated_resistances(base: &[f64], potentials: &[f64], r_uv: f64, s: usize) -> Vec<f64> {
+    let mut out = vec![0.0; base.len()];
+    updated_resistances_into(&mut out, base, potentials, r_uv, s);
+    out
+}
+
+/// In-place variant of [`updated_resistances`]: writes the post-addition
+/// distances into a caller-owned buffer so per-candidate hot loops (the
+/// evaluation engine, the serving layer's what-if scratch) stay
+/// allocation-free.
+///
+/// # Panics
+///
+/// Panics on length mismatch or out-of-range `s`.
+pub fn updated_resistances_into(
+    out: &mut [f64],
+    base: &[f64],
+    potentials: &[f64],
+    r_uv: f64,
+    s: usize,
+) {
     assert_eq!(base.len(), potentials.len(), "length mismatch");
+    assert_eq!(out.len(), base.len(), "output length mismatch");
     assert!(s < base.len(), "source out of range");
     let denom = 1.0 + r_uv;
     let ws = potentials[s];
-    base.iter()
-        .zip(potentials)
-        .map(|(&r, &wj)| {
-            let delta = ws - wj;
-            r - delta * delta / denom
-        })
-        .collect()
+    for ((o, &r), &wj) in out.iter_mut().zip(base).zip(potentials) {
+        let delta = ws - wj;
+        *o = r - delta * delta / denom;
+    }
 }
 
 /// Max of [`updated_resistances`] without materializing the vector:

@@ -65,6 +65,7 @@ pub struct BlockCgWorkspace {
     z: Option<BlockVectors>,
     p: Option<BlockVectors>,
     ap: Option<BlockVectors>,
+    x: Option<BlockVectors>,
     node_major: Vec<f64>,
 }
 
@@ -72,6 +73,14 @@ impl BlockCgWorkspace {
     /// Create an empty workspace (buffers are sized lazily per solve).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Hand a consumed solutions block back so the next same-shape solve
+    /// reuses its storage instead of allocating a fresh `n×b` block. The
+    /// candidate-evaluation engine calls this after reading each block's
+    /// scores, which makes its steady state allocation-free.
+    pub fn recycle_solutions(&mut self, solutions: BlockVectors) {
+        self.x = Some(solutions);
     }
 
     fn take(slot: &mut Option<BlockVectors>, n: usize, b: usize) -> BlockVectors {
@@ -98,7 +107,11 @@ pub fn solve_laplacian_block(
     let n = op.order();
     assert_eq!(rhs.len(), n, "block cg: rhs dimension mismatch");
     let b = rhs.block_size();
-    let mut x = BlockVectors::zeros(n, b);
+    // A recycled solutions block may carry stale iterates; CG starts from
+    // x = 0, so zero it unconditionally (fresh blocks are already zero and
+    // the refill is a single linear pass).
+    let mut x = BlockCgWorkspace::take(&mut ws.x, n, b);
+    x.as_mut_slice().fill(0.0);
     let mut iterations = vec![0usize; b];
     let mut rel = vec![0.0f64; b];
     let mut converged = vec![true; b];
@@ -365,6 +378,24 @@ mod tests {
             let rhs = block_of_pairs(30, &pairs);
             let out = solve_laplacian_block(&op, &rhs, CgOptions::default(), &mut ws);
             assert!(out.converged.iter().all(|&c| c), "width {width}");
+            // Returning the solutions must not change later results even
+            // though the recycled block holds stale non-zero iterates.
+            ws.recycle_solutions(out.solutions);
+        }
+    }
+
+    #[test]
+    fn recycled_solutions_block_is_rezeroed() {
+        let g = line(40);
+        let op = LaplacianOp::new(&g);
+        let mut ws = BlockCgWorkspace::new();
+        let rhs = block_of_pairs(40, &[(0, 39), (3, 17)]);
+        let first = solve_laplacian_block(&op, &rhs, CgOptions::default(), &mut ws);
+        let reference = first.solutions.clone();
+        ws.recycle_solutions(first.solutions);
+        let second = solve_laplacian_block(&op, &rhs, CgOptions::default(), &mut ws);
+        for j in 0..2 {
+            assert_eq!(second.solutions.column(j), reference.column(j), "column {j}");
         }
     }
 

@@ -20,11 +20,10 @@
 
 use reecc_core::query::default_hull_budget;
 use reecc_core::sketch::{ResistanceSketch, SketchParams};
-use reecc_core::update::{solve_edge_potentials_recovering, updated_eccentricity};
 use reecc_graph::{Edge, Graph};
 use reecc_hull::approxch::{approx_convex_hull, ApproxChOptions};
-use reecc_linalg::{LaplacianOp, RecoverySolver};
 
+use crate::evaluator::CandidateEvaluator;
 use crate::problem::validate;
 use crate::OptError;
 
@@ -39,6 +38,16 @@ pub struct OptDiagnostics {
     /// Candidates whose solve needed the escalation ladder but still
     /// yielded a usable (if degraded) score.
     pub degraded_evaluations: usize,
+    /// Fresh candidate evaluations performed (block-CG columns or exact
+    /// pseudoinverse scans). Work telemetry, not a health signal.
+    pub full_evals: usize,
+    /// Candidate re-evaluations skipped by CELF lazy greedy because a
+    /// stale upper bound already settled the argmax (always `0` in eager
+    /// mode). Work telemetry, not a health signal.
+    pub lazy_hits: usize,
+    /// Multi-RHS CG blocks solved by the candidate-evaluation engine.
+    /// Work telemetry, not a health signal.
+    pub blocks_solved: usize,
     /// Human-readable notes on each skip / early stop.
     pub notes: Vec<String>,
 }
@@ -135,12 +144,13 @@ pub fn far_min_recc_with_diagnostics(
     params: &OptimizeParams,
 ) -> Result<(Vec<Edge>, OptDiagnostics), OptError> {
     validate(g, s, k, g.non_edges_at(s).len())?;
+    let evaluator = CandidateEvaluator::from_sketch_params(&params.sketch);
     let mut current = g.clone();
     let mut plan = Vec::with_capacity(k);
     let mut diag = OptDiagnostics::default();
     for iter in 0..k {
         let sketch = ResistanceSketch::build(&current, &params.iteration_sketch(iter))?;
-        let dists = sketch.resistances_from(s);
+        let dists = evaluator.distance_scan(&sketch, s);
         let mut best: Option<(usize, f64)> = None;
         for (u, &r) in dists.iter().enumerate() {
             if u == s || current.has_edge(s, u) {
@@ -199,11 +209,12 @@ pub fn cen_min_recc_with_diagnostics(
     params: &OptimizeParams,
 ) -> Result<(Vec<Edge>, OptDiagnostics), OptError> {
     validate(g, s, k, g.non_edges_at(s).len())?;
+    let evaluator = CandidateEvaluator::from_sketch_params(&params.sketch);
     let sketch = ResistanceSketch::build(g, &params.sketch)?;
     let n = g.node_count();
     let mut diag = OptDiagnostics::default();
     // min_r[u] = estimated resistance from u to the chosen center set T.
-    let mut min_r = sketch.resistances_from(s);
+    let mut min_r = evaluator.distance_scan(&sketch, s);
     let mut in_t = vec![false; n];
     in_t[s] = true;
     let mut plan = Vec::with_capacity(k);
@@ -228,7 +239,7 @@ pub fn cen_min_recc_with_diagnostics(
         let e = Edge::new(s, u);
         current = current.with_edge(e)?;
         plan.push(e);
-        let new_dists = sketch.resistances_from(u);
+        let new_dists = evaluator.distance_scan(&sketch, u);
         for (m, &d) in min_r.iter_mut().zip(&new_dists) {
             if d < *m {
                 *m = d;
@@ -310,6 +321,7 @@ fn hull_guided(
     // REM candidate count without materializing Q2.
     let q2 = n * (n - 1) / 2 - g.edge_count();
     validate(g, s, k, q2)?;
+    let evaluator = CandidateEvaluator::from_sketch_params(&params.sketch);
     let mut current = g.clone();
     let mut plan: Vec<Edge> = Vec::with_capacity(k);
     let mut diag = OptDiagnostics::default();
@@ -355,7 +367,7 @@ fn hull_guided(
             // Degenerate hull (e.g. all boundary pairs already connected):
             // fall back to the farthest node overall. `total_cmp` plus the
             // finite filter keeps NaN estimates out of the argmax.
-            let dists = sketch.resistances_from(s);
+            let dists = evaluator.distance_scan(&sketch, s);
             let fallback = (0..n)
                 .filter(|&u| u != s && !current.has_edge(s, u) && dists[u].is_finite())
                 .max_by(|&a, &b| dists[a].total_cmp(&dists[b]));
@@ -367,36 +379,42 @@ fn hull_guided(
         }
         let chosen = match params.eval {
             EvalMode::ShermanMorrison => {
-                let base = sketch.resistances_from(s);
-                let op = LaplacianOp::new(&current);
-                let mut solver =
-                    RecoverySolver::new(op, sketch_params.cg, sketch_params.recovery);
+                // Blocked + parallel engine: one multi-RHS CG block per
+                // `width` candidates, failed columns individually rescued
+                // by the recovery ladder. Scores arrive in candidate
+                // order, so the first-best selection below (strictly
+                // smaller wins, earliest candidate wins ties) and the
+                // skip/degrade accounting match the old serial loop
+                // decision-for-decision.
+                let base = evaluator.distance_scan(&sketch, s);
+                let (scores, stats) = evaluator.evaluate_edges(&current, &base, s, &candidates);
+                diag.blocks_solved += stats.blocks_solved;
+                diag.full_evals += scores.len();
                 let mut best: Option<(Edge, f64)> = None;
-                for &e in &candidates {
-                    let (w, r_uv, report) = solve_edge_potentials_recovering(&mut solver, e);
-                    if !report.converged {
+                for sc in &scores {
+                    if !sc.converged {
                         diag.skipped_candidates += 1;
                         diag.notes.push(format!(
-                            "iteration {iter}: skipped candidate {e:?} \
+                            "iteration {iter}: skipped candidate {:?} \
                              (solve residual {:.3e})",
-                            report.final_residual
+                            sc.edge, sc.residual
                         ));
                         continue;
                     }
-                    if report.escalated() {
+                    if sc.escalated {
                         diag.degraded_evaluations += 1;
                     }
-                    let (c_after, _) = updated_eccentricity(&base, &w, r_uv, s);
-                    if !c_after.is_finite() {
+                    if !sc.score.is_finite() {
                         diag.skipped_candidates += 1;
                         diag.notes.push(format!(
-                            "iteration {iter}: skipped candidate {e:?} (non-finite score)"
+                            "iteration {iter}: skipped candidate {:?} (non-finite score)",
+                            sc.edge
                         ));
                         continue;
                     }
                     match best {
-                        Some((_, bc)) if c_after >= bc => {}
-                        _ => best = Some((e, c_after)),
+                        Some((_, bc)) if sc.score >= bc => {}
+                        _ => best = Some((sc.edge, sc.score)),
                     }
                 }
                 best.map(|(e, _)| e)
@@ -404,6 +422,7 @@ fn hull_guided(
             EvalMode::Faithful => {
                 let mut best: Option<(Edge, f64)> = None;
                 for &e in &candidates {
+                    diag.full_evals += 1;
                     let augmented = current.with_edge(e)?;
                     let probe = match ResistanceSketch::build(&augmented, &sketch_params) {
                         Ok(p) => p,

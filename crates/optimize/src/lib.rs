@@ -28,6 +28,7 @@
 //! experiment harnesses can plot the paper's Figures 8–9 curves.
 
 pub mod baselines;
+pub mod evaluator;
 pub mod exhaustive;
 pub mod heuristics;
 pub mod problem;
@@ -36,6 +37,7 @@ pub mod supermodularity;
 pub mod trajectory;
 
 pub use baselines::{de_rem, de_remd, path_rem, path_remd, pk_rem, pk_remd};
+pub use evaluator::{CandidateEvaluator, CandidateScore, EvalStats};
 pub use exhaustive::opt_exhaustive;
 pub use heuristics::{
     cen_min_recc, cen_min_recc_with_diagnostics, ch_min_recc, ch_min_recc_with_diagnostics,
@@ -43,7 +45,7 @@ pub use heuristics::{
     OptDiagnostics, OptimizeParams,
 };
 pub use problem::Problem;
-pub use simple::simple_greedy;
+pub use simple::{simple_greedy, simple_greedy_with_diagnostics, SimpleOptions};
 pub use trajectory::{approx_trajectory, exact_trajectory};
 
 /// Errors from the optimizers.

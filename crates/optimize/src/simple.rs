@@ -8,17 +8,44 @@
 //! evaluation `O(n)` and each commit `O(n²)` — exact arithmetic, vastly
 //! cheaper, same outputs.
 
+use std::collections::BinaryHeap;
+
 use reecc_core::update::{eccentricity_after_edge, pinv_add_edge};
 use reecc_core::ExactResistance;
 use reecc_graph::{Edge, Graph};
+use reecc_linalg::DenseMatrix;
 
+use crate::evaluator::CandidateEvaluator;
+use crate::heuristics::OptDiagnostics;
 use crate::problem::{validate, Problem};
 use crate::OptError;
+
+/// Execution knobs for [`simple_greedy_with_diagnostics`]. SIMPLE's
+/// candidate scoring is exact pseudoinverse arithmetic (no CG), so the
+/// only engine knob that applies is the worker count; results are bitwise
+/// identical for every setting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimpleOptions {
+    /// Worker threads for candidate scoring: `0` = auto via
+    /// [`reecc_core::resolve_threads`].
+    pub threads: usize,
+    /// CELF-style lazy re-evaluation: keep candidates in a max-heap of
+    /// stale marginal-gain upper bounds and re-score only until the top is
+    /// fresh. On tie-free inputs where marginal gains shrink monotonically
+    /// (the common case; the objective is monotone but *not* supermodular,
+    /// so this is a heuristic, not a guarantee) the selected sequence is
+    /// identical to eager mode at a fraction of the evaluations —
+    /// `OptDiagnostics::lazy_hits` / `full_evals` record the split, and a
+    /// note is emitted if any gain was observed to grow.
+    pub lazy: bool,
+}
 
 /// Run SIMPLE on the given problem. Returns the selected edges in order.
 ///
 /// SIM-REMD and SIM-REM of the paper are this function with
-/// [`Problem::Remd`] / [`Problem::Rem`].
+/// [`Problem::Remd`] / [`Problem::Rem`]. Equivalent to
+/// [`simple_greedy_with_diagnostics`] with default options, discarding the
+/// diagnostics.
 ///
 /// # Errors
 ///
@@ -29,27 +56,166 @@ pub fn simple_greedy(
     k: usize,
     s: usize,
 ) -> Result<Vec<Edge>, OptError> {
+    simple_greedy_with_diagnostics(g, problem, k, s, SimpleOptions::default())
+        .map(|(plan, _)| plan)
+}
+
+/// [`simple_greedy`] with execution knobs and work telemetry.
+///
+/// # Errors
+///
+/// Invalid budget/source, disconnected graph, or numerical failure.
+pub fn simple_greedy_with_diagnostics(
+    g: &Graph,
+    problem: Problem,
+    k: usize,
+    s: usize,
+    opts: SimpleOptions,
+) -> Result<(Vec<Edge>, OptDiagnostics), OptError> {
     let candidates = problem.candidates(g, s);
     validate(g, s, k, candidates.len())?;
     let exact = ExactResistance::new(g)?;
     let mut pinv = exact.pseudoinverse().clone();
-    let mut remaining = candidates;
+    let evaluator = CandidateEvaluator { threads: opts.threads, ..Default::default() };
+    if opts.lazy {
+        lazy_greedy(&evaluator, &mut pinv, candidates, k, s)
+    } else {
+        eager_greedy(&evaluator, &mut pinv, candidates, k, s)
+    }
+}
+
+fn eager_greedy(
+    evaluator: &CandidateEvaluator,
+    pinv: &mut DenseMatrix,
+    mut remaining: Vec<Edge>,
+    k: usize,
+    s: usize,
+) -> Result<(Vec<Edge>, OptDiagnostics), OptError> {
     let mut plan = Vec::with_capacity(k);
+    let mut diag = OptDiagnostics::default();
     for _ in 0..k {
+        let scores = evaluator.evaluate_on_pinv(pinv, s, &remaining);
+        diag.full_evals += scores.len();
+        // First-best selection in candidate order: strictly smaller wins,
+        // earliest index wins ties — the decision rule this function has
+        // always used.
         let mut best: Option<(usize, f64)> = None;
-        for (idx, &e) in remaining.iter().enumerate() {
-            let (c_after, _) = eccentricity_after_edge(&pinv, s, e);
+        for (idx, sc) in scores.iter().enumerate() {
             match best {
-                Some((_, bc)) if c_after >= bc => {}
-                _ => best = Some((idx, c_after)),
+                Some((_, bc)) if sc.score >= bc => {}
+                _ => best = Some((idx, sc.score)),
             }
         }
         let (idx, _) = best.expect("validated non-empty candidate set");
         let chosen = remaining.swap_remove(idx);
-        pinv_add_edge(&mut pinv, chosen);
+        pinv_add_edge(pinv, chosen);
         plan.push(chosen);
     }
-    Ok(plan)
+    Ok((plan, diag))
+}
+
+/// A heap entry: the marginal gain `c_cur − c(s | G+e)` as of iteration
+/// `stamp`. Max-heap on gain; ties break toward the smaller edge so the
+/// pop order is deterministic.
+struct LazyEntry {
+    gain: f64,
+    score: f64,
+    stamp: usize,
+    edge: Edge,
+}
+
+impl PartialEq for LazyEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.gain.to_bits() == other.gain.to_bits() && self.edge == other.edge
+    }
+}
+impl Eq for LazyEntry {}
+impl PartialOrd for LazyEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for LazyEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.gain.total_cmp(&other.gain).then_with(|| other.edge.cmp(&self.edge))
+    }
+}
+
+fn lazy_greedy(
+    evaluator: &CandidateEvaluator,
+    pinv: &mut DenseMatrix,
+    candidates: Vec<Edge>,
+    k: usize,
+    s: usize,
+) -> Result<(Vec<Edge>, OptDiagnostics), OptError> {
+    let mut plan = Vec::with_capacity(k);
+    let mut diag = OptDiagnostics::default();
+    let mut violations = 0usize;
+
+    // Iteration 0 is a full eager scan (every bound starts fresh).
+    let mut c_cur = ecc_from_pinv(pinv, s);
+    let scores = evaluator.evaluate_on_pinv(pinv, s, &candidates);
+    diag.full_evals += scores.len();
+    let mut heap: BinaryHeap<LazyEntry> = scores
+        .iter()
+        .map(|sc| LazyEntry {
+            gain: c_cur - sc.score,
+            score: sc.score,
+            stamp: 0,
+            edge: sc.edge,
+        })
+        .collect();
+
+    for iter in 0..k {
+        let remaining_before = heap.len();
+        let mut evals_this_iter = 0usize;
+        let chosen = loop {
+            let top = heap.pop().expect("k validated against candidate count");
+            if top.stamp == iter {
+                // Fresh and maximal: under shrinking gains every stale
+                // bound below it only over-promises, so this is the argmax.
+                break top;
+            }
+            let (score, _) = eccentricity_after_edge(pinv, s, top.edge);
+            let fresh_gain = c_cur - score;
+            evals_this_iter += 1;
+            if fresh_gain > top.gain + 1e-12 {
+                violations += 1;
+            }
+            heap.push(LazyEntry { gain: fresh_gain, score, stamp: iter, edge: top.edge });
+        };
+        diag.full_evals += evals_this_iter;
+        if iter > 0 {
+            // Entries never re-evaluated this iteration (eager mode would
+            // have scored all `remaining_before`; lazy scored
+            // `evals_this_iter`, the chosen edge among them).
+            diag.lazy_hits += remaining_before - evals_this_iter;
+        }
+        c_cur = chosen.score;
+        pinv_add_edge(pinv, chosen.edge);
+        plan.push(chosen.edge);
+    }
+    if violations > 0 {
+        diag.notes.push(format!(
+            "lazy greedy observed {violations} marginal-gain increase(s) (the objective \
+             is not supermodular); the plan may differ from eager mode"
+        ));
+    }
+    Ok((plan, diag))
+}
+
+/// `c(s) = max_j r(s, j)` straight off the dense pseudoinverse.
+fn ecc_from_pinv(pinv: &DenseMatrix, s: usize) -> f64 {
+    let n = pinv.rows();
+    let ss = pinv[(s, s)];
+    let mut best = f64::NEG_INFINITY;
+    for j in 0..n {
+        let r = ss + pinv[(j, j)] - 2.0 * pinv[(s, j)];
+        if r > best {
+            best = r;
+        }
+    }
+    best
 }
 
 #[cfg(test)]
@@ -112,6 +278,98 @@ mod tests {
         assert!(simple_greedy(&g, Problem::Remd, 0, 0).is_err());
         assert!(simple_greedy(&g, Problem::Remd, 10, 0).is_err());
         assert!(simple_greedy(&g, Problem::Remd, 1, 7).is_err());
+    }
+
+    #[test]
+    fn lazy_matches_eager_on_tie_free_inputs() {
+        // Tie-free: on a line from an endpoint the candidate scores are
+        // strictly ordered, so CELF must reproduce the eager sequence
+        // exactly while skipping most re-evaluations.
+        for (g, problem, k, s) in [
+            (line(10), Problem::Remd, 3, 0),
+            (line(12), Problem::Rem, 3, 2),
+            (reecc_graph::generators::lollipop(5, 6), Problem::Rem, 3, 0),
+            (reecc_graph::generators::barabasi_albert(20, 2, 5), Problem::Rem, 3, 0),
+        ] {
+            let (eager, eager_diag) = simple_greedy_with_diagnostics(
+                &g,
+                problem,
+                k,
+                s,
+                SimpleOptions { lazy: false, ..Default::default() },
+            )
+            .unwrap();
+            let (lazy, lazy_diag) = simple_greedy_with_diagnostics(
+                &g,
+                problem,
+                k,
+                s,
+                SimpleOptions { lazy: true, ..Default::default() },
+            )
+            .unwrap();
+            assert_eq!(lazy, eager, "problem {problem:?} diverged");
+            assert_eq!(eager_diag.lazy_hits, 0);
+            assert_eq!(
+                lazy_diag.lazy_hits + lazy_diag.full_evals,
+                eager_diag.full_evals,
+                "every candidate-iteration is either freshly evaluated or lazily skipped"
+            );
+            assert!(
+                lazy_diag.full_evals < eager_diag.full_evals,
+                "lazy mode must actually skip work: {lazy_diag:?} vs {eager_diag:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn lazy_reports_monotonicity_violations_honestly() {
+        // On a cycle the marginal gains are known to grow at least once
+        // (the objective is not supermodular): the lazy run must say so in
+        // its notes instead of silently pretending the CELF bound held.
+        let g = reecc_graph::generators::cycle(14);
+        let (_, diag) = simple_greedy_with_diagnostics(
+            &g,
+            Problem::Rem,
+            3,
+            0,
+            SimpleOptions { lazy: true, ..Default::default() },
+        )
+        .unwrap();
+        assert!(
+            diag.notes.iter().any(|n| n.contains("marginal-gain increase")),
+            "expected a violation note, got {:?}",
+            diag.notes
+        );
+    }
+
+    #[test]
+    fn plans_are_identical_across_thread_counts() {
+        // Star(9) is heavily tied, which is exactly what makes this a good
+        // determinism probe: each mode must make the same tie-break for
+        // every worker count (modes may differ from each other on ties).
+        let g = star(9);
+        for lazy in [false, true] {
+            let reference = simple_greedy_with_diagnostics(
+                &g,
+                Problem::Rem,
+                3,
+                1,
+                SimpleOptions { threads: 1, lazy },
+            )
+            .unwrap()
+            .0;
+            for threads in [2usize, 4, 7] {
+                let (plan, _) = simple_greedy_with_diagnostics(
+                    &g,
+                    Problem::Rem,
+                    3,
+                    1,
+                    SimpleOptions { threads, lazy },
+                )
+                .unwrap();
+                assert_eq!(plan, reference, "threads={threads} lazy={lazy}");
+            }
+        }
     }
 
     #[test]

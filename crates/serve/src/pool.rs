@@ -44,7 +44,7 @@ use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use reecc_core::{DegradationPolicy, QueryEngine, QueryTier};
+use reecc_core::{DegradationPolicy, QueryEngine, QueryTier, WhatIfScratch};
 use reecc_graph::{fingerprint, Edge};
 
 use crate::cache::{CacheKey, CachedAnswer, ShardedLru};
@@ -138,6 +138,12 @@ struct Shared {
     drain_deadline: Mutex<Option<Instant>>,
     threads: usize,
     queue_depth: usize,
+    /// Reusable what-if solve scratch (CG workspace + RHS + base
+    /// resistances): cache-missing `whatif-edge` requests serialize on
+    /// this lock but allocate nothing in steady state.
+    whatif: Mutex<WhatIfScratch>,
+    whatif_served: AtomicU64,
+    whatif_micros: AtomicU64,
 }
 
 enum WorkerExit {
@@ -200,6 +206,9 @@ impl ServePool {
             drain_deadline: Mutex::new(None),
             threads,
             queue_depth,
+            whatif: Mutex::new(WhatIfScratch::new(engine.graph().node_count())),
+            whatif_served: AtomicU64::new(0),
+            whatif_micros: AtomicU64::new(0),
             engine,
         });
         let (tx, rx) = mpsc::sync_channel::<Job>(queue_depth);
@@ -600,7 +609,25 @@ fn execute(shared: &Shared, request: Request) -> (Outcome, bool) {
             if let Some(hit) = shared.cache.get(&key) {
                 return (Outcome::Ecc { value: hit.value, node: hit.node }, true);
             }
-            let ans = shared.engine.eccentricity_after_edge(s, Edge::new(a, b));
+            // Warm path: reuse the pool-held solve scratch instead of
+            // allocating a CG workspace per request. A poisoned lock just
+            // means a panicked worker died mid-solve; resetting the
+            // scratch makes it usable again.
+            let started = Instant::now();
+            let ans = {
+                let mut scratch = match shared.whatif.lock() {
+                    Ok(guard) => guard,
+                    Err(poison) => {
+                        let mut guard = poison.into_inner();
+                        guard.reset();
+                        guard
+                    }
+                };
+                shared.engine.eccentricity_after_edge_with(&mut scratch, s, Edge::new(a, b))
+            };
+            let micros = started.elapsed().as_micros() as u64;
+            shared.whatif_served.fetch_add(1, Ordering::Relaxed);
+            shared.whatif_micros.fetch_add(micros, Ordering::Relaxed);
             let cached = CachedAnswer { value: ans.value, node: ans.farthest };
             shared.cache.insert(key, cached);
             (Outcome::Ecc { value: cached.value, node: cached.node }, false)
@@ -626,6 +653,8 @@ fn execute(shared: &Shared, request: Request) -> (Outcome, bool) {
                     workers_respawned: shared.respawned.load(Ordering::Relaxed),
                     dropped_on_drain: shared.dropped_on_drain.load(Ordering::Relaxed),
                     snapshot_retries: shared.snapshot_retries,
+                    whatif_served: shared.whatif_served.load(Ordering::Relaxed),
+                    whatif_micros_total: shared.whatif_micros.load(Ordering::Relaxed),
                     cache_hits: cache.hits,
                     cache_misses: cache.misses,
                     cache_evictions: cache.evictions,
@@ -688,6 +717,9 @@ mod tests {
 
         let whatif = p.run(env(Request::WhatIfEdge { s: 5, u: 0, v: 39 }));
         assert!(whatif.is_ok(), "{whatif:?}");
+        let whatif_again = p.run(env(Request::WhatIfEdge { s: 5, u: 39, v: 0 }));
+        assert!(whatif_again.cached, "endpoint order must normalize: {whatif_again:?}");
+        assert_eq!(whatif_again.outcome, whatif.outcome);
 
         let stats = p.run(env(Request::Stats));
         match stats.outcome {
@@ -699,6 +731,9 @@ mod tests {
                 assert_eq!(s.panics_total, 0);
                 assert_eq!(s.workers_respawned, 0);
                 assert_eq!(s.dropped_on_drain, 0);
+                // One cache miss hit the warm scratch path; the cached
+                // repeat must not re-count.
+                assert_eq!(s.whatif_served, 1);
             }
             other => panic!("{other:?}"),
         }

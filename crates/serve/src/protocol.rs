@@ -195,6 +195,12 @@ pub struct StatsReport {
     pub dropped_on_drain: u64,
     /// Transient-error retries needed to load the serving snapshot.
     pub snapshot_retries: u64,
+    /// Cache-missing `whatif-edge` requests answered by the pool-held
+    /// evaluator scratch (cache hits are not counted here).
+    pub whatif_served: u64,
+    /// Total wall time spent in those what-if solves, in microseconds
+    /// (divide by `whatif_served` for the mean solve latency).
+    pub whatif_micros_total: u64,
     /// Result-cache hits.
     pub cache_hits: u64,
     /// Result-cache misses.
@@ -304,6 +310,11 @@ impl Response {
                     .push(("workers_respawned".into(), Json::Num(s.workers_respawned as f64)));
                 fields.push(("dropped_on_drain".into(), Json::Num(s.dropped_on_drain as f64)));
                 fields.push(("snapshot_retries".into(), Json::Num(s.snapshot_retries as f64)));
+                fields.push(("whatif_served".into(), Json::Num(s.whatif_served as f64)));
+                fields.push((
+                    "whatif_micros_total".into(),
+                    Json::Num(s.whatif_micros_total as f64),
+                ));
                 fields.push(("cache_hits".into(), Json::Num(s.cache_hits as f64)));
                 fields.push(("cache_misses".into(), Json::Num(s.cache_misses as f64)));
                 fields.push(("cache_evictions".into(), Json::Num(s.cache_evictions as f64)));

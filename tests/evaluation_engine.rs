@@ -1,0 +1,133 @@
+//! Property-based tests for the blocked + parallel candidate-evaluation
+//! engine: on random connected graphs, every optimizer must produce a
+//! plan **bitwise identical** to the serial scalar path for every
+//! `threads × block_size` combination, including when CG is starved so
+//! that columns fail and the recovery ladder has to rescue them.
+
+use proptest::prelude::*;
+use reecc_core::{ExactResistance, SketchParams};
+use reecc_graph::generators::connected_erdos_renyi;
+use reecc_graph::Graph;
+use reecc_linalg::cg::CgOptions;
+use reecc_opt::{
+    cen_min_recc_with_diagnostics, ch_min_recc_with_diagnostics, far_min_recc_with_diagnostics,
+    min_recc_with_diagnostics, simple_greedy_with_diagnostics, CandidateEvaluator,
+    OptimizeParams, Problem, SimpleOptions,
+};
+
+/// A random connected graph with 6..=20 nodes.
+fn connected_graph() -> impl Strategy<Value = Graph> {
+    (6usize..=20, 0.05f64..0.5, any::<u64>())
+        .prop_map(|(n, p, seed)| connected_erdos_renyi(n, p, seed))
+}
+
+/// The ISSUE's combination grid. `(1, 1)` — one worker, scalar-width
+/// blocks — is the serial scalar reference everything else must match.
+const COMBOS: &[(usize, usize)] =
+    &[(1, 0), (1, 3), (1, 8), (2, 0), (2, 1), (2, 3), (2, 8), (4, 0), (4, 1), (4, 3), (4, 8)];
+
+fn params(threads: usize, block_size: usize) -> OptimizeParams {
+    OptimizeParams {
+        sketch: SketchParams {
+            epsilon: 0.4,
+            seed: 7,
+            threads,
+            block_size,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// All four sketch-based heuristics (FARMINRECC, CENMINRECC,
+    /// CHMINRECC, MINRECC) return the identical edge sequence under every
+    /// threads × block_size combination.
+    #[test]
+    fn heuristic_plans_identical_across_all_combos(g in connected_graph()) {
+        let s = (0..g.node_count()).min_by_key(|&v| g.degree(v)).unwrap();
+        let k = 2usize;
+        prop_assume!(g.non_edges_at(s).len() >= k);
+        prop_assume!(g.non_edges().len() >= k);
+        let reference = params(1, 1);
+        let far_ref = far_min_recc_with_diagnostics(&g, k, s, &reference).unwrap();
+        let cen_ref = cen_min_recc_with_diagnostics(&g, k, s, &reference).unwrap();
+        let ch_ref = ch_min_recc_with_diagnostics(&g, k, s, &reference).unwrap();
+        let mr_ref = min_recc_with_diagnostics(&g, k, s, &reference).unwrap();
+        for &(threads, block) in COMBOS {
+            let p = params(threads, block);
+            let far = far_min_recc_with_diagnostics(&g, k, s, &p).unwrap();
+            let cen = cen_min_recc_with_diagnostics(&g, k, s, &p).unwrap();
+            let ch = ch_min_recc_with_diagnostics(&g, k, s, &p).unwrap();
+            let mr = min_recc_with_diagnostics(&g, k, s, &p).unwrap();
+            prop_assert_eq!(&far.0, &far_ref.0, "FAR t={} b={}", threads, block);
+            prop_assert_eq!(&cen.0, &cen_ref.0, "CEN t={} b={}", threads, block);
+            prop_assert_eq!(&ch.0, &ch_ref.0, "CH t={} b={}", threads, block);
+            prop_assert_eq!(&mr.0, &mr_ref.0, "MIN t={} b={}", threads, block);
+            // Work telemetry that doesn't depend on partitioning must
+            // agree too: same candidates evaluated, same skips.
+            prop_assert_eq!(far.1.full_evals, far_ref.1.full_evals);
+            prop_assert_eq!(mr.1.full_evals, mr_ref.1.full_evals);
+            prop_assert_eq!(mr.1.skipped_candidates, mr_ref.1.skipped_candidates);
+        }
+    }
+
+    /// SIMPLE (exact greedy) is thread-count invariant in both eager and
+    /// lazy modes (lazy compared against lazy: tie-breaking may
+    /// legitimately differ between the two modes).
+    #[test]
+    fn simple_greedy_plans_identical_across_thread_counts(g in connected_graph()) {
+        let s = 0usize;
+        let k = 2usize;
+        prop_assume!(g.non_edges().len() >= k);
+        for lazy in [false, true] {
+            let opts = |threads| SimpleOptions { threads, lazy };
+            let reference =
+                simple_greedy_with_diagnostics(&g, Problem::Rem, k, s, opts(1)).unwrap();
+            for threads in [2usize, 4] {
+                let got =
+                    simple_greedy_with_diagnostics(&g, Problem::Rem, k, s, opts(threads))
+                        .unwrap();
+                prop_assert_eq!(&got.0, &reference.0, "lazy={} t={}", lazy, threads);
+                prop_assert_eq!(got.1.full_evals, reference.1.full_evals);
+                prop_assert_eq!(got.1.lazy_hits, reference.1.lazy_hits);
+            }
+        }
+    }
+
+    /// Starved CG (iteration cap far below what convergence needs) makes
+    /// block columns fail; the engine must push each failed column through
+    /// the recovery ladder and still produce scores bitwise identical to
+    /// the serial scalar path — same values, same escalation flags, same
+    /// rescue count — under every combination.
+    #[test]
+    fn starved_columns_are_rescued_identically_across_combos(g in connected_graph()) {
+        let n = g.node_count();
+        let s = 0usize;
+        let candidates = g.non_edges();
+        prop_assume!(!candidates.is_empty());
+        let er = ExactResistance::new(&g).unwrap();
+        let base: Vec<f64> = (0..n).map(|v| er.resistance(s, v)).collect();
+        let starved = CgOptions { max_iterations: Some(2), ..Default::default() };
+        let reference = CandidateEvaluator {
+            threads: 1,
+            block_size: 1,
+            cg: starved,
+            ..Default::default()
+        };
+        let (ref_scores, ref_stats) = reference.evaluate_edges(&g, &base, s, &candidates);
+        // Two iterations cannot converge to 1e-8 on these graphs: the
+        // starvation must actually trigger the ladder or this test would
+        // silently degenerate into the healthy-path test above.
+        prop_assume!(ref_stats.recovered_columns > 0);
+        for &(threads, block) in COMBOS {
+            let eval = CandidateEvaluator { threads, block_size: block, ..reference };
+            let (scores, stats) = eval.evaluate_edges(&g, &base, s, &candidates);
+            prop_assert_eq!(&scores, &ref_scores, "t={} b={}", threads, block);
+            prop_assert_eq!(stats.recovered_columns, ref_stats.recovered_columns);
+        }
+        prop_assert!(ref_scores.iter().any(|sc| sc.escalated));
+    }
+}
