@@ -21,7 +21,8 @@ use reecc_opt::{
     OptimizeParams, Problem, SimpleOptions,
 };
 use reecc_serve::{
-    serve_pipe, PoolConfig, RetryPolicy, ServePool, SketchSnapshot, SnapshotError, TcpServer,
+    serve_pipe, LiveConfig, LiveEngine, LiveError, PoolConfig, RetryPolicy, ServePool,
+    SketchSnapshot, SnapshotError, TcpServer,
 };
 
 use crate::parse::{parse_command, Algorithm, Command, Model, QueryMethod};
@@ -58,9 +59,27 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             sketch_build(&path, &out, eps, seed, lcc, verify)
         }
         Command::SketchInfo { path } => sketch_info(&path),
-        Command::Serve { path, snapshot, addr, threads, queue_depth, eps, lcc } => {
-            serve(&path, snapshot.as_deref(), addr.as_deref(), threads, queue_depth, eps, lcc)
-        }
+        Command::Serve {
+            path,
+            snapshot,
+            addr,
+            threads,
+            queue_depth,
+            eps,
+            lcc,
+            wal_dir,
+            error_budget,
+        } => serve(
+            &path,
+            snapshot.as_deref(),
+            addr.as_deref(),
+            threads,
+            queue_depth,
+            eps,
+            lcc,
+            wal_dir.as_deref(),
+            error_budget,
+        ),
     }
 }
 
@@ -355,6 +374,18 @@ fn sketch_info(path: &str) -> Result<String, CliError> {
     Ok(snap.summary())
 }
 
+/// Map a live-engine failure onto the CLI error classes: durability and
+/// filesystem problems are I/O, replay/compute failures are computation.
+fn live_err(e: LiveError) -> CliError {
+    match e {
+        LiveError::Wal(w) => CliError::Io(w.to_string()),
+        LiveError::Snapshot(s) => CliError::Io(s),
+        LiveError::Graph(g) => CliError::Graph(g),
+        other => CliError::Compute(other.to_string()),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn serve(
     path: &str,
     snapshot: Option<&str>,
@@ -363,31 +394,62 @@ fn serve(
     queue_depth: usize,
     eps: f64,
     lcc: bool,
+    wal_dir: Option<&str>,
+    error_budget: Option<f64>,
 ) -> Result<String, CliError> {
-    let g = load_graph(path, lcc)?;
-    let mut snapshot_retries = 0u64;
-    let engine = match snapshot {
-        Some(snap_path) => {
-            // Transient filesystem hiccups (network mounts, slow volumes)
-            // get a bounded retry; corruption fails immediately.
-            let (snap, retries) =
-                SketchSnapshot::load_with_retry(Path::new(snap_path), &RetryPolicy::default())
-                    .map_err(snapshot_err)?;
-            snapshot_retries = retries;
-            if retries > 0 {
-                eprintln!("snapshot {snap_path} loaded after {retries} retry(ies)");
-            }
-            eprintln!("loaded snapshot {snap_path}: {}", snap.summary());
-            snap.into_engine(&g).map_err(snapshot_err)?
-        }
-        None => {
-            eprintln!("no snapshot given; building sketch for {path} (eps = {eps}) ...");
-            QueryEngine::build(&g, &SketchParams { epsilon: eps, ..Default::default() })
-                .map_err(|e| CliError::Compute(e.to_string()))?
-        }
+    // Recovery-first startup: if the WAL dir already holds a durable epoch,
+    // that state supersedes the edge list and any --snapshot — replaying it
+    // is both cheaper and more correct than rebuilding, so skip the build.
+    let recovering = match wal_dir {
+        Some(dir) => !matches!(reecc_serve::wal::read_current(Path::new(dir)), Ok(None)),
+        None => false,
     };
-    let pool = ServePool::new(
-        Arc::new(engine),
+    let mut snapshot_retries = 0u64;
+    let live = if recovering {
+        let dir = Path::new(wal_dir.expect("recovering implies wal_dir"));
+        let live = LiveEngine::recover(dir, error_budget).map_err(live_err)?;
+        eprintln!(
+            "recovered epoch {} from {} ({} WAL record(s) replayed); {path} and any \
+             --snapshot ignored",
+            live.epoch(),
+            dir.display(),
+            live.wal_replayed_on_start()
+        );
+        live
+    } else {
+        let g = load_graph(path, lcc)?;
+        let engine = match snapshot {
+            Some(snap_path) => {
+                // Transient filesystem hiccups (network mounts, slow volumes)
+                // get a bounded retry; corruption fails immediately.
+                let (snap, retries) = SketchSnapshot::load_with_retry(
+                    Path::new(snap_path),
+                    &RetryPolicy::default(),
+                )
+                .map_err(snapshot_err)?;
+                snapshot_retries = retries;
+                if retries > 0 {
+                    eprintln!("snapshot {snap_path} loaded after {retries} retry(ies)");
+                }
+                eprintln!("loaded snapshot {snap_path}: {}", snap.summary());
+                snap.into_engine(&g).map_err(snapshot_err)?
+            }
+            None => {
+                eprintln!("no snapshot given; building sketch for {path} (eps = {eps}) ...");
+                QueryEngine::build(&g, &SketchParams { epsilon: eps, ..Default::default() })
+                    .map_err(|e| CliError::Compute(e.to_string()))?
+            }
+        };
+        let config =
+            LiveConfig { wal_dir: wal_dir.map(std::path::PathBuf::from), error_budget };
+        let (live, _) = LiveEngine::open(Arc::new(engine), &config).map_err(live_err)?;
+        if let Some(dir) = wal_dir {
+            eprintln!("write-ahead log at {dir} (budget {})", live.budget_total());
+        }
+        live
+    };
+    let pool = ServePool::with_live(
+        live,
         PoolConfig { threads, queue_depth, snapshot_retries, ..Default::default() },
     );
     // Echo the count the pool actually resolved (0 = auto), not the flag.

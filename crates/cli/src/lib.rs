@@ -75,6 +75,7 @@ USAGE:
   reecc sketch-info  <SNAPSHOT>
   reecc serve    <edges.txt> [--snapshot SNAPSHOT] [--addr HOST:PORT]
                  [--threads N (0 = auto)] [--queue-depth D] [--eps X] [--lcc]
+                 [--wal-dir DIR] [--error-budget X]
 
 Edge-list format: one `u v` pair per line; `#`/`%` comments; ids remapped densely.
 Disconnected inputs are rejected; pass --lcc to analyze the largest connected
@@ -85,12 +86,21 @@ and fingerprint before reporting success (snapshots are written atomically:
 temp file + fsync + rename).
 
 `serve` answers newline-delimited JSON requests (`{\"op\":\"ecc\",\"v\":17}`; ops
-ecc | res | radius | diameter | whatif-edge | stats) over stdin/stdout, or over
-TCP with --addr. With --snapshot it reuses a sketch built by `sketch-build`
-instead of rebuilding; the snapshot must match the graph (fingerprint-checked,
-transient load errors retried with backoff). Worker panics are contained and
-the worker respawned; on shutdown the pool drains with a deadline and prints a
-one-line summary (answered / dropped). Fault injection for testing:
+ecc | res | radius | diameter | whatif-edge | add-edge | remove-edge | epoch |
+stats) over stdin/stdout, or over TCP with --addr. With --snapshot it reuses a
+sketch built by `sketch-build` instead of rebuilding; the snapshot must match
+the graph (fingerprint-checked, transient load errors retried with backoff).
+Worker panics are contained and the worker respawned; on shutdown the pool
+drains with a deadline and prints a one-line summary (answered / dropped).
+
+add-edge / remove-edge mutate the served graph via rank-1 sketch updates. With
+--wal-dir every mutation is appended + fsynced to a write-ahead log before the
+ack, so kill -9 at any point is recoverable: on the next start with the same
+--wal-dir the server replays the log and serves the exact pre-crash state
+(the edge list and --snapshot are then ignored). Each mutation charges an
+error budget (default: the sketch eps; override with --error-budget); when it
+drains, a background re-sketch rebuilds the sketch and swaps in a fresh epoch
+without blocking readers. Fault injection for testing:
 REECC_FAILPOINTS='site=action[;...]' (see reecc-serve docs).
 
 Exit codes: 0 ok, 2 usage, 3 i/o, 4 graph input, 5 computation.

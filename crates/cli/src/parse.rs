@@ -89,7 +89,7 @@ pub enum Command {
         path: String,
     },
     /// `reecc serve <file> [--snapshot SNAP] [--addr HOST:PORT] [--threads N]
-    /// [--queue-depth D] [--eps X] [--lcc]`
+    /// [--queue-depth D] [--eps X] [--lcc] [--wal-dir DIR] [--error-budget X]`
     Serve {
         /// Edge-list path (always needed: snapshots store a fingerprint,
         /// not the graph).
@@ -106,6 +106,13 @@ pub enum Command {
         eps: f64,
         /// Reduce disconnected inputs to their largest connected component.
         lcc: bool,
+        /// Durable mutation-log directory. When it already holds a
+        /// `CURRENT` epoch the server recovers from it (snapshot + WAL
+        /// replay) instead of the edge list.
+        wal_dir: Option<String>,
+        /// Per-epoch error budget for rank-1 mutations; defaults to the
+        /// sketch ε when absent.
+        error_budget: Option<f64>,
     },
     /// `reecc help` / `--help`.
     Help,
@@ -435,6 +442,8 @@ pub fn parse_command(args: &[String]) -> Result<Command, CliError> {
                 "queue-depth",
                 "eps",
                 "lcc",
+                "wal-dir",
+                "error-budget",
             ])?;
             if flags.has("help") {
                 return Ok(Command::Help);
@@ -452,6 +461,20 @@ pub fn parse_command(args: &[String]) -> Result<Command, CliError> {
             if queue_depth == 0 {
                 return Err(CliError::Usage("--queue-depth must be at least 1".into()));
             }
+            let error_budget = flags
+                .get("error-budget")
+                .map(|v| {
+                    let budget: f64 = v.parse().map_err(|_| {
+                        CliError::Usage(format!("bad --error-budget value {v:?}"))
+                    })?;
+                    if !budget.is_finite() || budget <= 0.0 {
+                        return Err(CliError::Usage(
+                            "--error-budget must be a positive number".to_string(),
+                        ));
+                    }
+                    Ok(budget)
+                })
+                .transpose()?;
             Ok(Command::Serve {
                 path,
                 snapshot: flags.get("snapshot").map(|s| s.to_string()),
@@ -460,6 +483,8 @@ pub fn parse_command(args: &[String]) -> Result<Command, CliError> {
                 queue_depth,
                 eps: parse_eps(&flags)?,
                 lcc: flags.has("lcc"),
+                wal_dir: flags.get("wal-dir").map(|s| s.to_string()),
+                error_budget,
             })
         }
         other => Err(CliError::Usage(format!("unknown subcommand {other:?}"))),
@@ -641,12 +666,42 @@ mod tests {
         ])
         .unwrap();
         match cmd {
-            Command::Serve { snapshot, addr, threads, queue_depth, .. } => {
+            Command::Serve {
+                snapshot,
+                addr,
+                threads,
+                queue_depth,
+                wal_dir,
+                error_budget,
+                ..
+            } => {
                 assert_eq!(snapshot.as_deref(), Some("g.sketch"));
                 assert_eq!(addr.as_deref(), Some("127.0.0.1:7878"));
                 assert_eq!((threads, queue_depth), (8, 32));
+                assert_eq!((wal_dir, error_budget), (None, None));
             }
             other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_wal_flags_parse_and_validate() {
+        let cmd = parse(&["serve", "g.txt", "--wal-dir", "/tmp/wal", "--error-budget", "0.75"])
+            .unwrap();
+        match cmd {
+            Command::Serve { wal_dir, error_budget, .. } => {
+                assert_eq!(wal_dir.as_deref(), Some("/tmp/wal"));
+                assert_eq!(error_budget, Some(0.75));
+            }
+            other => panic!("{other:?}"),
+        }
+        for bad in [
+            vec!["serve", "g.txt", "--error-budget", "0"],
+            vec!["serve", "g.txt", "--error-budget", "-1"],
+            vec!["serve", "g.txt", "--error-budget", "nan"],
+            vec!["serve", "g.txt", "--error-budget", "x"],
+        ] {
+            assert!(matches!(parse(&bad), Err(CliError::Usage(_))), "{bad:?}");
         }
     }
 

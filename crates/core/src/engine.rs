@@ -228,6 +228,96 @@ impl QueryEngine {
         EccentricityAnswer { value, farthest }
     }
 
+    /// Live mutation: a new engine for the graph **plus** edge `e`, via
+    /// one CG solve and a Sherman–Morrison rank-1 sketch update
+    /// ([`ResistanceSketch::apply_add_edge`]) — `O(n·d)` instead of a full
+    /// rebuild. Returns the new engine and the measured `r(u, v)` on the
+    /// pre-addition graph (the serving layer's error-budget input).
+    ///
+    /// The hull boundary is carried over unchanged: it remains a valid
+    /// in-range vertex subset but is *stale* with respect to the mutated
+    /// embedding, so hull-restricted eccentricities lose their FASTQUERY
+    /// guarantee until a re-sketch. Callers that mutate should answer
+    /// eccentricity queries with [`Self::eccentricity_full_scan`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NodeOutOfRange`] for bad endpoints and
+    /// [`CoreError::Numerical`] if `e` is already present (applying the
+    /// rank-1 update twice would model a parallel resistor the graph
+    /// cannot represent).
+    pub fn with_added_edge(
+        &self,
+        e: Edge,
+        q_seed: u64,
+    ) -> Result<(QueryEngine, f64), CoreError> {
+        let n = self.graph.node_count();
+        if e.v >= n {
+            return Err(CoreError::NodeOutOfRange { node: e.v, n });
+        }
+        if self.graph.has_edge(e.u, e.v) {
+            return Err(CoreError::Numerical(format!(
+                "edge ({}, {}) is already present",
+                e.u, e.v
+            )));
+        }
+        let mut scratch = WhatIfScratch::new(n);
+        let (w, r_uv) = solve_edge_potentials_with(
+            &self.graph,
+            e,
+            self.params.cg,
+            &mut scratch.ws,
+            &mut scratch.rhs,
+        );
+        let graph = self.graph.with_edge(e).map_err(|g| CoreError::Numerical(g.to_string()))?;
+        let mut sketch = self.sketch.clone();
+        sketch.apply_add_edge(e, &w, r_uv, q_seed);
+        let engine = QueryEngine::from_parts(graph, sketch, self.hull.clone(), self.params)?;
+        Ok((engine, r_uv))
+    }
+
+    /// Live mutation: a new engine for the graph **minus** edge `e`, via
+    /// one CG solve and the rank-1 downdate
+    /// ([`ResistanceSketch::apply_remove_edge`]). Returns the new engine
+    /// and the measured `r(u, v)` on the pre-removal graph.
+    ///
+    /// Connectivity is checked structurally (BFS on the cut graph) before
+    /// any numerics run, so a bridge removal is always a typed error, even
+    /// when CG noise makes `r(u, v)` measure slightly below 1; the
+    /// denominator floor inside the sketch downdate is a second line of
+    /// defense. The hull is carried over stale, as in
+    /// [`Self::with_added_edge`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NodeOutOfRange`] for bad endpoints,
+    /// [`CoreError::Numerical`] if `e` is not an edge, and
+    /// [`CoreError::DisconnectingRemoval`] if removing it would disconnect
+    /// the graph.
+    pub fn with_removed_edge(&self, e: Edge) -> Result<(QueryEngine, f64), CoreError> {
+        let n = self.graph.node_count();
+        if e.v >= n {
+            return Err(CoreError::NodeOutOfRange { node: e.v, n });
+        }
+        let graph =
+            self.graph.without_edge(e).map_err(|g| CoreError::Numerical(g.to_string()))?;
+        if !reecc_graph::traversal::is_connected(&graph) {
+            return Err(CoreError::DisconnectingRemoval { u: e.u, v: e.v, r_uv: 1.0 });
+        }
+        let mut scratch = WhatIfScratch::new(n);
+        let (w, r_uv) = solve_edge_potentials_with(
+            &self.graph,
+            e,
+            self.params.cg,
+            &mut scratch.ws,
+            &mut scratch.rhs,
+        );
+        let mut sketch = self.sketch.clone();
+        sketch.apply_remove_edge(e, &w, r_uv)?;
+        let engine = QueryEngine::from_parts(graph, sketch, self.hull.clone(), self.params)?;
+        Ok((engine, r_uv))
+    }
+
     /// Commit an edge: add it to the graph and rebuild the sketch and
     /// hull. `Õ(m·d)` — use [`Self::eccentricity_after_edge`] for cheap
     /// what-ifs and commit only accepted edges.
@@ -405,6 +495,91 @@ mod tests {
             assert_eq!(cold, warm, "s={s} e={e:?}");
             // The rhs buffer must come back zeroed for the next edge.
             assert!(scratch.rhs.iter().all(|&x| x == 0.0));
+        }
+    }
+
+    #[test]
+    fn with_added_edge_tracks_exact_and_preserves_original() {
+        let g = line(12);
+        let engine = QueryEngine::build(&g, &params()).unwrap();
+        let before = engine.resistance(0, 11);
+        let e = Edge::new(0, 11);
+        let (updated, r_uv) = engine.with_added_edge(e, 555).unwrap();
+        // r(0,11) on a path of 12 nodes is 11.
+        assert!((r_uv - 11.0).abs() < 1e-6, "r_uv = {r_uv}");
+        assert_eq!(updated.graph().edge_count(), 12);
+        assert!(updated.graph().has_edge(0, 11));
+        // The original engine is untouched (clone-on-write semantics).
+        assert!(!engine.graph().has_edge(0, 11));
+        assert_eq!(engine.resistance(0, 11), before);
+        // Updated estimates meet the ε bound against the exact new graph.
+        let exact = ExactResistance::new(updated.graph()).unwrap();
+        for u in 0..12 {
+            for v in (u + 1)..12 {
+                let r = exact.resistance(u, v);
+                let rt = updated.resistance(u, v);
+                assert!((rt - r).abs() <= 0.3 * r, "r({u},{v}): {rt} vs {r}");
+            }
+        }
+        // Full-scan eccentricity tracks the mutated graph too.
+        let (truth, _) = exact.eccentricity(0);
+        let ans = updated.eccentricity_full_scan(0);
+        assert!((ans.value - truth).abs() <= 0.3 * truth);
+    }
+
+    #[test]
+    fn with_added_edge_rejects_present_and_out_of_range() {
+        let g = line(8);
+        let engine = QueryEngine::build(&g, &params()).unwrap();
+        assert!(matches!(
+            engine.with_added_edge(Edge::new(0, 1), 1),
+            Err(CoreError::Numerical(_))
+        ));
+        assert!(matches!(
+            engine.with_added_edge(Edge::new(0, 99), 1),
+            Err(CoreError::NodeOutOfRange { node: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn with_removed_edge_rejects_bridges_and_missing() {
+        let g = line(8);
+        let engine = QueryEngine::build(&g, &params()).unwrap();
+        // Every edge of a path is a bridge.
+        assert!(matches!(
+            engine.with_removed_edge(Edge::new(3, 4)),
+            Err(CoreError::DisconnectingRemoval { u: 3, v: 4, .. })
+        ));
+        // Not an edge at all.
+        assert!(matches!(
+            engine.with_removed_edge(Edge::new(0, 5)),
+            Err(CoreError::Numerical(_))
+        ));
+    }
+
+    #[test]
+    fn add_then_remove_round_trip_stays_close() {
+        use reecc_graph::generators::complete;
+        // Add a chord, then remove it again: the pair of rank-1 updates
+        // must keep tracking the (restored) exact resistances. The removal
+        // leaves a stale projection column, so the tolerance is ε plus the
+        // documented residual r/(1−r).
+        let g = complete(9);
+        let engine = QueryEngine::build(&g, &params()).unwrap();
+        let e = Edge::new(0, 1);
+        let (cut, r_cut) = engine.with_removed_edge(e).unwrap();
+        assert_eq!(cut.graph().edge_count(), g.edge_count() - 1);
+        let (back, _) = cut.with_added_edge(e, 9001).unwrap();
+        assert_eq!(back.graph().edge_count(), g.edge_count());
+        let exact = ExactResistance::new(&g).unwrap();
+        let tol = 0.3 + 2.0 * r_cut / (1.0 - r_cut);
+        for u in 0..9 {
+            for v in (u + 1)..9 {
+                let r = exact.resistance(u, v);
+                let rt = back.resistance(u, v);
+                assert!(rt.is_finite());
+                assert!((rt - r).abs() <= tol * r, "r({u},{v}): {rt} vs {r}");
+            }
         }
     }
 

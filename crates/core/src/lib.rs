@@ -92,6 +92,17 @@ pub enum CoreError {
         /// Graph order.
         n: usize,
     },
+    /// Removing this edge would disconnect the graph (its effective
+    /// resistance is ≈ 1, making the Sherman–Morrison denominator
+    /// `1 − r(u,v)` vanish). Returned instead of producing NaNs.
+    DisconnectingRemoval {
+        /// Smaller endpoint of the offending edge.
+        u: usize,
+        /// Larger endpoint of the offending edge.
+        v: usize,
+        /// The measured effective resistance `r(u, v)`.
+        r_uv: f64,
+    },
     /// An underlying numerical routine failed.
     Numerical(String),
 }
@@ -104,6 +115,11 @@ impl std::fmt::Display for CoreError {
             CoreError::NodeOutOfRange { node, n } => {
                 write!(f, "node {node} out of range for {n}-node graph")
             }
+            CoreError::DisconnectingRemoval { u, v, r_uv } => write!(
+                f,
+                "removing edge ({u}, {v}) would disconnect the graph \
+                 (bridge: r(u,v) = {r_uv})"
+            ),
             CoreError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
         }
     }

@@ -21,12 +21,12 @@
 //! stride-1 scan of two slices.
 
 use reecc_graph::traversal::is_connected;
-use reecc_graph::Graph;
+use reecc_graph::{Edge, Graph};
 use reecc_hull::PointSet;
 use reecc_linalg::block::BlockVectors;
 use reecc_linalg::block_cg::{solve_laplacian_block, BlockCgWorkspace};
 use reecc_linalg::cg::{solve_laplacian, CgOptions, CgWorkspace};
-use reecc_linalg::jl::{jl_dimension_scaled, projected_incidence_rows};
+use reecc_linalg::jl::{jl_dimension_scaled, projected_incidence_rows, projection_column};
 use reecc_linalg::recovery::{RecoveryPolicy, RecoverySolver};
 use reecc_linalg::{vector, LaplacianOp};
 
@@ -609,6 +609,126 @@ impl ResistanceSketch {
         best
     }
 
+    /// Sherman–Morrison rank-1 update of the sketch for **adding** edge
+    /// `e = (u, v)`, in place.
+    ///
+    /// With `b = e_u − e_v`, `w = L†b` (`potentials`, one CG solve on the
+    /// *pre-addition* graph) and `r = bᵀL†b = w_u − w_v` (`r_uv`), the new
+    /// incidence row gets a fresh projection column `q` and the sketch
+    /// updates **exactly** (it is the JL sketch of the post-addition graph
+    /// under the extended projection):
+    ///
+    /// ```text
+    /// X̃' = X̃ + (q − x_u + x_v) · wᵀ / (1 + r),
+    /// ```
+    ///
+    /// using `X̃b = x_u − x_v`. `q` is drawn deterministically from
+    /// `q_seed` with entries `±1/√d` where `d` is the *surviving*
+    /// dimension — the drop-rescale `√(d₀/d)` of the build is already
+    /// folded into the stored columns, so the effective projection entries
+    /// are `±1/√d` throughout. Cost `O(n·d)`.
+    ///
+    /// Build diagnostics and `ε` are left untouched: the update adds no
+    /// solver error beyond the CG tolerance of `potentials`, and the added
+    /// JL column keeps the estimator unbiased at the same dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range, `potentials.len() != n`, or
+    /// the sketch has dimension 0.
+    pub fn apply_add_edge(&mut self, e: Edge, potentials: &[f64], r_uv: f64, q_seed: u64) {
+        let d = self.d;
+        assert!(d > 0, "cannot update a zero-dimension sketch");
+        assert!(e.v < self.n, "edge endpoint out of range");
+        assert_eq!(potentials.len(), self.n, "potentials length mismatch");
+        let q = projection_column(d, q_seed);
+        let denom = 1.0 + r_uv;
+        // The update direction must be captured before any column mutates.
+        let mut dir = vec![0.0; d];
+        {
+            let xu = &self.data[e.u * d..(e.u + 1) * d];
+            let xv = &self.data[e.v * d..(e.v + 1) * d];
+            for i in 0..d {
+                dir[i] = (q[i] - xu[i] + xv[i]) / denom;
+            }
+        }
+        for (j, &wj) in potentials.iter().enumerate() {
+            if wj == 0.0 {
+                continue;
+            }
+            let col = &mut self.data[j * d..(j + 1) * d];
+            for (c, &g) in col.iter_mut().zip(&dir) {
+                *c += g * wj;
+            }
+        }
+    }
+
+    /// Sherman–Morrison rank-1 downdate of the sketch for **removing**
+    /// edge `e = (u, v)`, in place.
+    ///
+    /// With `w = L†b` and `r = r(u, v)` measured on the *pre-removal*
+    /// graph, the pseudoinverse downdate `L'† = L† + wwᵀ/(1 − r)` gives
+    ///
+    /// ```text
+    /// X̃'' = X̃ + (x_u − x_v) · wᵀ / (1 − r).
+    /// ```
+    ///
+    /// Unlike [`Self::apply_add_edge`] this is *not* exact: the removed
+    /// incidence row's projection column stays folded into the sketch,
+    /// leaving a residual `−q_ρ wᵀ/(1 − r)` (`‖q_ρ‖ = 1`) that inflates
+    /// `r̃(s, t)` by at most `r(s, t)·r/(1 − r)` plus a mean-zero cross
+    /// term (Cauchy–Schwarz). Substituting a fresh random column would
+    /// *double* that variance, so the stale term is deliberately omitted;
+    /// the serving layer charges `r/(1 − r)` against its error budget and
+    /// a re-sketch eventually clears the residue.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::DisconnectingRemoval`] when `1 − r_uv ≤ 1e-6`; the
+    /// sketch is left untouched. The floor is deliberately looser than the
+    /// dense-pseudoinverse guard in [`crate::update::pinv_remove_edge`]
+    /// because `r_uv` here comes from a CG solve (default tolerance 1e-8):
+    /// a true bridge can measure as `r = 1 ± 1e-8`, which a 1e-12 floor
+    /// would wave through and then amplify by 10⁸.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range, `potentials.len() != n`, or
+    /// the sketch has dimension 0.
+    pub fn apply_remove_edge(
+        &mut self,
+        e: Edge,
+        potentials: &[f64],
+        r_uv: f64,
+    ) -> Result<(), CoreError> {
+        let d = self.d;
+        assert!(d > 0, "cannot update a zero-dimension sketch");
+        assert!(e.v < self.n, "edge endpoint out of range");
+        assert_eq!(potentials.len(), self.n, "potentials length mismatch");
+        let denom = 1.0 - r_uv;
+        if denom <= 1e-6 {
+            return Err(CoreError::DisconnectingRemoval { u: e.u, v: e.v, r_uv });
+        }
+        let mut dir = vec![0.0; d];
+        {
+            let xu = &self.data[e.u * d..(e.u + 1) * d];
+            let xv = &self.data[e.v * d..(e.v + 1) * d];
+            for i in 0..d {
+                dir[i] = (xu[i] - xv[i]) / denom;
+            }
+        }
+        for (j, &wj) in potentials.iter().enumerate() {
+            if wj == 0.0 {
+                continue;
+            }
+            let col = &mut self.data[j * d..(j + 1) * d];
+            for (c, &g) in col.iter_mut().zip(&dir) {
+                *c += g * wj;
+            }
+        }
+        Ok(())
+    }
+
     /// The node embedding: column `u` of `X̃` as an owned point in `R^d`
     /// (see [`Self::embedding`] for the borrowing variant).
     pub fn embedding_point(&self, u: usize) -> Vec<f64> {
@@ -826,6 +946,112 @@ mod tests {
             SketchDiagnostics { rows: 1, ..Default::default() }
         )
         .is_err());
+    }
+
+    #[test]
+    fn add_edge_update_matches_exact_on_new_graph() {
+        use reecc_linalg::cg::CgWorkspace;
+        // The rank-1 add is exact (it is the JL sketch of the new graph
+        // under the extended projection), so the updated sketch must meet
+        // the same ε bound against the post-addition exact resistances
+        // that a fresh build would.
+        let g = cycle(12);
+        let eps = 0.3;
+        let mut sk = ResistanceSketch::build(&g, &params(eps)).unwrap();
+        let e = reecc_graph::Edge::new(0, 6);
+        let mut ws = CgWorkspace::new(12);
+        let (w, r_uv) = crate::update::solve_edge_potentials(
+            &g,
+            e,
+            reecc_linalg::cg::CgOptions::default(),
+            &mut ws,
+        );
+        sk.apply_add_edge(e, &w, r_uv, 1234);
+        let g2 = g.with_edge(e).unwrap();
+        let exact = ExactResistance::new(&g2).unwrap();
+        for u in 0..12 {
+            for v in (u + 1)..12 {
+                let r = exact.resistance(u, v);
+                let rt = sk.resistance(u, v);
+                assert!((rt - r).abs() <= eps * r, "r({u},{v}): sketch {rt} vs exact {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn add_edge_update_is_seed_deterministic() {
+        use reecc_linalg::cg::CgWorkspace;
+        let g = cycle(10);
+        let e = reecc_graph::Edge::new(0, 5);
+        let mut ws = CgWorkspace::new(10);
+        let (w, r_uv) = crate::update::solve_edge_potentials(
+            &g,
+            e,
+            reecc_linalg::cg::CgOptions::default(),
+            &mut ws,
+        );
+        let base = ResistanceSketch::build(&g, &params(0.4)).unwrap();
+        let mut a = base.clone();
+        let mut b = base.clone();
+        a.apply_add_edge(e, &w, r_uv, 77);
+        b.apply_add_edge(e, &w, r_uv, 77);
+        assert_eq!(a.flat(), b.flat(), "same seed must replay bit-for-bit");
+        let mut c = base.clone();
+        c.apply_add_edge(e, &w, r_uv, 78);
+        assert_ne!(a.flat(), c.flat());
+    }
+
+    #[test]
+    fn remove_edge_update_tracks_exact_within_residual_bound() {
+        use reecc_linalg::cg::CgWorkspace;
+        // Removal leaves the dead incidence row's projection column in the
+        // sketch: the estimate for a pair (s, t) can drift by up to
+        // r(s,t)·r_e/(1−r_e) plus a small mean-zero cross term. On a
+        // complete graph r_e = 2/n is small, so the combined bound is
+        // still a usable multiplicative guarantee.
+        let g = complete(10);
+        let eps = 0.25;
+        let mut sk = ResistanceSketch::build(&g, &params(eps)).unwrap();
+        let e = reecc_graph::Edge::new(0, 1);
+        let mut ws = CgWorkspace::new(10);
+        let (w, r_uv) = crate::update::solve_edge_potentials(
+            &g,
+            e,
+            reecc_linalg::cg::CgOptions::default(),
+            &mut ws,
+        );
+        sk.apply_remove_edge(e, &w, r_uv).unwrap();
+        let cut = g.without_edge(e).unwrap();
+        let exact = ExactResistance::new(&cut).unwrap();
+        let residual = r_uv / (1.0 - r_uv);
+        let tol = eps + 2.0 * residual;
+        for u in 0..10 {
+            for v in (u + 1)..10 {
+                let r = exact.resistance(u, v);
+                let rt = sk.resistance(u, v);
+                assert!(rt.is_finite());
+                assert!((rt - r).abs() <= tol * r, "r({u},{v}): sketch {rt} vs exact {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn remove_edge_update_rejects_bridges_untouched() {
+        use reecc_linalg::cg::CgWorkspace;
+        let g = line(6);
+        let sk0 = ResistanceSketch::build(&g, &params(0.4)).unwrap();
+        let mut sk = sk0.clone();
+        let e = reecc_graph::Edge::new(2, 3);
+        let mut ws = CgWorkspace::new(6);
+        let (w, r_uv) = crate::update::solve_edge_potentials(
+            &g,
+            e,
+            reecc_linalg::cg::CgOptions::default(),
+            &mut ws,
+        );
+        let err = sk.apply_remove_edge(e, &w, r_uv).unwrap_err();
+        assert!(matches!(err, CoreError::DisconnectingRemoval { u: 2, v: 3, .. }), "{err:?}");
+        assert_eq!(sk.flat(), sk0.flat(), "failed downdate must leave the sketch untouched");
     }
 
     #[test]

@@ -23,10 +23,15 @@
 //!   base distances ([`updated_resistances`]) — the `ShermanMorrison`
 //!   evaluation mode of CHMINRECC / MINRECC.
 
+use crate::CoreError;
 use reecc_graph::{Edge, Graph};
 use reecc_linalg::cg::{solve_laplacian, CgOptions, CgWorkspace};
 use reecc_linalg::recovery::{RecoverySolver, SolveReport};
 use reecc_linalg::{DenseMatrix, LaplacianOp};
+
+/// Denominator floor below which `1 − r(u,v)` is treated as zero: the
+/// removal would (numerically) disconnect the graph.
+const REMOVE_DENOM_FLOOR: f64 = 1e-12;
 
 /// Apply the rank-1 pseudoinverse update for adding edge `e` in place.
 ///
@@ -64,14 +69,36 @@ pub fn pinv_add_edge(pinv: &mut DenseMatrix, e: Edge) {
 /// # Panics
 ///
 /// Panics if endpoints are out of range or `r(u, v) >= 1 − 1e-12`
-/// (disconnecting removal).
+/// (disconnecting removal). Fallible callers — the live serving mutation
+/// path in particular — should use [`pinv_remove_edge_checked`] instead.
 pub fn pinv_remove_edge(pinv: &mut DenseMatrix, e: Edge) {
+    if let Err(err) = pinv_remove_edge_checked(pinv, e) {
+        panic!("removing a bridge would disconnect the graph ({err})");
+    }
+}
+
+/// Fallible variant of [`pinv_remove_edge`]: instead of panicking on a
+/// disconnecting removal (Sherman–Morrison denominator `1 − r(u,v)` ≈ 0,
+/// which would flood the pseudoinverse with huge values and NaNs), it
+/// leaves `pinv` untouched and returns
+/// [`CoreError::DisconnectingRemoval`].
+///
+/// # Errors
+///
+/// [`CoreError::DisconnectingRemoval`] when `e` is a bridge.
+///
+/// # Panics
+///
+/// Panics if endpoints are out of range.
+pub fn pinv_remove_edge_checked(pinv: &mut DenseMatrix, e: Edge) -> Result<(), CoreError> {
     let n = pinv.rows();
     assert!(e.v < n, "edge endpoint out of range");
     let w: Vec<f64> = (0..n).map(|i| pinv[(i, e.u)] - pinv[(i, e.v)]).collect();
     let r_uv = w[e.u] - w[e.v];
     let denom = 1.0 - r_uv;
-    assert!(denom > 1e-12, "removing a bridge would disconnect the graph (r = {r_uv})");
+    if denom <= REMOVE_DENOM_FLOOR {
+        return Err(CoreError::DisconnectingRemoval { u: e.u, v: e.v, r_uv });
+    }
     for i in 0..n {
         let wi = w[i] / denom;
         if wi == 0.0 {
@@ -82,6 +109,7 @@ pub fn pinv_remove_edge(pinv: &mut DenseMatrix, e: Edge) {
             *rij += wi * wj;
         }
     }
+    Ok(())
 }
 
 /// `c(s)` of the graph after hypothetically adding `e`, computed in `O(n)`
@@ -314,6 +342,44 @@ mod tests {
         let g = line(5);
         let mut pinv = reecc_linalg::laplacian_pseudoinverse(&g).unwrap();
         pinv_remove_edge(&mut pinv, Edge::new(1, 2));
+    }
+
+    #[test]
+    fn remove_checked_rejects_bridges_without_touching_pinv() {
+        // Every edge of a path is a bridge: r(u,v) = 1 exactly.
+        let g = line(5);
+        let original = reecc_linalg::laplacian_pseudoinverse(&g).unwrap();
+        let mut pinv = original.clone();
+        let err = pinv_remove_edge_checked(&mut pinv, Edge::new(1, 2)).unwrap_err();
+        match err {
+            crate::CoreError::DisconnectingRemoval { u, v, r_uv } => {
+                assert_eq!((u, v), (1, 2));
+                assert!((r_uv - 1.0).abs() < 1e-9, "bridge resistance is 1, got {r_uv}");
+            }
+            other => panic!("expected DisconnectingRemoval, got {other:?}"),
+        }
+        for i in 0..5 {
+            for j in 0..5 {
+                assert_eq!(pinv[(i, j)], original[(i, j)], "pinv must be untouched");
+            }
+        }
+    }
+
+    #[test]
+    fn remove_checked_accepts_cycle_edges() {
+        // No edge of a cycle is a bridge; checked removal must match a
+        // fresh pseudoinverse of the smaller graph.
+        let g = cycle(8);
+        let e = Edge::new(0, 1);
+        let mut pinv = reecc_linalg::laplacian_pseudoinverse(&g).unwrap();
+        pinv_remove_edge_checked(&mut pinv, e).unwrap();
+        let cut = g.without_edge(e).unwrap();
+        let fresh = reecc_linalg::laplacian_pseudoinverse(&cut).unwrap();
+        for i in 0..8 {
+            for j in 0..8 {
+                assert!((pinv[(i, j)] - fresh[(i, j)]).abs() < TOL);
+            }
+        }
     }
 
     #[test]

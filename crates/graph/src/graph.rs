@@ -215,6 +215,24 @@ impl Graph {
         self.with_edges(std::slice::from_ref(&e))
     }
 
+    /// Return a new graph with edge `e` removed.
+    ///
+    /// The result may be disconnected (removing a bridge); connectivity
+    /// policy belongs to the caller, which can pre-check with
+    /// [`crate::traversal::is_connected`] on the returned graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::EdgeNotFound`] if `e` is not an edge of the
+    /// graph (out-of-range endpoints are by definition not edges).
+    pub fn without_edge(&self, e: Edge) -> Result<Graph, GraphError> {
+        if !self.has_edge(e.u, e.v) {
+            return Err(GraphError::EdgeNotFound { u: e.u, v: e.v });
+        }
+        let edges: Vec<Edge> = self.edges.iter().copied().filter(|&x| x != e).collect();
+        Ok(Graph::from_canonical_edges(self.n, edges))
+    }
+
     /// The complement candidate set `(V × V) \ E` as canonical edges.
     ///
     /// Quadratic; intended for small graphs (exhaustive search, tests).
@@ -319,6 +337,41 @@ mod tests {
     fn with_edge_out_of_range() {
         let g = triangle();
         assert!(g.with_edge(Edge::new(0, 9)).is_err());
+    }
+
+    #[test]
+    fn without_edge_removes_and_preserves_rest() {
+        let g = triangle();
+        let cut = g.without_edge(Edge::new(0, 1)).unwrap();
+        assert_eq!(cut.edge_count(), 2);
+        assert!(!cut.has_edge(0, 1));
+        assert!(cut.has_edge(1, 2) && cut.has_edge(0, 2));
+        assert_eq!(cut.node_count(), 3);
+        // Round-trip: adding it back reproduces the original.
+        assert_eq!(cut.with_edge(Edge::new(0, 1)).unwrap(), g);
+    }
+
+    #[test]
+    fn without_edge_rejects_missing_and_out_of_range() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert_eq!(
+            g.without_edge(Edge::new(0, 2)).unwrap_err(),
+            GraphError::EdgeNotFound { u: 0, v: 2 }
+        );
+        assert_eq!(
+            g.without_edge(Edge::new(0, 9)).unwrap_err(),
+            GraphError::EdgeNotFound { u: 0, v: 9 }
+        );
+    }
+
+    #[test]
+    fn without_edge_can_disconnect() {
+        // A path: the middle edge is a bridge; removal is allowed here,
+        // connectivity policy lives upstream.
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        let cut = g.without_edge(Edge::new(1, 2)).unwrap();
+        assert_eq!(cut.edge_count(), 2);
+        assert!(!crate::traversal::is_connected(&cut));
     }
 
     #[test]

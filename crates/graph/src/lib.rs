@@ -69,6 +69,13 @@ pub enum GraphError {
         /// Actual count.
         actual: usize,
     },
+    /// The operation referenced an edge that is not present in the graph.
+    EdgeNotFound {
+        /// Smaller endpoint of the missing edge.
+        u: usize,
+        /// Larger endpoint of the missing edge.
+        v: usize,
+    },
     /// A parse failure while reading an edge list.
     Parse {
         /// 1-based line number.
@@ -87,6 +94,9 @@ impl std::fmt::Display for GraphError {
             GraphError::Disconnected => write!(f, "graph is not connected"),
             GraphError::TooFewNodes { required, actual } => {
                 write!(f, "operation requires >= {required} nodes, got {actual}")
+            }
+            GraphError::EdgeNotFound { u, v } => {
+                write!(f, "edge ({u}, {v}) is not present in the graph")
             }
             GraphError::Parse { line, message } => {
                 write!(f, "parse error on line {line}: {message}")

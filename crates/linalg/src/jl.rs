@@ -56,6 +56,20 @@ pub fn projected_incidence_rows(g: &Graph, d: usize, seed: u64) -> Vec<Vec<f64>>
     rows
 }
 
+/// One fresh length-`d` projection column with i.i.d. `±1/√d` entries.
+///
+/// Rank-1 sketch maintenance (adding an edge to an already-projected
+/// incidence matrix) needs a new column of `Q` for the new incidence row.
+/// The column is drawn from its own seeded [`StdRng`] stream so callers
+/// can derive a per-update seed and replay the exact same column later
+/// (crash-safe WAL replay depends on this determinism).
+pub fn projection_column(d: usize, seed: u64) -> Vec<f64> {
+    assert!(d > 0, "projection dimension must be positive");
+    let inv_sqrt_d = 1.0 / (d as f64).sqrt();
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..d).map(|_| if rng.gen::<bool>() { inv_sqrt_d } else { -inv_sqrt_d }).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,6 +132,18 @@ mod tests {
                 assert!(x.abs() <= 0.5 + 1e-12);
             }
         }
+    }
+
+    #[test]
+    fn projection_column_is_unit_norm_and_deterministic() {
+        let a = projection_column(16, 7);
+        let b = projection_column(16, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 16);
+        let norm_sq: f64 = a.iter().map(|x| x * x).sum();
+        assert!((norm_sq - 1.0).abs() < 1e-12, "d entries of ±1/√d have unit norm");
+        let c = projection_column(16, 8);
+        assert_ne!(a, c);
     }
 
     #[test]

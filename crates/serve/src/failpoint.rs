@@ -20,8 +20,19 @@
 //! `*N` to auto-disarm after `N` firings (`panic*1` fires exactly once).
 //!
 //! Naming convention (documented in DESIGN.md §8): `<component>.<operation>`,
-//! lower-case, dot-separated — e.g. `worker.compute`, `snapshot.write`,
-//! `snapshot.load`, `cache.insert`, `session.read`.
+//! lower-case, dot-separated. Current sites:
+//!
+//! * `worker.compute` — inside a pool worker, before a request executes.
+//! * `snapshot.write` — between a snapshot's temp-file write and rename.
+//! * `snapshot.load` — before a snapshot file is opened for reading.
+//! * `cache.insert` — before a computed result is inserted in the cache.
+//! * `session.read` — before each request line is read from a session.
+//! * `wal.append` — before a mutation record is appended to the
+//!   write-ahead edge log (the ack-blocking durability point).
+//! * `wal.replay` — before each record is applied during startup replay.
+//! * `epoch.swap` — after a re-sketch epoch is durably written, before
+//!   the `CURRENT` pointer flips to it.
+//! * `resketch.build` — at the start of a background re-sketch build.
 //!
 //! The contract at each site is [`hit`]: `Ok(())` when disarmed or after
 //! an injected delay, `Err(message)` for an injected I/O error (the site

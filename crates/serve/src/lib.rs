@@ -17,6 +17,13 @@
 //!   `overloaded` backpressure, per-request deadlines, a sharded LRU
 //!   result cache, panic containment (`catch_unwind` + supervisor
 //!   respawn), and a deadline-bounded graceful drain.
+//! * [`wal`] — a crash-safe write-ahead edge log: every accepted
+//!   `add-edge` / `remove-edge` mutation is appended and fsynced before
+//!   the ack, with per-record FNV-1a checksums and torn-tail-tolerant
+//!   replay, so `kill -9` at any point is recoverable.
+//! * [`live`] — the live mutable engine: error-budgeted rank-1 sketch
+//!   updates applied in place, epoch-swapped background re-sketch when
+//!   the budget drains, and startup recovery (snapshot + WAL replay).
 //! * [`failpoint`] — deterministic fault injection (panics, delays, I/O
 //!   errors) at named sites, armed programmatically or via
 //!   `REECC_FAILPOINTS`; one relaxed atomic load when disarmed.
@@ -49,12 +56,16 @@
 pub mod cache;
 pub mod failpoint;
 pub mod json;
+pub mod live;
 pub mod pool;
 pub mod protocol;
 pub mod server;
 pub mod snapshot;
+pub mod wal;
 
+pub use live::{LiveConfig, LiveEngine, LiveError};
 pub use pool::{DrainReport, PoolConfig, ServePool, SubmitError};
 pub use protocol::{ErrorKind, Request, RequestEnvelope, Response};
 pub use server::{serve_pipe, ServerConfig, SessionStats, TcpServer};
 pub use snapshot::{RetryPolicy, SketchSnapshot, SnapshotError};
+pub use wal::{WalError, WalOp, WalRecord, WalWriter};

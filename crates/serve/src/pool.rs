@@ -32,11 +32,13 @@
 //! [`DrainReport`] accounts for every accepted request:
 //! `answered + dropped == submitted`.
 //!
-//! The degradation tier is decided once per pool from the sketch's build
-//! diagnostics, mirroring `fast_query_with_policy`: a sketch with too many
-//! degraded rows is not trusted to drive the hull shortcut, and every
-//! eccentricity query falls back to the full `O(n·d)` scan — reported on
-//! the wire as `"tier":"approx"`.
+//! The degradation tier is decided per epoch view (see [`crate::live`]),
+//! mirroring `fast_query_with_policy`: a freshly built sketch with too
+//! many degraded rows — or any sketch that has absorbed rank-1 mutations
+//! since its hull was computed — is not trusted to drive the hull
+//! shortcut, and every eccentricity query falls back to the full
+//! `O(n·d)` scan, reported on the wire as `"tier":"approx"`. A completed
+//! re-sketch restores `"fast"`.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -44,12 +46,14 @@ use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use reecc_core::{DegradationPolicy, QueryEngine, QueryTier, WhatIfScratch};
-use reecc_graph::{fingerprint, Edge};
+use reecc_core::{QueryEngine, QueryTier, WhatIfScratch};
+use reecc_graph::Edge;
 
 use crate::cache::{CacheKey, CachedAnswer, ShardedLru};
 use crate::failpoint;
+use crate::live::{EpochView, LiveEngine, LiveError};
 use crate::protocol::{ErrorKind, Outcome, Request, RequestEnvelope, Response, StatsReport};
+use crate::wal::WalOp;
 
 /// Pool sizing and behavior knobs.
 #[derive(Debug, Clone, Copy)]
@@ -122,10 +126,11 @@ struct Job {
 }
 
 struct Shared {
-    engine: Arc<QueryEngine>,
-    fingerprint: u64,
+    /// The live engine: workers fetch the current epoch view per request,
+    /// so queries racing a mutation or an epoch swap answer consistently
+    /// against whichever view they grabbed.
+    live: Arc<LiveEngine>,
     cache: ShardedLru,
-    tier: QueryTier,
     served: AtomicU64,
     submitted: AtomicU64,
     panics: AtomicU64,
@@ -172,8 +177,15 @@ impl std::fmt::Debug for ServePool {
 }
 
 impl ServePool {
-    /// Spin up the supervised workers for `engine`.
+    /// Spin up the supervised workers for an immutable `engine` (wrapped
+    /// in an ephemeral [`LiveEngine`]: mutations work, nothing persists).
     pub fn new(engine: Arc<QueryEngine>, config: PoolConfig) -> Self {
+        Self::with_live(LiveEngine::ephemeral(engine, None), config)
+    }
+
+    /// Spin up the supervised workers for a live (possibly durable,
+    /// possibly recovered) engine.
+    pub fn with_live(live: Arc<LiveEngine>, config: PoolConfig) -> Self {
         // `threads: 0` resolves through the shared helper; the pool keeps
         // a floor of two workers so one panicked worker never leaves the
         // queue unattended while the supervisor respawns it.
@@ -183,19 +195,10 @@ impl ServePool {
             config.threads
         };
         let queue_depth = config.queue_depth.max(1);
-        // Mirror fast_query's hull-trust policy: a sketch with too many
-        // degraded rows answers by full scan instead of the hull.
-        let policy = DegradationPolicy::default();
-        let frac = engine.sketch().diagnostics().unconverged_fraction();
-        let tier = if frac > policy.max_unconverged_fraction {
-            QueryTier::Approx
-        } else {
-            QueryTier::Fast
-        };
+        let n = live.view().engine.graph().node_count();
         let shared = Arc::new(Shared {
-            fingerprint: fingerprint(engine.graph()),
+            live,
             cache: ShardedLru::new(config.cache_capacity, config.cache_shards),
-            tier,
             served: AtomicU64::new(0),
             submitted: AtomicU64::new(0),
             panics: AtomicU64::new(0),
@@ -206,10 +209,11 @@ impl ServePool {
             drain_deadline: Mutex::new(None),
             threads,
             queue_depth,
-            whatif: Mutex::new(WhatIfScratch::new(engine.graph().node_count())),
+            // Mutations only touch edges, never the node set, so the
+            // scratch stays correctly sized across epochs.
+            whatif: Mutex::new(WhatIfScratch::new(n)),
             whatif_served: AtomicU64::new(0),
             whatif_micros: AtomicU64::new(0),
-            engine,
         });
         let (tx, rx) = mpsc::sync_channel::<Job>(queue_depth);
         let rx = Arc::new(Mutex::new(rx));
@@ -239,9 +243,15 @@ impl ServePool {
         }
     }
 
-    /// The pool's tier for eccentricity answers, as a wire string.
+    /// The current epoch's tier for eccentricity answers, as a wire
+    /// string (a mutated epoch drops to `approx` until the re-sketch).
     pub fn tier_name(&self) -> &'static str {
-        tier_name(self.shared.tier)
+        tier_name(self.shared.live.view().tier)
+    }
+
+    /// The live engine this pool serves.
+    pub fn live(&self) -> &Arc<LiveEngine> {
+        &self.shared.live
     }
 
     /// The resolved worker count (after `threads: 0` auto-detection).
@@ -324,9 +334,9 @@ impl ServePool {
         self.shared.respawned.load(Ordering::Relaxed)
     }
 
-    /// The engine's graph fingerprint.
+    /// The current epoch view's graph fingerprint.
     pub fn graph_fingerprint(&self) -> u64 {
-        self.shared.fingerprint
+        self.shared.live.view().fingerprint
     }
 
     /// Stop accepting, finish queued work for up to `grace`, answer
@@ -351,6 +361,9 @@ impl ServePool {
         for handle in handles {
             let _ = handle.join();
         }
+        // A re-sketch kicked by a drained budget may still be running;
+        // let it finish (or abort) before the process tears down state.
+        self.shared.live.join_resketch();
         let submitted = self.shared.submitted.load(Ordering::SeqCst);
         let dropped = self.shared.dropped_on_drain.load(Ordering::SeqCst);
         let served = self.shared.served.load(Ordering::SeqCst);
@@ -471,11 +484,11 @@ fn worker_loop(rx: &Arc<Mutex<Receiver<Job>>>, shared: &Shared) -> WorkerExit {
             // one request (answered with `internal`) and this one worker
             // thread (respawned by the supervisor) — never the pool.
             match catch_unwind(AssertUnwindSafe(|| execute(shared, job.env.request))) {
-                Ok((outcome, cached)) => {
+                Ok((outcome, cached, tier)) => {
                     let tier = if matches!(outcome, Outcome::Error { .. }) {
                         None
                     } else {
-                        Some(shared.tier)
+                        Some(tier)
                     };
                     Response {
                         id: job.env.id,
@@ -524,23 +537,32 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-fn ecc_answer(shared: &Shared, v: usize) -> CachedAnswer {
-    let ans = match shared.tier {
-        QueryTier::Fast => shared.engine.eccentricity(v),
-        _ => shared.engine.eccentricity_full_scan(v),
+fn ecc_answer(view: &EpochView, v: usize) -> CachedAnswer {
+    let ans = match view.tier {
+        QueryTier::Fast => view.engine.eccentricity(v),
+        _ => view.engine.eccentricity_full_scan(v),
     };
     CachedAnswer { value: ans.value, node: ans.farthest }
 }
 
 /// Run one validated-or-rejected operation, consulting the cache first.
-fn execute(shared: &Shared, request: Request) -> (Outcome, bool) {
+///
+/// The epoch view is fetched once up front: the whole request answers
+/// against one consistent engine even if mutations land concurrently.
+/// Cache keys carry the view's fingerprint, so a mutation implicitly
+/// invalidates every cached answer (old-epoch entries age out of the
+/// LRU). Returns the outcome, whether it was cached, and the view's tier.
+fn execute(shared: &Shared, request: Request) -> (Outcome, bool, QueryTier) {
+    let view = shared.live.view();
+    let tier = view.tier;
     if let Err(msg) = failpoint::hit("worker.compute") {
-        return (Outcome::Error { kind: ErrorKind::Internal, message: msg }, false);
+        return (Outcome::Error { kind: ErrorKind::Internal, message: msg }, false, tier);
     }
-    let n = shared.engine.graph().node_count();
-    let fp = shared.fingerprint;
-    let bad =
-        |message: String| (Outcome::Error { kind: ErrorKind::BadRequest, message }, false);
+    let n = view.engine.graph().node_count();
+    let fp = view.fingerprint;
+    let bad = |message: String| {
+        (Outcome::Error { kind: ErrorKind::BadRequest, message }, false, tier)
+    };
     let check = |node: usize, name: &str| -> Option<String> {
         (node >= n).then(|| format!("{name} = {node} out of range (graph has {n} nodes)"))
     };
@@ -551,11 +573,11 @@ fn execute(shared: &Shared, request: Request) -> (Outcome, bool) {
             }
             let key = CacheKey::Ecc(fp, v);
             if let Some(hit) = shared.cache.get(&key) {
-                return (Outcome::Ecc { value: hit.value, node: hit.node }, true);
+                return (Outcome::Ecc { value: hit.value, node: hit.node }, true, tier);
             }
-            let ans = ecc_answer(shared, v);
+            let ans = ecc_answer(&view, v);
             shared.cache.insert(key, ans);
-            (Outcome::Ecc { value: ans.value, node: ans.node }, false)
+            (Outcome::Ecc { value: ans.value, node: ans.node }, false, tier)
         }
         Request::Res { u, v } => {
             if let Some(msg) = check(u, "u").or_else(|| check(v, "v")) {
@@ -564,11 +586,11 @@ fn execute(shared: &Shared, request: Request) -> (Outcome, bool) {
             let (a, b) = if u <= v { (u, v) } else { (v, u) };
             let key = CacheKey::Res(fp, a, b);
             if let Some(hit) = shared.cache.get(&key) {
-                return (Outcome::Scalar { value: hit.value }, true);
+                return (Outcome::Scalar { value: hit.value }, true, tier);
             }
-            let value = shared.engine.resistance(a, b);
+            let value = view.engine.resistance(a, b);
             shared.cache.insert(key, CachedAnswer { value, node: 0 });
-            (Outcome::Scalar { value }, false)
+            (Outcome::Scalar { value }, false, tier)
         }
         Request::Radius | Request::Diameter => {
             let key = match request {
@@ -576,14 +598,14 @@ fn execute(shared: &Shared, request: Request) -> (Outcome, bool) {
                 _ => CacheKey::Diameter(fp),
             };
             if let Some(hit) = shared.cache.get(&key) {
-                return (Outcome::Ecc { value: hit.value, node: hit.node }, true);
+                return (Outcome::Ecc { value: hit.value, node: hit.node }, true, tier);
             }
             // One full sweep computes both extremes; cache both so the
             // sibling query is a hit.
             let mut min = CachedAnswer { value: f64::INFINITY, node: 0 };
             let mut max = CachedAnswer { value: f64::NEG_INFINITY, node: 0 };
             for v in 0..n {
-                let ans = ecc_answer(shared, v);
+                let ans = ecc_answer(&view, v);
                 if ans.value < min.value {
                     min = CachedAnswer { value: ans.value, node: v };
                 }
@@ -594,7 +616,7 @@ fn execute(shared: &Shared, request: Request) -> (Outcome, bool) {
             shared.cache.insert(CacheKey::Radius(fp), min);
             shared.cache.insert(CacheKey::Diameter(fp), max);
             let chosen = if matches!(request, Request::Radius) { min } else { max };
-            (Outcome::Ecc { value: chosen.value, node: chosen.node }, false)
+            (Outcome::Ecc { value: chosen.value, node: chosen.node }, false, tier)
         }
         Request::WhatIfEdge { s, u, v } => {
             if let Some(msg) = check(s, "s").or_else(|| check(u, "u")).or_else(|| check(v, "v"))
@@ -607,7 +629,7 @@ fn execute(shared: &Shared, request: Request) -> (Outcome, bool) {
             let (a, b) = if u <= v { (u, v) } else { (v, u) };
             let key = CacheKey::WhatIf(fp, s, a, b);
             if let Some(hit) = shared.cache.get(&key) {
-                return (Outcome::Ecc { value: hit.value, node: hit.node }, true);
+                return (Outcome::Ecc { value: hit.value, node: hit.node }, true, tier);
             }
             // Warm path: reuse the pool-held solve scratch instead of
             // allocating a CG workspace per request. A poisoned lock just
@@ -623,29 +645,71 @@ fn execute(shared: &Shared, request: Request) -> (Outcome, bool) {
                         guard
                     }
                 };
-                shared.engine.eccentricity_after_edge_with(&mut scratch, s, Edge::new(a, b))
+                view.engine.eccentricity_after_edge_with(&mut scratch, s, Edge::new(a, b))
             };
             let micros = started.elapsed().as_micros() as u64;
             shared.whatif_served.fetch_add(1, Ordering::Relaxed);
             shared.whatif_micros.fetch_add(micros, Ordering::Relaxed);
             let cached = CachedAnswer { value: ans.value, node: ans.farthest };
             shared.cache.insert(key, cached);
-            (Outcome::Ecc { value: cached.value, node: cached.node }, false)
+            (Outcome::Ecc { value: cached.value, node: cached.node }, false, tier)
         }
+        Request::AddEdge { u, v } | Request::RemoveEdge { u, v } => {
+            if let Some(msg) = check(u, "u").or_else(|| check(v, "v")) {
+                return bad(msg);
+            }
+            let op = match request {
+                Request::AddEdge { .. } => WalOp::AddEdge,
+                _ => WalOp::RemoveEdge,
+            };
+            match shared.live.apply_mutation(op, u, v) {
+                Ok(receipt) => (
+                    Outcome::Mutated {
+                        r_uv: receipt.r_uv,
+                        cost: receipt.cost,
+                        budget_remaining: receipt.budget_remaining,
+                        epoch: receipt.epoch,
+                        seq: receipt.seq,
+                        resketch: receipt.resketch_kicked,
+                    },
+                    false,
+                    // The published view changed; report the tier the
+                    // mutation left us at.
+                    shared.live.view().tier,
+                ),
+                Err(LiveError::Rejected(e)) => bad(e.to_string()),
+                Err(e) => (
+                    Outcome::Error { kind: ErrorKind::Internal, message: e.to_string() },
+                    false,
+                    tier,
+                ),
+            }
+        }
+        Request::Epoch => (
+            Outcome::EpochInfo {
+                epoch: shared.live.epoch(),
+                mutations_in_epoch: shared.live.mutations_in_epoch(),
+                budget_total: shared.live.budget_total(),
+                budget_remaining: shared.live.budget_remaining(),
+                resketch_running: shared.live.resketch_running(),
+            },
+            false,
+            tier,
+        ),
         Request::Stats => {
             let cache = shared.cache.stats();
-            let sketch = shared.engine.sketch();
+            let sketch = view.engine.sketch();
             let diag = sketch.diagnostics();
             (
                 Outcome::Stats(StatsReport {
                     nodes: n,
-                    edges: shared.engine.graph().edge_count(),
+                    edges: view.engine.graph().edge_count(),
                     fingerprint: fp,
                     epsilon: sketch.epsilon(),
                     dimension: sketch.dimension(),
-                    hull_size: shared.engine.hull_size(),
+                    hull_size: view.engine.hull_size(),
                     degraded_rows: diag.unconverged.len() + diag.dropped.len(),
-                    tier: tier_name(shared.tier),
+                    tier: tier_name(tier),
                     threads: shared.threads,
                     queue_depth: shared.queue_depth,
                     served: shared.served.load(Ordering::Relaxed),
@@ -659,8 +723,15 @@ fn execute(shared: &Shared, request: Request) -> (Outcome, bool) {
                     cache_misses: cache.misses,
                     cache_evictions: cache.evictions,
                     cache_entries: cache.entries,
+                    epoch: shared.live.epoch(),
+                    mutations_applied: shared.live.mutations_applied(),
+                    error_budget_remaining: shared.live.budget_remaining(),
+                    resketches_total: shared.live.resketches_total(),
+                    wal_bytes: shared.live.wal_bytes(),
+                    wal_replayed_on_start: shared.live.wal_replayed_on_start(),
                 }),
                 false,
+                tier,
             )
         }
     }
@@ -740,6 +811,65 @@ mod tests {
     }
 
     #[test]
+    fn mutations_apply_through_the_pool_and_invalidate_answers() {
+        let p = pool(2, 16);
+        let before = p.run(env(Request::Ecc { v: 0 }));
+        assert_eq!(before.tier, Some("fast"));
+        let fp_before = p.graph_fingerprint();
+        let mutated = p.run(env(Request::AddEdge { u: 0, v: 39 }));
+        match mutated.outcome {
+            Outcome::Mutated { r_uv, cost, seq, .. } => {
+                assert!(r_uv > 0.0 && cost > 0.0);
+                assert_eq!(seq, 0);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_ne!(p.graph_fingerprint(), fp_before, "mutation must re-key the cache");
+        // The same query now recomputes against the mutated view.
+        let after = p.run(env(Request::Ecc { v: 0 }));
+        assert!(!after.cached, "old-fingerprint cache entry must not answer");
+        assert_eq!(after.tier, Some("approx"), "mutated epoch cannot trust the hull");
+        // Duplicate add is a bad request, not an internal error.
+        let dup = p.run(env(Request::AddEdge { u: 39, v: 0 }));
+        match dup.outcome {
+            Outcome::Error { kind, .. } => assert_eq!(kind, ErrorKind::BadRequest),
+            other => panic!("{other:?}"),
+        }
+        // So is removing an edge that is not there.
+        let view = p.live().view();
+        let g = view.engine.graph();
+        let (a, b) = (0..g.node_count())
+            .flat_map(|a| ((a + 1)..g.node_count()).map(move |b| (a, b)))
+            .find(|&(a, b)| !g.has_edge(a, b))
+            .expect("a sparse graph has absent pairs");
+        let missing = p.run(env(Request::RemoveEdge { u: a, v: b }));
+        match missing.outcome {
+            Outcome::Error { kind, .. } => assert_eq!(kind, ErrorKind::BadRequest),
+            other => panic!("{other:?}"),
+        }
+        let epoch = p.run(env(Request::Epoch));
+        match epoch.outcome {
+            Outcome::EpochInfo { epoch, mutations_in_epoch, .. } => {
+                assert_eq!(epoch, 0);
+                assert_eq!(mutations_in_epoch, 1);
+            }
+            other => panic!("{other:?}"),
+        }
+        let stats = p.run(env(Request::Stats));
+        match stats.outcome {
+            Outcome::Stats(s) => {
+                assert_eq!(s.mutations_applied, 1);
+                assert_eq!(s.epoch, 0);
+                assert_eq!(s.wal_bytes, 0, "ephemeral pool has no WAL");
+                assert_eq!(s.wal_replayed_on_start, 0);
+                assert_eq!(s.resketches_total, 0);
+                assert!(s.error_budget_remaining >= 0.0);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
     fn invalid_arguments_are_bad_requests_not_panics() {
         let p = pool(1, 8);
         for request in [
@@ -747,6 +877,9 @@ mod tests {
             Request::Res { u: 0, v: 400 },
             Request::WhatIfEdge { s: 400, u: 0, v: 1 },
             Request::WhatIfEdge { s: 0, u: 3, v: 3 },
+            Request::AddEdge { u: 0, v: 400 },
+            Request::RemoveEdge { u: 400, v: 0 },
+            Request::AddEdge { u: 3, v: 3 },
         ] {
             let resp = p.run(env(request));
             match resp.outcome {

@@ -9,7 +9,15 @@
 //! | `radius`      | —                 | min eccentricity + center node  |
 //! | `diameter`    | —                 | max eccentricity + node         |
 //! | `whatif-edge` | `s`, `u`, `v`     | ecc of `s` after adding `{u,v}` |
+//! | `add-edge`    | `u`, `v`          | mutate: insert edge, rank-1     |
+//! | `remove-edge` | `u`, `v`          | mutate: delete edge, rank-1     |
+//! | `epoch`       | —                 | epoch number + budget state     |
 //! | `stats`       | —                 | engine / pool / cache counters  |
+//!
+//! The two mutation ops are durably logged (WAL append + fsync) before
+//! the ack; their answers carry the edge's effective resistance, the
+//! error-budget charge, and the sequence number the write-ahead log
+//! assigned.
 //!
 //! Every request may carry an optional `id` (echoed back verbatim, for
 //! pipelined clients) and `deadline_ms` (per-request deadline; the pool
@@ -48,6 +56,22 @@ pub enum Request {
         /// Second endpoint of the hypothetical edge.
         v: usize,
     },
+    /// Durably insert edge `{u, v}` via a rank-1 sketch update.
+    AddEdge {
+        /// First endpoint.
+        u: usize,
+        /// Second endpoint.
+        v: usize,
+    },
+    /// Durably delete edge `{u, v}` via a rank-1 sketch downdate.
+    RemoveEdge {
+        /// First endpoint.
+        u: usize,
+        /// Second endpoint.
+        v: usize,
+    },
+    /// Current epoch number, budget state, and re-sketch progress.
+    Epoch,
     /// Engine, pool, and cache statistics.
     Stats,
 }
@@ -61,6 +85,9 @@ impl Request {
             Request::Radius => "radius",
             Request::Diameter => "diameter",
             Request::WhatIfEdge { .. } => "whatif-edge",
+            Request::AddEdge { .. } => "add-edge",
+            Request::RemoveEdge { .. } => "remove-edge",
+            Request::Epoch => "epoch",
             Request::Stats => "stats",
         }
     }
@@ -105,10 +132,14 @@ pub fn parse_request(line: &str) -> Result<RequestEnvelope, String> {
         "radius" => Request::Radius,
         "diameter" => Request::Diameter,
         "whatif-edge" => Request::WhatIfEdge { s: field("s")?, u: field("u")?, v: field("v")? },
+        "add-edge" => Request::AddEdge { u: field("u")?, v: field("v")? },
+        "remove-edge" => Request::RemoveEdge { u: field("u")?, v: field("v")? },
+        "epoch" => Request::Epoch,
         "stats" => Request::Stats,
         other => {
             return Err(format!(
-                "unknown op {other:?} (known: ecc, res, radius, diameter, whatif-edge, stats)"
+                "unknown op {other:?} (known: ecc, res, radius, diameter, whatif-edge, \
+                 add-edge, remove-edge, epoch, stats)"
             ))
         }
     };
@@ -209,6 +240,18 @@ pub struct StatsReport {
     pub cache_evictions: u64,
     /// Entries currently cached.
     pub cache_entries: usize,
+    /// Current serving epoch (bumped by each completed re-sketch).
+    pub epoch: u64,
+    /// Mutations applied over the engine's life (startup replay included).
+    pub mutations_applied: u64,
+    /// Error budget left in the current epoch.
+    pub error_budget_remaining: f64,
+    /// Background re-sketches completed.
+    pub resketches_total: u64,
+    /// Durable write-ahead log length in bytes (0 without `--wal-dir`).
+    pub wal_bytes: u64,
+    /// WAL records replayed when this process started.
+    pub wal_replayed_on_start: u64,
 }
 
 /// What a request produced.
@@ -228,6 +271,35 @@ pub enum Outcome {
     },
     /// Statistics.
     Stats(StatsReport),
+    /// A durably applied mutation (`add-edge` / `remove-edge`).
+    Mutated {
+        /// Effective resistance of the mutated edge at apply time.
+        r_uv: f64,
+        /// Error-budget charge for this mutation.
+        cost: f64,
+        /// Budget left in the epoch after the charge.
+        budget_remaining: f64,
+        /// Epoch the mutation was applied in.
+        epoch: u64,
+        /// Sequence number the write-ahead log assigned.
+        seq: u64,
+        /// Whether this mutation drained the budget and kicked off a
+        /// background re-sketch.
+        resketch: bool,
+    },
+    /// Answer to the `epoch` op.
+    EpochInfo {
+        /// Current serving epoch.
+        epoch: u64,
+        /// Mutations applied on top of this epoch's base.
+        mutations_in_epoch: u64,
+        /// Total per-epoch error budget.
+        budget_total: f64,
+        /// Budget left.
+        budget_remaining: f64,
+        /// Whether a background re-sketch is in flight.
+        resketch_running: bool,
+    },
     /// A failure.
     Error {
         /// Failure class.
@@ -319,6 +391,41 @@ impl Response {
                 fields.push(("cache_misses".into(), Json::Num(s.cache_misses as f64)));
                 fields.push(("cache_evictions".into(), Json::Num(s.cache_evictions as f64)));
                 fields.push(("cache_entries".into(), Json::Num(s.cache_entries as f64)));
+                fields.push(("epoch".into(), Json::Num(s.epoch as f64)));
+                fields
+                    .push(("mutations_applied".into(), Json::Num(s.mutations_applied as f64)));
+                fields.push((
+                    "error_budget_remaining".into(),
+                    Json::Num(s.error_budget_remaining),
+                ));
+                fields.push(("resketches_total".into(), Json::Num(s.resketches_total as f64)));
+                fields.push(("wal_bytes".into(), Json::Num(s.wal_bytes as f64)));
+                fields.push((
+                    "wal_replayed_on_start".into(),
+                    Json::Num(s.wal_replayed_on_start as f64),
+                ));
+            }
+            Outcome::Mutated { r_uv, cost, budget_remaining, epoch, seq, resketch } => {
+                fields.push(("r_uv".into(), Json::Num(*r_uv)));
+                fields.push(("cost".into(), Json::Num(*cost)));
+                fields.push(("budget_remaining".into(), Json::Num(*budget_remaining)));
+                fields.push(("epoch".into(), Json::Num(*epoch as f64)));
+                fields.push(("seq".into(), Json::Num(*seq as f64)));
+                fields.push(("resketch".into(), Json::Bool(*resketch)));
+            }
+            Outcome::EpochInfo {
+                epoch,
+                mutations_in_epoch,
+                budget_total,
+                budget_remaining,
+                resketch_running,
+            } => {
+                fields.push(("epoch".into(), Json::Num(*epoch as f64)));
+                fields
+                    .push(("mutations_in_epoch".into(), Json::Num(*mutations_in_epoch as f64)));
+                fields.push(("budget_total".into(), Json::Num(*budget_total)));
+                fields.push(("budget_remaining".into(), Json::Num(*budget_remaining)));
+                fields.push(("resketch_running".into(), Json::Bool(*resketch_running)));
             }
             Outcome::Error { kind, message } => {
                 fields.push(("error".into(), str_json(kind.wire_name())));
@@ -356,6 +463,9 @@ mod tests {
                 r#"{"op":"whatif-edge","s":3,"u":0,"v":9}"#,
                 Request::WhatIfEdge { s: 3, u: 0, v: 9 },
             ),
+            (r#"{"op":"add-edge","u":4,"v":11}"#, Request::AddEdge { u: 4, v: 11 }),
+            (r#"{"op":"remove-edge","u":4,"v":11}"#, Request::RemoveEdge { u: 4, v: 11 }),
+            (r#"{"op":"epoch"}"#, Request::Epoch),
             (r#"{"op":"stats"}"#, Request::Stats),
         ];
         for (line, expected) in cases {
@@ -384,6 +494,8 @@ mod tests {
             (r#"{"op":"ecc"}"#, "needs field"),
             (r#"{"op":"ecc","v":-3}"#, "non-negative"),
             (r#"{"op":"res","u":1}"#, "needs field \"v\""),
+            (r#"{"op":"add-edge","u":1}"#, "needs field \"v\""),
+            (r#"{"op":"remove-edge","v":1}"#, "needs field \"u\""),
         ] {
             let err = parse_request(line).unwrap_err();
             assert!(err.contains(needle), "{line}: {err}");
@@ -412,6 +524,53 @@ mod tests {
         assert_eq!(v.get("cached").unwrap().as_bool(), Some(true));
         assert_eq!(v.get("micros").unwrap().as_usize(), Some(12));
         assert_eq!(v.get("queue_micros").unwrap().as_usize(), Some(3));
+    }
+
+    #[test]
+    fn mutation_and_epoch_outcomes_render_their_fields() {
+        let resp = Response {
+            id: None,
+            op: "add-edge",
+            outcome: Outcome::Mutated {
+                r_uv: 0.75,
+                cost: 0.75 / 1.75,
+                budget_remaining: 0.1,
+                epoch: 2,
+                seq: 40,
+                resketch: true,
+            },
+            tier: None,
+            cached: false,
+            compute_micros: 8,
+            queue_micros: 1,
+        };
+        let v = Json::parse(&resp.render()).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("r_uv").unwrap().as_f64(), Some(0.75));
+        assert_eq!(v.get("epoch").unwrap().as_usize(), Some(2));
+        assert_eq!(v.get("seq").unwrap().as_usize(), Some(40));
+        assert_eq!(v.get("resketch").unwrap().as_bool(), Some(true));
+
+        let resp = Response {
+            id: None,
+            op: "epoch",
+            outcome: Outcome::EpochInfo {
+                epoch: 3,
+                mutations_in_epoch: 5,
+                budget_total: 0.3,
+                budget_remaining: 0.05,
+                resketch_running: false,
+            },
+            tier: None,
+            cached: false,
+            compute_micros: 1,
+            queue_micros: 0,
+        };
+        let v = Json::parse(&resp.render()).unwrap();
+        assert_eq!(v.get("epoch").unwrap().as_usize(), Some(3));
+        assert_eq!(v.get("mutations_in_epoch").unwrap().as_usize(), Some(5));
+        assert_eq!(v.get("budget_total").unwrap().as_f64(), Some(0.3));
+        assert_eq!(v.get("resketch_running").unwrap().as_bool(), Some(false));
     }
 
     #[test]

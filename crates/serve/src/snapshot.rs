@@ -447,6 +447,31 @@ impl Default for RetryPolicy {
     }
 }
 
+/// Atomically replace `path` with `bytes`: same-directory temp file +
+/// fsync + rename + parent-directory fsync. Shared with the WAL layer
+/// (`crate::wal`) for epoch graph files and the `CURRENT` pointer, so
+/// every durable-publish step in the serving tier goes through one
+/// audited code path.
+///
+/// # Errors
+///
+/// A human-readable message; the temp file is removed on failure and the
+/// previous contents of `path` (if any) are untouched.
+pub(crate) fn atomic_replace(path: &Path, bytes: &[u8]) -> Result<(), String> {
+    let tmp = temp_sibling(path);
+    let result = write_exclusive(&tmp, bytes).map_err(|e| e.to_string()).and_then(|()| {
+        std::fs::rename(&tmp, path).map_err(|e| {
+            format!("cannot rename {} over {}: {e}", tmp.display(), path.display())
+        })
+    });
+    if let Err(e) = result {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    sync_parent_dir(path);
+    Ok(())
+}
+
 /// A temp path in the same directory as `path` (rename must not cross
 /// filesystems), unique per process so concurrent builders cannot tread
 /// on each other's half-written files.
@@ -472,7 +497,7 @@ fn write_exclusive(tmp: &Path, bytes: &[u8]) -> Result<(), SnapshotError> {
 /// Best-effort fsync of the directory entry after a rename; on platforms
 /// or filesystems where opening a directory fails this is skipped — the
 /// rename itself already guarantees no torn file is visible.
-fn sync_parent_dir(path: &Path) {
+pub(crate) fn sync_parent_dir(path: &Path) {
     #[cfg(unix)]
     {
         let parent = path.parent().filter(|p| !p.as_os_str().is_empty());

@@ -15,12 +15,13 @@ use std::path::PathBuf;
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::time::{Duration, Instant};
 
-use reecc_core::{exact_query, QueryEngine, SketchParams};
+use reecc_core::{exact_query, ExactResistance, QueryEngine, SketchParams};
 use reecc_graph::generators::barabasi_albert;
 use reecc_graph::Graph;
 use reecc_serve::failpoint::{self, Action};
 use reecc_serve::{
-    PoolConfig, Request, RequestEnvelope, ServePool, SketchSnapshot, SnapshotError,
+    LiveConfig, LiveEngine, LiveError, PoolConfig, Request, RequestEnvelope, ServePool,
+    SketchSnapshot, SnapshotError, WalOp,
 };
 
 const N: usize = 120;
@@ -217,6 +218,249 @@ fn drain_under_load_meets_its_deadline_and_accounts_for_every_request() {
         draining_errors, report.dropped,
         "dropped requests must be told they were dropped"
     );
+}
+
+/// Scenario 4 (durability chaos): a stream of random mutations against a
+/// WAL-backed live engine, with an fsync fault injected mid-stream, then a
+/// simulated crash (nothing flushed beyond the WAL's acks) and a restart
+/// from the directory alone. The contract: the faulted mutation is a typed
+/// error with no partial state, replay reproduces the pre-crash sketch
+/// bitwise, and every pairwise resistance of the recovered engine matches
+/// a from-scratch exact computation on the mutated graph within the sketch
+/// guarantee plus the accumulated error-budget spend.
+#[test]
+fn random_mutations_survive_a_wal_fault_and_a_crash_restart() {
+    let _guard = chaos_lock();
+    failpoint::clear("wal.append");
+    let dir = temp_path("live-chaos-wal");
+    let _ = std::fs::remove_dir_all(&dir);
+    // A huge budget keeps the background re-sketch out of this scenario;
+    // scenario 5 covers the swap path.
+    let config = LiveConfig { wal_dir: Some(dir.clone()), error_budget: Some(1e9) };
+    let (live, recovered) = LiveEngine::open(engine(), &config).unwrap();
+    assert!(!recovered, "fresh dir must bootstrap");
+
+    // Deterministic LCG mutation stream, mirrored into a model edge set so
+    // the final graph can be rebuilt from scratch for ground truth.
+    let mut edges: std::collections::BTreeSet<(usize, usize)> =
+        graph().edges().iter().map(|e| (e.u, e.v)).collect();
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state >> 16
+    };
+    let mut accepted = 0u64;
+    let mut spent = 0.0f64;
+    let step = |live: &Arc<LiveEngine>,
+                edges: &mut std::collections::BTreeSet<(usize, usize)>,
+                next: &mut dyn FnMut() -> u64,
+                want_remove: bool|
+     -> Option<f64> {
+        for _ in 0..1000 {
+            let (op, u, v) = if want_remove {
+                let idx = (next() % edges.len() as u64) as usize;
+                let &(u, v) = edges.iter().nth(idx).unwrap();
+                (WalOp::RemoveEdge, u, v)
+            } else {
+                let (u, v) = ((next() % N as u64) as usize, (next() % N as u64) as usize);
+                if u == v || edges.contains(&(u.min(v), u.max(v))) {
+                    continue;
+                }
+                (WalOp::AddEdge, u, v)
+            };
+            match live.apply_mutation(op, u, v) {
+                Ok(receipt) => {
+                    let key = (u.min(v), u.max(v));
+                    if want_remove {
+                        edges.remove(&key);
+                    } else {
+                        edges.insert(key);
+                    }
+                    return Some(receipt.cost);
+                }
+                // Disconnecting removals are typed rejections; pick again.
+                Err(LiveError::Rejected(_)) if want_remove => continue,
+                Err(e) => panic!("unexpected mutation failure ({op:?} {u} {v}): {e}"),
+            }
+        }
+        None
+    };
+    for i in 0..24u64 {
+        if i == 12 {
+            // Mid-stream fsync fault on a guaranteed-accepted add: the ack
+            // must be a typed WAL error, nothing published, nothing logged.
+            let (fu, fv) = (0..N)
+                .flat_map(|a| (a + 1..N).map(move |b| (a, b)))
+                .find(|&(a, b)| !edges.contains(&(a, b)))
+                .unwrap();
+            let fp_before = live.view().fingerprint;
+            failpoint::configure("wal.append", Action::IoError, Some(1));
+            let err = live.apply_mutation(WalOp::AddEdge, fu, fv).unwrap_err();
+            assert!(matches!(err, LiveError::Wal(_)), "fsync fault must be typed: {err}");
+            assert_eq!(live.view().fingerprint, fp_before, "faulted mutation must not publish");
+            assert_eq!(live.mutations_applied(), accepted, "faulted mutation must not count");
+            // The rolled-back log accepts the very same mutation afterwards.
+            let receipt = live.apply_mutation(WalOp::AddEdge, fu, fv).unwrap();
+            edges.insert((fu, fv));
+            accepted += 1;
+            spent += receipt.cost;
+        }
+        let cost = step(&live, &mut edges, &mut next, i % 3 == 2)
+            .expect("a sparse 120-node graph always has an applicable mutation");
+        accepted += 1;
+        spent += cost;
+    }
+    assert_eq!(live.mutations_applied(), accepted);
+    let served = live.view();
+    drop(live); // simulated kill -9: only the WAL acks survive
+
+    let restarted = LiveEngine::recover(&dir, Some(1e9)).unwrap();
+    assert_eq!(restarted.wal_replayed_on_start(), accepted);
+    let view = restarted.view();
+    assert_eq!(view.fingerprint, served.fingerprint, "replay must land on the same graph");
+
+    // Ground truth: rebuild the mutated graph from the model edge set.
+    let model = Graph::from_edges(N, edges.iter().copied()).unwrap();
+    assert_eq!(reecc_graph::fingerprint(&model), view.fingerprint);
+    let exact = ExactResistance::new(&model).unwrap();
+    let tol = EPS + spent;
+    for u in 0..N {
+        for v in (u + 1)..N {
+            let a = served.engine.resistance(u, v);
+            let b = view.engine.resistance(u, v);
+            assert_eq!(a.to_bits(), b.to_bits(), "r({u},{v}) replay drift: {a} vs {b}");
+            let truth = exact.resistance(u, v);
+            assert!(
+                (b - truth).abs() <= tol * truth + 1e-9,
+                "r({u},{v}): recovered {b} vs exact {truth} (tol {tol})"
+            );
+        }
+    }
+    failpoint::clear("wal.append");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Scenario 4b (replay + swap faults): the remaining two of the four new
+/// failpoint sites. A fault during startup replay must be a typed
+/// `Replay` error (and a clean retry must then recover the exact state);
+/// a fault at `epoch.swap` — after the new epoch is durably written,
+/// before the `CURRENT` flip — must abort the commit, leave the old
+/// epoch current with no orphaned files, and keep the directory fully
+/// recoverable. Never a panic, never silently-wrong answers.
+#[test]
+fn replay_and_swap_faults_are_typed_and_leave_a_recoverable_directory() {
+    let _guard = chaos_lock();
+    failpoint::clear("wal.replay");
+    failpoint::clear("epoch.swap");
+    let dir = temp_path("live-chaos-fp");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut absent = (0..N)
+        .flat_map(|a| (a + 1..N).map(move |b| (a, b)))
+        .filter(|&(a, b)| !graph().has_edge(a, b));
+    let (u1, v1) = absent.next().unwrap();
+    let (u2, v2) = absent.next().unwrap();
+
+    let config = LiveConfig { wal_dir: Some(dir.clone()), error_budget: Some(1e9) };
+    let (live, _) = LiveEngine::open(engine(), &config).unwrap();
+    live.apply_mutation(WalOp::AddEdge, u1, v1).unwrap();
+    live.apply_mutation(WalOp::AddEdge, u2, v2).unwrap();
+    let served = live.view();
+    drop(live); // crash with two acked records in the WAL
+
+    // Armed replay fault: startup must fail with a typed WAL error — not
+    // panic, and not serve a half-replayed engine.
+    failpoint::configure("wal.replay", Action::IoError, Some(1));
+    match LiveEngine::recover(&dir, Some(1e9)) {
+        Err(LiveError::Wal(_)) => {}
+        Err(other) => panic!("armed wal.replay must be a typed WAL error: {other}"),
+        Ok(_) => panic!("armed wal.replay must fail recovery"),
+    }
+    // Disarmed retry: the exact pre-crash state comes back bitwise.
+    let recovered = LiveEngine::recover(&dir, Some(1e9)).unwrap();
+    assert_eq!(recovered.wal_replayed_on_start(), 2);
+    assert_eq!(recovered.view().fingerprint, served.fingerprint);
+    let (a, b) = (served.engine.resistance(u1, v2), recovered.view().engine.resistance(u1, v2));
+    assert_eq!(a.to_bits(), b.to_bits(), "replay drift: {a} vs {b}");
+
+    // Armed swap fault: drain the budget so a re-sketch runs, and fail the
+    // commit between "new epoch durable" and "CURRENT flips". The old
+    // epoch must stay current and the aborted epoch's files must be gone.
+    failpoint::configure("epoch.swap", Action::IoError, Some(1));
+    let receipt = {
+        // Re-open as a live engine with a tiny budget: the recovery above
+        // already spent nothing, so drop it and recover with the budget
+        // that makes the next mutation kick the re-sketch.
+        drop(recovered);
+        let live = LiveEngine::recover(&dir, Some(1e-9)).unwrap();
+        let receipt = live.apply_mutation(WalOp::RemoveEdge, u2, v2).unwrap();
+        live.join_resketch();
+        assert_eq!(live.epoch(), 0, "faulted swap must not advance the epoch");
+        assert_eq!(live.resketches_total(), 0);
+        assert_eq!(live.mutations_in_epoch(), 3, "delta survives the aborted commit");
+        drop(live);
+        receipt
+    };
+    assert!(receipt.resketch_kicked, "{receipt:?}");
+    assert_eq!(failpoint::fired("epoch.swap"), 1);
+    assert_eq!(reecc_serve::wal::read_current(&dir).unwrap(), Some(0), "CURRENT never flipped");
+    assert!(!reecc_serve::wal::graph_path(&dir, 1).exists(), "aborted epoch files cleaned");
+    assert!(!reecc_serve::wal::sketch_path(&dir, 1).exists());
+    assert!(!reecc_serve::wal::wal_path(&dir, 1).exists());
+
+    // And the directory still recovers: epoch 0 plus all three records.
+    let after = LiveEngine::recover(&dir, Some(1e9)).unwrap();
+    assert_eq!(after.wal_replayed_on_start(), 3);
+    assert!(!after.view().engine.graph().has_edge(u2, v2), "removal survived the crash");
+    failpoint::clear("wal.replay");
+    failpoint::clear("epoch.swap");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Scenario 5 (non-blocking epoch swap): drain the budget so a background
+/// re-sketch kicks off, hold that build open with a delay failpoint, and
+/// show that readers keep getting answers on the old epoch the whole time.
+/// Once the build is released, the swap lands: epoch 1, "fast" tier again.
+#[test]
+fn epoch_swap_never_blocks_readers() {
+    let _guard = chaos_lock();
+    failpoint::clear("resketch.build");
+    // Hold the background build open for longer than the reader phase.
+    failpoint::configure("resketch.build", Action::Delay(1500), None);
+    // A tiny budget: the very first mutation drains it and kicks the build.
+    let pool = ServePool::with_live(
+        LiveEngine::ephemeral(engine(), Some(1e-9)),
+        PoolConfig { threads: 2, queue_depth: 64, ..Default::default() },
+    );
+    let live = Arc::clone(pool.live());
+    let (u, v) = (0..N)
+        .flat_map(|a| (a + 1..N).map(move |b| (a, b)))
+        .find(|&(a, b)| !graph().has_edge(a, b))
+        .unwrap();
+    let receipt = live.apply_mutation(WalOp::AddEdge, u, v).unwrap();
+    assert!(receipt.resketch_kicked, "{receipt:?}");
+    assert!(live.resketch_running(), "the re-sketch must be in flight");
+    assert_eq!(live.epoch(), 0);
+
+    // Readers during the build: all answered, promptly, on the old epoch.
+    let started = Instant::now();
+    for i in 0..8u64 {
+        let response = pool.run(ecc_request((i as usize * 7) % N, i));
+        assert!(response.is_ok(), "reader blocked or failed: {}", response.render());
+    }
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < Duration::from_millis(1000),
+        "readers must not wait for the re-sketch: {elapsed:?}"
+    );
+    assert_eq!(live.epoch(), 0, "the swap must not have landed mid-build");
+    assert_eq!(pool.tier_name(), "approx", "mutated pre-swap view cannot trust its hull");
+
+    failpoint::clear("resketch.build");
+    live.join_resketch();
+    assert_eq!(live.epoch(), 1, "released build must swap in the fresh epoch");
+    assert_eq!(live.resketches_total(), 1);
+    assert_eq!(pool.tier_name(), "fast", "fresh epoch restores the fast tier");
+    assert!(pool.live().view().engine.graph().has_edge(u, v), "mutation survives the swap");
 }
 
 /// The env-var grammar that the CLI smoke test uses must parse: one armed

@@ -11,8 +11,8 @@ use reecc_graph::generators::barabasi_albert;
 use reecc_graph::{fingerprint, Graph};
 use reecc_serve::json::Json;
 use reecc_serve::{
-    serve_pipe, PoolConfig, Request, RequestEnvelope, ServePool, SketchSnapshot, SnapshotError,
-    SubmitError, TcpServer,
+    serve_pipe, LiveConfig, LiveEngine, PoolConfig, Request, RequestEnvelope, ServePool,
+    SketchSnapshot, SnapshotError, SubmitError, TcpServer,
 };
 
 const N: usize = 200;
@@ -264,6 +264,124 @@ fn expired_deadline_is_never_computed() {
     assert!(!dated.is_ok());
     assert!(dated.render().contains("deadline-exceeded"), "{}", dated.render());
     assert!(busy.recv().unwrap().is_ok());
+}
+
+/// First (u, v) pair that is not an edge of the shared test graph — a
+/// mutation target that `add-edge` is guaranteed to accept.
+fn absent_pair() -> (usize, usize) {
+    let g = graph();
+    (0..N)
+        .flat_map(|a| (a + 1..N).map(move |b| (a, b)))
+        .find(|&(a, b)| !g.has_edge(a, b))
+        .expect("BA(200, 2) is sparse")
+}
+
+#[test]
+fn stats_wire_reports_live_mutation_fields() {
+    // A huge explicit budget keeps the session deterministic: no background
+    // re-sketch can kick in and race the field assertions.
+    let live = LiveEngine::ephemeral(engine(), Some(64.0));
+    let pool = ServePool::with_live(live, PoolConfig { threads: 2, ..Default::default() });
+    let (u, v) = absent_pair();
+    let input = format!(
+        "{{\"op\":\"stats\",\"id\":0}}\n\
+         {{\"op\":\"add-edge\",\"u\":{u},\"v\":{v},\"id\":1}}\n\
+         {{\"op\":\"stats\",\"id\":2}}\n\
+         {{\"op\":\"epoch\",\"id\":3}}\n"
+    );
+    let mut output = Vec::new();
+    let stats = serve_pipe(&pool, BufReader::new(input.as_bytes()), &mut output).unwrap();
+    assert_eq!((stats.requests, stats.errors), (4, 0), "{}", String::from_utf8_lossy(&output));
+    let text = String::from_utf8(output).unwrap();
+    let lines: Vec<Json> = text.lines().map(|l| Json::parse(l).unwrap()).collect();
+
+    // Pristine stats: epoch 0, nothing applied, full budget, no WAL.
+    let field =
+        |j: &Json, k: &str| j.get(k).and_then(Json::as_f64).unwrap_or_else(|| panic!("{k}"));
+    assert_eq!(field(&lines[0], "epoch"), 0.0);
+    assert_eq!(field(&lines[0], "mutations_applied"), 0.0);
+    assert_eq!(field(&lines[0], "error_budget_remaining"), 64.0);
+    assert_eq!(field(&lines[0], "resketches_total"), 0.0);
+    assert_eq!(field(&lines[0], "wal_bytes"), 0.0);
+    assert_eq!(field(&lines[0], "wal_replayed_on_start"), 0.0);
+
+    // The mutation ack carries the resistance, its budget charge, and seq 0.
+    assert_eq!(lines[1].get("ok").and_then(Json::as_bool), Some(true), "{}", text);
+    let r_uv = field(&lines[1], "r_uv");
+    let cost = field(&lines[1], "cost");
+    assert!(r_uv > 0.0 && cost > 0.0 && cost < 1.0, "add cost r/(1+r): r={r_uv} cost={cost}");
+    assert!((cost - r_uv / (1.0 + r_uv)).abs() < 1e-12);
+    assert_eq!(field(&lines[1], "seq"), 0.0);
+    assert_eq!(lines[1].get("resketch").and_then(Json::as_bool), Some(false));
+
+    // Post-mutation stats: counter bumped, budget charged, still epoch 0,
+    // and wal_bytes stays 0 because this live engine is ephemeral.
+    assert_eq!(field(&lines[2], "mutations_applied"), 1.0);
+    assert!((field(&lines[2], "error_budget_remaining") - (64.0 - cost)).abs() < 1e-9);
+    assert_eq!(field(&lines[2], "epoch"), 0.0);
+    assert_eq!(field(&lines[2], "resketches_total"), 0.0);
+    assert_eq!(field(&lines[2], "wal_bytes"), 0.0);
+
+    // The epoch op agrees with stats.
+    assert_eq!(field(&lines[3], "epoch"), 0.0);
+    assert_eq!(field(&lines[3], "mutations_in_epoch"), 1.0);
+    assert_eq!(field(&lines[3], "budget_total"), 64.0);
+    assert_eq!(lines[3].get("resketch_running").and_then(Json::as_bool), Some(false));
+}
+
+#[test]
+fn wal_backed_pipe_session_recovers_after_restart() {
+    let dir = temp_path("wal-session");
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = LiveConfig { wal_dir: Some(dir.clone()), error_budget: Some(64.0) };
+    let (live, recovered) = LiveEngine::open(engine(), &config).unwrap();
+    assert!(!recovered, "fresh dir must bootstrap, not recover");
+    let pool = ServePool::with_live(live, PoolConfig { threads: 2, ..Default::default() });
+
+    let g = graph();
+    let mut absent = (0..N)
+        .flat_map(|a| (a + 1..N).map(move |b| (a, b)))
+        .filter(|&(a, b)| !g.has_edge(a, b));
+    let (u1, v1) = absent.next().unwrap();
+    let (u2, v2) = absent.next().unwrap();
+    // Add two edges, then remove the first: the removal can never be a
+    // disconnecting bridge (the base graph was already connected without
+    // it), so every mutation in the session is accepted deterministically.
+    let input = format!(
+        "{{\"op\":\"add-edge\",\"u\":{u1},\"v\":{v1},\"id\":0}}\n\
+         {{\"op\":\"add-edge\",\"u\":{u2},\"v\":{v2},\"id\":1}}\n\
+         {{\"op\":\"remove-edge\",\"u\":{u1},\"v\":{v1},\"id\":2}}\n\
+         {{\"op\":\"res\",\"u\":{u2},\"v\":{v2},\"id\":3}}\n\
+         {{\"op\":\"stats\",\"id\":4}}\n"
+    );
+    let mut output = Vec::new();
+    let stats = serve_pipe(&pool, BufReader::new(input.as_bytes()), &mut output).unwrap();
+    let text = String::from_utf8(output).unwrap();
+    assert_eq!((stats.requests, stats.errors), (5, 0), "{text}");
+    let lines: Vec<Json> = text.lines().map(|l| Json::parse(l).unwrap()).collect();
+    let served_res = lines[3].get("value").and_then(Json::as_f64).unwrap();
+    // Three fsynced records on top of the 28-byte header.
+    let expected_bytes =
+        (reecc_serve::wal::HEADER_LEN + 3 * reecc_serve::wal::RECORD_LEN) as f64;
+    assert_eq!(
+        lines[4].get("wal_bytes").and_then(Json::as_f64),
+        Some(expected_bytes),
+        "{text}"
+    );
+
+    // Simulate a crash: drop the pool without any snapshot/rotation step,
+    // then restart from the directory alone.
+    drop(pool);
+    let restarted = LiveEngine::recover(&dir, Some(64.0)).unwrap();
+    assert_eq!(restarted.wal_replayed_on_start(), 3);
+    let (u, v) = (u2, v2);
+    let replayed = restarted.view().engine.resistance(u, v);
+    assert_eq!(
+        replayed.to_bits(),
+        served_res.to_bits(),
+        "replay must reproduce the served answer bitwise: {replayed} vs {served_res}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
