@@ -22,20 +22,34 @@
 //! candidate pool, recording candidates/s, the speedup, and whether both
 //! paths pick the same best edge.
 //!
+//! A fourth record (also `BENCH_optimize.json`, `"bench": "job_latency"`)
+//! measures end-to-end optimization-as-a-service latency: the same SIMPLE
+//! greedy plan produced as a serial CLI batch call and as a served
+//! background job (eager and CELF-lazy), submit → result, with the served
+//! plans checked edge-for-edge against the batch answer. SIMPLE is exact
+//! (dense pseudoinverse solves), so this pass is skipped above 5 000
+//! nodes — run the ci tier for the job-latency record.
+//!
 //! The bin never fails on a threshold — slowdowns are reported, not
 //! enforced, so it is safe as a CI step — but it exits non-zero if the
-//! scalar and blocked sketches are not bitwise identical, or if the
-//! serial and blocked candidate evaluations choose different best edges,
-//! because those are correctness bugs, not performance regressions.
+//! scalar and blocked sketches are not bitwise identical, if the serial
+//! and blocked candidate evaluations choose different best edges, or if
+//! a served job's plan diverges from the CLI batch, because those are
+//! correctness bugs, not performance regressions.
 
-use std::time::{SystemTime, UNIX_EPOCH};
+use std::sync::Arc;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use reecc_bench::{timed, HarnessArgs};
 use reecc_core::sketch::ResistanceSketch;
-use reecc_core::SketchParams;
+use reecc_core::{QueryEngine, SketchParams};
 use reecc_datasets::{preprocess, Dataset};
 use reecc_graph::Edge;
-use reecc_opt::{CandidateEvaluator, CandidateScore};
+use reecc_opt::{
+    simple_greedy_with_diagnostics, CandidateEvaluator, CandidateScore, Problem, SimpleOptions,
+};
+use reecc_serve::jobs::{JobRunner, JobSpec, JobsConfig, OptimizerKind};
+use reecc_serve::LiveEngine;
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -209,6 +223,129 @@ fn main() {
         },
     );
     append_record("BENCH_optimize.json", &optimize_record);
+
+    // End-to-end job latency: the same SIMPLE greedy plan three ways —
+    // serial CLI batch (eager and CELF-lazy), then the identical specs as
+    // served background jobs measured submit → result. Closes the ROADMAP
+    // note to measure end-to-end job latency, not just candidates/s.
+    // SIMPLE is exact (dense pseudoinverse solves), so the pass is capped
+    // to graphs where a batch run takes seconds, not hours.
+    const JOB_LATENCY_MAX_N: usize = 5_000;
+    if n > JOB_LATENCY_MAX_N {
+        eprintln!(
+            "skipping job-latency pass: SIMPLE is exact and n={n} > {JOB_LATENCY_MAX_N} \
+             (run --tier ci for the end-to-end record)"
+        );
+    } else {
+        let k = 3usize;
+        eprintln!("running SIMPLE/REMD k={k} from source {source} as a CLI batch ...");
+        let ((batch_eager, _), batch_eager_secs) = timed(|| {
+            simple_greedy_with_diagnostics(
+                &g,
+                Problem::Remd,
+                k,
+                source,
+                SimpleOptions { threads: 1, lazy: false },
+            )
+            .expect("bench graphs accept a REMD plan")
+        });
+        let ((batch_lazy, _), batch_lazy_secs) = timed(|| {
+            simple_greedy_with_diagnostics(
+                &g,
+                Problem::Remd,
+                k,
+                source,
+                SimpleOptions { threads: 1, lazy: true },
+            )
+            .expect("bench graphs accept a REMD plan")
+        });
+        eprintln!("building a query engine for the served-job latency pass ...");
+        let engine =
+            Arc::new(QueryEngine::build(&g, &base).expect("bench graphs are connected"));
+        let live = LiveEngine::ephemeral(engine, None);
+        let jobs_config = JobsConfig { max_jobs: 1, queue_depth: 4, job_dir: None };
+        let runner = JobRunner::start(live, &jobs_config, Box::new(|| false))
+            .expect("ephemeral job runner starts");
+        let serve_job = |lazy: bool| {
+            let spec = JobSpec {
+                optimizer: OptimizerKind::Simple,
+                source,
+                k,
+                eps,
+                threads: 1,
+                block_size: 0,
+                lazy,
+                remd: true,
+                seed,
+            };
+            let start = Instant::now();
+            let id = runner.submit(spec).expect("fresh queue has room");
+            let report = runner.wait(id, Duration::from_secs(3600)).expect("job exists");
+            (report, start.elapsed().as_micros() as u64)
+        };
+        eprintln!("serving the same spec as background jobs (eager, then lazy) ...");
+        let (eager_report, eager_micros) = serve_job(false);
+        let (lazy_report, lazy_micros) = serve_job(true);
+        runner.shutdown();
+        let plan_matches = |plan: &[(usize, usize, f64)], batch: &[Edge]| {
+            plan.len() == batch.len()
+                && plan.iter().zip(batch).all(|(p, e)| (p.0, p.1) == (e.u, e.v))
+        };
+        // The served plans must be the batch answers edge-for-edge, and the
+        // eager/lazy served scores bitwise identical (CELF only skips work).
+        let job_plan_match = eager_report.state == "completed"
+            && lazy_report.state == "completed"
+            && plan_matches(&eager_report.plan, &batch_eager)
+            && plan_matches(&lazy_report.plan, &batch_lazy)
+            && eager_report.plan.len() == lazy_report.plan.len()
+            && eager_report
+                .plan
+                .iter()
+                .zip(&lazy_report.plan)
+                .all(|(a, b)| a.2.to_bits() == b.2.to_bits());
+        let plan_json: Vec<String> = lazy_report
+            .plan
+            .iter()
+            .map(|&(u, v, score)| {
+                format!("{{\"u\": {u}, \"v\": {v}, \"score\": {score:.12e}}}")
+            })
+            .collect();
+        let job_record = format!(
+            "  {{\n    \"bench\": \"job_latency\",\n    \"unix_time\": {unix_time},\n    \
+         \"graph\": \"{name}\",\n    \"tier\": \"{tier_name}\",\n    \"n\": {n},\n    \
+         \"m\": {m},\n    \"epsilon\": {eps},\n    \"source\": {source},\n    \
+         \"k\": {k},\n    \"threads\": 1,\n    \
+         \"batch\": {{\"eager_wall_ms\": {bems:.3}, \"lazy_wall_ms\": {blms:.3}}},\n    \
+         \"job\": {{\"eager_submit_to_result_micros\": {eager_micros}, \
+         \"lazy_submit_to_result_micros\": {lazy_micros}, \
+         \"eager_run_micros\": {erm}, \"lazy_run_micros\": {lrm}}},\n    \
+         \"chosen_edge_match\": {job_plan_match},\n    \
+         \"plan\": [{plan}]\n  }}",
+            bems = batch_eager_secs * 1e3,
+            blms = batch_lazy_secs * 1e3,
+            erm = eager_report.wall_micros,
+            lrm = lazy_report.wall_micros,
+            plan = plan_json.join(", "),
+        );
+        append_record("BENCH_optimize.json", &job_record);
+        println!(
+            "job latency (SIMPLE/REMD k={k}, source {source}): batch eager {:.1} ms / lazy \
+         {:.1} ms; served job eager {:.1} ms / lazy {:.1} ms submit-to-result, plan \
+         match: {job_plan_match}",
+            batch_eager_secs * 1e3,
+            batch_lazy_secs * 1e3,
+            eager_micros as f64 / 1e3,
+            lazy_micros as f64 / 1e3,
+        );
+        if !job_plan_match {
+            eprintln!(
+                "FAIL: served job plans diverged from the CLI batch \
+             (eager: {:?}, lazy: {:?})",
+                eager_report.state, lazy_report.state
+            );
+            std::process::exit(1);
+        }
+    }
 
     println!(
         "{name} (tier {tier_name}, n={n}, m={m}, eps={eps}, d={}): scalar {:.1} ms \

@@ -21,8 +21,8 @@ use reecc_opt::{
     OptimizeParams, Problem, SimpleOptions,
 };
 use reecc_serve::{
-    serve_pipe, LiveConfig, LiveEngine, LiveError, PoolConfig, RetryPolicy, ServePool,
-    SketchSnapshot, SnapshotError, TcpServer,
+    serve_pipe, JobsConfig, LiveConfig, LiveEngine, LiveError, PoolConfig, RetryPolicy,
+    ServePool, SketchSnapshot, SnapshotError, TcpServer,
 };
 
 use crate::parse::{parse_command, Algorithm, Command, Model, QueryMethod};
@@ -69,6 +69,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             lcc,
             wal_dir,
             error_budget,
+            max_jobs,
+            job_dir,
         } => serve(
             &path,
             snapshot.as_deref(),
@@ -79,6 +81,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             lcc,
             wal_dir.as_deref(),
             error_budget,
+            max_jobs,
+            job_dir.as_deref(),
         ),
     }
 }
@@ -396,6 +400,8 @@ fn serve(
     lcc: bool,
     wal_dir: Option<&str>,
     error_budget: Option<f64>,
+    max_jobs: usize,
+    job_dir: Option<&str>,
 ) -> Result<String, CliError> {
     // Recovery-first startup: if the WAL dir already holds a durable epoch,
     // that state supersedes the edge list and any --snapshot — replaying it
@@ -448,10 +454,29 @@ fn serve(
         }
         live
     };
-    let pool = ServePool::with_live(
+    // `--max-jobs 0` switches the background optimization subsystem off;
+    // job checkpoints live next to the data the operator chose, never in
+    // an implicit location.
+    let jobs = (max_jobs > 0).then(|| JobsConfig {
+        max_jobs,
+        queue_depth: 16,
+        job_dir: job_dir.map(std::path::PathBuf::from),
+    });
+    let pool = ServePool::with_live_and_jobs(
         live,
         PoolConfig { threads, queue_depth, snapshot_retries, ..Default::default() },
-    );
+        jobs,
+    )
+    .map_err(|e| CliError::Io(format!("cannot start job runner: {e}")))?;
+    if let Some(runner) = pool.jobs() {
+        let resumed = runner.resumed_on_start();
+        if resumed > 0 {
+            eprintln!(
+                "resumed {resumed} checkpointed optimization job(s) from {}",
+                job_dir.unwrap_or("?")
+            );
+        }
+    }
     // Echo the count the pool actually resolved (0 = auto), not the flag.
     let threads = pool.threads();
     // All serving chatter goes to stderr: stdout is the response stream in

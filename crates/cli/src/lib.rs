@@ -76,6 +76,7 @@ USAGE:
   reecc serve    <edges.txt> [--snapshot SNAPSHOT] [--addr HOST:PORT]
                  [--threads N (0 = auto)] [--queue-depth D] [--eps X] [--lcc]
                  [--wal-dir DIR] [--error-budget X]
+                 [--max-jobs N (0 = no job subsystem)] [--job-dir DIR]
 
 Edge-list format: one `u v` pair per line; `#`/`%` comments; ids remapped densely.
 Disconnected inputs are rejected; pass --lcc to analyze the largest connected
@@ -86,8 +87,10 @@ and fingerprint before reporting success (snapshots are written atomically:
 temp file + fsync + rename).
 
 `serve` answers newline-delimited JSON requests (`{\"op\":\"ecc\",\"v\":17}`; ops
-ecc | res | radius | diameter | whatif-edge | add-edge | remove-edge | epoch |
-stats) over stdin/stdout, or over TCP with --addr. With --snapshot it reuses a
+ecc | res | radius | diameter | whatif-edge | whatif-remove-edge | add-edge |
+remove-edge | epoch | stats | optimize-submit | optimize-status |
+optimize-cancel | optimize-events | optimize-result) over stdin/stdout, or
+over TCP with --addr. With --snapshot it reuses a
 sketch built by `sketch-build` instead of rebuilding; the snapshot must match
 the graph (fingerprint-checked, transient load errors retried with backoff).
 Worker panics are contained and the worker respawned; on shutdown the pool
@@ -102,6 +105,14 @@ error budget (default: the sketch eps; override with --error-budget); when it
 drains, a background re-sketch rebuilds the sketch and swaps in a fresh epoch
 without blocking readers. Fault injection for testing:
 REECC_FAILPOINTS='site=action[;...]' (see reecc-serve docs).
+
+optimize-submit runs the edge-addition optimizers (simple | farminrecc |
+cenminrecc | chminrecc | minrecc) as background jobs on --max-jobs
+low-priority runner threads that yield to queries; optimize-events streams
+per-iteration progress, optimize-cancel stops a job between iterations. With
+--job-dir every accepted edge is checkpointed + fsynced, so a killed server
+restarted with the same --job-dir resumes interrupted jobs bitwise
+identically.
 
 Exit codes: 0 ok, 2 usage, 3 i/o, 4 graph input, 5 computation.
 ";

@@ -89,7 +89,8 @@ pub enum Command {
         path: String,
     },
     /// `reecc serve <file> [--snapshot SNAP] [--addr HOST:PORT] [--threads N]
-    /// [--queue-depth D] [--eps X] [--lcc] [--wal-dir DIR] [--error-budget X]`
+    /// [--queue-depth D] [--eps X] [--lcc] [--wal-dir DIR] [--error-budget X]
+    /// [--max-jobs N] [--job-dir DIR]`
     Serve {
         /// Edge-list path (always needed: snapshots store a fingerprint,
         /// not the graph).
@@ -113,6 +114,12 @@ pub enum Command {
         /// Per-epoch error budget for rank-1 mutations; defaults to the
         /// sketch ε when absent.
         error_budget: Option<f64>,
+        /// Concurrent background optimization jobs (`optimize-submit`);
+        /// `0` disables the job subsystem.
+        max_jobs: usize,
+        /// Directory for durable job checkpoints; jobs interrupted by a
+        /// crash or restart resume from it.
+        job_dir: Option<String>,
     },
     /// `reecc help` / `--help`.
     Help,
@@ -444,6 +451,8 @@ pub fn parse_command(args: &[String]) -> Result<Command, CliError> {
                 "lcc",
                 "wal-dir",
                 "error-budget",
+                "max-jobs",
+                "job-dir",
             ])?;
             if flags.has("help") {
                 return Ok(Command::Help);
@@ -485,6 +494,8 @@ pub fn parse_command(args: &[String]) -> Result<Command, CliError> {
                 lcc: flags.has("lcc"),
                 wal_dir: flags.get("wal-dir").map(|s| s.to_string()),
                 error_budget,
+                max_jobs: parse_usize(&flags, "max-jobs")?.unwrap_or(1),
+                job_dir: flags.get("job-dir").map(|s| s.to_string()),
             })
         }
         other => Err(CliError::Usage(format!("unknown subcommand {other:?}"))),
@@ -703,6 +714,36 @@ mod tests {
         ] {
             assert!(matches!(parse(&bad), Err(CliError::Usage(_))), "{bad:?}");
         }
+    }
+
+    #[test]
+    fn serve_job_flags_parse_with_defaults() {
+        let cmd = parse(&["serve", "g.txt"]).unwrap();
+        match cmd {
+            Command::Serve { max_jobs, job_dir, .. } => {
+                assert_eq!(max_jobs, 1, "one background job slot by default");
+                assert_eq!(job_dir, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd =
+            parse(&["serve", "g.txt", "--max-jobs", "3", "--job-dir", "/tmp/jobs"]).unwrap();
+        match cmd {
+            Command::Serve { max_jobs, job_dir, .. } => {
+                assert_eq!(max_jobs, 3);
+                assert_eq!(job_dir.as_deref(), Some("/tmp/jobs"));
+            }
+            other => panic!("{other:?}"),
+        }
+        // 0 is the explicit off switch, not an error.
+        match parse(&["serve", "g.txt", "--max-jobs", "0"]) {
+            Ok(Command::Serve { max_jobs: 0, .. }) => {}
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            parse(&["serve", "g.txt", "--max-jobs", "x"]),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

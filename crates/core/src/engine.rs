@@ -29,7 +29,9 @@ use reecc_linalg::cg::CgWorkspace;
 
 use crate::query::default_hull_budget;
 use crate::sketch::{ResistanceSketch, SketchParams};
-use crate::update::{solve_edge_potentials_with, updated_eccentricity};
+use crate::update::{
+    solve_edge_potentials_with, updated_eccentricity, updated_eccentricity_removed,
+};
 use crate::CoreError;
 
 /// One eccentricity answer.
@@ -228,6 +230,57 @@ impl QueryEngine {
         EccentricityAnswer { value, farthest }
     }
 
+    /// What-if for *removal*: the estimated eccentricity of `s` after
+    /// hypothetically removing `edge`, via one CG solve on the current
+    /// graph and the sign-flipped Sherman–Morrison update (the engine is
+    /// not modified). The removal counterpart of
+    /// [`Self::eccentricity_after_edge_with`], sharing the same scratch.
+    ///
+    /// Connectivity is checked structurally (BFS on the cut graph) before
+    /// any numerics run, so a bridge is always the typed
+    /// [`CoreError::DisconnectingRemoval`] — never an infinite score; the
+    /// denominator floor inside the rank-1 update is a second line of
+    /// defense against near-bridge numerics.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NodeOutOfRange`] for bad endpoints,
+    /// [`CoreError::Numerical`] if `edge` is not present, and
+    /// [`CoreError::DisconnectingRemoval`] if removing it would disconnect
+    /// the graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range or the scratch was sized for a
+    /// different node count.
+    pub fn eccentricity_after_removal_with(
+        &self,
+        scratch: &mut WhatIfScratch,
+        s: usize,
+        edge: Edge,
+    ) -> Result<EccentricityAnswer, CoreError> {
+        let n = self.graph.node_count();
+        assert_eq!(scratch.base.len(), n, "scratch sized for a different graph");
+        if edge.v >= n {
+            return Err(CoreError::NodeOutOfRange { node: edge.v, n });
+        }
+        let cut =
+            self.graph.without_edge(edge).map_err(|g| CoreError::Numerical(g.to_string()))?;
+        if !reecc_graph::traversal::is_connected(&cut) {
+            return Err(CoreError::DisconnectingRemoval { u: edge.u, v: edge.v, r_uv: 1.0 });
+        }
+        let (w, r_uv) = solve_edge_potentials_with(
+            &self.graph,
+            edge,
+            self.params.cg,
+            &mut scratch.ws,
+            &mut scratch.rhs,
+        );
+        self.sketch.resistances_from_into(&mut scratch.base, s);
+        let (value, farthest) = updated_eccentricity_removed(&scratch.base, &w, r_uv, edge, s)?;
+        Ok(EccentricityAnswer { value, farthest })
+    }
+
     /// Live mutation: a new engine for the graph **plus** edge `e`, via
     /// one CG solve and a Sherman–Morrison rank-1 sketch update
     /// ([`ResistanceSketch::apply_add_edge`]) — `O(n·d)` instead of a full
@@ -424,6 +477,40 @@ mod tests {
             "{} vs {truth}",
             predicted.value
         );
+    }
+
+    #[test]
+    fn removal_what_if_matches_rebuild_and_rejects_bridges() {
+        use reecc_graph::generators::cycle;
+        let g = cycle(12);
+        let engine = QueryEngine::build(&g, &params()).unwrap();
+        let e = Edge::new(0, 1);
+        let mut scratch = WhatIfScratch::new(12);
+        let predicted = engine.eccentricity_after_removal_with(&mut scratch, 6, e).unwrap();
+        let exact_after = ExactResistance::new(&g.without_edge(e).unwrap()).unwrap();
+        let (truth, _) = exact_after.eccentricity(6);
+        assert!(
+            (predicted.value - truth).abs() <= 0.35 * truth,
+            "{} vs {truth}",
+            predicted.value
+        );
+        // A bridge (every edge of a line) is a typed error, caught
+        // structurally before any numerics run.
+        let g = line(8);
+        let engine = QueryEngine::build(&g, &params()).unwrap();
+        let mut scratch = WhatIfScratch::new(8);
+        match engine.eccentricity_after_removal_with(&mut scratch, 0, Edge::new(3, 4)) {
+            Err(CoreError::DisconnectingRemoval { u, v, .. }) => assert_eq!((u, v), (3, 4)),
+            other => panic!("expected DisconnectingRemoval, got {other:?}"),
+        }
+        // A non-edge is a plain numerical error.
+        let g = cycle(8);
+        let engine = QueryEngine::build(&g, &params()).unwrap();
+        let mut scratch = WhatIfScratch::new(8);
+        assert!(matches!(
+            engine.eccentricity_after_removal_with(&mut scratch, 0, Edge::new(0, 4)),
+            Err(CoreError::Numerical(_))
+        ));
     }
 
     #[test]

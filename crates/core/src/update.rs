@@ -274,6 +274,45 @@ pub fn updated_eccentricity(
     best
 }
 
+/// Post-*removal* counterpart of [`updated_eccentricity`]: the
+/// Sherman–Morrison sign flips, so
+/// `r'(s, j) = r(s, j) + (w_s − w_j)²/(1 − r_uv)`. Returns
+/// `(value, argmax)`.
+///
+/// # Errors
+///
+/// [`CoreError::DisconnectingRemoval`] when `1 − r_uv` is at or below the
+/// numerical floor — `e` is (numerically) a bridge and removing it would
+/// disconnect the graph, sending every cross-cut resistance to infinity.
+///
+/// # Panics
+///
+/// Panics on length mismatch or out-of-range `s`.
+pub fn updated_eccentricity_removed(
+    base: &[f64],
+    potentials: &[f64],
+    r_uv: f64,
+    e: Edge,
+    s: usize,
+) -> Result<(f64, usize), CoreError> {
+    assert_eq!(base.len(), potentials.len(), "length mismatch");
+    assert!(s < base.len(), "source out of range");
+    let denom = 1.0 - r_uv;
+    if denom <= REMOVE_DENOM_FLOOR {
+        return Err(CoreError::DisconnectingRemoval { u: e.u, v: e.v, r_uv });
+    }
+    let ws = potentials[s];
+    let mut best = (f64::NEG_INFINITY, s);
+    for (j, (&r, &wj)) in base.iter().zip(potentials).enumerate() {
+        let delta = ws - wj;
+        let r_new = r + delta * delta / denom;
+        if r_new > best.0 {
+            best = (r_new, j);
+        }
+    }
+    Ok(best)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -465,6 +504,44 @@ mod tests {
         let (truth_c, _) = exact2.eccentricity(s);
         assert!((cmax - truth_c).abs() < 1e-6);
         assert!((updated[fmax] - cmax).abs() < 1e-12);
+    }
+
+    #[test]
+    fn removed_eccentricity_matches_exact_rebuild() {
+        // No edge of a cycle is a bridge: removing one must match the
+        // eccentricity of the cut graph computed from scratch.
+        let g = cycle(10);
+        let s = 3;
+        let e = Edge::new(0, 1);
+        let exact = ExactResistance::new(&g).unwrap();
+        let base = exact.resistances_from(s);
+        let mut ws = CgWorkspace::new(10);
+        let (w, r_uv) = solve_edge_potentials(&g, e, CgOptions::default(), &mut ws);
+        let (c_removed, far) = updated_eccentricity_removed(&base, &w, r_uv, e, s).unwrap();
+        let cut = g.without_edge(e).unwrap();
+        let exact_cut = ExactResistance::new(&cut).unwrap();
+        let (truth_c, _) = exact_cut.eccentricity(s);
+        assert!((c_removed - truth_c).abs() < 1e-6, "{c_removed} vs {truth_c}");
+        assert!((exact_cut.resistance(s, far) - c_removed).abs() < 1e-6);
+    }
+
+    #[test]
+    fn removed_eccentricity_rejects_bridges() {
+        // A bridge has r(u,v) = 1, so the 1 − r_uv denominator hits the
+        // floor and the typed error fires before any arithmetic runs.
+        let base = [0.0, 1.0, 2.0];
+        let w = [1.0, 0.0, -1.0];
+        let e = Edge::new(0, 1);
+        match updated_eccentricity_removed(&base, &w, 1.0, e, 0) {
+            Err(crate::CoreError::DisconnectingRemoval { u, v, r_uv }) => {
+                assert_eq!((u, v), (0, 1));
+                assert_eq!(r_uv, 1.0);
+            }
+            other => panic!("expected DisconnectingRemoval, got {other:?}"),
+        }
+        // Just above the floor the update runs and the sign is additive.
+        let (c, _) = updated_eccentricity_removed(&base, &w, 0.5, e, 0).unwrap();
+        assert!(c > 2.0, "removal must not shrink any resistance: {c}");
     }
 
     #[test]

@@ -36,6 +36,8 @@
 //! evaluation call and reused across that worker's blocks: the steady
 //! state solves fresh blocks with zero allocations.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use reecc_core::resolve_threads;
 use reecc_core::sketch::{
     ResistanceSketch, SketchParams, BLOCK_SIZE_CROSSOVER_NODES, DEFAULT_BLOCK_SIZE,
@@ -138,19 +140,43 @@ impl CandidateEvaluator {
         s: usize,
         candidates: &[Edge],
     ) -> (Vec<CandidateScore>, EvalStats) {
+        self.evaluate_edges_cancellable(g, base, s, candidates, None)
+            .expect("uncancellable evaluation cannot be cancelled")
+    }
+
+    /// [`Self::evaluate_edges`] with a cooperative cancellation token,
+    /// polled before each block solve (on every worker). Returns `None`
+    /// when cancellation was observed — partial results are discarded so
+    /// a cancelled-and-retried evaluation can never differ from an
+    /// uninterrupted one. When the run completes, the scores are bitwise
+    /// identical to [`Self::evaluate_edges`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base.len() != n`, `s` is out of range, or a candidate
+    /// endpoint is out of range.
+    pub fn evaluate_edges_cancellable(
+        &self,
+        g: &Graph,
+        base: &[f64],
+        s: usize,
+        candidates: &[Edge],
+        cancel: Option<&AtomicBool>,
+    ) -> Option<(Vec<CandidateScore>, EvalStats)> {
         let n = g.node_count();
         assert_eq!(base.len(), n, "base distances sized for a different graph");
         assert!(s < n, "source out of range");
         if candidates.is_empty() {
-            return (Vec::new(), EvalStats::default());
+            return Some((Vec::new(), EvalStats::default()));
         }
         let width = self.effective_width(n).max(1);
         // Block boundaries fixed by candidate index: the determinism
         // anchor — identical for every threads setting.
         let blocks: Vec<&[Edge]> = candidates.chunks(width).collect();
         let workers = self.worker_count(blocks.len());
+        let cancelled = || cancel.is_some_and(|c| c.load(Ordering::Relaxed));
 
-        let solve_blocks = |blocks: &[&[Edge]]| -> (Vec<CandidateScore>, EvalStats) {
+        let solve_blocks = |blocks: &[&[Edge]]| -> Option<(Vec<CandidateScore>, EvalStats)> {
             let op = LaplacianOp::new(g);
             let mut ws = BlockCgWorkspace::new();
             // One full-width rhs block per worker; columns get their ±1
@@ -162,6 +188,9 @@ impl CandidateEvaluator {
             let mut scores = Vec::with_capacity(blocks.iter().map(|b| b.len()).sum());
             let mut stats = EvalStats::default();
             for &block in blocks {
+                if cancelled() {
+                    return None;
+                }
                 let b = block.len();
                 let outcome = if b == width {
                     for (j, e) in block.iter().enumerate() {
@@ -221,11 +250,11 @@ impl CandidateEvaluator {
                 }
                 ws.recycle_solutions(outcome.solutions);
             }
-            (scores, stats)
+            Some((scores, stats))
         };
 
         let per_worker = blocks.len().div_ceil(workers);
-        let results: Vec<(Vec<CandidateScore>, EvalStats)> = if workers <= 1 {
+        let results: Vec<Option<(Vec<CandidateScore>, EvalStats)>> = if workers <= 1 {
             vec![solve_blocks(&blocks)]
         } else {
             std::thread::scope(|scope| {
@@ -242,12 +271,13 @@ impl CandidateEvaluator {
 
         let mut scores = Vec::with_capacity(candidates.len());
         let mut stats = EvalStats::default();
-        for (part, part_stats) in results {
+        for part in results {
+            let (part, part_stats) = part?;
             scores.extend(part);
             stats.blocks_solved += part_stats.blocks_solved;
             stats.recovered_columns += part_stats.recovered_columns;
         }
-        (scores, stats)
+        Some((scores, stats))
     }
 
     /// SIMPLE's exact path: score candidates in `O(n)` each against a
@@ -264,23 +294,47 @@ impl CandidateEvaluator {
         s: usize,
         candidates: &[Edge],
     ) -> Vec<CandidateScore> {
+        self.evaluate_on_pinv_cancellable(pinv, s, candidates, None)
+            .expect("uncancellable evaluation cannot be cancelled")
+    }
+
+    /// [`Self::evaluate_on_pinv`] with a cooperative cancellation token,
+    /// polled every few dozen candidates on every worker. Returns `None`
+    /// when cancellation was observed; a completed run is bitwise
+    /// identical to [`Self::evaluate_on_pinv`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` or a candidate endpoint is out of range.
+    pub fn evaluate_on_pinv_cancellable(
+        &self,
+        pinv: &DenseMatrix,
+        s: usize,
+        candidates: &[Edge],
+        cancel: Option<&AtomicBool>,
+    ) -> Option<Vec<CandidateScore>> {
         if candidates.is_empty() {
-            return Vec::new();
+            return Some(Vec::new());
         }
-        let score_run = |run: &[Edge]| -> Vec<CandidateScore> {
-            run.iter()
-                .map(|&e| {
-                    let (score, farthest) = eccentricity_after_edge(pinv, s, e);
-                    CandidateScore {
-                        edge: e,
-                        score,
-                        farthest,
-                        converged: true,
-                        escalated: false,
-                        residual: 0.0,
-                    }
-                })
-                .collect()
+        const CANCEL_STRIDE: usize = 32;
+        let cancelled = || cancel.is_some_and(|c| c.load(Ordering::Relaxed));
+        let score_run = |run: &[Edge]| -> Option<Vec<CandidateScore>> {
+            let mut out = Vec::with_capacity(run.len());
+            for (i, &e) in run.iter().enumerate() {
+                if i % CANCEL_STRIDE == 0 && cancelled() {
+                    return None;
+                }
+                let (score, farthest) = eccentricity_after_edge(pinv, s, e);
+                out.push(CandidateScore {
+                    edge: e,
+                    score,
+                    farthest,
+                    converged: true,
+                    escalated: false,
+                    residual: 0.0,
+                });
+            }
+            Some(out)
         };
         let workers = self.worker_count(candidates.len());
         if workers <= 1 {
@@ -290,16 +344,21 @@ impl CandidateEvaluator {
         // each candidate's score is independent, so the cut points cannot
         // affect any value.
         let per_worker = candidates.len().div_ceil(workers);
-        std::thread::scope(|scope| {
+        let parts: Vec<Option<Vec<CandidateScore>>> = std::thread::scope(|scope| {
             let handles: Vec<_> = candidates
                 .chunks(per_worker)
                 .map(|run| scope.spawn(move || score_run(run)))
                 .collect();
             handles
                 .into_iter()
-                .flat_map(|h| h.join().expect("candidate evaluator worker panicked"))
+                .map(|h| h.join().expect("candidate evaluator worker panicked"))
                 .collect()
-        })
+        });
+        let mut scores = Vec::with_capacity(candidates.len());
+        for part in parts {
+            scores.extend(part?);
+        }
+        Some(scores)
     }
 
     /// Parallel fill of `r̃(s, ·)` from a sketch — the scan FARMINRECC and
@@ -483,6 +542,36 @@ mod tests {
                 "threads={threads}"
             );
         }
+    }
+
+    #[test]
+    fn preset_cancel_token_aborts_both_paths() {
+        let g = barabasi_albert(40, 2, 3);
+        let exact = ExactResistance::new(&g).unwrap();
+        let base = exact.resistances_from(0);
+        let candidates = candidate_pool(&g, 10);
+        let flag = AtomicBool::new(true);
+        for threads in [1usize, 3] {
+            let eval = CandidateEvaluator { threads, block_size: 2, ..Default::default() };
+            assert!(eval
+                .evaluate_edges_cancellable(&g, &base, 0, &candidates, Some(&flag))
+                .is_none());
+            assert!(eval
+                .evaluate_on_pinv_cancellable(
+                    exact.pseudoinverse(),
+                    0,
+                    &candidates,
+                    Some(&flag)
+                )
+                .is_none());
+        }
+        flag.store(false, Ordering::Relaxed);
+        let eval = CandidateEvaluator { threads: 2, block_size: 3, ..Default::default() };
+        let with_token = eval
+            .evaluate_edges_cancellable(&g, &base, 0, &candidates, Some(&flag))
+            .expect("unset token must not cancel");
+        let without = eval.evaluate_edges(&g, &base, 0, &candidates);
+        assert_eq!(with_token.0, without.0);
     }
 
     #[test]

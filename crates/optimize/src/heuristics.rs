@@ -23,6 +23,7 @@ use reecc_core::sketch::{ResistanceSketch, SketchParams};
 use reecc_graph::{Edge, Graph};
 use reecc_hull::approxch::{approx_convex_hull, ApproxChOptions};
 
+use crate::control::{ControlledRun, IterationEvent, PlanStep, RunControl};
 use crate::evaluator::CandidateEvaluator;
 use crate::problem::validate;
 use crate::OptError;
@@ -143,14 +144,50 @@ pub fn far_min_recc_with_diagnostics(
     s: usize,
     params: &OptimizeParams,
 ) -> Result<(Vec<Edge>, OptDiagnostics), OptError> {
+    let run = far_min_recc_controlled(g, k, s, params, &mut RunControl::none())?;
+    Ok((run.plan(), run.diag))
+}
+
+/// [`far_min_recc_with_diagnostics`] under external [`RunControl`].
+/// Resume fast-replays the prefix by committing its edges directly: the
+/// global iteration counter stays aligned, so the per-iteration sketch
+/// seeds of the fresh iterations match an uninterrupted run exactly.
+///
+/// # Errors
+///
+/// Invalid source/budget, disconnected graph, sketch failure, a rejected
+/// resume prefix, or an observer abort.
+pub fn far_min_recc_controlled(
+    g: &Graph,
+    k: usize,
+    s: usize,
+    params: &OptimizeParams,
+    ctrl: &mut RunControl<'_>,
+) -> Result<ControlledRun, OptError> {
     validate(g, s, k, g.non_edges_at(s).len())?;
+    ctrl.check_resume_budget(k)?;
     let evaluator = CandidateEvaluator::from_sketch_params(&params.sketch);
     let mut current = g.clone();
-    let mut plan = Vec::with_capacity(k);
+    let mut steps: Vec<PlanStep> = Vec::with_capacity(k);
     let mut diag = OptDiagnostics::default();
-    for iter in 0..k {
+    for &edge in ctrl.resume {
+        if !edge.touches(s) {
+            return Err(OptError::Resume(format!(
+                "checkpointed edge ({}, {}) does not touch source {s}",
+                edge.u, edge.v
+            )));
+        }
+        current = current.with_edge(edge)?;
+        steps.push(PlanStep { edge, score: f64::NAN });
+    }
+    let resumed = steps.len();
+    for iter in resumed..k {
+        if ctrl.is_cancelled() {
+            return Ok(ControlledRun::cancelled(steps, diag, resumed));
+        }
         let sketch = ResistanceSketch::build(&current, &params.iteration_sketch(iter))?;
         let dists = evaluator.distance_scan(&sketch, s);
+        let mut scanned = 0usize;
         let mut best: Option<(usize, f64)> = None;
         for (u, &r) in dists.iter().enumerate() {
             if u == s || current.has_edge(s, u) {
@@ -160,12 +197,13 @@ pub fn far_min_recc_with_diagnostics(
                 diag.skipped_candidates += 1;
                 continue;
             }
+            scanned += 1;
             match best {
                 Some((_, br)) if r <= br => {}
                 _ => best = Some((u, r)),
             }
         }
-        let Some((u, _)) = best else {
+        let Some((u, r)) = best else {
             if dists.iter().any(|r| !r.is_finite()) {
                 diag.notes.push(format!(
                     "iteration {iter}: no finite distance estimate among candidates; stopping"
@@ -174,10 +212,17 @@ pub fn far_min_recc_with_diagnostics(
             break; // source saturated (or nothing evaluable)
         };
         let e = Edge::new(s, u);
+        ctrl.observe(&IterationEvent {
+            iteration: steps.len(),
+            edge: e,
+            score: r,
+            full_evals: scanned,
+            lazy_hits: 0,
+        })?;
         current = current.with_edge(e)?;
-        plan.push(e);
+        steps.push(PlanStep { edge: e, score: r });
     }
-    Ok((plan, diag))
+    Ok(ControlledRun::finished(steps, diag, resumed))
 }
 
 /// CENMINRECC (Algorithm 6) for REMD: one sketch, then a k-center
@@ -208,7 +253,30 @@ pub fn cen_min_recc_with_diagnostics(
     s: usize,
     params: &OptimizeParams,
 ) -> Result<(Vec<Edge>, OptDiagnostics), OptError> {
+    let run = cen_min_recc_controlled(g, k, s, params, &mut RunControl::none())?;
+    Ok((run.plan(), run.diag))
+}
+
+/// [`cen_min_recc_with_diagnostics`] under external [`RunControl`].
+/// Resume *re-executes* the traversal from the start — the min-merged
+/// distance state spans iterations, so replaying is the only way to
+/// restore it bitwise — and verifies each replayed pick against the
+/// checkpointed prefix ([`OptError::ResumeMismatch`] on divergence).
+///
+/// # Errors
+///
+/// Invalid source/budget, disconnected graph, sketch failure, a rejected
+/// resume prefix, or an observer abort.
+pub fn cen_min_recc_controlled(
+    g: &Graph,
+    k: usize,
+    s: usize,
+    params: &OptimizeParams,
+    ctrl: &mut RunControl<'_>,
+) -> Result<ControlledRun, OptError> {
     validate(g, s, k, g.non_edges_at(s).len())?;
+    ctrl.check_resume_budget(k)?;
+    let resume_len = ctrl.resume.len();
     let evaluator = CandidateEvaluator::from_sketch_params(&params.sketch);
     let sketch = ResistanceSketch::build(g, &params.sketch)?;
     let n = g.node_count();
@@ -217,9 +285,13 @@ pub fn cen_min_recc_with_diagnostics(
     let mut min_r = evaluator.distance_scan(&sketch, s);
     let mut in_t = vec![false; n];
     in_t[s] = true;
-    let mut plan = Vec::with_capacity(k);
+    let mut steps: Vec<PlanStep> = Vec::with_capacity(k);
     let mut current = g.clone();
-    for _ in 0..k {
+    for iter in 0..k {
+        if ctrl.is_cancelled() {
+            return Ok(ControlledRun::cancelled(steps, diag, resume_len.min(iter)));
+        }
+        let mut scanned = 0usize;
         let mut best: Option<(usize, f64)> = None;
         for u in 0..n {
             if in_t[u] || current.has_edge(s, u) {
@@ -229,16 +301,42 @@ pub fn cen_min_recc_with_diagnostics(
                 diag.skipped_candidates += 1;
                 continue;
             }
+            scanned += 1;
             match best {
                 Some((_, br)) if min_r[u] <= br => {}
                 _ => best = Some((u, min_r[u])),
             }
         }
-        let Some((u, _)) = best else { break };
-        in_t[u] = true;
+        let Some((u, r)) = best else {
+            if iter < resume_len {
+                return Err(OptError::Resume(format!(
+                    "traversal saturated at iteration {iter}, before replaying the \
+                     {resume_len}-edge checkpointed prefix"
+                )));
+            }
+            break;
+        };
         let e = Edge::new(s, u);
+        if iter < resume_len {
+            if e != ctrl.resume[iter] {
+                return Err(OptError::ResumeMismatch {
+                    iteration: iter,
+                    expected: ctrl.resume[iter],
+                    found: e,
+                });
+            }
+        } else {
+            ctrl.observe(&IterationEvent {
+                iteration: iter,
+                edge: e,
+                score: r,
+                full_evals: scanned,
+                lazy_hits: 0,
+            })?;
+        }
+        in_t[u] = true;
         current = current.with_edge(e)?;
-        plan.push(e);
+        steps.push(PlanStep { edge: e, score: r });
         let new_dists = evaluator.distance_scan(&sketch, u);
         for (m, &d) in min_r.iter_mut().zip(&new_dists) {
             if d < *m {
@@ -246,7 +344,7 @@ pub fn cen_min_recc_with_diagnostics(
             }
         }
     }
-    Ok((plan, diag))
+    Ok(ControlledRun::finished(steps, diag, resume_len))
 }
 
 /// CHMINRECC (Algorithm 8) for REM: per iteration, sketch the current
@@ -262,7 +360,7 @@ pub fn ch_min_recc(
     s: usize,
     params: &OptimizeParams,
 ) -> Result<Vec<Edge>, OptError> {
-    hull_guided(g, k, s, params, false).map(|(plan, _)| plan)
+    ch_min_recc_with_diagnostics(g, k, s, params).map(|(plan, _)| plan)
 }
 
 /// [`ch_min_recc`] returning the robustness diagnostics alongside the
@@ -278,7 +376,27 @@ pub fn ch_min_recc_with_diagnostics(
     s: usize,
     params: &OptimizeParams,
 ) -> Result<(Vec<Edge>, OptDiagnostics), OptError> {
-    hull_guided(g, k, s, params, false)
+    let run = ch_min_recc_controlled(g, k, s, params, &mut RunControl::none())?;
+    Ok((run.plan(), run.diag))
+}
+
+/// [`ch_min_recc_with_diagnostics`] under external [`RunControl`].
+/// Resume fast-replays the prefix by committing its edges directly; the
+/// iteration counter stays aligned so fresh iterations re-sketch with the
+/// same per-iteration seeds as an uninterrupted run.
+///
+/// # Errors
+///
+/// Invalid source/budget, disconnected graph, sketch failure, a rejected
+/// resume prefix, or an observer abort.
+pub fn ch_min_recc_controlled(
+    g: &Graph,
+    k: usize,
+    s: usize,
+    params: &OptimizeParams,
+    ctrl: &mut RunControl<'_>,
+) -> Result<ControlledRun, OptError> {
+    hull_guided(g, k, s, params, false, ctrl)
 }
 
 /// MINRECC (Algorithm 9) for REM: CHMINRECC plus the direct candidate
@@ -293,7 +411,7 @@ pub fn min_recc(
     s: usize,
     params: &OptimizeParams,
 ) -> Result<Vec<Edge>, OptError> {
-    hull_guided(g, k, s, params, true).map(|(plan, _)| plan)
+    min_recc_with_diagnostics(g, k, s, params).map(|(plan, _)| plan)
 }
 
 /// [`min_recc`] returning the robustness diagnostics alongside the plan.
@@ -307,7 +425,25 @@ pub fn min_recc_with_diagnostics(
     s: usize,
     params: &OptimizeParams,
 ) -> Result<(Vec<Edge>, OptDiagnostics), OptError> {
-    hull_guided(g, k, s, params, true)
+    let run = min_recc_controlled(g, k, s, params, &mut RunControl::none())?;
+    Ok((run.plan(), run.diag))
+}
+
+/// [`min_recc_with_diagnostics`] under external [`RunControl`]. Resume
+/// semantics are identical to [`ch_min_recc_controlled`].
+///
+/// # Errors
+///
+/// Invalid source/budget, disconnected graph, sketch failure, a rejected
+/// resume prefix, or an observer abort.
+pub fn min_recc_controlled(
+    g: &Graph,
+    k: usize,
+    s: usize,
+    params: &OptimizeParams,
+    ctrl: &mut RunControl<'_>,
+) -> Result<ControlledRun, OptError> {
+    hull_guided(g, k, s, params, true, ctrl)
 }
 
 fn hull_guided(
@@ -316,16 +452,30 @@ fn hull_guided(
     s: usize,
     params: &OptimizeParams,
     include_direct: bool,
-) -> Result<(Vec<Edge>, OptDiagnostics), OptError> {
+    ctrl: &mut RunControl<'_>,
+) -> Result<ControlledRun, OptError> {
     let n = g.node_count();
     // REM candidate count without materializing Q2.
     let q2 = n * (n - 1) / 2 - g.edge_count();
     validate(g, s, k, q2)?;
+    ctrl.check_resume_budget(k)?;
     let evaluator = CandidateEvaluator::from_sketch_params(&params.sketch);
     let mut current = g.clone();
-    let mut plan: Vec<Edge> = Vec::with_capacity(k);
+    let mut steps: Vec<PlanStep> = Vec::with_capacity(k);
     let mut diag = OptDiagnostics::default();
-    for iter in 0..k {
+    // Fast replay: commit the prefix directly. Every non-terminating
+    // iteration of the loop below commits exactly one edge (the
+    // degenerate-hull fallback included), so iteration index == plan
+    // length and the per-iteration sketch seeds stay aligned.
+    for &edge in ctrl.resume {
+        current = current.with_edge(edge)?;
+        steps.push(PlanStep { edge, score: f64::NAN });
+    }
+    let resumed = steps.len();
+    for iter in resumed..k {
+        if ctrl.is_cancelled() {
+            return Ok(ControlledRun::cancelled(steps, diag, resumed));
+        }
         let sketch_params = params.iteration_sketch(iter);
         let sketch = ResistanceSketch::build(&current, &sketch_params)?;
         let points = sketch.point_set();
@@ -373,10 +523,18 @@ fn hull_guided(
                 .max_by(|&a, &b| dists[a].total_cmp(&dists[b]));
             let Some(u) = fallback else { break };
             let e = Edge::new(s, u);
+            ctrl.observe(&IterationEvent {
+                iteration: steps.len(),
+                edge: e,
+                score: dists[u],
+                full_evals: 0,
+                lazy_hits: 0,
+            })?;
             current = current.with_edge(e)?;
-            plan.push(e);
+            steps.push(PlanStep { edge: e, score: dists[u] });
             continue;
         }
+        let mut evals_this_iter = 0usize;
         let chosen = match params.eval {
             EvalMode::ShermanMorrison => {
                 // Blocked + parallel engine: one multi-RHS CG block per
@@ -387,9 +545,18 @@ fn hull_guided(
                 // skip/degrade accounting match the old serial loop
                 // decision-for-decision.
                 let base = evaluator.distance_scan(&sketch, s);
-                let (scores, stats) = evaluator.evaluate_edges(&current, &base, s, &candidates);
+                let Some((scores, stats)) = evaluator.evaluate_edges_cancellable(
+                    &current,
+                    &base,
+                    s,
+                    &candidates,
+                    ctrl.cancel,
+                ) else {
+                    return Ok(ControlledRun::cancelled(steps, diag, resumed));
+                };
                 diag.blocks_solved += stats.blocks_solved;
                 diag.full_evals += scores.len();
+                evals_this_iter = scores.len();
                 let mut best: Option<(Edge, f64)> = None;
                 for sc in &scores {
                     if !sc.converged {
@@ -417,12 +584,16 @@ fn hull_guided(
                         _ => best = Some((sc.edge, sc.score)),
                     }
                 }
-                best.map(|(e, _)| e)
+                best
             }
             EvalMode::Faithful => {
                 let mut best: Option<(Edge, f64)> = None;
                 for &e in &candidates {
+                    if ctrl.is_cancelled() {
+                        return Ok(ControlledRun::cancelled(steps, diag, resumed));
+                    }
                     diag.full_evals += 1;
+                    evals_this_iter += 1;
                     let augmented = current.with_edge(e)?;
                     let probe = match ResistanceSketch::build(&augmented, &sketch_params) {
                         Ok(p) => p,
@@ -447,21 +618,28 @@ fn hull_guided(
                         _ => best = Some((e, c_after)),
                     }
                 }
-                best.map(|(e, _)| e)
+                best
             }
         };
-        let Some(chosen) = chosen else {
+        let Some((chosen, score)) = chosen else {
             diag.notes.push(format!(
                 "iteration {iter}: every candidate evaluation failed; stopping early \
                  with {} of {k} edges planned",
-                plan.len()
+                steps.len()
             ));
             break;
         };
+        ctrl.observe(&IterationEvent {
+            iteration: steps.len(),
+            edge: chosen,
+            score,
+            full_evals: evals_this_iter,
+            lazy_hits: 0,
+        })?;
         current = current.with_edge(chosen)?;
-        plan.push(chosen);
+        steps.push(PlanStep { edge: chosen, score });
     }
-    Ok((plan, diag))
+    Ok(ControlledRun::finished(steps, diag, resumed))
 }
 
 #[cfg(test)]
@@ -641,6 +819,64 @@ mod tests {
         assert_eq!(plan.len(), 2, "diagnostics: {diag:?}");
         assert_eq!(diag.skipped_candidates, 0, "diagnostics: {diag:?}");
         assert!(diag.degraded_evaluations > 0);
+    }
+
+    #[test]
+    fn controlled_resume_matches_uninterrupted_run_for_every_heuristic() {
+        type Controlled = fn(
+            &Graph,
+            usize,
+            usize,
+            &OptimizeParams,
+            &mut RunControl<'_>,
+        ) -> Result<ControlledRun, OptError>;
+        let g = barabasi_albert(26, 2, 7);
+        let p = params();
+        let cases: [(&str, Controlled); 4] = [
+            ("far", far_min_recc_controlled),
+            ("cen", cen_min_recc_controlled),
+            ("ch", ch_min_recc_controlled),
+            ("minrecc", min_recc_controlled),
+        ];
+        for (name, f) in cases {
+            let full = f(&g, 3, 1, &p, &mut RunControl::none()).unwrap();
+            let plan = full.plan();
+            assert_eq!(plan.len(), 3, "{name}");
+            for cut in 0..=plan.len() {
+                let mut ctrl = RunControl { resume: &plan[..cut], ..RunControl::none() };
+                let resumed = f(&g, 3, 1, &p, &mut ctrl).unwrap();
+                assert_eq!(resumed.plan(), plan, "{name} cut={cut}");
+                assert_eq!(resumed.resumed, cut, "{name} cut={cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn controlled_cancel_and_observer_hooks_work() {
+        use std::sync::atomic::AtomicBool;
+        let g = barabasi_albert(26, 2, 7);
+        let p = params();
+        let flag = AtomicBool::new(true);
+        let mut ctrl = RunControl { cancel: Some(&flag), ..RunControl::none() };
+        let run = min_recc_controlled(&g, 2, 1, &p, &mut ctrl).unwrap();
+        assert!(run.cancelled);
+        assert!(run.steps.is_empty());
+
+        let mut seen = Vec::new();
+        let mut obs = |ev: &IterationEvent| {
+            seen.push(ev.iteration);
+            Ok(())
+        };
+        let mut ctrl = RunControl { observer: Some(&mut obs), ..RunControl::none() };
+        let run = far_min_recc_controlled(&g, 3, 1, &p, &mut ctrl).unwrap();
+        assert!(!run.cancelled);
+        assert_eq!(seen, vec![0, 1, 2]);
+        assert!(run.steps.iter().all(|st| st.score.is_finite()));
+
+        let mut fail = |_: &IterationEvent| Err("checkpoint write failed".to_string());
+        let mut ctrl = RunControl { observer: Some(&mut fail), ..RunControl::none() };
+        let err = cen_min_recc_controlled(&g, 2, 1, &p, &mut ctrl).unwrap_err();
+        assert!(matches!(err, OptError::Aborted(_)), "{err:?}");
     }
 
     #[test]

@@ -28,6 +28,7 @@
 //! experiment harnesses can plot the paper's Figures 8–9 curves.
 
 pub mod baselines;
+pub mod control;
 pub mod evaluator;
 pub mod exhaustive;
 pub mod heuristics;
@@ -37,15 +38,19 @@ pub mod supermodularity;
 pub mod trajectory;
 
 pub use baselines::{de_rem, de_remd, path_rem, path_remd, pk_rem, pk_remd};
+pub use control::{ControlledRun, IterationEvent, Observer, PlanStep, RunControl};
 pub use evaluator::{CandidateEvaluator, CandidateScore, EvalStats};
 pub use exhaustive::opt_exhaustive;
 pub use heuristics::{
-    cen_min_recc, cen_min_recc_with_diagnostics, ch_min_recc, ch_min_recc_with_diagnostics,
-    far_min_recc, far_min_recc_with_diagnostics, min_recc, min_recc_with_diagnostics, EvalMode,
-    OptDiagnostics, OptimizeParams,
+    cen_min_recc, cen_min_recc_controlled, cen_min_recc_with_diagnostics, ch_min_recc,
+    ch_min_recc_controlled, ch_min_recc_with_diagnostics, far_min_recc,
+    far_min_recc_controlled, far_min_recc_with_diagnostics, min_recc, min_recc_controlled,
+    min_recc_with_diagnostics, EvalMode, OptDiagnostics, OptimizeParams,
 };
 pub use problem::Problem;
-pub use simple::{simple_greedy, simple_greedy_with_diagnostics, SimpleOptions};
+pub use simple::{
+    simple_greedy, simple_greedy_controlled, simple_greedy_with_diagnostics, SimpleOptions,
+};
 pub use trajectory::{approx_trajectory, exact_trajectory};
 
 /// Errors from the optimizers.
@@ -69,6 +74,23 @@ pub enum OptError {
     Core(reecc_core::CoreError),
     /// Graph manipulation failed.
     Graph(String),
+    /// A controlled run was aborted by its observer (for example, a
+    /// checkpoint write failed). The message is the observer's reason.
+    Aborted(String),
+    /// A resume prefix could not be applied: an edge was not an available
+    /// candidate, the prefix exceeded the budget, or replay ended early.
+    Resume(String),
+    /// A re-executed resume replay decided a different edge than the
+    /// checkpointed prefix — the checkpoint belongs to a different graph,
+    /// configuration, or code version.
+    ResumeMismatch {
+        /// Iteration at which replay diverged.
+        iteration: usize,
+        /// The checkpointed edge.
+        expected: reecc_graph::Edge,
+        /// The edge replay decided instead.
+        found: reecc_graph::Edge,
+    },
 }
 
 impl std::fmt::Display for OptError {
@@ -82,6 +104,14 @@ impl std::fmt::Display for OptError {
             }
             OptError::Core(e) => write!(f, "resistance computation failed: {e}"),
             OptError::Graph(msg) => write!(f, "graph operation failed: {msg}"),
+            OptError::Aborted(msg) => write!(f, "run aborted by its observer: {msg}"),
+            OptError::Resume(msg) => write!(f, "resume prefix rejected: {msg}"),
+            OptError::ResumeMismatch { iteration, expected, found } => write!(
+                f,
+                "resume replay diverged at iteration {iteration}: checkpoint has \
+                 ({}, {}), replay chose ({}, {})",
+                expected.u, expected.v, found.u, found.v
+            ),
         }
     }
 }

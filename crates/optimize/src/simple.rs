@@ -15,6 +15,7 @@ use reecc_core::ExactResistance;
 use reecc_graph::{Edge, Graph};
 use reecc_linalg::DenseMatrix;
 
+use crate::control::{ControlledRun, IterationEvent, PlanStep, RunControl};
 use crate::evaluator::CandidateEvaluator;
 use crate::heuristics::OptDiagnostics;
 use crate::problem::{validate, Problem};
@@ -72,15 +73,39 @@ pub fn simple_greedy_with_diagnostics(
     s: usize,
     opts: SimpleOptions,
 ) -> Result<(Vec<Edge>, OptDiagnostics), OptError> {
+    let run = simple_greedy_controlled(g, problem, k, s, opts, &mut RunControl::none())?;
+    Ok((run.plan(), run.diag))
+}
+
+/// [`simple_greedy_with_diagnostics`] under external [`RunControl`]:
+/// cooperative cancellation between iterations (and inside the candidate
+/// scan), a per-iteration observer for fresh decisions, and checkpointed
+/// resume. See the [`crate::control`] module docs for the resume
+/// determinism argument (eager mode fast-replays the prefix; lazy CELF
+/// re-executes and verifies it).
+///
+/// # Errors
+///
+/// Invalid budget/source, disconnected graph, numerical failure, a
+/// rejected resume prefix, or an observer abort.
+pub fn simple_greedy_controlled(
+    g: &Graph,
+    problem: Problem,
+    k: usize,
+    s: usize,
+    opts: SimpleOptions,
+    ctrl: &mut RunControl<'_>,
+) -> Result<ControlledRun, OptError> {
     let candidates = problem.candidates(g, s);
     validate(g, s, k, candidates.len())?;
+    ctrl.check_resume_budget(k)?;
     let exact = ExactResistance::new(g)?;
     let mut pinv = exact.pseudoinverse().clone();
     let evaluator = CandidateEvaluator { threads: opts.threads, ..Default::default() };
     if opts.lazy {
-        lazy_greedy(&evaluator, &mut pinv, candidates, k, s)
+        lazy_greedy(&evaluator, &mut pinv, candidates, k, s, ctrl)
     } else {
-        eager_greedy(&evaluator, &mut pinv, candidates, k, s)
+        eager_greedy(&evaluator, &mut pinv, candidates, k, s, ctrl)
     }
 }
 
@@ -90,11 +115,34 @@ fn eager_greedy(
     mut remaining: Vec<Edge>,
     k: usize,
     s: usize,
-) -> Result<(Vec<Edge>, OptDiagnostics), OptError> {
-    let mut plan = Vec::with_capacity(k);
+    ctrl: &mut RunControl<'_>,
+) -> Result<ControlledRun, OptError> {
+    let mut steps: Vec<PlanStep> = Vec::with_capacity(k);
     let mut diag = OptDiagnostics::default();
-    for _ in 0..k {
-        let scores = evaluator.evaluate_on_pinv(pinv, s, &remaining);
+    // Fast replay: reproduce the uninterrupted run's candidate
+    // permutation (`swap_remove` drives eager tie-breaking) and rank-1
+    // updates without re-scoring a single candidate.
+    for &edge in ctrl.resume {
+        let idx = remaining.iter().position(|&e| e == edge).ok_or_else(|| {
+            OptError::Resume(format!(
+                "checkpointed edge ({}, {}) is not an available candidate",
+                edge.u, edge.v
+            ))
+        })?;
+        remaining.swap_remove(idx);
+        pinv_add_edge(pinv, edge);
+        steps.push(PlanStep { edge, score: f64::NAN });
+    }
+    let resumed = steps.len();
+    for _ in resumed..k {
+        if ctrl.is_cancelled() {
+            return Ok(ControlledRun::cancelled(steps, diag, resumed));
+        }
+        let Some(scores) =
+            evaluator.evaluate_on_pinv_cancellable(pinv, s, &remaining, ctrl.cancel)
+        else {
+            return Ok(ControlledRun::cancelled(steps, diag, resumed));
+        };
         diag.full_evals += scores.len();
         // First-best selection in candidate order: strictly smaller wins,
         // earliest index wins ties — the decision rule this function has
@@ -106,12 +154,19 @@ fn eager_greedy(
                 _ => best = Some((idx, sc.score)),
             }
         }
-        let (idx, _) = best.expect("validated non-empty candidate set");
+        let (idx, score) = best.expect("validated non-empty candidate set");
         let chosen = remaining.swap_remove(idx);
+        ctrl.observe(&IterationEvent {
+            iteration: steps.len(),
+            edge: chosen,
+            score,
+            full_evals: scores.len(),
+            lazy_hits: 0,
+        })?;
         pinv_add_edge(pinv, chosen);
-        plan.push(chosen);
+        steps.push(PlanStep { edge: chosen, score });
     }
-    Ok((plan, diag))
+    Ok(ControlledRun::finished(steps, diag, resumed))
 }
 
 /// A heap entry: the marginal gain `c_cur − c(s | G+e)` as of iteration
@@ -147,15 +202,29 @@ fn lazy_greedy(
     candidates: Vec<Edge>,
     k: usize,
     s: usize,
-) -> Result<(Vec<Edge>, OptDiagnostics), OptError> {
-    let mut plan = Vec::with_capacity(k);
+    ctrl: &mut RunControl<'_>,
+) -> Result<ControlledRun, OptError> {
+    let mut steps: Vec<PlanStep> = Vec::with_capacity(k);
     let mut diag = OptDiagnostics::default();
     let mut violations = 0usize;
+    // Resume by re-execution: the CELF heap carries stale bounds across
+    // iterations, so the only bitwise-sound way to restore its state is to
+    // replay the loop from iteration 0 and *verify* each replayed pick
+    // against the checkpointed prefix.
+    let resume_len = ctrl.resume.len();
 
+    if ctrl.is_cancelled() {
+        return Ok(ControlledRun::cancelled(steps, diag, 0));
+    }
     // Iteration 0 is a full eager scan (every bound starts fresh).
     let mut c_cur = ecc_from_pinv(pinv, s);
-    let scores = evaluator.evaluate_on_pinv(pinv, s, &candidates);
+    let Some(scores) =
+        evaluator.evaluate_on_pinv_cancellable(pinv, s, &candidates, ctrl.cancel)
+    else {
+        return Ok(ControlledRun::cancelled(steps, diag, 0));
+    };
     diag.full_evals += scores.len();
+    let scan_evals = scores.len();
     let mut heap: BinaryHeap<LazyEntry> = scores
         .iter()
         .map(|sc| LazyEntry {
@@ -167,6 +236,9 @@ fn lazy_greedy(
         .collect();
 
     for iter in 0..k {
+        if ctrl.is_cancelled() {
+            return Ok(ControlledRun::cancelled(steps, diag, resume_len.min(iter)));
+        }
         let remaining_before = heap.len();
         let mut evals_this_iter = 0usize;
         let chosen = loop {
@@ -191,9 +263,26 @@ fn lazy_greedy(
             // `evals_this_iter`, the chosen edge among them).
             diag.lazy_hits += remaining_before - evals_this_iter;
         }
+        if iter < resume_len {
+            if chosen.edge != ctrl.resume[iter] {
+                return Err(OptError::ResumeMismatch {
+                    iteration: iter,
+                    expected: ctrl.resume[iter],
+                    found: chosen.edge,
+                });
+            }
+        } else {
+            ctrl.observe(&IterationEvent {
+                iteration: iter,
+                edge: chosen.edge,
+                score: chosen.score,
+                full_evals: evals_this_iter + if iter == 0 { scan_evals } else { 0 },
+                lazy_hits: if iter > 0 { remaining_before - evals_this_iter } else { 0 },
+            })?;
+        }
         c_cur = chosen.score;
         pinv_add_edge(pinv, chosen.edge);
-        plan.push(chosen.edge);
+        steps.push(PlanStep { edge: chosen.edge, score: chosen.score });
     }
     if violations > 0 {
         diag.notes.push(format!(
@@ -201,7 +290,7 @@ fn lazy_greedy(
              is not supermodular); the plan may differ from eager mode"
         ));
     }
-    Ok((plan, diag))
+    Ok(ControlledRun::finished(steps, diag, resume_len))
 }
 
 /// `c(s) = max_j r(s, j)` straight off the dense pseudoinverse.
@@ -370,6 +459,114 @@ mod tests {
                 assert_eq!(plan, reference, "threads={threads} lazy={lazy}");
             }
         }
+    }
+
+    #[test]
+    fn controlled_resume_matches_uninterrupted_run_bitwise() {
+        let g = reecc_graph::generators::barabasi_albert(24, 2, 11);
+        for lazy in [false, true] {
+            let opts = SimpleOptions { lazy, ..Default::default() };
+            let full =
+                simple_greedy_controlled(&g, Problem::Rem, 4, 0, opts, &mut RunControl::none())
+                    .unwrap();
+            let plan = full.plan();
+            assert_eq!(full.resumed, 0);
+            for cut in 0..=plan.len() {
+                let mut ctrl = RunControl { resume: &plan[..cut], ..RunControl::none() };
+                let resumed =
+                    simple_greedy_controlled(&g, Problem::Rem, 4, 0, opts, &mut ctrl).unwrap();
+                assert_eq!(resumed.plan(), plan, "lazy={lazy} cut={cut}");
+                assert_eq!(resumed.resumed, cut);
+                assert!(!resumed.cancelled);
+                // Fresh steps carry real scores bitwise-equal to the
+                // uninterrupted run's.
+                for (i, st) in resumed.steps.iter().enumerate().skip(cut) {
+                    assert_eq!(
+                        st.score.to_bits(),
+                        full.steps[i].score.to_bits(),
+                        "lazy={lazy} cut={cut} step {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn controlled_cancel_stops_before_any_decision() {
+        use std::sync::atomic::AtomicBool;
+        let g = line(10);
+        let flag = AtomicBool::new(true);
+        for lazy in [false, true] {
+            let mut ctrl = RunControl { cancel: Some(&flag), ..RunControl::none() };
+            let run = simple_greedy_controlled(
+                &g,
+                Problem::Rem,
+                3,
+                0,
+                SimpleOptions { lazy, ..Default::default() },
+                &mut ctrl,
+            )
+            .unwrap();
+            assert!(run.cancelled, "lazy={lazy}");
+            assert!(run.steps.is_empty());
+        }
+    }
+
+    #[test]
+    fn controlled_observer_sees_fresh_iterations_in_order() {
+        let g = line(10);
+        let full = simple_greedy(&g, Problem::Rem, 3, 0).unwrap();
+        let mut seen = Vec::new();
+        let mut obs = |ev: &IterationEvent| {
+            seen.push((ev.iteration, ev.edge));
+            Ok(())
+        };
+        let mut ctrl =
+            RunControl { resume: &full[..1], observer: Some(&mut obs), ..RunControl::none() };
+        let run = simple_greedy_controlled(
+            &g,
+            Problem::Rem,
+            3,
+            0,
+            SimpleOptions::default(),
+            &mut ctrl,
+        )
+        .unwrap();
+        assert_eq!(run.plan(), full);
+        assert!(run.steps[0].score.is_nan(), "replayed step carries no score");
+        assert_eq!(seen, vec![(1, full[1]), (2, full[2])]);
+    }
+
+    #[test]
+    fn foreign_resume_prefix_is_rejected() {
+        let g = line(6);
+        // (0,1) already exists, so it can never be a candidate.
+        let prefix = [Edge::new(0, 1)];
+        let mut ctrl = RunControl { resume: &prefix, ..RunControl::none() };
+        let err = simple_greedy_controlled(
+            &g,
+            Problem::Rem,
+            2,
+            0,
+            SimpleOptions::default(),
+            &mut ctrl,
+        )
+        .unwrap_err();
+        assert!(matches!(err, OptError::Resume(_)), "{err:?}");
+        // A lazy replay that decides differently reports the divergence:
+        // (1,3) is a legal candidate but not the argmax at iteration 0.
+        let wrong = [Edge::new(1, 3)];
+        let mut ctrl = RunControl { resume: &wrong, ..RunControl::none() };
+        let err = simple_greedy_controlled(
+            &g,
+            Problem::Rem,
+            2,
+            0,
+            SimpleOptions { lazy: true, ..Default::default() },
+            &mut ctrl,
+        )
+        .unwrap_err();
+        assert!(matches!(err, OptError::ResumeMismatch { iteration: 0, .. }), "{err:?}");
     }
 
     #[test]

@@ -33,6 +33,8 @@ pub enum CacheKey {
     Diameter(u64),
     /// What-if eccentricity of `s` after adding `{u, v}` (ordered).
     WhatIf(u64, usize, usize, usize),
+    /// What-if eccentricity of `s` after removing `{u, v}` (ordered).
+    WhatIfRemove(u64, usize, usize, usize),
 }
 
 /// A cached scalar answer plus the node realizing it (unused for `res`).

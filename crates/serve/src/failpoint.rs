@@ -33,6 +33,10 @@
 //! * `epoch.swap` — after a re-sketch epoch is durably written, before
 //!   the `CURRENT` pointer flips to it.
 //! * `resketch.build` — at the start of a background re-sketch build.
+//! * `job.iterate` — at the top of every background-optimization
+//!   iteration observer, before the checkpoint append.
+//! * `job.checkpoint` — before each checkpoint record is appended to the
+//!   job's `.reeccjob` file (the durability point of a greedy step).
 //!
 //! The contract at each site is [`hit`]: `Ok(())` when disarmed or after
 //! an injected delay, `Err(message)` for an injected I/O error (the site

@@ -24,6 +24,11 @@
 //! * [`live`] — the live mutable engine: error-budgeted rank-1 sketch
 //!   updates applied in place, epoch-swapped background re-sketch when
 //!   the budget drains, and startup recovery (snapshot + WAL replay).
+//! * [`jobs`] — optimization-as-a-service: the greedy edge-addition
+//!   optimizers run as background jobs on a low-priority runner pool,
+//!   with per-iteration progress events, cooperative cancellation, and
+//!   crash-safe checkpointed resume (`job-<id>.reeccjob` files with the
+//!   WAL's durability discipline).
 //! * [`failpoint`] — deterministic fault injection (panics, delays, I/O
 //!   errors) at named sites, armed programmatically or via
 //!   `REECC_FAILPOINTS`; one relaxed atomic load when disarmed.
@@ -55,6 +60,7 @@
 
 pub mod cache;
 pub mod failpoint;
+pub mod jobs;
 pub mod json;
 pub mod live;
 pub mod pool;
@@ -63,6 +69,10 @@ pub mod server;
 pub mod snapshot;
 pub mod wal;
 
+pub use jobs::{
+    JobEvent, JobReport, JobRunner, JobSpec, JobStats, JobSubmitError, JobsConfig,
+    OptimizerKind,
+};
 pub use live::{LiveConfig, LiveEngine, LiveError};
 pub use pool::{DrainReport, PoolConfig, ServePool, SubmitError};
 pub use protocol::{ErrorKind, Request, RequestEnvelope, Response};

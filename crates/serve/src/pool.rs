@@ -43,17 +43,23 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, OnceLock, Weak};
 use std::time::{Duration, Instant};
 
-use reecc_core::{QueryEngine, QueryTier, WhatIfScratch};
+use reecc_core::{CoreError, QueryEngine, QueryTier, WhatIfScratch};
 use reecc_graph::Edge;
 
 use crate::cache::{CacheKey, CachedAnswer, ShardedLru};
 use crate::failpoint;
+use crate::jobs::{JobRunner, JobSubmitError, JobsConfig};
 use crate::live::{EpochView, LiveEngine, LiveError};
 use crate::protocol::{ErrorKind, Outcome, Request, RequestEnvelope, Response, StatsReport};
 use crate::wal::WalOp;
+
+/// How long `optimize-result` with `"wait":true` is willing to park the
+/// calling session thread before answering with the job's current
+/// (possibly still non-terminal) state.
+const JOB_WAIT_TIMEOUT: Duration = Duration::from_secs(3600);
 
 /// Pool sizing and behavior knobs.
 #[derive(Debug, Clone, Copy)]
@@ -149,6 +155,10 @@ struct Shared {
     whatif: Mutex<WhatIfScratch>,
     whatif_served: AtomicU64,
     whatif_micros: AtomicU64,
+    /// The background optimization-job subsystem, when enabled. Job
+    /// control ops never enter the worker queue; they go straight to the
+    /// runner's registry.
+    jobs: OnceLock<Arc<JobRunner>>,
 }
 
 enum WorkerExit {
@@ -186,6 +196,27 @@ impl ServePool {
     /// Spin up the supervised workers for a live (possibly durable,
     /// possibly recovered) engine.
     pub fn with_live(live: Arc<LiveEngine>, config: PoolConfig) -> Self {
+        Self::with_live_and_jobs(live, config, None)
+            .expect("a pool without a job subsystem cannot fail to start")
+    }
+
+    /// Spin up the supervised workers plus, when `jobs` is given, the
+    /// background optimization-job subsystem (see [`crate::jobs`]).
+    ///
+    /// The job runner probes this pool's queue pressure between greedy
+    /// iterations (`submitted > served` means requests are waiting or
+    /// executing) and yields, so background optimization never starves
+    /// interactive query latency.
+    ///
+    /// # Errors
+    ///
+    /// A message when the job subsystem cannot start: `max_jobs` of zero,
+    /// an uncreatable checkpoint directory, or an unscannable one.
+    pub fn with_live_and_jobs(
+        live: Arc<LiveEngine>,
+        config: PoolConfig,
+        jobs: Option<JobsConfig>,
+    ) -> Result<Self, String> {
         // `threads: 0` resolves through the shared helper; the pool keeps
         // a floor of two workers so one panicked worker never leaves the
         // queue unattended while the supervisor respawns it.
@@ -214,7 +245,20 @@ impl ServePool {
             whatif: Mutex::new(WhatIfScratch::new(n)),
             whatif_served: AtomicU64::new(0),
             whatif_micros: AtomicU64::new(0),
+            jobs: OnceLock::new(),
         });
+        // Start the job runner before any worker thread exists, so a
+        // failed start leaks nothing.
+        if let Some(jobs_config) = jobs {
+            let weak: Weak<Shared> = Arc::downgrade(&shared);
+            let busy = Box::new(move || {
+                weak.upgrade().is_some_and(|s| {
+                    s.submitted.load(Ordering::Relaxed) > s.served.load(Ordering::Relaxed)
+                })
+            });
+            let runner = JobRunner::start(Arc::clone(&shared.live), &jobs_config, busy)?;
+            let _ = shared.jobs.set(runner);
+        }
         let (tx, rx) = mpsc::sync_channel::<Job>(queue_depth);
         let rx = Arc::new(Mutex::new(rx));
         let (exit_tx, exit_rx) = mpsc::channel::<WorkerExit>();
@@ -234,13 +278,18 @@ impl ServePool {
                 .spawn(move || supervisor_loop(&exit_rx, &exit_tx, &rx_jobs, &shared, &workers))
                 .expect("spawn serve supervisor")
         };
-        ServePool {
+        Ok(ServePool {
             tx: Mutex::new(Some(tx)),
             workers,
             supervisor: Mutex::new(Some(supervisor)),
             shared,
             default_deadline: config.default_deadline,
-        }
+        })
+    }
+
+    /// The background job subsystem, when this pool was started with one.
+    pub fn jobs(&self) -> Option<&Arc<JobRunner>> {
+        self.shared.jobs.get()
     }
 
     /// The current epoch's tier for eccentricity answers, as a wire
@@ -293,6 +342,16 @@ impl ServePool {
     /// Submit and wait for the answer, mapping every rejection to an error
     /// [`Response`] so callers always get one line per request.
     pub fn run(&self, env: RequestEnvelope) -> Response {
+        if matches!(
+            env.request,
+            Request::OptimizeSubmit { .. }
+                | Request::OptimizeStatus { .. }
+                | Request::OptimizeCancel { .. }
+                | Request::OptimizeEvents { .. }
+                | Request::OptimizeResult { .. }
+        ) {
+            return self.run_job_op(env);
+        }
         let id = env.id;
         let op = env.request.op_name();
         match self.submit(env) {
@@ -316,6 +375,81 @@ impl ServePool {
                 ErrorKind::Draining,
                 "pool is draining; request not accepted".to_string(),
             ),
+        }
+    }
+
+    /// Answer one `optimize-*` op on the calling thread.
+    ///
+    /// Job control never enters the bounded worker queue: these are
+    /// registry lookups (or, for `optimize-result` with `"wait":true`, a
+    /// deliberate block of the *session* thread), so a full query queue
+    /// can neither starve nor be starved by job traffic.
+    fn run_job_op(&self, env: RequestEnvelope) -> Response {
+        let id = env.id;
+        let op = env.request.op_name();
+        let started = Instant::now();
+        let Some(runner) = self.shared.jobs.get() else {
+            return Response::error(
+                id,
+                op,
+                ErrorKind::BadRequest,
+                "job subsystem disabled (start serve with --max-jobs >= 1)".to_string(),
+            );
+        };
+        let unknown = |job: u64| Outcome::Error {
+            kind: ErrorKind::BadRequest,
+            message: format!("unknown job {job}"),
+        };
+        let outcome = match env.request {
+            Request::OptimizeSubmit { spec } => match runner.submit(spec) {
+                Ok(job) => Outcome::Job {
+                    job,
+                    state: "queued",
+                    detail: String::new(),
+                    iterations: 0,
+                    k: spec.k as u64,
+                },
+                Err(JobSubmitError::Invalid(msg)) => {
+                    Outcome::Error { kind: ErrorKind::BadRequest, message: msg }
+                }
+                Err(JobSubmitError::Overloaded(msg)) => {
+                    Outcome::Error { kind: ErrorKind::Overloaded, message: msg }
+                }
+                Err(JobSubmitError::Io(msg)) => {
+                    Outcome::Error { kind: ErrorKind::Internal, message: msg }
+                }
+            },
+            Request::OptimizeStatus { job } | Request::OptimizeEvents { job, .. } => {
+                // Through the plain request path `optimize-events`
+                // degrades to a status probe; the transports stream it
+                // line-by-line instead (see `crate::server`).
+                match runner.status(job) {
+                    Some(report) => Outcome::job_status(&report),
+                    None => unknown(job),
+                }
+            }
+            Request::OptimizeCancel { job } => match runner.cancel(job) {
+                Some(report) => Outcome::job_status(&report),
+                None => unknown(job),
+            },
+            Request::OptimizeResult { job, wait } => {
+                let report =
+                    if wait { runner.wait(job, JOB_WAIT_TIMEOUT) } else { runner.status(job) };
+                match report {
+                    Some(report) => Outcome::job_result(&report),
+                    None => unknown(job),
+                }
+            }
+            _ => unreachable!("run_job_op is only called for optimize-* requests"),
+        };
+        Response {
+            id,
+            op,
+            outcome,
+            tier: None,
+            cached: false,
+            compute_micros: started.elapsed().as_micros() as u64,
+            queue_micros: 0,
         }
     }
 
@@ -348,6 +482,12 @@ impl ServePool {
         *self.shared.drain_deadline.lock().expect("drain deadline poisoned") =
             Some(started + grace);
         self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Background optimization jobs stop first: running ones are
+        // cancelled cooperatively and their checkpoints kept, so the next
+        // process resumes them. Idempotent, like the rest of drain.
+        if let Some(runner) = self.shared.jobs.get() {
+            runner.shutdown();
+        }
         // Closing the channel stops admissions and lets workers run the
         // queue dry; jobs dequeued past the deadline are answered with
         // `draining` instead of computed.
@@ -654,6 +794,58 @@ fn execute(shared: &Shared, request: Request) -> (Outcome, bool, QueryTier) {
             shared.cache.insert(key, cached);
             (Outcome::Ecc { value: cached.value, node: cached.node }, false, tier)
         }
+        Request::WhatIfRemoveEdge { s, u, v } => {
+            if let Some(msg) = check(s, "s").or_else(|| check(u, "u")).or_else(|| check(v, "v"))
+            {
+                return bad(msg);
+            }
+            if u == v {
+                return bad(format!(
+                    "whatif-remove-edge needs two distinct endpoints, got {u} twice"
+                ));
+            }
+            let (a, b) = if u <= v { (u, v) } else { (v, u) };
+            if !view.engine.graph().has_edge(a, b) {
+                return bad(format!("edge {{{a}, {b}}} is not in the graph"));
+            }
+            let key = CacheKey::WhatIfRemove(fp, s, a, b);
+            if let Some(hit) = shared.cache.get(&key) {
+                return (Outcome::Ecc { value: hit.value, node: hit.node }, true, tier);
+            }
+            // Same warm-scratch path as `whatif-edge`: the removal solve
+            // reuses the pool-held CG workspace and base resistances.
+            let started = Instant::now();
+            let ans = {
+                let mut scratch = match shared.whatif.lock() {
+                    Ok(guard) => guard,
+                    Err(poison) => {
+                        let mut guard = poison.into_inner();
+                        guard.reset();
+                        guard
+                    }
+                };
+                view.engine.eccentricity_after_removal_with(&mut scratch, s, Edge::new(a, b))
+            };
+            let micros = started.elapsed().as_micros() as u64;
+            shared.whatif_served.fetch_add(1, Ordering::Relaxed);
+            shared.whatif_micros.fetch_add(micros, Ordering::Relaxed);
+            match ans {
+                Ok(ans) => {
+                    let cached = CachedAnswer { value: ans.value, node: ans.farthest };
+                    shared.cache.insert(key, cached);
+                    (Outcome::Ecc { value: cached.value, node: cached.node }, false, tier)
+                }
+                // A bridge is a structural property of the request, not
+                // an engine failure: the client asked to disconnect the
+                // graph.
+                Err(e @ CoreError::DisconnectingRemoval { .. }) => bad(e.to_string()),
+                Err(e) => (
+                    Outcome::Error { kind: ErrorKind::Internal, message: e.to_string() },
+                    false,
+                    tier,
+                ),
+            }
+        }
         Request::AddEdge { u, v } | Request::RemoveEdge { u, v } => {
             if let Some(msg) = check(u, "u").or_else(|| check(v, "v")) {
                 return bad(msg);
@@ -696,10 +888,20 @@ fn execute(shared: &Shared, request: Request) -> (Outcome, bool, QueryTier) {
             false,
             tier,
         ),
+        Request::OptimizeSubmit { .. }
+        | Request::OptimizeStatus { .. }
+        | Request::OptimizeCancel { .. }
+        | Request::OptimizeEvents { .. }
+        | Request::OptimizeResult { .. } => {
+            bad("optimize-* ops are job control, not pool work; submit them through \
+             ServePool::run"
+                .to_string())
+        }
         Request::Stats => {
             let cache = shared.cache.stats();
             let sketch = view.engine.sketch();
             let diag = sketch.diagnostics();
+            let jobs = shared.jobs.get().map(|r| r.stats()).unwrap_or_default();
             (
                 Outcome::Stats(StatsReport {
                     nodes: n,
@@ -729,6 +931,12 @@ fn execute(shared: &Shared, request: Request) -> (Outcome, bool, QueryTier) {
                     resketches_total: shared.live.resketches_total(),
                     wal_bytes: shared.live.wal_bytes(),
                     wal_replayed_on_start: shared.live.wal_replayed_on_start(),
+                    jobs_submitted: jobs.submitted,
+                    jobs_running: jobs.running,
+                    jobs_completed: jobs.completed,
+                    jobs_cancelled: jobs.cancelled,
+                    jobs_failed: jobs.failed,
+                    job_checkpoint_bytes: jobs.checkpoint_bytes,
                 }),
                 false,
                 tier,
@@ -955,6 +1163,170 @@ mod tests {
         let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
         assert_eq!(total, 80, "large queue + run() must answer everything");
         assert_eq!(p.served(), 80);
+    }
+
+    fn pool_of(g: &reecc_graph::Graph, threads: usize) -> ServePool {
+        let engine = QueryEngine::build(
+            g,
+            &SketchParams { epsilon: 0.5, seed: 3, ..Default::default() },
+        )
+        .unwrap();
+        ServePool::new(
+            Arc::new(engine),
+            PoolConfig { threads, queue_depth: 16, ..Default::default() },
+        )
+    }
+
+    fn jobs_pool(g: &reecc_graph::Graph) -> ServePool {
+        let engine = QueryEngine::build(
+            g,
+            &SketchParams { epsilon: 0.5, seed: 3, ..Default::default() },
+        )
+        .unwrap();
+        ServePool::with_live_and_jobs(
+            LiveEngine::ephemeral(Arc::new(engine), None),
+            PoolConfig { threads: 1, queue_depth: 16, ..Default::default() },
+            Some(crate::jobs::JobsConfig { max_jobs: 1, queue_depth: 4, job_dir: None }),
+        )
+        .unwrap()
+    }
+
+    fn job_spec(k: usize) -> crate::jobs::JobSpec {
+        crate::jobs::JobSpec {
+            optimizer: crate::jobs::OptimizerKind::Simple,
+            source: 1,
+            k,
+            eps: 0.4,
+            threads: 1,
+            block_size: 0,
+            lazy: false,
+            remd: true,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn whatif_remove_edge_answers_caches_and_rejects_bridges() {
+        use reecc_graph::generators::{cycle, line};
+        let p = pool_of(&cycle(12), 2);
+        let first = p.run(env(Request::WhatIfRemoveEdge { s: 6, u: 0, v: 1 }));
+        assert!(first.is_ok(), "{first:?}");
+        assert!(!first.cached);
+        let flipped = p.run(env(Request::WhatIfRemoveEdge { s: 6, u: 1, v: 0 }));
+        assert!(flipped.cached, "endpoint order must normalize: {flipped:?}");
+        assert_eq!(flipped.outcome, first.outcome);
+        // Removal can only increase the source's eccentricity.
+        let base = p.run(env(Request::Ecc { v: 6 }));
+        match (&base.outcome, &first.outcome) {
+            (Outcome::Ecc { value: b, .. }, Outcome::Ecc { value: r, .. }) => {
+                assert!(r >= b, "removal must not shrink eccentricity: {r} < {b}");
+            }
+            other => panic!("{other:?}"),
+        }
+        // A non-edge is a bad request, not a solve.
+        let missing = p.run(env(Request::WhatIfRemoveEdge { s: 0, u: 0, v: 5 }));
+        match missing.outcome {
+            Outcome::Error { kind, ref message } => {
+                assert_eq!(kind, ErrorKind::BadRequest);
+                assert!(message.contains("not in the graph"), "{message}");
+            }
+            other => panic!("{other:?}"),
+        }
+        // A bridge is a typed rejection: the graph must stay connected.
+        let p = pool_of(&line(8), 1);
+        let bridge = p.run(env(Request::WhatIfRemoveEdge { s: 0, u: 3, v: 4 }));
+        match bridge.outcome {
+            Outcome::Error { kind, ref message } => {
+                assert_eq!(kind, ErrorKind::BadRequest);
+                assert!(message.contains("disconnect"), "{message}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn job_ops_flow_through_the_pool_without_touching_the_queue() {
+        let g = barabasi_albert(30, 2, 17);
+        let p = jobs_pool(&g);
+        let submitted = p.run(env(Request::OptimizeSubmit { spec: job_spec(2) }));
+        let job = match submitted.outcome {
+            Outcome::Job { job, state, .. } => {
+                assert_eq!(state, "queued");
+                job
+            }
+            other => panic!("{other:?}"),
+        };
+        let result = p.run(env(Request::OptimizeResult { job, wait: true }));
+        match result.outcome {
+            Outcome::JobResult { state, ref plan, .. } => {
+                assert_eq!(state, "completed");
+                assert_eq!(plan.len(), 2, "{plan:?}");
+            }
+            other => panic!("{other:?}"),
+        }
+        let status = p.run(env(Request::OptimizeStatus { job }));
+        match status.outcome {
+            Outcome::Job { state, iterations, k, .. } => {
+                assert_eq!(state, "completed");
+                assert_eq!((iterations, k), (2, 2));
+            }
+            other => panic!("{other:?}"),
+        }
+        // The job ops never entered the bounded worker queue.
+        assert_eq!(p.shared.submitted.load(Ordering::Relaxed), 0);
+        for unknown in [
+            Request::OptimizeStatus { job: 999 },
+            Request::OptimizeCancel { job: 999 },
+            Request::OptimizeResult { job: 999, wait: false },
+        ] {
+            let resp = p.run(env(unknown));
+            match resp.outcome {
+                Outcome::Error { kind, .. } => assert_eq!(kind, ErrorKind::BadRequest),
+                other => panic!("{other:?}"),
+            }
+        }
+        let stats = p.run(env(Request::Stats));
+        match stats.outcome {
+            Outcome::Stats(s) => {
+                assert_eq!(s.jobs_submitted, 1);
+                assert_eq!(s.jobs_completed, 1);
+                assert_eq!(s.jobs_running, 0);
+                assert_eq!(s.jobs_failed, 0);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn job_ops_without_a_runner_are_bad_requests() {
+        let p = pool(1, 8);
+        let resp = p.run(env(Request::OptimizeSubmit { spec: job_spec(1) }));
+        match resp.outcome {
+            Outcome::Error { kind, ref message } => {
+                assert_eq!(kind, ErrorKind::BadRequest);
+                assert!(message.contains("disabled"), "{message}");
+            }
+            other => panic!("{other:?}"),
+        }
+        let stats = p.run(env(Request::Stats));
+        match stats.outcome {
+            Outcome::Stats(s) => assert_eq!(s.jobs_submitted, 0),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn drain_shuts_the_job_runner_down_with_the_pool() {
+        let g = barabasi_albert(30, 2, 17);
+        let p = jobs_pool(&g);
+        let report = p.drain(Duration::from_secs(5));
+        assert_eq!(report.dropped, 0);
+        // After drain the runner refuses new jobs.
+        let resp = p.jobs().unwrap().submit(job_spec(1));
+        assert!(
+            matches!(resp, Err(crate::jobs::JobSubmitError::Invalid(ref m)) if m.contains("shut down")),
+            "{resp:?}"
+        );
     }
 
     #[test]

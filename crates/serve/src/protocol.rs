@@ -9,10 +9,16 @@
 //! | `radius`      | —                 | min eccentricity + center node  |
 //! | `diameter`    | —                 | max eccentricity + node         |
 //! | `whatif-edge` | `s`, `u`, `v`     | ecc of `s` after adding `{u,v}` |
+//! | `whatif-remove-edge` | `s`, `u`, `v` | ecc of `s` after deleting `{u,v}` |
 //! | `add-edge`    | `u`, `v`          | mutate: insert edge, rank-1     |
 //! | `remove-edge` | `u`, `v`          | mutate: delete edge, rank-1     |
 //! | `epoch`       | —                 | epoch number + budget state     |
 //! | `stats`       | —                 | engine / pool / cache counters  |
+//! | `optimize-submit` | `optimizer`, `s`, `k` + knobs | background job id |
+//! | `optimize-status` | `job`         | job state + progress counters   |
+//! | `optimize-cancel` | `job`         | cooperative cancellation        |
+//! | `optimize-events` | `job` (+ `since`, `follow`) | per-iteration NDJSON events |
+//! | `optimize-result` | `job` (+ `wait`) | final plan + run telemetry   |
 //!
 //! The two mutation ops are durably logged (WAL append + fsync) before
 //! the ack; their answers carry the edge's effective resistance, the
@@ -26,10 +32,11 @@
 //! PR 1's `QueryDiagnostics` made wire-visible) plus compute and queue
 //! times in microseconds.
 
+use crate::jobs::JobSpec;
 use crate::json::Json;
 
 /// A single query operation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Request {
     /// Eccentricity of one node.
     Ecc {
@@ -70,10 +77,50 @@ pub enum Request {
         /// Second endpoint.
         v: usize,
     },
+    /// Eccentricity of `s` after hypothetically deleting edge `{u, v}`.
+    WhatIfRemoveEdge {
+        /// Node whose eccentricity is re-estimated.
+        s: usize,
+        /// First endpoint of the hypothetical removal.
+        u: usize,
+        /// Second endpoint of the hypothetical removal.
+        v: usize,
+    },
     /// Current epoch number, budget state, and re-sketch progress.
     Epoch,
     /// Engine, pool, and cache statistics.
     Stats,
+    /// Submit a background optimization job.
+    OptimizeSubmit {
+        /// The job's full spec (optimizer, problem instance, knobs).
+        spec: JobSpec,
+    },
+    /// State and progress of one job.
+    OptimizeStatus {
+        /// Job id from `optimize-submit`.
+        job: u64,
+    },
+    /// Cooperatively cancel one job.
+    OptimizeCancel {
+        /// Job id from `optimize-submit`.
+        job: u64,
+    },
+    /// Stream per-iteration progress events for one job.
+    OptimizeEvents {
+        /// Job id from `optimize-submit`.
+        job: u64,
+        /// First event index to return (skip already-seen ones).
+        since: u64,
+        /// Block until the job finishes, streaming events as they land.
+        follow: bool,
+    },
+    /// Final plan of one job.
+    OptimizeResult {
+        /// Job id from `optimize-submit`.
+        job: u64,
+        /// Block until the job reaches a terminal state.
+        wait: bool,
+    },
 }
 
 impl Request {
@@ -85,10 +132,16 @@ impl Request {
             Request::Radius => "radius",
             Request::Diameter => "diameter",
             Request::WhatIfEdge { .. } => "whatif-edge",
+            Request::WhatIfRemoveEdge { .. } => "whatif-remove-edge",
             Request::AddEdge { .. } => "add-edge",
             Request::RemoveEdge { .. } => "remove-edge",
             Request::Epoch => "epoch",
             Request::Stats => "stats",
+            Request::OptimizeSubmit { .. } => "optimize-submit",
+            Request::OptimizeStatus { .. } => "optimize-status",
+            Request::OptimizeCancel { .. } => "optimize-cancel",
+            Request::OptimizeEvents { .. } => "optimize-events",
+            Request::OptimizeResult { .. } => "optimize-result",
         }
     }
 }
@@ -126,20 +179,78 @@ pub fn parse_request(line: &str) -> Result<RequestEnvelope, String> {
             .as_usize()
             .ok_or_else(|| format!("field {name:?} must be a non-negative integer"))
     };
+    let opt_usize = |name: &str, default: usize| -> Result<usize, String> {
+        match value.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .as_usize()
+                .ok_or_else(|| format!("field {name:?} must be a non-negative integer")),
+        }
+    };
+    let opt_bool = |name: &str, default: bool| -> Result<bool, String> {
+        match value.get(name) {
+            None => Ok(default),
+            Some(v) => v.as_bool().ok_or_else(|| format!("field {name:?} must be a boolean")),
+        }
+    };
     let request = match op {
         "ecc" => Request::Ecc { v: field("v")? },
         "res" => Request::Res { u: field("u")?, v: field("v")? },
         "radius" => Request::Radius,
         "diameter" => Request::Diameter,
         "whatif-edge" => Request::WhatIfEdge { s: field("s")?, u: field("u")?, v: field("v")? },
+        "whatif-remove-edge" => {
+            Request::WhatIfRemoveEdge { s: field("s")?, u: field("u")?, v: field("v")? }
+        }
         "add-edge" => Request::AddEdge { u: field("u")?, v: field("v")? },
         "remove-edge" => Request::RemoveEdge { u: field("u")?, v: field("v")? },
         "epoch" => Request::Epoch,
         "stats" => Request::Stats,
+        "optimize-submit" => {
+            let name = value
+                .get("optimizer")
+                .and_then(Json::as_str)
+                .ok_or("op \"optimize-submit\" needs a string \"optimizer\" field")?;
+            let optimizer = crate::jobs::OptimizerKind::parse(name).ok_or_else(|| {
+                format!(
+                    "unknown optimizer {name:?} (known: simple, farminrecc, cenminrecc, \
+                     chminrecc, minrecc)"
+                )
+            })?;
+            let eps = match value.get("eps") {
+                None => 0.3,
+                Some(v) => v.as_f64().ok_or("field \"eps\" must be a number")?,
+            };
+            Request::OptimizeSubmit {
+                spec: JobSpec {
+                    optimizer,
+                    source: field("s")?,
+                    k: field("k")?,
+                    eps,
+                    threads: opt_usize("threads", 0)?,
+                    block_size: opt_usize("block_size", 0)?,
+                    lazy: opt_bool("lazy", false)?,
+                    remd: opt_bool("remd", true)?,
+                    seed: opt_usize("seed", 0)? as u64,
+                },
+            }
+        }
+        "optimize-status" => Request::OptimizeStatus { job: field("job")? as u64 },
+        "optimize-cancel" => Request::OptimizeCancel { job: field("job")? as u64 },
+        "optimize-events" => Request::OptimizeEvents {
+            job: field("job")? as u64,
+            since: opt_usize("since", 0)? as u64,
+            follow: opt_bool("follow", false)?,
+        },
+        "optimize-result" => Request::OptimizeResult {
+            job: field("job")? as u64,
+            wait: opt_bool("wait", false)?,
+        },
         other => {
             return Err(format!(
                 "unknown op {other:?} (known: ecc, res, radius, diameter, whatif-edge, \
-                 add-edge, remove-edge, epoch, stats)"
+                 whatif-remove-edge, add-edge, remove-edge, epoch, stats, optimize-submit, \
+                 optimize-status, optimize-cancel, optimize-events, optimize-result)"
             ))
         }
     };
@@ -252,6 +363,20 @@ pub struct StatsReport {
     pub wal_bytes: u64,
     /// WAL records replayed when this process started.
     pub wal_replayed_on_start: u64,
+    /// Optimization jobs accepted (all zeros when the job runner is
+    /// disabled).
+    pub jobs_submitted: u64,
+    /// Jobs currently executing on a runner thread.
+    pub jobs_running: u64,
+    /// Jobs that ran their full budget.
+    pub jobs_completed: u64,
+    /// Jobs stopped by `optimize-cancel`.
+    pub jobs_cancelled: u64,
+    /// Jobs that failed (optimizer error, checkpoint i/o, contained
+    /// panic).
+    pub jobs_failed: u64,
+    /// Bytes durably written to job checkpoint files.
+    pub job_checkpoint_bytes: u64,
 }
 
 /// What a request produced.
@@ -300,6 +425,39 @@ pub enum Outcome {
         /// Whether a background re-sketch is in flight.
         resketch_running: bool,
     },
+    /// State of a background optimization job (`optimize-submit` /
+    /// `optimize-status` / `optimize-cancel`).
+    Job {
+        /// Job id.
+        job: u64,
+        /// `"queued"` / `"running"` / `"completed"` / `"cancelled"` /
+        /// `"failed"`.
+        state: &'static str,
+        /// Failure reason, or empty.
+        detail: String,
+        /// Iterations committed so far (replayed prefix included).
+        iterations: u64,
+        /// The job's edge budget.
+        k: u64,
+    },
+    /// Final plan of a finished job (`optimize-result`).
+    JobResult {
+        /// Job id.
+        job: u64,
+        /// Terminal (or, without `wait`, current) state name.
+        state: &'static str,
+        /// Committed plan as `(u, v, score)` triples.
+        plan: Vec<(usize, usize, f64)>,
+        /// Wall time of the run in microseconds.
+        wall_micros: u64,
+        /// Whether a re-sketch epoch swap happened mid-job: the plan was
+        /// computed against the pinned submit-time epoch.
+        epoch_swapped: bool,
+        /// Steps replayed from a checkpoint rather than freshly decided.
+        resumed: u64,
+        /// Failure reason, or empty.
+        detail: String,
+    },
     /// A failure.
     Error {
         /// Failure class.
@@ -307,6 +465,55 @@ pub enum Outcome {
         /// Human-readable detail.
         message: String,
     },
+}
+
+impl Outcome {
+    /// Shape a job report as a `Job` status outcome (`optimize-status`,
+    /// `optimize-cancel`, the `optimize-submit` ack).
+    pub fn job_status(report: &crate::jobs::JobReport) -> Outcome {
+        Outcome::Job {
+            job: report.job,
+            state: report.state,
+            detail: report.detail.clone(),
+            iterations: report.iterations,
+            k: report.k,
+        }
+    }
+
+    /// Shape a job report as a `JobResult` outcome (`optimize-result`).
+    pub fn job_result(report: &crate::jobs::JobReport) -> Outcome {
+        Outcome::JobResult {
+            job: report.job,
+            state: report.state,
+            plan: report.plan.clone(),
+            wall_micros: report.wall_micros,
+            epoch_swapped: report.epoch_swapped,
+            resumed: report.resumed,
+            detail: report.detail.clone(),
+        }
+    }
+}
+
+/// Serialize one streamed `optimize-events` progress line (no trailing
+/// newline). Event lines carry `"event":true` so clients can tell them
+/// from the closing status line of the stream.
+pub fn render_job_event(id: Option<u64>, job: u64, event: &crate::jobs::JobEvent) -> String {
+    let mut fields: Vec<(String, Json)> =
+        vec![("ok".into(), Json::Bool(true)), ("op".into(), str_json("optimize-events"))];
+    if let Some(id) = id {
+        fields.push(("id".into(), Json::Num(id as f64)));
+    }
+    fields.push(("event".into(), Json::Bool(true)));
+    fields.push(("job".into(), Json::Num(job as f64)));
+    fields.push(("iteration".into(), Json::Num(event.iteration as f64)));
+    fields.push(("u".into(), Json::Num(event.u as f64)));
+    fields.push(("v".into(), Json::Num(event.v as f64)));
+    fields.push(("score".into(), Json::Num(event.score)));
+    fields.push(("full_evals".into(), Json::Num(event.full_evals as f64)));
+    fields.push(("lazy_hits".into(), Json::Num(event.lazy_hits as f64)));
+    fields.push(("elapsed_micros".into(), Json::Num(event.elapsed_micros as f64)));
+    fields.push(("replayed".into(), Json::Bool(event.replayed)));
+    Json::Obj(fields).render()
 }
 
 /// A complete response, ready to serialize as one output line.
@@ -404,6 +611,15 @@ impl Response {
                     "wal_replayed_on_start".into(),
                     Json::Num(s.wal_replayed_on_start as f64),
                 ));
+                fields.push(("jobs_submitted".into(), Json::Num(s.jobs_submitted as f64)));
+                fields.push(("jobs_running".into(), Json::Num(s.jobs_running as f64)));
+                fields.push(("jobs_completed".into(), Json::Num(s.jobs_completed as f64)));
+                fields.push(("jobs_cancelled".into(), Json::Num(s.jobs_cancelled as f64)));
+                fields.push(("jobs_failed".into(), Json::Num(s.jobs_failed as f64)));
+                fields.push((
+                    "job_checkpoint_bytes".into(),
+                    Json::Num(s.job_checkpoint_bytes as f64),
+                ));
             }
             Outcome::Mutated { r_uv, cost, budget_remaining, epoch, seq, resketch } => {
                 fields.push(("r_uv".into(), Json::Num(*r_uv)));
@@ -426,6 +642,44 @@ impl Response {
                 fields.push(("budget_total".into(), Json::Num(*budget_total)));
                 fields.push(("budget_remaining".into(), Json::Num(*budget_remaining)));
                 fields.push(("resketch_running".into(), Json::Bool(*resketch_running)));
+            }
+            Outcome::Job { job, state, detail, iterations, k } => {
+                fields.push(("job".into(), Json::Num(*job as f64)));
+                fields.push(("state".into(), str_json(state)));
+                if !detail.is_empty() {
+                    fields.push(("detail".into(), str_json(detail)));
+                }
+                fields.push(("iterations".into(), Json::Num(*iterations as f64)));
+                fields.push(("k".into(), Json::Num(*k as f64)));
+            }
+            Outcome::JobResult {
+                job,
+                state,
+                plan,
+                wall_micros,
+                epoch_swapped,
+                resumed,
+                detail,
+            } => {
+                fields.push(("job".into(), Json::Num(*job as f64)));
+                fields.push(("state".into(), str_json(state)));
+                if !detail.is_empty() {
+                    fields.push(("detail".into(), str_json(detail)));
+                }
+                let plan_json = plan
+                    .iter()
+                    .map(|&(u, v, score)| {
+                        Json::Arr(vec![
+                            Json::Num(u as f64),
+                            Json::Num(v as f64),
+                            Json::Num(score),
+                        ])
+                    })
+                    .collect();
+                fields.push(("plan".into(), Json::Arr(plan_json)));
+                fields.push(("wall_micros".into(), Json::Num(*wall_micros as f64)));
+                fields.push(("epoch_swapped".into(), Json::Bool(*epoch_swapped)));
+                fields.push(("resumed".into(), Json::Num(*resumed as f64)));
             }
             Outcome::Error { kind, message } => {
                 fields.push(("error".into(), str_json(kind.wire_name())));
@@ -463,10 +717,28 @@ mod tests {
                 r#"{"op":"whatif-edge","s":3,"u":0,"v":9}"#,
                 Request::WhatIfEdge { s: 3, u: 0, v: 9 },
             ),
+            (
+                r#"{"op":"whatif-remove-edge","s":3,"u":0,"v":9}"#,
+                Request::WhatIfRemoveEdge { s: 3, u: 0, v: 9 },
+            ),
             (r#"{"op":"add-edge","u":4,"v":11}"#, Request::AddEdge { u: 4, v: 11 }),
             (r#"{"op":"remove-edge","u":4,"v":11}"#, Request::RemoveEdge { u: 4, v: 11 }),
             (r#"{"op":"epoch"}"#, Request::Epoch),
             (r#"{"op":"stats"}"#, Request::Stats),
+            (r#"{"op":"optimize-status","job":5}"#, Request::OptimizeStatus { job: 5 }),
+            (r#"{"op":"optimize-cancel","job":0}"#, Request::OptimizeCancel { job: 0 }),
+            (
+                r#"{"op":"optimize-events","job":2}"#,
+                Request::OptimizeEvents { job: 2, since: 0, follow: false },
+            ),
+            (
+                r#"{"op":"optimize-events","job":2,"since":4,"follow":true}"#,
+                Request::OptimizeEvents { job: 2, since: 4, follow: true },
+            ),
+            (
+                r#"{"op":"optimize-result","job":1,"wait":true}"#,
+                Request::OptimizeResult { job: 1, wait: true },
+            ),
         ];
         for (line, expected) in cases {
             let env = parse_request(line).unwrap();
@@ -482,6 +754,95 @@ mod tests {
         assert_eq!(env.deadline_ms, Some(250));
         assert!(parse_request(r#"{"op":"ecc","v":1,"id":"x"}"#).is_err());
         assert!(parse_request(r#"{"op":"ecc","v":1,"deadline_ms":-5}"#).is_err());
+    }
+
+    #[test]
+    fn optimize_submit_parses_spec_with_defaults() {
+        use crate::jobs::OptimizerKind;
+        let env = parse_request(r#"{"op":"optimize-submit","optimizer":"simple","s":3,"k":2}"#)
+            .unwrap();
+        let Request::OptimizeSubmit { spec } = env.request else { panic!("{env:?}") };
+        assert_eq!(spec.optimizer, OptimizerKind::Simple);
+        assert_eq!((spec.source, spec.k), (3, 2));
+        assert_eq!(spec.eps, 0.3);
+        assert_eq!((spec.threads, spec.block_size, spec.seed), (0, 0, 0));
+        assert!(!spec.lazy);
+        assert!(spec.remd, "SIMPLE defaults to the source-incident problem");
+
+        let env = parse_request(
+            r#"{"op":"optimize-submit","optimizer":"minrecc","s":0,"k":4,"eps":0.5,
+               "threads":2,"block_size":8,"lazy":true,"remd":false,"seed":9}"#,
+        )
+        .unwrap();
+        let Request::OptimizeSubmit { spec } = env.request else { panic!("{env:?}") };
+        assert_eq!(spec.optimizer, OptimizerKind::MinRecc);
+        assert_eq!(spec.eps, 0.5);
+        assert_eq!((spec.threads, spec.block_size, spec.seed), (2, 8, 9));
+        assert!(spec.lazy && !spec.remd);
+
+        for (line, needle) in [
+            (r#"{"op":"optimize-submit","s":0,"k":1}"#, "\"optimizer\""),
+            (r#"{"op":"optimize-submit","optimizer":"frob","s":0,"k":1}"#, "unknown optimizer"),
+            (r#"{"op":"optimize-submit","optimizer":"simple","k":1}"#, "needs field \"s\""),
+            (
+                r#"{"op":"optimize-submit","optimizer":"simple","s":0,"k":1,"lazy":3}"#,
+                "must be a boolean",
+            ),
+            (r#"{"op":"optimize-events","job":1,"since":-2}"#, "non-negative"),
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert!(err.contains(needle), "{line}: {err}");
+        }
+    }
+
+    #[test]
+    fn job_outcomes_render_their_fields() {
+        let resp = Response {
+            id: None,
+            op: "optimize-submit",
+            outcome: Outcome::Job {
+                job: 7,
+                state: "queued",
+                detail: String::new(),
+                iterations: 0,
+                k: 3,
+            },
+            tier: None,
+            cached: false,
+            compute_micros: 2,
+            queue_micros: 0,
+        };
+        let v = Json::parse(&resp.render()).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("job").unwrap().as_usize(), Some(7));
+        assert_eq!(v.get("state").unwrap().as_str(), Some("queued"));
+        assert_eq!(v.get("k").unwrap().as_usize(), Some(3));
+        assert!(v.get("detail").is_none(), "empty detail omitted");
+
+        let resp = Response {
+            id: Some(1),
+            op: "optimize-result",
+            outcome: Outcome::JobResult {
+                job: 7,
+                state: "completed",
+                plan: vec![(0, 4, 1.5), (2, 3, 1.25)],
+                wall_micros: 900,
+                epoch_swapped: true,
+                resumed: 1,
+                detail: String::new(),
+            },
+            tier: None,
+            cached: false,
+            compute_micros: 1,
+            queue_micros: 0,
+        };
+        let line = resp.render();
+        let v = Json::parse(&line).unwrap();
+        assert_eq!(v.get("state").unwrap().as_str(), Some("completed"));
+        assert_eq!(v.get("wall_micros").unwrap().as_usize(), Some(900));
+        assert_eq!(v.get("epoch_swapped").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("resumed").unwrap().as_usize(), Some(1));
+        assert!(line.contains("\"plan\":[[0,4,1.5],[2,3,1.25]]"), "{line}");
     }
 
     #[test]

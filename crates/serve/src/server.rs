@@ -32,7 +32,11 @@ use std::time::{Duration, Instant};
 
 use crate::failpoint;
 use crate::pool::ServePool;
-use crate::protocol::{parse_request, ErrorKind, Response};
+use crate::protocol::{parse_request, render_job_event, ErrorKind, Outcome, Request, Response};
+
+/// How long one `optimize-events` follow tick blocks waiting for a fresh
+/// event before re-checking the job's terminal state.
+const FOLLOW_TICK: Duration = Duration::from_millis(250);
 
 /// Connection-hygiene knobs for the TCP transport.
 #[derive(Debug, Clone, Copy)]
@@ -111,12 +115,80 @@ fn respond_line<W: Write>(
     }
     stats.requests += 1;
     let response = match parse_request(line) {
-        Ok(env) => pool.run(env),
+        // `optimize-events` is the one op that answers with *multiple*
+        // lines: it streams per-iteration progress, then closes with a
+        // status line. Both transports funnel through here, so both get
+        // streaming.
+        Ok(env) => {
+            if let Request::OptimizeEvents { job, since, follow } = env.request {
+                return stream_job_events(pool, env.id, job, since, follow, writer, stats);
+            }
+            pool.run(env)
+        }
         Err(message) => Response::error(None, "?", ErrorKind::Parse, message),
     };
     if !response.is_ok() {
         stats.errors += 1;
     }
+    write_response(writer, &response)
+}
+
+/// Stream a job's progress: one JSON line per event (flagged
+/// `"event":true`), then one closing status line without the flag.
+///
+/// With `follow`, the loop parks in bounded ticks until the job reaches a
+/// terminal state, so a live tail ends by itself when the job completes,
+/// is cancelled, or fails (a pool drain also terminates every job and
+/// therefore every follower).
+fn stream_job_events<W: Write>(
+    pool: &ServePool,
+    id: Option<u64>,
+    job: u64,
+    since: u64,
+    follow: bool,
+    writer: &mut W,
+    stats: &mut SessionStats,
+) -> io::Result<()> {
+    let error = |stats: &mut SessionStats, kind, message: String| {
+        stats.errors += 1;
+        Response::error(id, "optimize-events", kind, message)
+    };
+    let Some(runner) = pool.jobs() else {
+        let response = error(
+            stats,
+            ErrorKind::BadRequest,
+            "job subsystem disabled (start serve with --max-jobs >= 1)".to_string(),
+        );
+        return write_response(writer, &response);
+    };
+    let mut cursor = since as usize;
+    loop {
+        let Some((events, terminal)) = runner.events(job, cursor, follow, FOLLOW_TICK) else {
+            let response = error(stats, ErrorKind::BadRequest, format!("unknown job {job}"));
+            return write_response(writer, &response);
+        };
+        for event in &events {
+            writer.write_all(render_job_event(id, job, event).as_bytes())?;
+            writer.write_all(b"\n")?;
+        }
+        if !events.is_empty() {
+            writer.flush()?;
+        }
+        cursor += events.len();
+        if terminal || !follow {
+            break;
+        }
+    }
+    let report = runner.status(job).expect("a job that produced events has a status");
+    let response = Response {
+        id,
+        op: "optimize-events",
+        outcome: Outcome::job_status(&report),
+        tier: None,
+        cached: false,
+        compute_micros: 0,
+        queue_micros: 0,
+    };
     write_response(writer, &response)
 }
 
@@ -448,6 +520,56 @@ mod tests {
         assert!(lines[0].contains("\"ok\":true") && lines[0].contains("\"op\":\"ecc\""));
         assert!(lines[1].contains("\"ok\":false") && lines[1].contains("\"error\":\"parse\""));
         assert!(lines[2].contains("\"ok\":true") && lines[2].contains("\"op\":\"res\""));
+    }
+
+    #[test]
+    fn pipe_session_streams_job_events_then_a_status_line() {
+        use crate::jobs::JobsConfig;
+        use crate::live::LiveEngine;
+        let g = barabasi_albert(30, 2, 13);
+        let engine = QueryEngine::build(
+            &g,
+            &SketchParams { epsilon: 0.5, seed: 5, ..Default::default() },
+        )
+        .unwrap();
+        let pool = ServePool::with_live_and_jobs(
+            LiveEngine::ephemeral(Arc::new(engine), None),
+            PoolConfig { threads: 1, queue_depth: 16, ..Default::default() },
+            Some(JobsConfig { max_jobs: 1, queue_depth: 4, job_dir: None }),
+        )
+        .unwrap();
+        // The runner starts empty, so the first submitted job has id 0.
+        let input = "{\"op\":\"optimize-submit\",\"optimizer\":\"simple\",\"s\":1,\"k\":2,\
+                     \"eps\":0.4,\"threads\":1,\"seed\":7}\n\
+                     {\"op\":\"optimize-events\",\"job\":0,\"follow\":true,\"id\":9}\n\
+                     {\"op\":\"optimize-events\",\"job\":99}\n";
+        let mut out = Vec::new();
+        let stats = serve_pipe(&pool, input.as_bytes(), &mut out).unwrap();
+        assert_eq!(stats.requests, 3);
+        assert_eq!(stats.errors, 1, "only the unknown-job probe errors");
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // 1 submit ack + 2 event lines + 1 closing status + 1 unknown-job
+        // error.
+        assert_eq!(lines.len(), 5, "{text}");
+        assert!(lines[0].contains("\"op\":\"optimize-submit\""), "{}", lines[0]);
+        assert!(lines[0].contains("\"state\":\"queued\""), "{}", lines[0]);
+        for (i, line) in lines[1..3].iter().enumerate() {
+            assert!(line.contains("\"event\":true"), "{line}");
+            assert!(line.contains(&format!("\"iteration\":{i}")), "{line}");
+            assert!(line.contains("\"id\":9"), "id must echo on event lines: {line}");
+            assert!(line.contains("\"replayed\":false"), "{line}");
+        }
+        assert!(
+            lines[3].contains("\"state\":\"completed\"") && !lines[3].contains("\"event\""),
+            "closing line is a plain status: {}",
+            lines[3]
+        );
+        assert!(
+            lines[4].contains("\"ok\":false") && lines[4].contains("unknown job 99"),
+            "{}",
+            lines[4]
+        );
     }
 
     #[test]

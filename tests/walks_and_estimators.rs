@@ -7,7 +7,7 @@ use reecc_core::estimators::{
 use reecc_core::walks::{
     commute_time, hitting_time, kemeny_constant, kemeny_constant_estimate,
 };
-use reecc_core::{ExactResistance, QueryEngine, ResistanceSketch, SketchParams};
+use reecc_core::{CoreError, ExactResistance, QueryEngine, ResistanceSketch, SketchParams};
 use reecc_datasets::{preprocess, Dataset, Tier};
 use reecc_graph::connectivity::bridges;
 use reecc_graph::generators::{barabasi_albert, power_law_configuration};
@@ -153,6 +153,78 @@ fn wilson_trees_valid_on_configuration_model_lcc() {
     assert!(lcc.node_count() > 400);
     let t = wilson_spanning_tree(&lcc, 21);
     assert!(is_spanning_tree(&lcc, &t));
+}
+
+#[test]
+fn ust_centrality_converges_to_exact_and_is_seed_deterministic() {
+    // Monte-Carlo consistency: with a fixed seed the estimator is a pure
+    // function, and its error against the exact edge resistances shrinks
+    // as the sample count grows.
+    let g = barabasi_albert(40, 2, 13);
+    let exact = ExactResistance::new(&g).unwrap();
+    let mean_err = |samples: usize| -> f64 {
+        let est = spanning_edge_centrality(&g, samples, 23).unwrap();
+        let total: f64 = est.iter().map(|(e, &r)| (r - exact.resistance(e.u, e.v)).abs()).sum();
+        total / est.len() as f64
+    };
+    let (coarse, fine) = (mean_err(40), mean_err(1280));
+    assert!(fine < coarse, "32x the samples must shrink the error: {fine} !< {coarse}");
+    assert!(fine < 0.02, "1280-sample mean error too large: {fine}");
+    // Bitwise reproducibility under the same seed.
+    let a = spanning_edge_centrality(&g, 64, 99).unwrap();
+    let b = spanning_edge_centrality(&g, 64, 99).unwrap();
+    assert_eq!(a.len(), b.len());
+    for (e, r) in &a {
+        assert_eq!(r.to_bits(), b[e].to_bits(), "seed 99 must be reproducible at {e:?}");
+    }
+}
+
+#[test]
+fn walk_estimator_converges_to_exact_and_is_seed_deterministic() {
+    let g = barabasi_albert(40, 2, 13);
+    let exact = ExactResistance::new(&g).unwrap();
+    let (u, v) = (0usize, 39usize);
+    let r = exact.resistance(u, v);
+    let err_at = |samples: usize| -> f64 {
+        let opts = WalkEstimatorOptions { samples, seed: 5, ..Default::default() };
+        (commute_time_resistance(&g, u, v, opts).unwrap() - r).abs()
+    };
+    let (coarse, fine) = (err_at(50), err_at(3200));
+    assert!(fine < coarse, "64x the samples must shrink the error: {fine} !< {coarse}");
+    assert!(fine < 0.1 * r.max(0.5), "3200-sample error too large: {fine} (r = {r})");
+    // Same seed, same bits; walks are replayable.
+    let opts = WalkEstimatorOptions { samples: 200, seed: 7, ..Default::default() };
+    let once = commute_time_resistance(&g, u, v, opts).unwrap();
+    let twice = commute_time_resistance(&g, u, v, opts).unwrap();
+    assert_eq!(once.to_bits(), twice.to_bits());
+}
+
+#[test]
+fn estimator_error_paths_surface_typed_core_errors() {
+    // Two components: both estimators must refuse rather than hang or
+    // return garbage, and the error is the typed Disconnected variant.
+    let split = reecc_graph::Graph::from_edges(6, [(0, 1), (1, 2), (3, 4), (4, 5)]).unwrap();
+    assert!(matches!(spanning_edge_centrality(&split, 8, 1), Err(CoreError::Disconnected)));
+    assert!(matches!(
+        commute_time_resistance(&split, 0, 5, WalkEstimatorOptions::default()),
+        Err(CoreError::Disconnected)
+    ));
+    // Zero samples are a usage error on a perfectly good graph.
+    let g = barabasi_albert(20, 2, 3);
+    assert!(matches!(
+        spanning_edge_centrality(&g, 0, 1),
+        Err(CoreError::Numerical(ref m)) if m.contains("sample")
+    ));
+    let zero = WalkEstimatorOptions { samples: 0, ..Default::default() };
+    assert!(matches!(
+        commute_time_resistance(&g, 0, 5, zero),
+        Err(CoreError::Numerical(ref m)) if m.contains("sample")
+    ));
+    // Out-of-range endpoints name the offending node.
+    assert!(matches!(
+        commute_time_resistance(&g, 0, 20, WalkEstimatorOptions::default()),
+        Err(CoreError::NodeOutOfRange { node: 20, n: 20 })
+    ));
 }
 
 #[test]
