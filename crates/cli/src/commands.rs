@@ -22,7 +22,7 @@ use reecc_opt::{
 };
 use reecc_serve::{
     serve_pipe, JobsConfig, LiveConfig, LiveEngine, LiveError, PoolConfig, RetryPolicy,
-    ServePool, SketchSnapshot, SnapshotError, TcpServer,
+    ServePool, ServerConfig, SketchSnapshot, SnapshotError, TcpServer,
 };
 
 use crate::parse::{parse_command, Algorithm, Command, Model, QueryMethod};
@@ -71,6 +71,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             error_budget,
             max_jobs,
             job_dir,
+            max_connections,
+            idle_timeout_secs,
+            write_buffer_cap,
         } => serve(
             &path,
             snapshot.as_deref(),
@@ -83,6 +86,12 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             error_budget,
             max_jobs,
             job_dir.as_deref(),
+            ServerConfig {
+                max_connections,
+                idle_timeout: Duration::from_secs(idle_timeout_secs),
+                write_buffer_cap,
+                ..ServerConfig::default()
+            },
         ),
     }
 }
@@ -402,6 +411,7 @@ fn serve(
     error_budget: Option<f64>,
     max_jobs: usize,
     job_dir: Option<&str>,
+    transport: ServerConfig,
 ) -> Result<String, CliError> {
     // Recovery-first startup: if the WAL dir already holds a durable epoch,
     // that state supersedes the edge list and any --snapshot — replaying it
@@ -484,17 +494,37 @@ fn serve(
     match addr {
         Some(addr) => {
             let pool = Arc::new(pool);
-            let server = TcpServer::start(Arc::clone(&pool), addr)
+            // Install the SIGTERM/SIGINT flag *before* serving starts so a
+            // signal racing startup is never lost.
+            let term = reecc_serve::sys::term_flag();
+            let mut server = TcpServer::start_with(Arc::clone(&pool), addr, transport)
                 .map_err(|e| CliError::Io(format!("cannot listen on {addr}: {e}")))?;
             eprintln!(
                 "serving {path} on {} ({threads} worker(s), queue depth {queue_depth}, \
-                 tier {})",
+                 cap {} connection(s), tier {})",
                 server.local_addr(),
+                transport.max_connections,
                 pool.tier_name()
             );
-            server
-                .run_forever()
-                .map_err(|e| CliError::Io(format!("accept loop failed: {e}")))?;
+            // Park cheaply until a termination signal, then drain: stop the
+            // reactor (closing every connection), finish queued work, and
+            // print the same one-line summary pipe mode emits.
+            while !term.load(std::sync::atomic::Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            eprintln!("termination signal received; draining ...");
+            server.stop().map_err(|e| CliError::Io(format!("event loop failed: {e}")))?;
+            let report = pool.drain(Duration::from_secs(30));
+            eprintln!(
+                "drain: {} submitted, {} answered, {} dropped, {} panic(s), \
+                 {} worker(s) respawned, {:?} elapsed",
+                report.submitted,
+                report.answered,
+                report.dropped,
+                report.panics,
+                report.respawned,
+                report.elapsed
+            );
             Ok(String::new())
         }
         None => {

@@ -77,6 +77,8 @@ USAGE:
                  [--threads N (0 = auto)] [--queue-depth D] [--eps X] [--lcc]
                  [--wal-dir DIR] [--error-budget X]
                  [--max-jobs N (0 = no job subsystem)] [--job-dir DIR]
+                 [--max-connections N] [--idle-timeout SECS]
+                 [--write-buffer-cap BYTES]
 
 Edge-list format: one `u v` pair per line; `#`/`%` comments; ids remapped densely.
 Disconnected inputs are rejected; pass --lcc to analyze the largest connected
@@ -93,8 +95,18 @@ optimize-cancel | optimize-events | optimize-result) over stdin/stdout, or
 over TCP with --addr. With --snapshot it reuses a
 sketch built by `sketch-build` instead of rebuilding; the snapshot must match
 the graph (fingerprint-checked, transient load errors retried with backoff).
-Worker panics are contained and the worker respawned; on shutdown the pool
-drains with a deadline and prints a one-line summary (answered / dropped).
+Worker panics are contained and the worker respawned; on SIGTERM/SIGINT (or
+pipe EOF) the pool drains with a deadline and prints a one-line summary
+(answered / dropped).
+
+The TCP transport is a single-threaded poll(2) event loop: no thread per
+connection, so storms and slow clients cost bounded buffers, not threads.
+--max-connections caps admitted sessions (extras get one `overloaded` line),
+--idle-timeout closes silent sessions with an in-band notice, and
+--write-buffer-cap bounds each connection's pending output (a client that
+stops reading its responses is dropped at that mark). Transport counters
+(connections accepted/active/shed/timed-out, bytes in/out, write-buffer
+sheds) are reported by the `stats` op.
 
 add-edge / remove-edge mutate the served graph via rank-1 sketch updates. With
 --wal-dir every mutation is appended + fsynced to a write-ahead log before the

@@ -90,7 +90,8 @@ pub enum Command {
     },
     /// `reecc serve <file> [--snapshot SNAP] [--addr HOST:PORT] [--threads N]
     /// [--queue-depth D] [--eps X] [--lcc] [--wal-dir DIR] [--error-budget X]
-    /// [--max-jobs N] [--job-dir DIR]`
+    /// [--max-jobs N] [--job-dir DIR] [--max-connections N]
+    /// [--idle-timeout SECS] [--write-buffer-cap BYTES]`
     Serve {
         /// Edge-list path (always needed: snapshots store a fingerprint,
         /// not the graph).
@@ -120,6 +121,15 @@ pub enum Command {
         /// Directory for durable job checkpoints; jobs interrupted by a
         /// crash or restart resume from it.
         job_dir: Option<String>,
+        /// TCP admission cap: simultaneous connections before new ones
+        /// are shed with one `overloaded` line.
+        max_connections: usize,
+        /// TCP idle deadline in seconds: a silent connection is closed
+        /// with an in-band notice after this long.
+        idle_timeout_secs: u64,
+        /// Per-connection pending-output bound in bytes; a client that
+        /// stops reading its responses is shed at this mark.
+        write_buffer_cap: usize,
     },
     /// `reecc help` / `--help`.
     Help,
@@ -453,6 +463,9 @@ pub fn parse_command(args: &[String]) -> Result<Command, CliError> {
                 "error-budget",
                 "max-jobs",
                 "job-dir",
+                "max-connections",
+                "idle-timeout",
+                "write-buffer-cap",
             ])?;
             if flags.has("help") {
                 return Ok(Command::Help);
@@ -484,6 +497,21 @@ pub fn parse_command(args: &[String]) -> Result<Command, CliError> {
                     Ok(budget)
                 })
                 .transpose()?;
+            let max_connections = parse_usize(&flags, "max-connections")?.unwrap_or(64);
+            if max_connections == 0 {
+                return Err(CliError::Usage("--max-connections must be at least 1".into()));
+            }
+            let idle_timeout_secs = parse_usize(&flags, "idle-timeout")?.unwrap_or(300) as u64;
+            if idle_timeout_secs == 0 {
+                return Err(CliError::Usage("--idle-timeout must be at least 1 second".into()));
+            }
+            let write_buffer_cap =
+                parse_usize(&flags, "write-buffer-cap")?.unwrap_or(256 * 1024);
+            if write_buffer_cap < 1024 {
+                return Err(CliError::Usage(
+                    "--write-buffer-cap must be at least 1024 bytes".into(),
+                ));
+            }
             Ok(Command::Serve {
                 path,
                 snapshot: flags.get("snapshot").map(|s| s.to_string()),
@@ -496,6 +524,9 @@ pub fn parse_command(args: &[String]) -> Result<Command, CliError> {
                 error_budget,
                 max_jobs: parse_usize(&flags, "max-jobs")?.unwrap_or(1),
                 job_dir: flags.get("job-dir").map(|s| s.to_string()),
+                max_connections,
+                idle_timeout_secs,
+                write_buffer_cap,
             })
         }
         other => Err(CliError::Usage(format!("unknown subcommand {other:?}"))),
@@ -711,6 +742,46 @@ mod tests {
             vec!["serve", "g.txt", "--error-budget", "-1"],
             vec!["serve", "g.txt", "--error-budget", "nan"],
             vec!["serve", "g.txt", "--error-budget", "x"],
+        ] {
+            assert!(matches!(parse(&bad), Err(CliError::Usage(_))), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn serve_transport_flags_parse_and_validate() {
+        let cmd = parse(&["serve", "g.txt"]).unwrap();
+        match cmd {
+            Command::Serve { max_connections, idle_timeout_secs, write_buffer_cap, .. } => {
+                assert_eq!(max_connections, 64);
+                assert_eq!(idle_timeout_secs, 300);
+                assert_eq!(write_buffer_cap, 256 * 1024);
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse(&[
+            "serve",
+            "g.txt",
+            "--max-connections",
+            "1024",
+            "--idle-timeout",
+            "30",
+            "--write-buffer-cap",
+            "4096",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Serve { max_connections, idle_timeout_secs, write_buffer_cap, .. } => {
+                assert_eq!(max_connections, 1024);
+                assert_eq!(idle_timeout_secs, 30);
+                assert_eq!(write_buffer_cap, 4096);
+            }
+            other => panic!("{other:?}"),
+        }
+        for bad in [
+            vec!["serve", "g.txt", "--max-connections", "0"],
+            vec!["serve", "g.txt", "--max-connections", "x"],
+            vec!["serve", "g.txt", "--idle-timeout", "0"],
+            vec!["serve", "g.txt", "--write-buffer-cap", "512"],
         ] {
             assert!(matches!(parse(&bad), Err(CliError::Usage(_))), "{bad:?}");
         }

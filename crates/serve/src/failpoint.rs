@@ -26,7 +26,14 @@
 //! * `snapshot.write` — between a snapshot's temp-file write and rename.
 //! * `snapshot.load` — before a snapshot file is opened for reading.
 //! * `cache.insert` — before a computed result is inserted in the cache.
-//! * `session.read` — before each request line is read from a session.
+//! * `session.read` — before each request line is dispatched in a
+//!   session (pipe or TCP); an injected error drops the session.
+//! * `transport.accept` — in the reactor before a batch of `accept(2)`
+//!   calls; an injected error skips that tick's accepts.
+//! * `transport.read` — in the reactor before a connection's socket is
+//!   read; an injected error drops the connection.
+//! * `transport.write` — in the reactor before a connection's pending
+//!   output is flushed; an injected error drops the connection.
 //! * `wal.append` — before a mutation record is appended to the
 //!   write-ahead edge log (the ack-blocking durability point).
 //! * `wal.replay` — before each record is applied during startup replay.

@@ -35,8 +35,15 @@
 //! * [`protocol`] — newline-delimited JSON requests and responses
 //!   (`{"op":"ecc","v":17}`), every answer carrying the degradation tier
 //!   and timing.
-//! * [`server`] — session loops over stdin/stdout (pipe mode) and
-//!   `std::net::TcpListener` (socket mode, one thread per connection).
+//! * [`server`] — the transports: a session loop over stdin/stdout (pipe
+//!   mode) and a readiness-driven `poll(2)` event loop over TCP (one
+//!   reactor thread owning every connection state machine, with admission
+//!   control, bounded write buffers, and timer-wheel deadlines).
+//! * [`sys`] — the thin std-only OS shim the reactor needs (`poll(2)`,
+//!   SIGTERM→flag, `RLIMIT_NOFILE`), declared directly against the C
+//!   runtime (the workspace is offline; no libc crate).
+//! * [`timer`] — the lazy hashed timer wheel behind the reactor's idle
+//!   and write-stall deadlines (`O(1)` schedule, validate-on-fire).
 //! * [`json`] — the minimal JSON value parser/printer the protocol uses
 //!   (the workspace is offline; no serde).
 //!
@@ -67,6 +74,8 @@ pub mod pool;
 pub mod protocol;
 pub mod server;
 pub mod snapshot;
+pub mod sys;
+pub mod timer;
 pub mod wal;
 
 pub use jobs::{
@@ -76,6 +85,8 @@ pub use jobs::{
 pub use live::{LiveConfig, LiveEngine, LiveError};
 pub use pool::{DrainReport, PoolConfig, ServePool, SubmitError};
 pub use protocol::{ErrorKind, Request, RequestEnvelope, Response};
-pub use server::{serve_pipe, ServerConfig, SessionStats, TcpServer};
+pub use server::{
+    serve_pipe, ServerConfig, SessionStats, TcpServer, TransportSnapshot, TransportStats,
+};
 pub use snapshot::{RetryPolicy, SketchSnapshot, SnapshotError};
 pub use wal::{WalError, WalOp, WalRecord, WalWriter};

@@ -124,11 +124,17 @@ pub struct DrainReport {
     pub elapsed: Duration,
 }
 
+/// How a finished [`Job`] hands its response back: called exactly once,
+/// on the worker thread. A channel-backed closure serves blocking
+/// callers ([`ServePool::submit`]); the event-loop transport passes a
+/// closure that routes the response to its reactor and wakes it.
+type Reply = Box<dyn FnOnce(Response) + Send>;
+
 struct Job {
     env: RequestEnvelope,
     enqueued: Instant,
     deadline: Option<Instant>,
-    reply: Sender<Response>,
+    reply: Reply,
 }
 
 struct Shared {
@@ -159,6 +165,9 @@ struct Shared {
     /// control ops never enter the worker queue; they go straight to the
     /// runner's registry.
     jobs: OnceLock<Arc<JobRunner>>,
+    /// Transport-layer counters, registered by the TCP event loop so the
+    /// `stats` op can report them; absent (all zeros) in pipe mode.
+    transport: OnceLock<Arc<crate::server::TransportStats>>,
 }
 
 enum WorkerExit {
@@ -246,6 +255,7 @@ impl ServePool {
             whatif_served: AtomicU64::new(0),
             whatif_micros: AtomicU64::new(0),
             jobs: OnceLock::new(),
+            transport: OnceLock::new(),
         });
         // Start the job runner before any worker thread exists, so a
         // failed start leaks nothing.
@@ -292,6 +302,14 @@ impl ServePool {
         self.shared.jobs.get()
     }
 
+    /// Register the transport-layer counter block the `stats` op should
+    /// report. The TCP event loop calls this once at startup; pipe mode
+    /// never does, and `stats` then reports transport zeros. Returns
+    /// `false` if a transport was already registered (the first wins).
+    pub fn set_transport_stats(&self, stats: Arc<crate::server::TransportStats>) -> bool {
+        self.shared.transport.set(stats).is_ok()
+    }
+
     /// The current epoch's tier for eccentricity answers, as a wire
     /// string (a mutated epoch drops to `approx` until the re-sketch).
     pub fn tier_name(&self) -> &'static str {
@@ -316,21 +334,51 @@ impl ServePool {
     /// [`SubmitError::Overloaded`] when the bounded queue is full;
     /// [`SubmitError::ShuttingDown`] after shutdown or drain began.
     pub fn submit(&self, env: RequestEnvelope) -> Result<Receiver<Response>, SubmitError> {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        self.submit_with(
+            env,
+            Box::new(move |response| {
+                // A disappeared client is not an error; drop the reply.
+                let _ = reply_tx.send(response);
+            }),
+        )?;
+        Ok(reply_rx)
+    }
+
+    /// Enqueue a request without blocking, delivering the response by
+    /// calling `reply` exactly once on the worker thread that computes
+    /// it. This is the event-loop transport's entry point: its reactor
+    /// passes a closure that forwards the response to a completion
+    /// channel and wakes the `poll(2)` loop, so no thread ever parks on
+    /// a per-request channel.
+    ///
+    /// `reply` must be cheap and must not block: it runs on a pool
+    /// worker between jobs.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Overloaded`] when the bounded queue is full;
+    /// [`SubmitError::ShuttingDown`] after shutdown or drain began. On
+    /// error `reply` is returned unused (dropped).
+    pub fn submit_with(
+        &self,
+        env: RequestEnvelope,
+        reply: Box<dyn FnOnce(Response) + Send>,
+    ) -> Result<(), SubmitError> {
         let guard = self.tx.lock().expect("pool sender poisoned");
         let Some(tx) = guard.as_ref() else {
             return Err(SubmitError::ShuttingDown);
         };
-        let (reply_tx, reply_rx) = mpsc::channel();
         let now = Instant::now();
         let deadline = match env.deadline_ms {
             Some(ms) => Some(now + Duration::from_millis(ms)),
             None => self.default_deadline.map(|d| now + d),
         };
-        let job = Job { env, enqueued: now, deadline, reply: reply_tx };
+        let job = Job { env, enqueued: now, deadline, reply };
         match tx.try_send(job) {
             Ok(()) => {
                 self.shared.submitted.fetch_add(1, Ordering::Relaxed);
-                Ok(reply_rx)
+                Ok(())
             }
             Err(TrySendError::Full(_)) => {
                 Err(SubmitError::Overloaded { depth: self.shared.queue_depth })
@@ -653,7 +701,7 @@ fn worker_loop(rx: &Arc<Mutex<Receiver<Job>>>, shared: &Shared) -> WorkerExit {
                         ),
                     );
                     shared.served.fetch_add(1, Ordering::SeqCst);
-                    let _ = job.reply.send(response);
+                    (job.reply)(response);
                     // Exit so the half-unwound thread is discarded; the
                     // supervisor spawns a clean replacement.
                     return WorkerExit::Panicked;
@@ -661,8 +709,7 @@ fn worker_loop(rx: &Arc<Mutex<Receiver<Job>>>, shared: &Shared) -> WorkerExit {
             }
         };
         shared.served.fetch_add(1, Ordering::SeqCst);
-        // A disappeared client is not an error; drop the reply.
-        let _ = job.reply.send(response);
+        (job.reply)(response);
     }
 }
 
@@ -902,8 +949,9 @@ fn execute(shared: &Shared, request: Request) -> (Outcome, bool, QueryTier) {
             let sketch = view.engine.sketch();
             let diag = sketch.diagnostics();
             let jobs = shared.jobs.get().map(|r| r.stats()).unwrap_or_default();
+            let transport = shared.transport.get().map(|t| t.snapshot()).unwrap_or_default();
             (
-                Outcome::Stats(StatsReport {
+                Outcome::Stats(Box::new(StatsReport {
                     nodes: n,
                     edges: view.engine.graph().edge_count(),
                     fingerprint: fp,
@@ -937,7 +985,14 @@ fn execute(shared: &Shared, request: Request) -> (Outcome, bool, QueryTier) {
                     jobs_cancelled: jobs.cancelled,
                     jobs_failed: jobs.failed,
                     job_checkpoint_bytes: jobs.checkpoint_bytes,
-                }),
+                    connections_accepted: transport.connections_accepted,
+                    connections_active: transport.connections_active,
+                    connections_shed: transport.connections_shed,
+                    connections_timed_out: transport.connections_timed_out,
+                    bytes_read: transport.bytes_read,
+                    bytes_written: transport.bytes_written,
+                    write_buffer_sheds: transport.write_buffer_sheds,
+                })),
                 false,
                 tier,
             )

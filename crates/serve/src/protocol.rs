@@ -377,6 +377,24 @@ pub struct StatsReport {
     pub jobs_failed: u64,
     /// Bytes durably written to job checkpoint files.
     pub job_checkpoint_bytes: u64,
+    /// Connections accepted by the TCP transport over its life (all
+    /// transport counters are zeros in pipe mode).
+    pub connections_accepted: u64,
+    /// Connections currently live on the event loop.
+    pub connections_active: u64,
+    /// Connections shed by admission control (over the connection cap,
+    /// or hard-closed under storm pressure).
+    pub connections_shed: u64,
+    /// Connections closed by a deadline: idle timeout or a write buffer
+    /// that stalled past the write timeout.
+    pub connections_timed_out: u64,
+    /// Request bytes read off client sockets.
+    pub bytes_read: u64,
+    /// Response bytes written to client sockets.
+    pub bytes_written: u64,
+    /// Connections shed because their bounded write buffer overflowed
+    /// (a client that stopped reading its responses).
+    pub write_buffer_sheds: u64,
 }
 
 /// What a request produced.
@@ -394,8 +412,8 @@ pub enum Outcome {
         /// The estimate.
         value: f64,
     },
-    /// Statistics.
-    Stats(StatsReport),
+    /// Statistics (boxed: the report is by far the widest variant).
+    Stats(Box<StatsReport>),
     /// A durably applied mutation (`add-edge` / `remove-edge`).
     Mutated {
         /// Effective resistance of the mutated edge at apply time.
@@ -619,6 +637,25 @@ impl Response {
                 fields.push((
                     "job_checkpoint_bytes".into(),
                     Json::Num(s.job_checkpoint_bytes as f64),
+                ));
+                fields.push((
+                    "connections_accepted".into(),
+                    Json::Num(s.connections_accepted as f64),
+                ));
+                fields.push((
+                    "connections_active".into(),
+                    Json::Num(s.connections_active as f64),
+                ));
+                fields.push(("connections_shed".into(), Json::Num(s.connections_shed as f64)));
+                fields.push((
+                    "connections_timed_out".into(),
+                    Json::Num(s.connections_timed_out as f64),
+                ));
+                fields.push(("bytes_read".into(), Json::Num(s.bytes_read as f64)));
+                fields.push(("bytes_written".into(), Json::Num(s.bytes_written as f64)));
+                fields.push((
+                    "write_buffer_sheds".into(),
+                    Json::Num(s.write_buffer_sheds as f64),
                 ));
             }
             Outcome::Mutated { r_uv, cost, budget_remaining, epoch, seq, resketch } => {

@@ -3,27 +3,43 @@
 //! Both transports speak the same protocol (see [`crate::protocol`]): one
 //! JSON object per line in, one JSON object per line out, in order. The
 //! pipe mode drives a single session over any `BufRead`/`Write` pair
-//! (stdin/stdout in the CLI, in-memory buffers in tests); the TCP mode
-//! accepts connections on a `std::net::TcpListener` and runs one session
-//! thread per client, all submitting into the same bounded [`ServePool`].
+//! (stdin/stdout in the CLI, in-memory buffers in tests). The TCP mode is
+//! a readiness-driven event loop: one reactor thread owns a nonblocking
+//! listener and every connection, multiplexed by `poll(2)` (via
+//! [`crate::sys`], std-only), with the bounded [`ServePool`] behind it
+//! for compute. No thread is ever parked per connection, so a connection
+//! storm or a crowd of slow-loris clients costs file descriptors and
+//! bounded buffers — never threads.
 //!
-//! Transport threads never compute: they parse, submit, and forward. The
+//! Transport code never computes: it parses, submits, and forwards. The
 //! pool's bounded queue is the only admission control for *work*; the
-//! transport adds its own hygiene for *connections* ([`ServerConfig`]):
+//! reactor adds its own hygiene for *connections* ([`ServerConfig`]):
 //!
-//! * a connection cap — clients past it get one `overloaded` line and an
-//!   immediate close instead of an unbounded thread pile-up;
-//! * per-connection read/write timeouts — a stalled client cannot pin a
-//!   session thread forever (`idle_timeout`), and a client that stops
-//!   reading cannot wedge a writer (`write_timeout`);
+//! * admission control — a hard connection cap; clients past it get one
+//!   `overloaded` line (through the same bounded write path as any other
+//!   response) and a close, and accepts are batch-limited per tick so an
+//!   accept storm cannot starve live connections;
+//! * slow-client defense — idle and write-stall deadlines enforced by a
+//!   lazy timer wheel ([`crate::timer`]); a client that stops reading its
+//!   responses is shed the moment its bounded write buffer would
+//!   overflow, never allowed to wedge the reactor;
 //! * a line-length cap — a client streaming bytes without a newline
-//!   cannot grow a session buffer without bound;
-//! * [`TcpServer::stop`] closes *live sessions* too, not just the accept
-//!   loop: every registered connection socket is shut down and every
-//!   session thread joined, so stop completes even with clients parked
-//!   mid-connection.
+//!   cannot grow a read buffer without bound;
+//! * [`TcpServer::stop`] tears the whole loop down promptly: the reactor
+//!   observes the flag within one tick, closes every connection, and
+//!   joins, even with clients parked mid-connection.
+//!
+//! Per-connection state is a small machine: bytes are framed into lines
+//! across arbitrary TCP segmentation, complete lines queue in a bounded
+//! inbox (reads pause when it fills), at most one request per connection
+//! is in flight in the pool (which keeps responses in request order with
+//! no reorder buffer), and every outbound line — answers, shed notices,
+//! idle warnings — goes through one bounded write buffer flushed as
+//! `poll(2)` reports writability. Pool workers hand finished responses to
+//! the reactor through a completion queue plus a loopback wake socket, so
+//! results are flushed promptly instead of waiting out a poll timeout.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufRead, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -31,12 +47,29 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::failpoint;
-use crate::pool::ServePool;
+use crate::pool::{ServePool, SubmitError};
 use crate::protocol::{parse_request, render_job_event, ErrorKind, Outcome, Request, Response};
+use crate::sys::{self, PollFd};
+use crate::timer::TimerWheel;
 
 /// How long one `optimize-events` follow tick blocks waiting for a fresh
-/// event before re-checking the job's terminal state.
+/// event before re-checking the job's terminal state (pipe mode only; the
+/// reactor polls followers nonblockingly every loop tick).
 const FOLLOW_TICK: Duration = Duration::from_millis(250);
+
+/// Complete-but-undispatched request lines buffered per connection before
+/// the reactor stops reading from its socket (backpressure by unpolled
+/// bytes, bounded by the kernel receive buffer).
+const INBOX_MAX: usize = 128;
+
+/// Socket reads per connection per tick; bounds one loud client's share
+/// of a reactor tick at `READ_ROUNDS × 4096` bytes.
+const READ_ROUNDS: usize = 16;
+
+/// How long `optimize-result` with `"wait":true` may stay pending on a
+/// connection before answering with the job's current state (mirrors the
+/// pool's blocking-path timeout).
+const RESULT_WAIT_TIMEOUT: Duration = Duration::from_secs(3600);
 
 /// Connection-hygiene knobs for the TCP transport.
 #[derive(Debug, Clone, Copy)]
@@ -47,15 +80,24 @@ pub struct ServerConfig {
     /// A session whose client sends nothing for this long is closed with
     /// an in-band `deadline-exceeded` notice.
     pub idle_timeout: Duration,
-    /// How often a blocked session read wakes up to check the shutdown
-    /// flag and the idle clock.
+    /// The reactor tick: the upper bound on how long the loop sleeps in
+    /// `poll(2)` when nothing is ready (and therefore on shutdown and
+    /// timer latency).
     pub poll_interval: Duration,
-    /// Socket write timeout: a client that stops reading its responses
-    /// errors the session instead of wedging the thread.
+    /// Write-stall deadline: a client that stops reading its responses
+    /// for this long while output is pending is dropped.
     pub write_timeout: Duration,
     /// Maximum request-line length in bytes; longer lines error the
     /// session (clamped to ≥ 1024).
     pub max_line_bytes: usize,
+    /// Bound on one connection's pending output in bytes; a client whose
+    /// buffered responses would exceed it is shed (clamped to ≥ 1024).
+    /// Total reactor write memory is therefore bounded by
+    /// `max_connections × write_buffer_cap` plus admission slack.
+    pub write_buffer_cap: usize,
+    /// Accepts per reactor tick (clamped to ≥ 1): rate-limits admission
+    /// under a connection storm so live sessions keep being served.
+    pub accept_burst: usize,
 }
 
 impl Default for ServerConfig {
@@ -66,6 +108,8 @@ impl Default for ServerConfig {
             poll_interval: Duration::from_millis(50),
             write_timeout: Duration::from_secs(10),
             max_line_bytes: 64 * 1024,
+            write_buffer_cap: 256 * 1024,
+            accept_burst: 64,
         }
     }
 }
@@ -103,7 +147,7 @@ pub fn serve_pipe<R: BufRead, W: Write>(
     Ok(stats)
 }
 
-/// Parse-submit-answer one request line (shared by both transports).
+/// Parse-submit-answer one request line (pipe transport).
 fn respond_line<W: Write>(
     pool: &ServePool,
     line: &str,
@@ -117,8 +161,7 @@ fn respond_line<W: Write>(
     let response = match parse_request(line) {
         // `optimize-events` is the one op that answers with *multiple*
         // lines: it streams per-iteration progress, then closes with a
-        // status line. Both transports funnel through here, so both get
-        // streaming.
+        // status line.
         Ok(env) => {
             if let Request::OptimizeEvents { job, since, follow } = env.request {
                 return stream_job_events(pool, env.id, job, since, follow, writer, stats);
@@ -198,60 +241,102 @@ fn write_response<W: Write>(writer: &mut W, response: &Response) -> io::Result<(
     writer.flush()
 }
 
-/// Live-session bookkeeping shared between the accept loop, the session
-/// threads, and [`TcpServer::stop`].
+/// Transport-layer counters, shared between the reactor (sole writer)
+/// and observers (`stats` responses via
+/// [`ServePool::set_transport_stats`], [`TcpServer::live_sessions`],
+/// tests).
 #[derive(Debug, Default)]
-struct SessionRegistry {
-    /// Socket clones of live sessions, keyed by a per-server serial; used
-    /// by `stop` to force-close parked connections.
-    streams: Mutex<HashMap<u64, TcpStream>>,
-    /// Session thread handles (never self-joined: sessions only register,
-    /// `stop` joins).
-    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
-    next_id: AtomicU64,
+pub struct TransportStats {
+    accepted: AtomicU64,
+    active: AtomicU64,
+    shed: AtomicU64,
+    timed_out: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    write_buffer_sheds: AtomicU64,
+    write_buffered_peak: AtomicU64,
 }
 
-impl SessionRegistry {
-    fn live(&self) -> usize {
-        self.streams.lock().expect("session registry poisoned").len()
-    }
-
-    fn register(&self, stream: &TcpStream) -> io::Result<u64> {
-        let id = self.next_id.fetch_add(1, Ordering::SeqCst);
-        let clone = stream.try_clone()?;
-        self.streams.lock().expect("session registry poisoned").insert(id, clone);
-        Ok(id)
-    }
-
-    fn deregister(&self, id: u64) {
-        self.streams.lock().expect("session registry poisoned").remove(&id);
-    }
-
-    /// Shut down every live connection socket; blocked session reads
-    /// return immediately with EOF/error.
-    fn close_all(&self) {
-        for stream in self.streams.lock().expect("session registry poisoned").values() {
-            let _ = stream.shutdown(Shutdown::Both);
+impl TransportStats {
+    /// A consistent-enough copy of every counter (individually relaxed
+    /// loads; the reactor is the only writer).
+    pub fn snapshot(&self) -> TransportSnapshot {
+        TransportSnapshot {
+            connections_accepted: self.accepted.load(Ordering::Relaxed),
+            connections_active: self.active.load(Ordering::Relaxed),
+            connections_shed: self.shed.load(Ordering::Relaxed),
+            connections_timed_out: self.timed_out.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            write_buffer_sheds: self.write_buffer_sheds.load(Ordering::Relaxed),
+            write_buffered_peak: self.write_buffered_peak.load(Ordering::Relaxed),
         }
+    }
+}
+
+/// One point-in-time read of [`TransportStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportSnapshot {
+    /// Connections accepted from the listener (admitted or shed).
+    pub connections_accepted: u64,
+    /// Connections currently owned by the reactor.
+    pub connections_active: u64,
+    /// Connections refused by admission control (cap reached).
+    pub connections_shed: u64,
+    /// Connections closed by a deadline: idle or write-stall.
+    pub connections_timed_out: u64,
+    /// Payload bytes read from client sockets.
+    pub bytes_read: u64,
+    /// Payload bytes written to client sockets.
+    pub bytes_written: u64,
+    /// Connections dropped because buffering one more response would
+    /// exceed `write_buffer_cap` (the client stopped reading).
+    pub write_buffer_sheds: u64,
+    /// High-water mark of total pending output across all connections,
+    /// in bytes — the reactor's write-memory footprint.
+    pub write_buffered_peak: u64,
+}
+
+/// The pool-worker → reactor completion channel: finished responses plus
+/// a loopback wake byte so `poll(2)` returns promptly instead of waiting
+/// out its tick.
+struct Completions {
+    queue: Mutex<Vec<(u64, Response)>>,
+    wake: TcpStream,
+}
+
+impl Completions {
+    /// Called on a pool worker thread; must stay cheap and non-blocking.
+    fn push(&self, token: u64, response: Response) {
+        if let Ok(mut queue) = self.queue.lock() {
+            queue.push((token, response));
+        }
+        // One byte per completion; if the loopback buffer is full a wake
+        // byte is already pending, so dropping this one loses nothing.
+        let _ = (&self.wake).write(&[1u8]);
     }
 }
 
 /// A TCP front end over a shared [`ServePool`].
 ///
-/// The accept loop runs on its own thread with a nonblocking listener so
-/// [`TcpServer::stop`] takes effect within one poll interval (~25 ms);
-/// each accepted connection gets a session thread running the timed
-/// session loop.
+/// One reactor thread owns the nonblocking listener and every connection
+/// state machine, multiplexed by `poll(2)`; pool workers do the compute
+/// and hand responses back through a completion queue. [`TcpServer::stop`]
+/// flips a flag and wakes the loop, so teardown completes within about
+/// one tick even with clients parked mid-connection.
 #[derive(Debug)]
 pub struct TcpServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    registry: Arc<SessionRegistry>,
-    accept_thread: Option<std::thread::JoinHandle<io::Result<()>>>,
+    stats: Arc<TransportStats>,
+    /// Connected to the reactor's wake socket; `stop` writes one byte so
+    /// the loop notices the flag without waiting out a poll tick.
+    wake: TcpStream,
+    reactor_thread: Option<std::thread::JoinHandle<io::Result<()>>>,
 }
 
 impl TcpServer {
-    /// Bind `addr` and start accepting in the background with default
+    /// Bind `addr` and start the reactor in the background with default
     /// connection hygiene.
     ///
     /// # Errors
@@ -261,7 +346,7 @@ impl TcpServer {
         Self::start_with(pool, addr, ServerConfig::default())
     }
 
-    /// Bind `addr` and start accepting in the background.
+    /// Bind `addr` and start the reactor in the background.
     ///
     /// # Errors
     ///
@@ -274,14 +359,44 @@ impl TcpServer {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
+        // The self-wake pair: a loopback connection whose read end sits in
+        // the reactor's poll set. Workers and `stop` write a byte to make
+        // a parked `poll(2)` return immediately.
+        let wake_listener = TcpListener::bind("127.0.0.1:0")?;
+        let wake_tx = TcpStream::connect(wake_listener.local_addr()?)?;
+        let (wake_rx, _) = wake_listener.accept()?;
+        wake_rx.set_nonblocking(true)?;
+        wake_tx.set_nonblocking(true)?;
+        let _ = wake_tx.set_nodelay(true);
         let shutdown = Arc::new(AtomicBool::new(false));
-        let registry = Arc::new(SessionRegistry::default());
-        let flag = Arc::clone(&shutdown);
-        let reg = Arc::clone(&registry);
-        let accept_thread = std::thread::Builder::new()
-            .name("reecc-serve-accept".to_string())
-            .spawn(move || accept_loop(&listener, &pool, &flag, &reg, config))?;
-        Ok(TcpServer { addr, shutdown, registry, accept_thread: Some(accept_thread) })
+        let stats = Arc::new(TransportStats::default());
+        let _ = pool.set_transport_stats(Arc::clone(&stats));
+        let completions =
+            Arc::new(Completions { queue: Mutex::new(Vec::new()), wake: wake_tx.try_clone()? });
+        let reactor = Reactor {
+            pool,
+            config,
+            stats: Arc::clone(&stats),
+            completions,
+            shutdown: Arc::clone(&shutdown),
+            listener,
+            wake_rx,
+            conns: HashMap::new(),
+            wheel: TimerWheel::new(Duration::from_millis(5), 512),
+            next_token: 1,
+            serving: 0,
+            buffered_total: 0,
+        };
+        let reactor_thread = std::thread::Builder::new()
+            .name("reecc-serve-reactor".to_string())
+            .spawn(move || reactor.run())?;
+        Ok(TcpServer {
+            addr,
+            shutdown,
+            stats,
+            wake: wake_tx,
+            reactor_thread: Some(reactor_thread),
+        })
     }
 
     /// The bound address (useful with a `:0` ephemeral port).
@@ -289,51 +404,45 @@ impl TcpServer {
         self.addr
     }
 
-    /// Currently live session count.
+    /// Currently live session count (admitted connections the reactor
+    /// still owns, polite sheds mid-goodbye included).
     pub fn live_sessions(&self) -> usize {
-        self.registry.live()
+        self.stats.active.load(Ordering::Relaxed) as usize
     }
 
-    /// Stop accepting, force-close every live session socket, and join
-    /// both the accept thread and all session threads. Safe to call
-    /// repeatedly.
+    /// The transport counter block (shared with the `stats` op).
+    pub fn stats(&self) -> &Arc<TransportStats> {
+        &self.stats
+    }
+
+    /// Stop the reactor: flag it, wake it, and join. Every connection is
+    /// closed on the way out. Safe to call repeatedly.
     ///
     /// # Errors
     ///
-    /// Returns the accept loop's I/O error, if it died on one.
+    /// Returns the reactor's I/O error, if it died on one.
     pub fn stop(&mut self) -> io::Result<()> {
         self.shutdown.store(true, Ordering::SeqCst);
-        let accept_result = match self.accept_thread.take() {
+        let _ = (&self.wake).write(&[1u8]);
+        match self.reactor_thread.take() {
             Some(handle) => handle
                 .join()
-                .unwrap_or_else(|_| Err(io::Error::other("accept thread panicked"))),
+                .unwrap_or_else(|_| Err(io::Error::other("reactor thread panicked"))),
             None => Ok(()),
-        };
-        // With the accept loop gone no new sessions can appear; closing
-        // the sockets unblocks any session parked in a read, and joining
-        // guarantees their threads are gone before stop returns.
-        self.registry.close_all();
-        let threads: Vec<_> = {
-            let mut guard = self.registry.threads.lock().expect("session registry poisoned");
-            guard.drain(..).collect()
-        };
-        for handle in threads {
-            let _ = handle.join();
         }
-        accept_result
     }
 
-    /// Block this thread on the accept loop until the process dies or the
-    /// loop fails; used by `cli serve --addr`.
+    /// Block this thread until the reactor exits (shutdown or I/O
+    /// failure); used by `cli serve --addr`.
     ///
     /// # Errors
     ///
-    /// Returns the accept loop's I/O error, if it died on one.
+    /// Returns the reactor's I/O error, if it died on one.
     pub fn run_forever(mut self) -> io::Result<()> {
-        match self.accept_thread.take() {
+        match self.reactor_thread.take() {
             Some(handle) => handle
                 .join()
-                .unwrap_or_else(|_| Err(io::Error::other("accept thread panicked"))),
+                .unwrap_or_else(|_| Err(io::Error::other("reactor thread panicked"))),
             None => Ok(()),
         }
     }
@@ -345,106 +454,523 @@ impl Drop for TcpServer {
     }
 }
 
-fn accept_loop(
-    listener: &TcpListener,
-    pool: &Arc<ServePool>,
-    shutdown: &Arc<AtomicBool>,
-    registry: &Arc<SessionRegistry>,
-    config: ServerConfig,
-) -> io::Result<()> {
-    let max_connections = config.max_connections.max(1);
-    while !shutdown.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                if registry.live() >= max_connections {
-                    shed_connection(stream, max_connections, config.write_timeout);
-                    continue;
-                }
-                let id = match registry.register(&stream) {
-                    Ok(id) => id,
-                    Err(_) => continue, // clone failed: drop the connection
-                };
-                let pool = Arc::clone(pool);
-                let reg = Arc::clone(registry);
-                let flag = Arc::clone(shutdown);
-                let handle = std::thread::Builder::new()
-                    .name("reecc-serve-conn".to_string())
-                    .spawn(move || {
-                    let _ = serve_tcp_session(&pool, stream, &flag, config);
-                    reg.deregister(id);
-                })?;
-                registry.threads.lock().expect("session registry poisoned").push(handle);
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(25));
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(e),
-        }
-    }
-    Ok(())
+/// Why a connection exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// A normal admitted session.
+    Serving,
+    /// An over-cap connection kept only long enough to deliver its
+    /// one-line `overloaded` shed notice.
+    Shedding,
 }
 
-/// Answer an over-cap connection with one error line, then close it.
-fn shed_connection(stream: TcpStream, cap: usize, write_timeout: Duration) {
-    let response = Response::error(
-        None,
-        "?",
-        ErrorKind::Overloaded,
-        format!("connection limit reached ({cap} live sessions); retry later"),
-    );
-    let mut stream = stream;
-    let _ = stream.set_write_timeout(Some(write_timeout));
-    let _ = write_response(&mut stream, &response);
-    let _ = stream.shutdown(Shutdown::Both);
+/// A request this connection is waiting on (at most one at a time, which
+/// keeps responses in request order with no reorder buffer).
+enum Active {
+    /// Submitted to the worker pool; resolved by the completion queue.
+    Pool,
+    /// An `optimize-events` stream: drained nonblockingly every tick.
+    Events { id: Option<u64>, job: u64, cursor: usize, follow: bool },
+    /// An `optimize-result` with `"wait":true`: the job's terminal state
+    /// is polled every tick instead of parking a thread.
+    ResultWait { id: Option<u64>, job: u64, started: Instant },
+}
+
+/// One connection's state machine.
+struct Conn {
+    stream: TcpStream,
+    mode: Mode,
+    /// Bytes read but not yet framed into a line.
+    rbuf: Vec<u8>,
+    /// Prefix of `rbuf` already scanned for a newline.
+    scanned: usize,
+    /// Complete lines awaiting dispatch (bounded by [`INBOX_MAX`]).
+    inbox: VecDeque<String>,
+    /// Pending output (bounded by `write_buffer_cap`).
+    out: VecDeque<u8>,
+    active: Option<Active>,
+    last_activity: Instant,
+    /// Set while `out` is nonempty: the last instant the socket accepted
+    /// bytes (or the enqueue instant); the write-stall clock.
+    stalled_since: Option<Instant>,
+    /// The client half-closed; serve what was pipelined, then close.
+    eof: bool,
+    /// A final notice is queued; close once `out` drains.
+    closing: bool,
+    /// Condemned; reaped at the end of the tick.
+    dead: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, mode: Mode, now: Instant) -> Conn {
+        Conn {
+            stream,
+            mode,
+            rbuf: Vec::new(),
+            scanned: 0,
+            inbox: VecDeque::new(),
+            out: VecDeque::new(),
+            active: None,
+            last_activity: now,
+            stalled_since: None,
+            eof: false,
+            closing: false,
+            dead: false,
+        }
+    }
+
+    /// Whether this connection has nothing left to do and can be closed.
+    fn finished(&self) -> bool {
+        (self.closing || self.eof)
+            && self.out.is_empty()
+            && self.inbox.is_empty()
+            && self.active.is_none()
+    }
+}
+
+/// Everything a per-connection operation may touch besides the `Conn`
+/// itself; split out so the reactor can hold `&mut` to one connection and
+/// to this at the same time (disjoint fields of [`Reactor`]).
+struct Ctx<'a> {
+    config: &'a ServerConfig,
+    stats: &'a TransportStats,
+    wheel: &'a mut TimerWheel,
+    buffered_total: &'a mut usize,
+}
+
+/// Timer-wheel token encoding: connection token × 2, low bit selects the
+/// deadline kind (0 = idle, 1 = write stall).
+const TIMER_IDLE: u64 = 0;
+const TIMER_STALL: u64 = 1;
+
+fn timer_token(conn_token: u64, kind: u64) -> u64 {
+    conn_token << 1 | kind
+}
+
+/// The event loop: owns the listener, the wake socket, and every
+/// connection; everything it does is nonblocking except the `poll(2)`
+/// tick itself.
+struct Reactor {
+    pool: Arc<ServePool>,
+    config: ServerConfig,
+    stats: Arc<TransportStats>,
+    completions: Arc<Completions>,
+    shutdown: Arc<AtomicBool>,
+    listener: TcpListener,
+    wake_rx: TcpStream,
+    conns: HashMap<u64, Conn>,
+    wheel: TimerWheel,
+    /// Monotonic connection tokens; never reused, so a stale completion
+    /// or timer entry for a gone connection falls on the floor.
+    next_token: u64,
+    /// Connections in [`Mode::Serving`] (the admission-control count).
+    serving: usize,
+    /// Total pending output across all connections, in bytes.
+    buffered_total: usize,
+}
+
+#[cfg(unix)]
+fn raw_fd(socket: &impl std::os::fd::AsRawFd) -> i32 {
+    socket.as_raw_fd()
+}
+
+#[cfg(not(unix))]
+fn raw_fd<T>(_socket: &T) -> i32 {
+    // Never polled: `sys::poll_fds` reports `Unsupported` first.
+    -1
 }
 
 /// Would-block comes back as `WouldBlock` on Unix and `TimedOut` on
-/// Windows; treat both as "no data this tick".
-fn is_timeout(kind: io::ErrorKind) -> bool {
+/// some platforms; treat both as "not ready".
+fn is_wouldblock(kind: io::ErrorKind) -> bool {
     matches!(kind, io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
 }
 
-/// One TCP session: a hand-rolled line loop over a socket with a read
-/// timeout, so the thread periodically observes the server shutdown flag
-/// and the idle clock instead of blocking forever on a silent client.
-fn serve_tcp_session(
-    pool: &ServePool,
-    stream: TcpStream,
-    shutdown: &AtomicBool,
-    config: ServerConfig,
-) -> io::Result<SessionStats> {
-    // The accepted stream inherits the listener's nonblocking flag on
-    // some platforms; sessions want blocking reads with a timeout tick.
-    stream.set_nonblocking(false)?;
-    stream.set_read_timeout(Some(config.poll_interval.max(Duration::from_millis(1))))?;
-    stream.set_write_timeout(Some(config.write_timeout))?;
-    let max_line = config.max_line_bytes.max(1024);
-    let mut writer = stream.try_clone()?;
-    let mut reader = stream;
-    let mut stats = SessionStats::default();
-    let mut pending: Vec<u8> = Vec::new();
-    let mut chunk = [0u8; 4096];
-    let mut last_activity = Instant::now();
-    loop {
-        if shutdown.load(Ordering::SeqCst) {
-            return Ok(stats); // server stopping: close without ceremony
-        }
-        if let Err(msg) = failpoint::hit("session.read") {
-            return Err(io::Error::other(msg));
-        }
-        match reader.read(&mut chunk) {
-            Ok(0) => return Ok(stats), // EOF: client done
-            Ok(n) => {
-                last_activity = Instant::now();
-                pending.extend_from_slice(&chunk[..n]);
-                // Answer every complete line in arrival order.
-                while let Some(nl) = pending.iter().position(|&b| b == b'\n') {
-                    let line: Vec<u8> = pending.drain(..=nl).collect();
-                    let line = String::from_utf8_lossy(&line[..nl]);
-                    respond_line(pool, &line, &mut writer, &mut stats)?;
+impl Reactor {
+    /// Admission slack: beyond `max_connections` the reactor still admits
+    /// up to two accept bursts of [`Mode::Shedding`] connections (to say
+    /// goodbye politely); past that, storms are hard-closed.
+    fn slack_cap(&self) -> usize {
+        self.config.max_connections.max(1) + 2 * self.config.accept_burst.max(1)
+    }
+
+    fn run(mut self) -> io::Result<()> {
+        let tick = self.config.poll_interval.max(Duration::from_millis(1));
+        let mut fds: Vec<PollFd> = Vec::new();
+        let mut fd_tokens: Vec<u64> = Vec::new();
+        let mut due: Vec<u64> = Vec::new();
+        while !self.shutdown.load(Ordering::SeqCst) {
+            fds.clear();
+            fd_tokens.clear();
+            let accepting = self.conns.len() < self.slack_cap();
+            fds.push(PollFd::new(
+                raw_fd(&self.listener),
+                if accepting { sys::POLLIN } else { 0 },
+            ));
+            fds.push(PollFd::new(raw_fd(&self.wake_rx), sys::POLLIN));
+            for (&token, conn) in &self.conns {
+                let mut events = 0i16;
+                if !conn.closing && !conn.eof && conn.inbox.len() < INBOX_MAX {
+                    events |= sys::POLLIN;
                 }
-                if pending.len() > max_line {
+                if !conn.out.is_empty() {
+                    events |= sys::POLLOUT;
+                }
+                fds.push(PollFd::new(raw_fd(&conn.stream), events));
+                fd_tokens.push(token);
+            }
+            sys::poll_fds(&mut fds, tick)?;
+            if fds[1].ready(sys::POLLIN) {
+                self.drain_wake();
+            }
+            self.drain_completions();
+            if fds[0].ready(sys::POLLIN) {
+                self.accept_burst();
+            }
+            // Readiness over the snapshot taken before poll: a token that
+            // died meanwhile just misses (get_mut returns None).
+            {
+                let conns = &mut self.conns;
+                let mut ctx = Ctx {
+                    config: &self.config,
+                    stats: &self.stats,
+                    wheel: &mut self.wheel,
+                    buffered_total: &mut self.buffered_total,
+                };
+                for (i, &token) in fd_tokens.iter().enumerate() {
+                    let pfd = fds[2 + i];
+                    let Some(conn) = conns.get_mut(&token) else { continue };
+                    if pfd.ready(sys::POLLNVAL) {
+                        conn.dead = true;
+                        continue;
+                    }
+                    // On hangup, read anyway: data may still be queued
+                    // ahead of the EOF.
+                    if pfd.ready(sys::POLLIN | sys::POLLERR | sys::POLLHUP) {
+                        read_conn(conn, token, &mut ctx);
+                    }
+                }
+            }
+            self.dispatch_all();
+            self.poll_actives();
+            self.flush_all();
+            due.clear();
+            self.wheel.collect_due(Instant::now(), &mut due);
+            for &entry in &due {
+                self.fire_timer(entry);
+            }
+            self.reap();
+        }
+        self.teardown();
+        Ok(())
+    }
+
+    fn drain_wake(&mut self) {
+        let mut sink = [0u8; 256];
+        loop {
+            match (&self.wake_rx).read(&mut sink) {
+                Ok(0) => break, // stop() dropped its end mid-teardown
+                Ok(_) => continue,
+                Err(e) if is_wouldblock(e.kind()) => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn drain_completions(&mut self) {
+        let batch: Vec<(u64, Response)> = {
+            let mut queue = self.completions.queue.lock().expect("completion queue poisoned");
+            std::mem::take(&mut *queue)
+        };
+        if batch.is_empty() {
+            return;
+        }
+        let conns = &mut self.conns;
+        let mut ctx = Ctx {
+            config: &self.config,
+            stats: &self.stats,
+            wheel: &mut self.wheel,
+            buffered_total: &mut self.buffered_total,
+        };
+        for (token, response) in batch {
+            let Some(conn) = conns.get_mut(&token) else { continue };
+            if matches!(conn.active, Some(Active::Pool)) {
+                conn.active = None;
+            }
+            conn.last_activity = Instant::now();
+            enqueue_response(conn, token, &mut ctx, &response);
+        }
+    }
+
+    fn accept_burst(&mut self) {
+        if let Err(_msg) = failpoint::hit("transport.accept") {
+            return; // injected accept fault: skip this tick's accepts
+        }
+        for _ in 0..self.config.accept_burst.max(1) {
+            if self.conns.len() >= self.slack_cap() {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => self.admit(stream),
+                Err(e) if is_wouldblock(e.kind()) => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // EMFILE and friends under storm: back off this tick
+                // instead of killing the server.
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn admit(&mut self, stream: TcpStream) {
+        self.stats.accepted.fetch_add(1, Ordering::Relaxed);
+        if stream.set_nonblocking(true).is_err() {
+            self.stats.shed.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let now = Instant::now();
+        let token = self.next_token;
+        self.next_token += 1;
+        let cap = self.config.max_connections.max(1);
+        if self.serving >= cap {
+            // Over cap: one polite `overloaded` line through the same
+            // bounded write path as any response, then close.
+            self.stats.shed.fetch_add(1, Ordering::Relaxed);
+            let mut conn = Conn::new(stream, Mode::Shedding, now);
+            conn.closing = true;
+            self.stats.active.fetch_add(1, Ordering::Relaxed);
+            self.conns.insert(token, conn);
+            let line = Response::error(
+                None,
+                "?",
+                ErrorKind::Overloaded,
+                format!("connection limit reached ({cap} live sessions); retry later"),
+            )
+            .render();
+            let mut ctx = Ctx {
+                config: &self.config,
+                stats: &self.stats,
+                wheel: &mut self.wheel,
+                buffered_total: &mut self.buffered_total,
+            };
+            if let Some(conn) = self.conns.get_mut(&token) {
+                enqueue_line(conn, token, &mut ctx, &line);
+            }
+            return;
+        }
+        self.serving += 1;
+        self.stats.active.fetch_add(1, Ordering::Relaxed);
+        self.conns.insert(token, Conn::new(stream, Mode::Serving, now));
+        self.wheel.schedule(timer_token(token, TIMER_IDLE), now + self.config.idle_timeout);
+    }
+
+    fn dispatch_all(&mut self) {
+        let tokens: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.active.is_none() && !c.dead && !c.closing && !c.inbox.is_empty())
+            .map(|(&t, _)| t)
+            .collect();
+        let conns = &mut self.conns;
+        let mut ctx = Ctx {
+            config: &self.config,
+            stats: &self.stats,
+            wheel: &mut self.wheel,
+            buffered_total: &mut self.buffered_total,
+        };
+        for token in tokens {
+            let Some(conn) = conns.get_mut(&token) else { continue };
+            dispatch_conn(conn, token, &mut ctx, &self.pool, &self.completions);
+        }
+    }
+
+    fn poll_actives(&mut self) {
+        let tokens: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| !c.dead && !matches!(c.active, None | Some(Active::Pool)))
+            .map(|(&t, _)| t)
+            .collect();
+        let conns = &mut self.conns;
+        let mut ctx = Ctx {
+            config: &self.config,
+            stats: &self.stats,
+            wheel: &mut self.wheel,
+            buffered_total: &mut self.buffered_total,
+        };
+        for token in tokens {
+            let Some(conn) = conns.get_mut(&token) else { continue };
+            poll_active(conn, token, &mut ctx, &self.pool);
+        }
+    }
+
+    fn flush_all(&mut self) {
+        let conns = &mut self.conns;
+        let mut ctx = Ctx {
+            config: &self.config,
+            stats: &self.stats,
+            wheel: &mut self.wheel,
+            buffered_total: &mut self.buffered_total,
+        };
+        for conn in conns.values_mut() {
+            flush_conn(conn, &mut ctx);
+        }
+    }
+
+    fn fire_timer(&mut self, entry: u64) {
+        let token = entry >> 1;
+        let kind = entry & 1;
+        let conns = &mut self.conns;
+        let wheel = &mut self.wheel;
+        let Some(conn) = conns.get_mut(&token) else { return };
+        if conn.dead {
+            return;
+        }
+        let now = Instant::now();
+        if kind == TIMER_STALL {
+            match conn.stalled_since {
+                Some(since) if !conn.out.is_empty() => {
+                    if now.saturating_duration_since(since) >= self.config.write_timeout {
+                        // The client stopped reading; there is no point
+                        // queueing a goodbye it will not drain.
+                        self.stats.timed_out.fetch_add(1, Ordering::Relaxed);
+                        conn.dead = true;
+                    } else {
+                        wheel.schedule(entry, since + self.config.write_timeout);
+                    }
+                }
+                _ => {} // drained meanwhile; the deadline lapses
+            }
+            return;
+        }
+        // Idle: only a quiet connection with nothing in flight is
+        // reaped — a job follower or a parked `wait` is not idle.
+        if conn.closing || conn.eof {
+            return;
+        }
+        let busy = conn.active.is_some() || !conn.inbox.is_empty() || !conn.out.is_empty();
+        let idle_for = now.saturating_duration_since(conn.last_activity);
+        if !busy && idle_for >= self.config.idle_timeout {
+            self.stats.timed_out.fetch_add(1, Ordering::Relaxed);
+            let response = Response::error(
+                None,
+                "?",
+                ErrorKind::DeadlineExceeded,
+                format!(
+                    "idle for {:?} (limit {:?}); closing session",
+                    idle_for, self.config.idle_timeout
+                ),
+            );
+            conn.closing = true;
+            let mut ctx = Ctx {
+                config: &self.config,
+                stats: &self.stats,
+                wheel,
+                buffered_total: &mut self.buffered_total,
+            };
+            enqueue_response(conn, token, &mut ctx, &response);
+        } else {
+            let base = if busy { now } else { conn.last_activity };
+            wheel.schedule(entry, base + self.config.idle_timeout);
+        }
+    }
+
+    fn reap(&mut self) {
+        let finished: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.dead || c.finished())
+            .map(|(&t, _)| t)
+            .collect();
+        for token in finished {
+            if let Some(conn) = self.conns.remove(&token) {
+                self.buffered_total -= conn.out.len();
+                if conn.mode == Mode::Serving {
+                    self.serving -= 1;
+                }
+                let _ = conn.stream.shutdown(Shutdown::Both);
+                self.stats.active.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn teardown(&mut self) {
+        for (_, conn) in self.conns.drain() {
+            let _ = conn.stream.shutdown(Shutdown::Both);
+            self.stats.active.fetch_sub(1, Ordering::Relaxed);
+        }
+        self.serving = 0;
+        self.buffered_total = 0;
+    }
+}
+
+/// Queue one already-rendered line (plus newline) on a connection's
+/// bounded write buffer; sheds the connection if the line does not fit.
+fn enqueue_line(conn: &mut Conn, token: u64, ctx: &mut Ctx<'_>, line: &str) {
+    if conn.dead {
+        return;
+    }
+    let needed = line.len() + 1;
+    let cap = ctx.config.write_buffer_cap.max(1024);
+    if conn.out.len() + needed > cap {
+        // The client is not draining responses; the buffer bound is the
+        // memory contract, so the connection goes, not the bound.
+        ctx.stats.write_buffer_sheds.fetch_add(1, Ordering::Relaxed);
+        conn.dead = true;
+        return;
+    }
+    let was_empty = conn.out.is_empty();
+    conn.out.extend(line.as_bytes().iter().copied());
+    conn.out.push_back(b'\n');
+    *ctx.buffered_total += needed;
+    ctx.stats.write_buffered_peak.fetch_max(*ctx.buffered_total as u64, Ordering::Relaxed);
+    if was_empty {
+        let now = Instant::now();
+        conn.stalled_since = Some(now);
+        ctx.wheel.schedule(timer_token(token, TIMER_STALL), now + ctx.config.write_timeout);
+    }
+}
+
+fn enqueue_response(conn: &mut Conn, token: u64, ctx: &mut Ctx<'_>, response: &Response) {
+    enqueue_line(conn, token, ctx, &response.render());
+}
+
+/// Drain readable bytes into lines; bounded per tick by [`READ_ROUNDS`]
+/// and by the inbox cap.
+fn read_conn(conn: &mut Conn, token: u64, ctx: &mut Ctx<'_>) {
+    if conn.dead || conn.closing || conn.eof {
+        return;
+    }
+    if failpoint::hit("transport.read").is_err() {
+        conn.dead = true;
+        return;
+    }
+    let max_line = ctx.config.max_line_bytes.max(1024);
+    let mut chunk = [0u8; 4096];
+    for _ in 0..READ_ROUNDS {
+        if conn.inbox.len() >= INBOX_MAX {
+            break;
+        }
+        match (&conn.stream).read(&mut chunk) {
+            Ok(0) => {
+                conn.eof = true;
+                break;
+            }
+            Ok(n) => {
+                ctx.stats.bytes_read.fetch_add(n as u64, Ordering::Relaxed);
+                conn.last_activity = Instant::now();
+                conn.rbuf.extend_from_slice(&chunk[..n]);
+                // Frame complete lines; scan only bytes not seen before.
+                while let Some(at) = conn.rbuf[conn.scanned..].iter().position(|&b| b == b'\n')
+                {
+                    let nl = conn.scanned + at;
+                    let line: Vec<u8> = conn.rbuf.drain(..=nl).collect();
+                    conn.scanned = 0;
+                    conn.inbox.push_back(String::from_utf8_lossy(&line[..nl]).into_owned());
+                }
+                conn.scanned = conn.rbuf.len();
+                if conn.rbuf.len() > max_line {
+                    conn.closing = true;
                     let response = Response::error(
                         None,
                         "?",
@@ -454,29 +980,254 @@ fn serve_tcp_session(
                              closing session"
                         ),
                     );
-                    stats.errors += 1;
-                    let _ = write_response(&mut writer, &response);
-                    return Ok(stats);
+                    enqueue_response(conn, token, ctx, &response);
+                    return;
                 }
             }
-            Err(e) if is_timeout(e.kind()) => {
-                if last_activity.elapsed() >= config.idle_timeout {
-                    let response = Response::error(
-                        None,
-                        "?",
-                        ErrorKind::DeadlineExceeded,
-                        format!(
-                            "idle for {:?} (limit {:?}); closing session",
-                            last_activity.elapsed(),
-                            config.idle_timeout
-                        ),
-                    );
-                    let _ = write_response(&mut writer, &response);
-                    return Ok(stats);
+            Err(e) if is_wouldblock(e.kind()) => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                // Mid-frame disconnect or reset: nothing to answer.
+                conn.dead = true;
+                break;
+            }
+        }
+    }
+}
+
+/// Pop and route inbox lines until something is in flight (or the inbox
+/// is empty). At most one pool/job request per connection is pending at
+/// a time; inline job-control ops answer immediately.
+fn dispatch_conn(
+    conn: &mut Conn,
+    token: u64,
+    ctx: &mut Ctx<'_>,
+    pool: &Arc<ServePool>,
+    completions: &Arc<Completions>,
+) {
+    while conn.active.is_none() && !conn.dead && !conn.closing {
+        let Some(line) = conn.inbox.pop_front() else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        if failpoint::hit("session.read").is_err() {
+            conn.dead = true;
+            return;
+        }
+        let env = match parse_request(&line) {
+            Ok(env) => env,
+            Err(message) => {
+                let response = Response::error(None, "?", ErrorKind::Parse, message);
+                enqueue_response(conn, token, ctx, &response);
+                continue;
+            }
+        };
+        enum Route {
+            Events { job: u64, since: u64, follow: bool },
+            Wait { job: u64 },
+            Inline,
+            Pool,
+        }
+        let route = match &env.request {
+            Request::OptimizeEvents { job, since, follow } => {
+                Route::Events { job: *job, since: *since, follow: *follow }
+            }
+            Request::OptimizeResult { job, wait: true } => Route::Wait { job: *job },
+            Request::OptimizeSubmit { .. }
+            | Request::OptimizeStatus { .. }
+            | Request::OptimizeCancel { .. }
+            | Request::OptimizeResult { .. } => Route::Inline,
+            _ => Route::Pool,
+        };
+        match route {
+            Route::Events { job, since, follow } => {
+                conn.active =
+                    Some(Active::Events { id: env.id, job, cursor: since as usize, follow });
+            }
+            Route::Wait { job } => {
+                conn.active =
+                    Some(Active::ResultWait { id: env.id, job, started: Instant::now() });
+            }
+            // Job control is registry lookups; answering inline keeps it
+            // independent of a full query queue (same rule as pipe mode).
+            Route::Inline => {
+                let response = pool.run(env);
+                enqueue_response(conn, token, ctx, &response);
+            }
+            Route::Pool => {
+                let id = env.id;
+                let op = env.request.op_name();
+                let cb = Arc::clone(completions);
+                match pool.submit_with(env, Box::new(move |response| cb.push(token, response)))
+                {
+                    Ok(()) => conn.active = Some(Active::Pool),
+                    Err(SubmitError::Overloaded { depth }) => {
+                        let response = Response::error(
+                            id,
+                            op,
+                            ErrorKind::Overloaded,
+                            format!("request queue full (depth {depth}); retry later"),
+                        );
+                        enqueue_response(conn, token, ctx, &response);
+                    }
+                    Err(SubmitError::ShuttingDown) => {
+                        let response = Response::error(
+                            id,
+                            op,
+                            ErrorKind::Draining,
+                            "pool is draining; request not accepted".to_string(),
+                        );
+                        enqueue_response(conn, token, ctx, &response);
+                    }
                 }
             }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Advance a connection's pending job op without blocking: pull whatever
+/// `optimize-events` has buffered, or check whether a waited-on job went
+/// terminal. Re-arms itself until done.
+fn poll_active(conn: &mut Conn, token: u64, ctx: &mut Ctx<'_>, pool: &Arc<ServePool>) {
+    let Some(active) = conn.active.take() else { return };
+    match active {
+        Active::Pool => conn.active = Some(Active::Pool),
+        Active::Events { id, job, cursor, follow } => {
+            let Some(runner) = pool.jobs() else {
+                let response = Response::error(
+                    id,
+                    "optimize-events",
+                    ErrorKind::BadRequest,
+                    "job subsystem disabled (start serve with --max-jobs >= 1)".to_string(),
+                );
+                enqueue_response(conn, token, ctx, &response);
+                return;
+            };
+            let Some((events, terminal)) = runner.events(job, cursor, false, Duration::ZERO)
+            else {
+                let response = Response::error(
+                    id,
+                    "optimize-events",
+                    ErrorKind::BadRequest,
+                    format!("unknown job {job}"),
+                );
+                enqueue_response(conn, token, ctx, &response);
+                return;
+            };
+            for event in &events {
+                enqueue_line(conn, token, ctx, &render_job_event(id, job, event));
+                if conn.dead {
+                    return; // buffer shed mid-stream
+                }
+            }
+            let cursor = cursor + events.len();
+            if terminal || !follow {
+                if let Some(report) = runner.status(job) {
+                    let response = Response {
+                        id,
+                        op: "optimize-events",
+                        outcome: Outcome::job_status(&report),
+                        tier: None,
+                        cached: false,
+                        compute_micros: 0,
+                        queue_micros: 0,
+                    };
+                    enqueue_response(conn, token, ctx, &response);
+                }
+            } else {
+                conn.active = Some(Active::Events { id, job, cursor, follow });
+            }
+        }
+        Active::ResultWait { id, job, started } => {
+            let Some(runner) = pool.jobs() else {
+                let response = Response::error(
+                    id,
+                    "optimize-result",
+                    ErrorKind::BadRequest,
+                    "job subsystem disabled (start serve with --max-jobs >= 1)".to_string(),
+                );
+                enqueue_response(conn, token, ctx, &response);
+                return;
+            };
+            let Some(report) = runner.status(job) else {
+                let response = Response::error(
+                    id,
+                    "optimize-result",
+                    ErrorKind::BadRequest,
+                    format!("unknown job {job}"),
+                );
+                enqueue_response(conn, token, ctx, &response);
+                return;
+            };
+            let terminal = matches!(report.state, "completed" | "cancelled" | "failed");
+            if terminal || started.elapsed() >= RESULT_WAIT_TIMEOUT {
+                let response = Response {
+                    id,
+                    op: "optimize-result",
+                    outcome: Outcome::job_result(&report),
+                    tier: None,
+                    cached: false,
+                    compute_micros: 0,
+                    queue_micros: 0,
+                };
+                enqueue_response(conn, token, ctx, &response);
+            } else {
+                conn.active = Some(Active::ResultWait { id, job, started });
+            }
+        }
+    }
+}
+
+/// Write as much pending output as the socket will take; progress resets
+/// the stall clock, and a drained `closing`/`eof` connection is condemned
+/// (the reap pass closes it).
+fn flush_conn(conn: &mut Conn, ctx: &mut Ctx<'_>) {
+    if conn.dead {
+        return;
+    }
+    if !conn.out.is_empty() {
+        if failpoint::hit("transport.write").is_err() {
+            conn.dead = true;
+            return;
+        }
+        loop {
+            let (front, _) = conn.out.as_slices();
+            if front.is_empty() {
+                break;
+            }
+            match (&conn.stream).write(front) {
+                Ok(0) => {
+                    conn.dead = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.out.drain(..n);
+                    *ctx.buffered_total -= n;
+                    ctx.stats.bytes_written.fetch_add(n as u64, Ordering::Relaxed);
+                    let now = Instant::now();
+                    conn.stalled_since = Some(now);
+                    conn.last_activity = now;
+                }
+                Err(e) if is_wouldblock(e.kind()) => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.dead = true;
+                    break;
+                }
+            }
+        }
+    }
+    if conn.out.is_empty() {
+        conn.stalled_since = None;
+        if conn.closing {
+            let _ = conn.stream.shutdown(Shutdown::Write);
+            // Discard any request bytes the client pipelined after the
+            // goodbye line: closing a socket with unread data makes the
+            // kernel send RST, which would destroy the in-flight notice
+            // before a polite client could read it.
+            let mut scratch = [0u8; 4096];
+            while matches!((&conn.stream).read(&mut scratch), Ok(n) if n > 0) {}
+            conn.dead = true;
         }
     }
 }

@@ -1,0 +1,177 @@
+//! A hashed timer wheel for connection deadlines.
+//!
+//! The event-loop transport tracks two deadlines per connection (idle
+//! and write-stall). A heap of deadlines would pay `O(log n)` per
+//! reschedule — and deadlines reschedule on *every* byte of activity. A
+//! hashed wheel makes `schedule` an `O(1)` push and lets the reactor
+//! harvest everything due in a tick with one cursor sweep.
+//!
+//! The wheel is deliberately *lazy*: entries are never removed or
+//! updated in place. When an entry fires, the reactor re-checks the
+//! connection's real deadline and either acts or reschedules. A token
+//! whose connection is gone just falls on the floor. This keeps the hot
+//! path allocation-free (slot `Vec`s are reused) and makes the wheel
+//! impossible to desynchronize from the connection table.
+//!
+//! Deadlines land in the slot for their tick; entries scheduled more
+//! than one lap out are re-queued as the cursor passes over them, so
+//! arbitrarily long deadlines are correct, just touched once per lap.
+
+use std::time::{Duration, Instant};
+
+/// A fixed-slot hashed timer wheel over `u64` tokens.
+#[derive(Debug)]
+pub struct TimerWheel {
+    slots: Vec<Vec<Entry>>,
+    /// Wheel granularity; deadlines are rounded up to the next tick.
+    tick: Duration,
+    /// The wheel's epoch; tick indices count from here.
+    start: Instant,
+    /// The next tick index the cursor will sweep.
+    cursor: u64,
+    len: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    token: u64,
+    due_tick: u64,
+}
+
+impl TimerWheel {
+    /// A wheel with `slots` buckets of `tick` granularity (both clamped
+    /// to sane minimums). One lap spans `slots × tick`.
+    pub fn new(tick: Duration, slots: usize) -> TimerWheel {
+        let slots = slots.max(2);
+        TimerWheel {
+            slots: (0..slots).map(|_| Vec::new()).collect(),
+            tick: tick.max(Duration::from_millis(1)),
+            start: Instant::now(),
+            cursor: 0,
+            len: 0,
+        }
+    }
+
+    /// Entries currently queued (fired and lazily dropped ones excluded).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn tick_of(&self, at: Instant) -> u64 {
+        let elapsed = at.saturating_duration_since(self.start);
+        // Round up: a deadline inside tick t must not fire before the
+        // sweep that covers t's end.
+        elapsed.as_micros().div_ceil(self.tick.as_micros().max(1)) as u64
+    }
+
+    /// Queue `token` to fire at (or one tick after) `deadline`.
+    ///
+    /// Never fires early; may fire one tick late. Duplicate schedules
+    /// for one token are fine — the reactor validates on fire.
+    pub fn schedule(&mut self, token: u64, deadline: Instant) {
+        // Due ticks at or behind the cursor would never be swept again;
+        // clamp into the cursor's next sweep.
+        let due_tick = self.tick_of(deadline).max(self.cursor);
+        let slot = (due_tick % self.slots.len() as u64) as usize;
+        self.slots[slot].push(Entry { token, due_tick });
+        self.len += 1;
+    }
+
+    /// Sweep every tick up to `now`, appending due tokens to `out` (in
+    /// tick order; order within a tick is insertion order).
+    pub fn collect_due(&mut self, now: Instant, out: &mut Vec<u64>) {
+        let now_tick = self.tick_of(now);
+        // Bound the sweep to one lap: beyond that every slot has been
+        // visited once and older entries are already harvested.
+        let slots = self.slots.len() as u64;
+        let first = self.cursor;
+        let last = now_tick.min(first.saturating_add(slots - 1));
+        for tick in first..=last {
+            let slot = (tick % slots) as usize;
+            let bucket = &mut self.slots[slot];
+            let mut i = 0;
+            while i < bucket.len() {
+                if bucket[i].due_tick <= now_tick {
+                    out.push(bucket.swap_remove(i).token);
+                    self.len -= 1;
+                } else {
+                    // A future lap's entry: leave it in place (it lives
+                    // in the right slot already).
+                    i += 1;
+                }
+            }
+        }
+        self.cursor = now_tick + 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn due(wheel: &mut TimerWheel, now: Instant) -> Vec<u64> {
+        let mut out = Vec::new();
+        wheel.collect_due(now, &mut out);
+        out
+    }
+
+    #[test]
+    fn fires_at_or_after_the_deadline_never_before() {
+        let mut wheel = TimerWheel::new(Duration::from_millis(10), 8);
+        let t0 = Instant::now();
+        wheel.schedule(7, t0 + Duration::from_millis(35));
+        assert!(due(&mut wheel, t0 + Duration::from_millis(20)).is_empty());
+        assert_eq!(due(&mut wheel, t0 + Duration::from_millis(60)), vec![7]);
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn entries_beyond_one_lap_survive_the_sweep() {
+        // Lap = 4 × 10ms = 40ms; a 95ms deadline wraps twice.
+        let mut wheel = TimerWheel::new(Duration::from_millis(10), 4);
+        let t0 = Instant::now();
+        wheel.schedule(1, t0 + Duration::from_millis(95));
+        assert!(due(&mut wheel, t0 + Duration::from_millis(40)).is_empty());
+        assert!(due(&mut wheel, t0 + Duration::from_millis(80)).is_empty());
+        assert_eq!(due(&mut wheel, t0 + Duration::from_millis(120)), vec![1]);
+    }
+
+    #[test]
+    fn a_large_gap_between_sweeps_harvests_everything() {
+        let mut wheel = TimerWheel::new(Duration::from_millis(5), 16);
+        let t0 = Instant::now();
+        for token in 0..50u64 {
+            wheel.schedule(token, t0 + Duration::from_millis(token));
+        }
+        assert_eq!(wheel.len(), 50);
+        // One sweep far in the future (many laps) must still find all 50.
+        let mut fired = due(&mut wheel, t0 + Duration::from_secs(2));
+        fired.sort_unstable();
+        assert_eq!(fired, (0..50).collect::<Vec<_>>());
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn past_deadlines_fire_on_the_next_sweep() {
+        let mut wheel = TimerWheel::new(Duration::from_millis(10), 8);
+        let t0 = Instant::now();
+        let _ = due(&mut wheel, t0 + Duration::from_millis(100)); // advance cursor
+        wheel.schedule(3, t0); // already long past
+        assert_eq!(due(&mut wheel, t0 + Duration::from_millis(110)), vec![3]);
+    }
+
+    #[test]
+    fn duplicate_tokens_fire_once_per_schedule() {
+        let mut wheel = TimerWheel::new(Duration::from_millis(10), 8);
+        let t0 = Instant::now();
+        wheel.schedule(9, t0 + Duration::from_millis(10));
+        wheel.schedule(9, t0 + Duration::from_millis(20));
+        let fired = due(&mut wheel, t0 + Duration::from_millis(50));
+        assert_eq!(fired, vec![9, 9], "lazy wheels keep duplicates; reactors validate");
+    }
+}

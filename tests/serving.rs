@@ -248,6 +248,62 @@ fn tcp_server_answers_concurrent_clients_consistently() {
 }
 
 #[test]
+fn stats_wire_reports_transport_counters() {
+    use std::io::{BufRead, Write};
+    use std::time::Duration;
+
+    let pool =
+        Arc::new(ServePool::new(engine(), PoolConfig { threads: 2, ..Default::default() }));
+    let config = reecc_serve::ServerConfig {
+        max_connections: 1,
+        poll_interval: Duration::from_millis(5),
+        ..Default::default()
+    };
+    let server = TcpServer::start_with(Arc::clone(&pool), "127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr();
+
+    // One admitted session does a round trip (so bytes flow both ways) ...
+    let stream = std::net::TcpStream::connect(addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    writeln!(writer, "{{\"op\":\"ecc\",\"v\":7,\"id\":0}}").unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("\"ok\":true"), "{line}");
+
+    // ... and a second connection is shed past the cap, bumping the
+    // shed counter before its goodbye line is even delivered.
+    let shed = std::net::TcpStream::connect(addr).unwrap();
+    shed.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut shed_reader = BufReader::new(shed);
+    let mut shed_line = String::new();
+    shed_reader.read_line(&mut shed_line).unwrap();
+    assert!(shed_line.contains("\"error\":\"overloaded\""), "{shed_line}");
+
+    // The transport block rides the same `stats` op as everything else.
+    writeln!(writer, "{{\"op\":\"stats\",\"id\":1}}").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    let json = Json::parse(&line).unwrap();
+    let counter = |k: &str| {
+        json.get(k).and_then(Json::as_usize).unwrap_or_else(|| panic!("missing {k}: {line}"))
+    };
+    assert!(counter("connections_accepted") >= 2, "{line}");
+    assert_eq!(counter("connections_active"), 1, "{line}");
+    assert_eq!(counter("connections_shed"), 1, "{line}");
+    assert_eq!(counter("connections_timed_out"), 0, "{line}");
+    assert!(counter("bytes_read") > 0, "{line}");
+    assert!(counter("bytes_written") > 0, "{line}");
+    assert_eq!(counter("write_buffer_sheds"), 0, "{line}");
+
+    // The in-process view agrees with the wire.
+    let snap = server.stats().snapshot();
+    assert_eq!(snap.connections_shed, 1);
+    assert_eq!(server.live_sessions(), 1);
+}
+
+#[test]
 fn expired_deadline_is_never_computed() {
     let pool = ServePool::new(
         engine(),

@@ -1,0 +1,438 @@
+//! Transport-level tests for the poll(2) reactor behind `TcpServer`:
+//! NDJSON framing across adversarial write patterns, write-buffer
+//! admission, transport failpoints, and a 1k-connection storm.
+//!
+//! The contract under test is narrow and absolute: every connection is
+//! *answered or shed with a typed line* — never hung, never given a
+//! wrong answer — and reactor memory stays bounded by
+//! `connections × write_buffer_cap` no matter what clients do.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+
+use reecc_core::{QueryEngine, SketchParams};
+use reecc_graph::generators::barabasi_albert;
+use reecc_graph::Graph;
+use reecc_serve::failpoint::{self, Action};
+use reecc_serve::json::Json;
+use reecc_serve::{PoolConfig, ServePool, ServerConfig, TcpServer};
+
+const N: usize = 120;
+
+fn graph() -> &'static Graph {
+    static GRAPH: OnceLock<Graph> = OnceLock::new();
+    GRAPH.get_or_init(|| barabasi_albert(N, 2, 555))
+}
+
+fn engine() -> Arc<QueryEngine> {
+    static ENGINE: OnceLock<Arc<QueryEngine>> = OnceLock::new();
+    Arc::clone(ENGINE.get_or_init(|| {
+        Arc::new(
+            QueryEngine::build(
+                graph(),
+                &SketchParams { epsilon: 0.35, seed: 47, ..Default::default() },
+            )
+            .expect("BA graph is connected"),
+        )
+    }))
+}
+
+fn pool() -> Arc<ServePool> {
+    Arc::new(ServePool::new(engine(), PoolConfig { threads: 2, ..Default::default() }))
+}
+
+/// A fast-ticking config so deadline/flush behavior is observable in
+/// test time without changing the code paths under test.
+fn quick() -> ServerConfig {
+    ServerConfig { poll_interval: Duration::from_millis(5), ..ServerConfig::default() }
+}
+
+/// Serialize tests that arm process-global failpoints (poison-tolerant,
+/// same rationale as `tests/chaos.rs`).
+fn failpoint_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn connect(server: &TcpServer) -> TcpStream {
+    let stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    stream
+}
+
+/// Scenario 1 (framing): a client that dribbles its request one byte at
+/// a time — each byte a separate segment, frames split at every possible
+/// point — must still get exactly the answer a well-behaved client gets.
+#[test]
+fn byte_at_a_time_writer_is_framed_and_answered() {
+    let server = TcpServer::start_with(pool(), "127.0.0.1:0", quick()).unwrap();
+    let stream = connect(&server);
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+
+    let request = b"{\"op\":\"ecc\",\"v\":7,\"id\":1}\n";
+    for &byte in request {
+        writer.write_all(&[byte]).unwrap();
+        writer.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let json = Json::parse(&line).unwrap();
+    assert_eq!(json.get("ok").and_then(Json::as_bool), Some(true), "{line}");
+    assert_eq!(json.get("id").and_then(Json::as_usize), Some(1), "{line}");
+    let expected = engine().eccentricity(7).value;
+    let got = json.get("value").and_then(Json::as_f64).unwrap();
+    assert!((got - expected).abs() < 1e-12, "dribbled request must hit the cache: {got}");
+}
+
+/// Scenario 2 (framing): a single request line that straddles — and then
+/// blows through — the 64 KiB line cap arrives in chunks. The session
+/// must answer with a typed `parse` error and close; it must not buffer
+/// without bound or hang.
+#[test]
+fn request_straddling_the_line_cap_is_rejected_with_a_typed_line() {
+    let server = TcpServer::start_with(pool(), "127.0.0.1:0", quick()).unwrap();
+    let stream = connect(&server);
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+
+    // 96 KiB of newline-free bytes in 8 KiB chunks: the reactor sees the
+    // line grow across many reads before it crosses the 64 KiB default.
+    let chunk = vec![b'z'; 8 * 1024];
+    for _ in 0..12 {
+        if writer.write_all(&chunk).is_err() {
+            break; // already rejected mid-send: equally acceptable
+        }
+        let _ = writer.flush();
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let json = Json::parse(&line).unwrap();
+    assert_eq!(json.get("ok").and_then(Json::as_bool), Some(false), "{line}");
+    assert_eq!(json.get("error").and_then(Json::as_str), Some("parse"), "{line}");
+    // After the notice the server closes its half; the next read is EOF.
+    let mut rest = Vec::new();
+    let _ = reader.read_to_end(&mut rest);
+    assert!(
+        rest.is_empty(),
+        "nothing follows the rejection: {:?}",
+        String::from_utf8_lossy(&rest)
+    );
+}
+
+/// Scenario 3 (framing): several clients each fire an interleaved
+/// pipelined burst — all request lines in one write, no reads in
+/// between. Every client must get one response per request, in request
+/// order, each matching ground truth.
+#[test]
+fn interleaved_pipelined_bursts_are_answered_in_order() {
+    let server = Arc::new(TcpServer::start_with(pool(), "127.0.0.1:0", quick()).unwrap());
+    const CLIENTS: usize = 4;
+    const BURST: usize = 32;
+
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || {
+                let stream = connect(&server);
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut writer = stream;
+                let mut burst = String::new();
+                for i in 0..BURST {
+                    let v = (c * BURST + i * 17) % N;
+                    burst.push_str(&format!("{{\"op\":\"ecc\",\"v\":{v},\"id\":{i}}}\n"));
+                }
+                writer.write_all(burst.as_bytes()).unwrap();
+                writer.flush().unwrap();
+                let mut answers = Vec::new();
+                for _ in 0..BURST {
+                    let mut line = String::new();
+                    reader.read_line(&mut line).unwrap();
+                    let json = Json::parse(&line).unwrap();
+                    assert_eq!(json.get("ok").and_then(Json::as_bool), Some(true), "{line}");
+                    answers.push((
+                        json.get("id").and_then(Json::as_usize).unwrap(),
+                        json.get("value").and_then(Json::as_f64).unwrap(),
+                    ));
+                }
+                (c, answers)
+            })
+        })
+        .collect();
+
+    for handle in handles {
+        let (c, answers) = handle.join().unwrap();
+        for (i, (id, value)) in answers.iter().enumerate() {
+            assert_eq!(*id, i, "client {c}: responses must come back in request order");
+            let v = (c * BURST + i * 17) % N;
+            let expected = engine().eccentricity(v).value;
+            assert!(
+                (value - expected).abs() < 1e-12,
+                "client {c} request {i} (v={v}): {value} vs {expected}"
+            );
+        }
+    }
+}
+
+/// Scenario 4 (slow-client defense): a client that pipelines requests
+/// but never reads a byte of its responses must be shed once its pending
+/// output would cross `write_buffer_cap` — instead of growing reactor
+/// memory without bound or parking a thread on the dead socket.
+#[test]
+fn a_client_that_never_reads_its_responses_is_shed_at_the_write_buffer_cap() {
+    let config = ServerConfig {
+        write_buffer_cap: 1024, // the clamp floor: ~1.2 stats lines
+        ..quick()
+    };
+    let server = Arc::new(TcpServer::start_with(pool(), "127.0.0.1:0", config).unwrap());
+
+    let writer_server = Arc::clone(&server);
+    let writer = std::thread::spawn(move || {
+        let stream = connect(&writer_server);
+        let mut stream = stream;
+        // Never read. Keep the request pipeline full until the server
+        // drops us (the blocked/failed write is the expected exit).
+        for i in 0..200_000u64 {
+            if writeln!(stream, "{{\"op\":\"stats\",\"id\":{i}}}").is_err() {
+                break;
+            }
+        }
+    });
+
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let snap = server.stats().snapshot();
+        if snap.write_buffer_sheds >= 1 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "write-buffer overflow was never shed: {snap:?}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    writer.join().unwrap();
+    // The shed is accounted as a buffer shed, not a timeout, and the
+    // reactor's write memory never exceeded the configured bound.
+    let snap = server.stats().snapshot();
+    assert!(snap.write_buffered_peak <= 1024, "cap must bound pending output: {snap:?}");
+}
+
+/// Failpoint `transport.read`: an injected read error drops exactly the
+/// connection that hit it; the listener and other sessions are unharmed.
+#[test]
+fn injected_read_error_drops_one_connection_and_spares_the_rest() {
+    let _guard = failpoint_lock();
+    failpoint::clear("transport.read");
+    let server = TcpServer::start_with(pool(), "127.0.0.1:0", quick()).unwrap();
+
+    // A healthy round trip first, so the victim connection is established
+    // and the failpoint cannot hit an unrelated accept-time read.
+    let stream = connect(&server);
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    writeln!(writer, "{{\"op\":\"ecc\",\"v\":3}}").unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("\"ok\":true"), "{line}");
+
+    let fired_before = failpoint::fired("transport.read");
+    failpoint::configure("transport.read", Action::IoError, Some(1));
+    writeln!(writer, "{{\"op\":\"ecc\",\"v\":4}}").unwrap();
+    // The injected fault kills the session: EOF (or a reset) instead of
+    // an answer — but never a hang and never a corrupt line.
+    let mut rest = Vec::new();
+    let _ = reader.read_to_end(&mut rest);
+    assert!(rest.is_empty(), "dropped session must not answer: {:?}", rest);
+    assert_eq!(failpoint::fired("transport.read"), fired_before + 1);
+    failpoint::clear("transport.read");
+
+    // The server itself is fine: a fresh connection is served normally.
+    let stream = connect(&server);
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    writeln!(writer, "{{\"op\":\"ecc\",\"v\":3}}").unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("\"ok\":true"), "after the fault: {line}");
+}
+
+/// Failpoint `transport.accept`: an injected accept error costs one
+/// accept tick — the listener backs off and retries, it does not die.
+/// Paired with a delay action on `transport.write` to show the delay
+/// path is also wired: service is slowed, never broken.
+#[test]
+fn injected_accept_error_and_write_delay_slow_but_do_not_break_service() {
+    let _guard = failpoint_lock();
+    failpoint::clear("transport.accept");
+    failpoint::clear("transport.write");
+    let server = TcpServer::start_with(pool(), "127.0.0.1:0", quick()).unwrap();
+
+    failpoint::configure("transport.accept", Action::IoError, Some(2));
+    failpoint::configure("transport.write", Action::Delay(25), Some(4));
+
+    let stream = connect(&server);
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    writeln!(writer, "{{\"op\":\"ecc\",\"v\":9,\"id\":7}}").unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let json = Json::parse(&line).unwrap();
+    assert_eq!(json.get("ok").and_then(Json::as_bool), Some(true), "{line}");
+    let expected = engine().eccentricity(9).value;
+    let got = json.get("value").and_then(Json::as_f64).unwrap();
+    assert!((got - expected).abs() < 1e-12, "{got} vs {expected}");
+
+    assert!(failpoint::fired("transport.accept") >= 1, "accept failpoint must have fired");
+    assert!(failpoint::fired("transport.write") >= 1, "write failpoint must have fired");
+    failpoint::clear("transport.accept");
+    failpoint::clear("transport.write");
+}
+
+/// How one storm client's connection resolved. Every client must land in
+/// exactly one of these buckets — "hung" is not a bucket.
+enum Fate {
+    /// Got a correct answer.
+    Answered,
+    /// Got a well-formed one-line `overloaded` shed.
+    Shed,
+    /// The connection was reset under it (a shed racing its own writes —
+    /// possible for clients still mid-write when the server hangs up).
+    Reset,
+}
+
+/// Scenario 5 (the storm): ≥ 1000 concurrent connections — a mix of
+/// well-behaved clients, byte-at-a-time slow writers, and mid-frame
+/// disconnectors. The contract: zero wrong answers, every shed is a
+/// well-formed typed line, nobody hangs, and reactor write memory stays
+/// below `admitted-connections × write_buffer_cap`.
+#[test]
+fn storm_of_a_thousand_mixed_clients_is_answered_or_shed_never_hung() {
+    // 1000 client sockets + server-side fds live in this one process.
+    let available = reecc_serve::sys::raise_nofile_limit(8192);
+    assert!(available >= 3000, "need fds for the storm, got {available}");
+
+    const CLIENTS: usize = 1000;
+    let config = ServerConfig {
+        max_connections: 96,
+        accept_burst: 64,
+        idle_timeout: Duration::from_secs(60),
+        ..quick()
+    };
+    let cap_bound = (96u64 + 2 * 64) * config.write_buffer_cap as u64;
+    let server = Arc::new(TcpServer::start_with(pool(), "127.0.0.1:0", config).unwrap());
+    let expected = engine().eccentricity(11).value;
+
+    let wrong = Arc::new(AtomicU64::new(0));
+    let malformed_sheds = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|i| {
+            let server = Arc::clone(&server);
+            let wrong = Arc::clone(&wrong);
+            let malformed = Arc::clone(&malformed_sheds);
+            std::thread::Builder::new()
+                .stack_size(256 * 1024)
+                .spawn(move || -> Option<Fate> {
+                    let Ok(stream) = TcpStream::connect(server.local_addr()) else {
+                        return Some(Fate::Reset);
+                    };
+                    stream.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+                    let request = b"{\"op\":\"ecc\",\"v\":11}\n";
+                    match i % 3 {
+                        // Mid-frame disconnector: half a request, then gone.
+                        2 => {
+                            let mut writer = stream;
+                            let _ = writer.write_all(&request[..request.len() / 2]);
+                            return None;
+                        }
+                        // Slow writer: the request one byte at a time.
+                        1 => {
+                            let mut writer = stream.try_clone().unwrap();
+                            for &byte in request.iter() {
+                                if writer.write_all(&[byte]).is_err() {
+                                    return Some(Fate::Reset);
+                                }
+                                std::thread::sleep(Duration::from_millis(1));
+                            }
+                        }
+                        // Well-behaved: one write, then read.
+                        _ => {
+                            let mut writer = stream.try_clone().unwrap();
+                            if writer.write_all(request).is_err() {
+                                return Some(Fate::Reset);
+                            }
+                        }
+                    }
+                    let mut reader = BufReader::new(stream);
+                    let mut line = String::new();
+                    match reader.read_line(&mut line) {
+                        Err(_) | Ok(0) => Some(Fate::Reset),
+                        Ok(_) => match Json::parse(&line) {
+                            Err(_) => {
+                                malformed.fetch_add(1, Ordering::Relaxed);
+                                Some(Fate::Shed)
+                            }
+                            Ok(json) => {
+                                if json.get("ok").and_then(Json::as_bool) == Some(true) {
+                                    let got = json
+                                        .get("value")
+                                        .and_then(Json::as_f64)
+                                        .unwrap_or(-1.0);
+                                    if (got - expected).abs() > 1e-12 {
+                                        wrong.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    Some(Fate::Answered)
+                                } else {
+                                    if json.get("error").and_then(Json::as_str)
+                                        != Some("overloaded")
+                                    {
+                                        malformed.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    Some(Fate::Shed)
+                                }
+                            }
+                        },
+                    }
+                })
+                .unwrap()
+        })
+        .collect();
+
+    let (mut answered, mut shed, mut reset, mut disconnected) = (0u64, 0u64, 0u64, 0u64);
+    for handle in handles {
+        match handle.join().unwrap() {
+            Some(Fate::Answered) => answered += 1,
+            Some(Fate::Shed) => shed += 1,
+            Some(Fate::Reset) => reset += 1,
+            None => disconnected += 1,
+        }
+    }
+
+    // Every client resolved (the joins above would have hung otherwise);
+    // now the quality gates.
+    assert_eq!(wrong.load(Ordering::Relaxed), 0, "wrong answers under storm");
+    assert_eq!(malformed_sheds.load(Ordering::Relaxed), 0, "sheds must be typed lines");
+    assert_eq!(answered + shed + reset + disconnected, CLIENTS as u64);
+    assert!(answered >= 1, "at least the early clients must be answered");
+    assert_eq!(disconnected, (CLIENTS / 3) as u64);
+    // Only clients still writing when the server hangs up (slow writers
+    // racing a shed) may see a reset; well-behaved clients get an answer
+    // or the typed line. A small slack absorbs scheduler-order races.
+    assert!(
+        reset <= (CLIENTS / 3 + 32) as u64,
+        "resets beyond the slow-writer population: {reset} (answered {answered}, shed {shed})"
+    );
+
+    let snap = server.stats().snapshot();
+    assert!(
+        snap.write_buffered_peak <= cap_bound,
+        "reactor write memory {} exceeded cap bound {cap_bound}",
+        snap.write_buffered_peak
+    );
+    assert!(
+        snap.connections_accepted >= (CLIENTS - CLIENTS / 3) as u64,
+        "most clients must at least reach admission: {snap:?}"
+    );
+}
