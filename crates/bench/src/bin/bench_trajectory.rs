@@ -16,6 +16,15 @@
 //!     --tier medium --dataset live-journal --eps 0.3 --dim-scale 0.2
 //! ```
 //!
+//! Every timing is the median of three runs (min also recorded) so a
+//! single scheduler hiccup cannot fake a regression or a win, and every
+//! record carries a `mode` field (`precision+precond`, e.g.
+//! `"mixed+cheby"`) so trajectory lines for different arithmetic are
+//! separable with grep. The scalar baseline is always the f64 build; in
+//! `--precision mixed` the blocked sketch is not bitwise-comparable to
+//! it, so the correctness gate becomes "every sample eccentricity within
+//! ε of the f64 scalar answer" instead of the bitwise check.
+//!
 //! A third record (`BENCH_optimize.json`) times the optimizer-side
 //! candidate-evaluation engine: the serial scalar path (`threads = 1`,
 //! `block_size = 1`) against the blocked path on a deterministic
@@ -40,9 +49,9 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
-use reecc_bench::{timed, HarnessArgs};
+use reecc_bench::{mode_label, timed, timed_median3, HarnessArgs};
 use reecc_core::sketch::ResistanceSketch;
-use reecc_core::{QueryEngine, SketchParams};
+use reecc_core::{Precision, QueryEngine, SketchParams};
 use reecc_datasets::{preprocess, Dataset};
 use reecc_graph::Edge;
 use reecc_opt::{
@@ -68,22 +77,23 @@ fn main() {
     let g = preprocess(&dataset.synthesize(args.tier));
     let (n, m) = (g.node_count(), g.edge_count());
 
-    let base = SketchParams {
-        epsilon: eps,
-        seed,
-        dimension_scale: dim_scale,
-        threads: 1,
-        ..Default::default()
-    };
-    eprintln!("building scalar sketch (block_size = 1, threads = 1) on n={n} m={m} ...");
-    let (scalar, scalar_secs) = timed(|| {
-        ResistanceSketch::build(&g, &SketchParams { block_size: 1, ..base })
-            .expect("bench graphs are connected")
+    let base = SketchParams { threads: 1, ..reecc_bench::sketch_params(&args, eps) };
+    let mixed = base.precision == Precision::Mixed;
+    let mode = mode_label(base.precision, base.cg.preconditioner);
+    // The scalar baseline is always the f64 reference build: in f64 mode
+    // the blocked sketch must match it bit-for-bit, in mixed mode it is
+    // the accuracy yardstick the mixed sketch is measured against.
+    let scalar_params = SketchParams { block_size: 1, precision: Precision::F64, ..base };
+    eprintln!("building scalar f64 sketch (block_size = 1, threads = 1) on n={n} m={m} ...");
+    let (scalar, scalar_min_secs, scalar_secs) = timed_median3(|| {
+        ResistanceSketch::build(&g, &scalar_params).expect("bench graphs are connected")
     });
     let block_params = SketchParams { block_size: args.block_size.unwrap_or(0), ..base };
     let blocked_width = block_params.effective_block_size(n);
-    eprintln!("building blocked sketch (block_size = {blocked_width}, threads = 1) ...");
-    let (blocked, blocked_secs) = timed(|| {
+    eprintln!(
+        "building blocked sketch (block_size = {blocked_width}, threads = 1, mode {mode}) ..."
+    );
+    let (blocked, blocked_min_secs, blocked_secs) = timed_median3(|| {
         ResistanceSketch::build(&g, &block_params).expect("bench graphs are connected")
     });
 
@@ -93,35 +103,73 @@ fn main() {
     // Matching eccentricity outputs, recorded per sample node so a reader
     // of the JSON can verify "equal accuracy" without rerunning anything.
     let sample: Vec<usize> = (0..n).step_by((n / 8).max(1)).take(8).collect();
+    let mut eccs_within_eps = true;
     let eccs: Vec<String> = sample
         .iter()
         .map(|&v| {
             let (cs, _) = scalar.eccentricity(v);
             let (cb, _) = blocked.eccentricity(v);
+            let within = (cs - cb).abs() <= eps * cs.abs().max(1.0);
+            eccs_within_eps &= within;
             format!(
                 "{{\"v\": {v}, \"scalar\": {cs:.12e}, \"blocked\": {cb:.12e}, \
-                 \"equal\": {}}}",
+                 \"equal\": {}, \"within_eps\": {within}}}",
                 cs == cb
             )
         })
         .collect();
+    // The gate: f64 modes must reproduce the scalar build bit-for-bit;
+    // mixed mode must land every sample eccentricity within ε of it.
+    let reference_ok = if mixed { eccs_within_eps } else { bits_match };
+
+    // Mixed-precision determinism matrix: the mixed sketch must be
+    // bitwise identical across threads × block_size (f64 determinism is
+    // already pinned by the bitwise scalar-vs-blocked gate above plus the
+    // unit suites, so the extra 9 builds are only paid in mixed mode).
+    let mut determinism_ok = true;
+    if mixed {
+        eprintln!(
+            "mixed determinism matrix: threads x block_size in {{1,2,4}} x {{0,4,8}} ..."
+        );
+        let mut reference: Option<Vec<f64>> = None;
+        for threads in [1usize, 2, 4] {
+            for block_size in [0usize, 4, 8] {
+                let combo = SketchParams { threads, block_size, ..base };
+                let built =
+                    ResistanceSketch::build(&g, &combo).expect("bench graphs are connected");
+                match &reference {
+                    None => reference = Some(built.flat().to_vec()),
+                    Some(r) => determinism_ok &= built.flat() == r.as_slice(),
+                }
+            }
+        }
+        eprintln!("mixed determinism matrix: bitwise identical = {determinism_ok}");
+    }
 
     let unix_time =
         SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0);
     let sketch_record = format!(
         "  {{\n    \"bench\": \"sketch_build\",\n    \"unix_time\": {unix_time},\n    \
+         \"mode\": \"{mode}\",\n    \
          \"graph\": \"{name}\",\n    \"tier\": \"{tier_name}\",\n    \"n\": {n},\n    \
          \"m\": {m},\n    \"epsilon\": {eps},\n    \"dimension_scale\": {dim_scale},\n    \
-         \"d\": {d},\n    \"seed\": {seed},\n    \"threads\": 1,\n    \
-         \"scalar\": {{\"block_size\": 1, \"wall_ms\": {sms:.3}, \"iters\": {sit}}},\n    \
-         \"blocked\": {{\"block_size\": {bw}, \"wall_ms\": {bms:.3}, \"iters\": {bit}}},\n    \
+         \"d\": {d},\n    \"seed\": {seed},\n    \"threads\": 1,\n    \"repeats\": 3,\n    \
+         \"scalar\": {{\"block_size\": 1, \"wall_ms\": {sms:.3}, \
+         \"min_wall_ms\": {smin:.3}, \"iters\": {sit}}},\n    \
+         \"blocked\": {{\"block_size\": {bw}, \"wall_ms\": {bms:.3}, \
+         \"min_wall_ms\": {bmin:.3}, \"iters\": {bit}}},\n    \
          \"speedup\": {speedup:.3},\n    \"sketch_bits_match\": {bits_match},\n    \
+         \"samples_within_eps\": {eccs_within_eps},\n    \
+         \"determinism_matrix_ok\": {det},\n    \
          \"sample_eccentricities\": [{eccs}]\n  }}",
+        det = if mixed { format!("{determinism_ok}") } else { "null".to_string() },
         d = blocked.dimension(),
         sms = scalar_secs * 1e3,
+        smin = scalar_min_secs * 1e3,
         sit = scalar.solve_iterations(),
         bw = blocked_width,
         bms = blocked_secs * 1e3,
+        bmin = blocked_min_secs * 1e3,
         bit = blocked.solve_iterations(),
         eccs = eccs.join(", "),
     );
@@ -140,6 +188,7 @@ fn main() {
     });
     let query_record = format!(
         "  {{\n    \"bench\": \"query_full_scan\",\n    \"unix_time\": {unix_time},\n    \
+         \"mode\": \"{mode}\",\n    \
          \"graph\": \"{name}\",\n    \"tier\": \"{tier_name}\",\n    \"n\": {n},\n    \
          \"m\": {m},\n    \"epsilon\": {eps},\n    \"d\": {d},\n    \"threads\": 1,\n    \
          \"queries\": {q},\n    \"wall_ms\": {wms:.3},\n    \
@@ -195,6 +244,7 @@ fn main() {
     let per_s = |secs: f64| candidates.len() as f64 / secs.max(1e-9);
     let optimize_record = format!(
         "  {{\n    \"bench\": \"candidate_evaluation\",\n    \"unix_time\": {unix_time},\n    \
+         \"mode\": \"{mode}\",\n    \
          \"graph\": \"{name}\",\n    \"tier\": \"{tier_name}\",\n    \"n\": {n},\n    \
          \"m\": {m},\n    \"epsilon\": {eps},\n    \"source\": {source},\n    \
          \"candidates\": {cands},\n    \"threads\": 1,\n    \
@@ -312,6 +362,7 @@ fn main() {
             .collect();
         let job_record = format!(
             "  {{\n    \"bench\": \"job_latency\",\n    \"unix_time\": {unix_time},\n    \
+         \"mode\": \"{mode}\",\n    \
          \"graph\": \"{name}\",\n    \"tier\": \"{tier_name}\",\n    \"n\": {n},\n    \
          \"m\": {m},\n    \"epsilon\": {eps},\n    \"source\": {source},\n    \
          \"k\": {k},\n    \"threads\": 1,\n    \
@@ -348,9 +399,9 @@ fn main() {
     }
 
     println!(
-        "{name} (tier {tier_name}, n={n}, m={m}, eps={eps}, d={}): scalar {:.1} ms \
-         ({} iters), blocked {:.1} ms ({} iters), speedup {speedup:.2}x, bits match: \
-         {bits_match}",
+        "{name} (tier {tier_name}, n={n}, m={m}, eps={eps}, d={}, mode {mode}): scalar f64 \
+         {:.1} ms median ({} iters), blocked {:.1} ms median ({} iters), speedup \
+         {speedup:.2}x, bits match: {bits_match}, samples within eps: {eccs_within_eps}",
         blocked.dimension(),
         scalar_secs * 1e3,
         scalar.solve_iterations(),
@@ -367,8 +418,19 @@ fn main() {
         blocked_eval_secs * 1e3,
         per_s(blocked_eval_secs),
     );
-    if !bits_match {
-        eprintln!("FAIL: scalar and blocked sketches are not bitwise identical");
+    if !reference_ok {
+        if mixed {
+            eprintln!(
+                "FAIL: mixed-precision sample eccentricities are not within eps of the \
+                 f64 scalar build"
+            );
+        } else {
+            eprintln!("FAIL: scalar and blocked sketches are not bitwise identical");
+        }
+        std::process::exit(1);
+    }
+    if !determinism_ok {
+        eprintln!("FAIL: mixed sketch is not bitwise identical across threads x block_size");
         std::process::exit(1);
     }
     if !chosen_edge_match {

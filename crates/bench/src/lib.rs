@@ -8,6 +8,7 @@
 
 use std::time::Instant;
 
+use reecc_core::{ChebyshevConfig, Precision, Preconditioner};
 use reecc_datasets::Tier;
 
 /// Minimal `--flag value` argument parser for the harness binaries.
@@ -30,6 +31,11 @@ pub struct HarnessArgs {
     pub dimension_scale: Option<f64>,
     /// Optional blocked-CG batch width override (0 = adaptive default).
     pub block_size: Option<usize>,
+    /// Row-solve arithmetic (`--precision f64|mixed`, default f64).
+    pub precision: Precision,
+    /// CG preconditioner (`--precond none|jacobi|sgs|cheby`, default
+    /// jacobi; cheby auto-tunes its eigenvalue interval per graph).
+    pub precond: Preconditioner,
 }
 
 impl Default for HarnessArgs {
@@ -42,6 +48,8 @@ impl Default for HarnessArgs {
             seed: None,
             dimension_scale: None,
             block_size: None,
+            precision: Precision::F64,
+            precond: Preconditioner::Jacobi,
         }
     }
 }
@@ -55,7 +63,8 @@ impl HarnessArgs {
                 eprintln!("error: {msg}");
                 eprintln!(
                     "usage: --tier ci|small|medium|large --dataset NAME --k N \
-                     --eps 0.3,0.2,0.1 --seed N --dim-scale X --block B"
+                     --eps 0.3,0.2,0.1 --seed N --dim-scale X --block B \
+                     --precision f64|mixed --precond none|jacobi|sgs|cheby"
                 );
                 std::process::exit(2);
             }
@@ -105,6 +114,30 @@ impl HarnessArgs {
                 "--block" => {
                     out.block_size =
                         Some(value()?.parse().map_err(|_| "bad --block value".to_string())?)
+                }
+                "--precision" => {
+                    out.precision = match value()?.as_str() {
+                        "f64" => Precision::F64,
+                        "mixed" => Precision::Mixed,
+                        v => {
+                            return Err(format!(
+                                "unknown --precision {v:?} (expected f64 or mixed)"
+                            ))
+                        }
+                    }
+                }
+                "--precond" => {
+                    out.precond = match value()?.as_str() {
+                        "none" => Preconditioner::Identity,
+                        "jacobi" => Preconditioner::Jacobi,
+                        "sgs" => Preconditioner::SymmetricGaussSeidel,
+                        "cheby" => Preconditioner::Chebyshev(ChebyshevConfig::default()),
+                        v => {
+                            return Err(format!(
+                                "unknown --precond {v:?} (expected none, jacobi, sgs or cheby)"
+                            ))
+                        }
+                    }
                 }
                 other => return Err(format!("unknown flag {other:?}")),
             }
@@ -170,12 +203,45 @@ impl Table {
 
 /// Build [`reecc_core::SketchParams`] from harness flags for a given `ε`.
 pub fn sketch_params(args: &HarnessArgs, epsilon: f64) -> reecc_core::SketchParams {
-    reecc_core::SketchParams {
+    let mut params = reecc_core::SketchParams {
         epsilon,
         seed: args.seed.unwrap_or(42),
         dimension_scale: args.dimension_scale.unwrap_or(1.0),
+        precision: args.precision,
         ..Default::default()
-    }
+    };
+    params.cg.preconditioner = args.precond;
+    params
+}
+
+/// Short machine-readable label for a (precision, precond) pair, used as
+/// the `mode` field in trajectory bench records (e.g. `"mixed+cheby"`).
+pub fn mode_label(precision: Precision, precond: Preconditioner) -> String {
+    let pr = match precision {
+        Precision::F64 => "f64",
+        Precision::Mixed => "mixed",
+    };
+    let pc = match precond {
+        Preconditioner::Identity => "none",
+        Preconditioner::Jacobi => "jacobi",
+        Preconditioner::SymmetricGaussSeidel => "sgs",
+        Preconditioner::Chebyshev(_) => "cheby",
+    };
+    format!("{pr}+{pc}")
+}
+
+/// Run `f` three times, returning `(last_result, min_secs, median_secs)`.
+///
+/// Trajectory records store both: min is the low-noise "machine capability"
+/// number, median is the honest expectation. Three repeats keep the large
+/// tier affordable while still shedding one outlier.
+pub fn timed_median3<T>(mut f: impl FnMut() -> T) -> (T, f64, f64) {
+    let (_, t0) = timed(&mut f);
+    let (_, t1) = timed(&mut f);
+    let (out, t2) = timed(&mut f);
+    let mut ts = [t0, t1, t2];
+    ts.sort_by(f64::total_cmp);
+    (out, ts[0], ts[1])
 }
 
 /// Time a closure, returning `(result, seconds)`.
@@ -243,6 +309,53 @@ mod tests {
         assert!(parse(&["--bogus"]).is_err());
         assert!(parse(&["--k"]).is_err());
         assert!(parse(&["--dim-scale", "-1"]).is_err());
+        assert!(parse(&["--precision", "f16"]).is_err());
+        assert!(parse(&["--precond", "ilu"]).is_err());
+    }
+
+    #[test]
+    fn precision_and_precond_flags() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.precision, Precision::F64);
+        assert_eq!(a.precond, Preconditioner::Jacobi);
+
+        let a = parse(&["--precision", "mixed", "--precond", "cheby"]).unwrap();
+        assert_eq!(a.precision, Precision::Mixed);
+        assert!(matches!(a.precond, Preconditioner::Chebyshev(cfg) if !cfg.is_resolved()));
+        let p = sketch_params(&a, 0.3);
+        assert_eq!(p.precision, Precision::Mixed);
+        assert!(matches!(p.cg.preconditioner, Preconditioner::Chebyshev(_)));
+
+        let a = parse(&["--precond", "none"]).unwrap();
+        assert_eq!(a.precond, Preconditioner::Identity);
+        let a = parse(&["--precond", "sgs"]).unwrap();
+        assert_eq!(a.precond, Preconditioner::SymmetricGaussSeidel);
+    }
+
+    #[test]
+    fn mode_labels() {
+        assert_eq!(mode_label(Precision::F64, Preconditioner::Jacobi), "f64+jacobi");
+        assert_eq!(
+            mode_label(Precision::Mixed, Preconditioner::Chebyshev(ChebyshevConfig::default())),
+            "mixed+cheby"
+        );
+        assert_eq!(mode_label(Precision::F64, Preconditioner::Identity), "f64+none");
+        assert_eq!(
+            mode_label(Precision::Mixed, Preconditioner::SymmetricGaussSeidel),
+            "mixed+sgs"
+        );
+    }
+
+    #[test]
+    fn timed_median3_orders_samples() {
+        let mut calls = 0;
+        let (v, min, median) = timed_median3(|| {
+            calls += 1;
+            calls
+        });
+        assert_eq!(v, 3);
+        assert_eq!(calls, 3);
+        assert!(min <= median);
     }
 
     #[test]

@@ -6,7 +6,10 @@ use std::path::Path;
 use std::sync::Arc;
 use std::time::Duration;
 
-use reecc_core::{approx_query, exact_query, fast_query, QueryEngine, SketchParams};
+use reecc_core::{
+    approx_query, exact_query, fast_query, ChebyshevConfig, Precision, Preconditioner,
+    QueryEngine, SketchParams,
+};
 use reecc_datasets::{preprocess, Dataset, Tier};
 use reecc_distfit::burr::fit_burr_mle;
 use reecc_distfit::summary::Summary;
@@ -25,7 +28,9 @@ use reecc_serve::{
     ServePool, ServerConfig, SketchSnapshot, SnapshotError, TcpServer,
 };
 
-use crate::parse::{parse_command, Algorithm, Command, Model, QueryMethod};
+use crate::parse::{
+    parse_command, Algorithm, Command, Model, PrecisionArg, PrecondArg, QueryMethod,
+};
 use crate::{CliError, USAGE};
 
 /// Parse and execute an argv (without the binary name), returning the
@@ -49,14 +54,19 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             eps,
             threads,
             block_size,
+            precision,
+            precond,
             lazy,
             lcc,
-        } => optimize(&path, source, k, algorithm, eps, threads, block_size, lazy, lcc),
+        } => {
+            let base = solver_params(eps, precision, precond);
+            optimize(&path, source, k, algorithm, base, threads, block_size, lazy, lcc)
+        }
         Command::Generate { model, n, param, seed, dataset, out } => {
             generate(model, n, param, seed, dataset.as_deref(), out.as_deref())
         }
-        Command::SketchBuild { path, out, eps, seed, lcc, verify } => {
-            sketch_build(&path, &out, eps, seed, lcc, verify)
+        Command::SketchBuild { path, out, eps, seed, precision, precond, lcc, verify } => {
+            sketch_build(&path, &out, solver_params(eps, precision, precond), seed, lcc, verify)
         }
         Command::SketchInfo { path } => sketch_info(&path),
         Command::Serve {
@@ -66,6 +76,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             threads,
             queue_depth,
             eps,
+            precision,
+            precond,
             lcc,
             wal_dir,
             error_budget,
@@ -80,7 +92,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             addr.as_deref(),
             threads,
             queue_depth,
-            eps,
+            solver_params(eps, precision, precond),
             lcc,
             wal_dir.as_deref(),
             error_budget,
@@ -126,6 +138,25 @@ fn load_graph(path: &str, lcc: bool) -> Result<Graph, CliError> {
 
 fn sketch_params(eps: f64) -> SketchParams {
     SketchParams { epsilon: eps, ..Default::default() }
+}
+
+/// [`sketch_params`] plus the solver-mode flags: `--precision` selects the
+/// f64 or mixed row-solve path, `--precond` the CG preconditioner (cheby
+/// starts as the auto-tuned sentinel config; the build resolves it once
+/// per graph).
+fn solver_params(eps: f64, precision: PrecisionArg, precond: PrecondArg) -> SketchParams {
+    let mut p = sketch_params(eps);
+    p.precision = match precision {
+        PrecisionArg::F64 => Precision::F64,
+        PrecisionArg::Mixed => Precision::Mixed,
+    };
+    p.cg.preconditioner = match precond {
+        PrecondArg::None => Preconditioner::Identity,
+        PrecondArg::Jacobi => Preconditioner::Jacobi,
+        PrecondArg::Sgs => Preconditioner::SymmetricGaussSeidel,
+        PrecondArg::Cheby => Preconditioner::Chebyshev(ChebyshevConfig::default()),
+    };
+    p
 }
 
 fn analyze(path: &str, eps: f64, lcc: bool) -> Result<String, CliError> {
@@ -235,13 +266,14 @@ fn optimize(
     source: usize,
     k: usize,
     algorithm: Algorithm,
-    eps: f64,
+    base: SketchParams,
     threads: usize,
     block_size: usize,
     lazy: bool,
     lcc: bool,
 ) -> Result<String, CliError> {
     let g = load_graph(path, lcc)?;
+    let eps = base.epsilon;
     if source >= g.node_count() {
         return Err(CliError::Usage(format!(
             "source {source} out of range (graph has {} nodes)",
@@ -251,8 +283,9 @@ fn optimize(
     // `--threads` / `--block-size` steer both the sketch build and the
     // candidate-evaluation engine (`0` = auto via `resolve_threads` /
     // the adaptive block width) — results are identical for every setting.
+    // `--precision` / `--precond` ride along through the sketch params.
     let params = OptimizeParams {
-        sketch: SketchParams { threads, block_size, ..sketch_params(eps) },
+        sketch: SketchParams { threads, block_size, ..base },
         ..Default::default()
     };
     let compute = |e: reecc_opt::OptError| CliError::Compute(e.to_string());
@@ -345,13 +378,14 @@ fn snapshot_err(e: SnapshotError) -> CliError {
 fn sketch_build(
     path: &str,
     out: &str,
-    eps: f64,
+    base: SketchParams,
     seed: u64,
     lcc: bool,
     verify: bool,
 ) -> Result<String, CliError> {
     let g = load_graph(path, lcc)?;
-    let params = SketchParams { epsilon: eps, seed, ..Default::default() };
+    let eps = base.epsilon;
+    let params = SketchParams { seed, ..base };
     let engine =
         QueryEngine::build(&g, &params).map_err(|e| CliError::Compute(e.to_string()))?;
     let snap = SketchSnapshot::from_engine(&engine);
@@ -405,7 +439,7 @@ fn serve(
     addr: Option<&str>,
     threads: usize,
     queue_depth: usize,
-    eps: f64,
+    params: SketchParams,
     lcc: bool,
     wal_dir: Option<&str>,
     error_budget: Option<f64>,
@@ -423,7 +457,8 @@ fn serve(
     let mut snapshot_retries = 0u64;
     let live = if recovering {
         let dir = Path::new(wal_dir.expect("recovering implies wal_dir"));
-        let live = LiveEngine::recover(dir, error_budget).map_err(live_err)?;
+        let live = LiveEngine::recover_with_solver(dir, error_budget, Some(&params))
+            .map_err(live_err)?;
         eprintln!(
             "recovered epoch {} from {} ({} WAL record(s) replayed); {path} and any \
              --snapshot ignored",
@@ -448,12 +483,14 @@ fn serve(
                     eprintln!("snapshot {snap_path} loaded after {retries} retry(ies)");
                 }
                 eprintln!("loaded snapshot {snap_path}: {}", snap.summary());
-                snap.into_engine(&g).map_err(snapshot_err)?
+                snap.into_engine_with_solver(&g, Some(&params)).map_err(snapshot_err)?
             }
             None => {
-                eprintln!("no snapshot given; building sketch for {path} (eps = {eps}) ...");
-                QueryEngine::build(&g, &SketchParams { epsilon: eps, ..Default::default() })
-                    .map_err(|e| CliError::Compute(e.to_string()))?
+                eprintln!(
+                    "no snapshot given; building sketch for {path} (eps = {}) ...",
+                    params.epsilon
+                );
+                QueryEngine::build(&g, &params).map_err(|e| CliError::Compute(e.to_string()))?
             }
         };
         let config =
@@ -789,6 +826,34 @@ mod tests {
         let info = run_str(&["sketch-info", &snap]).unwrap();
         assert!(info.contains("n = 60"), "{info}");
         assert!(info.contains("eps = 0.5"), "{info}");
+    }
+
+    #[test]
+    fn sketch_build_mixed_cheby_round_trips_and_matches_f64_eps() {
+        // The mixed + Chebyshev build path end-to-end: same snapshot
+        // format, verify passes, and the resulting info reports the same
+        // dimension as the default f64 build.
+        let graph = temp_graph();
+        let dir = std::env::temp_dir().join(format!("reecc-cli-mixed-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("mixed.sketch").to_string_lossy().into_owned();
+        let built = run_str(&[
+            "sketch-build",
+            &graph,
+            "--out",
+            &snap,
+            "--eps",
+            "0.5",
+            "--precision",
+            "mixed",
+            "--precond",
+            "cheby",
+            "--verify",
+        ])
+        .unwrap();
+        assert!(built.contains("verify: round-trip load OK"), "{built}");
+        let info = run_str(&["sketch-info", &snap]).unwrap();
+        assert!(info.contains("n = 60"), "{info}");
     }
 
     #[test]

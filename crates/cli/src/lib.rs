@@ -68,13 +68,18 @@ USAGE:
   reecc query    <edges.txt> --nodes A,B,C [--method exact|approx|fast] [--eps X] [--lcc]
   reecc optimize <edges.txt> --source S --k N
                  [--algorithm simple|far|cen|ch|minrecc] [--problem remd|rem] [--eps X]
-                 [--threads N (0 = auto)] [--block-size B (0 = adaptive)] [--lazy] [--lcc]
+                 [--threads N (0 = auto)] [--block-size B (0 = adaptive)]
+                 [--precision f64|mixed] [--precond none|jacobi|sgs|cheby]
+                 [--lazy] [--lcc]
   reecc generate --model ba|hk|ws|er|powerlaw|dataset --n N [--param P] [--seed S]
                  [--dataset NAME] [--out FILE]
-  reecc sketch-build <edges.txt> --out SNAPSHOT [--eps X] [--seed S] [--lcc] [--verify]
+  reecc sketch-build <edges.txt> --out SNAPSHOT [--eps X] [--seed S]
+                 [--precision f64|mixed] [--precond none|jacobi|sgs|cheby]
+                 [--lcc] [--verify]
   reecc sketch-info  <SNAPSHOT>
   reecc serve    <edges.txt> [--snapshot SNAPSHOT] [--addr HOST:PORT]
-                 [--threads N (0 = auto)] [--queue-depth D] [--eps X] [--lcc]
+                 [--threads N (0 = auto)] [--queue-depth D] [--eps X]
+                 [--precision f64|mixed] [--precond none|jacobi|sgs|cheby] [--lcc]
                  [--wal-dir DIR] [--error-budget X]
                  [--max-jobs N (0 = no job subsystem)] [--job-dir DIR]
                  [--max-connections N] [--idle-timeout SECS]
@@ -87,6 +92,14 @@ component instead.
 `sketch-build --verify` re-loads the written snapshot and checks its checksum
 and fingerprint before reporting success (snapshots are written atomically:
 temp file + fsync + rename).
+
+--precision selects the row-solve arithmetic: f64 (default, bitwise-stable
+reference) or mixed (f32 blocked-CG sweeps under f64 iterative refinement —
+about half the memory traffic on large graphs, same eps accuracy, still
+deterministic across --threads and --block-size). --precond selects the CG
+preconditioner; cheby is the auto-tuned scaled-Chebyshev polynomial
+preconditioner (eigenvalue interval estimated once per graph). Snapshots are
+precision-agnostic: the stored format is f64 rows either way.
 
 `serve` answers newline-delimited JSON requests (`{\"op\":\"ecc\",\"v\":17}`; ops
 ecc | res | radius | diameter | whatif-edge | whatif-remove-edge | add-edge |

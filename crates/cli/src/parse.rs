@@ -46,6 +46,10 @@ pub enum Command {
         /// Right-hand sides per blocked-CG batch (`0` = adaptive default,
         /// `1` = scalar solves).
         block_size: usize,
+        /// Floating-point mode for the sketch and candidate solves.
+        precision: PrecisionArg,
+        /// Preconditioner for the CG row solves.
+        precond: PrecondArg,
         /// CELF-style lazy re-evaluation for SIMPLE.
         lazy: bool,
         /// Reduce disconnected inputs to their largest connected component.
@@ -77,6 +81,10 @@ pub enum Command {
         eps: f64,
         /// Sketch RNG seed.
         seed: u64,
+        /// Floating-point mode for the sketch build.
+        precision: PrecisionArg,
+        /// Preconditioner for the CG row solves.
+        precond: PrecondArg,
         /// Reduce disconnected inputs to their largest connected component.
         lcc: bool,
         /// Round-trip the written snapshot (load + fingerprint check)
@@ -106,6 +114,13 @@ pub enum Command {
         queue_depth: usize,
         /// Sketch epsilon (ignored with `--snapshot`).
         eps: f64,
+        /// Floating-point mode for sketch builds, including the live
+        /// engine's background re-sketch (ignored with `--snapshot`
+        /// until the first re-sketch).
+        precision: PrecisionArg,
+        /// Preconditioner for the CG solves (sketch build, what-ifs,
+        /// re-sketch).
+        precond: PrecondArg,
         /// Reduce disconnected inputs to their largest connected component.
         lcc: bool,
         /// Durable mutation-log directory. When it already holds a
@@ -162,6 +177,32 @@ pub enum Algorithm {
     Ch,
     /// MINRECC (REM).
     MinRecc,
+}
+
+/// Floating-point mode for the sketch's row solves
+/// (`--precision {f64,mixed}`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PrecisionArg {
+    /// Full-f64 CG — the bitwise-stable default.
+    #[default]
+    F64,
+    /// f32 blocked-CG sweeps under f64 iterative refinement.
+    Mixed,
+}
+
+/// Preconditioner for the sketch's row solves
+/// (`--precond {none,jacobi,sgs,cheby}`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PrecondArg {
+    /// Unpreconditioned CG.
+    None,
+    /// Diagonal (degree) scaling — the default.
+    #[default]
+    Jacobi,
+    /// Symmetric Gauss–Seidel smoothing.
+    Sgs,
+    /// Auto-tuned scaled-Chebyshev polynomial preconditioner.
+    Cheby,
 }
 
 /// Generator model selector.
@@ -238,6 +279,30 @@ fn parse_eps(flags: &Flags) -> Result<f64, CliError> {
             }
             Ok(eps)
         }
+    }
+}
+
+fn parse_precision(flags: &Flags) -> Result<PrecisionArg, CliError> {
+    match flags.get("precision") {
+        None => Ok(PrecisionArg::default()),
+        Some("f64") => Ok(PrecisionArg::F64),
+        Some("mixed") => Ok(PrecisionArg::Mixed),
+        Some(other) => Err(CliError::Usage(format!(
+            "unknown --precision {other:?} (expected f64 or mixed)"
+        ))),
+    }
+}
+
+fn parse_precond(flags: &Flags) -> Result<PrecondArg, CliError> {
+    match flags.get("precond") {
+        None => Ok(PrecondArg::default()),
+        Some("none") => Ok(PrecondArg::None),
+        Some("jacobi") => Ok(PrecondArg::Jacobi),
+        Some("sgs") => Ok(PrecondArg::Sgs),
+        Some("cheby") => Ok(PrecondArg::Cheby),
+        Some(other) => Err(CliError::Usage(format!(
+            "unknown --precond {other:?} (expected none, jacobi, sgs or cheby)"
+        ))),
     }
 }
 
@@ -322,6 +387,8 @@ pub fn parse_command(args: &[String]) -> Result<Command, CliError> {
                 "eps",
                 "threads",
                 "block-size",
+                "precision",
+                "precond",
                 "lazy",
                 "lcc",
             ])?;
@@ -362,6 +429,8 @@ pub fn parse_command(args: &[String]) -> Result<Command, CliError> {
                 eps: parse_eps(&flags)?,
                 threads: parse_usize(&flags, "threads")?.unwrap_or(0),
                 block_size: parse_usize(&flags, "block-size")?.unwrap_or(0),
+                precision: parse_precision(&flags)?,
+                precond: parse_precond(&flags)?,
                 lazy: flags.has("lazy"),
                 lcc: flags.has("lcc"),
             })
@@ -409,7 +478,15 @@ pub fn parse_command(args: &[String]) -> Result<Command, CliError> {
         }
         "sketch-build" => {
             let flags = Flags::parse(rest)?;
-            flags.reject_unknown(&["out", "eps", "seed", "lcc", "verify"])?;
+            flags.reject_unknown(&[
+                "out",
+                "eps",
+                "seed",
+                "precision",
+                "precond",
+                "lcc",
+                "verify",
+            ])?;
             if flags.has("help") {
                 return Ok(Command::Help);
             }
@@ -433,6 +510,8 @@ pub fn parse_command(args: &[String]) -> Result<Command, CliError> {
                 out,
                 eps: parse_eps(&flags)?,
                 seed,
+                precision: parse_precision(&flags)?,
+                precond: parse_precond(&flags)?,
                 lcc: flags.has("lcc"),
                 verify: flags.has("verify"),
             })
@@ -458,6 +537,8 @@ pub fn parse_command(args: &[String]) -> Result<Command, CliError> {
                 "threads",
                 "queue-depth",
                 "eps",
+                "precision",
+                "precond",
                 "lcc",
                 "wal-dir",
                 "error-budget",
@@ -519,6 +600,8 @@ pub fn parse_command(args: &[String]) -> Result<Command, CliError> {
                 threads,
                 queue_depth,
                 eps: parse_eps(&flags)?,
+                precision: parse_precision(&flags)?,
+                precond: parse_precond(&flags)?,
                 lcc: flags.has("lcc"),
                 wal_dir: flags.get("wal-dir").map(|s| s.to_string()),
                 error_budget,
@@ -635,6 +718,62 @@ mod tests {
     }
 
     #[test]
+    fn precision_and_precond_flags_parse_with_defaults() {
+        // Defaults: f64 + jacobi everywhere the flags are accepted.
+        let cmd = parse(&["sketch-build", "g.txt", "--out", "s.bin"]).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::SketchBuild {
+                precision: PrecisionArg::F64,
+                precond: PrecondArg::Jacobi,
+                ..
+            }
+        ));
+        let cmd = parse(&[
+            "sketch-build",
+            "g.txt",
+            "--out",
+            "s.bin",
+            "--precision",
+            "mixed",
+            "--precond",
+            "cheby",
+        ])
+        .unwrap();
+        assert!(matches!(
+            cmd,
+            Command::SketchBuild {
+                precision: PrecisionArg::Mixed,
+                precond: PrecondArg::Cheby,
+                ..
+            }
+        ));
+        let cmd =
+            parse(&["optimize", "g.txt", "--source", "0", "--k", "1", "--precond", "sgs"])
+                .unwrap();
+        assert!(matches!(cmd, Command::Optimize { precond: PrecondArg::Sgs, .. }));
+        let cmd =
+            parse(&["serve", "g.txt", "--precision", "mixed", "--precond", "none"]).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Serve { precision: PrecisionArg::Mixed, precond: PrecondArg::None, .. }
+        ));
+        // Bad values are targeted usage errors.
+        for bad in [
+            vec!["sketch-build", "g.txt", "--out", "s", "--precision", "f32"],
+            vec!["sketch-build", "g.txt", "--out", "s", "--precond", "ilu"],
+            vec!["serve", "g.txt", "--precision", ""],
+        ] {
+            assert!(matches!(parse(&bad), Err(CliError::Usage(_))), "{bad:?}");
+        }
+        // Flags are rejected where they make no sense (no sketch involved).
+        assert!(matches!(
+            parse(&["sketch-info", "s.bin", "--precision", "mixed"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
     fn generate_variants() {
         let cmd = parse(&["generate", "--model", "powerlaw", "--n", "500", "--param", "2.7"])
             .unwrap();
@@ -668,7 +807,7 @@ mod tests {
         ])
         .unwrap();
         match cmd {
-            Command::SketchBuild { path, out, eps, seed, lcc, verify } => {
+            Command::SketchBuild { path, out, eps, seed, lcc, verify, .. } => {
                 assert_eq!((path.as_str(), out.as_str()), ("g.txt", "g.sketch"));
                 assert!((eps - 0.4).abs() < 1e-12);
                 assert_eq!((seed, lcc, verify), (7, false, false));

@@ -26,6 +26,7 @@
 use reecc_graph::{Edge, Graph};
 use reecc_hull::approxch::{approx_convex_hull, ApproxChOptions};
 use reecc_linalg::cg::CgWorkspace;
+use reecc_linalg::{CgOptions, Preconditioner};
 
 use crate::query::default_hull_budget;
 use crate::sketch::{ResistanceSketch, SketchParams};
@@ -87,10 +88,16 @@ impl QueryEngine {
         params: &SketchParams,
         hull_opts: ApproxChOptions,
     ) -> Result<Self, CoreError> {
-        let sketch = ResistanceSketch::build(g, params)?;
+        // Resolve any auto-Chebyshev sentinels once and *store the resolved
+        // params*: the power-iteration eigenvalue estimate is then cached
+        // on the engine, so what-if solves, the candidate evaluator, and
+        // the serving layer's re-sketch path (all of which copy
+        // `engine.params()`) reuse it instead of re-estimating per batch.
+        let params = params.resolved_for(g);
+        let sketch = ResistanceSketch::build(g, &params)?;
         let theta = (params.epsilon / 12.0).clamp(1e-6, 0.999);
         let hull = approx_convex_hull(&sketch.point_set(), theta, hull_opts).vertices;
-        Ok(QueryEngine { graph: g.clone(), sketch, hull, params: *params })
+        Ok(QueryEngine { graph: g.clone(), sketch, hull, params })
     }
 
     /// Reassemble an engine from previously exported parts — the snapshot
@@ -281,6 +288,18 @@ impl QueryEngine {
         Ok(EccentricityAnswer { value, farthest })
     }
 
+    /// The CG configuration for durable rank-1 mutations
+    /// ([`Self::with_added_edge`] / [`Self::with_removed_edge`]): the
+    /// build-time `precision`/`precond` selection must not leak into
+    /// these solves, because a WAL record replayed on a recovered engine
+    /// (whose snapshot restores default solver params) has to reproduce
+    /// the live mutation bit for bit. The solve is a scalar f64 column
+    /// either way — the tuned configs target the blocked sketch build —
+    /// so mutations are pinned to the default preconditioner.
+    fn mutation_cg(&self) -> CgOptions {
+        CgOptions { preconditioner: Preconditioner::Jacobi, ..self.params.cg }
+    }
+
     /// Live mutation: a new engine for the graph **plus** edge `e`, via
     /// one CG solve and a Sherman–Morrison rank-1 sketch update
     /// ([`ResistanceSketch::apply_add_edge`]) — `O(n·d)` instead of a full
@@ -318,7 +337,7 @@ impl QueryEngine {
         let (w, r_uv) = solve_edge_potentials_with(
             &self.graph,
             e,
-            self.params.cg,
+            self.mutation_cg(),
             &mut scratch.ws,
             &mut scratch.rhs,
         );
@@ -361,7 +380,7 @@ impl QueryEngine {
         let (w, r_uv) = solve_edge_potentials_with(
             &self.graph,
             e,
-            self.params.cg,
+            self.mutation_cg(),
             &mut scratch.ws,
             &mut scratch.rhs,
         );
@@ -668,6 +687,30 @@ mod tests {
                 assert!((rt - r).abs() <= tol * r, "r({u},{v}): {rt} vs {r}");
             }
         }
+    }
+
+    #[test]
+    fn engine_caches_resolved_chebyshev_estimate() {
+        use reecc_linalg::{ChebyshevConfig, Preconditioner};
+        // Satellite of the preconditioning work: the engine resolves the
+        // auto-Chebyshev sentinels once at build time and stores the
+        // concrete config, so every downstream copy of `params()` (what-if
+        // candidate evaluation, serve's re-sketch) reuses the cached
+        // eigenvalue estimate instead of re-running the power iteration.
+        let g = barabasi_albert(50, 2, 5);
+        let mut p = params();
+        p.cg.preconditioner = Preconditioner::Chebyshev(ChebyshevConfig::default());
+        let engine = QueryEngine::build(&g, &p).unwrap();
+        match engine.params().cg.preconditioner {
+            Preconditioner::Chebyshev(cfg) => {
+                assert!(cfg.is_resolved(), "stored config must be resolved: {cfg:?}")
+            }
+            other => panic!("preconditioner changed kind: {other:?}"),
+        }
+        // Resolution is idempotent: rebuilding from the stored params
+        // produces the same sketch bits.
+        let again = QueryEngine::build(&g, engine.params()).unwrap();
+        assert_eq!(again.sketch().flat(), engine.sketch().flat());
     }
 
     #[test]

@@ -59,7 +59,11 @@ pub use query::{
     fast_query_with_policy, resistance_between, DegradationPolicy, FastQueryOutput,
     QueryDiagnostics, QueryTier,
 };
-pub use sketch::{ResistanceSketch, SketchDiagnostics, SketchParams};
+pub use sketch::{Precision, ResistanceSketch, SketchDiagnostics, SketchParams};
+// Solver knobs that surface through `SketchParams.cg`, re-exported so
+// downstream layers (CLI, bench harness) can configure the sketch without
+// a direct reecc-linalg dependency.
+pub use reecc_linalg::{CgOptions, ChebyshevConfig, Preconditioner};
 
 /// Resolve a user-facing `threads` knob to a concrete worker count: `0`
 /// means "use available hardware parallelism", falling back to 1 when the

@@ -24,11 +24,14 @@ use reecc_graph::traversal::is_connected;
 use reecc_graph::{Edge, Graph};
 use reecc_hull::PointSet;
 use reecc_linalg::block::BlockVectors;
-use reecc_linalg::block_cg::{solve_laplacian_block, BlockCgWorkspace};
+use reecc_linalg::block_cg::{
+    solve_laplacian_block, solve_laplacian_block_mixed, BlockCgWorkspace, MixedOptions,
+};
 use reecc_linalg::cg::{solve_laplacian, CgOptions, CgWorkspace};
 use reecc_linalg::jl::{jl_dimension_scaled, projected_incidence_rows, projection_column};
+use reecc_linalg::precond::resolve_preconditioner;
 use reecc_linalg::recovery::{RecoveryPolicy, RecoverySolver};
-use reecc_linalg::{vector, LaplacianOp};
+use reecc_linalg::{vector, CompactAdjacency, LaplacianOp};
 
 use crate::CoreError;
 
@@ -49,6 +52,32 @@ pub const LARGE_GRAPH_BLOCK_SIZE: usize = 4;
 /// [`LARGE_GRAPH_BLOCK_SIZE`]: the crossover where `n · 8 · 8` bytes
 /// (the width-8 gather buffer) exceeds ~1.25 MiB of L2.
 pub const BLOCK_SIZE_CROSSOVER_NODES: usize = 20_000;
+
+/// Mixed-precision crossover: the inner f32 solve halves every gather
+/// byte (`n · b · 4` instead of `n · b · 8`), so the width-8 node-major
+/// buffer stays L2-resident out to twice as many nodes. `block_size: 0`
+/// under [`Precision::Mixed`] therefore keeps [`DEFAULT_BLOCK_SIZE`] up
+/// to this node count before narrowing.
+pub const MIXED_BLOCK_SIZE_CROSSOVER_NODES: usize = 40_000;
+
+/// Floating-point strategy for the sketch's row solves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Precision {
+    /// Full-`f64` CG throughout — the bitwise-stable reference mode.
+    /// Sketches built in this mode are bit-identical to every build since
+    /// the kernel layer landed, regardless of `threads` or `block_size`.
+    #[default]
+    F64,
+    /// `f32` blocked-CG sweeps wrapped in `f64` iterative refinement
+    /// ([`reecc_linalg::block_cg::solve_laplacian_block_mixed`]): the
+    /// memory-bound inner sweeps move half the bytes, and the outer `f64`
+    /// residual loop restores the full `ε` tolerance. Columns the
+    /// refinement cannot finish fall through to the ordinary `f64`
+    /// escalation ladder. Deterministic across `threads` × `block_size`
+    /// for a fixed parameter set, but *not* bit-identical to [`Self::F64`]
+    /// builds — only `ε`-equivalent.
+    Mixed,
+}
 
 /// Parameters controlling sketch construction.
 #[derive(Debug, Clone, Copy)]
@@ -73,6 +102,8 @@ pub struct SketchParams {
     /// setting produces a bitwise-identical sketch — the knob only trades
     /// cache footprint against solve throughput.
     pub block_size: usize,
+    /// Floating-point strategy for the row solves (see [`Precision`]).
+    pub precision: Precision,
     /// CG solver options for each row.
     pub cg: CgOptions,
     /// Escalation-ladder policy for repairing rows whose first solve did
@@ -90,6 +121,7 @@ impl Default for SketchParams {
             seed: 42,
             threads: 0,
             block_size: 0,
+            precision: Precision::F64,
             cg: CgOptions::default(),
             recovery: RecoveryPolicy::default(),
         }
@@ -116,11 +148,27 @@ impl SketchParams {
     /// `n`-node graph. The choice never changes the sketch bits, only
     /// throughput, so adapting it to the graph size is safe.
     pub fn effective_block_size(&self, n: usize) -> usize {
+        let crossover = match self.precision {
+            Precision::F64 => BLOCK_SIZE_CROSSOVER_NODES,
+            Precision::Mixed => MIXED_BLOCK_SIZE_CROSSOVER_NODES,
+        };
         match self.block_size {
-            0 if n > BLOCK_SIZE_CROSSOVER_NODES => LARGE_GRAPH_BLOCK_SIZE,
+            0 if n > crossover => LARGE_GRAPH_BLOCK_SIZE,
             0 => DEFAULT_BLOCK_SIZE,
             b => b,
         }
+    }
+
+    /// A copy of `self` with any auto-Chebyshev sentinels in the
+    /// preconditioner replaced by concrete values for `g` (one short,
+    /// deterministic power iteration — see
+    /// [`reecc_linalg::resolve_preconditioner`]); all other
+    /// preconditioners pass through untouched. Idempotent, so callers
+    /// that receive already-resolved params pay nothing.
+    pub fn resolved_for(&self, g: &Graph) -> SketchParams {
+        let mut p = *self;
+        p.cg.preconditioner = resolve_preconditioner(&LaplacianOp::new(g), p.cg.preconditioner);
+        p
     }
 
     fn worker_count(&self, jobs: usize) -> usize {
@@ -225,14 +273,25 @@ impl ResistanceSketch {
             return Err(CoreError::Disconnected);
         }
         let d = params.dimension_for(n);
+        // Resolve any auto-Chebyshev sentinels once up front: every block
+        // and every worker then shares the same eigenvalue estimate (one
+        // fixed-length power iteration per build, not per row), and the
+        // resolved value is deterministic. Concrete preconditioners pass
+        // through untouched, so this is a no-op for the default Jacobi
+        // configuration and for params already resolved by the engine.
+        let mut params = *params;
+        params.cg.preconditioner =
+            resolve_preconditioner(&LaplacianOp::new(g), params.cg.preconditioner);
+        let params = &params;
         // (QB) rows are generated sequentially (single RNG stream, fully
         // reproducible), solves run in parallel.
         let rhs = projected_incidence_rows(g, d, params.seed);
         let block = params.effective_block_size(n);
+        let mixed = params.precision == Precision::Mixed;
         let mut rows: Vec<Vec<f64>>;
         let mut row_ok: Vec<bool>;
         let mut solve_iterations: usize;
-        if block <= 1 {
+        if block <= 1 && !mixed {
             // Scalar single-RHS path: one CG solve per JL row, workers over
             // contiguous chunks of rows.
             let workers = params.worker_count(d);
@@ -289,17 +348,38 @@ impl ResistanceSketch {
             // iteration across the whole block). Block boundaries depend
             // only on `d` and `block` — never on the worker count — so the
             // sketch is bitwise identical for every `threads` setting.
-            let blocks: Vec<&[Vec<f64>]> = rhs.chunks(block).collect();
+            // Mixed precision always takes this path (the refinement loop
+            // is inherently blocked); per-column independence of the inner
+            // solver keeps it deterministic across block widths too.
+            let blocks: Vec<&[Vec<f64>]> = rhs.chunks(block.max(1)).collect();
             let workers = params.worker_count(blocks.len());
+            // One u32 adjacency mirror shared (read-only) by every worker:
+            // blocked sweeps stream the index list once per iteration, so
+            // halving its width halves the dominant traffic. Bitwise-
+            // neutral — index width never touches the arithmetic.
+            let compact = CompactAdjacency::try_new(g);
             let solve_blocks = |assigned: &[&[Vec<f64>]]| {
-                let op = LaplacianOp::new(g);
+                let op = match compact.as_ref() {
+                    Some(adj) => LaplacianOp::with_compact(g, adj),
+                    None => LaplacianOp::new(g),
+                };
                 let mut ws = BlockCgWorkspace::new();
                 let mut out_rows = Vec::new();
                 let mut ok = Vec::new();
                 let mut iters = 0usize;
                 for batch in assigned {
                     let rhs_block = BlockVectors::from_columns(batch);
-                    let outcome = solve_laplacian_block(&op, &rhs_block, params.cg, &mut ws);
+                    let outcome = if mixed {
+                        solve_laplacian_block_mixed(
+                            &op,
+                            &rhs_block,
+                            params.cg,
+                            MixedOptions::default(),
+                            &mut ws,
+                        )
+                    } else {
+                        solve_laplacian_block(&op, &rhs_block, params.cg, &mut ws)
+                    };
                     iters += outcome.total_iterations();
                     for j in 0..batch.len() {
                         ok.push(outcome.converged[j]);
@@ -890,6 +970,118 @@ mod tests {
             }
         }
         assert!(reference.solve_iterations() > 0);
+    }
+
+    #[test]
+    fn effective_block_size_is_precision_aware() {
+        let f64_p = params(0.3);
+        let mixed_p = SketchParams { precision: Precision::Mixed, ..f64_p };
+        // Below both crossovers: the wide default either way.
+        assert_eq!(f64_p.effective_block_size(10_000), DEFAULT_BLOCK_SIZE);
+        assert_eq!(mixed_p.effective_block_size(10_000), DEFAULT_BLOCK_SIZE);
+        // Between the crossovers: f32 gathers are half the bytes, so
+        // mixed keeps the wide block where f64 has already narrowed.
+        assert_eq!(f64_p.effective_block_size(30_000), LARGE_GRAPH_BLOCK_SIZE);
+        assert_eq!(mixed_p.effective_block_size(30_000), DEFAULT_BLOCK_SIZE);
+        // Past the mixed crossover both narrow.
+        assert_eq!(mixed_p.effective_block_size(50_000), LARGE_GRAPH_BLOCK_SIZE);
+        // Explicit widths are always honored verbatim.
+        let explicit = SketchParams { block_size: 6, ..mixed_p };
+        assert_eq!(explicit.effective_block_size(100_000), 6);
+    }
+
+    #[test]
+    fn mixed_precision_tracks_f64_build_within_epsilon() {
+        // Mixed refinement runs to the same relative-residual tolerance as
+        // the f64 solver, so the resulting resistance estimates must obey
+        // the same ε bound against exact values — and the sketch entries
+        // themselves stay far closer to the f64 build than ε/10.
+        let g = barabasi_albert(80, 2, 11);
+        let eps = 0.35;
+        let reference = ResistanceSketch::build(&g, &params(eps)).unwrap();
+        let mixed = ResistanceSketch::build(
+            &g,
+            &SketchParams { precision: Precision::Mixed, ..params(eps) },
+        )
+        .unwrap();
+        assert_eq!(mixed.dimension(), reference.dimension());
+        assert!(mixed.diagnostics().fully_converged(), "{:?}", mixed.diagnostics());
+        for (a, b) in mixed.flat().iter().zip(reference.flat()) {
+            assert!((a - b).abs() < eps / 10.0, "entry drift {a} vs {b}");
+        }
+        let exact = ExactResistance::new(&g).unwrap();
+        for (u, v) in [(0usize, 79usize), (3, 40), (17, 62)] {
+            let r = exact.resistance(u, v);
+            let rt = mixed.resistance(u, v);
+            assert!((rt - r).abs() <= eps * r, "r({u},{v}): mixed {rt} vs exact {r}");
+        }
+    }
+
+    #[test]
+    fn mixed_precision_is_bitwise_deterministic_across_threads_and_blocks() {
+        // The mixed solver is per-column independent (masked lockstep inner
+        // CG, per-column refinement rounds), so like the f64 path its
+        // output must be bit-identical for every threads × block_size
+        // combination — including the degenerate width-1 blocked solve.
+        let g = barabasi_albert(40, 2, 2);
+        let base = SketchParams { precision: Precision::Mixed, ..params(0.5) };
+        let reference =
+            ResistanceSketch::build(&g, &SketchParams { threads: 1, block_size: 1, ..base })
+                .unwrap();
+        for threads in [1usize, 4] {
+            for block_size in [0usize, 1, 3, 8] {
+                let sk =
+                    ResistanceSketch::build(&g, &SketchParams { threads, block_size, ..base })
+                        .unwrap();
+                assert_eq!(
+                    sk.flat(),
+                    reference.flat(),
+                    "mixed sketch bits diverged at threads={threads} block_size={block_size}"
+                );
+                assert_eq!(sk.diagnostics(), reference.diagnostics());
+            }
+        }
+    }
+
+    #[test]
+    fn auto_chebyshev_preconditioner_resolves_and_converges() {
+        use reecc_linalg::{ChebyshevConfig, Preconditioner};
+        // An unresolved auto-Chebyshev request is resolved once per build
+        // (sentinels filled from the power-iteration estimate), and the
+        // resulting sketch meets the same ε bound as the Jacobi default.
+        let g = line(30);
+        let eps = 0.3;
+        let mut p = params(eps);
+        p.cg.preconditioner = Preconditioner::Chebyshev(ChebyshevConfig::default());
+        let sk = ResistanceSketch::build(&g, &p).unwrap();
+        assert!(sk.diagnostics().fully_converged(), "{:?}", sk.diagnostics());
+        let exact = ExactResistance::new(&g).unwrap();
+        for (u, v) in [(0usize, 29usize), (5, 20)] {
+            let r = exact.resistance(u, v);
+            let rt = sk.resistance(u, v);
+            assert!((rt - r).abs() <= eps * r, "r({u},{v}): sketch {rt} vs exact {r}");
+        }
+        // Resolution happens before the solves fan out, so the build is
+        // deterministic across thread counts despite the power iteration.
+        let again = ResistanceSketch::build(&g, &SketchParams { threads: 4, ..p }).unwrap();
+        assert_eq!(again.flat(), sk.flat());
+    }
+
+    #[test]
+    fn mixed_with_chebyshev_matches_f64_reference() {
+        use reecc_linalg::{ChebyshevConfig, Preconditioner};
+        let g = barabasi_albert(60, 3, 19);
+        let eps = 0.4;
+        let mut p = params(eps);
+        p.cg.preconditioner = Preconditioner::Chebyshev(ChebyshevConfig::default());
+        let f64_sk = ResistanceSketch::build(&g, &p).unwrap();
+        let mixed_sk =
+            ResistanceSketch::build(&g, &SketchParams { precision: Precision::Mixed, ..p })
+                .unwrap();
+        assert!(mixed_sk.diagnostics().fully_converged(), "{:?}", mixed_sk.diagnostics());
+        for (a, b) in mixed_sk.flat().iter().zip(f64_sk.flat()) {
+            assert!((a - b).abs() < eps / 10.0, "entry drift {a} vs {b}");
+        }
     }
 
     #[test]

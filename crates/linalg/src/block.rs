@@ -219,6 +219,161 @@ pub fn block_xpby_mirror(
     }
 }
 
+/// `b` vectors of length `n` in one contiguous column-major **f32**
+/// buffer — the storage side of the mixed-precision inner solver. Half
+/// the bytes of [`BlockVectors`] per entry, so the node-major gather set
+/// of the SpMM fits L2 at twice the node count (or twice the width).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockVectorsF32 {
+    n: usize,
+    b: usize,
+    data: Vec<f32>,
+}
+
+impl BlockVectorsF32 {
+    /// An all-zero `n×b` block.
+    pub fn zeros(n: usize, b: usize) -> Self {
+        BlockVectorsF32 { n, b, data: vec![0.0; n * b] }
+    }
+
+    /// Vector length `n`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the vectors have zero length.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of columns `b` (the block width).
+    #[inline]
+    pub fn block_size(&self) -> usize {
+        self.b
+    }
+
+    /// Borrow column `j` as a contiguous slice.
+    #[inline]
+    pub fn column(&self, j: usize) -> &[f32] {
+        &self.data[j * self.n..(j + 1) * self.n]
+    }
+
+    /// Mutably borrow column `j` as a contiguous slice.
+    #[inline]
+    pub fn column_mut(&mut self, j: usize) -> &mut [f32] {
+        &mut self.data[j * self.n..(j + 1) * self.n]
+    }
+
+    /// The whole column-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the whole column-major buffer (entry `(i, j)` at
+    /// `i + j*n`).
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Transpose into a node-major f32 scratch buffer (entry `(i, j)` at
+    /// `out[i*b + j]`), the gather layout of the f32 SpMM.
+    pub fn transpose_into(&self, out: &mut Vec<f32>) {
+        out.resize(self.n * self.b, 0.0);
+        for j in 0..self.b {
+            let col = &self.data[j * self.n..(j + 1) * self.n];
+            for (i, &x) in col.iter().enumerate() {
+                out[i * self.b + j] = x;
+            }
+        }
+    }
+}
+
+/// f32 multi-RHS axpy: `y_j += alphas[j] * x_j` for active columns;
+/// per-column arithmetic matches [`vector::axpy_f32`].
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn block_axpy_f32(
+    alphas: &[f32],
+    x: &BlockVectorsF32,
+    y: &mut BlockVectorsF32,
+    active: &[bool],
+) {
+    assert_eq!(x.n, y.n, "block_axpy_f32: length mismatch");
+    assert_eq!(x.b, y.b, "block_axpy_f32: block width mismatch");
+    assert_eq!(alphas.len(), x.b, "block_axpy_f32: coefficient count");
+    assert_eq!(active.len(), x.b, "block_axpy_f32: mask length");
+    for j in 0..x.b {
+        if active[j] {
+            vector::axpy_f32(alphas[j], x.column(j), y.column_mut(j));
+        }
+    }
+}
+
+/// f32 multi-RHS dot with **f64 accumulation**: `out[j] = x_j · y_j` for
+/// active columns (inactive entries untouched); per-column summation order
+/// matches [`vector::dot_f32`].
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn block_dot_f32(
+    x: &BlockVectorsF32,
+    y: &BlockVectorsF32,
+    out: &mut [f64],
+    active: &[bool],
+) {
+    assert_eq!(x.n, y.n, "block_dot_f32: length mismatch");
+    assert_eq!(x.b, y.b, "block_dot_f32: block width mismatch");
+    assert_eq!(out.len(), x.b, "block_dot_f32: output length");
+    assert_eq!(active.len(), x.b, "block_dot_f32: mask length");
+    for j in 0..x.b {
+        if active[j] {
+            out[j] = vector::dot_f32(x.column(j), y.column(j));
+        }
+    }
+}
+
+/// f32 counterpart of [`block_xpby_mirror`]: fused direction update plus
+/// node-major mirror refresh, per-element arithmetic matching
+/// [`vector::xpby_f32`].
+///
+/// # Panics
+///
+/// Panics on shape mismatch, including `mirror.len() != n * b`.
+pub fn block_xpby_mirror_f32(
+    x: &BlockVectorsF32,
+    betas: &[f32],
+    y: &mut BlockVectorsF32,
+    active: &[bool],
+    mirror: &mut [f32],
+) {
+    assert_eq!(x.n, y.n, "block_xpby_mirror_f32: length mismatch");
+    assert_eq!(x.b, y.b, "block_xpby_mirror_f32: block width mismatch");
+    assert_eq!(betas.len(), x.b, "block_xpby_mirror_f32: coefficient count");
+    assert_eq!(active.len(), x.b, "block_xpby_mirror_f32: mask length");
+    assert_eq!(mirror.len(), x.n * x.b, "block_xpby_mirror_f32: mirror size");
+    let b = x.b;
+    for j in 0..b {
+        if !active[j] {
+            continue;
+        }
+        let beta = betas[j];
+        let xc = x.column(j);
+        let yc = y.column_mut(j);
+        for i in 0..yc.len() {
+            let v = xc[i] + beta * yc[i];
+            yc[i] = v;
+            mirror[i * b + j] = v;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

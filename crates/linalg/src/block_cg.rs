@@ -29,9 +29,15 @@
 //! exactly those right-hand sides to the [`crate::recovery`] escalation
 //! ladder — the block layer does not duplicate any recovery logic.
 
-use crate::block::{block_axpy, block_dot, block_xpby_mirror, BlockVectors};
-use crate::cg::{apply_preconditioner, CgOptions};
+use crate::block::{
+    block_axpy, block_axpy_f32, block_dot, block_dot_f32, block_xpby_mirror,
+    block_xpby_mirror_f32, BlockVectors, BlockVectorsF32,
+};
+use crate::cg::{apply_preconditioner, CgOptions, Preconditioner};
 use crate::laplacian::LaplacianOp;
+use crate::precond::{
+    chebyshev_apply_block, chebyshev_apply_block_f32, BlockPrecondScratch, PrecondScratch,
+};
 use crate::vector;
 
 /// Outcome of a blocked multi-RHS solve: per-column solutions and
@@ -67,6 +73,16 @@ pub struct BlockCgWorkspace {
     ap: Option<BlockVectors>,
     x: Option<BlockVectors>,
     node_major: Vec<f64>,
+    precond: PrecondScratch,
+    bprecond: BlockPrecondScratch,
+    // f32 slots for the mixed-precision inner solver; empty in f64 mode.
+    r32: Option<BlockVectorsF32>,
+    ir32: Option<BlockVectorsF32>,
+    z32: Option<BlockVectorsF32>,
+    p32: Option<BlockVectorsF32>,
+    ap32: Option<BlockVectorsF32>,
+    e32: Option<BlockVectorsF32>,
+    node_major32: Vec<f32>,
 }
 
 impl BlockCgWorkspace {
@@ -87,6 +103,45 @@ impl BlockCgWorkspace {
         match slot.take() {
             Some(block) if block.len() == n && block.block_size() == b => block,
             _ => BlockVectors::zeros(n, b),
+        }
+    }
+
+    fn take32(slot: &mut Option<BlockVectorsF32>, n: usize, b: usize) -> BlockVectorsF32 {
+        match slot.take() {
+            Some(block) if block.len() == n && block.block_size() == b => block,
+            _ => BlockVectorsF32::zeros(n, b),
+        }
+    }
+}
+
+/// Apply the preconditioner to a residual block. Chebyshev goes blockwise
+/// (one fused SpMM sweep per polynomial step serves all columns — the
+/// whole point of the polynomial rung; frozen columns get a harmless
+/// recompute that is never read), everything else per masked column. Both
+/// paths are bitwise identical per column to the scalar application.
+fn precondition_block(
+    op: &LaplacianOp<'_>,
+    precond: Preconditioner,
+    r: &BlockVectors,
+    z: &mut BlockVectors,
+    mask: &[bool],
+    scalar_scratch: &mut PrecondScratch,
+    block_scratch: &mut BlockPrecondScratch,
+) {
+    match precond {
+        Preconditioner::Chebyshev(cfg) => chebyshev_apply_block(op, cfg, r, z, block_scratch),
+        _ => {
+            for (j, &on) in mask.iter().enumerate() {
+                if on {
+                    apply_preconditioner(
+                        op,
+                        precond,
+                        r.column(j),
+                        z.column_mut(j),
+                        scalar_scratch,
+                    );
+                }
+            }
         }
     }
 }
@@ -140,7 +195,20 @@ pub fn solve_laplacian_block(
         active[j] = true;
         converged[j] = false;
         rel[j] = 1.0;
-        apply_preconditioner(op, opts.preconditioner, r.column(j), z.column_mut(j));
+    }
+    precondition_block(
+        op,
+        opts.preconditioner,
+        &r,
+        &mut z,
+        &active,
+        &mut ws.precond,
+        &mut ws.bprecond,
+    );
+    for j in 0..b {
+        if !active[j] {
+            continue;
+        }
         vector::project_out_ones(z.column_mut(j));
         p.set_column(j, z.column(j));
         rz[j] = vector::dot(r.column(j), z.column(j));
@@ -207,11 +275,15 @@ pub fn solve_laplacian_block(
                 active[j] = false;
             }
         }
-        for (j, &stepping) in step.iter().enumerate() {
-            if stepping {
-                apply_preconditioner(op, opts.preconditioner, r.column(j), z.column_mut(j));
-            }
-        }
+        precondition_block(
+            op,
+            opts.preconditioner,
+            &r,
+            &mut z,
+            &step,
+            &mut ws.precond,
+            &mut ws.bprecond,
+        );
         block_dot(&r, &z, &mut r_dot, &step);
         for j in 0..b {
             if step[j] {
@@ -236,11 +308,393 @@ pub fn solve_laplacian_block(
     BlockCgOutcome { solutions: x, iterations, relative_residual: rel, converged }
 }
 
+/// Knobs of the mixed-precision refinement loop
+/// ([`solve_laplacian_block_mixed`]).
+#[derive(Debug, Clone, Copy)]
+pub struct MixedOptions {
+    /// Relative-residual target of each f32 correction solve. f32 bottoms
+    /// out around `1e-6`; `1e-4` leaves headroom while still contracting
+    /// the outer residual by ~4 digits per round, so an `1e-8` outer
+    /// tolerance needs two rounds.
+    pub inner_tolerance: f64,
+    /// Iteration cap of each f32 correction solve. `None` means
+    /// `10 * n + 100` (the scalar CG convention).
+    pub inner_max_iterations: Option<usize>,
+    /// Cap on refinement rounds (correction solves per column). Generous:
+    /// healthy columns need 2–3; a column still unconverged here is frozen
+    /// for the caller's f64 recovery ladder.
+    pub max_rounds: usize,
+    /// A round must shrink a column's relative residual below
+    /// `progress_factor` times the previous one, or the column is frozen
+    /// as stalled (f32 has hit its accuracy floor for that column) and
+    /// left to the f64 ladder.
+    pub progress_factor: f64,
+}
+
+impl Default for MixedOptions {
+    fn default() -> Self {
+        MixedOptions {
+            inner_tolerance: 1e-4,
+            inner_max_iterations: None,
+            max_rounds: 40,
+            progress_factor: 0.9,
+        }
+    }
+}
+
+/// Mixed-precision multi-RHS solve: f32 block-CG sweeps wrapped in f64
+/// iterative refinement until the caller's original `opts.tolerance` is
+/// met in f64 arithmetic.
+///
+/// Each round computes the **true f64 residual** `R = B − L X` (one fused
+/// f64 SpMM), freezes columns that converged, stalled, or went non-finite,
+/// scales each surviving column's residual to unit norm (so the f32 solve
+/// always works on well-ranged data regardless of how small the residual
+/// has become), runs one f32 lockstep block-CG correction solve — half the
+/// memory traffic and twice the SIMD width of the f64 sweeps, which is
+/// what un-spills L2 on the large tier — and applies the correction in
+/// f64. Non-converged columns are reported per column so the caller can
+/// promote exactly those right-hand sides to the full-f64 recovery ladder;
+/// no recovery logic lives here.
+///
+/// **Determinism.** The inner solver is per-column masked lockstep and the
+/// outer rounds advance each column independently, so a column's float
+/// sequence is a pure function of its own data: results are bitwise
+/// identical across thread counts *and* block widths (unlike the f64
+/// path's scalar-vs-blocked contract, which fixes arithmetic per column
+/// but is only exercised one width at a time).
+pub fn solve_laplacian_block_mixed(
+    op: &LaplacianOp<'_>,
+    rhs: &BlockVectors,
+    opts: CgOptions,
+    mixed: MixedOptions,
+    ws: &mut BlockCgWorkspace,
+) -> BlockCgOutcome {
+    let n = op.order();
+    assert_eq!(rhs.len(), n, "mixed block cg: rhs dimension mismatch");
+    let b = rhs.block_size();
+    let mut x = BlockCgWorkspace::take(&mut ws.x, n, b);
+    x.as_mut_slice().fill(0.0);
+    let mut iterations = vec![0usize; b];
+    let mut rel = vec![0.0f64; b];
+    let mut converged = vec![true; b];
+    if n == 0 {
+        return BlockCgOutcome { solutions: x, iterations, relative_residual: rel, converged };
+    }
+
+    // Outer-loop f64 blocks reuse the f64 CG slots (the two solvers never
+    // run interleaved on one workspace): r = residual, z = projected rhs,
+    // ap = L x.
+    let mut resid = BlockCgWorkspace::take(&mut ws.r, n, b);
+    let mut bp = BlockCgWorkspace::take(&mut ws.z, n, b);
+    let mut lx = BlockCgWorkspace::take(&mut ws.ap, n, b);
+
+    let mut active = vec![false; b];
+    let mut b_norm = vec![0.0f64; b];
+    let mut prev_rel = vec![f64::INFINITY; b];
+    for j in 0..b {
+        let bj = bp.column_mut(j);
+        bj.copy_from_slice(rhs.column(j));
+        vector::project_out_ones(bj);
+        b_norm[j] = vector::norm2(bj);
+        if b_norm[j] == 0.0 {
+            continue; // converged at zero, frozen from the start
+        }
+        active[j] = true;
+        converged[j] = false;
+        rel[j] = 1.0;
+    }
+
+    let mut r_norm = vec![0.0f64; b];
+    for round in 0..=mixed.max_rounds {
+        // True f64 residual: R = B − L X (X of frozen columns recomputed
+        // harmlessly; their entries are never read).
+        op.apply_block(&x, &mut lx, &mut ws.node_major);
+        let mut any = false;
+        for j in 0..b {
+            if !active[j] {
+                continue;
+            }
+            let (bj, lj, rj) = (bp.column(j), lx.column(j), resid.column_mut(j));
+            for i in 0..n {
+                rj[i] = bj[i] - lj[i];
+            }
+            vector::project_out_ones(rj);
+            r_norm[j] = vector::norm2(rj);
+            rel[j] = r_norm[j] / b_norm[j];
+            if !rel[j].is_finite() {
+                // NaN/overflow guard: freeze unconverged; the caller's f64
+                // ladder takes this column from scratch.
+                active[j] = false;
+                continue;
+            }
+            if rel[j] <= opts.tolerance {
+                converged[j] = true;
+                active[j] = false;
+                continue;
+            }
+            if rel[j] >= prev_rel[j] * mixed.progress_factor {
+                // f32 hit its floor for this column without reaching the
+                // target: stalled, hand it to the f64 ladder.
+                active[j] = false;
+                continue;
+            }
+            prev_rel[j] = rel[j];
+            any = true;
+        }
+        if !any || round == mixed.max_rounds {
+            break;
+        }
+        // Scale each active residual to unit norm and round to f32.
+        let mut r32 = BlockCgWorkspace::take32(&mut ws.r32, n, b);
+        for j in 0..b {
+            if !active[j] {
+                continue;
+            }
+            let inv = 1.0 / r_norm[j];
+            let (rj, sj) = (resid.column(j), r32.column_mut(j));
+            for i in 0..n {
+                sj[i] = (rj[i] * inv) as f32;
+            }
+        }
+        let mut e32 = BlockCgWorkspace::take32(&mut ws.e32, n, b);
+        inner_f32_block_cg(op, &r32, &mut e32, opts, mixed, &active, &mut iterations, ws);
+        // X += ‖r_j‖ · e_j in f64.
+        for j in 0..b {
+            if !active[j] {
+                continue;
+            }
+            let scale = r_norm[j];
+            let (ej, xj) = (e32.column(j), x.column_mut(j));
+            for i in 0..n {
+                xj[i] += scale * ej[i] as f64;
+            }
+        }
+        ws.r32 = Some(r32);
+        ws.e32 = Some(e32);
+    }
+
+    for j in 0..b {
+        vector::project_out_ones(x.column_mut(j));
+    }
+
+    ws.r = Some(resid);
+    ws.z = Some(bp);
+    ws.ap = Some(lx);
+    BlockCgOutcome { solutions: x, iterations, relative_residual: rel, converged }
+}
+
+/// f32 per-column preconditioner application for the inner solver
+/// (Chebyshev is handled blockwise by the caller).
+fn apply_preconditioner_f32(
+    op: &LaplacianOp<'_>,
+    precond: Preconditioner,
+    r: &[f32],
+    z: &mut [f32],
+) {
+    match precond {
+        Preconditioner::Identity => z.copy_from_slice(r),
+        Preconditioner::Jacobi => {
+            for (i, zi) in z.iter_mut().enumerate() {
+                let d = op.diagonal(i) as f32;
+                *zi = if d > 0.0 { r[i] / d } else { r[i] };
+            }
+        }
+        Preconditioner::SymmetricGaussSeidel => {
+            let g = op.graph();
+            let n = g.node_count();
+            for i in 0..n {
+                let d = op.diagonal(i) as f32;
+                if d <= 0.0 {
+                    z[i] = r[i];
+                    continue;
+                }
+                let mut acc = r[i];
+                for &j in g.neighbors(i) {
+                    if j < i {
+                        acc += z[j];
+                    } else {
+                        break;
+                    }
+                }
+                z[i] = acc / d;
+            }
+            for (i, zi) in z.iter_mut().enumerate() {
+                let d = op.diagonal(i) as f32;
+                if d > 0.0 {
+                    *zi *= d;
+                }
+            }
+            for i in (0..n).rev() {
+                let d = op.diagonal(i) as f32;
+                if d <= 0.0 {
+                    continue;
+                }
+                let mut acc = z[i];
+                for &j in g.neighbors(i).iter().rev() {
+                    if j > i {
+                        acc += z[j];
+                    } else {
+                        break;
+                    }
+                }
+                z[i] = acc / d;
+            }
+        }
+        Preconditioner::Chebyshev(_) => unreachable!("chebyshev is applied blockwise"),
+    }
+}
+
+fn precondition_block_f32(
+    op: &LaplacianOp<'_>,
+    precond: Preconditioner,
+    r: &BlockVectorsF32,
+    z: &mut BlockVectorsF32,
+    mask: &[bool],
+    block_scratch: &mut BlockPrecondScratch,
+) {
+    match precond {
+        Preconditioner::Chebyshev(cfg) => {
+            chebyshev_apply_block_f32(op, cfg, r, z, block_scratch)
+        }
+        _ => {
+            for (j, &on) in mask.iter().enumerate() {
+                if on {
+                    apply_preconditioner_f32(op, precond, r.column(j), z.column_mut(j));
+                }
+            }
+        }
+    }
+}
+
+/// One f32 lockstep block-CG correction solve for the refinement loop:
+/// solves `L e_j = r_j` for every column with `mask[j]`, writing solutions
+/// into `e` and adding per-column iteration counts into `iterations`.
+/// Structure mirrors [`solve_laplacian_block`] exactly — masked lockstep,
+/// per-column scalars (promoted to f64 for the reductions), breakdown and
+/// poison freezes, `% 64` re-projection — so each column's float sequence
+/// depends only on its own data.
+#[allow(clippy::too_many_arguments)]
+fn inner_f32_block_cg(
+    op: &LaplacianOp<'_>,
+    rhs: &BlockVectorsF32,
+    e: &mut BlockVectorsF32,
+    opts: CgOptions,
+    mixed: MixedOptions,
+    mask: &[bool],
+    iterations: &mut [usize],
+    ws: &mut BlockCgWorkspace,
+) {
+    let n = op.order();
+    let b = rhs.block_size();
+    e.as_mut_slice().fill(0.0);
+    let mut r = BlockCgWorkspace::take32(&mut ws.ir32, n, b);
+    let mut z = BlockCgWorkspace::take32(&mut ws.z32, n, b);
+    let mut p = BlockCgWorkspace::take32(&mut ws.p32, n, b);
+    let mut ap = BlockCgWorkspace::take32(&mut ws.ap32, n, b);
+
+    let mut active = mask.to_vec();
+    let mut b_norm = vec![0.0f64; b];
+    let mut rz = vec![0.0f64; b];
+    for j in 0..b {
+        if !active[j] {
+            continue;
+        }
+        let rj = r.column_mut(j);
+        rj.copy_from_slice(rhs.column(j));
+        vector::project_out_ones_f32(rj);
+        b_norm[j] = vector::norm2_f32(rj);
+        if b_norm[j] == 0.0 {
+            active[j] = false;
+        }
+    }
+    precondition_block_f32(op, opts.preconditioner, &r, &mut z, &active, &mut ws.bprecond);
+    for j in 0..b {
+        if !active[j] {
+            continue;
+        }
+        vector::project_out_ones_f32(z.column_mut(j));
+        p.column_mut(j).copy_from_slice(z.column(j));
+        rz[j] = vector::dot_f32(r.column(j), z.column(j));
+    }
+    p.transpose_into(&mut ws.node_major32);
+
+    let max_iter = mixed.inner_max_iterations.unwrap_or(10 * n + 100);
+    let mut alpha = vec![0.0f32; b];
+    let mut neg_alpha = vec![0.0f32; b];
+    let mut p_ap = vec![0.0f64; b];
+    let mut r_dot = vec![0.0f64; b];
+    let mut beta = vec![0.0f32; b];
+    let mut global_iter = 0usize;
+    while global_iter < max_iter && active.iter().any(|&a| a) {
+        global_iter += 1;
+        op.apply_node_major_f32(&ws.node_major32, &mut ap);
+        block_dot_f32(&p, &ap, &mut p_ap, &active);
+        let mut step = active.clone();
+        for j in 0..b {
+            if !step[j] {
+                continue;
+            }
+            iterations[j] += 1;
+            if p_ap[j] <= 0.0 || !p_ap[j].is_finite() {
+                step[j] = false;
+                active[j] = false;
+                continue;
+            }
+            let a = rz[j] / p_ap[j];
+            alpha[j] = a as f32;
+            neg_alpha[j] = -alpha[j];
+        }
+        block_axpy_f32(&alpha, &p, e, &step);
+        block_axpy_f32(&neg_alpha, &ap, &mut r, &step);
+        if global_iter % 64 == 0 {
+            for (j, &stepping) in step.iter().enumerate() {
+                if stepping {
+                    vector::project_out_ones_f32(r.column_mut(j));
+                    vector::project_out_ones_f32(e.column_mut(j));
+                }
+            }
+        }
+        block_dot_f32(&r, &r, &mut r_dot, &step);
+        for j in 0..b {
+            if !step[j] {
+                continue;
+            }
+            let rel = r_dot[j].sqrt() / b_norm[j];
+            if !rel.is_finite() || rel <= mixed.inner_tolerance {
+                step[j] = false;
+                active[j] = false;
+            }
+        }
+        precondition_block_f32(op, opts.preconditioner, &r, &mut z, &step, &mut ws.bprecond);
+        block_dot_f32(&r, &z, &mut r_dot, &step);
+        for j in 0..b {
+            if step[j] {
+                beta[j] = (r_dot[j] / rz[j]) as f32;
+                rz[j] = r_dot[j];
+            }
+        }
+        block_xpby_mirror_f32(&z, &beta, &mut p, &step, &mut ws.node_major32);
+    }
+
+    for (j, &on) in mask.iter().enumerate() {
+        if on {
+            vector::project_out_ones_f32(e.column_mut(j));
+        }
+    }
+
+    ws.ir32 = Some(r);
+    ws.z32 = Some(z);
+    ws.p32 = Some(p);
+    ws.ap32 = Some(ap);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::cg::{solve_laplacian_simple, Preconditioner};
     use crate::jl::projected_incidence_rows;
+    use crate::precond::ChebyshevConfig;
     use reecc_graph::generators::{barabasi_albert, cycle, line, star};
 
     fn block_of_pairs(n: usize, pairs: &[(usize, usize)]) -> BlockVectors {
@@ -262,6 +716,7 @@ mod tests {
             Preconditioner::Identity,
             Preconditioner::Jacobi,
             Preconditioner::SymmetricGaussSeidel,
+            Preconditioner::Chebyshev(ChebyshevConfig { degree: 3, lambda_max: 1.9 }),
         ] {
             let g = barabasi_albert(80, 2, 5);
             let op = LaplacianOp::new(&g);
@@ -397,6 +852,142 @@ mod tests {
         for j in 0..2 {
             assert_eq!(second.solutions.column(j), reference.column(j), "column {j}");
         }
+    }
+
+    #[test]
+    fn mixed_refinement_reaches_f64_tolerance() {
+        let g = barabasi_albert(200, 3, 29);
+        let op = LaplacianOp::new(&g);
+        let rhs_rows = projected_incidence_rows(&g, 5, 17);
+        let rhs = BlockVectors::from_columns(&rhs_rows);
+        let opts = CgOptions::default();
+        let out = solve_laplacian_block_mixed(
+            &op,
+            &rhs,
+            opts,
+            MixedOptions::default(),
+            &mut BlockCgWorkspace::new(),
+        );
+        for (j, rhs_col) in rhs_rows.iter().enumerate() {
+            assert!(out.converged[j], "column {j}: rel {}", out.relative_residual[j]);
+            assert!(out.relative_residual[j] <= opts.tolerance);
+            let scalar = solve_laplacian_simple(&op, rhs_col, opts);
+            for (a, e) in out.solutions.column(j).iter().zip(&scalar.solution) {
+                assert!((a - e).abs() < 1e-6, "column {j}: {a} vs {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_with_chebyshev_converges() {
+        let g = barabasi_albert(300, 2, 31);
+        let op = LaplacianOp::new(&g);
+        let rhs = block_of_pairs(300, &[(0, 299), (5, 150), (17, 80)]);
+        let cheby = crate::precond::resolve_preconditioner(
+            &op,
+            Preconditioner::Chebyshev(ChebyshevConfig::default()),
+        );
+        let opts = CgOptions { preconditioner: cheby, ..CgOptions::default() };
+        let out = solve_laplacian_block_mixed(
+            &op,
+            &rhs,
+            opts,
+            MixedOptions::default(),
+            &mut BlockCgWorkspace::new(),
+        );
+        assert!(out.converged.iter().all(|&c| c), "{:?}", out.relative_residual);
+        let r = out.solutions.column(0)[0] - out.solutions.column(0)[299];
+        let scalar = solve_laplacian_simple(&op, rhs.column(0), opts);
+        let rs = scalar.solution[0] - scalar.solution[299];
+        assert!((r - rs).abs() < 1e-6, "{r} vs {rs}");
+    }
+
+    #[test]
+    fn mixed_zero_and_constant_columns_freeze_immediately() {
+        let g = cycle(9);
+        let op = LaplacianOp::new(&g);
+        let cols = vec![vec![0.0; 9], vec![3.0; 9], {
+            let mut b = vec![0.0; 9];
+            b[0] = 1.0;
+            b[4] = -1.0;
+            b
+        }];
+        let rhs = BlockVectors::from_columns(&cols);
+        let out = solve_laplacian_block_mixed(
+            &op,
+            &rhs,
+            CgOptions::default(),
+            MixedOptions::default(),
+            &mut BlockCgWorkspace::new(),
+        );
+        assert_eq!(out.iterations[0], 0);
+        assert_eq!(out.iterations[1], 0);
+        assert!(out.converged.iter().all(|&c| c));
+        assert!(out.solutions.column(0).iter().all(|&v| v == 0.0));
+        assert!(out.iterations[2] > 0);
+    }
+
+    #[test]
+    fn mixed_is_bitwise_width_independent() {
+        // The same right-hand side must produce bit-identical solutions no
+        // matter which block it is bundled into — the mixed-mode
+        // determinism contract (threads × block_size).
+        let g = barabasi_albert(150, 3, 41);
+        let op = LaplacianOp::new(&g);
+        let rhs_rows = projected_incidence_rows(&g, 8, 23);
+        let opts = CgOptions::default();
+        let mixed = MixedOptions::default();
+        // Width 8: all columns at once.
+        let full = solve_laplacian_block_mixed(
+            &op,
+            &BlockVectors::from_columns(&rhs_rows),
+            opts,
+            mixed,
+            &mut BlockCgWorkspace::new(),
+        );
+        // Width 1 and width 4 slicings.
+        for chunk in [1usize, 4] {
+            let mut ws = BlockCgWorkspace::new();
+            for (c, rows) in rhs_rows.chunks(chunk).enumerate() {
+                let out = solve_laplacian_block_mixed(
+                    &op,
+                    &BlockVectors::from_columns(rows),
+                    opts,
+                    mixed,
+                    &mut ws,
+                );
+                for (j, _) in rows.iter().enumerate() {
+                    let col = c * chunk + j;
+                    assert_eq!(
+                        out.solutions.column(j),
+                        full.solutions.column(col),
+                        "chunk {chunk}, column {col} not bitwise identical"
+                    );
+                    assert_eq!(out.iterations[j], full.iterations[col]);
+                }
+                ws.recycle_solutions(out.solutions);
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_starved_inner_budget_reports_nonconvergence() {
+        let g = line(150);
+        let op = LaplacianOp::new(&g);
+        let rhs = block_of_pairs(150, &[(0, 149)]);
+        let out = solve_laplacian_block_mixed(
+            &op,
+            &rhs,
+            CgOptions::default(),
+            MixedOptions {
+                inner_max_iterations: Some(2),
+                max_rounds: 3,
+                ..MixedOptions::default()
+            },
+            &mut BlockCgWorkspace::new(),
+        );
+        assert!(!out.converged[0]);
+        assert!(out.relative_residual[0].is_finite());
     }
 
     #[test]

@@ -56,7 +56,9 @@ pub struct EigenEstimate {
     pub converged: bool,
 }
 
-fn random_unit_perp_ones(n: usize, seed: u64) -> Vec<f64> {
+/// Deterministic seeded unit start vector in `1⊥` — shared with the
+/// preconditioner-resolution power iteration ([`crate::precond`]).
+pub(crate) fn random_unit_perp_ones(n: usize, seed: u64) -> Vec<f64> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
     vector::project_out_ones(&mut x);

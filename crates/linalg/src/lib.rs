@@ -28,10 +28,16 @@
 //! See DESIGN.md §9 for the kernel-layer design.
 //!
 //! [`recovery`] wraps the CG solver in a fault-tolerant escalation ladder
-//! (stronger preconditioner → relaxed tolerance/boosted budget → size-gated
-//! dense pseudoinverse), recording every attempt in a [`SolveReport`] so
-//! downstream layers can degrade gracefully instead of silently returning
-//! garbage.
+//! (Chebyshev polynomial rung → stronger smoothing preconditioner →
+//! relaxed tolerance/boosted budget → size-gated dense pseudoinverse),
+//! recording every attempt in a [`SolveReport`] so downstream layers can
+//! degrade gracefully instead of silently returning garbage.
+//!
+//! [`precond`] is the preconditioning + precision layer beneath the block
+//! kernels: a matrix-free scaled-Chebyshev polynomial preconditioner
+//! (blockwise, riding the fused SpMM lanes) and the substrate for the
+//! mixed-precision f32-with-f64-refinement solve
+//! ([`block_cg::solve_laplacian_block_mixed`]). See DESIGN.md §14.
 
 pub mod block;
 pub mod block_cg;
@@ -40,16 +46,25 @@ pub mod dense;
 pub mod eigen;
 pub mod jl;
 pub mod laplacian;
+pub mod precond;
 pub mod recovery;
 pub mod sparse;
 pub mod vector;
 
-pub use block::{block_axpy, block_dot, block_xpby, block_xpby_mirror, BlockVectors};
-pub use block_cg::{solve_laplacian_block, BlockCgOutcome, BlockCgWorkspace};
+pub use block::{
+    block_axpy, block_dot, block_xpby, block_xpby_mirror, BlockVectors, BlockVectorsF32,
+};
+pub use block_cg::{
+    solve_laplacian_block, solve_laplacian_block_mixed, BlockCgOutcome, BlockCgWorkspace,
+    MixedOptions,
+};
 pub use cg::{CgOptions, CgOutcome, Preconditioner};
 pub use dense::DenseMatrix;
 pub use eigen::{lambda2_estimate, lambda_max_estimate, EigenEstimate, EigenOptions};
-pub use laplacian::{laplacian_csr, laplacian_dense, laplacian_pseudoinverse, LaplacianOp};
+pub use laplacian::{
+    laplacian_csr, laplacian_dense, laplacian_pseudoinverse, CompactAdjacency, LaplacianOp,
+};
+pub use precond::{resolve_preconditioner, scaled_lambda_max_estimate, ChebyshevConfig};
 pub use recovery::{
     solve_laplacian_checked, solve_laplacian_with_recovery, RecoveryPolicy, RecoverySolver,
     SolveAttempt, SolveMethod, SolveReport,

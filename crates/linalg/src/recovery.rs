@@ -8,11 +8,15 @@
 //! escalates through progressively heavier attempts:
 //!
 //! 1. CG exactly as requested by the caller's [`CgOptions`];
-//! 2. CG with the [`Preconditioner::SymmetricGaussSeidel`] preconditioner
+//! 2. CG with the scaled-Chebyshev polynomial preconditioner
+//!    ([`crate::precond`]) — the strongest matrix-free rung, resolved
+//!    lazily (the eigenvalue estimate runs only if this rung is reached
+//!    and is cached across rows) — if not already chosen;
+//! 3. CG with the [`Preconditioner::SymmetricGaussSeidel`] preconditioner
 //!    (stronger smoothing, ~3× per-iteration cost), if not already chosen;
-//! 3. CG with a relaxed tolerance and a boosted iteration budget — an
+//! 4. CG with a relaxed tolerance and a boosted iteration budget — an
 //!    accuracy downgrade is preferable to no answer;
-//! 4. the dense pseudoinverse `x = L† b` (`O(n³)` once, reusable), gated
+//! 5. the dense pseudoinverse `x = L† b` (`O(n³)` once, reusable), gated
 //!    behind a size threshold so huge graphs never pay it accidentally.
 //!
 //! Every attempt is recorded in a [`SolveReport`] so callers can surface
@@ -25,6 +29,7 @@ use std::time::{Duration, Instant};
 use crate::cg::{solve_laplacian, CgOptions, CgWorkspace, Preconditioner};
 use crate::dense::DenseMatrix;
 use crate::laplacian::{laplacian_pseudoinverse, LaplacianOp};
+use crate::precond::{resolve_preconditioner, ChebyshevConfig};
 use crate::vector;
 use crate::LinalgError;
 
@@ -74,6 +79,7 @@ impl std::fmt::Display for SolveMethod {
             SolveMethod::Cg(Preconditioner::Identity) => write!(f, "cg"),
             SolveMethod::Cg(Preconditioner::Jacobi) => write!(f, "cg+jacobi"),
             SolveMethod::Cg(Preconditioner::SymmetricGaussSeidel) => write!(f, "cg+sgs"),
+            SolveMethod::Cg(Preconditioner::Chebyshev(_)) => write!(f, "cg+cheby"),
             SolveMethod::DensePseudoinverse => write!(f, "dense-pinv"),
         }
     }
@@ -148,13 +154,35 @@ pub struct RecoverySolver<'g> {
     /// Lazily built dense fallback; the error case is cached too so a
     /// disconnected graph does not retry the factorization per row.
     pinv: Option<Result<DenseMatrix, LinalgError>>,
+    /// Lazily resolved Chebyshev rung (the power-iteration eigenvalue
+    /// estimate runs only when the rung is first reached, then is reused
+    /// for every subsequent row repaired on this graph).
+    cheby: Option<Preconditioner>,
 }
 
 impl<'g> RecoverySolver<'g> {
     /// Create a solver for `op` with the caller's base options and policy.
     pub fn new(op: LaplacianOp<'g>, opts: CgOptions, policy: RecoveryPolicy) -> Self {
         let n = op.order();
-        RecoverySolver { op, opts, policy, ws: CgWorkspace::new(n), pinv: None }
+        RecoverySolver { op, opts, policy, ws: CgWorkspace::new(n), pinv: None, cheby: None }
+    }
+
+    /// The resolved Chebyshev rung for this graph, computing and caching
+    /// the eigenvalue estimate on first use. If the caller's requested
+    /// preconditioner is already a resolved Chebyshev config, reuse it
+    /// verbatim — the engine-level estimate never reruns here.
+    fn cheby_rung(&mut self) -> Preconditioner {
+        if let Some(p) = self.cheby {
+            return p;
+        }
+        let requested = match self.opts.preconditioner {
+            p @ Preconditioner::Chebyshev(cfg) if cfg.is_resolved() => p,
+            Preconditioner::Chebyshev(cfg) => Preconditioner::Chebyshev(cfg),
+            _ => Preconditioner::Chebyshev(ChebyshevConfig::default()),
+        };
+        let resolved = resolve_preconditioner(&self.op, requested);
+        self.cheby = Some(resolved);
+        resolved
     }
 
     /// Solve `L x = b` through the ladder. Always returns a solution (the
@@ -168,26 +196,34 @@ impl<'g> RecoverySolver<'g> {
         let mut best: Option<(Vec<f64>, f64, bool)> = None;
 
         let base_cap = self.opts.max_iterations.unwrap_or(10 * n + 100);
-        let mut ladder: Vec<(SolveMethod, CgOptions)> =
-            vec![(SolveMethod::Cg(self.opts.preconditioner), self.opts)];
-        if self.opts.preconditioner != Preconditioner::SymmetricGaussSeidel {
-            ladder.push((
-                SolveMethod::Cg(Preconditioner::SymmetricGaussSeidel),
-                CgOptions { preconditioner: Preconditioner::SymmetricGaussSeidel, ..self.opts },
-            ));
+        let mut ladder: Vec<CgOptions> = vec![self.opts];
+        if !matches!(self.opts.preconditioner, Preconditioner::Chebyshev(_)) {
+            // Placeholder config; resolved lazily (and cached) only if this
+            // rung is actually reached.
+            ladder.push(CgOptions {
+                preconditioner: Preconditioner::Chebyshev(ChebyshevConfig::default()),
+                ..self.opts
+            });
         }
-        ladder.push((
-            SolveMethod::Cg(Preconditioner::SymmetricGaussSeidel),
-            CgOptions {
-                tolerance: self.opts.tolerance * self.policy.tolerance_relaxation.max(1.0),
-                max_iterations: Some(
-                    base_cap.saturating_mul(self.policy.iteration_boost.max(1)),
-                ),
+        if self.opts.preconditioner != Preconditioner::SymmetricGaussSeidel {
+            ladder.push(CgOptions {
                 preconditioner: Preconditioner::SymmetricGaussSeidel,
-            },
-        ));
+                ..self.opts
+            });
+        }
+        ladder.push(CgOptions {
+            tolerance: self.opts.tolerance * self.policy.tolerance_relaxation.max(1.0),
+            max_iterations: Some(base_cap.saturating_mul(self.policy.iteration_boost.max(1))),
+            preconditioner: Preconditioner::SymmetricGaussSeidel,
+        });
 
-        for (method, opts) in ladder {
+        for mut opts in ladder {
+            if matches!(opts.preconditioner,
+                Preconditioner::Chebyshev(cfg) if !cfg.is_resolved())
+            {
+                opts.preconditioner = self.cheby_rung();
+            }
+            let method = SolveMethod::Cg(opts.preconditioner);
             let out = solve_laplacian(&self.op, b, opts, &mut self.ws);
             total_iterations += out.iterations;
             attempts.push(SolveAttempt {
@@ -437,7 +473,7 @@ mod tests {
             solve_laplacian_with_recovery(&op, &b, opts, RecoveryPolicy::default());
         let sum: usize = report.attempts.iter().map(|a| a.iterations).sum();
         assert_eq!(report.iterations, sum);
-        assert!(report.attempts.len() <= 4);
+        assert!(report.attempts.len() <= 5);
         assert!(report.answering_method().is_some());
     }
 
@@ -468,6 +504,55 @@ mod tests {
             assert!(report.fallback_used);
             assert!((x[u] - x[v] - (v as f64 - u as f64).abs()).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn chebyshev_rung_sits_between_requested_and_sgs() {
+        let g = line(60);
+        let op = LaplacianOp::new(&g);
+        let b = rhs_pair(60, 0, 59);
+        let opts = CgOptions { max_iterations: Some(1), ..CgOptions::default() };
+        let mut solver =
+            RecoverySolver::new(op, opts, RecoveryPolicy::without_dense_fallback());
+        let (_, report) = solver.solve(&b);
+        assert!(!report.converged);
+        assert_eq!(report.attempts.len(), 4);
+        assert_eq!(report.attempts[0].method, SolveMethod::Cg(Preconditioner::Jacobi));
+        let SolveMethod::Cg(Preconditioner::Chebyshev(cfg)) = report.attempts[1].method else {
+            panic!("expected chebyshev rung second, got {:?}", report.attempts)
+        };
+        assert!(cfg.is_resolved(), "rung must run with a resolved config");
+        assert_eq!(
+            report.attempts[2].method,
+            SolveMethod::Cg(Preconditioner::SymmetricGaussSeidel)
+        );
+        // The resolved config is cached: a second solve reuses it bitwise.
+        let (_, second) = solver.solve(&b);
+        assert_eq!(second.attempts[1].method, report.attempts[1].method);
+    }
+
+    #[test]
+    fn requested_chebyshev_skips_duplicate_rung() {
+        let g = line(60);
+        let op = LaplacianOp::new(&g);
+        let b = rhs_pair(60, 0, 59);
+        let opts = CgOptions {
+            max_iterations: Some(1),
+            preconditioner: Preconditioner::Chebyshev(ChebyshevConfig::default()),
+            ..CgOptions::default()
+        };
+        let (_, report) = solve_laplacian_with_recovery(
+            &op,
+            &b,
+            opts,
+            RecoveryPolicy::without_dense_fallback(),
+        );
+        let cheby_rungs = report
+            .attempts
+            .iter()
+            .filter(|a| matches!(a.method, SolveMethod::Cg(Preconditioner::Chebyshev(_))))
+            .count();
+        assert_eq!(cheby_rungs, 1, "attempts: {:?}", report.attempts);
     }
 
     #[test]

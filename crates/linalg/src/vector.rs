@@ -100,6 +100,73 @@ pub fn dist(a: &[f64], b: &[f64]) -> f64 {
     dist_sq(a, b).sqrt()
 }
 
+// ---------------------------------------------------------------------------
+// f32 kernels for the mixed-precision inner solver.
+//
+// Storage and elementwise arithmetic are f32 (half the memory traffic,
+// double the SIMD lanes); reductions promote every product to f64 before
+// accumulating so the CG scalars (α, β, residual norms) keep f64-grade
+// conditioning — the standard mixed-precision recipe. Summation order
+// matches the f64 kernels so each column's float sequence is a pure
+// function of its own data.
+// ---------------------------------------------------------------------------
+
+/// Dot product of two f32 vectors, accumulated in f64.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+#[inline]
+pub fn dot_f32(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot_f32: length mismatch");
+    a.iter().zip(b).map(|(&x, &y)| x as f64 * y as f64).sum()
+}
+
+/// Euclidean norm of an f32 vector, accumulated in f64.
+#[inline]
+pub fn norm2_f32(a: &[f32]) -> f64 {
+    dot_f32(a, a).sqrt()
+}
+
+/// `y += alpha * x` in f32.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+#[inline]
+pub fn axpy_f32(alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy_f32: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `y = x + beta * y` in f32.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+#[inline]
+pub fn xpby_f32(x: &[f32], beta: f32, y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "xpby_f32: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi = xi + beta * *yi;
+    }
+}
+
+/// Subtract the mean (accumulated in f64, applied in f32) from every
+/// entry — the f32 null-space projection.
+#[inline]
+pub fn project_out_ones_f32(a: &mut [f32]) {
+    if a.is_empty() {
+        return;
+    }
+    let m = (a.iter().map(|&x| x as f64).sum::<f64>() / a.len() as f64) as f32;
+    for x in a.iter_mut() {
+        *x -= m;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

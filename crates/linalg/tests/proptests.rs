@@ -3,11 +3,33 @@
 use proptest::prelude::*;
 use reecc_graph::generators::connected_erdos_renyi;
 use reecc_linalg::block::BlockVectors;
-use reecc_linalg::block_cg::{solve_laplacian_block, BlockCgWorkspace};
+use reecc_linalg::block_cg::{
+    solve_laplacian_block, solve_laplacian_block_mixed, BlockCgWorkspace, MixedOptions,
+};
 use reecc_linalg::cg::{solve_laplacian_simple, CgOptions, Preconditioner};
 use reecc_linalg::eigen::{lambda2_estimate, lambda_max_estimate, EigenOptions};
-use reecc_linalg::recovery::{RecoveryPolicy, RecoverySolver};
-use reecc_linalg::{laplacian_csr, laplacian_dense, DenseMatrix, LaplacianOp};
+use reecc_linalg::recovery::{RecoveryPolicy, RecoverySolver, SolveMethod};
+use reecc_linalg::{
+    laplacian_csr, laplacian_dense, resolve_preconditioner, ChebyshevConfig, DenseMatrix,
+    LaplacianOp,
+};
+
+/// Relative residual `‖b_proj − L x‖ / ‖b_proj‖` computed independently of
+/// the solver's own bookkeeping.
+fn measured_residual(op: &LaplacianOp<'_>, x: &[f64], b: &[f64]) -> f64 {
+    let n = op.order();
+    let mut b_proj = b.to_vec();
+    reecc_linalg::vector::project_out_ones(&mut b_proj);
+    let mut lx = vec![0.0; n];
+    op.apply(x, &mut lx);
+    let num: f64 = lx.iter().zip(&b_proj).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+    let den: f64 = b_proj.iter().map(|v| v * v).sum::<f64>().sqrt();
+    if den == 0.0 {
+        num
+    } else {
+        num / den
+    }
+}
 
 fn spd_matrix() -> impl Strategy<Value = DenseMatrix> {
     // A' A + n I is SPD for any A.
@@ -179,6 +201,175 @@ proptest! {
                 let (solution, report) = solver.solve(&columns[j]);
                 prop_assert!(report.converged, "ladder must rescue column {}", j);
                 prop_assert!(solution.iter().all(|x| x.is_finite()));
+            }
+        }
+    }
+
+    /// The auto-tuned Chebyshev rung meets the requested tolerance on
+    /// random connected graphs: the solver's claimed residual is honest
+    /// (re-measured against the operator) and its solution agrees with
+    /// the Jacobi reference.
+    #[test]
+    fn chebyshev_rung_residuals_within_tol(
+        (n, p, seed) in (4usize..30, 0.12f64..0.55, any::<u64>())
+    ) {
+        let g = connected_erdos_renyi(n, p, seed);
+        let op = LaplacianOp::new(&g);
+        let mut b = vec![0.0; n];
+        b[0] = 1.0;
+        b[n / 2] += -0.5;
+        b[n - 1] += -0.5;
+        let cheby = resolve_preconditioner(
+            &op,
+            Preconditioner::Chebyshev(ChebyshevConfig::default()),
+        );
+        let Preconditioner::Chebyshev(cfg) = cheby else {
+            return Err(TestCaseError::fail("resolution must stay Chebyshev"));
+        };
+        prop_assert!(cfg.is_resolved(), "auto sentinels must be filled");
+        let opts = CgOptions { preconditioner: cheby, ..Default::default() };
+        let out = solve_laplacian_simple(&op, &b, opts);
+        prop_assert!(out.converged, "cheby rung failed to converge");
+        let measured = measured_residual(&op, &out.solution, &b);
+        prop_assert!(
+            measured <= opts.tolerance * 16.0,
+            "claimed convergence but measured residual {measured:e}"
+        );
+        let jac = solve_laplacian_simple(&op, &b, CgOptions::default());
+        prop_assert!(jac.converged);
+        for (a, e) in out.solution.iter().zip(&jac.solution) {
+            prop_assert!((a - e).abs() < 1e-6, "cheby and jacobi solutions diverge");
+        }
+    }
+
+    /// A starved solve falls *through* the Chebyshev rung cleanly: the
+    /// rung is attempted with a resolved config right after the caller's
+    /// options, every attempt's bookkeeping stays sane (finite residual
+    /// or explicitly unconverged), and the ladder still rescues the
+    /// column, with a final residual that survives re-measurement.
+    #[test]
+    fn starved_columns_fall_through_cheby_rung_cleanly(
+        (n, p, seed) in (8usize..24, 0.12f64..0.4, any::<u64>())
+    ) {
+        let g = connected_erdos_renyi(n, p, seed);
+        let op = LaplacianOp::new(&g);
+        let starved = CgOptions { max_iterations: Some(1), ..CgOptions::default() };
+        let mut b = vec![0.0; n];
+        b[0] = 1.0;
+        b[n - 1] = -1.0;
+        let mut solver = RecoverySolver::new(
+            LaplacianOp::new(&g),
+            starved,
+            RecoveryPolicy::default(),
+        );
+        let (solution, report) = solver.solve(&b);
+        prop_assert!(report.converged, "ladder must rescue the starved column");
+        prop_assert!(solution.iter().all(|x| x.is_finite()));
+        // The cheby rung sits right after the caller's starved attempt,
+        // carrying a fully resolved config.
+        prop_assert!(report.attempts.len() >= 2, "starved solve must escalate");
+        let SolveMethod::Cg(Preconditioner::Chebyshev(cfg)) = report.attempts[1].method
+        else {
+            return Err(TestCaseError::fail("second rung must be Chebyshev"));
+        };
+        prop_assert!(cfg.is_resolved(), "ladder must resolve the cheby sentinels");
+        for attempt in &report.attempts {
+            prop_assert!(
+                attempt.residual.is_finite() || !attempt.converged,
+                "poisoned attempt must not claim convergence"
+            );
+        }
+        let relaxed = starved.tolerance * 1e3;
+        let measured = measured_residual(&op, &solution, &b);
+        prop_assert!(
+            measured <= relaxed * 16.0,
+            "rescued solution residual {measured:e} above relaxed tolerance"
+        );
+    }
+
+    /// Mixed-precision refinement converges to f64-grade tolerance: each
+    /// converged column agrees with the scalar f64 solve to well under
+    /// the requested tolerance, and the claimed residual survives
+    /// re-measurement against the operator.
+    #[test]
+    fn mixed_refinement_matches_f64_solutions(
+        (n, p, seed) in (4usize..24, 0.15f64..0.55, any::<u64>()),
+        raw in proptest::collection::vec(-3.0f64..3.0, 24 * 4)
+    ) {
+        let g = connected_erdos_renyi(n, p, seed);
+        let op = LaplacianOp::new(&g);
+        let opts = CgOptions::default();
+        let columns: Vec<Vec<f64>> =
+            (0..4).map(|j| raw[j * n..(j + 1) * n].to_vec()).collect();
+        let rhs = BlockVectors::from_columns(&columns);
+        let mut ws = BlockCgWorkspace::new();
+        let out =
+            solve_laplacian_block_mixed(&op, &rhs, opts, MixedOptions::default(), &mut ws);
+        let scalar: Vec<_> =
+            columns.iter().map(|c| solve_laplacian_simple(&op, c, opts)).collect();
+        for j in 0..columns.len() {
+            prop_assume!(out.converged[j] && scalar[j].converged);
+            let measured = measured_residual(&op, out.solutions.column(j), &columns[j]);
+            prop_assert!(
+                measured <= opts.tolerance * 16.0,
+                "column {j}: claimed convergence but measured residual {measured:e}"
+            );
+            // Both land within tolerance of the true projected solution, so
+            // they agree with each other to the same order.
+            let scale = scalar[j]
+                .solution
+                .iter()
+                .map(|v| v.abs())
+                .fold(1.0f64, f64::max);
+            for (a, e) in out.solutions.column(j).iter().zip(&scalar[j].solution) {
+                prop_assert!(
+                    (a - e).abs() <= 1e-6 * scale,
+                    "column {j}: mixed and f64 solutions diverge"
+                );
+            }
+        }
+    }
+
+    /// The mixed solver's arithmetic is per-column: results are bitwise
+    /// identical no matter how the columns are grouped into blocks.
+    #[test]
+    fn mixed_refinement_is_width_invariant_bitwise(
+        (n, p, seed) in (4usize..20, 0.15f64..0.5, any::<u64>()),
+        raw in proptest::collection::vec(-3.0f64..3.0, 20 * 6)
+    ) {
+        let g = connected_erdos_renyi(n, p, seed);
+        let op = LaplacianOp::new(&g);
+        let opts = CgOptions::default();
+        let columns: Vec<Vec<f64>> =
+            (0..6).map(|j| raw[j * n..(j + 1) * n].to_vec()).collect();
+        let mut ws = BlockCgWorkspace::new();
+        let reference = solve_laplacian_block_mixed(
+            &op,
+            &BlockVectors::from_columns(&columns),
+            opts,
+            MixedOptions::default(),
+            &mut ws,
+        );
+        for width in [1usize, 2, 5] {
+            let mut col = 0;
+            for batch in columns.chunks(width) {
+                let rhs = BlockVectors::from_columns(batch);
+                let out = solve_laplacian_block_mixed(
+                    &op,
+                    &rhs,
+                    opts,
+                    MixedOptions::default(),
+                    &mut ws,
+                );
+                for j in 0..batch.len() {
+                    prop_assert_eq!(
+                        out.solutions.column(j),
+                        reference.solutions.column(col + j),
+                        "width {} column {}", width, col + j
+                    );
+                    prop_assert_eq!(out.converged[j], reference.converged[col + j]);
+                }
+                col += batch.len();
             }
         }
     }

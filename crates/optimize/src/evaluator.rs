@@ -40,8 +40,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 
 use reecc_core::resolve_threads;
 use reecc_core::sketch::{
-    ResistanceSketch, SketchParams, BLOCK_SIZE_CROSSOVER_NODES, DEFAULT_BLOCK_SIZE,
-    LARGE_GRAPH_BLOCK_SIZE,
+    Precision, ResistanceSketch, SketchParams, BLOCK_SIZE_CROSSOVER_NODES, DEFAULT_BLOCK_SIZE,
+    LARGE_GRAPH_BLOCK_SIZE, MIXED_BLOCK_SIZE_CROSSOVER_NODES,
 };
 use reecc_core::update::{
     eccentricity_after_edge, solve_edge_potentials_recovering, updated_eccentricity,
@@ -49,7 +49,9 @@ use reecc_core::update::{
 use reecc_graph::{Edge, Graph};
 use reecc_linalg::block::BlockVectors;
 use reecc_linalg::block_cg::{solve_laplacian_block, BlockCgWorkspace};
-use reecc_linalg::{CgOptions, DenseMatrix, LaplacianOp, RecoveryPolicy, RecoverySolver};
+use reecc_linalg::{
+    CgOptions, CompactAdjacency, DenseMatrix, LaplacianOp, RecoveryPolicy, RecoverySolver,
+};
 
 /// One candidate edge's evaluation: the estimated post-addition
 /// eccentricity of the source plus the solve telemetry the caller needs to
@@ -90,6 +92,14 @@ pub struct CandidateEvaluator {
     /// Right-hand sides per CG block: `0` = the cache-aware adaptive
     /// default shared with the sketch build, `1` = scalar solves.
     pub block_size: usize,
+    /// Precision mode of the sketch configuration this evaluator was
+    /// derived from. Candidate solves themselves always run in full `f64`
+    /// (each potentials vector feeds a Sherman–Morrison update whose
+    /// denominator `1 ± r_uv` is sensitive near bridges — not worth the
+    /// f32 traffic savings for single-solve batches), but the adaptive
+    /// `block_size: 0` width mirrors the sketch's precision-aware
+    /// crossover so both layers make the same cache assumption.
+    pub precision: Precision,
     /// CG options for the first-rung solves.
     pub cg: CgOptions,
     /// Escalation-ladder policy for failed columns.
@@ -104,16 +114,22 @@ impl CandidateEvaluator {
         CandidateEvaluator {
             threads: p.threads,
             block_size: p.block_size,
+            precision: p.precision,
             cg: p.cg,
             recovery: p.recovery,
         }
     }
 
     /// Concrete block width for an `n`-node graph — the same adaptive
-    /// policy as [`SketchParams::effective_block_size`].
+    /// policy as [`SketchParams::effective_block_size`], including the
+    /// later crossover under [`Precision::Mixed`].
     pub fn effective_width(&self, n: usize) -> usize {
+        let crossover = match self.precision {
+            Precision::F64 => BLOCK_SIZE_CROSSOVER_NODES,
+            Precision::Mixed => MIXED_BLOCK_SIZE_CROSSOVER_NODES,
+        };
         match self.block_size {
-            0 if n > BLOCK_SIZE_CROSSOVER_NODES => LARGE_GRAPH_BLOCK_SIZE,
+            0 if n > crossover => LARGE_GRAPH_BLOCK_SIZE,
             0 => DEFAULT_BLOCK_SIZE,
             b => b,
         }
@@ -176,8 +192,14 @@ impl CandidateEvaluator {
         let workers = self.worker_count(blocks.len());
         let cancelled = || cancel.is_some_and(|c| c.load(Ordering::Relaxed));
 
+        // Shared u32 adjacency mirror for the blocked sweeps (bitwise-
+        // neutral; halves the per-iteration index stream on large graphs).
+        let compact = CompactAdjacency::try_new(g);
         let solve_blocks = |blocks: &[&[Edge]]| -> Option<(Vec<CandidateScore>, EvalStats)> {
-            let op = LaplacianOp::new(g);
+            let op = match compact.as_ref() {
+                Some(adj) => LaplacianOp::with_compact(g, adj),
+                None => LaplacianOp::new(g),
+            };
             let mut ws = BlockCgWorkspace::new();
             // One full-width rhs block per worker; columns get their ±1
             // entries before each solve and are re-zeroed after, so the
@@ -494,7 +516,8 @@ mod tests {
         let reference = serial_reference(&g, &base, s, &candidates, cg, recovery);
         assert!(reference.iter().any(|sc| sc.escalated), "need escalations to compare");
         for (threads, block_size) in [(1usize, 4usize), (2, 4), (1, 0), (4, 3)] {
-            let eval = CandidateEvaluator { threads, block_size, cg, recovery };
+            let eval =
+                CandidateEvaluator { threads, block_size, cg, recovery, ..Default::default() };
             let (scores, stats) = eval.evaluate_edges(&g, &base, s, &candidates);
             assert_eq!(scores, reference, "threads={threads} block_size={block_size} diverged");
             assert!(stats.recovered_columns > 0);
@@ -572,6 +595,22 @@ mod tests {
             .expect("unset token must not cancel");
         let without = eval.evaluate_edges(&g, &base, 0, &candidates);
         assert_eq!(with_token.0, without.0);
+    }
+
+    #[test]
+    fn effective_width_mirrors_sketch_policy_per_precision() {
+        for precision in [Precision::F64, Precision::Mixed] {
+            let params = SketchParams { precision, ..Default::default() };
+            let eval = CandidateEvaluator::from_sketch_params(&params);
+            assert_eq!(eval.precision, precision);
+            for n in [1_000usize, 25_000, 45_000, 120_000] {
+                assert_eq!(
+                    eval.effective_width(n),
+                    params.effective_block_size(n),
+                    "precision={precision:?} n={n}"
+                );
+            }
+        }
     }
 
     #[test]

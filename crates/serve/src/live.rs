@@ -371,6 +371,24 @@ impl LiveEngine {
         wal_dir: &Path,
         error_budget: Option<f64>,
     ) -> Result<Arc<LiveEngine>, LiveError> {
+        Self::recover_with_solver(wal_dir, error_budget, None)
+    }
+
+    /// [`Self::recover`], adopting the runtime solver selection from
+    /// `solver` (precision, preconditioner, threads, block width — the
+    /// serve CLI flags) for the recovered engine's what-if solves and
+    /// future re-sketches. WAL replay itself is unaffected: durable
+    /// rank-1 mutations pin their CG config, so the replayed state is
+    /// bitwise identical whatever flags the restart was given.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::recover`].
+    pub fn recover_with_solver(
+        wal_dir: &Path,
+        error_budget: Option<f64>,
+        solver: Option<&SketchParams>,
+    ) -> Result<Arc<LiveEngine>, LiveError> {
         let epoch = wal::read_current(wal_dir)?.ok_or_else(|| {
             LiveError::Graph(format!("{} has no CURRENT pointer", wal_dir.display()))
         })?;
@@ -383,8 +401,9 @@ impl LiveEngine {
         let fp = fingerprint(&graph);
         let snapshot = SketchSnapshot::load(&wal::sketch_path(wal_dir, epoch))
             .map_err(|e| LiveError::Snapshot(e.to_string()))?;
-        let engine =
-            snapshot.into_engine(&graph).map_err(|e| LiveError::Snapshot(e.to_string()))?;
+        let engine = snapshot
+            .into_engine_with_solver(&graph, solver)
+            .map_err(|e| LiveError::Snapshot(e.to_string()))?;
         let base_params = *engine.params();
         let (writer, records) =
             WalWriter::open_append(&wal::wal_path(wal_dir, epoch), epoch, fp)?;
@@ -436,7 +455,11 @@ impl LiveEngine {
                 let has_current =
                     dir.is_dir() && wal::read_current(dir).map(|c| c.is_some()).unwrap_or(true);
                 if has_current {
-                    Ok((Self::recover(dir, config.error_budget)?, true))
+                    let solver = *engine.params();
+                    Ok((
+                        Self::recover_with_solver(dir, config.error_budget, Some(&solver))?,
+                        true,
+                    ))
                 } else {
                     Ok((Self::bootstrap(engine, dir, config.error_budget)?, false))
                 }

@@ -153,6 +153,27 @@ impl SketchSnapshot {
     /// the sketch was built for; [`SnapshotError::Corrupt`] when the parts
     /// fail reassembly validation.
     pub fn into_engine(self, g: &Graph) -> Result<QueryEngine, SnapshotError> {
+        self.into_engine_with_solver(g, None)
+    }
+
+    /// [`Self::into_engine`], adopting the runtime solver selection from
+    /// `solver` when given: precision, preconditioner, threads, and block
+    /// width — the knobs the serve CLI exposes — carry over, while the
+    /// snapshot keeps authority over `epsilon` (and therefore over the
+    /// error-budget default and CG tolerances derived from it). An auto
+    /// Chebyshev request is resolved against `g` here, so the power
+    /// iteration runs once at restore time and every downstream what-if
+    /// or re-sketch reuses the cached estimate. Durable rank-1 mutations
+    /// pin their own CG config and are unaffected by this selection.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::into_engine`].
+    pub fn into_engine_with_solver(
+        self,
+        g: &Graph,
+        solver: Option<&SketchParams>,
+    ) -> Result<QueryEngine, SnapshotError> {
         let graph_fp = fingerprint(g);
         if graph_fp != self.fingerprint {
             return Err(SnapshotError::FingerprintMismatch {
@@ -167,7 +188,14 @@ impl SketchSnapshot {
             self.diagnostics,
         )
         .map_err(|e| SnapshotError::Corrupt(e.to_string()))?;
-        let params = SketchParams::with_epsilon(self.epsilon);
+        let mut params = SketchParams::with_epsilon(self.epsilon);
+        if let Some(s) = solver {
+            params.precision = s.precision;
+            params.threads = s.threads;
+            params.block_size = s.block_size;
+            params.cg.preconditioner = s.cg.preconditioner;
+            params = params.resolved_for(g);
+        }
         QueryEngine::from_parts(g.clone(), sketch, self.hull, params)
             .map_err(|e| SnapshotError::Corrupt(e.to_string()))
     }

@@ -253,3 +253,94 @@ proptest! {
         prop_assert_eq!(g1.edges(), g2.edges());
     }
 }
+
+// Mixed-precision + Chebyshev sketch properties, prefixed `mixed_cheby` so
+// the CI precision-matrix job can select exactly this family with a test
+// filter. Case counts are small: every case pays for several full sketch
+// builds.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// A mixed-precision + Chebyshev sketch is a drop-in for the f64
+    /// build: every stored sketch entry is within ε/10 of the f64 value,
+    /// and sampled eccentricities stay inside the sketch's ε guarantee
+    /// against exact resistance.
+    #[test]
+    fn mixed_cheby_sketch_tracks_f64_build_within_eps_tenth(
+        (n, p, seed) in (8usize..=20, 0.1f64..0.45, any::<u64>())
+    ) {
+        let g = connected_erdos_renyi(n, p, seed);
+        let eps = 0.4;
+        let f64_params = SketchParams {
+            epsilon: eps,
+            max_dimension: Some(16),
+            seed: 7,
+            ..Default::default()
+        };
+        let mut mixed_params = f64_params;
+        mixed_params.precision = reecc_core::Precision::Mixed;
+        mixed_params.cg.preconditioner = reecc_core::Preconditioner::Chebyshev(
+            reecc_core::ChebyshevConfig::default(),
+        );
+        let reference = ResistanceSketch::build(&g, &f64_params).unwrap();
+        let mixed = ResistanceSketch::build(&g, &mixed_params).unwrap();
+        prop_assert_eq!(reference.flat().len(), mixed.flat().len());
+        for (i, (a, b)) in mixed.flat().iter().zip(reference.flat()).enumerate() {
+            prop_assert!(
+                (a - b).abs() < eps / 10.0,
+                "sketch entry {i} drifted: mixed {a} vs f64 {b}"
+            );
+        }
+        // The user-visible consequence: eccentricities from the mixed
+        // build are indistinguishable (to well under ε) from the f64
+        // build's — the dimension cap may bend the JL guarantee on tiny
+        // graphs, but both precisions bend it identically.
+        for v in (0..n).step_by(3) {
+            let (cm, _) = mixed.eccentricity(v);
+            let (cf, _) = reference.eccentricity(v);
+            prop_assert!(
+                (cm - cf).abs() <= eps / 5.0 * cf.max(1.0),
+                "c({v}): mixed {cm} vs f64 build {cf}"
+            );
+        }
+    }
+
+    /// Bitwise determinism across `threads` × `block_size`, in both
+    /// precision modes: the knobs tune speed, never the answer.
+    #[test]
+    fn mixed_cheby_sketch_is_bitwise_deterministic_across_knobs(
+        (n, p, seed) in (8usize..=16, 0.12f64..0.4, any::<u64>())
+    ) {
+        let g = connected_erdos_renyi(n, p, seed);
+        for precision in [reecc_core::Precision::F64, reecc_core::Precision::Mixed] {
+            let mut base = SketchParams {
+                epsilon: 0.5,
+                max_dimension: Some(12),
+                seed: 11,
+                precision,
+                ..Default::default()
+            };
+            base.cg.preconditioner = reecc_core::Preconditioner::Chebyshev(
+                reecc_core::ChebyshevConfig::default(),
+            );
+            let reference = ResistanceSketch::build(
+                &g,
+                &SketchParams { threads: 1, block_size: 1, ..base },
+            )
+            .unwrap();
+            for (threads, block_size) in [(1usize, 0usize), (4, 3), (4, 8)] {
+                let other = ResistanceSketch::build(
+                    &g,
+                    &SketchParams { threads, block_size, ..base },
+                )
+                .unwrap();
+                prop_assert_eq!(
+                    reference.flat(),
+                    other.flat(),
+                    "{:?} sketch differs at threads={} block_size={}",
+                    precision, threads, block_size
+                );
+            }
+        }
+    }
+}

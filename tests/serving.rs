@@ -441,6 +441,50 @@ fn wal_backed_pipe_session_recovers_after_restart() {
 }
 
 #[test]
+fn wal_replay_is_bitwise_whatever_solver_flags_each_side_ran_with() {
+    // Durable mutations pin their CG config precisely so that a session
+    // serving under `--precision mixed --precond cheby` and a recovery
+    // under different (or default) flags replay to the same bits. Apply
+    // mutations on a mixed+cheby engine live, then recover once with no
+    // solver selection and once with the mixed+cheby selection: all
+    // three states must agree bitwise.
+    let dir = temp_path("wal-solver-flags");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut tuned = SketchParams { epsilon: EPS, seed: 99, ..Default::default() };
+    tuned.precision = reecc_core::Precision::Mixed;
+    tuned.cg.preconditioner =
+        reecc_core::Preconditioner::Chebyshev(reecc_core::ChebyshevConfig::default());
+    let built = Arc::new(QueryEngine::build(graph(), &tuned).expect("BA graph is connected"));
+    let config = LiveConfig { wal_dir: Some(dir.clone()), error_budget: Some(64.0) };
+    let (live, recovered) = LiveEngine::open(Arc::clone(&built), &config).unwrap();
+    assert!(!recovered);
+
+    let g = graph();
+    let mut absent = (0..N)
+        .flat_map(|a| (a + 1..N).map(move |b| (a, b)))
+        .filter(|&(a, b)| !g.has_edge(a, b));
+    let (u1, v1) = absent.next().unwrap();
+    let (u2, v2) = absent.next().unwrap();
+    live.apply_mutation(reecc_serve::wal::WalOp::AddEdge, u1, v1).unwrap();
+    live.apply_mutation(reecc_serve::wal::WalOp::AddEdge, u2, v2).unwrap();
+    live.apply_mutation(reecc_serve::wal::WalOp::RemoveEdge, u1, v1).unwrap();
+    let served = live.view().engine.resistance(u2, v2);
+
+    for solver in [None, Some(&tuned)] {
+        let restarted = LiveEngine::recover_with_solver(&dir, Some(64.0), solver).unwrap();
+        assert_eq!(restarted.wal_replayed_on_start(), 3);
+        let replayed = restarted.view().engine.resistance(u2, v2);
+        assert_eq!(
+            replayed.to_bits(),
+            served.to_bits(),
+            "solver={:?}: replay must be flag-independent: {replayed} vs {served}",
+            solver.is_some()
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn snapshot_fingerprint_is_representation_level() {
     // The snapshot key is fingerprint(graph): the same edge list loads,
     // a relabeled isomorph does not. This is by design — sketch rows are
@@ -483,4 +527,59 @@ fn pre_rework_golden_snapshot_still_loads_and_answers() {
     let rebuilt = QueryEngine::build(&g, &params).unwrap();
     let rebuilt_bytes = SketchSnapshot::from_engine(&rebuilt).to_bytes();
     assert_eq!(rebuilt_bytes, bytes, "snapshot byte format or sketch bits drifted");
+}
+
+#[test]
+fn snapshot_format_is_precision_agnostic() {
+    // The v1 snapshot stores f64 rows regardless of the arithmetic that
+    // produced them: a mixed-precision build serializes in the exact same
+    // format (same header prefix as an f64-built snapshot of the same
+    // sketch shape), round-trips byte-for-byte, and is byte-identical no
+    // matter which threads × block_size combination built it.
+    let g = barabasi_albert(40, 2, 9);
+    let f64_params =
+        SketchParams { epsilon: 0.4, max_dimension: Some(64), seed: 3, ..Default::default() };
+    let mut mixed_params = f64_params;
+    mixed_params.precision = reecc_core::Precision::Mixed;
+    mixed_params.cg.preconditioner =
+        reecc_core::Preconditioner::Chebyshev(reecc_core::ChebyshevConfig::default());
+
+    let f64_bytes =
+        SketchSnapshot::from_engine(&QueryEngine::build(&g, &f64_params).unwrap()).to_bytes();
+    let mixed_engine = QueryEngine::build(&g, &mixed_params).unwrap();
+    let mixed_bytes = SketchSnapshot::from_engine(&mixed_engine).to_bytes();
+
+    // Same container: identical length and identical leading header (the
+    // first bytes before sketch data diverges numerically). 16 bytes
+    // covers magic + version + shape fields without tying the test to the
+    // exact layout.
+    assert_eq!(mixed_bytes.len(), f64_bytes.len(), "precision changed the v1 layout");
+    assert_eq!(&mixed_bytes[..16], &f64_bytes[..16], "precision leaked into the header");
+
+    // Round trip: load → re-serialize reproduces the bytes exactly, and
+    // the loaded engine answers like the in-memory one.
+    let snap = SketchSnapshot::from_bytes(&mixed_bytes).expect("mixed snapshot parses");
+    let loaded = snap.into_engine(&g).expect("mixed snapshot pairs with its graph");
+    assert_eq!(
+        SketchSnapshot::from_engine(&loaded).to_bytes(),
+        mixed_bytes,
+        "mixed snapshot does not round-trip byte-for-byte"
+    );
+    for v in (0..g.node_count()).step_by(7) {
+        assert_eq!(
+            loaded.eccentricity(v).value.to_bits(),
+            mixed_engine.eccentricity(v).value.to_bits()
+        );
+    }
+
+    // Build determinism carries into the serialized artifact.
+    for (threads, block_size) in [(4usize, 0usize), (2, 4), (1, 8)] {
+        let combo = SketchParams { threads, block_size, ..mixed_params };
+        let rebuilt = QueryEngine::build(&g, &combo).unwrap();
+        assert_eq!(
+            SketchSnapshot::from_engine(&rebuilt).to_bytes(),
+            mixed_bytes,
+            "mixed snapshot differs at threads={threads} block_size={block_size}"
+        );
+    }
 }
