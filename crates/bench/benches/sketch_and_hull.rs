@@ -49,7 +49,7 @@ fn bench_ablation_hull_theta(c: &mut Criterion) {
     let g = barabasi_albert(400, 3, 9);
     let p = SketchParams { epsilon: 0.3, dimension_scale: 0.1, seed: 1, ..Default::default() };
     let sketch = ResistanceSketch::build(&g, &p).expect("connected");
-    let points = sketch.point_set();
+    let points = sketch.point_view();
     for theta in [0.1f64, 0.05, 0.025] {
         group.bench_with_input(BenchmarkId::from_parameter(theta), &points, |b, points| {
             let opts = ApproxChOptions { max_vertices: Some(64), ..Default::default() };
@@ -64,9 +64,8 @@ fn bench_eccentricity_query_modes(c: &mut Criterion) {
     let g = barabasi_albert(1000, 3, 4);
     let p = SketchParams { epsilon: 0.3, dimension_scale: 0.1, seed: 1, ..Default::default() };
     let sketch = ResistanceSketch::build(&g, &p).expect("connected");
-    let points = sketch.point_set();
     let hull = approx_convex_hull(
-        &points,
+        &sketch.point_view(),
         0.025,
         ApproxChOptions { max_vertices: Some(64), ..Default::default() },
     );

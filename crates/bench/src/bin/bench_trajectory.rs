@@ -39,21 +39,32 @@
 //! (dense pseudoinverse solves), so this pass is skipped above 5 000
 //! nodes — run the ci tier for the job-latency record.
 //!
+//! `BENCH_query.json` carries two read-path records: `query_full_scan`
+//! (the threaded APPROXQUERY scan, the historical trajectory line) and
+//! `query_batched` (scalar hull-panel sweeps vs one batched
+//! `eccentricity_batch` call over the same sources — the read-path
+//! headline, with per-mode correctness gates inlined as booleans).
+//!
 //! The bin never fails on a threshold — slowdowns are reported, not
 //! enforced, so it is safe as a CI step — but it exits non-zero if the
 //! scalar and blocked sketches are not bitwise identical, if the serial
-//! and blocked candidate evaluations choose different best edges, or if
-//! a served job's plan diverges from the CLI batch, because those are
-//! correctness bugs, not performance regressions.
+//! and blocked candidate evaluations choose different best edges, if a
+//! served job's plan diverges from the CLI batch, or if any read-path
+//! gate fails (panel sweep vs historical hull gather bitwise, batched
+//! kernel vs scalar loop across the batch-size × thread-count matrix,
+//! norms-decomposed / f32 panel modes within eps/10 of exact), because
+//! those are correctness bugs, not performance regressions.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use reecc_bench::{mode_label, timed, timed_median3, HarnessArgs};
+use reecc_core::query::default_hull_budget;
 use reecc_core::sketch::ResistanceSketch;
-use reecc_core::{Precision, QueryEngine, SketchParams};
+use reecc_core::{resolve_threads, Precision, QueryEngine, SketchParams};
 use reecc_datasets::{preprocess, Dataset};
 use reecc_graph::Edge;
+use reecc_hull::approxch::{approx_convex_hull, ApproxChOptions};
 use reecc_opt::{
     simple_greedy_with_diagnostics, CandidateEvaluator, CandidateScore, Problem, SimpleOptions,
 };
@@ -175,14 +186,30 @@ fn main() {
     );
     append_record("BENCH_sketch.json", &sketch_record);
 
-    // Query-side trajectory: full-scan eccentricities over the flat
-    // storage (the path the node-major rework turned into contiguous
-    // scans).
+    // Query-side trajectory: the read path. The engine is reassembled
+    // from the already-built blocked sketch via `from_parts` (which packs
+    // the hull panel; no second sketch build), and three paths are timed:
+    // the threaded full scan (the historical `query_full_scan` trajectory
+    // line), the scalar one-at-a-time panel sweep, and the batched panel
+    // kernel (`query_batched`, the read-path headline).
     let queries: Vec<usize> = (0..n).step_by((n / 64).max(1)).take(64).collect();
-    let (checksum, query_secs) = timed(|| {
+    let query_threads = resolve_threads(0);
+    eprintln!("assembling the query engine (hull + panel) from the blocked sketch ...");
+    let theta = (eps / 12.0).clamp(1e-6, 0.999);
+    let hull_opts = ApproxChOptions {
+        max_vertices: Some(default_hull_budget(n)),
+        ..ApproxChOptions::default()
+    };
+    let hull = approx_convex_hull(&blocked.point_view(), theta, hull_opts).vertices;
+    let engine_params = SketchParams { threads: 0, ..block_params };
+    let engine = QueryEngine::from_parts(g.clone(), blocked.clone(), hull, engine_params)
+        .expect("bench sketch and hull are consistent");
+    let hull_len = engine.hull_size();
+
+    let (checksum, _, query_secs) = timed_median3(|| {
         let mut acc = 0.0f64;
         for &v in &queries {
-            acc += blocked.eccentricity(v).0;
+            acc += engine.eccentricity_full_scan(v).value;
         }
         acc
     });
@@ -190,7 +217,8 @@ fn main() {
         "  {{\n    \"bench\": \"query_full_scan\",\n    \"unix_time\": {unix_time},\n    \
          \"mode\": \"{mode}\",\n    \
          \"graph\": \"{name}\",\n    \"tier\": \"{tier_name}\",\n    \"n\": {n},\n    \
-         \"m\": {m},\n    \"epsilon\": {eps},\n    \"d\": {d},\n    \"threads\": 1,\n    \
+         \"m\": {m},\n    \"epsilon\": {eps},\n    \"d\": {d},\n    \
+         \"threads\": {query_threads},\n    \
          \"queries\": {q},\n    \"wall_ms\": {wms:.3},\n    \
          \"per_query_us\": {pq:.3},\n    \"ecc_sum\": {checksum:.9e}\n  }}",
         d = blocked.dimension(),
@@ -199,6 +227,83 @@ fn main() {
         pq = query_secs * 1e6 / queries.len().max(1) as f64,
     );
     append_record("BENCH_query.json", &query_record);
+
+    // Read-path correctness gates (all fatal): the panel sweep must
+    // reproduce the historical hull gather bit-for-bit, the batched
+    // kernel must equal the scalar loop at every batch-size ×
+    // thread-count combination, and the decomposed / f32 panel modes
+    // must land within eps/10 of the exact sweep.
+    let scalar_answers: Vec<_> = queries.iter().map(|&v| engine.eccentricity(v)).collect();
+    let mut panel_bits_match = true;
+    for (&v, a) in queries.iter().zip(&scalar_answers) {
+        let (c, f) = engine.sketch().eccentricity_over(v, engine.hull());
+        panel_bits_match &= a.value.to_bits() == c.to_bits() && a.farthest == f;
+    }
+    let mut batch_matrix_ok = true;
+    for batch in [1usize, 2, 7, 16, queries.len()] {
+        for threads in [1usize, 2, 4] {
+            batch_matrix_ok &= engine.eccentricity_batch_with(&queries[..batch], threads)
+                == scalar_answers[..batch];
+        }
+    }
+    let panel = engine.panel();
+    let tol = eps / 10.0;
+    let mut norms_within_tol = true;
+    let mut f32_within_tol = true;
+    for (&v, a) in queries.iter().zip(&scalar_answers) {
+        let src = engine.sketch().embedding(v);
+        let norm = panel.node_norm(v);
+        let scale = a.value.abs().max(1.0);
+        norms_within_tol &=
+            (panel.eccentricity_norms(src, norm).0 - a.value).abs() <= tol * scale;
+        f32_within_tol &= (panel.eccentricity_f32(src, norm).0 - a.value).abs() <= tol * scale;
+    }
+
+    // The headline: scalar panel queries one at a time vs one batched
+    // call over the same sources (lane-shared sweeps + source-chunk
+    // threading).
+    let (scalar_sum, _, scalar_secs_q) = timed_median3(|| {
+        let mut acc = 0.0f64;
+        for &v in &queries {
+            acc += engine.eccentricity(v).value;
+        }
+        acc
+    });
+    let (batched_answers, _, batched_secs) =
+        timed_median3(|| engine.eccentricity_batch_with(&queries, query_threads));
+    let batched_bits_match = batched_answers == scalar_answers;
+    let scalar_qps = queries.len() as f64 / scalar_secs_q.max(1e-9);
+    let batched_qps = queries.len() as f64 / batched_secs.max(1e-9);
+    let batched_speedup = batched_qps / scalar_qps.max(1e-9);
+    let query_gates_ok = panel_bits_match
+        && batch_matrix_ok
+        && batched_bits_match
+        && norms_within_tol
+        && f32_within_tol;
+    let batched_record = format!(
+        "  {{\n    \"bench\": \"query_batched\",\n    \"unix_time\": {unix_time},\n    \
+         \"mode\": \"{mode}\",\n    \
+         \"graph\": \"{name}\",\n    \"tier\": \"{tier_name}\",\n    \"n\": {n},\n    \
+         \"m\": {m},\n    \"epsilon\": {eps},\n    \"d\": {d},\n    \
+         \"hull\": {hull_len},\n    \"threads\": {query_threads},\n    \
+         \"batch\": {q},\n    \
+         \"scalar\": {{\"wall_ms\": {sms:.3}, \"per_query_us\": {spq:.3}, \
+         \"qps\": {scalar_qps:.1}}},\n    \
+         \"batched\": {{\"wall_ms\": {bms:.3}, \"per_query_us\": {bpq:.3}, \
+         \"qps\": {batched_qps:.1}}},\n    \"speedup\": {batched_speedup:.3},\n    \
+         \"panel_bits_match\": {panel_bits_match},\n    \
+         \"batch_matrix_ok\": {batch_matrix_ok},\n    \
+         \"batched_bits_match\": {batched_bits_match},\n    \
+         \"norms_within_tol\": {norms_within_tol},\n    \
+         \"f32_within_tol\": {f32_within_tol},\n    \"ecc_sum\": {scalar_sum:.9e}\n  }}",
+        d = blocked.dimension(),
+        q = queries.len(),
+        sms = scalar_secs_q * 1e3,
+        spq = scalar_secs_q * 1e6 / queries.len().max(1) as f64,
+        bms = batched_secs * 1e3,
+        bpq = batched_secs * 1e6 / queries.len().max(1) as f64,
+    );
+    append_record("BENCH_query.json", &batched_record);
 
     // Optimizer-side trajectory: the candidate-evaluation engine on a
     // deterministic pool of non-edges between stride-sampled nodes (the
@@ -418,6 +523,15 @@ fn main() {
         blocked_eval_secs * 1e3,
         per_s(blocked_eval_secs),
     );
+    println!(
+        "query read path (hull {hull_len}, {} queries, {query_threads} threads): full scan \
+         {:.1} us/query, panel scalar {:.1} us/query, batched {:.1} us/query \
+         ({batched_qps:.0} qps, {batched_speedup:.2}x vs scalar), gates ok: {query_gates_ok}",
+        queries.len(),
+        query_secs * 1e6 / queries.len().max(1) as f64,
+        scalar_secs_q * 1e6 / queries.len().max(1) as f64,
+        batched_secs * 1e6 / queries.len().max(1) as f64,
+    );
     if !reference_ok {
         if mixed {
             eprintln!(
@@ -436,6 +550,20 @@ fn main() {
     if !chosen_edge_match {
         eprintln!("FAIL: serial and blocked candidate evaluation chose different edges");
         std::process::exit(1);
+    }
+    if !query_gates_ok {
+        eprintln!(
+            "FAIL: read-path gates failed (panel_bits_match: {panel_bits_match}, \
+             batch_matrix_ok: {batch_matrix_ok}, batched_bits_match: {batched_bits_match}, \
+             norms_within_tol: {norms_within_tol}, f32_within_tol: {f32_within_tol})"
+        );
+        std::process::exit(1);
+    }
+    if batched_speedup < 4.0 {
+        eprintln!(
+            "note: batched query speedup {batched_speedup:.2}x is below the 4x target \
+             (non-blocking; small panels are overhead-dominated)"
+        );
     }
     if speedup < 2.0 {
         eprintln!(

@@ -75,6 +75,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             addr,
             threads,
             queue_depth,
+            batch_window,
             eps,
             precision,
             precond,
@@ -92,6 +93,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             addr.as_deref(),
             threads,
             queue_depth,
+            batch_window,
             solver_params(eps, precision, precond),
             lcc,
             wal_dir.as_deref(),
@@ -439,6 +441,7 @@ fn serve(
     addr: Option<&str>,
     threads: usize,
     queue_depth: usize,
+    batch_window: usize,
     params: SketchParams,
     lcc: bool,
     wal_dir: Option<&str>,
@@ -511,7 +514,13 @@ fn serve(
     });
     let pool = ServePool::with_live_and_jobs(
         live,
-        PoolConfig { threads, queue_depth, snapshot_retries, ..Default::default() },
+        PoolConfig {
+            threads,
+            queue_depth,
+            batch_window,
+            snapshot_retries,
+            ..Default::default()
+        },
         jobs,
     )
     .map_err(|e| CliError::Io(format!("cannot start job runner: {e}")))?;

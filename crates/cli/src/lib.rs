@@ -78,7 +78,8 @@ USAGE:
                  [--lcc] [--verify]
   reecc sketch-info  <SNAPSHOT>
   reecc serve    <edges.txt> [--snapshot SNAPSHOT] [--addr HOST:PORT]
-                 [--threads N (0 = auto)] [--queue-depth D] [--eps X]
+                 [--threads N (0 = auto)] [--queue-depth D]
+                 [--batch-window B (1 = no coalescing)] [--eps X]
                  [--precision f64|mixed] [--precond none|jacobi|sgs|cheby] [--lcc]
                  [--wal-dir DIR] [--error-budget X]
                  [--max-jobs N (0 = no job subsystem)] [--job-dir DIR]

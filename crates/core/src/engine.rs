@@ -28,12 +28,13 @@ use reecc_hull::approxch::{approx_convex_hull, ApproxChOptions};
 use reecc_linalg::cg::CgWorkspace;
 use reecc_linalg::{CgOptions, Preconditioner};
 
+use crate::panel::HullPanel;
 use crate::query::default_hull_budget;
 use crate::sketch::{ResistanceSketch, SketchParams};
 use crate::update::{
     solve_edge_potentials_with, updated_eccentricity, updated_eccentricity_removed,
 };
-use crate::CoreError;
+use crate::{resolve_threads, CoreError};
 
 /// One eccentricity answer.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -57,6 +58,7 @@ pub struct QueryEngine {
     graph: Graph,
     sketch: ResistanceSketch,
     hull: Vec<usize>,
+    panel: HullPanel,
     params: SketchParams,
 }
 
@@ -96,8 +98,8 @@ impl QueryEngine {
         let params = params.resolved_for(g);
         let sketch = ResistanceSketch::build(g, &params)?;
         let theta = (params.epsilon / 12.0).clamp(1e-6, 0.999);
-        let hull = approx_convex_hull(&sketch.point_set(), theta, hull_opts).vertices;
-        Ok(QueryEngine { graph: g.clone(), sketch, hull, params })
+        let hull = approx_convex_hull(&sketch.point_view(), theta, hull_opts).vertices;
+        Self::from_parts(g.clone(), sketch, hull, params)
     }
 
     /// Reassemble an engine from previously exported parts — the snapshot
@@ -132,7 +134,12 @@ impl QueryEngine {
         if let Some(&bad) = hull.iter().find(|&&v| v >= n) {
             return Err(CoreError::NodeOutOfRange { node: bad, n });
         }
-        Ok(QueryEngine { graph, sketch, hull, params })
+        // The panel is rebuilt on *every* construction path — fresh
+        // build, snapshot restore, and the rank-1 mutation clones — so
+        // the serving layer's epoch swaps can never serve a panel packed
+        // from a previous epoch's embeddings.
+        let panel = HullPanel::build(&sketch, &hull);
+        Ok(QueryEngine { graph, sketch, hull, panel, params })
     }
 
     /// The underlying graph.
@@ -160,26 +167,116 @@ impl QueryEngine {
         self.hull.len()
     }
 
+    /// The packed hull panel (read-path kernels; see [`HullPanel`]).
+    pub fn panel(&self) -> &HullPanel {
+        &self.panel
+    }
+
     /// FASTQUERY-style eccentricity of `v`: max over the hull boundary,
-    /// `O(l·d)`.
+    /// `O(l·d)` as one stride-1 sweep of the packed [`HullPanel`] —
+    /// bitwise identical to the historical
+    /// `sketch.eccentricity_over(v, hull)` gather.
     ///
     /// # Panics
     ///
     /// Panics if `v` is out of range.
     pub fn eccentricity(&self, v: usize) -> EccentricityAnswer {
-        let (value, farthest) = self.sketch.eccentricity_over(v, &self.hull);
+        let (value, farthest) = self.panel.eccentricity_exact(self.sketch.embedding(v));
         EccentricityAnswer { value, farthest }
     }
 
+    /// Batched FASTQUERY: answer a block of sources with panel sweeps
+    /// shared across [`crate::panel::MAX_LANES`]-wide lanes, parallelized
+    /// over [`resolve_threads`]`(params.threads)` contiguous source
+    /// chunks. Every answer is bitwise identical to
+    /// [`Self::eccentricity`] for every batch-size × thread-count
+    /// combination: per-source results are independent, and chunking
+    /// only changes which thread computes them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a source id is out of range.
+    pub fn eccentricity_batch(&self, sources: &[usize]) -> Vec<EccentricityAnswer> {
+        self.eccentricity_batch_with(sources, resolve_threads(self.params.threads))
+    }
+
+    /// [`Self::eccentricity_batch`] with an explicit thread count (the
+    /// determinism test matrix drives this directly).
+    pub fn eccentricity_batch_with(
+        &self,
+        sources: &[usize],
+        threads: usize,
+    ) -> Vec<EccentricityAnswer> {
+        let mut out = vec![(f64::NEG_INFINITY, usize::MAX); sources.len()];
+        let threads = threads.clamp(1, sources.len().max(1));
+        let work = sources.len() * self.panel.len() * self.panel.dim();
+        if threads == 1 || work < PARALLEL_BATCH_MIN_WORK {
+            self.panel.sweep_chunk(&self.sketch, sources, &mut out);
+        } else {
+            let chunk = sources.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (src, dst) in sources.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                    scope.spawn(move || self.panel.sweep_chunk(&self.sketch, src, dst));
+                }
+            });
+        }
+        out.into_iter()
+            .map(|(value, farthest)| EccentricityAnswer { value, farthest })
+            .collect()
+    }
+
     /// APPROXQUERY-style eccentricity (full scan, `O(n·d)`), for callers
-    /// that want the hull bypassed.
+    /// that want the hull bypassed — the serving tier for mutated live
+    /// views, whose hull is stale. The scan is split over
+    /// [`resolve_threads`]`(params.threads)` chunks
+    /// ([`ResistanceSketch::eccentricity_threaded`]); answers are
+    /// bitwise identical to the sequential scan at every thread count.
     ///
     /// # Panics
     ///
     /// Panics if `v` is out of range.
     pub fn eccentricity_full_scan(&self, v: usize) -> EccentricityAnswer {
-        let (value, farthest) = self.sketch.eccentricity(v);
+        let threads = resolve_threads(self.params.threads);
+        let (value, farthest) = self.sketch.eccentricity_threaded(v, threads);
         EccentricityAnswer { value, farthest }
+    }
+
+    /// Batched full scan: [`Self::eccentricity_full_scan`] for a block
+    /// of sources, parallelized *across* sources (each source's scan
+    /// stays sequential, so per-answer bits cannot depend on the batch
+    /// shape). Single-source batches fall back to the within-scan
+    /// threading of [`Self::eccentricity_full_scan`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a source id is out of range.
+    pub fn eccentricity_full_scan_batch(&self, sources: &[usize]) -> Vec<EccentricityAnswer> {
+        if sources.len() < 2 {
+            return sources.iter().map(|&v| self.eccentricity_full_scan(v)).collect();
+        }
+        let threads = resolve_threads(self.params.threads).clamp(1, sources.len());
+        if threads == 1 {
+            return sources
+                .iter()
+                .map(|&v| {
+                    let (value, farthest) = self.sketch.eccentricity(v);
+                    EccentricityAnswer { value, farthest }
+                })
+                .collect();
+        }
+        let chunk = sources.len().div_ceil(threads);
+        let mut out = vec![EccentricityAnswer { value: 0.0, farthest: 0 }; sources.len()];
+        std::thread::scope(|scope| {
+            for (src, dst) in sources.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    for (&v, slot) in src.iter().zip(dst.iter_mut()) {
+                        let (value, farthest) = self.sketch.eccentricity(v);
+                        *slot = EccentricityAnswer { value, farthest };
+                    }
+                });
+            }
+        });
+        out
     }
 
     /// Sketched pairwise resistance, `O(d)`.
@@ -232,7 +329,10 @@ impl QueryEngine {
             &mut scratch.ws,
             &mut scratch.rhs,
         );
-        self.sketch.resistances_from_into(&mut scratch.base, s);
+        // Norms-decomposed base fill: the panel's precomputed per-node
+        // norms turn each base distance into one dot product instead of
+        // a fused subtract-square-add recomputed from scratch per call.
+        self.panel.resistances_from_norms_into(&self.sketch, &mut scratch.base, s);
         let (value, farthest) = updated_eccentricity(&scratch.base, &w, r_uv, s);
         EccentricityAnswer { value, farthest }
     }
@@ -283,7 +383,7 @@ impl QueryEngine {
             &mut scratch.ws,
             &mut scratch.rhs,
         );
-        self.sketch.resistances_from_into(&mut scratch.base, s);
+        self.panel.resistances_from_norms_into(&self.sketch, &mut scratch.base, s);
         let (value, farthest) = updated_eccentricity_removed(&scratch.base, &w, r_uv, edge, s)?;
         Ok(EccentricityAnswer { value, farthest })
     }
@@ -405,6 +505,12 @@ impl QueryEngine {
         Ok(())
     }
 }
+
+/// Batch work floor (`sources × h × d` multiply-adds) under which
+/// [`QueryEngine::eccentricity_batch_with`] stays single-threaded:
+/// typical serve-side coalesced batches finish in microseconds and
+/// thread spawns would cost more than the sweep.
+const PARALLEL_BATCH_MIN_WORK: usize = 1 << 16;
 
 /// Reusable scratch for [`QueryEngine::eccentricity_after_edge_with`]:
 /// the CG workspace, the (zero-filled) right-hand-side buffer, and the
@@ -711,6 +817,51 @@ mod tests {
         // produces the same sketch bits.
         let again = QueryEngine::build(&g, engine.params()).unwrap();
         assert_eq!(again.sketch().flat(), engine.sketch().flat());
+    }
+
+    #[test]
+    fn batch_matrix_is_bitwise_identical_to_sequential() {
+        // The ISSUE's determinism matrix: every batch-size × thread-count
+        // combination must reproduce the sequential per-source answers
+        // bit for bit, for both the hull-panel and full-scan batch paths.
+        let g = barabasi_albert(250, 2, 21);
+        let engine = QueryEngine::build(&g, &params()).unwrap();
+        let sources: Vec<usize> = (0..16).map(|i| (i * 13) % 250).collect();
+        let seq: Vec<_> = sources.iter().map(|&v| engine.eccentricity(v)).collect();
+        let seq_full: Vec<_> =
+            sources.iter().map(|&v| engine.eccentricity_full_scan(v)).collect();
+        for batch in [1usize, 2, 7, 16] {
+            for threads in [1usize, 2, 4] {
+                let got = engine.eccentricity_batch_with(&sources[..batch], threads);
+                assert_eq!(got, seq[..batch], "batch={batch} threads={threads}");
+            }
+            let got_full = engine.eccentricity_full_scan_batch(&sources[..batch]);
+            assert_eq!(got_full, seq_full[..batch], "full-scan batch={batch}");
+        }
+        // Default-threaded entry point agrees too.
+        assert_eq!(engine.eccentricity_batch(&sources), seq);
+    }
+
+    #[test]
+    fn mutated_engine_rebuilds_panel_and_answers_identically() {
+        // A rank-1 mutation clones the engine through `from_parts`, which
+        // must repack the panel from the *mutated* embeddings: hull
+        // answers on the new engine have to match a by-hand
+        // `eccentricity_over` sweep of its own sketch, not the parent's.
+        let g = barabasi_albert(80, 2, 31);
+        let engine = QueryEngine::build(&g, &params()).unwrap();
+        let e = engine.graph().non_edges()[0];
+        let (mutated, _) = engine.with_added_edge(e, 777).unwrap();
+        for v in [0usize, 17, 79] {
+            let ans = mutated.eccentricity(v);
+            let (want_c, want_f) = mutated.sketch().eccentricity_over(v, mutated.hull());
+            assert_eq!((ans.value, ans.farthest), (want_c, want_f), "v={v}");
+        }
+        assert_ne!(
+            engine.eccentricity(e.u),
+            mutated.eccentricity(e.u),
+            "mutation must be visible through the panel"
+        );
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub mod engine;
 pub mod estimators;
 pub mod exact;
 pub mod metrics;
+pub mod panel;
 pub mod query;
 pub mod sketch;
 pub mod update;
@@ -54,6 +55,7 @@ pub mod walks;
 pub use engine::{QueryEngine, WhatIfScratch};
 pub use exact::ExactResistance;
 pub use metrics::EccentricityDistribution;
+pub use panel::HullPanel;
 pub use query::{
     approx_query, approx_recc, exact_query, fast_query, fast_query_distribution,
     fast_query_with_policy, resistance_between, DegradationPolicy, FastQueryOutput,

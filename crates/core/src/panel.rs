@@ -1,0 +1,436 @@
+//! The hull panel: contiguous read-path kernels for FASTQUERY.
+//!
+//! [`crate::sketch::ResistanceSketch::eccentricity_over`] answers a
+//! hull-restricted eccentricity by gathering `data[j*d..]` for each hull
+//! vertex `j` — a random-stride walk over the full `n·d` embedding
+//! buffer, re-faulting the same cache lines on every query. A
+//! [`HullPanel`] packs the `h` boundary embeddings into one hull-major
+//! `h×d` block (plus precomputed squared norms) at engine-construction
+//! time, so every query becomes a stride-1 sweep over `h·d` contiguous
+//! doubles that stay resident across queries.
+//!
+//! Three kernels share the panel:
+//!
+//! * **exact** (default): per-row `‖s − j‖²` by the same in-order
+//!   single-accumulator reduction [`vector::dist_sq`] the scalar path
+//!   uses, with the same first-strict-maximum tie rule — bitwise
+//!   identical to `eccentricity_over(s, hull)` for every source.
+//! * **norms-decomposed**: `‖s‖² + ‖j‖² − 2⟨s, j⟩` with the `‖j‖²` terms
+//!   precomputed — one fused multiply stream instead of
+//!   subtract-square-add. Not bitwise equal (the rounding of the three
+//!   terms differs from the fused subtraction), but the absolute error
+//!   is bounded by a few ulps of `‖s‖² + ‖j‖²`, orders of magnitude
+//!   under the sketch's own `ε` floor; the bench gates it within `ε/10`
+//!   of the exact kernel.
+//! * **f32 replica** (opt-in): the same decomposition over an `f32` copy
+//!   of the panel with f64-accumulated dot products
+//!   ([`vector::dot_f32`]), halving scan traffic for callers that accept
+//!   `~1e-7`-relative dots under exact f64 norms.
+//!
+//! Multi-query batching rides the same panel:
+//! [`HullPanel::sweep_chunk`] walks the panel **once** for a block of up
+//! to [`MAX_LANES`] sources (monomorphized lane widths, the
+//! `sweep_const` idiom from the linalg crate), so the `h×d` block is
+//! read once per B queries instead of once per query. Each lane keeps
+//! its own in-order accumulator and its own first-maximum state, which
+//! keeps every per-(source, vertex) value — and therefore every answer —
+//! bitwise identical to the sequential exact kernel regardless of batch
+//! size or lane packing.
+
+use reecc_linalg::vector;
+
+use crate::sketch::ResistanceSketch;
+
+/// Widest batching lane: blocks of up to 16 sources share one panel
+/// sweep. 16 f64 accumulators plus two stream pointers fit comfortably
+/// in registers/L1 on every target this crate cares about.
+pub const MAX_LANES: usize = 16;
+
+/// A contiguous, hull-major copy of the hull boundary's embeddings with
+/// precomputed squared norms — the read-path kernel block built once per
+/// [`crate::QueryEngine`] (and therefore rebuilt on every serve-side
+/// epoch swap, mutation, or snapshot restore, which all construct
+/// engines through `build`/`from_parts`).
+///
+/// Also carries the per-node squared norms `‖x_u‖²` for **all** `n`
+/// nodes: the what-if warm path reuses them to fill its base-distance
+/// buffer by norms decomposition instead of recomputing every
+/// `‖x_s − x_u‖²` from scratch.
+#[derive(Debug, Clone)]
+pub struct HullPanel {
+    /// Hull vertex ids, in the hull's selection order (the candidate
+    /// order of `eccentricity_over`, which the tie rule depends on).
+    nodes: Vec<usize>,
+    /// `h×d` hull-major embeddings: row `k` is the embedding of
+    /// `nodes[k]`.
+    data: Vec<f64>,
+    /// `‖row k‖²`, in-order sums (norms-decomposed kernel).
+    norms: Vec<f64>,
+    /// f32 replica of `data` (opt-in half-traffic kernel).
+    data_f32: Vec<f32>,
+    /// `‖x_u‖²` for every node `u` (what-if warm path + source norms).
+    node_norms: Vec<f64>,
+    /// Embedding dimension `d`.
+    d: usize,
+}
+
+impl HullPanel {
+    /// Pack the panel from a sketch and its hull boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hull` is empty or contains out-of-range ids (the
+    /// engine validates both before building).
+    pub fn build(sketch: &ResistanceSketch, hull: &[usize]) -> Self {
+        assert!(!hull.is_empty(), "hull boundary must be non-empty");
+        let d = sketch.dimension();
+        let n = sketch.node_count();
+        let mut data = Vec::with_capacity(hull.len() * d);
+        for &j in hull {
+            data.extend_from_slice(sketch.embedding(j));
+        }
+        let data_f32: Vec<f32> = data.iter().map(|&x| x as f32).collect();
+        let node_norms: Vec<f64> = (0..n)
+            .map(|u| {
+                let x = sketch.embedding(u);
+                vector::dot(x, x)
+            })
+            .collect();
+        let norms: Vec<f64> = hull.iter().map(|&j| node_norms[j]).collect();
+        HullPanel { nodes: hull.to_vec(), data, norms, data_f32, node_norms, d }
+    }
+
+    /// Hull boundary size `h`.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the panel is empty (never true for a built panel).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Embedding dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.d
+    }
+
+    /// The packed hull vertex ids, in candidate order.
+    pub fn nodes(&self) -> &[usize] {
+        &self.nodes
+    }
+
+    /// `‖x_u‖²` for node `u` (in-order self-dot of the embedding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn node_norm(&self, u: usize) -> f64 {
+        self.node_norms[u]
+    }
+
+    /// Exact kernel: `max_k ‖src − row_k‖²` with the realizing node —
+    /// bitwise identical to `eccentricity_over(s, hull)` (same per-pair
+    /// [`vector::dist_sq`], same candidate order, same strict-`>`
+    /// first-maximum rule).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len() != d`.
+    pub fn eccentricity_exact(&self, src: &[f64]) -> (f64, usize) {
+        assert_eq!(src.len(), self.d, "source dimension mismatch");
+        let mut best = (f64::NEG_INFINITY, usize::MAX);
+        for (k, &node) in self.nodes.iter().enumerate() {
+            let r = vector::dist_sq(src, &self.data[k * self.d..(k + 1) * self.d]);
+            if r > best.0 {
+                best = (r, node);
+            }
+        }
+        best
+    }
+
+    /// Norms-decomposed kernel: `‖s‖² + ‖j‖² − 2⟨s, j⟩` per row, with
+    /// `‖j‖²` precomputed and the result clamped at zero (the
+    /// decomposition can round a true zero slightly negative). Within a
+    /// few ulps of the exact kernel; gated within `ε/10` in the bench.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len() != d`.
+    pub fn eccentricity_norms(&self, src: &[f64], src_norm: f64) -> (f64, usize) {
+        assert_eq!(src.len(), self.d, "source dimension mismatch");
+        let mut best = (f64::NEG_INFINITY, usize::MAX);
+        for (k, &node) in self.nodes.iter().enumerate() {
+            let dot = vector::dot(src, &self.data[k * self.d..(k + 1) * self.d]);
+            let r = (src_norm + self.norms[k] - 2.0 * dot).max(0.0);
+            if r > best.0 {
+                best = (r, node);
+            }
+        }
+        best
+    }
+
+    /// Opt-in f32 kernel: the norms decomposition over the f32 panel
+    /// replica with f64-accumulated dots and exact f64 norms. Halves
+    /// panel scan traffic at `~1e-7`-relative dot error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len() != d`.
+    pub fn eccentricity_f32(&self, src: &[f64], src_norm: f64) -> (f64, usize) {
+        assert_eq!(src.len(), self.d, "source dimension mismatch");
+        let src32: Vec<f32> = src.iter().map(|&x| x as f32).collect();
+        let mut best = (f64::NEG_INFINITY, usize::MAX);
+        for (k, &node) in self.nodes.iter().enumerate() {
+            let dot = vector::dot_f32(&src32, &self.data_f32[k * self.d..(k + 1) * self.d]);
+            let r = (src_norm + self.norms[k] - 2.0 * dot).max(0.0);
+            if r > best.0 {
+                best = (r, node);
+            }
+        }
+        best
+    }
+
+    /// Exact-kernel batch sweep: answer every source in `sources` by
+    /// walking the panel once per block of up to [`MAX_LANES`] lanes.
+    /// Results land in `out` in source order and are bitwise identical
+    /// to calling [`Self::eccentricity_exact`] per source (each lane
+    /// keeps its own in-order accumulator and first-maximum state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths mismatch or a source id is out of range.
+    pub fn sweep_chunk(
+        &self,
+        sketch: &ResistanceSketch,
+        sources: &[usize],
+        out: &mut [(f64, usize)],
+    ) {
+        assert_eq!(sources.len(), out.len(), "output length mismatch");
+        let mut i = 0;
+        while i < sources.len() {
+            let rem = sources.len() - i;
+            // The same monomorphized-width dispatch the linalg sweeps
+            // use: full 16-wide blocks, then one 1..=8-wide tail pass
+            // (a 9..=15 remainder takes an 8-block plus a second tail).
+            let width = if rem >= MAX_LANES { MAX_LANES } else { rem.min(8) };
+            let (s, o) = (&sources[i..i + width], &mut out[i..i + width]);
+            match width {
+                1 => self.sweep_const::<1>(sketch, s, o),
+                2 => self.sweep_const::<2>(sketch, s, o),
+                3 => self.sweep_const::<3>(sketch, s, o),
+                4 => self.sweep_const::<4>(sketch, s, o),
+                5 => self.sweep_const::<5>(sketch, s, o),
+                6 => self.sweep_const::<6>(sketch, s, o),
+                7 => self.sweep_const::<7>(sketch, s, o),
+                8 => self.sweep_const::<8>(sketch, s, o),
+                16 => self.sweep_const::<16>(sketch, s, o),
+                _ => unreachable!("dispatch widths are 1..=8 and 16"),
+            }
+            i += width;
+        }
+    }
+
+    /// One monomorphized block: `B` sources against every panel row in a
+    /// single pass. The sources are packed into a *dimension-major*
+    /// (transposed) `d×B` scratch so the hot loop reads both streams
+    /// stride-1 and advances all `B` lane accumulators per panel
+    /// component: `B` independent in-order `(x−y)²` chains instead of
+    /// one serialized chain per (source, row) pair, which is where the
+    /// single-core batching win comes from — the per-lane op sequence is
+    /// exactly [`vector::dist_sq`]'s, so per-lane answers stay bitwise
+    /// exact.
+    ///
+    /// On x86-64 the lane loop is additionally dispatched to AVX-512 /
+    /// AVX2 compilations of the *same* Rust source when the CPU reports
+    /// the feature. Vectorizing **across lanes** keeps each lane's
+    /// subtract → multiply → add sequence untouched (one lane per SIMD
+    /// element, no reassociation, and rustc never contracts `a*b + c`
+    /// into a fused multiply-add), so the wide paths remain bitwise
+    /// identical to the scalar one — the unit and bench matrices compare
+    /// all of them against [`Self::eccentricity_exact`].
+    fn sweep_const<const B: usize>(
+        &self,
+        sketch: &ResistanceSketch,
+        sources: &[usize],
+        out: &mut [(f64, usize)],
+    ) {
+        let d = self.d;
+        let mut src = vec![0.0f64; d * B];
+        for (b, &s) in sources.iter().enumerate() {
+            for (t, &x) in sketch.embedding(s).iter().enumerate() {
+                src[t * B + b] = x;
+            }
+        }
+        let mut best = [(f64::NEG_INFINITY, usize::MAX); B];
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx512f") {
+                // SAFETY: the CPU reports AVX-512F at runtime.
+                unsafe { self.sweep_lanes_avx512::<B>(&src, &mut best) };
+                out.copy_from_slice(&best);
+                return;
+            }
+            if std::arch::is_x86_feature_detected!("avx2") {
+                // SAFETY: the CPU reports AVX2 at runtime.
+                unsafe { self.sweep_lanes_avx2::<B>(&src, &mut best) };
+                out.copy_from_slice(&best);
+                return;
+            }
+        }
+        self.sweep_lanes::<B>(&src, &mut best);
+        out.copy_from_slice(&best);
+    }
+
+    /// The lane sweep body: every panel row against the dimension-major
+    /// `d×B` source block, `B` in-order accumulator chains per row.
+    /// `inline(always)` so the `target_feature` wrappers below compile
+    /// this exact loop nest at their wider vector width.
+    #[inline(always)]
+    fn sweep_lanes<const B: usize>(&self, src: &[f64], best: &mut [(f64, usize); B]) {
+        let d = self.d;
+        for (k, &node) in self.nodes.iter().enumerate() {
+            let row = &self.data[k * d..(k + 1) * d];
+            let mut acc = [0.0f64; B];
+            for (t, &p) in row.iter().enumerate() {
+                let lanes = &src[t * B..t * B + B];
+                for (a, &x) in acc.iter_mut().zip(lanes) {
+                    let diff = x - p;
+                    *a += diff * diff;
+                }
+            }
+            for (slot, &a) in best.iter_mut().zip(acc.iter()) {
+                if a > slot.0 {
+                    *slot = (a, node);
+                }
+            }
+        }
+    }
+
+    /// [`Self::sweep_lanes`] compiled with AVX2 enabled (runtime-gated).
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn sweep_lanes_avx2<const B: usize>(
+        &self,
+        src: &[f64],
+        best: &mut [(f64, usize); B],
+    ) {
+        self.sweep_lanes::<B>(src, best);
+    }
+
+    /// [`Self::sweep_lanes`] compiled with AVX-512F enabled
+    /// (runtime-gated).
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn sweep_lanes_avx512<const B: usize>(
+        &self,
+        src: &[f64],
+        best: &mut [(f64, usize); B],
+    ) {
+        self.sweep_lanes::<B>(src, best);
+    }
+
+    /// What-if warm-path fill: `base[u] = ‖x_s − x_u‖²` for every node,
+    /// by norms decomposition over the precomputed per-node norms —
+    /// one dot product per node instead of a fused
+    /// subtract-square-add, and no per-candidate norm recomputation.
+    /// `base[s]` is exactly `0.0` (the three terms cancel in floating
+    /// point); other entries are within ulps of the fused values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range or `out.len()` isn't the node
+    /// count.
+    pub fn resistances_from_norms_into(
+        &self,
+        sketch: &ResistanceSketch,
+        out: &mut [f64],
+        s: usize,
+    ) {
+        assert_eq!(out.len(), self.node_norms.len(), "output length mismatch");
+        let src = sketch.embedding(s);
+        let sn = self.node_norms[s];
+        for (u, o) in out.iter_mut().enumerate() {
+            let dot = vector::dot(src, sketch.embedding(u));
+            *o = (sn + self.node_norms[u] - 2.0 * dot).max(0.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sketch::SketchParams;
+    use reecc_graph::generators::barabasi_albert;
+
+    fn fixture() -> (ResistanceSketch, Vec<usize>) {
+        let g = barabasi_albert(120, 2, 11);
+        let p = SketchParams { epsilon: 0.4, seed: 5, ..Default::default() };
+        let sketch = ResistanceSketch::build(&g, &p).unwrap();
+        // A deliberately scrambled candidate order: the panel must
+        // reproduce the tie rule in *candidate* order, not sorted order.
+        let hull = vec![17usize, 3, 99, 42, 0, 64, 5, 119, 23, 88, 51];
+        (sketch, hull)
+    }
+
+    #[test]
+    fn exact_kernel_matches_eccentricity_over_bitwise() {
+        let (sketch, hull) = fixture();
+        let panel = HullPanel::build(&sketch, &hull);
+        for s in 0..sketch.node_count() {
+            let expect = sketch.eccentricity_over(s, &hull);
+            assert_eq!(panel.eccentricity_exact(sketch.embedding(s)), expect, "s={s}");
+        }
+    }
+
+    #[test]
+    fn batch_sweep_matches_exact_kernel_bitwise_at_every_width() {
+        let (sketch, hull) = fixture();
+        let panel = HullPanel::build(&sketch, &hull);
+        let sources: Vec<usize> = (0..sketch.node_count()).rev().collect();
+        for width in [1usize, 2, 3, 7, 8, 9, 15, 16, 17, 120] {
+            let batch = &sources[..width.min(sources.len())];
+            let mut out = vec![(0.0, 0usize); batch.len()];
+            panel.sweep_chunk(&sketch, batch, &mut out);
+            for (&s, got) in batch.iter().zip(&out) {
+                assert_eq!(*got, panel.eccentricity_exact(sketch.embedding(s)), "w={width}");
+            }
+        }
+    }
+
+    #[test]
+    fn norms_and_f32_kernels_track_exact_within_epsilon_tenth() {
+        let (sketch, hull) = fixture();
+        let panel = HullPanel::build(&sketch, &hull);
+        let eps = sketch.epsilon();
+        for s in 0..sketch.node_count() {
+            let src = sketch.embedding(s);
+            let (exact, _) = panel.eccentricity_exact(src);
+            let (norms, _) = panel.eccentricity_norms(src, panel.node_norm(s));
+            let (f32v, _) = panel.eccentricity_f32(src, panel.node_norm(s));
+            assert!((norms - exact).abs() <= eps / 10.0 * exact.max(1e-12), "s={s}");
+            assert!((f32v - exact).abs() <= eps / 10.0 * exact.max(1e-12), "s={s}");
+        }
+    }
+
+    #[test]
+    fn norms_fill_matches_fused_distances_and_zeros_the_source() {
+        let (sketch, hull) = fixture();
+        let panel = HullPanel::build(&sketch, &hull);
+        let n = sketch.node_count();
+        let mut base = vec![0.0; n];
+        for s in [0usize, 7, 64, 119] {
+            panel.resistances_from_norms_into(&sketch, &mut base, s);
+            assert_eq!(base[s], 0.0, "self-distance must cancel exactly");
+            let fused = sketch.resistances_from(s);
+            for u in 0..n {
+                assert!(
+                    (base[u] - fused[u]).abs() <= 1e-9 * (1.0 + fused[u]),
+                    "s={s} u={u}: {} vs {}",
+                    base[u],
+                    fused[u]
+                );
+            }
+        }
+    }
+}

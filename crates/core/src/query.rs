@@ -303,8 +303,7 @@ pub fn fast_query_with_policy(
     }
 
     let theta = (params.epsilon / 12.0).clamp(1e-6, 0.999);
-    let points = sketch.point_set();
-    let hull_result = approx_convex_hull(&points, theta, hull_opts);
+    let hull_result = approx_convex_hull(&sketch.point_view(), theta, hull_opts);
     let results =
         q.iter().map(|&i| (i, sketch.eccentricity_over(i, &hull_result.vertices).0)).collect();
     Ok(FastQueryOutput {

@@ -22,7 +22,7 @@
 
 use reecc_graph::traversal::is_connected;
 use reecc_graph::{Edge, Graph};
-use reecc_hull::PointSet;
+use reecc_hull::PointsView;
 use reecc_linalg::block::BlockVectors;
 use reecc_linalg::block_cg::{
     solve_laplacian_block, solve_laplacian_block_mixed, BlockCgWorkspace, MixedOptions,
@@ -665,10 +665,67 @@ impl ResistanceSketch {
     }
 
     /// APPROXQUERY inner step: `c̄(s) = max_j r̃(s, j)` over all nodes,
-    /// with the farthest node. `O(n·d)`.
+    /// with the farthest node. `O(n·d)`, allocation-free.
     pub fn eccentricity(&self, s: usize) -> (f64, usize) {
-        let dists = self.resistances_from(s);
-        argmax_with_value(&dists)
+        assert!(s < self.n, "node out of range");
+        self.scan_range(s, 0, self.n)
+    }
+
+    /// [`Self::eccentricity`] with the node scan split over `threads`
+    /// contiguous chunks (`std::thread::scope`, like the build's
+    /// partitioner). Bitwise identical to the sequential scan for every
+    /// thread count: per-pair distances are the same in-order
+    /// [`vector::dist_sq`] reductions, and chunk maxima are merged in
+    /// index order under the same strict `>` rule, so the first global
+    /// maximum wins exactly as in the sequential argmax.
+    ///
+    /// Small scans (`n·d` below a spawn-amortization floor) stay
+    /// sequential regardless of `threads`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn eccentricity_threaded(&self, s: usize, threads: usize) -> (f64, usize) {
+        assert!(s < self.n, "node out of range");
+        let threads = threads.clamp(1, self.n);
+        if threads == 1 || self.n * self.d < PARALLEL_SCAN_MIN_WORK {
+            return self.eccentricity(s);
+        }
+        let chunk = self.n.div_ceil(threads);
+        let mut parts: Vec<(f64, usize)> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .filter_map(|t| {
+                    let lo = t * chunk;
+                    let hi = ((t + 1) * chunk).min(self.n);
+                    (lo < hi).then(|| scope.spawn(move || self.scan_range(s, lo, hi)))
+                })
+                .collect();
+            for h in handles {
+                parts.push(h.join().expect("scan worker panicked"));
+            }
+        });
+        let mut best = (f64::NEG_INFINITY, 0usize);
+        for (v, i) in parts {
+            if v > best.0 {
+                best = (v, i);
+            }
+        }
+        best
+    }
+
+    /// First-maximum scan of `r̃(s, u)` over `u ∈ [lo, hi)` — the shared
+    /// kernel of the sequential and threaded full scans.
+    fn scan_range(&self, s: usize, lo: usize, hi: usize) -> (f64, usize) {
+        let src = &self.data[s * self.d..(s + 1) * self.d];
+        let mut best = (f64::NEG_INFINITY, lo);
+        for u in lo..hi {
+            let r = vector::dist_sq(src, &self.data[u * self.d..(u + 1) * self.d]);
+            if r > best.0 {
+                best = (r, u);
+            }
+        }
+        best
     }
 
     /// FASTQUERY inner step: `ĉ(s) = max_{j ∈ candidates} r̃(s, j)`,
@@ -815,13 +872,19 @@ impl ResistanceSketch {
         self.embedding(u).to_vec()
     }
 
-    /// All node embeddings as a [`PointSet`] (the set `S` FASTQUERY feeds
-    /// to APPROXCH). `PointSet` is point-major with the same layout as
-    /// [`Self::flat`], so this is a single buffer copy — no transpose.
-    pub fn point_set(&self) -> PointSet {
-        PointSet::from_flat(self.d, self.data.clone())
+    /// All node embeddings as a zero-copy [`PointsView`] (the set `S`
+    /// FASTQUERY feeds to APPROXCH). The view borrows [`Self::flat`]
+    /// directly — point-major is exactly the node-major sketch layout —
+    /// so hull construction never materializes an O(n·d) copy.
+    pub fn point_view(&self) -> PointsView<'_> {
+        PointsView::from_flat(self.d, &self.data)
     }
 }
+
+/// `n·d` floor below which [`ResistanceSketch::eccentricity_threaded`]
+/// stays sequential: under ~64k multiply-adds the scan finishes in a few
+/// microseconds and thread spawns would dominate.
+const PARALLEL_SCAN_MIN_WORK: usize = 1 << 16;
 
 fn row_is_finite(row: &[f64]) -> bool {
     row.iter().all(|x| x.is_finite())
@@ -829,16 +892,6 @@ fn row_is_finite(row: &[f64]) -> bool {
 
 fn is_zero(row: &[f64]) -> bool {
     row.iter().all(|&x| x == 0.0)
-}
-
-fn argmax_with_value(values: &[f64]) -> (f64, usize) {
-    let mut best = (f64::NEG_INFINITY, 0usize);
-    for (i, &v) in values.iter().enumerate() {
-        if v > best.0 {
-            best = (v, i);
-        }
-    }
-    best
 }
 
 #[cfg(test)]
@@ -1085,16 +1138,32 @@ mod tests {
     }
 
     #[test]
-    fn point_set_roundtrip() {
+    fn point_view_roundtrip() {
+        use reecc_hull::Points;
         let g = cycle(10);
         let sk = ResistanceSketch::build(&g, &params(0.5)).unwrap();
-        let ps = sk.point_set();
+        let ps = sk.point_view();
         assert_eq!(ps.len(), 10);
         assert_eq!(ps.dim(), sk.dimension());
         assert_eq!(ps.point(3), sk.embedding_point(3).as_slice());
-        // Pairwise embedding distances are the resistance estimates.
-        let d2 = ps.dist_sq(2, 7);
-        assert!((d2 - sk.resistance(2, 7)).abs() < 1e-12);
+        // Pairwise embedding distances are the resistance estimates —
+        // bitwise, since the view borrows the sketch buffer itself.
+        assert_eq!(ps.dist_sq(2, 7), sk.resistance(2, 7));
+    }
+
+    #[test]
+    fn threaded_full_scan_is_bitwise_identical() {
+        // Big enough to clear the PARALLEL_SCAN_MIN_WORK floor so the
+        // threaded path actually splits.
+        let g = barabasi_albert(300, 2, 42);
+        let sk = ResistanceSketch::build(&g, &params(0.4)).unwrap();
+        assert!(sk.node_count() * sk.dimension() >= super::PARALLEL_SCAN_MIN_WORK);
+        for s in [0usize, 17, 123, 299] {
+            let seq = sk.eccentricity(s);
+            for threads in [1usize, 2, 3, 4, 7] {
+                assert_eq!(sk.eccentricity_threaded(s, threads), seq, "s={s} t={threads}");
+            }
+        }
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //!    boundary — so `Ŝ` grows by a genuine boundary point every time.
 //! 4. Repeat the scan until a full pass adds nothing.
 
-use crate::points::{dot, PointSet};
+use crate::points::{dot, Points};
 use crate::triangle::{membership, Membership, TriangleOptions};
 
 /// Options for [`approx_convex_hull`].
@@ -57,10 +57,19 @@ pub struct HullResult {
 /// Every input point ends up within `theta * D̂` of `conv(Ŝ)` unless
 /// `truncated` is set.
 ///
+/// Generic over [`Points`], so it runs equally over an owned
+/// [`crate::points::PointSet`] and a zero-copy
+/// [`crate::points::PointsView`] borrowing the caller's buffer; both
+/// produce bitwise-identical hulls (same arithmetic, same scan order).
+///
 /// # Panics
 ///
 /// Panics if `points` is empty or `theta` is not in `(0, 1)`.
-pub fn approx_convex_hull(points: &PointSet, theta: f64, opts: ApproxChOptions) -> HullResult {
+pub fn approx_convex_hull<P: Points>(
+    points: &P,
+    theta: f64,
+    opts: ApproxChOptions,
+) -> HullResult {
     assert!(!points.is_empty(), "point set must be non-empty");
     assert!(theta > 0.0 && theta < 1.0, "theta must be in (0, 1)");
     let n = points.len();
@@ -158,7 +167,7 @@ pub fn approx_convex_hull(points: &PointSet, theta: f64, opts: ApproxChOptions) 
 /// Convenience check used by tests and callers that want the Lemma 5.3
 /// guarantee verified: is every point within `tol` of `conv(hull)`
 /// according to the membership oracle?
-pub fn verify_coverage(points: &PointSet, hull: &[usize], tol: f64) -> bool {
+pub fn verify_coverage<P: Points>(points: &P, hull: &[usize], tol: f64) -> bool {
     (0..points.len()).all(|i| {
         !matches!(
             membership(points, hull, points.point(i), tol, TriangleOptions::default()),
@@ -170,6 +179,7 @@ pub fn verify_coverage(points: &PointSet, hull: &[usize], tol: f64) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::points::PointSet;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 

@@ -13,7 +13,9 @@
 //! This crate implements that stack from scratch:
 //!
 //! * [`points::PointSet`] — a flat, cache-friendly store of `n` points in
-//!   `R^d`.
+//!   `R^d`, plus [`points::PointsView`], a zero-copy borrow of the same
+//!   layout (both behind the [`points::Points`] trait so hull
+//!   construction never needs to clone the sketch's embedding buffer).
 //! * [`triangle`] — the Triangle Algorithm: an approximate membership
 //!   oracle for `p ∈ conv(Ŝ)` that produces either an ε-close convex
 //!   combination or a *witness* certifying separation.
@@ -29,5 +31,5 @@ pub mod points;
 pub mod triangle;
 
 pub use approxch::{approx_convex_hull, ApproxChOptions, HullResult};
-pub use points::PointSet;
+pub use points::{PointSet, Points, PointsView};
 pub use triangle::{membership, Membership, TriangleOptions};

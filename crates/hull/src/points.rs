@@ -1,5 +1,116 @@
 //! Flat storage for `n` points in `R^d`.
 
+/// Read-only access to a point-major point collection.
+///
+/// The hull algorithms ([`crate::approxch::approx_convex_hull`],
+/// [`crate::triangle::membership`]) are generic over this trait so they
+/// run equally over an owned [`PointSet`] and a zero-copy
+/// [`PointsView`] borrowing someone else's buffer (the sketch's flat
+/// node-major embedding store, most importantly). Every default method
+/// is a plain in-order scan over [`Points::point`] slices, so the two
+/// implementations are bitwise interchangeable.
+pub trait Points {
+    /// Dimension `d`.
+    fn dim(&self) -> usize;
+
+    /// Number of points.
+    fn len(&self) -> usize;
+
+    /// Borrow point `i`.
+    fn point(&self, i: usize) -> &[f64];
+
+    /// Whether the set is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Squared distance between stored points `i` and `j`.
+    fn dist_sq(&self, i: usize, j: usize) -> f64 {
+        dist_sq(self.point(i), self.point(j))
+    }
+
+    /// Index of the stored point farthest (Euclidean) from an arbitrary
+    /// query point; ties break to the smaller index. `None` if empty.
+    fn farthest_from(&self, query: &[f64]) -> Option<(usize, f64)> {
+        assert_eq!(query.len(), self.dim(), "query dimension mismatch");
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..self.len() {
+            let d2 = dist_sq(self.point(i), query);
+            match best {
+                Some((_, bd)) if d2 <= bd => {}
+                _ => best = Some((i, d2)),
+            }
+        }
+        best.map(|(i, d2)| (i, d2.sqrt()))
+    }
+
+    /// Index of the stored point farthest from stored point `from`.
+    fn farthest_from_index(&self, from: usize) -> Option<(usize, f64)> {
+        self.farthest_from(self.point(from))
+    }
+
+    /// Lower bound on the diameter `D(S)` via iterated farthest-point
+    /// sweeps starting at point 0. With `sweeps >= 2` the bound is at least
+    /// `D/2` in any metric space (and typically much tighter).
+    fn diameter_estimate(&self, sweeps: usize) -> f64 {
+        if self.len() < 2 {
+            return 0.0;
+        }
+        let mut a = 0usize;
+        let mut best = 0.0f64;
+        for _ in 0..sweeps.max(1) {
+            let (b, d) = self.farthest_from_index(a).expect("non-empty");
+            if d <= best {
+                break;
+            }
+            best = d;
+            a = b;
+        }
+        best
+    }
+}
+
+/// A borrowed, zero-copy point set over someone else's flat point-major
+/// buffer. Point `i` occupies `data[i*dim..(i+1)*dim]` — exactly the
+/// sketch's node-major embedding layout, so the hull can be built
+/// without materializing an O(n·d) copy.
+#[derive(Debug, Clone, Copy)]
+pub struct PointsView<'a> {
+    dim: usize,
+    len: usize,
+    data: &'a [f64],
+}
+
+impl<'a> PointsView<'a> {
+    /// Borrow a flat point-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not a multiple of `dim` or `dim == 0`.
+    pub fn from_flat(dim: usize, data: &'a [f64]) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert_eq!(data.len() % dim, 0, "flat buffer length must be a multiple of dim");
+        PointsView { dim, len: data.len() / dim, data }
+    }
+}
+
+impl Points for PointsView<'_> {
+    #[inline]
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    fn point(&self, i: usize) -> &[f64] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+}
+
 /// A set of `n` points in `R^d`, stored point-major in one flat buffer.
 ///
 /// Point `i` occupies `data[i*dim..(i+1)*dim]`.
@@ -8,6 +119,23 @@ pub struct PointSet {
     dim: usize,
     len: usize,
     data: Vec<f64>,
+}
+
+impl Points for PointSet {
+    #[inline]
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    fn point(&self, i: usize) -> &[f64] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
 }
 
 impl PointSet {
@@ -62,7 +190,7 @@ impl PointSet {
         PointSet { dim: d, len: n, data }
     }
 
-    /// Number of points.
+    /// Number of points (also available through [`Points::len`]).
     #[inline]
     pub fn len(&self) -> usize {
         self.len
@@ -74,62 +202,16 @@ impl PointSet {
         self.len == 0
     }
 
-    /// Dimension `d`.
+    /// Dimension `d` (also available through [`Points::dim`]).
     #[inline]
     pub fn dim(&self) -> usize {
         self.dim
     }
 
-    /// Borrow point `i`.
+    /// Borrow point `i` (also available through [`Points::point`]).
     #[inline]
     pub fn point(&self, i: usize) -> &[f64] {
         &self.data[i * self.dim..(i + 1) * self.dim]
-    }
-
-    /// Squared distance between stored points `i` and `j`.
-    #[inline]
-    pub fn dist_sq(&self, i: usize, j: usize) -> f64 {
-        dist_sq(self.point(i), self.point(j))
-    }
-
-    /// Index of the stored point farthest (Euclidean) from an arbitrary
-    /// query point; ties break to the smaller index. `None` if empty.
-    pub fn farthest_from(&self, query: &[f64]) -> Option<(usize, f64)> {
-        assert_eq!(query.len(), self.dim, "query dimension mismatch");
-        let mut best: Option<(usize, f64)> = None;
-        for i in 0..self.len {
-            let d2 = dist_sq(self.point(i), query);
-            match best {
-                Some((_, bd)) if d2 <= bd => {}
-                _ => best = Some((i, d2)),
-            }
-        }
-        best.map(|(i, d2)| (i, d2.sqrt()))
-    }
-
-    /// Index of the stored point farthest from stored point `from`.
-    pub fn farthest_from_index(&self, from: usize) -> Option<(usize, f64)> {
-        self.farthest_from(self.point(from))
-    }
-
-    /// Lower bound on the diameter `D(S)` via iterated farthest-point
-    /// sweeps starting at point 0. With `sweeps >= 2` the bound is at least
-    /// `D/2` in any metric space (and typically much tighter).
-    pub fn diameter_estimate(&self, sweeps: usize) -> f64 {
-        if self.len < 2 {
-            return 0.0;
-        }
-        let mut a = 0usize;
-        let mut best = 0.0f64;
-        for _ in 0..sweeps.max(1) {
-            let (b, d) = self.farthest_from_index(a).expect("non-empty");
-            if d <= best {
-                break;
-            }
-            best = d;
-            a = b;
-        }
-        best
     }
 
     /// Farthest-first traversal: starting from `seeds`, repeatedly append

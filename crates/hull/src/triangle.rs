@@ -14,7 +14,7 @@
 //! iterations to reach gap `ε·D` is `O(1/ε²)` — this is the `1/θ²` factor
 //! in Lemma 5.3's running time.
 
-use crate::points::{dist_sq, dot, PointSet};
+use crate::points::{dist_sq, dot, Points};
 
 /// Options for the membership test.
 #[derive(Debug, Clone, Copy)]
@@ -69,8 +69,8 @@ impl Membership {
 ///
 /// Panics if `hull` is empty, contains out-of-range indices, or `p` has the
 /// wrong dimension.
-pub fn membership(
-    points: &PointSet,
+pub fn membership<P: Points>(
+    points: &P,
     hull: &[usize],
     p: &[f64],
     tol: f64,
@@ -137,6 +137,7 @@ pub fn membership(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::points::PointSet;
 
     fn square_points() -> PointSet {
         PointSet::from_points(&[vec![0.0, 0.0], vec![2.0, 0.0], vec![2.0, 2.0], vec![0.0, 2.0]])

@@ -5,7 +5,7 @@ use proptest::prelude::*;
 use reecc_hull::approxch::{approx_convex_hull, verify_coverage, ApproxChOptions};
 use reecc_hull::exact2d::convex_hull_2d;
 use reecc_hull::triangle::{membership, Membership, TriangleOptions};
-use reecc_hull::PointSet;
+use reecc_hull::{PointSet, Points};
 
 fn points_2d() -> impl Strategy<Value = Vec<Vec<f64>>> {
     proptest::collection::vec(proptest::collection::vec(-100.0f64..100.0, 2), 3..50)

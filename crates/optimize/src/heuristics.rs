@@ -478,10 +478,9 @@ fn hull_guided(
         }
         let sketch_params = params.iteration_sketch(iter);
         let sketch = ResistanceSketch::build(&current, &sketch_params)?;
-        let points = sketch.point_set();
         let theta = (sketch_params.epsilon / 12.0).clamp(1e-6, 0.999);
         let hull = approx_convex_hull(
-            &points,
+            &sketch.point_view(),
             theta,
             ApproxChOptions {
                 max_vertices: Some(params.budget(n)),

@@ -78,6 +78,15 @@ pub struct PoolConfig {
     /// Transient-error retries it took to load the snapshot this pool
     /// serves (0 when built fresh); surfaced in `stats` for observability.
     pub snapshot_retries: u64,
+    /// Request-coalescing window (`--batch-window`): when a worker
+    /// dequeues an eccentricity-family request (`ecc` / `radius` /
+    /// `diameter`), it opportunistically drains up to this many queued
+    /// requests of the same family and answers them with **one** batched
+    /// panel sweep ([`QueryEngine::eccentricity_batch`]). `1` disables
+    /// coalescing (clamped to at least 1). Per-request deadlines, cache
+    /// keys, and reply ordering are preserved; answers are bitwise
+    /// identical to the scalar path.
+    pub batch_window: usize,
 }
 
 impl Default for PoolConfig {
@@ -89,6 +98,7 @@ impl Default for PoolConfig {
             cache_shards: 8,
             default_deadline: None,
             snapshot_retries: 0,
+            batch_window: 8,
         }
     }
 }
@@ -155,6 +165,15 @@ struct Shared {
     drain_deadline: Mutex<Option<Instant>>,
     threads: usize,
     queue_depth: usize,
+    /// Coalescing window (≥ 1; 1 = coalescing disabled).
+    batch_window: usize,
+    /// Requests answered through a coalesced flush of size ≥ 2.
+    batched_requests: AtomicU64,
+    /// Coalescing drain cycles (every dequeue of a coalescible request
+    /// when the window is open, whatever occupancy it found).
+    batch_flushes: AtomicU64,
+    /// Sum of flush occupancies; `/ batch_flushes` = average batch size.
+    batch_occupancy_sum: AtomicU64,
     /// Reusable what-if solve scratch (CG workspace + RHS + base
     /// resistances): cache-missing `whatif-edge` requests serialize on
     /// this lock but allocate nothing in steady state.
@@ -249,6 +268,10 @@ impl ServePool {
             drain_deadline: Mutex::new(None),
             threads,
             queue_depth,
+            batch_window: config.batch_window.max(1),
+            batched_requests: AtomicU64::new(0),
+            batch_flushes: AtomicU64::new(0),
+            batch_occupancy_sum: AtomicU64::new(0),
             // Mutations only touch edges, never the node set, so the
             // scratch stays correctly sized across epochs.
             whatif: Mutex::new(WhatIfScratch::new(n)),
@@ -633,83 +656,300 @@ fn tier_name(tier: QueryTier) -> &'static str {
     }
 }
 
+/// Requests the coalescing drain may batch into one flush: the
+/// eccentricity family, whose misses share one panel sweep. Everything
+/// else (mutations, what-ifs, stats) keeps the scalar path.
+fn coalescible(request: &Request) -> bool {
+    matches!(request, Request::Ecc { .. } | Request::Radius | Request::Diameter)
+}
+
 fn worker_loop(rx: &Arc<Mutex<Receiver<Job>>>, shared: &Shared) -> WorkerExit {
     loop {
-        // Hold the lock only for the blocking recv; execution runs
-        // unlocked so workers overlap on distinct jobs.
-        let job = match rx.lock() {
-            Ok(guard) => guard.recv(),
-            Err(_) => return WorkerExit::Clean,
+        // Hold the lock only for the blocking recv (plus a non-blocking
+        // coalescing drain); execution runs unlocked so workers overlap
+        // on distinct jobs. A non-coalescible job pulled mid-drain cannot
+        // be pushed back, so it is carried and processed after the batch.
+        let (mut batch, carry) = {
+            let guard = match rx.lock() {
+                Ok(guard) => guard,
+                Err(_) => return WorkerExit::Clean,
+            };
+            let Ok(first) = guard.recv() else {
+                return WorkerExit::Clean; // channel closed: shutdown
+            };
+            let mut batch = Vec::with_capacity(shared.batch_window.min(16));
+            let mut carry = None;
+            batch.push(first);
+            if shared.batch_window > 1 && coalescible(&batch[0].env.request) {
+                while batch.len() < shared.batch_window {
+                    match guard.try_recv() {
+                        Ok(next) if coalescible(&next.env.request) => batch.push(next),
+                        Ok(next) => {
+                            carry = Some(next);
+                            break;
+                        }
+                        Err(_) => break,
+                    }
+                }
+            }
+            (batch, carry)
         };
-        let Ok(job) = job else {
-            return WorkerExit::Clean; // channel closed: shutdown
+        if shared.batch_window > 1 && coalescible(&batch[0].env.request) {
+            shared.batch_flushes.fetch_add(1, Ordering::Relaxed);
+            shared.batch_occupancy_sum.fetch_add(batch.len() as u64, Ordering::Relaxed);
+            if batch.len() >= 2 {
+                shared.batched_requests.fetch_add(batch.len() as u64, Ordering::Relaxed);
+            }
+        }
+        let mut exit = if batch.len() >= 2 {
+            process_batch(shared, batch)
+        } else {
+            process_one(shared, batch.pop().expect("batch holds the dequeued job"))
         };
-        let started = Instant::now();
+        // The carry is owned by this worker, not the queue: it must be
+        // answered even when the batch panicked this thread toward exit.
+        if let Some(job) = carry {
+            exit = exit.or(process_one(shared, job));
+        }
+        if let Some(reason) = exit {
+            return reason;
+        }
+    }
+}
+
+/// Answer one job on the scalar path. Returns `Some(WorkerExit)` when the
+/// worker thread must exit (contained panic); `None` to keep looping.
+fn process_one(shared: &Shared, job: Job) -> Option<WorkerExit> {
+    let started = Instant::now();
+    let queue_micros = started.duration_since(job.enqueued).as_micros() as u64;
+    let past_drain = shared
+        .drain_deadline
+        .lock()
+        .ok()
+        .and_then(|g| *g)
+        .is_some_and(|deadline| started > deadline);
+    let response = if past_drain {
+        shared.dropped_on_drain.fetch_add(1, Ordering::SeqCst);
+        Response::error(
+            job.env.id,
+            job.env.request.op_name(),
+            ErrorKind::Draining,
+            format!("dropped: still queued {queue_micros}us past the drain deadline"),
+        )
+    } else if job.deadline.is_some_and(|d| started > d) {
+        Response::error(
+            job.env.id,
+            job.env.request.op_name(),
+            ErrorKind::DeadlineExceeded,
+            format!("deadline expired after {queue_micros}us in queue"),
+        )
+    } else {
+        // Containment boundary: a panic below this line costs this
+        // one request (answered with `internal`) and this one worker
+        // thread (respawned by the supervisor) — never the pool.
+        match catch_unwind(AssertUnwindSafe(|| execute(shared, job.env.request))) {
+            Ok((outcome, cached, tier)) => {
+                let tier =
+                    if matches!(outcome, Outcome::Error { .. }) { None } else { Some(tier) };
+                Response {
+                    id: job.env.id,
+                    op: job.env.request.op_name(),
+                    outcome,
+                    tier: tier.map(tier_name),
+                    cached,
+                    compute_micros: started.elapsed().as_micros() as u64,
+                    queue_micros,
+                }
+            }
+            Err(payload) => {
+                shared.panics.fetch_add(1, Ordering::SeqCst);
+                let detail = panic_message(payload.as_ref());
+                let response = Response::error(
+                    job.env.id,
+                    job.env.request.op_name(),
+                    ErrorKind::Internal,
+                    format!(
+                        "worker panicked while serving this request: {detail}; \
+                         the worker was respawned and the pool keeps serving"
+                    ),
+                );
+                shared.served.fetch_add(1, Ordering::SeqCst);
+                (job.reply)(response);
+                // Exit so the half-unwound thread is discarded; the
+                // supervisor spawns a clean replacement.
+                return Some(WorkerExit::Panicked);
+            }
+        }
+    };
+    shared.served.fetch_add(1, Ordering::SeqCst);
+    (job.reply)(response);
+    None
+}
+
+/// Answer a coalesced flush of eccentricity-family jobs with one batched
+/// sweep.
+///
+/// Per-request semantics are identical to the scalar path: drain and
+/// deadline checks run per job, every request performs exactly one cache
+/// lookup under its own key (a hit replies immediately and is never
+/// recomputed), and `ecc` cache misses share a single
+/// [`QueryEngine::eccentricity_batch`] call (full-scan batch on mutated
+/// epochs). `radius` / `diameter` misses share one full sweep that caches
+/// both extremes. The whole compute phase answers against one epoch view,
+/// exactly like a scalar request does.
+///
+/// Panic containment matches the scalar path, widened to the flush: a
+/// panic (engine bug or armed `worker.compute` failpoint) answers every
+/// not-yet-answered job in the flush with an `internal` error, then exits
+/// the worker for the supervisor to respawn. Every job gets exactly one
+/// reply and one `served` increment on every path.
+fn process_batch(shared: &Shared, jobs: Vec<Job>) -> Option<WorkerExit> {
+    let started = Instant::now();
+    let drain_deadline = shared.drain_deadline.lock().ok().and_then(|g| *g);
+    let mut slots: Vec<Option<Job>> = jobs.into_iter().map(Some).collect();
+    // Per-job admission checks first, exactly as the scalar path orders
+    // them: drain overrides deadline, both answer without touching the
+    // engine.
+    for slot in slots.iter_mut() {
+        let job = slot.as_ref().expect("slot still owned");
         let queue_micros = started.duration_since(job.enqueued).as_micros() as u64;
-        let past_drain = shared
-            .drain_deadline
-            .lock()
-            .ok()
-            .and_then(|g| *g)
-            .is_some_and(|deadline| started > deadline);
-        let response = if past_drain {
+        if drain_deadline.is_some_and(|deadline| started > deadline) {
             shared.dropped_on_drain.fetch_add(1, Ordering::SeqCst);
-            Response::error(
+            let job = slot.take().expect("slot still owned");
+            let response = Response::error(
                 job.env.id,
                 job.env.request.op_name(),
                 ErrorKind::Draining,
                 format!("dropped: still queued {queue_micros}us past the drain deadline"),
-            )
+            );
+            shared.served.fetch_add(1, Ordering::SeqCst);
+            (job.reply)(response);
         } else if job.deadline.is_some_and(|d| started > d) {
-            Response::error(
+            let job = slot.take().expect("slot still owned");
+            let response = Response::error(
                 job.env.id,
                 job.env.request.op_name(),
                 ErrorKind::DeadlineExceeded,
                 format!("deadline expired after {queue_micros}us in queue"),
-            )
-        } else {
-            // Containment boundary: a panic below this line costs this
-            // one request (answered with `internal`) and this one worker
-            // thread (respawned by the supervisor) — never the pool.
-            match catch_unwind(AssertUnwindSafe(|| execute(shared, job.env.request))) {
-                Ok((outcome, cached, tier)) => {
-                    let tier = if matches!(outcome, Outcome::Error { .. }) {
-                        None
+            );
+            shared.served.fetch_add(1, Ordering::SeqCst);
+            (job.reply)(response);
+        }
+    }
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let view = shared.live.view();
+        let tier = view.tier;
+        let fp = view.fingerprint;
+        let n = view.engine.graph().node_count();
+        let finish = |job: Job, outcome: Outcome, cached: bool| {
+            let tier = if matches!(outcome, Outcome::Error { .. }) { None } else { Some(tier) };
+            let response = Response {
+                id: job.env.id,
+                op: job.env.request.op_name(),
+                outcome,
+                tier: tier.map(tier_name),
+                cached,
+                compute_micros: started.elapsed().as_micros() as u64,
+                queue_micros: started.duration_since(job.enqueued).as_micros() as u64,
+            };
+            shared.served.fetch_add(1, Ordering::SeqCst);
+            (job.reply)(response);
+        };
+        // Phase 1 — per-job failpoint, validation, and the one cache
+        // lookup each request is entitled to. Hits answer immediately;
+        // misses queue for the shared sweeps.
+        let mut ecc_misses: Vec<(usize, usize)> = Vec::new(); // (slot, v)
+        let mut sweep_misses: Vec<usize> = Vec::new(); // slot (radius/diameter)
+        for (idx, slot) in slots.iter_mut().enumerate() {
+            let Some(job) = slot.as_ref() else { continue };
+            if let Err(message) = failpoint::hit("worker.compute") {
+                let job = slot.take().expect("slot still owned");
+                finish(job, Outcome::Error { kind: ErrorKind::Internal, message }, false);
+                continue;
+            }
+            match job.env.request {
+                Request::Ecc { v } => {
+                    if v >= n {
+                        let job = slot.take().expect("slot still owned");
+                        let message = format!("v = {v} out of range (graph has {n} nodes)");
+                        finish(
+                            job,
+                            Outcome::Error { kind: ErrorKind::BadRequest, message },
+                            false,
+                        );
+                    } else if let Some(hit) = shared.cache.get(&CacheKey::Ecc(fp, v)) {
+                        let job = slot.take().expect("slot still owned");
+                        finish(job, Outcome::Ecc { value: hit.value, node: hit.node }, true);
                     } else {
-                        Some(tier)
-                    };
-                    Response {
-                        id: job.env.id,
-                        op: job.env.request.op_name(),
-                        outcome,
-                        tier: tier.map(tier_name),
-                        cached,
-                        compute_micros: started.elapsed().as_micros() as u64,
-                        queue_micros,
+                        ecc_misses.push((idx, v));
                     }
                 }
-                Err(payload) => {
-                    shared.panics.fetch_add(1, Ordering::SeqCst);
-                    let detail = panic_message(payload.as_ref());
-                    let response = Response::error(
-                        job.env.id,
-                        job.env.request.op_name(),
-                        ErrorKind::Internal,
-                        format!(
-                            "worker panicked while serving this request: {detail}; \
-                             the worker was respawned and the pool keeps serving"
-                        ),
-                    );
-                    shared.served.fetch_add(1, Ordering::SeqCst);
-                    (job.reply)(response);
-                    // Exit so the half-unwound thread is discarded; the
-                    // supervisor spawns a clean replacement.
-                    return WorkerExit::Panicked;
+                Request::Radius | Request::Diameter => {
+                    let key = match job.env.request {
+                        Request::Radius => CacheKey::Radius(fp),
+                        _ => CacheKey::Diameter(fp),
+                    };
+                    if let Some(hit) = shared.cache.get(&key) {
+                        let job = slot.take().expect("slot still owned");
+                        finish(job, Outcome::Ecc { value: hit.value, node: hit.node }, true);
+                    } else {
+                        sweep_misses.push(idx);
+                    }
                 }
+                _ => unreachable!("only coalescible requests enter a batch"),
             }
-        };
-        shared.served.fetch_add(1, Ordering::SeqCst);
-        (job.reply)(response);
+        }
+        // Phase 2 — one batched panel sweep answers every `ecc` miss.
+        // Duplicate sources are computed redundantly but bitwise equally;
+        // each slot still inserts/answers under its own key exactly once.
+        if !ecc_misses.is_empty() {
+            let sources: Vec<usize> = ecc_misses.iter().map(|&(_, v)| v).collect();
+            let answers = match tier {
+                QueryTier::Fast => view.engine.eccentricity_batch(&sources),
+                _ => view.engine.eccentricity_full_scan_batch(&sources),
+            };
+            for (&(idx, v), ans) in ecc_misses.iter().zip(&answers) {
+                let cached = CachedAnswer { value: ans.value, node: ans.farthest };
+                shared.cache.insert(CacheKey::Ecc(fp, v), cached);
+                let job = slots[idx].take().expect("slot still owned");
+                finish(job, Outcome::Ecc { value: cached.value, node: cached.node }, false);
+            }
+        }
+        // Phase 3 — one full sweep answers every `radius`/`diameter`
+        // miss and caches both extremes, like the scalar path.
+        if !sweep_misses.is_empty() {
+            let (min, max) = radius_diameter_sweep(shared, &view, n, fp);
+            for idx in sweep_misses {
+                let job = slots[idx].take().expect("slot still owned");
+                let chosen = match job.env.request {
+                    Request::Radius => min,
+                    _ => max,
+                };
+                finish(job, Outcome::Ecc { value: chosen.value, node: chosen.node }, false);
+            }
+        }
+    }));
+    match outcome {
+        Ok(()) => None,
+        Err(payload) => {
+            shared.panics.fetch_add(1, Ordering::SeqCst);
+            let detail = panic_message(payload.as_ref());
+            for slot in slots.iter_mut() {
+                let Some(job) = slot.take() else { continue };
+                let response = Response::error(
+                    job.env.id,
+                    job.env.request.op_name(),
+                    ErrorKind::Internal,
+                    format!(
+                        "worker panicked while serving this request: {detail}; \
+                         the worker was respawned and the pool keeps serving"
+                    ),
+                );
+                shared.served.fetch_add(1, Ordering::SeqCst);
+                (job.reply)(response);
+            }
+            Some(WorkerExit::Panicked)
+        }
     }
 }
 
@@ -730,6 +970,31 @@ fn ecc_answer(view: &EpochView, v: usize) -> CachedAnswer {
         _ => view.engine.eccentricity_full_scan(v),
     };
     CachedAnswer { value: ans.value, node: ans.farthest }
+}
+
+/// One full sweep computing both the radius (min eccentricity) and the
+/// diameter (max); both are inserted into the cache so the sibling query
+/// is a hit. Shared by the scalar path and coalesced flushes.
+fn radius_diameter_sweep(
+    shared: &Shared,
+    view: &EpochView,
+    n: usize,
+    fp: u64,
+) -> (CachedAnswer, CachedAnswer) {
+    let mut min = CachedAnswer { value: f64::INFINITY, node: 0 };
+    let mut max = CachedAnswer { value: f64::NEG_INFINITY, node: 0 };
+    for v in 0..n {
+        let ans = ecc_answer(view, v);
+        if ans.value < min.value {
+            min = CachedAnswer { value: ans.value, node: v };
+        }
+        if ans.value > max.value {
+            max = CachedAnswer { value: ans.value, node: v };
+        }
+    }
+    shared.cache.insert(CacheKey::Radius(fp), min);
+    shared.cache.insert(CacheKey::Diameter(fp), max);
+    (min, max)
 }
 
 /// Run one validated-or-rejected operation, consulting the cache first.
@@ -787,21 +1052,7 @@ fn execute(shared: &Shared, request: Request) -> (Outcome, bool, QueryTier) {
             if let Some(hit) = shared.cache.get(&key) {
                 return (Outcome::Ecc { value: hit.value, node: hit.node }, true, tier);
             }
-            // One full sweep computes both extremes; cache both so the
-            // sibling query is a hit.
-            let mut min = CachedAnswer { value: f64::INFINITY, node: 0 };
-            let mut max = CachedAnswer { value: f64::NEG_INFINITY, node: 0 };
-            for v in 0..n {
-                let ans = ecc_answer(&view, v);
-                if ans.value < min.value {
-                    min = CachedAnswer { value: ans.value, node: v };
-                }
-                if ans.value > max.value {
-                    max = CachedAnswer { value: ans.value, node: v };
-                }
-            }
-            shared.cache.insert(CacheKey::Radius(fp), min);
-            shared.cache.insert(CacheKey::Diameter(fp), max);
+            let (min, max) = radius_diameter_sweep(shared, &view, n, fp);
             let chosen = if matches!(request, Request::Radius) { min } else { max };
             (Outcome::Ecc { value: chosen.value, node: chosen.node }, false, tier)
         }
@@ -969,6 +1220,9 @@ fn execute(shared: &Shared, request: Request) -> (Outcome, bool, QueryTier) {
                     snapshot_retries: shared.snapshot_retries,
                     whatif_served: shared.whatif_served.load(Ordering::Relaxed),
                     whatif_micros_total: shared.whatif_micros.load(Ordering::Relaxed),
+                    batched_requests: shared.batched_requests.load(Ordering::Relaxed),
+                    batch_flushes: shared.batch_flushes.load(Ordering::Relaxed),
+                    batch_occupancy_sum: shared.batch_occupancy_sum.load(Ordering::Relaxed),
                     cache_hits: cache.hits,
                     cache_misses: cache.misses,
                     cache_evictions: cache.evictions,
@@ -1258,6 +1512,83 @@ mod tests {
             remd: true,
             seed: 7,
         }
+    }
+
+    #[test]
+    fn coalesced_flush_answers_bitwise_and_counts_once() {
+        // Deterministically force coalescing: a single worker is parked
+        // inside the *reply* closure of job 1 (replies run on the worker
+        // thread), the queue fills behind it, and releasing the gate makes
+        // the next drain pull everything in one flush.
+        let g = barabasi_albert(40, 2, 9);
+        let engine = Arc::new(
+            QueryEngine::build(
+                &g,
+                &SketchParams { epsilon: 0.5, seed: 3, ..Default::default() },
+            )
+            .unwrap(),
+        );
+        let p = ServePool::new(
+            Arc::clone(&engine),
+            PoolConfig { threads: 1, queue_depth: 16, ..Default::default() },
+        );
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let (first_tx, first_rx) = mpsc::channel::<Response>();
+        p.submit_with(
+            env(Request::Ecc { v: 0 }),
+            Box::new(move |resp| {
+                gate_rx.recv().expect("gate sender lives");
+                let _ = first_tx.send(resp);
+            }),
+        )
+        .unwrap();
+        // The worker increments `served` before calling the reply, so
+        // served == 1 means it is parked (or about to park) in the gate.
+        while p.served() < 1 {
+            std::thread::yield_now();
+        }
+        // Duplicates included: both must miss the cold cache, share the
+        // flush, and neither may be double-counted as a hit.
+        let queued: Vec<usize> = vec![1, 2, 1, 3, 7];
+        let rxs: Vec<_> =
+            queued.iter().map(|&v| p.submit(env(Request::Ecc { v })).unwrap()).collect();
+        gate_tx.send(()).unwrap();
+        assert!(first_rx.recv().unwrap().is_ok());
+        for (&v, rx) in queued.iter().zip(rxs) {
+            let resp = rx.recv().unwrap();
+            assert!(!resp.cached, "cold keys must be computed, not hit: {resp:?}");
+            let want = engine.eccentricity(v);
+            match resp.outcome {
+                Outcome::Ecc { value, node } => {
+                    assert_eq!((value, node), (want.value, want.farthest), "v={v}");
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        // Warm repeats are cache hits even for the duplicated source.
+        let again = p.run(env(Request::Ecc { v: 1 }));
+        assert!(again.cached, "{again:?}");
+        let stats = p.run(env(Request::Stats));
+        match stats.outcome {
+            Outcome::Stats(s) => {
+                // One flush of 5 coalesced requests; the warm-up and
+                // repeat queries drained solo (occupancy 1 each).
+                assert_eq!(s.batched_requests, 5, "{s:?}");
+                assert_eq!(s.batch_flushes, 3, "{s:?}");
+                assert_eq!(s.batch_occupancy_sum, 7, "{s:?}");
+                // Exactly one cache lookup per eccentricity request —
+                // hits + misses must equal the 7 ecc requests served.
+                // The duplicated v=1 missed *twice* (the flush's lookups
+                // all precede its one insert), so coalescing never
+                // mistakes a shared computation for a cache hit; the
+                // only hit is the deliberate warm repeat.
+                assert_eq!(s.cache_hits, 1, "{s:?}");
+                assert_eq!(s.cache_misses, 6, "{s:?}");
+            }
+            other => panic!("{other:?}"),
+        }
+        let report = p.drain(Duration::from_secs(5));
+        assert_eq!(report.submitted, report.answered, "{report:?}");
     }
 
     #[test]

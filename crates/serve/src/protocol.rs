@@ -343,6 +343,15 @@ pub struct StatsReport {
     /// Total wall time spent in those what-if solves, in microseconds
     /// (divide by `whatif_served` for the mean solve latency).
     pub whatif_micros_total: u64,
+    /// Eccentricity-family requests answered through a coalesced flush
+    /// of two or more (they shared one batched panel sweep).
+    pub batched_requests: u64,
+    /// Coalescing drain cycles: every dequeue of an eccentricity-family
+    /// request while the batch window was open, whatever it found.
+    pub batch_flushes: u64,
+    /// Sum of flush occupancies; divide by `batch_flushes` for the
+    /// average batch size the coalescer is achieving.
+    pub batch_occupancy_sum: u64,
     /// Result-cache hits.
     pub cache_hits: u64,
     /// Result-cache misses.
@@ -611,6 +620,12 @@ impl Response {
                 fields.push((
                     "whatif_micros_total".into(),
                     Json::Num(s.whatif_micros_total as f64),
+                ));
+                fields.push(("batched_requests".into(), Json::Num(s.batched_requests as f64)));
+                fields.push(("batch_flushes".into(), Json::Num(s.batch_flushes as f64)));
+                fields.push((
+                    "batch_occupancy_sum".into(),
+                    Json::Num(s.batch_occupancy_sum as f64),
                 ));
                 fields.push(("cache_hits".into(), Json::Num(s.cache_hits as f64)));
                 fields.push(("cache_misses".into(), Json::Num(s.cache_misses as f64)));

@@ -485,6 +485,131 @@ fn wal_replay_is_bitwise_whatever_solver_flags_each_side_ran_with() {
 }
 
 #[test]
+fn panel_rebuilds_on_epoch_swap_and_answers_identically() {
+    // A drained error budget kicks the background re-sketch; the swapped
+    // epoch publishes a *new* engine whose hull panel must be packed from
+    // the fresh embeddings. The panel-backed answer has to match a
+    // by-hand gather over the same engine's sketch and hull bitwise —
+    // a stale panel (old epoch's embeddings) would diverge.
+    let live = LiveEngine::ephemeral(engine(), Some(1e-9));
+    let before = live.view();
+    assert_eq!(before.tier, reecc_core::QueryTier::Fast);
+    let (u, v) = absent_pair();
+    let receipt = live.apply_mutation(reecc_serve::wal::WalOp::AddEdge, u, v).unwrap();
+    assert!(receipt.resketch_kicked, "a 1e-9 budget must drain on the first mutation");
+    // The mutated pre-swap view serves the approx tier (stale hull).
+    assert_eq!(live.view().tier, reecc_core::QueryTier::Approx);
+    live.join_resketch();
+    let after = live.view();
+    assert_eq!(after.tier, reecc_core::QueryTier::Fast, "re-sketch restores the fast tier");
+    assert_ne!(after.fingerprint, before.fingerprint);
+    for s in [0usize, 17, 99, N - 1] {
+        let ans = after.engine.eccentricity(s);
+        let (want_c, want_f) = after.engine.sketch().eccentricity_over(s, after.engine.hull());
+        assert_eq!(
+            (ans.value.to_bits(), ans.farthest),
+            (want_c.to_bits(), want_f),
+            "s={s}: swapped epoch serves a stale panel"
+        );
+        // And the swap genuinely changed the answer surface: the new
+        // engine is not the old one with a relabeled panel.
+        let old = before.engine.eccentricity(s);
+        assert!(ans.value.is_finite() && old.value.is_finite());
+    }
+}
+
+#[test]
+fn coalesced_requests_never_double_count_cache_hits() {
+    use reecc_serve::protocol::Outcome;
+    // Counter-drift guard for serve-side request coalescing: park the
+    // single worker inside a reply closure, queue an eccentricity-family
+    // mix with duplicates (plus the radius/diameter pair, which a single
+    // flush answers from one shared sweep), release, and audit every
+    // counter against first principles.
+    let engine = engine();
+    let pool = ServePool::new(
+        Arc::clone(&engine),
+        PoolConfig { threads: 1, queue_depth: 32, ..Default::default() },
+    );
+    let (gate_tx, gate_rx) = std::sync::mpsc::channel::<()>();
+    let (first_tx, first_rx) = std::sync::mpsc::channel();
+    pool.submit_with(
+        RequestEnvelope { id: None, deadline_ms: None, request: Request::Ecc { v: 5 } },
+        Box::new(move |resp| {
+            gate_rx.recv().expect("gate sender lives");
+            let _ = first_tx.send(resp);
+        }),
+    )
+    .unwrap();
+    while pool.served() < 1 {
+        std::thread::yield_now();
+    }
+    // 6 queued jobs, one flush (window default 8): ecc {7, 7, 42, 5},
+    // radius, diameter. Key space: Ecc{5} was cached by the parked
+    // warm-up job BEFORE these lookups run, so it is the flush's only
+    // hit; Ecc{7} is looked up twice before its single insert — two
+    // misses sharing one computation, never a fabricated hit.
+    let queued = [
+        Request::Ecc { v: 7 },
+        Request::Ecc { v: 7 },
+        Request::Ecc { v: 42 },
+        Request::Ecc { v: 5 },
+        Request::Radius,
+        Request::Diameter,
+    ];
+    let rxs: Vec<_> = queued
+        .iter()
+        .map(|r| {
+            pool.submit(RequestEnvelope { id: None, deadline_ms: None, request: *r }).unwrap()
+        })
+        .collect();
+    gate_tx.send(()).unwrap();
+    assert!(first_rx.recv().unwrap().is_ok());
+    let mut values = Vec::new();
+    for (request, rx) in queued.iter().zip(rxs) {
+        let resp = rx.recv().unwrap();
+        assert!(resp.is_ok(), "{request:?}: {resp:?}");
+        values.push(resp);
+    }
+    // Batched ecc answers are bitwise the scalar engine answers.
+    for (i, v) in [(0usize, 7usize), (1, 7), (2, 42), (3, 5)] {
+        let want = engine.eccentricity(v);
+        match values[i].outcome {
+            Outcome::Ecc { value, node } => {
+                assert_eq!((value.to_bits(), node), (want.value.to_bits(), want.farthest));
+            }
+            ref other => panic!("{other:?}"),
+        }
+    }
+    assert!(values[3].cached, "Ecc{{5}} was cached by the warm-up job");
+    // Radius <= diameter, both from the same flush's one shared sweep.
+    match (&values[4].outcome, &values[5].outcome) {
+        (Outcome::Ecc { value: r, .. }, Outcome::Ecc { value: d, .. }) => {
+            assert!(r <= d, "radius {r} vs diameter {d}")
+        }
+        other => panic!("{other:?}"),
+    }
+    let stats =
+        pool.run(RequestEnvelope { id: None, deadline_ms: None, request: Request::Stats });
+    match stats.outcome {
+        Outcome::Stats(s) => {
+            // 7 cacheable requests → exactly 7 lookups, no drift: the
+            // warm-up miss, then in the flush one hit (Ecc 5) and five
+            // misses (7, 7, 42, radius, diameter).
+            assert_eq!(s.cache_hits + s.cache_misses, 7, "{s:?}");
+            assert_eq!(s.cache_hits, 1, "{s:?}");
+            assert_eq!(s.batched_requests, 6, "{s:?}");
+            assert_eq!(s.batch_flushes, 2, "warm-up solo + the flush: {s:?}");
+            assert_eq!(s.batch_occupancy_sum, 7, "{s:?}");
+        }
+        other => panic!("{other:?}"),
+    }
+    let report = pool.drain(std::time::Duration::from_secs(10));
+    assert_eq!(report.submitted, report.answered, "{report:?}");
+    assert_eq!(report.panics, 0);
+}
+
+#[test]
 fn snapshot_fingerprint_is_representation_level() {
     // The snapshot key is fingerprint(graph): the same edge list loads,
     // a relabeled isomorph does not. This is by design — sketch rows are
